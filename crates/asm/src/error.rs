@@ -1,0 +1,50 @@
+//! Assembler error type with source-line attribution (used for the editor's
+//! error highlighting, Fig. 7).
+
+use std::fmt;
+
+/// An assembly error located at a source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line number (0 when the error is not line-specific).
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl AsmError {
+    /// Create an error at `line`.
+    pub fn new(line: usize, message: impl Into<String>) -> Self {
+        AsmError { line, message: message.into() }
+    }
+
+    /// Create an error that is not attached to a specific line.
+    pub fn global(message: impl Into<String>) -> Self {
+        AsmError { line: 0, message: message.into() }
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "assembly error: {}", self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line() {
+        let e = AsmError::new(12, "unknown instruction `adx`");
+        assert_eq!(e.to_string(), "line 12: unknown instruction `adx`");
+        let g = AsmError::global("empty program");
+        assert_eq!(g.to_string(), "assembly error: empty program");
+    }
+}

@@ -1,0 +1,33 @@
+//! # rvsim-asm — two-pass RISC-V assembler
+//!
+//! Implements the assembly-processing pipeline of the paper (§III-C):
+//!
+//! 1. **First pass** — the program text is tokenized into language units and
+//!    processed line by line: labels are recorded, memory directives
+//!    (`.byte`, `.hword`, `.word`, `.align`, `.ascii`, `.asciiz`, `.string`,
+//!    `.skip`, `.zero`) build the data segment, pseudo-instructions are
+//!    expanded, and instruction records are created with still-symbolic
+//!    operands.
+//! 2. **Memory allocation** — data items are placed (respecting alignment)
+//!    so every label has a concrete value.
+//! 3. **Second pass** — operand expressions (including arithmetic such as
+//!    `arr+64` and the `%hi(...)`/`%lo(...)` relocations emitted by `li`/`la`)
+//!    are evaluated, branch offsets are made PC-relative, and operand kinds
+//!    are checked against the instruction descriptors.
+//!
+//! The output is a [`Program`]: decoded instruction records, a symbol table,
+//! the initialized data image and a source-line map (used to link C and
+//! assembly lines in the editor).  A [`filter_assembly`] helper strips the
+//! compiler noise (unneeded directives/labels) exactly like the paper's
+//! output filter.
+
+#![warn(missing_docs)]
+
+pub mod assembler;
+pub mod error;
+pub mod expr;
+pub mod program;
+
+pub use assembler::{assemble, filter_assembly, AssemblerOptions};
+pub use error::AsmError;
+pub use program::{AsmInstruction, DataItem, Operand, Program};

@@ -1,0 +1,261 @@
+//! Assembled program representation: instruction records, symbol table, data
+//! image and source mapping.
+
+use rvsim_isa::{InstructionSet, RegisterId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A fully resolved instruction operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operand {
+    /// A register operand.
+    Register(RegisterId),
+    /// An immediate operand (branch offsets are PC-relative byte offsets).
+    Immediate(i64),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn register(self) -> Option<RegisterId> {
+        match self {
+            Operand::Register(r) => Some(r),
+            Operand::Immediate(_) => None,
+        }
+    }
+
+    /// The immediate value, if this operand is one.
+    pub fn immediate(self) -> Option<i64> {
+        match self {
+            Operand::Immediate(v) => Some(v),
+            Operand::Register(_) => None,
+        }
+    }
+}
+
+/// One assembled instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AsmInstruction {
+    /// Mnemonic after pseudo-instruction expansion.
+    pub mnemonic: String,
+    /// Operands in descriptor order (e.g. `rd, rs1, rs2` / `rd, imm, rs1`).
+    pub operands: Vec<Operand>,
+    /// Byte address of the instruction in the code segment (index × 4).
+    pub address: u64,
+    /// 1-based source line the instruction came from.
+    pub source_line: usize,
+    /// The original source text (pre-expansion), for display.
+    pub text: String,
+}
+
+impl AsmInstruction {
+    /// Instruction index in the code array.
+    pub fn index(&self) -> usize {
+        (self.address / 4) as usize
+    }
+
+    /// Operand at position `i` as a register.
+    pub fn reg(&self, i: usize) -> Option<RegisterId> {
+        self.operands.get(i).and_then(|o| o.register())
+    }
+
+    /// Operand at position `i` as an immediate.
+    pub fn imm(&self, i: usize) -> Option<i64> {
+        self.operands.get(i).and_then(|o| o.immediate())
+    }
+}
+
+/// A chunk of initialized data produced by memory directives.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataItem {
+    /// Label attached to the item, if any.
+    pub label: Option<String>,
+    /// Absolute byte address in main memory.
+    pub address: u64,
+    /// Initialized bytes (zero-filled for `.skip`/`.zero`).
+    pub bytes: Vec<u8>,
+    /// Source line of the directive.
+    pub source_line: usize,
+}
+
+/// The assembled program.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Program {
+    /// Instructions in code-segment order.
+    pub instructions: Vec<AsmInstruction>,
+    /// All labels: code labels map to instruction byte addresses, data labels
+    /// to main-memory addresses.
+    pub symbols: HashMap<String, i64>,
+    /// Initialized data items (already placed at absolute addresses).
+    pub data: Vec<DataItem>,
+    /// Entry point (byte address into the code segment).
+    pub entry_point: u64,
+    /// First free data address after the assembled data (next allocation spot).
+    pub data_end: u64,
+}
+
+impl Program {
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when the program contains no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Instruction at byte address `pc`, if it lies inside the code segment.
+    pub fn at(&self, pc: u64) -> Option<&AsmInstruction> {
+        if pc % 4 != 0 {
+            return None;
+        }
+        self.instructions.get((pc / 4) as usize)
+    }
+
+    /// Look up a label.
+    pub fn symbol(&self, name: &str) -> Option<i64> {
+        self.symbols.get(name).copied()
+    }
+
+    /// Set the entry point to `label`; returns `false` when the label is
+    /// unknown or does not point into the code segment.
+    pub fn set_entry(&mut self, label: &str) -> bool {
+        match self.symbol(label) {
+            Some(addr) if addr >= 0 && (addr as u64) < self.instructions.len() as u64 * 4 => {
+                self.entry_point = addr as u64;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Static instruction mix: mnemonic → occurrence count (Runtime Statistics
+    /// window, "static instruction mix").
+    pub fn static_mix(&self) -> HashMap<String, usize> {
+        let mut mix = HashMap::new();
+        for ins in &self.instructions {
+            *mix.entry(ins.mnemonic.clone()).or_insert(0) += 1;
+        }
+        mix
+    }
+
+    /// Verify every mnemonic exists in `isa` (used by tests and the CLI).
+    pub fn validate_against(&self, isa: &InstructionSet) -> Result<(), String> {
+        for ins in &self.instructions {
+            if !isa.contains(&ins.mnemonic) {
+                return Err(format!(
+                    "instruction `{}` at 0x{:x} not in the instruction set",
+                    ins.mnemonic, ins.address
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Write all initialized data items into a memory image accessed through
+    /// the closure (address, bytes).
+    pub fn load_data(&self, mut write: impl FnMut(u64, &[u8])) {
+        for item in &self.data {
+            if !item.bytes.is_empty() {
+                write(item.address, &item.bytes);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_program() -> Program {
+        let mut p = Program::default();
+        p.instructions = vec![
+            AsmInstruction {
+                mnemonic: "addi".into(),
+                operands: vec![
+                    Operand::Register(RegisterId::x(10)),
+                    Operand::Register(RegisterId::x(0)),
+                    Operand::Immediate(5),
+                ],
+                address: 0,
+                source_line: 1,
+                text: "li a0, 5".into(),
+            },
+            AsmInstruction {
+                mnemonic: "add".into(),
+                operands: vec![
+                    Operand::Register(RegisterId::x(10)),
+                    Operand::Register(RegisterId::x(10)),
+                    Operand::Register(RegisterId::x(10)),
+                ],
+                address: 4,
+                source_line: 2,
+                text: "add a0, a0, a0".into(),
+            },
+        ];
+        p.symbols.insert("main".into(), 0);
+        p.symbols.insert("second".into(), 4);
+        p.symbols.insert("arr".into(), 0x1000);
+        p
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let p = sample_program();
+        let ins = &p.instructions[0];
+        assert_eq!(ins.reg(0), Some(RegisterId::x(10)));
+        assert_eq!(ins.imm(2), Some(5));
+        assert_eq!(ins.imm(0), None);
+        assert_eq!(ins.reg(2), None);
+        assert_eq!(ins.index(), 0);
+        assert_eq!(p.instructions[1].index(), 1);
+    }
+
+    #[test]
+    fn program_lookup_by_pc() {
+        let p = sample_program();
+        assert_eq!(p.at(0).unwrap().mnemonic, "addi");
+        assert_eq!(p.at(4).unwrap().mnemonic, "add");
+        assert!(p.at(8).is_none());
+        assert!(p.at(2).is_none(), "misaligned pc");
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn entry_point_selection() {
+        let mut p = sample_program();
+        assert!(p.set_entry("second"));
+        assert_eq!(p.entry_point, 4);
+        assert!(!p.set_entry("arr"), "data labels are not valid entry points");
+        assert!(!p.set_entry("nope"));
+        assert_eq!(p.entry_point, 4, "failed set_entry leaves entry unchanged");
+    }
+
+    #[test]
+    fn static_mix_counts_mnemonics() {
+        let p = sample_program();
+        let mix = p.static_mix();
+        assert_eq!(mix["addi"], 1);
+        assert_eq!(mix["add"], 1);
+    }
+
+    #[test]
+    fn validate_against_isa() {
+        let isa = InstructionSet::rv32imf();
+        let mut p = sample_program();
+        assert!(p.validate_against(&isa).is_ok());
+        p.instructions[0].mnemonic = "bogus".into();
+        assert!(p.validate_against(&isa).is_err());
+    }
+
+    #[test]
+    fn load_data_writes_all_items() {
+        let mut p = sample_program();
+        p.data.push(DataItem { label: Some("arr".into()), address: 0x100, bytes: vec![1, 2, 3], source_line: 1 });
+        p.data.push(DataItem { label: None, address: 0x200, bytes: vec![], source_line: 2 });
+        let mut writes = Vec::new();
+        p.load_data(|addr, bytes| writes.push((addr, bytes.to_vec())));
+        assert_eq!(writes, vec![(0x100, vec![1, 2, 3])]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the assembler and its operand-expression
+//! evaluator: arbitrary data values and label arithmetic must survive the
+//! two-pass round trip intact.
+
+use proptest::prelude::*;
+use rvsim_asm::{assemble, AssemblerOptions};
+use rvsim_isa::InstructionSet;
+use std::collections::HashMap;
+
+fn isa() -> InstructionSet {
+    InstructionSet::rv32imf()
+}
+
+#[test]
+fn extra_symbols_are_visible_to_programs() {
+    let mut options = AssemblerOptions::default();
+    options.extra_symbols.insert("external_buffer".to_string(), 0x2000);
+    let program = assemble(
+        "main:\n  lui a0, %hi(external_buffer)\n  addi a0, a0, %lo(external_buffer)\n  ret\n",
+        &isa(),
+        &options,
+    )
+    .unwrap();
+    let hi = program.instructions[0].imm(1).unwrap();
+    let lo = program.instructions[1].imm(2).unwrap();
+    assert_eq!((hi << 12) + lo, 0x2000);
+}
+
+#[test]
+fn listing2_alignment_is_stable_for_any_data_base() {
+    for data_base in [0x1000u64, 0x2000, 0x4000, 0x10000 - 0x800] {
+        let options = AssemblerOptions { data_base, ..Default::default() };
+        let program = assemble(
+            "x:\n .word 5\n .align 4\narr:\n .zero 64\nhello:\n .asciiz \"Hi\"\nmain:\n ret\n",
+            &isa(),
+            &options,
+        )
+        .unwrap();
+        let arr = program.symbol("arr").unwrap() as u64;
+        assert_eq!(arr % 16, 0, "arr must stay 16-byte aligned for base 0x{data_base:x}");
+        assert_eq!(program.symbol("hello").unwrap() as u64, arr + 64);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary word values written with `.word` must appear verbatim in the
+    /// data image, in order, at the label's address.
+    #[test]
+    fn prop_word_directive_round_trips(values in proptest::collection::vec(any::<i32>(), 1..20)) {
+        let list = values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ");
+        let source = format!("table:\n    .word {list}\nmain:\n    ret\n");
+        let program = assemble(&source, &isa(), &AssemblerOptions::default()).unwrap();
+        let item = program.data.iter().find(|d| d.label.as_deref() == Some("table")).unwrap();
+        prop_assert_eq!(item.bytes.len(), values.len() * 4);
+        for (i, v) in values.iter().enumerate() {
+            let got = i32::from_le_bytes(item.bytes[i * 4..i * 4 + 4].try_into().unwrap());
+            prop_assert_eq!(got, *v);
+        }
+    }
+
+    /// Immediate arithmetic in operands follows ordinary integer arithmetic.
+    #[test]
+    fn prop_operand_expressions_evaluate(a in -500i64..500, b in 0i64..500) {
+        let mut symbols = HashMap::new();
+        symbols.insert("sym".to_string(), a);
+        let value = rvsim_asm::expr::evaluate(&format!("sym+{b}"), &symbols).unwrap();
+        prop_assert_eq!(value, a + b);
+        let value = rvsim_asm::expr::evaluate(&format!("sym-{b}"), &symbols).unwrap();
+        prop_assert_eq!(value, a - b);
+        let hi = rvsim_asm::expr::hi20(a + b);
+        let lo = rvsim_asm::expr::lo12(a + b);
+        prop_assert_eq!((hi << 12) + lo, a + b);
+    }
+
+    /// Branch offsets are always the label address minus the branch address.
+    #[test]
+    fn prop_branch_offsets_are_pc_relative(pad in 0usize..12) {
+        let nops = "    nop\n".repeat(pad);
+        let source = format!("main:\n{nops}    beq x0, x0, target\n    nop\ntarget:\n    ret\n");
+        let program = assemble(&source, &isa(), &AssemblerOptions::default()).unwrap();
+        let branch = program.instructions.iter().find(|i| i.mnemonic == "beq").unwrap();
+        let target = program.symbol("target").unwrap();
+        prop_assert_eq!(branch.imm(2).unwrap(), target - branch.address as i64);
+    }
+
+    /// The assembler never panics on arbitrary printable input: it either
+    /// produces a program or a list of errors.
+    #[test]
+    fn prop_assembler_never_panics(source in "[ -~\n]{0,200}") {
+        let _ = assemble(&source, &isa(), &AssemblerOptions::default());
+    }
+}

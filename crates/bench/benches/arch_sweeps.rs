@@ -1,0 +1,128 @@
+//! **A1 — architecture sweeps**: the educational experiments the simulator
+//! exists to support (§I-B): how superscalar width, reorder-buffer size,
+//! branch predictor and cache geometry change the cycle count of the same
+//! kernel.  These are the ablation benches DESIGN.md calls out.
+//!
+//! Expected shapes:
+//! * wider issue helps ILP-rich code with diminishing returns;
+//! * larger ROBs help until the window covers the kernel's ILP;
+//! * two-bit predictors beat one-bit and static predictors on loop code;
+//! * larger/more associative caches monotonically reduce the miss rate of a
+//!   strided kernel until it fits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvsim_bench::{program_float, program_memory, run_to_completion};
+use rvsim_core::ArchitectureConfig;
+use rvsim_predictor::PredictorKind;
+use std::hint::black_box;
+
+const ILP_KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 0
+    li   t2, 0
+    li   t3, 0
+    li   t4, 128
+loop:
+    addi t0, t0, 1
+    addi t1, t1, 2
+    addi t2, t2, 3
+    addi t3, t3, 4
+    addi t4, t4, -1
+    bnez t4, loop
+    add  a0, t0, t1
+    ret
+";
+
+const BRANCHY_KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 200
+    li   a0, 0
+loop:
+    andi t2, t0, 3
+    beqz t2, skip
+    addi a0, a0, 1
+skip:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    ret
+";
+
+fn bench_width_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("width_sweep");
+    println!("\nA1.width — ILP kernel:");
+    for (label, config) in [
+        ("1-wide", ArchitectureConfig::scalar()),
+        ("2-wide", ArchitectureConfig::default()),
+        ("4-wide", ArchitectureConfig::wide()),
+    ] {
+        let (cycles, ipc) = run_to_completion(ILP_KERNEL, &config);
+        println!("  {label:<8} {cycles:>8} cycles  IPC {ipc:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(run_to_completion(ILP_KERNEL, config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rob_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rob_sweep");
+    println!("\nA1.rob — float kernel on the 4-wide machine:");
+    for rob in [8usize, 16, 32, 64] {
+        let mut config = ArchitectureConfig::wide();
+        config.buffers.rob_size = rob;
+        config.memory.rename_file_size = rob.max(64);
+        let (cycles, ipc) = run_to_completion(&program_float(), &config);
+        println!("  ROB {rob:>3} {cycles:>8} cycles  IPC {ipc:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(rob), &config, |b, config| {
+            b.iter(|| black_box(run_to_completion(&program_float(), config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_predictor_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictor_sweep");
+    println!("\nA1.predictor — branchy kernel:");
+    for (label, kind) in
+        [("zero-bit", PredictorKind::Zero), ("one-bit", PredictorKind::One), ("two-bit", PredictorKind::Two)]
+    {
+        let mut config = ArchitectureConfig::default();
+        config.predictor.predictor_kind = kind;
+        config.predictor.history_bits = 4;
+        let (cycles, ipc) = run_to_completion(BRANCHY_KERNEL, &config);
+        println!("  {label:<9} {cycles:>8} cycles  IPC {ipc:.3}");
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(run_to_completion(BRANCHY_KERNEL, config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cache_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_sweep");
+    println!("\nA1.cache — strided memory kernel:");
+    for (label, lines, line_size, assoc) in [
+        ("tiny-direct", 4usize, 16usize, 1usize),
+        ("small-2way", 8, 32, 2),
+        ("medium-2way", 16, 32, 2),
+        ("large-4way", 64, 64, 4),
+    ] {
+        let mut config = ArchitectureConfig::default();
+        config.cache.line_count = lines;
+        config.cache.line_size = line_size;
+        config.cache.associativity = assoc;
+        config.memory.timings.load_latency = 20;
+        config.memory.timings.store_latency = 20;
+        let (cycles, _) = run_to_completion(&program_memory(), &config);
+        println!("  {label:<12} {cycles:>8} cycles ({} B cache)", lines * line_size);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &config, |b, config| {
+            b.iter(|| black_box(run_to_completion(&program_memory(), config)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width_sweep, bench_rob_sweep, bench_predictor_sweep, bench_cache_sweep);
+criterion_main!(benches);

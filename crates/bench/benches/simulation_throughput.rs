@@ -1,0 +1,57 @@
+//! Supporting microbenchmark: raw simulation speed in simulated cycles per
+//! host second for the sample workloads and processor presets.  The paper's
+//! CLI use case ("benchmarking of complex programs in an automated,
+//! batch-processing manner", §II-E) depends on this number, and the JMH
+//! profiling of §IV-A starts from it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvsim_bench::{program_arithmetic, program_float, program_memory, run_to_completion, simulator};
+use rvsim_cc::{compile, OptLevel};
+use rvsim_core::ArchitectureConfig;
+use std::hint::black_box;
+
+fn bench_cycle_rate(c: &mut Criterion) {
+    let config = ArchitectureConfig::default();
+    let mut group = c.benchmark_group("simulated_cycles_per_second");
+
+    for (label, program) in [
+        ("arithmetic", program_arithmetic()),
+        ("memory", program_memory()),
+        ("float", program_float()),
+    ] {
+        let (cycles, _) = run_to_completion(&program, &config);
+        group.throughput(Throughput::Elements(cycles));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &program, |b, program| {
+            b.iter(|| black_box(run_to_completion(program, &config)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_whole_toolchain(c: &mut Criterion) {
+    // Compile + assemble + simulate a C kernel: the full CLI batch path.
+    let source = "
+int main(void) {
+    int s = 0;
+    for (int i = 0; i < 200; i++) {
+        s += i * 3 - (i >> 1);
+    }
+    return s;
+}
+";
+    let mut group = c.benchmark_group("cli_batch_path");
+    for opt in [OptLevel::O0, OptLevel::O3] {
+        group.bench_with_input(BenchmarkId::new("compile_and_run", format!("{opt:?}")), &opt, |b, &opt| {
+            b.iter(|| {
+                let output = compile(source, opt).unwrap();
+                let mut sim = simulator(&output.assembly, &ArchitectureConfig::default());
+                sim.run(10_000_000).unwrap();
+                black_box(sim.int_register(10))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_rate, bench_whole_toolchain);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! **E3 — state rendering**: the paper reports that rendering the main
+//! simulator window takes ~80 ms in the browser.  The Rust reproduction has
+//! no browser; the equivalent server-side work is producing everything the
+//! view renders — the full processor snapshot plus its JSON encoding — which
+//! is what this bench measures for growing amounts of in-flight state.
+//!
+//! Expected shape: snapshot cost grows with the amount of in-flight state
+//! (wider machines, fuller ROBs) and is dominated by serialization for large
+//! windows, consistent with E1.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvsim_bench::{program_memory, program_mixed, simulator};
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator};
+use std::hint::black_box;
+
+fn warmed(program: &str, config: &ArchitectureConfig, steps: u64) -> Simulator {
+    let mut sim = simulator(program, config);
+    for _ in 0..steps {
+        sim.step();
+    }
+    sim
+}
+
+fn bench_snapshot_render(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_render");
+
+    for (label, config) in [
+        ("scalar", ArchitectureConfig::scalar()),
+        ("default", ArchitectureConfig::default()),
+        ("wide", ArchitectureConfig::wide()),
+    ] {
+        let sim = warmed(&program_mixed(), &config, 8);
+        let snapshot = ProcessorSnapshot::capture(&sim);
+        println!(
+            "snapshot on {label:>8}: {} ROB entries, {} cache lines, {} bytes of JSON",
+            snapshot.reorder_buffer.len(),
+            snapshot.cache_lines.len(),
+            snapshot.to_json().len()
+        );
+        group.bench_with_input(BenchmarkId::new("capture", label), &sim, |b, sim| {
+            b.iter(|| black_box(ProcessorSnapshot::capture(sim)));
+        });
+        group.bench_with_input(BenchmarkId::new("capture_plus_json", label), &sim, |b, sim| {
+            b.iter(|| black_box(ProcessorSnapshot::capture(sim).to_json()));
+        });
+    }
+
+    // The memory workload exercises the cache view (more valid lines).
+    let sim = warmed(&program_memory(), &ArchitectureConfig::default(), 200);
+    group.bench_function("capture_plus_json/after_200_cycles_memory_workload", |b| {
+        b.iter(|| black_box(ProcessorSnapshot::capture(&sim).to_json()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_render);
+criterion_main!(benches);

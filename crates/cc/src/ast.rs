@@ -1,0 +1,337 @@
+//! Abstract syntax tree for the C subset.
+
+use serde::{Deserialize, Serialize};
+
+/// C types supported by the subset.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CType {
+    /// 32-bit signed integer.
+    Int,
+    /// Single-precision float.
+    Float,
+    /// 8-bit character.
+    Char,
+    /// No value (function returns only).
+    Void,
+    /// Pointer to another type (one level is enough for the subset).
+    Ptr(Box<CType>),
+}
+
+impl CType {
+    /// Size of one element of this type in bytes.
+    pub fn size(&self) -> usize {
+        match self {
+            CType::Char => 1,
+            CType::Void => 0,
+            CType::Int | CType::Float | CType::Ptr(_) => 4,
+        }
+    }
+
+    /// True for `float`.
+    pub fn is_float(&self) -> bool {
+        matches!(self, CType::Float)
+    }
+
+    /// Element type behind a pointer or array of this type.
+    pub fn element(&self) -> CType {
+        match self {
+            CType::Ptr(inner) => (**inner).clone(),
+            other => other.clone(),
+        }
+    }
+}
+
+/// A compile-time constant used in global initializers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// Float constant.
+    Float(f32),
+}
+
+/// A global variable or array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Global {
+    /// Name (assembly label).
+    pub name: String,
+    /// Element type.
+    pub ty: CType,
+    /// `Some(n)` for arrays of `n` elements; `Some(0)` for unsized `extern`
+    /// arrays; `None` for scalars.
+    pub array_size: Option<usize>,
+    /// Initializer values (empty = zero-initialized).
+    pub init: Vec<Const>,
+    /// Declared `extern` — storage comes from the Memory Settings window.
+    pub is_extern: bool,
+    /// Source line.
+    pub line: usize,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Function {
+    /// Function name (assembly label).
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters in order.
+    pub params: Vec<Param>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+    /// Source line of the definition.
+    pub line: usize,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Unit {
+    /// Global variables/arrays.
+    pub globals: Vec<Global>,
+    /// Function definitions.
+    pub functions: Vec<Function>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Element type.
+        ty: CType,
+        /// `Some(n)` for a local array of `n` elements.
+        array_size: Option<usize>,
+        /// Optional scalar initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// Expression statement (assignment, call, increment, …).
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Vec<Stmt>,
+        /// Else branch (possibly empty).
+        els: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `while` loop.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `for` loop.
+    For {
+        /// Initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Condition (None = infinite).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Vec<Stmt>,
+        /// Source line.
+        line: usize,
+    },
+    /// `return` with optional value.
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `break`.
+    Break {
+        /// Source line.
+        line: usize,
+    },
+    /// `continue`.
+    Continue {
+        /// Source line.
+        line: usize,
+    },
+    /// A nested block.
+    Block {
+        /// Statements in the block.
+        body: Vec<Stmt>,
+    },
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// True for comparison operators (result is always `int` 0/1).
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne)
+    }
+
+    /// True for the short-circuit logical operators.
+    pub fn is_logical(self) -> bool {
+        matches!(self, BinOp::And | BinOp::Or)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Float literal.
+    FloatLit(f32),
+    /// Character literal.
+    CharLit(u8),
+    /// Variable reference.
+    Var(String),
+    /// Array / pointer indexing `name[index]`.
+    Index {
+        /// Array or pointer variable.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment (optionally compound: `+=`, `-=`, `*=`).
+    Assign {
+        /// Assignment target (`Var` or `Index`).
+        target: Box<Expr>,
+        /// `Some(op)` for compound assignment.
+        op: Option<BinOp>,
+        /// Assigned value.
+        value: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Post-increment / post-decrement.
+    PostIncDec {
+        /// Target (`Var` or `Index`).
+        target: Box<Expr>,
+        /// True for `++`, false for `--`.
+        inc: bool,
+    },
+    /// Explicit cast `(type) expr`.
+    Cast {
+        /// Target type.
+        ty: CType,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_and_helpers() {
+        assert_eq!(CType::Int.size(), 4);
+        assert_eq!(CType::Char.size(), 1);
+        assert_eq!(CType::Float.size(), 4);
+        assert_eq!(CType::Void.size(), 0);
+        assert_eq!(CType::Ptr(Box::new(CType::Char)).size(), 4);
+        assert!(CType::Float.is_float());
+        assert!(!CType::Int.is_float());
+        assert_eq!(CType::Ptr(Box::new(CType::Float)).element(), CType::Float);
+        assert_eq!(CType::Int.element(), CType::Int);
+    }
+
+    #[test]
+    fn binop_classification() {
+        assert!(BinOp::Lt.is_comparison());
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::And.is_logical());
+        assert!(!BinOp::BitAnd.is_logical());
+    }
+}

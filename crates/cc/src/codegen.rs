@@ -1,0 +1,1287 @@
+//! RV32IM+F assembly code generation.
+//!
+//! The generator is deliberately straightforward (one pass over the AST, no
+//! IR) — the point of the reproduced system is to *show* students how C maps
+//! to assembly, and a transparent mapping plus visibly different `-O` levels
+//! serves that goal better than a black-box optimizer.
+
+use crate::ast::*;
+use crate::{CcError, CompileOutput, OptLevel};
+use std::collections::HashMap;
+
+const INT_TEMPS: &[&str] = &["t0", "t1", "t2", "t3", "t4", "t5", "t6"];
+const FLOAT_TEMPS: &[&str] = &["ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7"];
+const INT_SAVED: &[&str] = &["s1", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11"];
+const FLOAT_SAVED: &[&str] = &["fs0", "fs1", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7"];
+const INT_ARGS: &[&str] = &["a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"];
+const FLOAT_ARGS: &[&str] = &["fa0", "fa1", "fa2", "fa3", "fa4", "fa5", "fa6", "fa7"];
+/// Scratch area (bytes) reserved in every frame for spilling live temporaries
+/// around calls: 8 integer + 8 float slots.
+const SCRATCH_BYTES: i64 = 64;
+
+/// Simplified expression type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ty {
+    Int,
+    Float,
+}
+
+#[derive(Debug, Clone)]
+enum Storage {
+    Stack(i64),
+    Reg(&'static str),
+    Global,
+}
+
+#[derive(Debug, Clone)]
+struct VarInfo {
+    ty: CType,
+    is_array: bool,
+    storage: Storage,
+}
+
+#[derive(Debug, Clone)]
+struct Val {
+    reg: String,
+    ty: Ty,
+}
+
+/// Generate assembly for a whole translation unit.
+pub fn generate(unit: &Unit, opt: OptLevel) -> Result<CompileOutput, CcError> {
+    let mut g = Generator {
+        lines: Vec::new(),
+        line_map: Vec::new(),
+        labels: 0,
+        opt,
+        globals: HashMap::new(),
+        functions: HashMap::new(),
+    };
+    for global in &unit.globals {
+        g.globals.insert(global.name.clone(), global.clone());
+    }
+    for f in &unit.functions {
+        g.functions.insert(f.name.clone(), (f.ret.clone(), f.params.clone()));
+    }
+    if !unit.functions.iter().any(|f| f.name == "main") {
+        return Err(CcError::new(1, "program has no `main` function"));
+    }
+
+    g.raw("    .text");
+    for f in &unit.functions {
+        g.gen_function(f)?;
+    }
+    g.emit_globals(unit);
+
+    let mut assembly = g.lines.join("\n");
+    assembly.push('\n');
+    Ok(CompileOutput { assembly, line_map: g.line_map })
+}
+
+struct Generator {
+    lines: Vec<String>,
+    line_map: Vec<(usize, usize)>,
+    labels: usize,
+    opt: OptLevel,
+    globals: HashMap<String, Global>,
+    functions: HashMap<String, (CType, Vec<Param>)>,
+}
+
+struct FnCtx {
+    vars: HashMap<String, VarInfo>,
+    ret: CType,
+    exit_label: String,
+    frame: i64,
+    scratch_base: i64,
+    int_depth: usize,
+    float_depth: usize,
+    loop_stack: Vec<(String, String)>, // (break label, continue label)
+    used_int_saved: usize,
+    used_float_saved: usize,
+}
+
+impl Generator {
+    fn raw(&mut self, s: impl Into<String>) {
+        self.lines.push(s.into());
+    }
+
+    fn emit(&mut self, s: impl Into<String>) {
+        self.lines.push(format!("    {}", s.into()));
+    }
+
+    fn label(&mut self, prefix: &str) -> String {
+        self.labels += 1;
+        format!(".L{}_{}", prefix, self.labels)
+    }
+
+    fn map(&mut self, c_line: usize) {
+        self.line_map.push((c_line, self.lines.len() + 1));
+    }
+
+    // --------------------------------------------------------------- globals
+
+    fn emit_globals(&mut self, unit: &Unit) {
+        let has_data = unit.globals.iter().any(|g| !g.is_extern);
+        if !has_data {
+            return;
+        }
+        self.raw("");
+        self.raw("    .data");
+        for global in &unit.globals {
+            if global.is_extern {
+                continue; // storage provided by the Memory Settings window
+            }
+            let elem = global.ty.size().max(1);
+            let count = global.array_size.unwrap_or(1).max(1);
+            if elem >= 4 {
+                self.raw("    .align 2");
+            }
+            self.raw(format!("{}:", global.name));
+            if global.init.is_empty() {
+                self.raw(format!("    .zero {}", elem * count));
+            } else {
+                let values: Vec<String> = (0..count)
+                    .map(|i| match global.init.get(i) {
+                        Some(Const::Int(v)) => {
+                            if global.ty.is_float() {
+                                format!("{:.1}", *v as f32)
+                            } else {
+                                v.to_string()
+                            }
+                        }
+                        Some(Const::Float(v)) => format!("{v}"),
+                        None => "0".to_string(),
+                    })
+                    .collect();
+                let directive = match (global.ty.is_float(), elem) {
+                    (true, _) => ".float",
+                    (false, 1) => ".byte",
+                    _ => ".word",
+                };
+                self.raw(format!("    {} {}", directive, values.join(", ")));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- functions
+
+    fn gen_function(&mut self, f: &Function) -> Result<(), CcError> {
+        // Collect every local declaration (parameters first).
+        let mut locals: Vec<(String, CType, Option<usize>)> = f
+            .params
+            .iter()
+            .map(|p| (p.name.clone(), p.ty.clone(), None))
+            .collect();
+        collect_locals(&f.body, &mut locals);
+
+        let mut ctx = FnCtx {
+            vars: HashMap::new(),
+            ret: f.ret.clone(),
+            exit_label: format!(".L{}_exit", f.name),
+            frame: 0,
+            scratch_base: 0,
+            int_depth: 0,
+            float_depth: 0,
+            loop_stack: Vec::new(),
+            used_int_saved: 0,
+            used_float_saved: 0,
+        };
+
+        // Storage assignment.
+        let mut stack_cursor: i64 = 0;
+        for (name, ty, array) in &locals {
+            let storage = if array.is_none() && self.opt.registers_for_locals() {
+                if ty.is_float() && ctx.used_float_saved < FLOAT_SAVED.len() {
+                    let reg = FLOAT_SAVED[ctx.used_float_saved];
+                    ctx.used_float_saved += 1;
+                    Storage::Reg(reg)
+                } else if !ty.is_float() && ctx.used_int_saved < INT_SAVED.len() {
+                    let reg = INT_SAVED[ctx.used_int_saved];
+                    ctx.used_int_saved += 1;
+                    Storage::Reg(reg)
+                } else {
+                    let off = stack_cursor;
+                    stack_cursor += 4;
+                    Storage::Stack(off)
+                }
+            } else {
+                let bytes = match array {
+                    Some(n) => ((ty.size().max(1) * n.max(&1)) as i64 + 3) / 4 * 4,
+                    None => 4,
+                };
+                let off = stack_cursor;
+                stack_cursor += bytes;
+                Storage::Stack(off)
+            };
+            ctx.vars.insert(
+                name.clone(),
+                VarInfo { ty: ty.clone(), is_array: array.is_some(), storage },
+            );
+        }
+        ctx.scratch_base = stack_cursor;
+        let saved_bytes = (ctx.used_int_saved + ctx.used_float_saved) as i64 * 4;
+        let frame = stack_cursor + SCRATCH_BYTES + saved_bytes + 4; // + ra
+        ctx.frame = (frame + 15) / 16 * 16;
+
+        // Prologue.
+        self.raw("");
+        self.map(f.line);
+        self.raw(format!("{}:", f.name));
+        self.emit(format!("addi sp, sp, -{}", ctx.frame));
+        self.emit(format!("sw   ra, {}(sp)", ctx.frame - 4));
+        for i in 0..ctx.used_int_saved {
+            self.emit(format!("sw   {}, {}(sp)", INT_SAVED[i], ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4));
+        }
+        for i in 0..ctx.used_float_saved {
+            self.emit(format!(
+                "fsw  {}, {}(sp)",
+                FLOAT_SAVED[i],
+                ctx.scratch_base + SCRATCH_BYTES + ((ctx.used_int_saved + i) as i64) * 4
+            ));
+        }
+
+        // Move incoming arguments into their home locations.
+        let mut int_arg = 0usize;
+        let mut float_arg = 0usize;
+        for p in &f.params {
+            let incoming = if p.ty.is_float() {
+                let r = FLOAT_ARGS.get(float_arg).copied();
+                float_arg += 1;
+                r
+            } else {
+                let r = INT_ARGS.get(int_arg).copied();
+                int_arg += 1;
+                r
+            };
+            let Some(incoming) = incoming else {
+                return Err(CcError::new(f.line, format!("too many parameters in `{}`", f.name)));
+            };
+            let info = ctx.vars[&p.name].clone();
+            match info.storage {
+                Storage::Reg(home) => {
+                    if p.ty.is_float() {
+                        self.emit(format!("fmv.s {home}, {incoming}"));
+                    } else {
+                        self.emit(format!("mv   {home}, {incoming}"));
+                    }
+                }
+                Storage::Stack(off) => {
+                    if p.ty.is_float() {
+                        self.emit(format!("fsw  {incoming}, {off}(sp)"));
+                    } else {
+                        self.emit(format!("sw   {incoming}, {off}(sp)"));
+                    }
+                }
+                Storage::Global => unreachable!("parameters are never global"),
+            }
+        }
+
+        // Body.
+        self.gen_block(&f.body, &mut ctx)?;
+
+        // Epilogue.
+        self.raw(format!("{}:", ctx.exit_label));
+        for i in 0..ctx.used_int_saved {
+            self.emit(format!("lw   {}, {}(sp)", INT_SAVED[i], ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4));
+        }
+        for i in 0..ctx.used_float_saved {
+            self.emit(format!(
+                "flw  {}, {}(sp)",
+                FLOAT_SAVED[i],
+                ctx.scratch_base + SCRATCH_BYTES + ((ctx.used_int_saved + i) as i64) * 4
+            ));
+        }
+        self.emit(format!("lw   ra, {}(sp)", ctx.frame - 4));
+        self.emit(format!("addi sp, sp, {}", ctx.frame));
+        self.emit("ret");
+        Ok(())
+    }
+
+    fn gen_block(&mut self, body: &[Stmt], ctx: &mut FnCtx) -> Result<(), CcError> {
+        for stmt in body {
+            self.gen_stmt(stmt, ctx)?;
+        }
+        Ok(())
+    }
+
+    fn gen_stmt(&mut self, stmt: &Stmt, ctx: &mut FnCtx) -> Result<(), CcError> {
+        ctx.int_depth = 0;
+        ctx.float_depth = 0;
+        match stmt {
+            Stmt::Block { body } => self.gen_block(body, ctx),
+            Stmt::Decl { name, ty, array_size, init, line } => {
+                self.map(*line);
+                if let Some(init) = init {
+                    if array_size.is_some() {
+                        return Err(CcError::new(*line, "local array initializers are not supported"));
+                    }
+                    let value = self.gen_expr(init, ctx, *line)?;
+                    let want = if ty.is_float() { Ty::Float } else { Ty::Int };
+                    let value = self.convert(value, want, ctx);
+                    self.store_var(name, &value, ctx, *line)?;
+                }
+                Ok(())
+            }
+            Stmt::Expr { expr, line } => {
+                self.map(*line);
+                self.gen_expr(expr, ctx, *line)?;
+                Ok(())
+            }
+            Stmt::If { cond, then, els, line } => {
+                self.map(*line);
+                let else_label = self.label("else");
+                let end_label = self.label("endif");
+                let c = self.gen_condition(cond, ctx, *line)?;
+                self.emit(format!("beqz {}, {}", c.reg, else_label));
+                self.gen_block(then, ctx)?;
+                self.emit(format!("j    {end_label}"));
+                self.raw(format!("{else_label}:"));
+                self.gen_block(els, ctx)?;
+                self.raw(format!("{end_label}:"));
+                Ok(())
+            }
+            Stmt::While { cond, body, line } => {
+                self.map(*line);
+                let head = self.label("while");
+                let end = self.label("endwhile");
+                self.raw(format!("{head}:"));
+                let c = self.gen_condition(cond, ctx, *line)?;
+                self.emit(format!("beqz {}, {}", c.reg, end));
+                ctx.loop_stack.push((end.clone(), head.clone()));
+                self.gen_block(body, ctx)?;
+                ctx.loop_stack.pop();
+                self.emit(format!("j    {head}"));
+                self.raw(format!("{end}:"));
+                Ok(())
+            }
+            Stmt::For { init, cond, step, body, line } => {
+                self.map(*line);
+                if let Some(init) = init {
+                    self.gen_stmt(init, ctx)?;
+                }
+                let head = self.label("for");
+                let step_label = self.label("forstep");
+                let end = self.label("endfor");
+                self.raw(format!("{head}:"));
+                if let Some(cond) = cond {
+                    ctx.int_depth = 0;
+                    ctx.float_depth = 0;
+                    let c = self.gen_condition(cond, ctx, *line)?;
+                    self.emit(format!("beqz {}, {}", c.reg, end));
+                }
+                ctx.loop_stack.push((end.clone(), step_label.clone()));
+                self.gen_block(body, ctx)?;
+                ctx.loop_stack.pop();
+                self.raw(format!("{step_label}:"));
+                if let Some(step) = step {
+                    ctx.int_depth = 0;
+                    ctx.float_depth = 0;
+                    self.gen_expr(step, ctx, *line)?;
+                }
+                self.emit(format!("j    {head}"));
+                self.raw(format!("{end}:"));
+                Ok(())
+            }
+            Stmt::Return { value, line } => {
+                self.map(*line);
+                if let Some(value) = value {
+                    let v = self.gen_expr(value, ctx, *line)?;
+                    if ctx.ret.is_float() {
+                        let v = self.convert(v, Ty::Float, ctx);
+                        self.emit(format!("fmv.s fa0, {}", v.reg));
+                    } else {
+                        let v = self.convert(v, Ty::Int, ctx);
+                        self.emit(format!("mv   a0, {}", v.reg));
+                    }
+                }
+                self.emit(format!("j    {}", ctx.exit_label));
+                Ok(())
+            }
+            Stmt::Break { line } => {
+                let Some((end, _)) = ctx.loop_stack.last().cloned() else {
+                    return Err(CcError::new(*line, "`break` outside of a loop"));
+                };
+                self.map(*line);
+                self.emit(format!("j    {end}"));
+                Ok(())
+            }
+            Stmt::Continue { line } => {
+                let Some((_, cont)) = ctx.loop_stack.last().cloned() else {
+                    return Err(CcError::new(*line, "`continue` outside of a loop"));
+                };
+                self.map(*line);
+                self.emit(format!("j    {cont}"));
+                Ok(())
+            }
+        }
+    }
+
+    // ------------------------------------------------------------ expression
+
+    fn alloc_int(&mut self, ctx: &mut FnCtx, line: usize) -> Result<String, CcError> {
+        let reg = INT_TEMPS.get(ctx.int_depth).ok_or_else(|| {
+            CcError::new(line, "expression too complex (ran out of integer temporaries)")
+        })?;
+        ctx.int_depth += 1;
+        Ok(reg.to_string())
+    }
+
+    fn alloc_float(&mut self, ctx: &mut FnCtx, line: usize) -> Result<String, CcError> {
+        let reg = FLOAT_TEMPS.get(ctx.float_depth).ok_or_else(|| {
+            CcError::new(line, "expression too complex (ran out of float temporaries)")
+        })?;
+        ctx.float_depth += 1;
+        Ok(reg.to_string())
+    }
+
+    fn free(&mut self, val: &Val, ctx: &mut FnCtx) {
+        if val.reg.starts_with("ft") {
+            ctx.float_depth = ctx.float_depth.saturating_sub(1);
+        } else if val.reg.starts_with('t') {
+            ctx.int_depth = ctx.int_depth.saturating_sub(1);
+        }
+    }
+
+    fn convert(&mut self, val: Val, want: Ty, ctx: &mut FnCtx) -> Val {
+        if val.ty == want {
+            return val;
+        }
+        match want {
+            Ty::Float => {
+                // Reuse the float temp slot; the int temp is freed.
+                let reg = FLOAT_TEMPS[ctx.float_depth.min(FLOAT_TEMPS.len() - 1)].to_string();
+                ctx.float_depth = (ctx.float_depth + 1).min(FLOAT_TEMPS.len());
+                self.emit(format!("fcvt.s.w {}, {}", reg, val.reg));
+                self.free(&Val { reg: val.reg, ty: Ty::Int }, ctx);
+                Val { reg, ty: Ty::Float }
+            }
+            Ty::Int => {
+                let reg = INT_TEMPS[ctx.int_depth.min(INT_TEMPS.len() - 1)].to_string();
+                ctx.int_depth = (ctx.int_depth + 1).min(INT_TEMPS.len());
+                self.emit(format!("fcvt.w.s {}, {}", reg, val.reg));
+                self.free(&Val { reg: val.reg, ty: Ty::Float }, ctx);
+                Val { reg, ty: Ty::Int }
+            }
+        }
+    }
+
+    /// Evaluate a condition and make sure the result is an integer 0/1.
+    fn gen_condition(&mut self, cond: &Expr, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        let v = self.gen_expr(cond, ctx, line)?;
+        Ok(self.truthify(v, ctx, line)?)
+    }
+
+    fn truthify(&mut self, val: Val, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        match val.ty {
+            Ty::Int => Ok(val),
+            Ty::Float => {
+                let zero = self.alloc_float(ctx, line)?;
+                self.emit(format!("fmv.w.x {zero}, x0"));
+                let out = self.alloc_int(ctx, line)?;
+                self.emit(format!("feq.s {out}, {}, {zero}", val.reg));
+                self.emit(format!("xori {out}, {out}, 1"));
+                ctx.float_depth = ctx.float_depth.saturating_sub(2);
+                Ok(Val { reg: out, ty: Ty::Int })
+            }
+        }
+    }
+
+    fn gen_expr(&mut self, expr: &Expr, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        let expr = if self.opt.fold_constants() { fold(expr) } else { expr.clone() };
+        self.gen_expr_inner(&expr, ctx, line)
+    }
+
+    fn gen_expr_inner(&mut self, expr: &Expr, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        match expr {
+            Expr::IntLit(v) => {
+                let reg = self.alloc_int(ctx, line)?;
+                self.emit(format!("li   {reg}, {v}"));
+                Ok(Val { reg, ty: Ty::Int })
+            }
+            Expr::CharLit(v) => {
+                let reg = self.alloc_int(ctx, line)?;
+                self.emit(format!("li   {reg}, {v}"));
+                Ok(Val { reg, ty: Ty::Int })
+            }
+            Expr::FloatLit(v) => {
+                let bits = v.to_bits();
+                let int = self.alloc_int(ctx, line)?;
+                self.emit(format!("li   {int}, {}", bits as i32));
+                let reg = self.alloc_float(ctx, line)?;
+                self.emit(format!("fmv.w.x {reg}, {int}"));
+                ctx.int_depth -= 1;
+                Ok(Val { reg, ty: Ty::Float })
+            }
+            Expr::Var(name) => self.load_var(name, ctx, line),
+            Expr::Index { base, index } => {
+                let (addr, elem) = self.gen_element_address(base, index, ctx, line)?;
+                if elem.is_float() {
+                    let reg = self.alloc_float(ctx, line)?;
+                    self.emit(format!("flw  {reg}, 0({})", addr));
+                    // Free the address temp; the float result lives in its own class.
+                    ctx.int_depth = ctx.int_depth.saturating_sub(1);
+                    Ok(Val { reg, ty: Ty::Float })
+                } else {
+                    // Reuse the address register for the loaded value.
+                    let op = if elem.size() == 1 { "lb  " } else { "lw  " };
+                    self.emit(format!("{op} {addr}, 0({addr})"));
+                    Ok(Val { reg: addr, ty: Ty::Int })
+                }
+            }
+            Expr::Unary { op, expr } => {
+                let v = self.gen_expr_inner(expr, ctx, line)?;
+                match op {
+                    UnOp::Neg => {
+                        if v.ty == Ty::Float {
+                            self.emit(format!("fneg.s {}, {}", v.reg, v.reg));
+                        } else {
+                            self.emit(format!("neg  {}, {}", v.reg, v.reg));
+                        }
+                        Ok(v)
+                    }
+                    UnOp::Not => {
+                        let t = self.truthify(v, ctx, line)?;
+                        self.emit(format!("seqz {}, {}", t.reg, t.reg));
+                        Ok(t)
+                    }
+                }
+            }
+            Expr::Binary { op, lhs, rhs } => self.gen_binary(*op, lhs, rhs, ctx, line),
+            Expr::Assign { target, op, value } => self.gen_assign(target, *op, value, ctx, line),
+            Expr::Call { name, args } => self.gen_call(name, args, ctx, line),
+            Expr::PostIncDec { target, inc } => {
+                let old = self.gen_expr_inner(target, ctx, line)?;
+                let delta = if *inc { 1 } else { -1 };
+                let new = if old.ty == Ty::Float {
+                    let one_bits = 1.0f32.to_bits() as i32;
+                    let i = self.alloc_int(ctx, line)?;
+                    self.emit(format!("li   {i}, {one_bits}"));
+                    let f = self.alloc_float(ctx, line)?;
+                    self.emit(format!("fmv.w.x {f}, {i}"));
+                    let result = self.alloc_float(ctx, line)?;
+                    if *inc {
+                        self.emit(format!("fadd.s {result}, {}, {f}", old.reg));
+                    } else {
+                        self.emit(format!("fsub.s {result}, {}, {f}", old.reg));
+                    }
+                    ctx.int_depth -= 1;
+                    Val { reg: result, ty: Ty::Float }
+                } else {
+                    let result = self.alloc_int(ctx, line)?;
+                    self.emit(format!("addi {result}, {}, {delta}", old.reg));
+                    Val { reg: result, ty: Ty::Int }
+                };
+                self.store_target(target, &new, ctx, line)?;
+                self.free(&new, ctx);
+                if new.ty == Ty::Float {
+                    ctx.float_depth = ctx.float_depth.saturating_sub(1);
+                }
+                Ok(old)
+            }
+            Expr::Cast { ty, expr } => {
+                let v = self.gen_expr_inner(expr, ctx, line)?;
+                let want = if ty.is_float() { Ty::Float } else { Ty::Int };
+                Ok(self.convert(v, want, ctx))
+            }
+        }
+    }
+
+    fn gen_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        // Short-circuit logical operators.
+        if op.is_logical() {
+            let end = self.label("sc");
+            let l = self.gen_expr_inner(lhs, ctx, line)?;
+            let l = self.truthify(l, ctx, line)?;
+            let result = l.reg.clone();
+            match op {
+                BinOp::And => self.emit(format!("beqz {result}, {end}")),
+                BinOp::Or => self.emit(format!("bnez {result}, {end}")),
+                _ => unreachable!(),
+            }
+            let r = self.gen_expr_inner(rhs, ctx, line)?;
+            let r = self.truthify(r, ctx, line)?;
+            self.emit(format!("snez {result}, {}", r.reg));
+            self.free(&r, ctx);
+            self.raw(format!("{end}:"));
+            return Ok(Val { reg: result, ty: Ty::Int });
+        }
+
+        // Strength reduction: multiplication / division by a power of two.
+        if self.opt.strength_reduction() {
+            if let Expr::IntLit(c) = rhs {
+                if *c > 0 && (*c as u64).is_power_of_two() && matches!(op, BinOp::Mul | BinOp::Div | BinOp::Mod) {
+                    let shift = (*c as u64).trailing_zeros();
+                    let l = self.gen_expr_inner(lhs, ctx, line)?;
+                    if l.ty == Ty::Int {
+                        match op {
+                            BinOp::Mul => self.emit(format!("slli {}, {}, {}", l.reg, l.reg, shift)),
+                            BinOp::Div => self.emit(format!("srai {}, {}, {}", l.reg, l.reg, shift)),
+                            BinOp::Mod => self.emit(format!("andi {}, {}, {}", l.reg, l.reg, c - 1)),
+                            _ => unreachable!(),
+                        }
+                        return Ok(l);
+                    }
+                    // Fall through for float operands.
+                    let r = self.gen_expr_inner(rhs, ctx, line)?;
+                    return self.finish_binary(op, l, r, ctx, line);
+                }
+            }
+        }
+
+        let l = self.gen_expr_inner(lhs, ctx, line)?;
+        let r = self.gen_expr_inner(rhs, ctx, line)?;
+        self.finish_binary(op, l, r, ctx, line)
+    }
+
+    fn finish_binary(
+        &mut self,
+        op: BinOp,
+        l: Val,
+        r: Val,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        let float = l.ty == Ty::Float || r.ty == Ty::Float;
+        if float {
+            let l = self.convert(l, Ty::Float, ctx);
+            let r = self.convert(r, Ty::Float, ctx);
+            if op.is_comparison() {
+                let out = self.alloc_int(ctx, line)?;
+                match op {
+                    BinOp::Lt => self.emit(format!("flt.s {out}, {}, {}", l.reg, r.reg)),
+                    BinOp::Le => self.emit(format!("fle.s {out}, {}, {}", l.reg, r.reg)),
+                    BinOp::Gt => self.emit(format!("flt.s {out}, {}, {}", r.reg, l.reg)),
+                    BinOp::Ge => self.emit(format!("fle.s {out}, {}, {}", r.reg, l.reg)),
+                    BinOp::Eq => self.emit(format!("feq.s {out}, {}, {}", l.reg, r.reg)),
+                    BinOp::Ne => {
+                        self.emit(format!("feq.s {out}, {}, {}", l.reg, r.reg));
+                        self.emit(format!("xori {out}, {out}, 1"));
+                    }
+                    _ => unreachable!(),
+                }
+                self.free(&r, ctx);
+                self.free(&l, ctx);
+                return Ok(Val { reg: out, ty: Ty::Int });
+            }
+            let mnemonic = match op {
+                BinOp::Add => "fadd.s",
+                BinOp::Sub => "fsub.s",
+                BinOp::Mul => "fmul.s",
+                BinOp::Div => "fdiv.s",
+                other => {
+                    return Err(CcError::new(line, format!("operator {other:?} not supported on float")));
+                }
+            };
+            self.emit(format!("{mnemonic} {}, {}, {}", l.reg, l.reg, r.reg));
+            self.free(&r, ctx);
+            return Ok(l);
+        }
+
+        // Integer path.
+        if op.is_comparison() {
+            match op {
+                BinOp::Lt => self.emit(format!("slt  {}, {}, {}", l.reg, l.reg, r.reg)),
+                BinOp::Gt => self.emit(format!("slt  {}, {}, {}", l.reg, r.reg, l.reg)),
+                BinOp::Le => {
+                    self.emit(format!("slt  {}, {}, {}", l.reg, r.reg, l.reg));
+                    self.emit(format!("xori {}, {}, 1", l.reg, l.reg));
+                }
+                BinOp::Ge => {
+                    self.emit(format!("slt  {}, {}, {}", l.reg, l.reg, r.reg));
+                    self.emit(format!("xori {}, {}, 1", l.reg, l.reg));
+                }
+                BinOp::Eq => {
+                    self.emit(format!("sub  {}, {}, {}", l.reg, l.reg, r.reg));
+                    self.emit(format!("seqz {}, {}", l.reg, l.reg));
+                }
+                BinOp::Ne => {
+                    self.emit(format!("sub  {}, {}, {}", l.reg, l.reg, r.reg));
+                    self.emit(format!("snez {}, {}", l.reg, l.reg));
+                }
+                _ => unreachable!(),
+            }
+            self.free(&r, ctx);
+            return Ok(l);
+        }
+        let mnemonic = match op {
+            BinOp::Add => "add ",
+            BinOp::Sub => "sub ",
+            BinOp::Mul => "mul ",
+            BinOp::Div => "div ",
+            BinOp::Mod => "rem ",
+            BinOp::BitAnd => "and ",
+            BinOp::BitOr => "or  ",
+            BinOp::BitXor => "xor ",
+            BinOp::Shl => "sll ",
+            BinOp::Shr => "sra ",
+            _ => unreachable!(),
+        };
+        self.emit(format!("{mnemonic} {}, {}, {}", l.reg, l.reg, r.reg));
+        self.free(&r, ctx);
+        Ok(l)
+    }
+
+    fn gen_assign(
+        &mut self,
+        target: &Expr,
+        op: Option<BinOp>,
+        value: &Expr,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<Val, CcError> {
+        let rhs = if let Some(op) = op {
+            let old = self.gen_expr_inner(target, ctx, line)?;
+            let v = self.gen_expr_inner(value, ctx, line)?;
+            self.finish_binary(op, old, v, ctx, line)?
+        } else {
+            self.gen_expr_inner(value, ctx, line)?
+        };
+        let want = self.target_type(target, ctx, line)?;
+        let want_ty = if want.is_float() { Ty::Float } else { Ty::Int };
+        let rhs = self.convert(rhs, want_ty, ctx);
+        self.store_target(target, &rhs, ctx, line)?;
+        Ok(rhs)
+    }
+
+    fn gen_call(&mut self, name: &str, args: &[Expr], ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        let (ret, params) = self
+            .functions
+            .get(name)
+            .cloned()
+            .ok_or_else(|| CcError::new(line, format!("call to unknown function `{name}`")))?;
+        if params.len() != args.len() {
+            return Err(CcError::new(
+                line,
+                format!("`{name}` expects {} arguments, got {}", params.len(), args.len()),
+            ));
+        }
+        // Temps live before this call must survive it (t-registers are
+        // caller-saved); spill them to the scratch area.
+        let live_int = ctx.int_depth;
+        let live_float = ctx.float_depth;
+
+        // Evaluate arguments into temporaries.
+        let mut arg_vals = Vec::new();
+        for (arg, param) in args.iter().zip(&params) {
+            let v = self.gen_expr_inner(arg, ctx, line)?;
+            let want = if param.ty.is_float() { Ty::Float } else { Ty::Int };
+            arg_vals.push(self.convert(v, want, ctx));
+        }
+        // Move them into the argument registers.
+        let mut int_arg = 0usize;
+        let mut float_arg = 0usize;
+        for (v, param) in arg_vals.iter().zip(&params) {
+            if param.ty.is_float() {
+                self.emit(format!("fmv.s {}, {}", FLOAT_ARGS[float_arg], v.reg));
+                float_arg += 1;
+            } else {
+                self.emit(format!("mv   {}, {}", INT_ARGS[int_arg], v.reg));
+                int_arg += 1;
+            }
+        }
+        // Spill the outer live temporaries.
+        for i in 0..live_int {
+            self.emit(format!("sw   {}, {}(sp)", INT_TEMPS[i], ctx.scratch_base + (i as i64) * 4));
+        }
+        for i in 0..live_float {
+            self.emit(format!("fsw  {}, {}(sp)", FLOAT_TEMPS[i], ctx.scratch_base + 32 + (i as i64) * 4));
+        }
+        self.emit(format!("call {name}"));
+        for i in 0..live_int {
+            self.emit(format!("lw   {}, {}(sp)", INT_TEMPS[i], ctx.scratch_base + (i as i64) * 4));
+        }
+        for i in 0..live_float {
+            self.emit(format!("flw  {}, {}(sp)", FLOAT_TEMPS[i], ctx.scratch_base + 32 + (i as i64) * 4));
+        }
+        // Free argument temporaries, allocate the result.
+        for v in arg_vals.iter().rev() {
+            self.free(v, ctx);
+        }
+        if ret.is_float() {
+            let reg = self.alloc_float(ctx, line)?;
+            self.emit(format!("fmv.s {reg}, fa0"));
+            Ok(Val { reg, ty: Ty::Float })
+        } else {
+            let reg = self.alloc_int(ctx, line)?;
+            self.emit(format!("mv   {reg}, a0"));
+            Ok(Val { reg, ty: Ty::Int })
+        }
+    }
+
+    // ------------------------------------------------------- variable access
+
+    fn var_info(&self, name: &str, ctx: &FnCtx, line: usize) -> Result<VarInfo, CcError> {
+        if let Some(info) = ctx.vars.get(name) {
+            return Ok(info.clone());
+        }
+        if let Some(global) = self.globals.get(name) {
+            return Ok(VarInfo {
+                ty: global.ty.clone(),
+                is_array: global.array_size.is_some(),
+                storage: Storage::Global,
+            });
+        }
+        Err(CcError::new(line, format!("use of undeclared variable `{name}`")))
+    }
+
+    fn load_var(&mut self, name: &str, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+        let info = self.var_info(name, ctx, line)?;
+        // Arrays decay to their address.
+        if info.is_array {
+            let reg = self.alloc_int(ctx, line)?;
+            match info.storage {
+                Storage::Stack(off) => self.emit(format!("addi {reg}, sp, {off}")),
+                Storage::Global => self.emit(format!("la   {reg}, {name}")),
+                Storage::Reg(_) => unreachable!("arrays are never register-allocated"),
+            }
+            return Ok(Val { reg, ty: Ty::Int });
+        }
+        let is_float = info.ty.is_float();
+        match info.storage {
+            Storage::Reg(home) => {
+                if is_float {
+                    let reg = self.alloc_float(ctx, line)?;
+                    self.emit(format!("fmv.s {reg}, {home}"));
+                    Ok(Val { reg, ty: Ty::Float })
+                } else {
+                    let reg = self.alloc_int(ctx, line)?;
+                    self.emit(format!("mv   {reg}, {home}"));
+                    Ok(Val { reg, ty: Ty::Int })
+                }
+            }
+            Storage::Stack(off) => {
+                if is_float {
+                    let reg = self.alloc_float(ctx, line)?;
+                    self.emit(format!("flw  {reg}, {off}(sp)"));
+                    Ok(Val { reg, ty: Ty::Float })
+                } else {
+                    let reg = self.alloc_int(ctx, line)?;
+                    self.emit(format!("lw   {reg}, {off}(sp)"));
+                    Ok(Val { reg, ty: Ty::Int })
+                }
+            }
+            Storage::Global => {
+                let addr = self.alloc_int(ctx, line)?;
+                self.emit(format!("la   {addr}, {name}"));
+                if is_float {
+                    let reg = self.alloc_float(ctx, line)?;
+                    self.emit(format!("flw  {reg}, 0({addr})"));
+                    ctx.int_depth -= 1;
+                    Ok(Val { reg, ty: Ty::Float })
+                } else {
+                    self.emit(format!("lw   {addr}, 0({addr})"));
+                    Ok(Val { reg: addr, ty: Ty::Int })
+                }
+            }
+        }
+    }
+
+    fn store_var(&mut self, name: &str, value: &Val, ctx: &mut FnCtx, line: usize) -> Result<(), CcError> {
+        let info = self.var_info(name, ctx, line)?;
+        if info.is_array {
+            return Err(CcError::new(line, format!("cannot assign to array `{name}`")));
+        }
+        match info.storage {
+            Storage::Reg(home) => {
+                if info.ty.is_float() {
+                    self.emit(format!("fmv.s {home}, {}", value.reg));
+                } else {
+                    self.emit(format!("mv   {home}, {}", value.reg));
+                }
+            }
+            Storage::Stack(off) => {
+                if info.ty.is_float() {
+                    self.emit(format!("fsw  {}, {off}(sp)", value.reg));
+                } else {
+                    self.emit(format!("sw   {}, {off}(sp)", value.reg));
+                }
+            }
+            Storage::Global => {
+                let addr = self.alloc_int(ctx, line)?;
+                self.emit(format!("la   {addr}, {name}"));
+                if info.ty.is_float() {
+                    self.emit(format!("fsw  {}, 0({addr})", value.reg));
+                } else {
+                    self.emit(format!("sw   {}, 0({addr})", value.reg));
+                }
+                ctx.int_depth -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn target_type(&self, target: &Expr, ctx: &FnCtx, line: usize) -> Result<CType, CcError> {
+        match target {
+            Expr::Var(name) => Ok(self.var_info(name, ctx, line)?.ty),
+            Expr::Index { base, .. } => Ok(self.var_info(base, ctx, line)?.ty.element()),
+            _ => Err(CcError::new(line, "invalid assignment target")),
+        }
+    }
+
+    fn store_target(&mut self, target: &Expr, value: &Val, ctx: &mut FnCtx, line: usize) -> Result<(), CcError> {
+        match target {
+            Expr::Var(name) => self.store_var(name, value, ctx, line),
+            Expr::Index { base, index } => {
+                let (addr, elem) = self.gen_element_address(base, index, ctx, line)?;
+                if elem.is_float() {
+                    self.emit(format!("fsw  {}, 0({addr})", value.reg));
+                } else if elem.size() == 1 {
+                    self.emit(format!("sb   {}, 0({addr})", value.reg));
+                } else {
+                    self.emit(format!("sw   {}, 0({addr})", value.reg));
+                }
+                ctx.int_depth = ctx.int_depth.saturating_sub(1);
+                Ok(())
+            }
+            _ => Err(CcError::new(line, "invalid assignment target")),
+        }
+    }
+
+    /// Compute the address of `base[index]` into a fresh integer temporary.
+    fn gen_element_address(
+        &mut self,
+        base: &str,
+        index: &Expr,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<(String, CType), CcError> {
+        let info = self.var_info(base, ctx, line)?;
+        let elem = if info.is_array { info.ty.clone() } else { info.ty.element() };
+        let elem_size = elem.size().max(1);
+
+        // Base address into a temp.
+        let addr = self.alloc_int(ctx, line)?;
+        match (&info.storage, info.is_array) {
+            (Storage::Stack(off), true) => self.emit(format!("addi {addr}, sp, {off}")),
+            (Storage::Global, true) => self.emit(format!("la   {addr}, {base}")),
+            // Pointer variable: its value is the base address.
+            (Storage::Stack(off), false) => self.emit(format!("lw   {addr}, {off}(sp)")),
+            (Storage::Reg(home), false) => self.emit(format!("mv   {addr}, {home}")),
+            (Storage::Global, false) => {
+                self.emit(format!("la   {addr}, {base}"));
+                self.emit(format!("lw   {addr}, 0({addr})"));
+            }
+            (Storage::Reg(_), true) => unreachable!("arrays are never register-allocated"),
+        }
+
+        // Constant index: fold the offset into an addi.
+        let folded = if self.opt.fold_constants() { fold(index) } else { index.clone() };
+        if let Expr::IntLit(i) = folded {
+            let offset = i * elem_size as i64;
+            if offset != 0 {
+                if (-2048..=2047).contains(&offset) {
+                    self.emit(format!("addi {addr}, {addr}, {offset}"));
+                } else {
+                    let idx = self.alloc_int(ctx, line)?;
+                    self.emit(format!("li   {idx}, {offset}"));
+                    self.emit(format!("add  {addr}, {addr}, {idx}"));
+                    ctx.int_depth -= 1;
+                }
+            }
+            return Ok((addr, elem));
+        }
+
+        let idx = self.gen_expr_inner(index, ctx, line)?;
+        let idx = self.convert(idx, Ty::Int, ctx);
+        if elem_size > 1 {
+            let shift = (elem_size as u64).trailing_zeros();
+            self.emit(format!("slli {}, {}, {}", idx.reg, idx.reg, shift));
+        }
+        self.emit(format!("add  {addr}, {addr}, {}", idx.reg));
+        self.free(&idx, ctx);
+        Ok((addr, elem))
+    }
+}
+
+/// Collect every local declaration in a statement tree.
+fn collect_locals(body: &[Stmt], out: &mut Vec<(String, CType, Option<usize>)>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Decl { name, ty, array_size, .. } => {
+                if !out.iter().any(|(n, _, _)| n == name) {
+                    out.push((name.clone(), ty.clone(), *array_size));
+                }
+            }
+            Stmt::Block { body } => collect_locals(body, out),
+            Stmt::If { then, els, .. } => {
+                collect_locals(then, out);
+                collect_locals(els, out);
+            }
+            Stmt::While { body, .. } => collect_locals(body, out),
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    collect_locals(std::slice::from_ref(init), out);
+                }
+                collect_locals(body, out);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Constant folding over the expression tree (applied at `-O1` and above).
+pub fn fold(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Binary { op, lhs, rhs } => {
+            let lhs = fold(lhs);
+            let rhs = fold(rhs);
+            if let (Expr::IntLit(a), Expr::IntLit(b)) = (&lhs, &rhs) {
+                let result = match op {
+                    BinOp::Add => Some(a.wrapping_add(*b)),
+                    BinOp::Sub => Some(a.wrapping_sub(*b)),
+                    BinOp::Mul => Some(a.wrapping_mul(*b)),
+                    BinOp::Div if *b != 0 => Some(a.wrapping_div(*b)),
+                    BinOp::Mod if *b != 0 => Some(a.wrapping_rem(*b)),
+                    BinOp::Lt => Some((a < b) as i64),
+                    BinOp::Le => Some((a <= b) as i64),
+                    BinOp::Gt => Some((a > b) as i64),
+                    BinOp::Ge => Some((a >= b) as i64),
+                    BinOp::Eq => Some((a == b) as i64),
+                    BinOp::Ne => Some((a != b) as i64),
+                    BinOp::BitAnd => Some(a & b),
+                    BinOp::BitOr => Some(a | b),
+                    BinOp::BitXor => Some(a ^ b),
+                    BinOp::Shl => Some(a << (b & 31)),
+                    BinOp::Shr => Some(a >> (b & 31)),
+                    _ => None,
+                };
+                if let Some(v) = result {
+                    return Expr::IntLit(v);
+                }
+            }
+            if let (Expr::FloatLit(a), Expr::FloatLit(b)) = (&lhs, &rhs) {
+                let result = match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => Some(a / b),
+                    _ => None,
+                };
+                if let Some(v) = result {
+                    return Expr::FloatLit(v);
+                }
+            }
+            // Algebraic identities: x+0, x*1, x*0.
+            if let Expr::IntLit(0) = rhs {
+                if matches!(op, BinOp::Add | BinOp::Sub) {
+                    return lhs;
+                }
+                if matches!(op, BinOp::Mul) {
+                    return Expr::IntLit(0);
+                }
+            }
+            if let Expr::IntLit(1) = rhs {
+                if matches!(op, BinOp::Mul | BinOp::Div) {
+                    return lhs;
+                }
+            }
+            Expr::Binary { op: *op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        }
+        Expr::Unary { op, expr } => {
+            let inner = fold(expr);
+            match (op, &inner) {
+                (UnOp::Neg, Expr::IntLit(v)) => Expr::IntLit(-v),
+                (UnOp::Neg, Expr::FloatLit(v)) => Expr::FloatLit(-v),
+                (UnOp::Not, Expr::IntLit(v)) => Expr::IntLit((*v == 0) as i64),
+                _ => Expr::Unary { op: *op, expr: Box::new(inner) },
+            }
+        }
+        Expr::Assign { target, op, value } => Expr::Assign {
+            target: target.clone(),
+            op: *op,
+            value: Box::new(fold(value)),
+        },
+        Expr::Call { name, args } => {
+            Expr::Call { name: name.clone(), args: args.iter().map(fold).collect() }
+        }
+        Expr::Index { base, index } => {
+            Expr::Index { base: base.clone(), index: Box::new(fold(index)) }
+        }
+        Expr::Cast { ty, expr } => {
+            let inner = fold(expr);
+            match (&ty, &inner) {
+                (CType::Float, Expr::IntLit(v)) => Expr::FloatLit(*v as f32),
+                (CType::Int, Expr::FloatLit(v)) => Expr::IntLit(*v as i64),
+                _ => Expr::Cast { ty: ty.clone(), expr: Box::new(inner) },
+            }
+        }
+        other => other.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, OptLevel};
+
+    fn asm(src: &str, opt: OptLevel) -> String {
+        compile(src, opt).expect("compiles").assembly
+    }
+
+    #[test]
+    fn simple_function_shape() {
+        let a = asm("int main(void) { return 7; }", OptLevel::O0);
+        assert!(a.contains("main:"));
+        assert!(a.contains("addi sp, sp,"));
+        assert!(a.contains("ret"));
+        assert!(a.contains("li   t0, 7"));
+        assert!(a.contains("mv   a0, t0"));
+    }
+
+    #[test]
+    fn globals_emitted_as_data() {
+        let a = asm(
+            "int x = 5; int arr[3] = {1,2}; float f = 2.5; char c = 'a'; extern int ext[]; int main(void){ return x; }",
+            OptLevel::O0,
+        );
+        assert!(a.contains("x:\n    .word 5"));
+        assert!(a.contains("arr:\n    .word 1, 2, 0"));
+        assert!(a.contains("f:\n    .float 2.5"));
+        assert!(a.contains("c:\n    .byte 97"));
+        assert!(!a.contains("ext:"), "extern arrays get no storage");
+    }
+
+    #[test]
+    fn constant_folding_only_at_o1() {
+        let src = "int main(void) { return 2 * 3 + 4; }";
+        let o0 = asm(src, OptLevel::O0);
+        let o1 = asm(src, OptLevel::O1);
+        assert!(o0.contains("mul"), "O0 keeps the multiplication");
+        assert!(!o1.contains("mul"), "O1 folds it away");
+        assert!(o1.contains("li   t0, 10"));
+    }
+
+    #[test]
+    fn register_allocation_at_o2_reduces_memory_traffic() {
+        let src = "int main(void) { int s = 0; int i; for (i = 0; i < 100; i++) { s = s + i; } return s; }";
+        let o0 = asm(src, OptLevel::O0);
+        let o2 = asm(src, OptLevel::O2);
+        let count = |text: &str, pat: &str| text.lines().filter(|l| l.trim().starts_with(pat)).count();
+        assert!(
+            count(&o2, "lw") < count(&o0, "lw"),
+            "O2 must load locals from memory less often (O0 {} vs O2 {})",
+            count(&o0, "lw"),
+            count(&o2, "lw")
+        );
+        assert!(o2.contains("s1"), "O2 uses callee-saved registers for locals");
+    }
+
+    #[test]
+    fn strength_reduction_at_o3() {
+        let src = "int main(void) { int x = 20; return x * 8 + x / 4 + x % 2; }";
+        let o2 = asm(src, OptLevel::O2);
+        let o3 = asm(src, OptLevel::O3);
+        assert!(o2.contains("mul"));
+        assert!(!o3.contains("mul "), "O3 turns *8 into a shift");
+        assert!(o3.contains("slli"));
+        assert!(o3.contains("srai"));
+        assert!(o3.contains("andi"));
+    }
+
+    #[test]
+    fn array_indexing_and_element_sizes() {
+        let a = asm(
+            "int a[8]; char b[8]; float f[8]; int main(void) { a[1] = 2; b[2] = 'x'; f[3] = 1.5; return a[1] + b[2]; }",
+            OptLevel::O0,
+        );
+        assert!(a.contains("sw  "), "word store for int element");
+        assert!(a.contains("sb  "), "byte store for char element");
+        assert!(a.contains("fsw "), "float store for float element");
+        assert!(a.contains("slli") || a.contains("addi"), "index scaling");
+    }
+
+    #[test]
+    fn calls_pass_arguments_in_abi_registers() {
+        let a = asm(
+            "int add3(int a, int b, int c) { return a + b + c; }
+             float scale(float x) { return x * 2.0; }
+             int main(void) { return add3(1, 2, 3) + (int)scale(4.0); }",
+            OptLevel::O0,
+        );
+        assert!(a.contains("call add3"));
+        assert!(a.contains("call scale"));
+        assert!(a.contains("mv   a2, "), "third int argument in a2");
+        assert!(a.contains("fmv.s fa0, "), "float argument in fa0");
+        assert!(a.contains("fcvt.w.s"), "cast back to int");
+    }
+
+    #[test]
+    fn control_flow_labels_and_short_circuit() {
+        let a = asm(
+            "int main(void) { int i = 0; int s = 0; while (i < 10 && s >= 0) { if (i == 5) { break; } i++; } return i; }",
+            OptLevel::O0,
+        );
+        assert!(a.contains("beqz"));
+        assert!(a.contains(".Lwhile"));
+        assert!(a.contains(".Lendwhile"));
+        assert!(a.contains(".Lsc"), "short-circuit label emitted");
+    }
+
+    #[test]
+    fn line_map_links_c_lines_to_assembly() {
+        let out = compile(
+            "int main(void) {\n  int x = 1;\n  int y = 2;\n  return x + y;\n}\n",
+            OptLevel::O0,
+        )
+        .unwrap();
+        let c_lines: Vec<usize> = out.line_map.iter().map(|(c, _)| *c).collect();
+        assert!(c_lines.contains(&2));
+        assert!(c_lines.contains(&3));
+        assert!(c_lines.contains(&4));
+        // Assembly lines are monotonically increasing with C lines here.
+        let asm_lines: Vec<usize> = out.line_map.iter().map(|(_, a)| *a).collect();
+        let mut sorted = asm_lines.clone();
+        sorted.sort_unstable();
+        assert_eq!(asm_lines, sorted);
+    }
+
+    #[test]
+    fn semantic_errors_are_reported() {
+        assert!(compile("int main(void) { return y; }", OptLevel::O0).is_err());
+        assert!(compile("int main(void) { return f(1); }", OptLevel::O0).is_err());
+        assert!(compile("int f(int a) { return a; } int main(void) { return f(1, 2); }", OptLevel::O0).is_err());
+        assert!(compile("int x = 1;", OptLevel::O0).is_err(), "missing main");
+        assert!(compile("int main(void) { break; }", OptLevel::O0).is_err());
+        assert!(compile("int main(void) { int a[4] = 3; return 0; }", OptLevel::O0).is_err());
+    }
+
+    #[test]
+    fn fold_handles_identities_and_casts() {
+        assert_eq!(fold(&Expr::Binary {
+            op: BinOp::Add,
+            lhs: Box::new(Expr::Var("x".into())),
+            rhs: Box::new(Expr::IntLit(0)),
+        }), Expr::Var("x".into()));
+        assert_eq!(fold(&Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Var("x".into())),
+            rhs: Box::new(Expr::IntLit(1)),
+        }), Expr::Var("x".into()));
+        assert_eq!(fold(&Expr::Cast { ty: CType::Float, expr: Box::new(Expr::IntLit(3)) }), Expr::FloatLit(3.0));
+        assert_eq!(fold(&Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::IntLit(0)) }), Expr::IntLit(1));
+    }
+
+    #[test]
+    fn generated_assembly_assembles() {
+        use rvsim_asm::{assemble, AssemblerOptions};
+        use rvsim_isa::InstructionSet;
+        let sources = [
+            ("int main(void) { int s = 0; for (int i = 0; i < 10; i++) { s += i; } return s; }", OptLevel::O0),
+            ("int arr[4] = {1,2,3,4}; int main(void) { int s = 0; for (int i = 0; i < 4; i++) s += arr[i]; return s; }", OptLevel::O2),
+            ("float v[3]; int main(void) { v[0] = 1.5; v[1] = 2.5; v[2] = v[0] + v[1]; return (int)v[2]; }", OptLevel::O1),
+            ("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); } int main(void) { return fib(10); }", OptLevel::O3),
+        ];
+        let isa = InstructionSet::rv32imf();
+        for (src, opt) in sources {
+            let out = compile(src, opt).unwrap();
+            let program = assemble(&out.assembly, &isa, &AssemblerOptions::default());
+            assert!(program.is_ok(), "generated assembly must assemble:\n{}\n{:?}", out.assembly, program.err());
+        }
+    }
+}

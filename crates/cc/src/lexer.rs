@@ -1,0 +1,272 @@
+//! Tokenizer for the C subset.
+
+use crate::CcError;
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f32),
+    /// Character literal (value).
+    Char(u8),
+    /// String literal (unused by codegen, accepted for completeness).
+    Str(String),
+    /// Punctuation / operator, e.g. `+`, `==`, `{`.
+    Punct(&'static str),
+    /// End of input.
+    Eof,
+}
+
+/// A token with its source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "<<", ">>", "->", "+", "-", "*", "/", "%", "=", "<", ">", "!", "&", "|", "^", "~", "(", ")",
+    "{", "}", "[", "]", ";", ",", "?", ":",
+];
+
+/// Tokenize a C source file.
+pub fn tokenize(source: &str) -> Result<Vec<Token>, CcError> {
+    let mut tokens = Vec::new();
+    let bytes = source.as_bytes();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < bytes.len() {
+            if bytes[i + 1] as char == '/' {
+                while i < bytes.len() && bytes[i] as char != '\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            if bytes[i + 1] as char == '*' {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] as char == '*' && bytes[i + 1] as char == '/') {
+                    if bytes[i] as char == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                if i + 1 >= bytes.len() {
+                    return Err(CcError::new(line, "unterminated block comment"));
+                }
+                i += 2;
+                continue;
+            }
+        }
+        // Preprocessor lines are skipped (no macro support).
+        if c == '#' {
+            while i < bytes.len() && bytes[i] as char != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_') {
+                i += 1;
+            }
+            tokens.push(Token { tok: Tok::Ident(source[start..i].to_string()), line });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < bytes.len() {
+                let ch = bytes[i] as char;
+                if ch.is_ascii_alphanumeric() || ch == '_' {
+                    i += 1;
+                } else if ch == '.' && !is_float {
+                    is_float = true;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            let text = &source[start..i];
+            let text = text.trim_end_matches(['f', 'F']);
+            if is_float {
+                let value: f32 = text
+                    .parse()
+                    .map_err(|_| CcError::new(line, format!("bad float literal `{text}`")))?;
+                tokens.push(Token { tok: Tok::Float(value), line });
+            } else if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+                let value = i64::from_str_radix(hex, 16)
+                    .map_err(|_| CcError::new(line, format!("bad hex literal `{text}`")))?;
+                tokens.push(Token { tok: Tok::Int(value), line });
+            } else {
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| CcError::new(line, format!("bad integer literal `{text}`")))?;
+                tokens.push(Token { tok: Tok::Int(value), line });
+            }
+            continue;
+        }
+        // Character literals.
+        if c == '\'' {
+            i += 1;
+            if i >= bytes.len() {
+                return Err(CcError::new(line, "unterminated character literal"));
+            }
+            let value = if bytes[i] as char == '\\' {
+                i += 1;
+                let esc = bytes.get(i).copied().map(|b| b as char).unwrap_or('?');
+                i += 1;
+                match esc {
+                    'n' => b'\n',
+                    't' => b'\t',
+                    '0' => 0,
+                    '\\' => b'\\',
+                    '\'' => b'\'',
+                    other => return Err(CcError::new(line, format!("unknown escape `\\{other}`"))),
+                }
+            } else {
+                let v = bytes[i];
+                i += 1;
+                v
+            };
+            if i >= bytes.len() || bytes[i] as char != '\'' {
+                return Err(CcError::new(line, "unterminated character literal"));
+            }
+            i += 1;
+            tokens.push(Token { tok: Tok::Char(value), line });
+            continue;
+        }
+        // String literals.
+        if c == '"' {
+            i += 1;
+            let mut s = String::new();
+            while i < bytes.len() && bytes[i] as char != '"' {
+                let ch = bytes[i] as char;
+                if ch == '\\' && i + 1 < bytes.len() {
+                    i += 1;
+                    s.push(match bytes[i] as char {
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    });
+                } else {
+                    s.push(ch);
+                }
+                i += 1;
+            }
+            if i >= bytes.len() {
+                return Err(CcError::new(line, "unterminated string literal"));
+            }
+            i += 1;
+            tokens.push(Token { tok: Tok::Str(s), line });
+            continue;
+        }
+        // Punctuation: longest match first.
+        let rest = &source[i..];
+        let mut matched = false;
+        for p in PUNCTS {
+            if rest.starts_with(p) {
+                tokens.push(Token { tok: Tok::Punct(p), line });
+                i += p.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(CcError::new(line, format!("unexpected character `{c}`")));
+        }
+    }
+
+    tokens.push(Token { tok: Tok::Eof, line });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        tokenize(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_identifiers_numbers() {
+        let toks = kinds("int x = 42; float y = 1.5f;");
+        assert_eq!(toks[0], Tok::Ident("int".into()));
+        assert_eq!(toks[1], Tok::Ident("x".into()));
+        assert_eq!(toks[2], Tok::Punct("="));
+        assert_eq!(toks[3], Tok::Int(42));
+        assert_eq!(toks[7], Tok::Punct("="));
+        assert_eq!(toks[8], Tok::Float(1.5));
+    }
+
+    #[test]
+    fn hex_char_string() {
+        let toks = kinds("0x10 'a' '\\n' \"hi\\n\"");
+        assert_eq!(toks[0], Tok::Int(16));
+        assert_eq!(toks[1], Tok::Char(97));
+        assert_eq!(toks[2], Tok::Char(10));
+        assert_eq!(toks[3], Tok::Str("hi\n".into()));
+    }
+
+    #[test]
+    fn multi_char_operators_longest_match() {
+        let toks = kinds("a <= b == c && d++ += e");
+        assert!(toks.contains(&Tok::Punct("<=")));
+        assert!(toks.contains(&Tok::Punct("==")));
+        assert!(toks.contains(&Tok::Punct("&&")));
+        assert!(toks.contains(&Tok::Punct("++")));
+        assert!(toks.contains(&Tok::Punct("+=")));
+    }
+
+    #[test]
+    fn comments_and_preprocessor_skipped() {
+        let toks = kinds("#include <stdio.h>\n// line comment\nint /* block\ncomment */ x;");
+        assert_eq!(toks[0], Tok::Ident("int".into()));
+        assert_eq!(toks[1], Tok::Ident("x".into()));
+    }
+
+    #[test]
+    fn line_numbers_tracked() {
+        let toks = tokenize("int a;\nint b;\n\nint c;").unwrap();
+        let line_of = |name: &str| {
+            toks.iter()
+                .find(|t| t.tok == Tok::Ident(name.into()))
+                .unwrap()
+                .line
+        };
+        assert_eq!(line_of("a"), 1);
+        assert_eq!(line_of("b"), 2);
+        assert_eq!(line_of("c"), 4);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("int x = 1.5.5;").is_err());
+        assert!(tokenize("char c = 'ab").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("/* unterminated").is_err());
+        assert!(tokenize("int x = `bad`;").is_err());
+    }
+}

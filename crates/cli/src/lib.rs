@@ -1,0 +1,392 @@
+//! # rvsim-cli — batch benchmarking interface
+//!
+//! The paper's CLI (§II-E) lets advanced users run large programs in a batch
+//! fashion: it takes an assembly (or C) source file and an architecture
+//! description in JSON, plus options for the entry point, memory contents,
+//! output verbosity and output format (text or JSON).  The original CLI
+//! connects to the simulation server over HTTP; this reproduction runs the
+//! simulator in-process, which preserves the user-visible behaviour (same
+//! inputs, same reports) without the network hop.
+
+#![warn(missing_docs)]
+
+use rvsim_cc::OptLevel;
+use rvsim_core::{ArchitectureConfig, HaltReason, Simulator};
+use rvsim_mem::MemorySettings;
+
+/// Output format of the CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Human-readable text report.
+    #[default]
+    Text,
+    /// JSON statistics object.
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default)]
+pub struct CliOptions {
+    /// Path to the program source (assembly, or C with `--c`).
+    pub program_path: String,
+    /// Path to the architecture JSON (optional — defaults when omitted).
+    pub arch_path: Option<String>,
+    /// Treat the program as C and compile it first.
+    pub compile_c: bool,
+    /// Optimization level for C compilation.
+    pub opt_level: OptLevel,
+    /// Entry label.
+    pub entry: Option<String>,
+    /// CSV file with memory arrays (the Memory Settings window's export).
+    pub memory_csv: Option<String>,
+    /// Cycle budget.
+    pub max_cycles: u64,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Print the debug log after the run.
+    pub verbose: bool,
+    /// Dump a memory range after the run: `(address, length)`.
+    pub dump_memory: Option<(u64, usize)>,
+}
+
+/// Usage string printed on `--help` or argument errors.
+pub const USAGE: &str = "\
+rvsim-cli — batch interface to the superscalar RISC-V simulator
+
+USAGE:
+    rvsim-cli --program <FILE> [--arch <FILE.json>] [OPTIONS]
+
+OPTIONS:
+    --program <FILE>        assembly source file (mandatory)
+    --arch <FILE>           architecture description in JSON
+    --c                     treat the program as C and compile it first
+    --opt <0|1|2|3>         C optimization level (default 0)
+    --entry <LABEL>         entry point label (default: main or first instruction)
+    --memory <FILE.csv>     memory arrays in CSV form (name,type,index,value)
+    --max-cycles <N>        cycle budget (default 10000000)
+    --format <text|json>    output format (default text)
+    --dump-memory <ADDR,LEN>  hex-dump LEN bytes at ADDR after the run
+    --verbose               also print the cycle-stamped debug log
+    --help                  show this help
+";
+
+impl CliOptions {
+    /// Parse command-line arguments (without the executable name).
+    pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+        let mut options = CliOptions { max_cycles: 10_000_000, ..Default::default() };
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--program" => options.program_path = value(&mut i, "--program")?,
+                "--arch" => options.arch_path = Some(value(&mut i, "--arch")?),
+                "--c" => options.compile_c = true,
+                "--opt" => {
+                    let v = value(&mut i, "--opt")?;
+                    options.opt_level =
+                        OptLevel::parse(&v).ok_or_else(|| format!("invalid optimization level `{v}`"))?;
+                }
+                "--entry" => options.entry = Some(value(&mut i, "--entry")?),
+                "--memory" => options.memory_csv = Some(value(&mut i, "--memory")?),
+                "--max-cycles" => {
+                    let v = value(&mut i, "--max-cycles")?;
+                    options.max_cycles =
+                        v.parse().map_err(|_| format!("invalid cycle budget `{v}`"))?;
+                }
+                "--format" => {
+                    let v = value(&mut i, "--format")?;
+                    options.format = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                }
+                "--dump-memory" => {
+                    let v = value(&mut i, "--dump-memory")?;
+                    let (addr, len) = v
+                        .split_once(',')
+                        .ok_or_else(|| "expected ADDR,LEN for --dump-memory".to_string())?;
+                    let addr = parse_u64(addr).ok_or_else(|| format!("bad address `{addr}`"))?;
+                    let len: usize =
+                        len.trim().parse().map_err(|_| format!("bad length `{len}`"))?;
+                    options.dump_memory = Some((addr, len));
+                }
+                "--verbose" => options.verbose = true,
+                "--help" | "-h" => return Err(USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{USAGE}")),
+            }
+            i += 1;
+        }
+        if options.program_path.is_empty() {
+            return Err(format!("--program is mandatory\n\n{USAGE}"));
+        }
+        Ok(options)
+    }
+}
+
+fn parse_u64(text: &str) -> Option<u64> {
+    let text = text.trim();
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+/// Run the CLI against already-loaded inputs (program source + optional
+/// architecture JSON + optional memory CSV).  Returns the report text.
+pub fn run_with_sources(
+    options: &CliOptions,
+    program_source: &str,
+    arch_json: Option<&str>,
+    memory_csv: Option<&str>,
+) -> Result<String, String> {
+    let config = match arch_json {
+        Some(json) => ArchitectureConfig::from_json(json)?,
+        None => ArchitectureConfig::default(),
+    };
+
+    // Optional C compilation step.
+    let assembly = if options.compile_c {
+        let output = rvsim_cc::compile(program_source, options.opt_level)
+            .map_err(|errors| errors.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))?;
+        output.assembly
+    } else {
+        program_source.to_string()
+    };
+
+    let memory_settings = match memory_csv {
+        Some(csv) => MemorySettings::from_csv(csv)?,
+        None => MemorySettings::new(),
+    };
+
+    let mut simulator = Simulator::from_assembly_with_memory(&assembly, &config, memory_settings)?;
+    if let Some(entry) = &options.entry {
+        let mut program = simulator.program().clone();
+        if !program.set_entry(entry) {
+            return Err(format!("entry label `{entry}` not found"));
+        }
+        simulator = Simulator::with_memory(program, &config, MemorySettings::new())?;
+    }
+
+    let result = simulator.run(options.max_cycles)?;
+    let stats = simulator.statistics();
+
+    let mut out = String::new();
+    match options.format {
+        OutputFormat::Json => {
+            let value = serde_json::json!({
+                "halt": halt_name(&result.halt),
+                "cycles": result.cycles,
+                "registers": {
+                    "a0": simulator.int_register(10),
+                    "a1": simulator.int_register(11),
+                },
+                "statistics": stats,
+            });
+            out.push_str(&serde_json::to_string_pretty(&value).expect("stats serialize"));
+            out.push('\n');
+        }
+        OutputFormat::Text => {
+            out.push_str(&format!("architecture:           {}\n", config.name));
+            out.push_str(&format!("halt reason:            {}\n", halt_name(&result.halt)));
+            out.push_str(&format!("a0 (return value):      {}\n", simulator.int_register(10)));
+            out.push_str(&stats.report());
+        }
+    }
+
+    if let Some((addr, len)) = options.dump_memory {
+        out.push_str("--- memory dump ---\n");
+        out.push_str(&simulator.memory().memory().hex_dump(addr, len));
+    }
+    if options.verbose {
+        out.push_str("--- debug log ---\n");
+        for entry in simulator.log().entries() {
+            out.push_str(&format!("[{:>8}] {}\n", entry.cycle, entry.message));
+        }
+    }
+    Ok(out)
+}
+
+/// Run the CLI by reading the files referenced in `options`.
+pub fn run(options: &CliOptions) -> Result<String, String> {
+    let program = std::fs::read_to_string(&options.program_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", options.program_path))?;
+    let arch = match &options.arch_path {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?)
+        }
+        None => None,
+    };
+    let memory = match &options.memory_csv {
+        Some(path) => {
+            Some(std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?)
+        }
+        None => None,
+    };
+    run_with_sources(options, &program, arch.as_deref(), memory.as_deref())
+}
+
+fn halt_name(halt: &HaltReason) -> String {
+    match halt {
+        HaltReason::PipelineEmpty => "pipeline empty".to_string(),
+        HaltReason::MainReturned => "main returned".to_string(),
+        HaltReason::Exception(e) => format!("exception: {e}"),
+        HaltReason::MaxCyclesReached => "cycle budget exhausted".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    const PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 10
+loop:
+    addi t0, t0, 2
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t0
+    ret
+";
+
+    #[test]
+    fn parse_full_argument_set() {
+        let o = CliOptions::parse(&args(&[
+            "--program", "prog.s", "--arch", "arch.json", "--entry", "start", "--max-cycles",
+            "5000", "--format", "json", "--verbose", "--memory", "mem.csv", "--dump-memory",
+            "0x1000,64",
+        ]))
+        .unwrap();
+        assert_eq!(o.program_path, "prog.s");
+        assert_eq!(o.arch_path.as_deref(), Some("arch.json"));
+        assert_eq!(o.entry.as_deref(), Some("start"));
+        assert_eq!(o.max_cycles, 5000);
+        assert_eq!(o.format, OutputFormat::Json);
+        assert!(o.verbose);
+        assert_eq!(o.memory_csv.as_deref(), Some("mem.csv"));
+        assert_eq!(o.dump_memory, Some((0x1000, 64)));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(CliOptions::parse(&args(&[])).is_err());
+        assert!(CliOptions::parse(&args(&["--program"])).is_err());
+        assert!(CliOptions::parse(&args(&["--program", "x.s", "--format", "xml"])).is_err());
+        assert!(CliOptions::parse(&args(&["--program", "x.s", "--wat"])).is_err());
+        assert!(CliOptions::parse(&args(&["--help"])).is_err());
+        assert!(CliOptions::parse(&args(&["--program", "x.s", "--opt", "9"])).is_err());
+        assert!(CliOptions::parse(&args(&["--program", "x.s", "--dump-memory", "12"])).is_err());
+    }
+
+    #[test]
+    fn text_report_contains_statistics() {
+        let options =
+            CliOptions { program_path: "prog.s".into(), max_cycles: 100_000, ..Default::default() };
+        let out = run_with_sources(&options, PROGRAM, None, None).unwrap();
+        assert!(out.contains("a0 (return value):      20"));
+        assert!(out.contains("IPC:"));
+        assert!(out.contains("dynamic instruction mix"));
+    }
+
+    #[test]
+    fn json_report_is_valid_json() {
+        let options = CliOptions {
+            program_path: "prog.s".into(),
+            max_cycles: 100_000,
+            format: OutputFormat::Json,
+            ..Default::default()
+        };
+        let out = run_with_sources(&options, PROGRAM, None, None).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["registers"]["a0"], 20);
+        assert_eq!(value["halt"], "main returned");
+        assert!(value["statistics"]["committed"].as_u64().unwrap() > 20);
+    }
+
+    #[test]
+    fn custom_architecture_json_is_honoured() {
+        let mut config = ArchitectureConfig::scalar();
+        config.name = "cli-test-arch".into();
+        let options =
+            CliOptions { program_path: "prog.s".into(), max_cycles: 100_000, ..Default::default() };
+        let out = run_with_sources(&options, PROGRAM, Some(&config.to_json()), None).unwrap();
+        assert!(out.contains("cli-test-arch"));
+        assert!(run_with_sources(&options, PROGRAM, Some("{broken"), None).is_err());
+    }
+
+    #[test]
+    fn c_compilation_path() {
+        let options = CliOptions {
+            program_path: "prog.c".into(),
+            compile_c: true,
+            opt_level: OptLevel::O2,
+            max_cycles: 1_000_000,
+            ..Default::default()
+        };
+        let source = "int main(void) { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
+        let out = run_with_sources(&options, source, None, None).unwrap();
+        assert!(out.contains("a0 (return value):      55"));
+        let bad = run_with_sources(&options, "int main(void) { return 1 + ; }", None, None);
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn memory_csv_arrays_are_available() {
+        let options =
+            CliOptions { program_path: "prog.s".into(), max_cycles: 100_000, ..Default::default() };
+        let program = "
+main:
+    la   t0, input
+    lw   a0, 0(t0)
+    lw   a1, 4(t0)
+    add  a0, a0, a1
+    ret
+";
+        let csv = "name,type,index,value\ninput,word,0,11\ninput,word,1,31\n";
+        let out = run_with_sources(&options, program, None, Some(csv)).unwrap();
+        assert!(out.contains("a0 (return value):      42"));
+    }
+
+    #[test]
+    fn memory_dump_and_verbose_log() {
+        let options = CliOptions {
+            program_path: "prog.s".into(),
+            max_cycles: 100_000,
+            dump_memory: Some((0, 16)),
+            verbose: true,
+            ..Default::default()
+        };
+        let out = run_with_sources(&options, PROGRAM, None, None).unwrap();
+        assert!(out.contains("--- memory dump ---"));
+        assert!(out.contains("--- debug log ---"));
+        assert!(out.contains("simulation finished"));
+    }
+
+    #[test]
+    fn run_reads_files_from_disk() {
+        let dir = std::env::temp_dir().join(format!("rvsim-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let program_path = dir.join("prog.s");
+        std::fs::write(&program_path, PROGRAM).unwrap();
+        let options = CliOptions {
+            program_path: program_path.to_string_lossy().into_owned(),
+            max_cycles: 100_000,
+            ..Default::default()
+        };
+        let out = run(&options).unwrap();
+        assert!(out.contains("a0 (return value):      20"));
+        let missing = CliOptions { program_path: "/nonexistent/prog.s".into(), ..Default::default() };
+        assert!(run(&missing).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

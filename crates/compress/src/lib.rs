@@ -1,0 +1,287 @@
+//! # rvsim-compress — LZSS payload compression
+//!
+//! The paper's deployment compresses HTTP responses with gzip, which raised
+//! local load-test throughput by ~40 % (§IV-A).  This crate provides the same
+//! capability for the Rust reproduction: a small, dependency-free LZSS
+//! compressor used by the simulation server to shrink JSON payloads
+//! (processor-state snapshots compress extremely well because of their
+//! repetitive structure).
+//!
+//! The format is deliberately simple and self-contained:
+//!
+//! * the stream is a sequence of blocks introduced by a flag byte;
+//! * each of the 8 flag bits selects either a literal byte (bit = 0) or a
+//!   back-reference (bit = 1) encoded as two bytes: a 12-bit distance and a
+//!   4-bit length (length 3–18).
+//!
+//! Ratios are worse than zlib's, but the *trade-off direction* — CPU spent
+//! compressing versus bytes on the wire — is preserved, which is what
+//! experiment E2 (compression ablation) needs.
+
+#![warn(missing_docs)]
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Minimum back-reference length (shorter matches are stored as literals).
+const MIN_MATCH: usize = 3;
+/// Maximum back-reference length (4-bit length field + MIN_MATCH).
+const MAX_MATCH: usize = 18;
+/// Sliding-window size (12-bit distance field).
+const WINDOW: usize = 4096;
+
+/// Compress `input` with LZSS.
+///
+/// The output starts with the uncompressed length as a little-endian `u32`
+/// so [`decompress`] can pre-allocate, followed by the block stream.
+pub fn compress(input: &[u8]) -> Bytes {
+    let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
+    out.put_u32_le(input.len() as u32);
+
+    let mut pos = 0usize;
+    // Hash chains would be faster, but a bounded brute-force search over the
+    // window keeps the code small; server payloads are tens of kilobytes.
+    // A simple 3-byte hash table keeps it O(n) in practice.
+    let mut head: Vec<i64> = vec![-1; 1 << 16];
+    let hash = |data: &[u8], i: usize| -> usize {
+        let a = data[i] as usize;
+        let b = data[i + 1] as usize;
+        let c = data[i + 2] as usize;
+        (a.wrapping_mul(2654435761) ^ b.wrapping_mul(40503) ^ c.wrapping_mul(2246822519)) & 0xffff
+    };
+
+    while pos < input.len() {
+        let mut flags = 0u8;
+        let mut flag_bit = 0;
+        let mut chunk = BytesMut::with_capacity(32);
+
+        while flag_bit < 8 && pos < input.len() {
+            let mut best_len = 0usize;
+            let mut best_dist = 0usize;
+            if pos + MIN_MATCH <= input.len() {
+                let h = hash(input, pos);
+                let candidate = head[h];
+                if candidate >= 0 {
+                    let cand = candidate as usize;
+                    let dist = pos - cand;
+                    if dist > 0 && dist <= WINDOW {
+                        let max_len = MAX_MATCH.min(input.len() - pos);
+                        let mut len = 0;
+                        while len < max_len && input[cand + len] == input[pos + len] {
+                            len += 1;
+                        }
+                        if len >= MIN_MATCH {
+                            best_len = len;
+                            best_dist = dist;
+                        }
+                    }
+                }
+                head[h] = pos as i64;
+            }
+
+            if best_len >= MIN_MATCH {
+                flags |= 1 << flag_bit;
+                let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+                chunk.put_u16_le(token);
+                // Update the hash table for the skipped positions so later
+                // matches can point into this region.
+                let end = pos + best_len;
+                let mut p = pos + 1;
+                while p + MIN_MATCH <= input.len() && p < end {
+                    head[hash(input, p)] = p as i64;
+                    p += 1;
+                }
+                pos = end;
+            } else {
+                chunk.put_u8(input[pos]);
+                pos += 1;
+            }
+            flag_bit += 1;
+        }
+
+        out.put_u8(flags);
+        out.extend_from_slice(&chunk);
+    }
+    out.freeze()
+}
+
+/// Errors returned by [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecompressError {
+    /// The stream ended unexpectedly.
+    Truncated,
+    /// A back-reference points before the start of the output.
+    BadReference,
+    /// The decoded length does not match the header.
+    LengthMismatch {
+        /// Length promised by the header.
+        expected: usize,
+        /// Length actually decoded.
+        actual: usize,
+    },
+}
+
+impl std::fmt::Display for DecompressError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecompressError::Truncated => write!(f, "compressed stream truncated"),
+            DecompressError::BadReference => write!(f, "back-reference outside decoded data"),
+            DecompressError::LengthMismatch { expected, actual } => {
+                write!(f, "decoded {actual} bytes, header promised {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecompressError {}
+
+/// Decompress a stream produced by [`compress`].
+pub fn decompress(input: &[u8]) -> Result<Vec<u8>, DecompressError> {
+    if input.len() < 4 {
+        return Err(DecompressError::Truncated);
+    }
+    let expected = u32::from_le_bytes(input[0..4].try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(expected);
+    let mut pos = 4usize;
+
+    while pos < input.len() && out.len() < expected {
+        let flags = input[pos];
+        pos += 1;
+        for bit in 0..8 {
+            if out.len() >= expected {
+                break;
+            }
+            if pos >= input.len() {
+                return Err(DecompressError::Truncated);
+            }
+            if flags & (1 << bit) != 0 {
+                if pos + 1 >= input.len() {
+                    return Err(DecompressError::Truncated);
+                }
+                let token = u16::from_le_bytes([input[pos], input[pos + 1]]);
+                pos += 2;
+                let dist = ((token >> 4) as usize) + 1;
+                let len = (token & 0xf) as usize + MIN_MATCH;
+                if dist > out.len() {
+                    return Err(DecompressError::BadReference);
+                }
+                let start = out.len() - dist;
+                for i in 0..len {
+                    let byte = out[start + i];
+                    out.push(byte);
+                }
+            } else {
+                out.push(input[pos]);
+                pos += 1;
+            }
+        }
+    }
+
+    if out.len() != expected {
+        return Err(DecompressError::LengthMismatch { expected, actual: out.len() });
+    }
+    Ok(out)
+}
+
+/// Compression ratio achieved on `input` (compressed size / original size).
+/// Values below 1.0 mean the payload shrank.
+pub fn ratio(input: &[u8]) -> f64 {
+    if input.is_empty() {
+        return 1.0;
+    }
+    compress(input).len() as f64 / input.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn round_trip(data: &[u8]) {
+        let compressed = compress(data);
+        let back = decompress(&compressed).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        round_trip(b"");
+        round_trip(b"a");
+        round_trip(b"ab");
+        round_trip(b"abc");
+    }
+
+    #[test]
+    fn repetitive_json_like_payload_shrinks_well() {
+        let payload: String = (0..200)
+            .map(|i| format!("{{\"id\":{i},\"mnemonic\":\"addi\",\"state\":\"Dispatched\"}},"))
+            .collect();
+        let data = payload.as_bytes();
+        round_trip(data);
+        let r = ratio(data);
+        assert!(r < 0.4, "repetitive JSON should compress to <40 %, got {r}");
+    }
+
+    #[test]
+    fn highly_repetitive_input() {
+        let data = vec![b'x'; 10_000];
+        round_trip(&data);
+        // Match length is capped at 18 bytes, so the floor is ~2.1/18 ≈ 0.12.
+        assert!(ratio(&data) < 0.2, "ratio {}", ratio(&data));
+    }
+
+    #[test]
+    fn incompressible_random_data_round_trips() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let data: Vec<u8> = (0..5000).map(|_| rng.random()).collect();
+        round_trip(&data);
+        // Random data may expand slightly, but never catastrophically.
+        assert!(ratio(&data) < 1.2);
+    }
+
+    #[test]
+    fn long_runs_exceeding_max_match() {
+        let mut data = Vec::new();
+        for i in 0..50u8 {
+            data.extend(std::iter::repeat_n(i, 100));
+        }
+        round_trip(&data);
+    }
+
+    #[test]
+    fn decompress_error_cases() {
+        assert_eq!(decompress(&[]), Err(DecompressError::Truncated));
+        assert_eq!(decompress(&[10, 0, 0]), Err(DecompressError::Truncated));
+        // Header promises 4 bytes but stream ends immediately.
+        assert_eq!(decompress(&[4, 0, 0, 0]), Err(DecompressError::LengthMismatch { expected: 4, actual: 0 }));
+        // A back-reference with distance 16 before any output exists.
+        let bad = [5u8, 0, 0, 0, 0b0000_0001, 0xf0, 0x00];
+        assert_eq!(decompress(&bad), Err(DecompressError::BadReference));
+        // Flag byte promising a reference but stream ends.
+        let trunc = [5u8, 0, 0, 0, 0b0000_0001, 0x01];
+        assert_eq!(decompress(&trunc), Err(DecompressError::Truncated));
+    }
+
+    #[test]
+    fn ratio_of_empty_is_one() {
+        assert_eq!(ratio(b""), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip_arbitrary_bytes(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let compressed = compress(&data);
+            let back = decompress(&compressed).unwrap();
+            prop_assert_eq!(back, data);
+        }
+
+        #[test]
+        fn prop_round_trip_structured_text(words in proptest::collection::vec("[a-z]{1,8}", 0..200)) {
+            let text = words.join(" ");
+            let compressed = compress(text.as_bytes());
+            let back = decompress(&compressed).unwrap();
+            prop_assert_eq!(back, text.as_bytes());
+        }
+    }
+}

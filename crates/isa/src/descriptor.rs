@@ -1,0 +1,340 @@
+//! Instruction descriptors and the configurable instruction set.
+//!
+//! As in the paper (Listing 1), every instruction is described by data: its
+//! name, category, argument list and a postfix semantics expression.  The set
+//! can be serialized to / loaded from JSON so users can extend it without
+//! recompiling.
+//!
+//! Compared to the paper's single `interpretableAs` string we split the
+//! semantics of memory and control-flow instructions into dedicated
+//! expressions (`address`, `condition`, `target`).  The paper's simulator does
+//! the same split implicitly inside its load/store and branch units; making it
+//! explicit keeps each functional unit's job a single expression evaluation.
+
+use crate::types::{ArgKind, DataType, FunctionalClass, InstructionType};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One instruction argument (paper Listing 1: `{"name": "rd", "type": "kInt",
+/// "writeBack": true}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArgumentDescriptor {
+    /// Argument name referenced from the semantics expression (`rd`, `rs1`, `imm`).
+    pub name: String,
+    /// Syntactic kind (integer register, fp register, immediate, label).
+    pub kind: ArgKind,
+    /// Data type of the value carried by this argument.
+    #[serde(rename = "type")]
+    pub data_type: DataType,
+    /// True when the instruction writes this argument back to the register file.
+    #[serde(default, rename = "writeBack")]
+    pub write_back: bool,
+}
+
+impl ArgumentDescriptor {
+    /// Integer-register source argument.
+    pub fn int_reg(name: &str) -> Self {
+        ArgumentDescriptor {
+            name: name.to_string(),
+            kind: ArgKind::IntReg,
+            data_type: DataType::Int,
+            write_back: false,
+        }
+    }
+
+    /// Integer-register destination argument.
+    pub fn int_reg_wb(name: &str) -> Self {
+        ArgumentDescriptor { write_back: true, ..Self::int_reg(name) }
+    }
+
+    /// Floating-point source argument.
+    pub fn fp_reg(name: &str) -> Self {
+        ArgumentDescriptor {
+            name: name.to_string(),
+            kind: ArgKind::FpReg,
+            data_type: DataType::Float,
+            write_back: false,
+        }
+    }
+
+    /// Floating-point destination argument.
+    pub fn fp_reg_wb(name: &str) -> Self {
+        ArgumentDescriptor { write_back: true, ..Self::fp_reg(name) }
+    }
+
+    /// Immediate argument.
+    pub fn imm(name: &str) -> Self {
+        ArgumentDescriptor {
+            name: name.to_string(),
+            kind: ArgKind::Imm,
+            data_type: DataType::Int,
+            write_back: false,
+        }
+    }
+
+    /// Label argument (branch/jump target or memory symbol).
+    pub fn label(name: &str) -> Self {
+        ArgumentDescriptor {
+            name: name.to_string(),
+            kind: ArgKind::Label,
+            data_type: DataType::Int,
+            write_back: false,
+        }
+    }
+}
+
+/// Description of a memory access performed by a load or store instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryAccessDescriptor {
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: usize,
+    /// Sign-extend the loaded value (only meaningful for loads narrower than 4 B).
+    pub sign_extend: bool,
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Data type written to the destination register (loads) or read from the
+    /// source register (stores); drives display metadata.
+    pub data_type: DataType,
+}
+
+/// Full description of one machine instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionDescriptor {
+    /// Mnemonic (`add`, `lw`, `beq`, `fmadd.s`, …).
+    pub name: String,
+    /// Coarse category (paper `instructionType`).
+    #[serde(rename = "instructionType")]
+    pub instruction_type: InstructionType,
+    /// Which functional-unit class executes the instruction.
+    pub functional_class: FunctionalClass,
+    /// Argument list in assembly order.
+    pub arguments: Vec<ArgumentDescriptor>,
+    /// Main postfix semantics: arithmetic result and register write-back
+    /// (paper `interpretableAs`).  Empty for instructions whose entire effect
+    /// is a memory access or a branch without link.
+    #[serde(rename = "interpretableAs", default)]
+    pub interpretable_as: String,
+    /// Effective-address expression for loads/stores (e.g. `"\rs1 \imm +"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub address: Option<String>,
+    /// Branch condition expression; leaves non-zero on the stack when taken.
+    /// `None` for unconditional jumps.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub condition: Option<String>,
+    /// Branch/jump target expression (e.g. `"\pc \imm +"` or `"\rs1 \imm +"`).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub target: Option<String>,
+    /// Memory access shape for load/store instructions.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub memory: Option<MemoryAccessDescriptor>,
+    /// Floating-point operations contributed to the FLOP counter when the
+    /// instruction commits.
+    #[serde(default)]
+    pub flops: u32,
+    /// ISA extension the instruction belongs to (`"I"`, `"M"`, `"F"`, `"D"`).
+    #[serde(default)]
+    pub extension: String,
+}
+
+impl InstructionDescriptor {
+    /// True for conditional branches and unconditional jumps.
+    pub fn is_control_flow(&self) -> bool {
+        self.functional_class == FunctionalClass::Branch
+    }
+
+    /// True for unconditional jumps (`jal`, `jalr`, `j`, …).
+    pub fn is_unconditional_jump(&self) -> bool {
+        self.is_control_flow() && self.condition.is_none()
+    }
+
+    /// True for conditional branches.
+    pub fn is_conditional_branch(&self) -> bool {
+        self.is_control_flow() && self.condition.is_some()
+    }
+
+    /// True when the instruction reads or writes memory.
+    pub fn is_memory(&self) -> bool {
+        self.memory.is_some()
+    }
+
+    /// True for load instructions.
+    pub fn is_load(&self) -> bool {
+        self.memory.map(|m| !m.is_store).unwrap_or(false)
+    }
+
+    /// True for store instructions.
+    pub fn is_store(&self) -> bool {
+        self.memory.map(|m| m.is_store).unwrap_or(false)
+    }
+
+    /// Names of arguments written back to registers.
+    pub fn write_back_args(&self) -> impl Iterator<Item = &ArgumentDescriptor> {
+        self.arguments.iter().filter(|a| a.write_back)
+    }
+
+    /// Look up an argument descriptor by name.
+    pub fn argument(&self, name: &str) -> Option<&ArgumentDescriptor> {
+        self.arguments.iter().find(|a| a.name == name)
+    }
+}
+
+/// The complete, extensible instruction set.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct InstructionSet {
+    instructions: Vec<InstructionDescriptor>,
+    #[serde(skip)]
+    index: HashMap<String, usize>,
+}
+
+impl InstructionSet {
+    /// An empty instruction set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The built-in RV32IM+F (plus a D subset) instruction set.
+    pub fn rv32imf() -> Self {
+        let mut set = Self::new();
+        for descriptor in crate::riscv::base_instructions() {
+            set.add(descriptor);
+        }
+        set
+    }
+
+    /// Add or replace an instruction.
+    pub fn add(&mut self, descriptor: InstructionDescriptor) {
+        if let Some(&i) = self.index.get(&descriptor.name) {
+            self.instructions[i] = descriptor;
+        } else {
+            self.index.insert(descriptor.name.clone(), self.instructions.len());
+            self.instructions.push(descriptor);
+        }
+    }
+
+    /// Look up an instruction by mnemonic.
+    pub fn get(&self, name: &str) -> Option<&InstructionDescriptor> {
+        self.index.get(name).map(|&i| &self.instructions[i])
+    }
+
+    /// True when the mnemonic exists (either directly or as a pseudo-instruction).
+    pub fn contains(&self, name: &str) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Number of instructions in the set.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Iterate over all descriptors.
+    pub fn iter(&self) -> impl Iterator<Item = &InstructionDescriptor> {
+        self.instructions.iter()
+    }
+
+    /// Serialize the whole set to pretty JSON (the paper's configuration-file
+    /// format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(&self.instructions).expect("instruction set serializes")
+    }
+
+    /// Load a set from JSON produced by [`InstructionSet::to_json`].
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        let instructions: Vec<InstructionDescriptor> = serde_json::from_str(json)?;
+        let mut set = Self::new();
+        for d in instructions {
+            set.add(d);
+        }
+        Ok(set)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_set_contains_core_instructions() {
+        let isa = InstructionSet::rv32imf();
+        for name in [
+            "add", "addi", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu", "lui",
+            "auipc", "lw", "lh", "lb", "lbu", "lhu", "sw", "sh", "sb", "beq", "bne", "blt", "bge",
+            "bltu", "bgeu", "jal", "jalr", "mul", "div", "rem", "fadd.s", "fsub.s", "fmul.s",
+            "fdiv.s", "flw", "fsw", "fsqrt.s", "feq.s", "flt.s", "fcvt.s.w", "fcvt.w.s",
+        ] {
+            assert!(isa.contains(name), "missing instruction {name}");
+        }
+        assert!(isa.len() > 60);
+    }
+
+    #[test]
+    fn add_or_replace_keeps_single_entry() {
+        let mut set = InstructionSet::new();
+        let mut d = InstructionSet::rv32imf().get("add").unwrap().clone();
+        set.add(d.clone());
+        assert_eq!(set.len(), 1);
+        d.flops = 7;
+        set.add(d);
+        assert_eq!(set.len(), 1);
+        assert_eq!(set.get("add").unwrap().flops, 7);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_set() {
+        let isa = InstructionSet::rv32imf();
+        let json = isa.to_json();
+        let back = InstructionSet::from_json(&json).unwrap();
+        assert_eq!(back.len(), isa.len());
+        assert_eq!(back.get("add").unwrap(), isa.get("add").unwrap());
+        assert_eq!(back.get("beq").unwrap(), isa.get("beq").unwrap());
+        assert_eq!(back.get("flw").unwrap(), isa.get("flw").unwrap());
+    }
+
+    #[test]
+    fn listing1_style_json_parses() {
+        // A user-supplied extension instruction in the paper's format.
+        let json = r#"[{
+            "name": "add3",
+            "instructionType": "kArithmetic",
+            "functional_class": "Fx",
+            "arguments": [
+                {"name": "rd", "kind": "IntReg", "type": "kInt", "writeBack": true},
+                {"name": "rs1", "kind": "IntReg", "type": "kInt"},
+                {"name": "rs2", "kind": "IntReg", "type": "kInt"}
+            ],
+            "interpretableAs": "\\rs1 \\rs2 + 3 + \\rd ="
+        }]"#;
+        let set = InstructionSet::from_json(json).unwrap();
+        let d = set.get("add3").unwrap();
+        assert_eq!(d.arguments.len(), 3);
+        assert!(d.arguments[0].write_back);
+        assert_eq!(d.flops, 0);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        let isa = InstructionSet::rv32imf();
+        assert!(isa.get("beq").unwrap().is_conditional_branch());
+        assert!(!isa.get("beq").unwrap().is_unconditional_jump());
+        assert!(isa.get("jal").unwrap().is_unconditional_jump());
+        assert!(isa.get("lw").unwrap().is_load());
+        assert!(isa.get("sw").unwrap().is_store());
+        assert!(!isa.get("add").unwrap().is_memory());
+        assert!(isa.get("fadd.s").unwrap().flops >= 1);
+        assert_eq!(isa.get("add").unwrap().flops, 0);
+    }
+
+    #[test]
+    fn write_back_args_are_destinations() {
+        let isa = InstructionSet::rv32imf();
+        let add = isa.get("add").unwrap();
+        let wb: Vec<_> = add.write_back_args().map(|a| a.name.as_str()).collect();
+        assert_eq!(wb, vec!["rd"]);
+        let sw = isa.get("sw").unwrap();
+        assert_eq!(sw.write_back_args().count(), 0);
+    }
+}

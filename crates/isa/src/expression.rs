@@ -1,0 +1,269 @@
+//! Stack-based postfix interpreter for instruction semantics.
+//!
+//! Each instruction descriptor carries an `interpretableAs` string (paper
+//! Listing 1), e.g. `"\rs1 \rs2 + \rd ="` for `add`.  Tokens are separated by
+//! whitespace:
+//!
+//! * `\name` — pushes the value bound to argument `name` (`rs1`, `imm`, `pc`, …).
+//!   When followed by `=`, the token instead names the assignment target.
+//! * integer / float literals — pushed as constants.
+//! * binary and unary operators — see [`crate::value::binary_op`] and
+//!   [`crate::value::unary_op`].
+//! * `=` — pops a value and records an assignment to the preceding argument
+//!   reference (the paper's "binary operator `=` with a side effect").
+//!
+//! The evaluator produces an [`EvalOutput`]: the value left on the stack (used
+//! for branch conditions and effective addresses) plus the list of assignment
+//! side effects (used for register write-back).
+
+use crate::types::Exception;
+use crate::value::{binary_op, unary_op, TypedValue};
+use std::collections::HashMap;
+
+/// Result of evaluating one semantics expression.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalOutput {
+    /// Value left on the stack after evaluation, if any.  Branch instructions
+    /// leave their taken/not-taken condition here; address expressions leave
+    /// the effective address.
+    pub result: Option<TypedValue>,
+    /// Assignment side effects, in evaluation order: `(argument name, value)`.
+    pub assignments: Vec<(String, TypedValue)>,
+}
+
+/// Postfix expression evaluator with named argument bindings.
+#[derive(Debug, Clone, Default)]
+pub struct Evaluator {
+    bindings: HashMap<String, TypedValue>,
+}
+
+const UNARY_OPS: &[&str] = &[
+    "!", "neg", "not", "sext8", "sext16", "zext8", "zext16", "fsqrt", "dsqrt", "fneg", "fabs",
+    "i2f", "u2f", "f2i", "f2u", "i2d", "u2d", "d2i", "d2u", "f2d", "d2f", "bits2f", "f2bits",
+];
+
+const BINARY_OPS: &[&str] = &[
+    "+", "-", "*", "/", "%", "u/", "u%", "mulh", "mulhu", "mulhsu", "&", "|", "^", "<<", ">>",
+    ">>>", "<", "u<", ">", "u>", "<=", ">=", "u>=", "u<=", "==", "!=", "f+", "f-", "f*", "f/",
+    "fmin", "fmax", "f==", "f<", "f<=", "fsgnj", "fsgnjn", "fsgnjx", "d+", "d-", "d*", "d/",
+    "dmin", "dmax", "d==", "d<", "d<=",
+];
+
+impl Evaluator {
+    /// Create an evaluator with no bindings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bind argument `name` to `value`.  Typically called for `rs1`, `rs2`,
+    /// `imm`, `pc`, and the old value of `rd`.
+    pub fn bind(&mut self, name: &str, value: TypedValue) {
+        self.bindings.insert(name.to_string(), value);
+    }
+
+    /// Look up a binding.
+    pub fn get(&self, name: &str) -> Option<TypedValue> {
+        self.bindings.get(name).copied()
+    }
+
+    /// Remove all bindings so the evaluator can be reused.
+    pub fn clear(&mut self) {
+        self.bindings.clear();
+    }
+
+    /// Evaluate `expr` and return the stack result plus assignments.
+    pub fn run(&self, expr: &str) -> Result<EvalOutput, Exception> {
+        // The stack holds either plain values or argument references; a
+        // reference is only resolved when consumed by an operator, so that
+        // `\rd =` can treat it as an assignment *target*.
+        enum Slot {
+            Value(TypedValue),
+            ArgRef(String),
+        }
+
+        let mut stack: Vec<Slot> = Vec::with_capacity(8);
+        let mut out = EvalOutput::default();
+
+        let resolve = |slot: Slot, bindings: &HashMap<String, TypedValue>| -> Result<TypedValue, Exception> {
+            match slot {
+                Slot::Value(v) => Ok(v),
+                Slot::ArgRef(name) => bindings.get(&name).copied().ok_or_else(|| {
+                    Exception::Interpreter(format!("unbound argument `\\{name}`"))
+                }),
+            }
+        };
+
+        for token in expr.split_whitespace() {
+            if let Some(name) = token.strip_prefix('\\') {
+                stack.push(Slot::ArgRef(name.to_string()));
+            } else if token == "=" {
+                // Assignment: top of stack is the target reference, below it
+                // the value to assign.
+                let target = stack.pop().ok_or_else(|| {
+                    Exception::Interpreter("`=` with empty stack".to_string())
+                })?;
+                let name = match target {
+                    Slot::ArgRef(name) => name,
+                    Slot::Value(_) => {
+                        return Err(Exception::Interpreter(
+                            "`=` target must be an argument reference".to_string(),
+                        ))
+                    }
+                };
+                let value_slot = stack.pop().ok_or_else(|| {
+                    Exception::Interpreter("`=` missing value operand".to_string())
+                })?;
+                let value = resolve(value_slot, &self.bindings)?;
+                out.assignments.push((name, value));
+            } else if BINARY_OPS.contains(&token) {
+                let b = stack.pop().ok_or_else(|| {
+                    Exception::Interpreter(format!("`{token}` missing right operand"))
+                })?;
+                let a = stack.pop().ok_or_else(|| {
+                    Exception::Interpreter(format!("`{token}` missing left operand"))
+                })?;
+                let a = resolve(a, &self.bindings)?;
+                let b = resolve(b, &self.bindings)?;
+                stack.push(Slot::Value(binary_op(token, a, b)?));
+            } else if UNARY_OPS.contains(&token) {
+                let a = stack.pop().ok_or_else(|| {
+                    Exception::Interpreter(format!("`{token}` missing operand"))
+                })?;
+                let a = resolve(a, &self.bindings)?;
+                stack.push(Slot::Value(unary_op(token, a)?));
+            } else if let Ok(v) = token.parse::<i64>() {
+                stack.push(Slot::Value(TypedValue::int(v as i32)));
+            } else if let Ok(v) = token.parse::<f32>() {
+                stack.push(Slot::Value(TypedValue::float(v)));
+            } else {
+                return Err(Exception::Interpreter(format!("unknown token `{token}`")));
+            }
+        }
+
+        if let Some(top) = stack.pop() {
+            out.result = Some(resolve(top, &self.bindings)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eval_with(expr: &str, binds: &[(&str, TypedValue)]) -> EvalOutput {
+        let mut e = Evaluator::new();
+        for (n, v) in binds {
+            e.bind(n, *v);
+        }
+        e.run(expr).unwrap()
+    }
+
+    #[test]
+    fn add_semantics_from_paper_listing() {
+        // Listing 1: "\rs1 \rs2 + \rd ="
+        let out = eval_with(
+            "\\rs1 \\rs2 + \\rd =",
+            &[("rs1", TypedValue::int(40)), ("rs2", TypedValue::int(2)), ("rd", TypedValue::int(0))],
+        );
+        assert_eq!(out.assignments, vec![("rd".to_string(), TypedValue::int(42))]);
+        assert_eq!(out.result, None);
+    }
+
+    #[test]
+    fn branch_condition_leaves_result_on_stack() {
+        let out = eval_with(
+            "\\rs1 \\rs2 <",
+            &[("rs1", TypedValue::int(1)), ("rs2", TypedValue::int(2))],
+        );
+        assert_eq!(out.result.unwrap().as_i64(), 1);
+        assert!(out.assignments.is_empty());
+    }
+
+    #[test]
+    fn address_computation_with_immediate() {
+        let out = eval_with(
+            "\\rs1 \\imm +",
+            &[("rs1", TypedValue::int(100)), ("imm", TypedValue::int(-4))],
+        );
+        assert_eq!(out.result.unwrap().as_i64(), 96);
+    }
+
+    #[test]
+    fn jump_writes_link_and_computes_target() {
+        // jal: "\pc 4 + \rd = \pc \imm +"
+        let out = eval_with(
+            "\\pc 4 + \\rd = \\pc \\imm +",
+            &[("pc", TypedValue::int(16)), ("imm", TypedValue::int(8)), ("rd", TypedValue::int(0))],
+        );
+        assert_eq!(out.assignments, vec![("rd".to_string(), TypedValue::int(20))]);
+        assert_eq!(out.result.unwrap().as_i64(), 24);
+    }
+
+    #[test]
+    fn literals_are_constants() {
+        let out = eval_with("3 4 *", &[]);
+        assert_eq!(out.result.unwrap().as_i64(), 12);
+    }
+
+    #[test]
+    fn unbound_argument_is_error() {
+        let e = Evaluator::new();
+        let err = e.run("\\rs1 \\rs2 +").unwrap_err();
+        assert!(matches!(err, Exception::Interpreter(_)));
+    }
+
+    #[test]
+    fn division_by_zero_propagates() {
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::int(5));
+        e.bind("rs2", TypedValue::int(0));
+        e.bind("rd", TypedValue::int(0));
+        assert_eq!(e.run("\\rs1 \\rs2 / \\rd =").unwrap_err(), Exception::DivisionByZero);
+    }
+
+    #[test]
+    fn malformed_expressions_report_errors() {
+        let e = Evaluator::new();
+        assert!(e.run("+").is_err());
+        assert!(e.run("1 =").is_err());
+        assert!(e.run("=").is_err());
+        assert!(e.run("bogus_token").is_err());
+        let mut e2 = Evaluator::new();
+        e2.bind("x", TypedValue::int(1));
+        assert!(e2.run("\\x !missing_op").is_err());
+    }
+
+    #[test]
+    fn multiple_assignments_record_in_order() {
+        let out = eval_with(
+            "1 \\a = 2 \\b =",
+            &[("a", TypedValue::int(0)), ("b", TypedValue::int(0))],
+        );
+        assert_eq!(out.assignments.len(), 2);
+        assert_eq!(out.assignments[0].0, "a");
+        assert_eq!(out.assignments[1].0, "b");
+    }
+
+    #[test]
+    fn float_expression() {
+        let out = eval_with(
+            "\\rs1 \\rs2 f* \\rd =",
+            &[
+                ("rs1", TypedValue::float(1.5)),
+                ("rs2", TypedValue::float(2.0)),
+                ("rd", TypedValue::float(0.0)),
+            ],
+        );
+        assert_eq!(out.assignments[0].1.as_f32(), 3.0);
+    }
+
+    #[test]
+    fn evaluator_reuse_after_clear() {
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::int(1));
+        assert!(e.get("rs1").is_some());
+        e.clear();
+        assert!(e.get("rs1").is_none());
+    }
+}

@@ -1,0 +1,305 @@
+//! Pseudo-instruction expansion.
+//!
+//! The assembler calls [`expand`] with a mnemonic and its textual operands;
+//! when the mnemonic is a pseudo-instruction the function returns the list of
+//! real instructions it expands to.  Expansion is purely syntactic: label
+//! operands stay symbolic (possibly wrapped in `%hi(...)` / `%lo(...)`) and
+//! are resolved by the assembler's second pass.
+
+/// One expanded instruction: mnemonic plus textual operands.
+pub type Expanded = (String, Vec<String>);
+
+fn ins(name: &str, ops: &[&str]) -> Expanded {
+    (name.to_string(), ops.iter().map(|s| s.to_string()).collect())
+}
+
+/// True when `mnemonic` is one of the recognized pseudo-instructions.
+pub fn is_pseudo(mnemonic: &str) -> bool {
+    const NAMES: &[&str] = &[
+        "nop", "li", "la", "lla", "mv", "not", "neg", "seqz", "snez", "sltz", "sgtz", "beqz",
+        "bnez", "blez", "bgez", "bltz", "bgtz", "bgt", "ble", "bgtu", "bleu", "j", "jr", "ret",
+        "call", "tail", "fmv.s", "fabs.s", "fneg.s",
+    ];
+    NAMES.contains(&mnemonic)
+        || (mnemonic == "jal" || mnemonic == "jalr")
+    // `jal`/`jalr` have short pseudo forms with fewer operands; expansion
+    // decides based on the operand count.
+}
+
+/// Expand a pseudo-instruction.  Returns `None` when `mnemonic` (with this
+/// operand count) is not a pseudo-instruction and should be assembled as-is.
+pub fn expand(mnemonic: &str, ops: &[String]) -> Option<Vec<Expanded>> {
+    let o = |i: usize| ops.get(i).map(String::as_str).unwrap_or("");
+    let some = |v: Vec<Expanded>| Some(v);
+
+    match (mnemonic, ops.len()) {
+        ("nop", 0) => some(vec![ins("addi", &["x0", "x0", "0"])]),
+
+        ("li", 2) => {
+            // Small constants fit a single addi; anything else (large constant
+            // or symbolic expression) becomes lui + addi via %hi/%lo.
+            if let Ok(v) = parse_int(o(1)) {
+                if (-2048..=2047).contains(&v) {
+                    return some(vec![(
+                        "addi".to_string(),
+                        vec![ops[0].clone(), "x0".to_string(), v.to_string()],
+                    )]);
+                }
+            }
+            some(vec![
+                (
+                    "lui".to_string(),
+                    vec![ops[0].clone(), format!("%hi({})", o(1))],
+                ),
+                (
+                    "addi".to_string(),
+                    vec![ops[0].clone(), ops[0].clone(), format!("%lo({})", o(1))],
+                ),
+            ])
+        }
+
+        ("la" | "lla", 2) => some(vec![
+            ("lui".to_string(), vec![ops[0].clone(), format!("%hi({})", o(1))]),
+            (
+                "addi".to_string(),
+                vec![ops[0].clone(), ops[0].clone(), format!("%lo({})", o(1))],
+            ),
+        ]),
+
+        ("mv", 2) => some(vec![(
+            "addi".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), "0".to_string()],
+        )]),
+        ("not", 2) => some(vec![(
+            "xori".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), "-1".to_string()],
+        )]),
+        ("neg", 2) => some(vec![(
+            "sub".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("seqz", 2) => some(vec![(
+            "sltiu".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), "1".to_string()],
+        )]),
+        ("snez", 2) => some(vec![(
+            "sltu".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("sltz", 2) => some(vec![(
+            "slt".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), "x0".to_string()],
+        )]),
+        ("sgtz", 2) => some(vec![(
+            "slt".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+
+        ("beqz", 2) => some(vec![(
+            "beq".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("bnez", 2) => some(vec![(
+            "bne".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("blez", 2) => some(vec![(
+            "bge".to_string(),
+            vec!["x0".to_string(), ops[0].clone(), ops[1].clone()],
+        )]),
+        ("bgez", 2) => some(vec![(
+            "bge".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("bltz", 2) => some(vec![(
+            "blt".to_string(),
+            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
+        )]),
+        ("bgtz", 2) => some(vec![(
+            "blt".to_string(),
+            vec!["x0".to_string(), ops[0].clone(), ops[1].clone()],
+        )]),
+        ("bgt", 3) => some(vec![(
+            "blt".to_string(),
+            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
+        )]),
+        ("ble", 3) => some(vec![(
+            "bge".to_string(),
+            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
+        )]),
+        ("bgtu", 3) => some(vec![(
+            "bltu".to_string(),
+            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
+        )]),
+        ("bleu", 3) => some(vec![(
+            "bgeu".to_string(),
+            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
+        )]),
+
+        ("j", 1) => some(vec![("jal".to_string(), vec!["x0".to_string(), ops[0].clone()])]),
+        ("jal", 1) => some(vec![("jal".to_string(), vec!["ra".to_string(), ops[0].clone()])]),
+        ("jr", 1) => some(vec![(
+            "jalr".to_string(),
+            vec!["x0".to_string(), ops[0].clone(), "0".to_string()],
+        )]),
+        ("jalr", 1) => some(vec![(
+            "jalr".to_string(),
+            vec!["ra".to_string(), ops[0].clone(), "0".to_string()],
+        )]),
+        ("ret", 0) => some(vec![ins("jalr", &["x0", "ra", "0"])]),
+        ("call", 1) => some(vec![("jal".to_string(), vec!["ra".to_string(), ops[0].clone()])]),
+        ("tail", 1) => some(vec![("jal".to_string(), vec!["x0".to_string(), ops[0].clone()])]),
+
+        ("fmv.s", 2) => some(vec![(
+            "fsgnj.s".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), ops[1].clone()],
+        )]),
+        ("fabs.s", 2) => some(vec![(
+            "fsgnjx.s".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), ops[1].clone()],
+        )]),
+        ("fneg.s", 2) => some(vec![(
+            "fsgnjn.s".to_string(),
+            vec![ops[0].clone(), ops[1].clone(), ops[1].clone()],
+        )]),
+
+        _ => None,
+    }
+}
+
+/// Parse a decimal or hexadecimal integer literal (with optional sign).
+pub fn parse_int(s: &str) -> Result<i64, ()> {
+    let s = s.trim();
+    let (neg, body) = if let Some(rest) = s.strip_prefix('-') {
+        (true, rest)
+    } else if let Some(rest) = s.strip_prefix('+') {
+        (false, rest)
+    } else {
+        (false, s)
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(|_| ())?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2).map_err(|_| ())?
+    } else {
+        body.parse::<i64>().map_err(|_| ())?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn nop_and_mv() {
+        assert_eq!(expand("nop", &[]).unwrap(), vec![ins("addi", &["x0", "x0", "0"])]);
+        assert_eq!(
+            expand("mv", &ops(&["a0", "a1"])).unwrap(),
+            vec![ins("addi", &["a0", "a1", "0"])]
+        );
+    }
+
+    #[test]
+    fn li_small_immediate_is_single_addi() {
+        let e = expand("li", &ops(&["t0", "42"])).unwrap();
+        assert_eq!(e, vec![ins("addi", &["t0", "x0", "42"])]);
+        let e = expand("li", &ops(&["t0", "-2048"])).unwrap();
+        assert_eq!(e, vec![ins("addi", &["t0", "x0", "-2048"])]);
+    }
+
+    #[test]
+    fn li_large_immediate_uses_hi_lo() {
+        let e = expand("li", &ops(&["t0", "0x12345678"])).unwrap();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].0, "lui");
+        assert_eq!(e[0].1[1], "%hi(0x12345678)");
+        assert_eq!(e[1].0, "addi");
+        assert_eq!(e[1].1[2], "%lo(0x12345678)");
+    }
+
+    #[test]
+    fn la_uses_hi_lo_of_symbol() {
+        let e = expand("la", &ops(&["a0", "arr"])).unwrap();
+        assert_eq!(e[0].1[1], "%hi(arr)");
+        assert_eq!(e[1].1[2], "%lo(arr)");
+        assert_eq!(expand("lla", &ops(&["a0", "arr"])).unwrap(), e);
+    }
+
+    #[test]
+    fn branch_zero_forms() {
+        assert_eq!(
+            expand("beqz", &ops(&["a0", "done"])).unwrap(),
+            vec![ins("beq", &["a0", "x0", "done"])]
+        );
+        assert_eq!(
+            expand("bgtz", &ops(&["a0", "loop"])).unwrap(),
+            vec![ins("blt", &["x0", "a0", "loop"])]
+        );
+        assert_eq!(
+            expand("bgt", &ops(&["a0", "a1", "l"])).unwrap(),
+            vec![ins("blt", &["a1", "a0", "l"])]
+        );
+        assert_eq!(
+            expand("bleu", &ops(&["a0", "a1", "l"])).unwrap(),
+            vec![ins("bgeu", &["a1", "a0", "l"])]
+        );
+    }
+
+    #[test]
+    fn jumps_and_calls() {
+        assert_eq!(expand("j", &ops(&["loop"])).unwrap(), vec![ins("jal", &["x0", "loop"])]);
+        assert_eq!(expand("jal", &ops(&["f"])).unwrap(), vec![ins("jal", &["ra", "f"])]);
+        assert_eq!(expand("ret", &[]).unwrap(), vec![ins("jalr", &["x0", "ra", "0"])]);
+        assert_eq!(expand("call", &ops(&["f"])).unwrap(), vec![ins("jal", &["ra", "f"])]);
+        assert_eq!(expand("jr", &ops(&["t0"])).unwrap(), vec![ins("jalr", &["x0", "t0", "0"])]);
+        // Two-operand `jal rd, label` is NOT a pseudo.
+        assert_eq!(expand("jal", &ops(&["ra", "f"])), None);
+    }
+
+    #[test]
+    fn float_register_moves() {
+        assert_eq!(
+            expand("fmv.s", &ops(&["fa0", "fa1"])).unwrap(),
+            vec![ins("fsgnj.s", &["fa0", "fa1", "fa1"])]
+        );
+        assert_eq!(
+            expand("fneg.s", &ops(&["fa0", "fa1"])).unwrap(),
+            vec![ins("fsgnjn.s", &["fa0", "fa1", "fa1"])]
+        );
+        assert_eq!(
+            expand("fabs.s", &ops(&["fa0", "fa1"])).unwrap(),
+            vec![ins("fsgnjx.s", &["fa0", "fa1", "fa1"])]
+        );
+    }
+
+    #[test]
+    fn non_pseudo_returns_none() {
+        assert_eq!(expand("add", &ops(&["a0", "a1", "a2"])), None);
+        assert_eq!(expand("lw", &ops(&["a0", "0(sp)"])), None);
+    }
+
+    #[test]
+    fn parse_int_forms() {
+        assert_eq!(parse_int("42"), Ok(42));
+        assert_eq!(parse_int("-7"), Ok(-7));
+        assert_eq!(parse_int("0x10"), Ok(16));
+        assert_eq!(parse_int("0b101"), Ok(5));
+        assert_eq!(parse_int("+3"), Ok(3));
+        assert!(parse_int("arr").is_err());
+        assert!(parse_int("").is_err());
+    }
+
+    #[test]
+    fn is_pseudo_matches_expand() {
+        for name in ["nop", "li", "la", "mv", "ret", "call", "beqz", "fneg.s"] {
+            assert!(is_pseudo(name), "{name}");
+        }
+        assert!(!is_pseudo("add"));
+        assert!(!is_pseudo("lw"));
+    }
+}

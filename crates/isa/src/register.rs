@@ -1,0 +1,263 @@
+//! Architectural register identifiers and the 64-bit register value model.
+//!
+//! The paper (§III-B) represents every register as a 64-bit array whose
+//! interpretation depends on the executing instruction, plus metadata with the
+//! data type currently stored so the GUI can show the intended value.  The
+//! renaming bookkeeping itself lives in `rvsim-core`; this module only defines
+//! the architectural name space and the value container.
+
+use crate::types::DataType;
+use crate::value::TypedValue;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which architectural register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub enum RegisterFileKind {
+    /// Integer registers `x0`–`x31`.
+    Int,
+    /// Floating-point registers `f0`–`f31`.
+    Fp,
+}
+
+/// Identifier of one architectural register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct RegisterId {
+    /// Register file the register belongs to.
+    pub kind: RegisterFileKind,
+    /// Index within the file, `0..32`.
+    pub index: u8,
+}
+
+impl RegisterId {
+    /// Integer register `x{index}`.
+    pub fn x(index: u8) -> Self {
+        debug_assert!(index < 32);
+        RegisterId { kind: RegisterFileKind::Int, index }
+    }
+
+    /// Floating-point register `f{index}`.
+    pub fn f(index: u8) -> Self {
+        debug_assert!(index < 32);
+        RegisterId { kind: RegisterFileKind::Fp, index }
+    }
+
+    /// The zero register `x0`.
+    pub fn zero() -> Self {
+        Self::x(0)
+    }
+
+    /// The stack pointer `x2` / `sp`.
+    pub fn sp() -> Self {
+        Self::x(2)
+    }
+
+    /// The return-address register `x1` / `ra`.
+    pub fn ra() -> Self {
+        Self::x(1)
+    }
+
+    /// True if this is the hard-wired zero register.
+    pub fn is_zero(self) -> bool {
+        self.kind == RegisterFileKind::Int && self.index == 0
+    }
+
+    /// Canonical architectural name (`x7`, `f12`).
+    pub fn arch_name(self) -> String {
+        match self.kind {
+            RegisterFileKind::Int => format!("x{}", self.index),
+            RegisterFileKind::Fp => format!("f{}", self.index),
+        }
+    }
+
+    /// ABI name (`a0`, `sp`, `ft3`, …).
+    pub fn abi_name(self) -> &'static str {
+        match self.kind {
+            RegisterFileKind::Int => INT_ABI_NAMES[self.index as usize],
+            RegisterFileKind::Fp => FP_ABI_NAMES[self.index as usize],
+        }
+    }
+
+    /// Parse a register name.  Accepts architectural (`x5`, `f3`) and ABI
+    /// (`t0`, `sp`, `fa0`) spellings.
+    pub fn parse(name: &str) -> Option<RegisterId> {
+        let name = name.trim();
+        // Architectural spellings.
+        if let Some(rest) = name.strip_prefix('x') {
+            if let Ok(i) = rest.parse::<u8>() {
+                if i < 32 {
+                    return Some(RegisterId::x(i));
+                }
+            }
+        }
+        if let Some(rest) = name.strip_prefix('f') {
+            if let Ok(i) = rest.parse::<u8>() {
+                if i < 32 {
+                    return Some(RegisterId::f(i));
+                }
+            }
+        }
+        // ABI spellings.
+        if let Some(pos) = INT_ABI_NAMES.iter().position(|&n| n == name) {
+            return Some(RegisterId::x(pos as u8));
+        }
+        if let Some(pos) = FP_ABI_NAMES.iter().position(|&n| n == name) {
+            return Some(RegisterId::f(pos as u8));
+        }
+        // `fp` is an alias for `s0`/`x8`.
+        if name == "fp" {
+            return Some(RegisterId::x(8));
+        }
+        None
+    }
+}
+
+impl fmt::Display for RegisterId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// ABI names of the integer registers, indexed by register number.
+pub const INT_ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+/// ABI names of the floating-point registers, indexed by register number.
+pub const FP_ABI_NAMES: [&str; 32] = [
+    "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+    "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+    "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+];
+
+/// A 64-bit register value with data-type metadata (paper §III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RegisterValue {
+    /// Raw 64-bit contents.
+    pub bits: u64,
+    /// Type of the value last written, used for display and typed reads.
+    pub data_type: DataType,
+}
+
+impl Default for RegisterValue {
+    fn default() -> Self {
+        RegisterValue { bits: 0, data_type: DataType::Int }
+    }
+}
+
+impl RegisterValue {
+    /// A zeroed integer register value.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Build from a typed value.
+    pub fn from_typed(value: TypedValue) -> Self {
+        RegisterValue { bits: value.bits(), data_type: value.data_type() }
+    }
+
+    /// View as a typed value.
+    pub fn typed(self) -> TypedValue {
+        TypedValue::from_bits(self.bits, self.data_type)
+    }
+
+    /// Signed 64-bit view (sign-extended from 32 bits for 32-bit types).
+    pub fn as_i64(self) -> i64 {
+        self.typed().as_i64()
+    }
+
+    /// Single-precision float view.
+    pub fn as_f32(self) -> f32 {
+        f32::from_bits(self.bits as u32)
+    }
+
+    /// Human-readable rendering that respects the stored data type — the GUI
+    /// behaviour described in §III-B (show `'a'` instead of `97`).
+    pub fn display_value(self) -> String {
+        match self.data_type {
+            DataType::Int => format!("{}", self.bits as u32 as i32),
+            DataType::UInt => format!("{}", self.bits as u32),
+            DataType::Long => format!("{}", self.bits as i64),
+            DataType::ULong => format!("{}", self.bits),
+            DataType::Float => format!("{}", f32::from_bits(self.bits as u32)),
+            DataType::Double => format!("{}", f64::from_bits(self.bits)),
+            DataType::Char => {
+                let c = (self.bits & 0xff) as u8 as char;
+                if c.is_ascii_graphic() || c == ' ' {
+                    format!("'{c}'")
+                } else {
+                    format!("0x{:02x}", self.bits & 0xff)
+                }
+            }
+            DataType::Bool => if self.bits != 0 { "true" } else { "false" }.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_architectural_names() {
+        assert_eq!(RegisterId::parse("x0"), Some(RegisterId::x(0)));
+        assert_eq!(RegisterId::parse("x31"), Some(RegisterId::x(31)));
+        assert_eq!(RegisterId::parse("f15"), Some(RegisterId::f(15)));
+        assert_eq!(RegisterId::parse("x32"), None);
+        assert_eq!(RegisterId::parse("y3"), None);
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!(RegisterId::parse("zero"), Some(RegisterId::x(0)));
+        assert_eq!(RegisterId::parse("ra"), Some(RegisterId::x(1)));
+        assert_eq!(RegisterId::parse("sp"), Some(RegisterId::x(2)));
+        assert_eq!(RegisterId::parse("a0"), Some(RegisterId::x(10)));
+        assert_eq!(RegisterId::parse("t6"), Some(RegisterId::x(31)));
+        assert_eq!(RegisterId::parse("fa0"), Some(RegisterId::f(10)));
+        assert_eq!(RegisterId::parse("ft11"), Some(RegisterId::f(31)));
+        assert_eq!(RegisterId::parse("fp"), Some(RegisterId::x(8)));
+        assert_eq!(RegisterId::parse("s0"), Some(RegisterId::x(8)));
+    }
+
+    #[test]
+    fn every_abi_name_round_trips() {
+        for i in 0..32u8 {
+            let r = RegisterId::x(i);
+            assert_eq!(RegisterId::parse(r.abi_name()), Some(r), "int reg {i}");
+            assert_eq!(RegisterId::parse(&r.arch_name()), Some(r));
+            let r = RegisterId::f(i);
+            assert_eq!(RegisterId::parse(r.abi_name()), Some(r), "fp reg {i}");
+            assert_eq!(RegisterId::parse(&r.arch_name()), Some(r));
+        }
+    }
+
+    #[test]
+    fn zero_register_detection() {
+        assert!(RegisterId::x(0).is_zero());
+        assert!(!RegisterId::f(0).is_zero());
+        assert!(!RegisterId::x(1).is_zero());
+    }
+
+    #[test]
+    fn register_value_display_respects_type() {
+        let v = RegisterValue { bits: (-5i32 as u32) as u64, data_type: DataType::Int };
+        assert_eq!(v.display_value(), "-5");
+        let v = RegisterValue { bits: 2.5f32.to_bits() as u64, data_type: DataType::Float };
+        assert_eq!(v.display_value(), "2.5");
+        let v = RegisterValue { bits: 97, data_type: DataType::Char };
+        assert_eq!(v.display_value(), "'a'");
+        let v = RegisterValue { bits: 1, data_type: DataType::Bool };
+        assert_eq!(v.display_value(), "true");
+    }
+
+    #[test]
+    fn register_value_typed_round_trip() {
+        let tv = TypedValue::float(1.5);
+        let rv = RegisterValue::from_typed(tv);
+        assert_eq!(rv.as_f32(), 1.5);
+        assert_eq!(rv.typed(), tv);
+    }
+}

@@ -1,0 +1,463 @@
+//! Built-in RV32IM+F (plus a D subset) instruction definitions.
+//!
+//! This is the Rust equivalent of the paper's instruction-definition JSON file
+//! (Listing 1): each entry is an [`InstructionDescriptor`] with a postfix
+//! semantics expression.  The table can be exported with
+//! [`crate::InstructionSet::to_json`] and edited/extended by users.
+
+use crate::descriptor::{
+    ArgumentDescriptor as Arg, InstructionDescriptor, MemoryAccessDescriptor,
+};
+use crate::types::{DataType, FunctionalClass, InstructionType};
+
+fn base(name: &str, itype: InstructionType, class: FunctionalClass, ext: &str) -> InstructionDescriptor {
+    InstructionDescriptor {
+        name: name.to_string(),
+        instruction_type: itype,
+        functional_class: class,
+        arguments: Vec::new(),
+        interpretable_as: String::new(),
+        address: None,
+        condition: None,
+        target: None,
+        memory: None,
+        flops: 0,
+        extension: ext.to_string(),
+    }
+}
+
+/// R-type integer: `op rd, rs1, rs2`.
+fn int_r(name: &str, op: &str, ext: &str) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fx, ext);
+    d.arguments = vec![Arg::int_reg_wb("rd"), Arg::int_reg("rs1"), Arg::int_reg("rs2")];
+    d.interpretable_as = format!("\\rs1 \\rs2 {op} \\rd =");
+    d
+}
+
+/// I-type integer: `op rd, rs1, imm`.
+fn int_i(name: &str, op: &str, ext: &str) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fx, ext);
+    d.arguments = vec![Arg::int_reg_wb("rd"), Arg::int_reg("rs1"), Arg::imm("imm")];
+    d.interpretable_as = format!("\\rs1 \\imm {op} \\rd =");
+    d
+}
+
+/// Integer load: `op rd, imm(rs1)`.
+fn load(name: &str, size: usize, sign_extend: bool, dt: DataType) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::LoadStore, FunctionalClass::Load, "I");
+    d.arguments = vec![Arg::int_reg_wb("rd"), Arg::imm("imm"), Arg::int_reg("rs1")];
+    d.address = Some("\\rs1 \\imm +".to_string());
+    d.memory = Some(MemoryAccessDescriptor { size, sign_extend, is_store: false, data_type: dt });
+    d
+}
+
+/// Integer store: `op rs2, imm(rs1)`.
+fn store(name: &str, size: usize, dt: DataType) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::LoadStore, FunctionalClass::Store, "I");
+    d.arguments = vec![Arg::int_reg("rs2"), Arg::imm("imm"), Arg::int_reg("rs1")];
+    d.address = Some("\\rs1 \\imm +".to_string());
+    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
+    d
+}
+
+/// Conditional branch: `op rs1, rs2, imm`.
+fn branch(name: &str, cond: &str) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::JumpBranch, FunctionalClass::Branch, "I");
+    d.arguments = vec![Arg::int_reg("rs1"), Arg::int_reg("rs2"), Arg::label("imm")];
+    d.condition = Some(format!("\\rs1 \\rs2 {cond}"));
+    d.target = Some("\\pc \\imm +".to_string());
+    d
+}
+
+/// FP R-type: `op rd, rs1, rs2` (all FP registers).
+fn fp_r(name: &str, op: &str, flops: u32, ext: &str, dt: DataType) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fp, ext);
+    let (mut rd, mut rs1, mut rs2) = (Arg::fp_reg_wb("rd"), Arg::fp_reg("rs1"), Arg::fp_reg("rs2"));
+    rd.data_type = dt;
+    rs1.data_type = dt;
+    rs2.data_type = dt;
+    d.arguments = vec![rd, rs1, rs2];
+    d.interpretable_as = format!("\\rs1 \\rs2 {op} \\rd =");
+    d.flops = flops;
+    d
+}
+
+/// FP compare writing an integer register: `op rd, rs1, rs2`.
+fn fp_cmp(name: &str, op: &str, ext: &str, dt: DataType) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fp, ext);
+    let (mut rs1, mut rs2) = (Arg::fp_reg("rs1"), Arg::fp_reg("rs2"));
+    rs1.data_type = dt;
+    rs2.data_type = dt;
+    d.arguments = vec![Arg::int_reg_wb("rd"), rs1, rs2];
+    d.interpretable_as = format!("\\rs1 \\rs2 {op} \\rd =");
+    d
+}
+
+/// FP unary: `op rd, rs1`.
+fn fp_unary(
+    name: &str,
+    expr: &str,
+    flops: u32,
+    ext: &str,
+    rd_fp: bool,
+    rs1_fp: bool,
+    dt: DataType,
+) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fp, ext);
+    let mut rd = if rd_fp { Arg::fp_reg_wb("rd") } else { Arg::int_reg_wb("rd") };
+    let mut rs1 = if rs1_fp { Arg::fp_reg("rs1") } else { Arg::int_reg("rs1") };
+    if rd_fp {
+        rd.data_type = dt;
+    }
+    if rs1_fp {
+        rs1.data_type = dt;
+    }
+    d.arguments = vec![rd, rs1];
+    d.interpretable_as = expr.to_string();
+    d.flops = flops;
+    d
+}
+
+/// FP fused multiply-add family: `op rd, rs1, rs2, rs3`.
+fn fp_fma(name: &str, expr: &str, ext: &str, dt: DataType) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::Arithmetic, FunctionalClass::Fp, ext);
+    let mut args =
+        vec![Arg::fp_reg_wb("rd"), Arg::fp_reg("rs1"), Arg::fp_reg("rs2"), Arg::fp_reg("rs3")];
+    for a in &mut args {
+        a.data_type = dt;
+    }
+    d.arguments = args;
+    d.interpretable_as = expr.to_string();
+    d.flops = 2;
+    d
+}
+
+/// FP load: `op rd, imm(rs1)` with an FP destination.
+fn fp_load(name: &str, size: usize, dt: DataType, ext: &str) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::LoadStore, FunctionalClass::Load, ext);
+    let mut rd = Arg::fp_reg_wb("rd");
+    rd.data_type = dt;
+    d.arguments = vec![rd, Arg::imm("imm"), Arg::int_reg("rs1")];
+    d.address = Some("\\rs1 \\imm +".to_string());
+    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: false, data_type: dt });
+    d
+}
+
+/// FP store: `op rs2, imm(rs1)` with an FP source.
+fn fp_store(name: &str, size: usize, dt: DataType, ext: &str) -> InstructionDescriptor {
+    let mut d = base(name, InstructionType::LoadStore, FunctionalClass::Store, ext);
+    let mut rs2 = Arg::fp_reg("rs2");
+    rs2.data_type = dt;
+    d.arguments = vec![rs2, Arg::imm("imm"), Arg::int_reg("rs1")];
+    d.address = Some("\\rs1 \\imm +".to_string());
+    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
+    d
+}
+
+/// Build the complete built-in instruction list.
+pub fn base_instructions() -> Vec<InstructionDescriptor> {
+    let mut v: Vec<InstructionDescriptor> = Vec::with_capacity(128);
+
+    // ----------------------------------------------------------------- RV32I
+    v.push(int_r("add", "+", "I"));
+    v.push(int_r("sub", "-", "I"));
+    v.push(int_r("and", "&", "I"));
+    v.push(int_r("or", "|", "I"));
+    v.push(int_r("xor", "^", "I"));
+    v.push(int_r("sll", "<<", "I"));
+    v.push(int_r("srl", ">>>", "I"));
+    v.push(int_r("sra", ">>", "I"));
+    v.push(int_r("slt", "<", "I"));
+    v.push(int_r("sltu", "u<", "I"));
+
+    v.push(int_i("addi", "+", "I"));
+    v.push(int_i("andi", "&", "I"));
+    v.push(int_i("ori", "|", "I"));
+    v.push(int_i("xori", "^", "I"));
+    v.push(int_i("slli", "<<", "I"));
+    v.push(int_i("srli", ">>>", "I"));
+    v.push(int_i("srai", ">>", "I"));
+    v.push(int_i("slti", "<", "I"));
+    v.push(int_i("sltiu", "u<", "I"));
+
+    // lui / auipc take a 20-bit upper immediate.
+    let mut lui = base("lui", InstructionType::Arithmetic, FunctionalClass::Fx, "I");
+    lui.arguments = vec![Arg::int_reg_wb("rd"), Arg::imm("imm")];
+    lui.interpretable_as = "\\imm 12 << \\rd =".to_string();
+    v.push(lui);
+
+    let mut auipc = base("auipc", InstructionType::Arithmetic, FunctionalClass::Fx, "I");
+    auipc.arguments = vec![Arg::int_reg_wb("rd"), Arg::imm("imm")];
+    auipc.interpretable_as = "\\pc \\imm 12 << + \\rd =".to_string();
+    v.push(auipc);
+
+    // Loads and stores.
+    v.push(load("lw", 4, true, DataType::Int));
+    v.push(load("lh", 2, true, DataType::Int));
+    v.push(load("lb", 1, true, DataType::Char));
+    v.push(load("lhu", 2, false, DataType::Int));
+    v.push(load("lbu", 1, false, DataType::Char));
+    v.push(store("sw", 4, DataType::Int));
+    v.push(store("sh", 2, DataType::Int));
+    v.push(store("sb", 1, DataType::Char));
+
+    // Conditional branches.
+    v.push(branch("beq", "=="));
+    v.push(branch("bne", "!="));
+    v.push(branch("blt", "<"));
+    v.push(branch("bge", ">="));
+    v.push(branch("bltu", "u<"));
+    v.push(branch("bgeu", "u>="));
+
+    // Unconditional jumps.
+    let mut jal = base("jal", InstructionType::JumpBranch, FunctionalClass::Branch, "I");
+    jal.arguments = vec![Arg::int_reg_wb("rd"), Arg::label("imm")];
+    jal.interpretable_as = "\\pc 4 + \\rd =".to_string();
+    jal.target = Some("\\pc \\imm +".to_string());
+    v.push(jal);
+
+    let mut jalr = base("jalr", InstructionType::JumpBranch, FunctionalClass::Branch, "I");
+    jalr.arguments = vec![Arg::int_reg_wb("rd"), Arg::int_reg("rs1"), Arg::imm("imm")];
+    jalr.interpretable_as = "\\pc 4 + \\rd =".to_string();
+    jalr.target = Some("\\rs1 \\imm + -2 &".to_string());
+    v.push(jalr);
+
+    // ----------------------------------------------------------------- RV32M
+    v.push(int_r("mul", "*", "M"));
+    v.push(int_r("mulh", "mulh", "M"));
+    v.push(int_r("mulhu", "mulhu", "M"));
+    v.push(int_r("mulhsu", "mulhsu", "M"));
+    v.push(int_r("div", "/", "M"));
+    v.push(int_r("divu", "u/", "M"));
+    v.push(int_r("rem", "%", "M"));
+    v.push(int_r("remu", "u%", "M"));
+
+    // ----------------------------------------------------------------- RV32F
+    v.push(fp_load("flw", 4, DataType::Float, "F"));
+    v.push(fp_store("fsw", 4, DataType::Float, "F"));
+    v.push(fp_r("fadd.s", "f+", 1, "F", DataType::Float));
+    v.push(fp_r("fsub.s", "f-", 1, "F", DataType::Float));
+    v.push(fp_r("fmul.s", "f*", 1, "F", DataType::Float));
+    v.push(fp_r("fdiv.s", "f/", 1, "F", DataType::Float));
+    v.push(fp_r("fmin.s", "fmin", 1, "F", DataType::Float));
+    v.push(fp_r("fmax.s", "fmax", 1, "F", DataType::Float));
+    v.push(fp_r("fsgnj.s", "fsgnj", 0, "F", DataType::Float));
+    v.push(fp_r("fsgnjn.s", "fsgnjn", 0, "F", DataType::Float));
+    v.push(fp_r("fsgnjx.s", "fsgnjx", 0, "F", DataType::Float));
+    v.push(fp_cmp("feq.s", "f==", "F", DataType::Float));
+    v.push(fp_cmp("flt.s", "f<", "F", DataType::Float));
+    v.push(fp_cmp("fle.s", "f<=", "F", DataType::Float));
+    {
+        let mut d = fp_unary("fsqrt.s", "\\rs1 fsqrt \\rd =", 1, "F", true, true, DataType::Float);
+        d.flops = 1;
+        v.push(d);
+    }
+    v.push(fp_unary("fcvt.s.w", "\\rs1 i2f \\rd =", 0, "F", true, false, DataType::Float));
+    v.push(fp_unary("fcvt.s.wu", "\\rs1 u2f \\rd =", 0, "F", true, false, DataType::Float));
+    v.push(fp_unary("fcvt.w.s", "\\rs1 f2i \\rd =", 0, "F", false, true, DataType::Float));
+    v.push(fp_unary("fcvt.wu.s", "\\rs1 f2u \\rd =", 0, "F", false, true, DataType::Float));
+    v.push(fp_unary("fmv.x.w", "\\rs1 f2bits \\rd =", 0, "F", false, true, DataType::Float));
+    v.push(fp_unary("fmv.w.x", "\\rs1 bits2f \\rd =", 0, "F", true, false, DataType::Float));
+    v.push(fp_fma("fmadd.s", "\\rs1 \\rs2 f* \\rs3 f+ \\rd =", "F", DataType::Float));
+    v.push(fp_fma("fmsub.s", "\\rs1 \\rs2 f* \\rs3 f- \\rd =", "F", DataType::Float));
+    v.push(fp_fma("fnmadd.s", "\\rs1 \\rs2 f* fneg \\rs3 f- \\rd =", "F", DataType::Float));
+    v.push(fp_fma("fnmsub.s", "\\rs1 \\rs2 f* fneg \\rs3 f+ \\rd =", "F", DataType::Float));
+
+    // ------------------------------------------------- RV32D (common subset)
+    v.push(fp_load("fld", 8, DataType::Double, "D"));
+    v.push(fp_store("fsd", 8, DataType::Double, "D"));
+    v.push(fp_r("fadd.d", "d+", 1, "D", DataType::Double));
+    v.push(fp_r("fsub.d", "d-", 1, "D", DataType::Double));
+    v.push(fp_r("fmul.d", "d*", 1, "D", DataType::Double));
+    v.push(fp_r("fdiv.d", "d/", 1, "D", DataType::Double));
+    v.push(fp_r("fmin.d", "dmin", 1, "D", DataType::Double));
+    v.push(fp_r("fmax.d", "dmax", 1, "D", DataType::Double));
+    v.push(fp_cmp("feq.d", "d==", "D", DataType::Double));
+    v.push(fp_cmp("flt.d", "d<", "D", DataType::Double));
+    v.push(fp_cmp("fle.d", "d<=", "D", DataType::Double));
+    {
+        let mut d = fp_unary("fsqrt.d", "\\rs1 dsqrt \\rd =", 1, "D", true, true, DataType::Double);
+        d.flops = 1;
+        v.push(d);
+    }
+    v.push(fp_unary("fcvt.d.w", "\\rs1 i2d \\rd =", 0, "D", true, false, DataType::Double));
+    v.push(fp_unary("fcvt.w.d", "\\rs1 d2i \\rd =", 0, "D", false, true, DataType::Double));
+    v.push(fp_unary("fcvt.d.s", "\\rs1 f2d \\rd =", 0, "D", true, true, DataType::Double));
+    v.push(fp_unary("fcvt.s.d", "\\rs1 d2f \\rd =", 0, "D", true, true, DataType::Double));
+    v.push(fp_fma("fmadd.d", "\\rs1 \\rs2 d* \\rs3 d+ \\rd =", "D", DataType::Double));
+    v.push(fp_fma("fmsub.d", "\\rs1 \\rs2 d* \\rs3 d- \\rd =", "D", DataType::Double));
+
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expression::Evaluator;
+    use crate::value::TypedValue;
+
+    fn isa() -> crate::InstructionSet {
+        crate::InstructionSet::rv32imf()
+    }
+
+    fn exec_rr(name: &str, a: i32, b: i32) -> i64 {
+        let isa = isa();
+        let d = isa.get(name).unwrap();
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::int(a));
+        e.bind("rs2", TypedValue::int(b));
+        e.bind("rd", TypedValue::int(0));
+        let out = e.run(&d.interpretable_as).unwrap();
+        out.assignments[0].1.as_i64()
+    }
+
+    #[test]
+    fn no_duplicate_mnemonics() {
+        let list = base_instructions();
+        let mut names: Vec<&str> = list.iter().map(|d| d.name.as_str()).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(before, names.len(), "duplicate instruction names in builtin table");
+    }
+
+    #[test]
+    fn every_descriptor_is_internally_consistent() {
+        for d in base_instructions() {
+            // Memory instructions must have an address expression and vice versa.
+            assert_eq!(d.memory.is_some(), d.address.is_some(), "{}", d.name);
+            // Branch-class instructions must have a target.
+            if d.functional_class == crate::FunctionalClass::Branch {
+                assert!(d.target.is_some(), "{} missing target", d.name);
+            } else {
+                assert!(d.target.is_none(), "{} has unexpected target", d.name);
+                assert!(d.condition.is_none(), "{} has unexpected condition", d.name);
+            }
+            // Stores never write back; loads and arithmetic do.
+            if d.is_store() {
+                assert_eq!(d.write_back_args().count(), 0, "{} store writes back", d.name);
+            }
+            if d.is_load() {
+                assert_eq!(d.write_back_args().count(), 1, "{} load needs one dest", d.name);
+            }
+            assert!(!d.extension.is_empty(), "{} missing extension tag", d.name);
+        }
+    }
+
+    #[test]
+    fn integer_alu_semantics() {
+        assert_eq!(exec_rr("add", 2, 3), 5);
+        assert_eq!(exec_rr("sub", 2, 3), -1);
+        assert_eq!(exec_rr("and", 0b1100, 0b1010), 0b1000);
+        assert_eq!(exec_rr("or", 0b1100, 0b1010), 0b1110);
+        assert_eq!(exec_rr("xor", 0b1100, 0b1010), 0b0110);
+        assert_eq!(exec_rr("sll", 1, 4), 16);
+        assert_eq!(exec_rr("srl", -16, 2), 0x3fff_fffc);
+        assert_eq!(exec_rr("sra", -16, 2), -4);
+        assert_eq!(exec_rr("slt", -1, 1), 1);
+        assert_eq!(exec_rr("sltu", -1, 1), 0);
+        assert_eq!(exec_rr("mul", -3, 7), -21);
+        assert_eq!(exec_rr("div", 7, 2), 3);
+        assert_eq!(exec_rr("rem", 7, 2), 1);
+        assert_eq!(exec_rr("divu", -1, 2), 0x7fff_ffff);
+    }
+
+    #[test]
+    fn lui_and_auipc_shift_immediate() {
+        let isa = isa();
+        let mut e = Evaluator::new();
+        e.bind("imm", TypedValue::int(0x12345));
+        e.bind("rd", TypedValue::int(0));
+        let out = e.run(&isa.get("lui").unwrap().interpretable_as).unwrap();
+        assert_eq!(out.assignments[0].1.as_u32(), 0x1234_5000);
+
+        let mut e = Evaluator::new();
+        e.bind("imm", TypedValue::int(1));
+        e.bind("pc", TypedValue::int(0x100));
+        e.bind("rd", TypedValue::int(0));
+        let out = e.run(&isa.get("auipc").unwrap().interpretable_as).unwrap();
+        assert_eq!(out.assignments[0].1.as_u32(), 0x1100);
+    }
+
+    #[test]
+    fn jalr_clears_low_bit_of_target() {
+        let isa = isa();
+        let d = isa.get("jalr").unwrap();
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::int(0x103));
+        e.bind("imm", TypedValue::int(0));
+        e.bind("pc", TypedValue::int(0));
+        e.bind("rd", TypedValue::int(0));
+        let out = e.run(d.target.as_ref().unwrap()).unwrap();
+        assert_eq!(out.result.unwrap().as_u32(), 0x102);
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let isa = isa();
+        let cases = [
+            ("beq", 5, 5, true),
+            ("beq", 5, 6, false),
+            ("bne", 5, 6, true),
+            ("blt", -1, 0, true),
+            ("bge", -1, 0, false),
+            ("bltu", -1, 0, false),
+            ("bgeu", -1, 0, true),
+        ];
+        for (name, a, b, taken) in cases {
+            let d = isa.get(name).unwrap();
+            let mut e = Evaluator::new();
+            e.bind("rs1", TypedValue::int(a));
+            e.bind("rs2", TypedValue::int(b));
+            let out = e.run(d.condition.as_ref().unwrap()).unwrap();
+            assert_eq!(out.result.unwrap().is_true(), taken, "{name} {a} {b}");
+        }
+    }
+
+    #[test]
+    fn fp_fma_semantics() {
+        let isa = isa();
+        let d = isa.get("fmadd.s").unwrap();
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::float(2.0));
+        e.bind("rs2", TypedValue::float(3.0));
+        e.bind("rs3", TypedValue::float(1.0));
+        e.bind("rd", TypedValue::float(0.0));
+        let out = e.run(&d.interpretable_as).unwrap();
+        assert_eq!(out.assignments[0].1.as_f32(), 7.0);
+        assert_eq!(d.flops, 2);
+
+        let d = isa.get("fnmadd.s").unwrap();
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::float(2.0));
+        e.bind("rs2", TypedValue::float(3.0));
+        e.bind("rs3", TypedValue::float(1.0));
+        e.bind("rd", TypedValue::float(0.0));
+        let out = e.run(&d.interpretable_as).unwrap();
+        assert_eq!(out.assignments[0].1.as_f32(), -7.0);
+    }
+
+    #[test]
+    fn double_precision_subset() {
+        let isa = isa();
+        let d = isa.get("fadd.d").unwrap();
+        let mut e = Evaluator::new();
+        e.bind("rs1", TypedValue::double(1.25));
+        e.bind("rs2", TypedValue::double(2.5));
+        e.bind("rd", TypedValue::double(0.0));
+        let out = e.run(&d.interpretable_as).unwrap();
+        assert_eq!(out.assignments[0].1.as_f64(), 3.75);
+        assert_eq!(isa.get("fld").unwrap().memory.unwrap().size, 8);
+    }
+
+    #[test]
+    fn memory_access_shapes() {
+        let isa = isa();
+        assert_eq!(isa.get("lb").unwrap().memory.unwrap().size, 1);
+        assert!(isa.get("lb").unwrap().memory.unwrap().sign_extend);
+        assert!(!isa.get("lbu").unwrap().memory.unwrap().sign_extend);
+        assert_eq!(isa.get("sh").unwrap().memory.unwrap().size, 2);
+        assert!(isa.get("sh").unwrap().memory.unwrap().is_store);
+        assert_eq!(isa.get("flw").unwrap().memory.unwrap().data_type, DataType::Float);
+    }
+}

@@ -1,0 +1,238 @@
+//! Shared enumerations: data types, instruction categories, argument kinds and
+//! runtime exceptions.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Data type carried by a register value or instruction operand.
+///
+/// Registers are physically 64-bit (paper §III-B) but every value carries a
+/// type tag so the GUI/CLI can display the *intended* value (`char`, `float`,
+/// …) instead of a raw bit pattern, and so the expression interpreter knows
+/// which arithmetic to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum DataType {
+    /// 32-bit signed integer (`kInt` in the paper's JSON).
+    #[default]
+    #[serde(rename = "kInt")]
+    Int,
+    /// 32-bit unsigned integer.
+    #[serde(rename = "kUInt")]
+    UInt,
+    /// 64-bit signed integer.
+    #[serde(rename = "kLong")]
+    Long,
+    /// 64-bit unsigned integer.
+    #[serde(rename = "kULong")]
+    ULong,
+    /// IEEE-754 single precision.
+    #[serde(rename = "kFloat")]
+    Float,
+    /// IEEE-754 double precision.
+    #[serde(rename = "kDouble")]
+    Double,
+    /// 8-bit character.
+    #[serde(rename = "kChar")]
+    Char,
+    /// Boolean (0/1).
+    #[serde(rename = "kBool")]
+    Bool,
+}
+
+impl DataType {
+    /// Size of the type in bytes when stored in memory.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DataType::Char | DataType::Bool => 1,
+            DataType::Int | DataType::UInt | DataType::Float => 4,
+            DataType::Long | DataType::ULong | DataType::Double => 8,
+        }
+    }
+
+    /// True for `Float` / `Double`.
+    pub fn is_float(self) -> bool {
+        matches!(self, DataType::Float | DataType::Double)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int => "int",
+            DataType::UInt => "uint",
+            DataType::Long => "long",
+            DataType::ULong => "ulong",
+            DataType::Float => "float",
+            DataType::Double => "double",
+            DataType::Char => "char",
+            DataType::Bool => "bool",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Coarse instruction category, mirroring the `instructionType` field of the
+/// paper's instruction-definition JSON.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstructionType {
+    /// Integer or floating-point arithmetic / logic (`kArithmetic`).
+    #[serde(rename = "kArithmetic")]
+    Arithmetic,
+    /// Memory access (`kLoadstore`).
+    #[serde(rename = "kLoadstore")]
+    LoadStore,
+    /// Conditional branches and unconditional jumps (`kJumpbranch`).
+    #[serde(rename = "kJumpbranch")]
+    JumpBranch,
+}
+
+/// Which issue window / functional unit class executes the instruction.
+///
+/// The paper's processor view has issue windows for the FX and FP ALUs, the
+/// branch unit and the load/store unit, plus a memory access unit behind the
+/// L/S buffers (§II-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FunctionalClass {
+    /// Integer ALU (arithmetic, logic, shifts, multiplication, division).
+    Fx,
+    /// Floating-point ALU.
+    Fp,
+    /// Load instructions (go through the load buffer).
+    Load,
+    /// Store instructions (go through the store buffer).
+    Store,
+    /// Conditional branches and jumps.
+    Branch,
+}
+
+impl FunctionalClass {
+    /// Human-readable short name used in statistics tables.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            FunctionalClass::Fx => "FX",
+            FunctionalClass::Fp => "FP",
+            FunctionalClass::Load => "LOAD",
+            FunctionalClass::Store => "STORE",
+            FunctionalClass::Branch => "BRANCH",
+        }
+    }
+}
+
+impl fmt::Display for FunctionalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Kind of an instruction argument.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ArgKind {
+    /// Integer register (`x0`–`x31`).
+    IntReg,
+    /// Floating-point register (`f0`–`f31`).
+    FpReg,
+    /// Immediate constant.
+    Imm,
+    /// Label reference (resolved by the assembler to an address / offset).
+    Label,
+}
+
+/// Runtime exceptions raised during instruction interpretation.  Exceptions
+/// are recorded on the instruction and acted upon when it commits
+/// (paper §III-B).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Exception {
+    /// Integer division by zero.
+    DivisionByZero,
+    /// Memory access outside the allocated memory image.
+    InvalidAddress {
+        /// The offending byte address.
+        address: u64,
+    },
+    /// Misaligned memory access for the given access size.
+    MisalignedAccess {
+        /// The offending byte address.
+        address: u64,
+        /// Access size in bytes.
+        size: usize,
+    },
+    /// Jump/branch outside the program.
+    InvalidJumpTarget {
+        /// Target program counter.
+        target: u64,
+    },
+    /// Expression-interpreter failure (malformed semantics string).
+    Interpreter(String),
+    /// Call-stack overflow (SP ran below the reserved stack area).
+    StackOverflow,
+}
+
+impl fmt::Display for Exception {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Exception::DivisionByZero => write!(f, "integer division by zero"),
+            Exception::InvalidAddress { address } => {
+                write!(f, "invalid memory access at 0x{address:x}")
+            }
+            Exception::MisalignedAccess { address, size } => {
+                write!(f, "misaligned {size}-byte access at 0x{address:x}")
+            }
+            Exception::InvalidJumpTarget { target } => {
+                write!(f, "jump outside program to 0x{target:x}")
+            }
+            Exception::Interpreter(msg) => write!(f, "interpreter error: {msg}"),
+            Exception::StackOverflow => write!(f, "call stack overflow"),
+        }
+    }
+}
+
+impl std::error::Error for Exception {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_type_sizes() {
+        assert_eq!(DataType::Char.size_bytes(), 1);
+        assert_eq!(DataType::Bool.size_bytes(), 1);
+        assert_eq!(DataType::Int.size_bytes(), 4);
+        assert_eq!(DataType::UInt.size_bytes(), 4);
+        assert_eq!(DataType::Float.size_bytes(), 4);
+        assert_eq!(DataType::Long.size_bytes(), 8);
+        assert_eq!(DataType::Double.size_bytes(), 8);
+    }
+
+    #[test]
+    fn data_type_float_predicate() {
+        assert!(DataType::Float.is_float());
+        assert!(DataType::Double.is_float());
+        assert!(!DataType::Int.is_float());
+        assert!(!DataType::Char.is_float());
+    }
+
+    #[test]
+    fn serde_round_trip_uses_paper_names() {
+        let json = serde_json::to_string(&DataType::Int).unwrap();
+        assert_eq!(json, "\"kInt\"");
+        let back: DataType = serde_json::from_str("\"kFloat\"").unwrap();
+        assert_eq!(back, DataType::Float);
+
+        let json = serde_json::to_string(&InstructionType::Arithmetic).unwrap();
+        assert_eq!(json, "\"kArithmetic\"");
+    }
+
+    #[test]
+    fn functional_class_names() {
+        assert_eq!(FunctionalClass::Fx.short_name(), "FX");
+        assert_eq!(FunctionalClass::Branch.to_string(), "BRANCH");
+    }
+
+    #[test]
+    fn exception_display() {
+        let e = Exception::InvalidAddress { address: 0x40 };
+        assert!(e.to_string().contains("0x40"));
+        let e = Exception::MisalignedAccess { address: 3, size: 4 };
+        assert!(e.to_string().contains("4-byte"));
+    }
+}

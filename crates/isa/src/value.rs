@@ -1,0 +1,427 @@
+//! Typed operand values used by the postfix expression interpreter.
+//!
+//! A [`TypedValue`] is a 64-bit bit pattern plus a [`DataType`] tag.  RV32
+//! integer arithmetic is performed on the low 32 bits and the result is
+//! sign-extended back into the 64-bit container, matching the paper's
+//! "64-bit registers interpreted per instruction" model.
+
+use crate::types::{DataType, Exception};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A value flowing through the expression interpreter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TypedValue {
+    bits: u64,
+    data_type: DataType,
+}
+
+impl Default for TypedValue {
+    fn default() -> Self {
+        TypedValue { bits: 0, data_type: DataType::Int }
+    }
+}
+
+impl TypedValue {
+    /// Construct from a raw bit pattern and a type tag.
+    pub fn from_bits(bits: u64, data_type: DataType) -> Self {
+        TypedValue { bits, data_type }
+    }
+
+    /// 32-bit signed integer value (stored sign-extended).
+    pub fn int(v: i32) -> Self {
+        TypedValue { bits: v as i64 as u64, data_type: DataType::Int }
+    }
+
+    /// 32-bit unsigned integer value.
+    pub fn uint(v: u32) -> Self {
+        TypedValue { bits: v as u64, data_type: DataType::UInt }
+    }
+
+    /// 64-bit signed integer value.
+    pub fn long(v: i64) -> Self {
+        TypedValue { bits: v as u64, data_type: DataType::Long }
+    }
+
+    /// Single-precision float value.
+    pub fn float(v: f32) -> Self {
+        TypedValue { bits: v.to_bits() as u64, data_type: DataType::Float }
+    }
+
+    /// Double-precision float value.
+    pub fn double(v: f64) -> Self {
+        TypedValue { bits: v.to_bits(), data_type: DataType::Double }
+    }
+
+    /// Boolean value.
+    pub fn bool(v: bool) -> Self {
+        TypedValue { bits: v as u64, data_type: DataType::Bool }
+    }
+
+    /// Raw bit pattern.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Type tag.
+    pub fn data_type(self) -> DataType {
+        self.data_type
+    }
+
+    /// Retag the value without changing the bits.
+    pub fn with_type(self, data_type: DataType) -> Self {
+        TypedValue { bits: self.bits, data_type }
+    }
+
+    /// Signed integer view.  32-bit types are interpreted from the low 32 bits.
+    pub fn as_i64(self) -> i64 {
+        match self.data_type {
+            DataType::Int => self.bits as u32 as i32 as i64,
+            DataType::UInt => self.bits as u32 as i64,
+            DataType::Char | DataType::Bool => (self.bits & 0xff) as i64,
+            DataType::Float => f32::from_bits(self.bits as u32) as i64,
+            DataType::Double => f64::from_bits(self.bits) as i64,
+            DataType::Long | DataType::ULong => self.bits as i64,
+        }
+    }
+
+    /// Unsigned 32-bit view of the low word.
+    pub fn as_u32(self) -> u32 {
+        self.bits as u32
+    }
+
+    /// Unsigned 64-bit view.
+    pub fn as_u64(self) -> u64 {
+        match self.data_type {
+            DataType::Int => self.bits as u32 as i32 as i64 as u64,
+            _ => self.bits,
+        }
+    }
+
+    /// Single-precision view (converts from the stored type).
+    pub fn as_f32(self) -> f32 {
+        match self.data_type {
+            DataType::Float => f32::from_bits(self.bits as u32),
+            DataType::Double => f64::from_bits(self.bits) as f32,
+            _ => self.as_i64() as f32,
+        }
+    }
+
+    /// Double-precision view (converts from the stored type).
+    pub fn as_f64(self) -> f64 {
+        match self.data_type {
+            DataType::Float => f32::from_bits(self.bits as u32) as f64,
+            DataType::Double => f64::from_bits(self.bits),
+            _ => self.as_i64() as f64,
+        }
+    }
+
+    /// Truthiness used by branch-condition expressions.
+    pub fn is_true(self) -> bool {
+        if self.data_type.is_float() {
+            self.as_f64() != 0.0
+        } else {
+            self.as_i64() != 0
+        }
+    }
+
+    /// Human-readable rendering respecting the type tag.
+    pub fn display(self) -> String {
+        crate::register::RegisterValue { bits: self.bits, data_type: self.data_type }
+            .display_value()
+    }
+}
+
+impl fmt::Display for TypedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+/// Helpers building an RV32-style 32-bit integer result (sign extended).
+fn int_result(v: i32) -> TypedValue {
+    TypedValue::int(v)
+}
+
+/// Binary operations understood by the expression interpreter.
+///
+/// All RV32 integer ops operate on the 32-bit low word; float ops on f32;
+/// the `d`-prefixed variants on f64.
+pub fn binary_op(op: &str, a: TypedValue, b: TypedValue) -> Result<TypedValue, Exception> {
+    let ai = a.as_i64() as i32;
+    let bi = b.as_i64() as i32;
+    let au = a.as_u32();
+    let bu = b.as_u32();
+    let r = match op {
+        // -------- integer arithmetic (RV32, wrapping) --------
+        "+" => int_result(ai.wrapping_add(bi)),
+        "-" => int_result(ai.wrapping_sub(bi)),
+        "*" => int_result(ai.wrapping_mul(bi)),
+        "/" => {
+            if bi == 0 {
+                return Err(Exception::DivisionByZero);
+            }
+            if ai == i32::MIN && bi == -1 {
+                int_result(i32::MIN)
+            } else {
+                int_result(ai.wrapping_div(bi))
+            }
+        }
+        "%" => {
+            if bi == 0 {
+                return Err(Exception::DivisionByZero);
+            }
+            if ai == i32::MIN && bi == -1 {
+                int_result(0)
+            } else {
+                int_result(ai.wrapping_rem(bi))
+            }
+        }
+        "u/" => {
+            if bu == 0 {
+                return Err(Exception::DivisionByZero);
+            }
+            TypedValue::uint(au / bu).with_type(DataType::Int)
+        }
+        "u%" => {
+            if bu == 0 {
+                return Err(Exception::DivisionByZero);
+            }
+            TypedValue::uint(au % bu).with_type(DataType::Int)
+        }
+        "mulh" => int_result((((ai as i64) * (bi as i64)) >> 32) as i32),
+        "mulhu" => int_result((((au as u64) * (bu as u64)) >> 32) as i32),
+        "mulhsu" => int_result((((ai as i64) * (bu as i64)) >> 32) as i32),
+        // -------- bitwise --------
+        "&" => int_result(ai & bi),
+        "|" => int_result(ai | bi),
+        "^" => int_result(ai ^ bi),
+        "<<" => int_result(((au) << (bu & 31)) as i32),
+        ">>" => int_result(ai >> (bu & 31)),
+        ">>>" => int_result((au >> (bu & 31)) as i32),
+        // -------- comparisons (produce 0/1 int) --------
+        "<" => int_result((ai < bi) as i32),
+        "u<" => int_result((au < bu) as i32),
+        ">" => int_result((ai > bi) as i32),
+        "u>" => int_result((au > bu) as i32),
+        "<=" => int_result((ai <= bi) as i32),
+        ">=" => int_result((ai >= bi) as i32),
+        "u>=" => int_result((au >= bu) as i32),
+        "u<=" => int_result((au <= bu) as i32),
+        "==" => int_result((ai == bi) as i32),
+        "!=" => int_result((ai != bi) as i32),
+        // -------- single-precision float --------
+        "f+" => TypedValue::float(a.as_f32() + b.as_f32()),
+        "f-" => TypedValue::float(a.as_f32() - b.as_f32()),
+        "f*" => TypedValue::float(a.as_f32() * b.as_f32()),
+        "f/" => TypedValue::float(a.as_f32() / b.as_f32()),
+        "fmin" => TypedValue::float(a.as_f32().min(b.as_f32())),
+        "fmax" => TypedValue::float(a.as_f32().max(b.as_f32())),
+        "f==" => int_result((a.as_f32() == b.as_f32()) as i32),
+        "f<" => int_result((a.as_f32() < b.as_f32()) as i32),
+        "f<=" => int_result((a.as_f32() <= b.as_f32()) as i32),
+        "fsgnj" => TypedValue::float(a.as_f32().copysign(b.as_f32())),
+        "fsgnjn" => TypedValue::float(a.as_f32().copysign(-b.as_f32())),
+        "fsgnjx" => {
+            let sign = if (a.as_f32().is_sign_negative()) ^ (b.as_f32().is_sign_negative()) {
+                -1.0f32
+            } else {
+                1.0f32
+            };
+            TypedValue::float(a.as_f32().copysign(sign))
+        }
+        // -------- double precision --------
+        "d+" => TypedValue::double(a.as_f64() + b.as_f64()),
+        "d-" => TypedValue::double(a.as_f64() - b.as_f64()),
+        "d*" => TypedValue::double(a.as_f64() * b.as_f64()),
+        "d/" => TypedValue::double(a.as_f64() / b.as_f64()),
+        "dmin" => TypedValue::double(a.as_f64().min(b.as_f64())),
+        "dmax" => TypedValue::double(a.as_f64().max(b.as_f64())),
+        "d==" => int_result((a.as_f64() == b.as_f64()) as i32),
+        "d<" => int_result((a.as_f64() < b.as_f64()) as i32),
+        "d<=" => int_result((a.as_f64() <= b.as_f64()) as i32),
+        _ => {
+            return Err(Exception::Interpreter(format!("unknown binary operator `{op}`")));
+        }
+    };
+    Ok(r)
+}
+
+/// Unary operations understood by the expression interpreter.
+pub fn unary_op(op: &str, a: TypedValue) -> Result<TypedValue, Exception> {
+    let r = match op {
+        "!" => int_result((!a.is_true()) as i32),
+        "neg" => int_result((a.as_i64() as i32).wrapping_neg()),
+        "not" => int_result(!(a.as_i64() as i32)),
+        "sext8" => int_result(a.as_u32() as u8 as i8 as i32),
+        "sext16" => int_result(a.as_u32() as u16 as i16 as i32),
+        "zext8" => int_result((a.as_u32() & 0xff) as i32),
+        "zext16" => int_result((a.as_u32() & 0xffff) as i32),
+        "fsqrt" => TypedValue::float(a.as_f32().sqrt()),
+        "dsqrt" => TypedValue::double(a.as_f64().sqrt()),
+        "fneg" => TypedValue::float(-a.as_f32()),
+        "fabs" => TypedValue::float(a.as_f32().abs()),
+        // conversions
+        "i2f" => TypedValue::float(a.as_i64() as i32 as f32),
+        "u2f" => TypedValue::float(a.as_u32() as f32),
+        "f2i" => int_result(clamp_f2i(a.as_f32() as f64)),
+        "f2u" => TypedValue::uint(clamp_f2u(a.as_f32() as f64)).with_type(DataType::Int),
+        "i2d" => TypedValue::double(a.as_i64() as i32 as f64),
+        "u2d" => TypedValue::double(a.as_u32() as f64),
+        "d2i" => int_result(clamp_f2i(a.as_f64())),
+        "d2u" => TypedValue::uint(clamp_f2u(a.as_f64())).with_type(DataType::Int),
+        "f2d" => TypedValue::double(a.as_f32() as f64),
+        "d2f" => TypedValue::float(a.as_f64() as f32),
+        "bits2f" => TypedValue::from_bits(a.as_u32() as u64, DataType::Float),
+        "f2bits" => int_result(a.bits() as u32 as i32),
+        _ => {
+            return Err(Exception::Interpreter(format!("unknown unary operator `{op}`")));
+        }
+    };
+    Ok(r)
+}
+
+fn clamp_f2i(v: f64) -> i32 {
+    if v.is_nan() {
+        i32::MAX
+    } else if v >= i32::MAX as f64 {
+        i32::MAX
+    } else if v <= i32::MIN as f64 {
+        i32::MIN
+    } else {
+        v as i32
+    }
+}
+
+fn clamp_f2u(v: f64) -> u32 {
+    if v.is_nan() || v <= 0.0 {
+        if v.is_nan() {
+            u32::MAX
+        } else {
+            0
+        }
+    } else if v >= u32::MAX as f64 {
+        u32::MAX
+    } else {
+        v as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bi(op: &str, a: TypedValue, b: TypedValue) -> TypedValue {
+        binary_op(op, a, b).unwrap()
+    }
+
+    #[test]
+    fn integer_arithmetic_wraps_like_rv32() {
+        assert_eq!(bi("+", TypedValue::int(i32::MAX), TypedValue::int(1)).as_i64(), i32::MIN as i64);
+        assert_eq!(bi("-", TypedValue::int(i32::MIN), TypedValue::int(1)).as_i64(), i32::MAX as i64);
+        assert_eq!(bi("*", TypedValue::int(7), TypedValue::int(6)).as_i64(), 42);
+    }
+
+    #[test]
+    fn division_by_zero_raises() {
+        assert_eq!(
+            binary_op("/", TypedValue::int(1), TypedValue::int(0)),
+            Err(Exception::DivisionByZero)
+        );
+        assert_eq!(
+            binary_op("u%", TypedValue::int(1), TypedValue::int(0)),
+            Err(Exception::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn division_overflow_matches_riscv_spec() {
+        // RISC-V defines i32::MIN / -1 = i32::MIN and rem = 0 (no trap).
+        assert_eq!(
+            bi("/", TypedValue::int(i32::MIN), TypedValue::int(-1)).as_i64(),
+            i32::MIN as i64
+        );
+        assert_eq!(bi("%", TypedValue::int(i32::MIN), TypedValue::int(-1)).as_i64(), 0);
+    }
+
+    #[test]
+    fn unsigned_ops_use_unsigned_views() {
+        assert_eq!(bi("u<", TypedValue::int(-1), TypedValue::int(1)).as_i64(), 0);
+        assert_eq!(bi("<", TypedValue::int(-1), TypedValue::int(1)).as_i64(), 1);
+        assert_eq!(bi("u/", TypedValue::int(-2), TypedValue::int(2)).as_u32(), 0x7fff_ffff);
+    }
+
+    #[test]
+    fn shifts_mask_amount_to_five_bits() {
+        assert_eq!(bi("<<", TypedValue::int(1), TypedValue::int(33)).as_i64(), 2);
+        assert_eq!(bi(">>", TypedValue::int(-8), TypedValue::int(1)).as_i64(), -4);
+        assert_eq!(bi(">>>", TypedValue::int(-8), TypedValue::int(1)).as_u32(), 0x7fff_fffc);
+    }
+
+    #[test]
+    fn mulh_variants() {
+        let a = TypedValue::int(-1);
+        let b = TypedValue::int(-1);
+        assert_eq!(bi("mulh", a, b).as_i64(), 0);
+        assert_eq!(bi("mulhu", a, b).as_u32(), 0xffff_fffe);
+        assert_eq!(bi("mulhsu", a, b).as_i64(), -1);
+    }
+
+    #[test]
+    fn float_arithmetic() {
+        assert_eq!(bi("f+", TypedValue::float(1.5), TypedValue::float(2.25)).as_f32(), 3.75);
+        assert_eq!(bi("fmax", TypedValue::float(-1.0), TypedValue::float(2.0)).as_f32(), 2.0);
+        assert_eq!(bi("f<", TypedValue::float(1.0), TypedValue::float(2.0)).as_i64(), 1);
+        assert_eq!(unary_op("fsqrt", TypedValue::float(9.0)).unwrap().as_f32(), 3.0);
+    }
+
+    #[test]
+    fn sign_injection() {
+        assert_eq!(bi("fsgnj", TypedValue::float(1.5), TypedValue::float(-0.0)).as_f32(), -1.5);
+        assert_eq!(bi("fsgnjn", TypedValue::float(1.5), TypedValue::float(-0.0)).as_f32(), 1.5);
+        assert_eq!(bi("fsgnjx", TypedValue::float(-1.5), TypedValue::float(-2.0)).as_f32(), 1.5);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(unary_op("i2f", TypedValue::int(-3)).unwrap().as_f32(), -3.0);
+        assert_eq!(unary_op("f2i", TypedValue::float(-3.7)).unwrap().as_i64(), -3);
+        assert_eq!(unary_op("f2u", TypedValue::float(-3.7)).unwrap().as_u32(), 0);
+        assert_eq!(unary_op("f2i", TypedValue::float(f32::NAN)).unwrap().as_i64(), i32::MAX as i64);
+        assert_eq!(unary_op("sext8", TypedValue::int(0xff)).unwrap().as_i64(), -1);
+        assert_eq!(unary_op("zext8", TypedValue::int(0xff)).unwrap().as_i64(), 255);
+        assert_eq!(unary_op("sext16", TypedValue::int(0x8000)).unwrap().as_i64(), -32768);
+    }
+
+    #[test]
+    fn bit_moves_between_files() {
+        let f = unary_op("bits2f", TypedValue::int(2.5f32.to_bits() as i32)).unwrap();
+        assert_eq!(f.as_f32(), 2.5);
+        let i = unary_op("f2bits", TypedValue::float(2.5)).unwrap();
+        assert_eq!(i.as_u32(), 2.5f32.to_bits());
+    }
+
+    #[test]
+    fn unknown_operator_is_interpreter_error() {
+        assert!(matches!(
+            binary_op("??", TypedValue::int(1), TypedValue::int(1)),
+            Err(Exception::Interpreter(_))
+        ));
+        assert!(matches!(unary_op("??", TypedValue::int(1)), Err(Exception::Interpreter(_))));
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(TypedValue::int(5).is_true());
+        assert!(!TypedValue::int(0).is_true());
+        assert!(TypedValue::float(0.5).is_true());
+        assert!(!TypedValue::float(0.0).is_true());
+    }
+
+    #[test]
+    fn display_uses_type_tag() {
+        assert_eq!(TypedValue::int(-7).to_string(), "-7");
+        assert_eq!(TypedValue::float(1.25).to_string(), "1.25");
+        assert_eq!(TypedValue::bool(true).to_string(), "true");
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests of the typed value model and the postfix expression
+//! interpreter: the interpreter must agree with host arithmetic on RV32
+//! semantics and must never panic, whatever it is fed.
+
+use proptest::prelude::*;
+use rvsim_isa::{expression::Evaluator, value, InstructionSet, TypedValue};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Integer binary operators match wrapping 32-bit host arithmetic.
+    #[test]
+    fn prop_integer_ops_match_host(a in any::<i32>(), b in any::<i32>()) {
+        let ta = TypedValue::int(a);
+        let tb = TypedValue::int(b);
+        prop_assert_eq!(value::binary_op("+", ta, tb).unwrap().as_i64(), a.wrapping_add(b) as i64);
+        prop_assert_eq!(value::binary_op("-", ta, tb).unwrap().as_i64(), a.wrapping_sub(b) as i64);
+        prop_assert_eq!(value::binary_op("*", ta, tb).unwrap().as_i64(), a.wrapping_mul(b) as i64);
+        prop_assert_eq!(value::binary_op("&", ta, tb).unwrap().as_i64(), (a & b) as i64);
+        prop_assert_eq!(value::binary_op("|", ta, tb).unwrap().as_i64(), (a | b) as i64);
+        prop_assert_eq!(value::binary_op("^", ta, tb).unwrap().as_i64(), (a ^ b) as i64);
+        prop_assert_eq!(value::binary_op("<", ta, tb).unwrap().as_i64(), (a < b) as i64);
+        prop_assert_eq!(
+            value::binary_op("u<", ta, tb).unwrap().as_i64(),
+            ((a as u32) < (b as u32)) as i64
+        );
+        prop_assert_eq!(
+            value::binary_op("<<", ta, tb).unwrap().as_i64(),
+            (a.wrapping_shl(b as u32 & 31)) as i64
+        );
+        prop_assert_eq!(
+            value::binary_op(">>", ta, tb).unwrap().as_i64(),
+            (a.wrapping_shr(b as u32 & 31)) as i64
+        );
+    }
+
+    /// Division and remainder follow the RISC-V special cases and otherwise
+    /// match the host.
+    #[test]
+    fn prop_division_matches_riscv(a in any::<i32>(), b in any::<i32>()) {
+        let ta = TypedValue::int(a);
+        let tb = TypedValue::int(b);
+        let div = value::binary_op("/", ta, tb);
+        let rem = value::binary_op("%", ta, tb);
+        if b == 0 {
+            prop_assert!(div.is_err());
+            prop_assert!(rem.is_err());
+        } else if a == i32::MIN && b == -1 {
+            prop_assert_eq!(div.unwrap().as_i64(), i32::MIN as i64);
+            prop_assert_eq!(rem.unwrap().as_i64(), 0);
+        } else {
+            prop_assert_eq!(div.unwrap().as_i64(), (a / b) as i64);
+            prop_assert_eq!(rem.unwrap().as_i64(), (a % b) as i64);
+        }
+    }
+
+    /// The `add` descriptor's semantics expression agrees with host addition
+    /// for every operand pair (the Listing-1 round trip).
+    #[test]
+    fn prop_add_descriptor_semantics(a in any::<i32>(), b in any::<i32>()) {
+        let isa = InstructionSet::rv32imf();
+        let add = isa.get("add").unwrap();
+        let mut evaluator = Evaluator::new();
+        evaluator.bind("rs1", TypedValue::int(a));
+        evaluator.bind("rs2", TypedValue::int(b));
+        evaluator.bind("rd", TypedValue::int(0));
+        let out = evaluator.run(&add.interpretable_as).unwrap();
+        prop_assert_eq!(out.assignments[0].1.as_i64(), a.wrapping_add(b) as i64);
+    }
+
+    /// Float operations match host single-precision arithmetic bit for bit.
+    #[test]
+    fn prop_float_ops_match_host(a in -1e6f32..1e6, b in -1e6f32..1e6) {
+        let ta = TypedValue::float(a);
+        let tb = TypedValue::float(b);
+        prop_assert_eq!(value::binary_op("f+", ta, tb).unwrap().as_f32().to_bits(), (a + b).to_bits());
+        prop_assert_eq!(value::binary_op("f*", ta, tb).unwrap().as_f32().to_bits(), (a * b).to_bits());
+        prop_assert_eq!(value::binary_op("f<", ta, tb).unwrap().as_i64(), (a < b) as i64);
+        prop_assert_eq!(value::unary_op("fneg", ta).unwrap().as_f32().to_bits(), (-a).to_bits());
+    }
+
+    /// The evaluator never panics on arbitrary token soup — it either
+    /// produces a value or an interpreter error.
+    #[test]
+    fn prop_evaluator_never_panics(expr in "[a-z0-9+\\-*/\\\\ =<>!%&|^]{0,40}") {
+        let mut evaluator = Evaluator::new();
+        evaluator.bind("rs1", TypedValue::int(1));
+        evaluator.bind("rs2", TypedValue::int(2));
+        let _ = evaluator.run(&expr);
+    }
+
+    /// Register-value display never panics and respects the tag for integers.
+    #[test]
+    fn prop_typed_value_display(v in any::<i32>()) {
+        let t = TypedValue::int(v);
+        prop_assert_eq!(t.display(), v.to_string());
+        prop_assert_eq!(t.as_u32(), v as u32);
+    }
+}

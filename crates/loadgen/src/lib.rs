@@ -1,0 +1,314 @@
+//! # rvsim-loadgen — closed-loop load generator
+//!
+//! Reproduces the paper's Apache JMeter load test (§IV-A, Table I): a number
+//! of simulated users, a ramp-up period, a fixed think time between requests,
+//! and 40 interactive simulation steps per user over one of two programs.
+//! The report contains the median and 90th-percentile request latency plus
+//! the throughput in transactions per second — the exact columns of Table I.
+//!
+//! A `time_scale` factor shrinks the ramp-up and think times so the same
+//! scenario can run as a Criterion benchmark or a CI test in seconds instead
+//! of minutes; the *shape* of the results (queueing at high user counts,
+//! Docker overhead, gzip benefit) is unaffected because those effects come
+//! from the per-request work and the worker pool, not from the think time.
+
+#![warn(missing_docs)]
+
+use rvsim_server::{Request, Response, ServerClient, ThreadedServer};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// Load-test scenario definition (the JMeter test plan).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Number of concurrent simulated users.
+    pub users: usize,
+    /// Interactive simulation steps each user performs.
+    pub steps_per_user: usize,
+    /// Ramp-up time over which users start (seconds, before scaling).
+    pub ramp_up_seconds: f64,
+    /// Think time between a user's requests (seconds, before scaling).
+    pub think_time_seconds: f64,
+    /// Programs users load (each user picks one round-robin).
+    pub programs: Vec<String>,
+    /// Scale factor applied to ramp-up and think times (1.0 = paper timing).
+    pub time_scale: f64,
+    /// Fetch the full processor snapshot after every step (the interactive
+    /// GUI behaviour; this is what makes JSON dominate request time).
+    pub fetch_state_each_step: bool,
+}
+
+impl Scenario {
+    /// The paper's scenario: `users` users, 40 steps each, 4 s ramp-up,
+    /// 1 s think time, two sample programs.
+    pub fn paper(users: usize) -> Self {
+        Scenario {
+            users,
+            steps_per_user: 40,
+            ramp_up_seconds: 4.0,
+            think_time_seconds: 1.0,
+            programs: vec![sample_program_loop(), sample_program_memory()],
+            time_scale: 1.0,
+            fetch_state_each_step: true,
+        }
+    }
+
+    /// The paper's scenario compressed in time by `scale` (e.g. `0.01`).
+    pub fn paper_scaled(users: usize, scale: f64) -> Self {
+        Scenario { time_scale: scale, ..Self::paper(users) }
+    }
+
+    fn ramp_up(&self) -> Duration {
+        Duration::from_secs_f64((self.ramp_up_seconds * self.time_scale).max(0.0))
+    }
+
+    fn think_time(&self) -> Duration {
+        Duration::from_secs_f64((self.think_time_seconds * self.time_scale).max(0.0))
+    }
+}
+
+/// First sample program: a tight arithmetic loop.
+pub fn sample_program_loop() -> String {
+    "
+main:
+    li   t0, 0
+    li   t1, 64
+    li   a0, 0
+loop:
+    addi a0, a0, 3
+    xor  t2, a0, t1
+    add  t0, t0, t2
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t0
+    ret
+"
+    .to_string()
+}
+
+/// Second sample program: strided memory accesses through the cache.
+pub fn sample_program_memory() -> String {
+    "
+buf:
+    .zero 512
+main:
+    la   t0, buf
+    li   t1, 128
+    li   a0, 0
+loop:
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+"
+    .to_string()
+}
+
+/// Result of one load-test run (one row of Table I).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LoadTestReport {
+    /// Number of users.
+    pub users: usize,
+    /// Completed transactions (requests).
+    pub transactions: u64,
+    /// Failed requests.
+    pub errors: u64,
+    /// Median request latency in milliseconds.
+    pub median_latency_ms: f64,
+    /// 90th-percentile request latency in milliseconds.
+    pub p90_latency_ms: f64,
+    /// Mean request latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Throughput in transactions per second.
+    pub throughput_tps: f64,
+    /// Wall-clock duration of the whole test in seconds.
+    pub duration_seconds: f64,
+}
+
+impl LoadTestReport {
+    /// Format the report as a Table-I-style row.
+    pub fn table_row(&self, label: &str) -> String {
+        format!(
+            "{label:<10} {:>5} users  median {:>8.2} ms  p90 {:>8.2} ms  throughput {:>7.2} trans/s  ({} transactions, {} errors)",
+            self.users, self.median_latency_ms, self.p90_latency_ms, self.throughput_tps, self.transactions, self.errors
+        )
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Run a scenario against a running [`ThreadedServer`].
+pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestReport {
+    let started = Instant::now();
+    let ramp_up = scenario.ramp_up();
+    let think = scenario.think_time();
+    let users = scenario.users.max(1);
+
+    let mut handles = Vec::with_capacity(users);
+    for user in 0..users {
+        let client: ServerClient = server.client();
+        let program = scenario.programs[user % scenario.programs.len().max(1)].clone();
+        let steps = scenario.steps_per_user;
+        let fetch_state = scenario.fetch_state_each_step;
+        let start_delay = if users > 1 {
+            ramp_up.mul_f64(user as f64 / (users - 1) as f64)
+        } else {
+            Duration::ZERO
+        };
+        handles.push(std::thread::spawn(move || {
+            let mut latencies = Vec::with_capacity(steps * 2 + 1);
+            let mut errors = 0u64;
+            std::thread::sleep(start_delay);
+
+            let mut timed_call = |request: &Request| -> Option<Response> {
+                let t0 = Instant::now();
+                let result = client.call(request);
+                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                match result {
+                    Ok(response) if !response.is_error() => Some(response),
+                    _ => {
+                        errors += 1;
+                        None
+                    }
+                }
+            };
+
+            let session = match timed_call(&Request::CreateSession {
+                program,
+                architecture: None,
+                entry: None,
+            }) {
+                Some(Response::SessionCreated { session }) => session,
+                _ => return (latencies, errors),
+            };
+            for _ in 0..steps {
+                timed_call(&Request::Step { session, cycles: 1 });
+                if fetch_state {
+                    timed_call(&Request::GetState { session });
+                }
+                if !think.is_zero() {
+                    std::thread::sleep(think);
+                }
+            }
+            timed_call(&Request::DestroySession { session });
+            (latencies, errors)
+        }));
+    }
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0u64;
+    for handle in handles {
+        let (user_latencies, user_errors) = handle.join().expect("load-test user thread panicked");
+        latencies.extend(user_latencies);
+        errors += user_errors;
+    }
+    let duration = started.elapsed().as_secs_f64();
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let transactions = latencies.len() as u64;
+    LoadTestReport {
+        users: scenario.users,
+        transactions,
+        errors,
+        median_latency_ms: percentile(&latencies, 0.5),
+        p90_latency_ms: percentile(&latencies, 0.9),
+        mean_latency_ms: if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<f64>() / latencies.len() as f64
+        },
+        throughput_tps: if duration > 0.0 { transactions as f64 / duration } else { 0.0 },
+        duration_seconds: duration,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_server::{DeploymentConfig, DeploymentMode, SimulationServer};
+
+    fn server(compress: bool) -> ThreadedServer {
+        ThreadedServer::start(SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::Direct,
+            compress_responses: compress,
+            worker_threads: 4,
+        }))
+    }
+
+    #[test]
+    fn percentile_selection() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0];
+        assert_eq!(percentile(&v, 0.5), 6.0);
+        assert_eq!(percentile(&v, 0.9), 9.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 1.0), 10.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn scenario_constructors_match_paper_parameters() {
+        let s = Scenario::paper(30);
+        assert_eq!(s.users, 30);
+        assert_eq!(s.steps_per_user, 40);
+        assert_eq!(s.ramp_up_seconds, 4.0);
+        assert_eq!(s.think_time_seconds, 1.0);
+        assert_eq!(s.programs.len(), 2);
+        let scaled = Scenario::paper_scaled(100, 0.01);
+        assert_eq!(scaled.users, 100);
+        assert!(scaled.ramp_up() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn small_load_test_produces_sane_report() {
+        let server = server(true);
+        let mut scenario = Scenario::paper_scaled(4, 0.0);
+        scenario.steps_per_user = 5;
+        let report = run_load_test(&server, &scenario);
+        // 4 users × (1 create + 5 × (step + state) + 1 destroy) = 48 requests.
+        assert_eq!(report.transactions, 48);
+        assert_eq!(report.errors, 0);
+        assert!(report.median_latency_ms >= 0.0);
+        assert!(report.p90_latency_ms >= report.median_latency_ms);
+        assert!(report.throughput_tps > 0.0);
+        assert!(report.table_row("Direct").contains("4 users"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn more_users_than_workers_still_completes_without_errors() {
+        let server = server(false);
+        let mut scenario = Scenario::paper_scaled(12, 0.0);
+        scenario.steps_per_user = 3;
+        scenario.fetch_state_each_step = false;
+        let report = run_load_test(&server, &scenario);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.transactions, (12 * (3 + 2)) as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_program_counts_as_errors_but_does_not_panic() {
+        let server = server(false);
+        let scenario = Scenario {
+            users: 2,
+            steps_per_user: 2,
+            ramp_up_seconds: 0.0,
+            think_time_seconds: 0.0,
+            programs: vec!["main:\n  bogus\n".to_string()],
+            time_scale: 0.0,
+            fetch_state_each_step: false,
+        };
+        let report = run_load_test(&server, &scenario);
+        assert_eq!(report.errors, 2, "each user fails once at session creation");
+        server.shutdown();
+    }
+}

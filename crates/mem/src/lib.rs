@@ -1,0 +1,32 @@
+//! # rvsim-mem — memory subsystem
+//!
+//! Models the paper's memory hierarchy (§II-C, §III-A):
+//!
+//! * [`MainMemory`] — the simulator's memory is a 1-D byte array with a
+//!   predefined capacity; all loads/stores are bounds- and alignment-checked.
+//! * [`MemoryTransaction`] — functional blocks request data by creating a
+//!   transaction object; the subsystem fills in its completion time.  This is
+//!   the paper's "transactional mode" which makes access latencies easy to
+//!   configure and gives the GUI per-access metadata.
+//! * [`Cache`] — a configurable L1 data cache: number of lines, line size,
+//!   associativity, LRU/FIFO/Random replacement, write-back or write-through
+//!   store behaviour, access delay and line-replacement delay.
+//! * [`MemorySubsystem`] — glues memory + optional cache together and keeps
+//!   the cache statistics reported in the Runtime Statistics window.
+//! * [`settings`] — the Memory Settings window model: static global arrays of
+//!   basic data types with alignment, filled with explicit values, repeated
+//!   constants or random data; CSV / binary dump import & export.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod main_memory;
+pub mod settings;
+pub mod subsystem;
+pub mod transaction;
+
+pub use cache::{Cache, CacheConfig, ReplacementPolicy, WritePolicy};
+pub use main_memory::{MainMemory, MemError};
+pub use settings::{ArrayFill, MemoryArray, MemorySettings, ScalarType};
+pub use subsystem::{MemStats, MemorySubsystem, MemoryTimings};
+pub use transaction::{MemoryTransaction, TransactionKind};

@@ -1,0 +1,120 @@
+//! Memory transactions (paper §III-A).
+//!
+//! Functional blocks that need data from memory do not poke the byte array
+//! directly — they create a [`MemoryTransaction`] and register it with the
+//! [`crate::MemorySubsystem`], which fills in the completion cycle based on the
+//! configured latencies and the cache outcome.  The transaction carries the
+//! metadata the interactive GUI displays (issue cycle, hit/miss, latency).
+
+use serde::{Deserialize, Serialize};
+
+/// Whether the transaction reads or writes memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TransactionKind {
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+/// One memory access request with its timing metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemoryTransaction {
+    /// Unique id assigned by the subsystem at registration.
+    pub id: u64,
+    /// Load or store.
+    pub kind: TransactionKind,
+    /// First byte address.
+    pub address: u64,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: usize,
+    /// Value to store (stores) or value loaded (filled in at completion).
+    pub value: u64,
+    /// Cycle the request was handed to the memory subsystem.
+    pub issue_cycle: u64,
+    /// Cycle the data is available / the store is accepted.
+    pub completion_cycle: u64,
+    /// True when the access hit in the L1 cache.
+    pub cache_hit: bool,
+    /// True when servicing the access evicted a dirty line (write-back traffic).
+    pub caused_writeback: bool,
+    /// Id of the instruction that generated the access, for GUI highlighting.
+    pub instruction_id: Option<u64>,
+}
+
+impl MemoryTransaction {
+    /// Build a load request.  The subsystem assigns `id`, timing and data.
+    pub fn load(address: u64, size: usize, issue_cycle: u64) -> Self {
+        MemoryTransaction {
+            id: 0,
+            kind: TransactionKind::Load,
+            address,
+            size,
+            value: 0,
+            issue_cycle,
+            completion_cycle: issue_cycle,
+            cache_hit: false,
+            caused_writeback: false,
+            instruction_id: None,
+        }
+    }
+
+    /// Build a store request carrying `value`.
+    pub fn store(address: u64, size: usize, value: u64, issue_cycle: u64) -> Self {
+        MemoryTransaction {
+            kind: TransactionKind::Store,
+            value,
+            ..Self::load(address, size, issue_cycle)
+        }
+    }
+
+    /// Attach the id of the instruction that generated the access.
+    pub fn for_instruction(mut self, instruction_id: u64) -> Self {
+        self.instruction_id = Some(instruction_id);
+        self
+    }
+
+    /// Total latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.completion_cycle.saturating_sub(self.issue_cycle)
+    }
+
+    /// True for store transactions.
+    pub fn is_store(&self) -> bool {
+        self.kind == TransactionKind::Store
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind_and_value() {
+        let l = MemoryTransaction::load(0x40, 4, 10);
+        assert_eq!(l.kind, TransactionKind::Load);
+        assert!(!l.is_store());
+        assert_eq!(l.issue_cycle, 10);
+        assert_eq!(l.latency(), 0);
+
+        let s = MemoryTransaction::store(0x40, 4, 0xdead, 12);
+        assert!(s.is_store());
+        assert_eq!(s.value, 0xdead);
+        assert_eq!(s.address, 0x40);
+    }
+
+    #[test]
+    fn latency_is_completion_minus_issue() {
+        let mut t = MemoryTransaction::load(0, 4, 100);
+        t.completion_cycle = 112;
+        assert_eq!(t.latency(), 12);
+        t.completion_cycle = 90; // never happens, but must not underflow
+        assert_eq!(t.latency(), 0);
+    }
+
+    #[test]
+    fn instruction_tagging() {
+        let t = MemoryTransaction::load(0, 4, 0).for_instruction(7);
+        assert_eq!(t.instruction_id, Some(7));
+    }
+}

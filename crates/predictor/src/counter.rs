@@ -1,0 +1,192 @@
+//! Saturating-counter predictors: zero-bit, one-bit and two-bit state machines.
+
+use serde::{Deserialize, Serialize};
+
+/// Which predictor state machine the PHT entries use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum PredictorKind {
+    /// "Zero-bit": a static prediction that never changes (the default state
+    /// decides taken / not-taken).
+    Zero,
+    /// One-bit: remembers the last outcome.
+    One,
+    /// Two-bit saturating counter.
+    #[default]
+    Two,
+}
+
+/// State of one predictor entry.  For the two-bit predictor all four states
+/// are meaningful; the one-bit predictor only uses `StronglyNotTaken` /
+/// `StronglyTaken`; the zero-bit predictor never leaves its default state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub enum CounterState {
+    /// Strongly not taken (00).
+    #[default]
+    StronglyNotTaken,
+    /// Weakly not taken (01).
+    WeaklyNotTaken,
+    /// Weakly taken (10).
+    WeaklyTaken,
+    /// Strongly taken (11).
+    StronglyTaken,
+}
+
+impl CounterState {
+    /// Predicted direction in this state.
+    pub fn predicts_taken(self) -> bool {
+        matches!(self, CounterState::WeaklyTaken | CounterState::StronglyTaken)
+    }
+
+    fn to_level(self) -> i8 {
+        match self {
+            CounterState::StronglyNotTaken => 0,
+            CounterState::WeaklyNotTaken => 1,
+            CounterState::WeaklyTaken => 2,
+            CounterState::StronglyTaken => 3,
+        }
+    }
+
+    fn from_level(level: i8) -> Self {
+        match level.clamp(0, 3) {
+            0 => CounterState::StronglyNotTaken,
+            1 => CounterState::WeaklyNotTaken,
+            2 => CounterState::WeaklyTaken,
+            _ => CounterState::StronglyTaken,
+        }
+    }
+}
+
+/// One predictor entry implementing the configured state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SaturatingPredictor {
+    kind: PredictorKind,
+    state: CounterState,
+}
+
+impl SaturatingPredictor {
+    /// Create an entry of `kind` starting in `default_state`.
+    pub fn new(kind: PredictorKind, default_state: CounterState) -> Self {
+        // One-bit predictors collapse the default state to its direction.
+        let state = match kind {
+            PredictorKind::One => {
+                if default_state.predicts_taken() {
+                    CounterState::StronglyTaken
+                } else {
+                    CounterState::StronglyNotTaken
+                }
+            }
+            _ => default_state,
+        };
+        SaturatingPredictor { kind, state }
+    }
+
+    /// Current state (GUI display).
+    pub fn state(self) -> CounterState {
+        self.state
+    }
+
+    /// Predicted direction.
+    pub fn predicts_taken(self) -> bool {
+        self.state.predicts_taken()
+    }
+
+    /// Train with the real outcome.
+    pub fn update(&mut self, taken: bool) {
+        match self.kind {
+            PredictorKind::Zero => {}
+            PredictorKind::One => {
+                self.state =
+                    if taken { CounterState::StronglyTaken } else { CounterState::StronglyNotTaken };
+            }
+            PredictorKind::Two => {
+                let level = self.state.to_level() + if taken { 1 } else { -1 };
+                self.state = CounterState::from_level(level);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bit_never_learns() {
+        let mut p = SaturatingPredictor::new(PredictorKind::Zero, CounterState::StronglyTaken);
+        assert!(p.predicts_taken());
+        p.update(false);
+        p.update(false);
+        assert!(p.predicts_taken(), "zero-bit predictor is static");
+
+        let mut p = SaturatingPredictor::new(PredictorKind::Zero, CounterState::StronglyNotTaken);
+        p.update(true);
+        assert!(!p.predicts_taken());
+    }
+
+    #[test]
+    fn one_bit_flips_on_every_mispredict() {
+        let mut p = SaturatingPredictor::new(PredictorKind::One, CounterState::StronglyNotTaken);
+        assert!(!p.predicts_taken());
+        p.update(true);
+        assert!(p.predicts_taken());
+        p.update(false);
+        assert!(!p.predicts_taken());
+    }
+
+    #[test]
+    fn one_bit_collapses_default_state_to_direction() {
+        let p = SaturatingPredictor::new(PredictorKind::One, CounterState::WeaklyTaken);
+        assert_eq!(p.state(), CounterState::StronglyTaken);
+        let p = SaturatingPredictor::new(PredictorKind::One, CounterState::WeaklyNotTaken);
+        assert_eq!(p.state(), CounterState::StronglyNotTaken);
+    }
+
+    #[test]
+    fn two_bit_needs_two_mispredicts_to_flip() {
+        let mut p = SaturatingPredictor::new(PredictorKind::Two, CounterState::StronglyTaken);
+        p.update(false);
+        assert!(p.predicts_taken(), "still weakly taken after one not-taken");
+        p.update(false);
+        assert!(!p.predicts_taken(), "flipped after two");
+    }
+
+    #[test]
+    fn two_bit_saturates() {
+        let mut p = SaturatingPredictor::new(PredictorKind::Two, CounterState::StronglyTaken);
+        for _ in 0..10 {
+            p.update(true);
+        }
+        assert_eq!(p.state(), CounterState::StronglyTaken);
+        for _ in 0..10 {
+            p.update(false);
+        }
+        assert_eq!(p.state(), CounterState::StronglyNotTaken);
+    }
+
+    #[test]
+    fn two_bit_walks_through_all_states() {
+        let mut p = SaturatingPredictor::new(PredictorKind::Two, CounterState::StronglyNotTaken);
+        let mut states = vec![p.state()];
+        for _ in 0..3 {
+            p.update(true);
+            states.push(p.state());
+        }
+        assert_eq!(
+            states,
+            vec![
+                CounterState::StronglyNotTaken,
+                CounterState::WeaklyNotTaken,
+                CounterState::WeaklyTaken,
+                CounterState::StronglyTaken
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_state_ordering_matches_levels() {
+        assert!(CounterState::StronglyNotTaken < CounterState::WeaklyNotTaken);
+        assert!(CounterState::WeaklyTaken < CounterState::StronglyTaken);
+        assert!(!CounterState::WeaklyNotTaken.predicts_taken());
+        assert!(CounterState::WeaklyTaken.predicts_taken());
+    }
+}

@@ -1,0 +1,20 @@
+//! # rvsim-predictor — branch prediction
+//!
+//! Implements the paper's Branch Prediction settings tab (§II-C): a branch
+//! target buffer (BTB), a pattern history table (PHT) of zero-, one- or
+//! two-bit predictors with a configurable default state, and a choice of
+//! local or global history shift registers.
+//!
+//! The fetch unit consults [`BranchPredictor::predict`] for every potential
+//! branch; the branch functional unit reports the real outcome through
+//! [`BranchPredictor::update`], which also trains the BTB.
+
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod history;
+pub mod predictor;
+
+pub use counter::{CounterState, PredictorKind, SaturatingPredictor};
+pub use history::{HistoryKind, HistoryRegisters};
+pub use predictor::{BranchPredictor, BranchPredictorConfig, Prediction, PredictorStats};

@@ -1,0 +1,31 @@
+//! # rvsim-server — the simulation server
+//!
+//! The paper's deployment is a client/server application: all simulation
+//! logic runs server-side, and both the web GUI and the CLI talk to it
+//! through a JSON API (§III).  This crate reproduces that architecture as an
+//! in-process server:
+//!
+//! * [`protocol`] — the JSON request/response protocol (create session, step,
+//!   step back, run, fetch the processor snapshot, fetch statistics, compile
+//!   C code, destroy session).
+//! * [`SimulationServer`] — session management and request dispatch; every
+//!   session owns a [`rvsim_core::Simulator`].
+//! * [`ThreadedServer`] / [`ServerClient`] — a worker-pool front end that
+//!   serializes/deserializes payloads, optionally compresses responses
+//!   (the gzip substitute) and optionally emulates the containerized
+//!   deployment overhead measured in Table I.
+//!
+//! The HTTP/NGINX/Docker layers of the original are replaced by in-process
+//! channels; what is preserved is the work per request (JSON encode/decode,
+//! snapshot construction, compression) and the queueing behaviour under
+//! concurrent load — the quantities the paper's evaluation reports.
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+pub mod threaded;
+
+pub use protocol::{Request, Response};
+pub use server::{DeploymentConfig, DeploymentMode, SimulationServer};
+pub use threaded::{ServerClient, ThreadedServer};

@@ -1,0 +1,173 @@
+//! JSON request/response protocol between clients (web GUI, CLI, load
+//! generator) and the simulation server.
+
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, SimulationStatistics};
+use serde::{Deserialize, Serialize};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// Create a simulation session from assembly source and an architecture.
+    CreateSession {
+        /// RISC-V assembly program.
+        program: String,
+        /// Architecture configuration (defaults when omitted).
+        #[serde(default)]
+        architecture: Option<ArchitectureConfig>,
+        /// Optional entry label.
+        #[serde(default)]
+        entry: Option<String>,
+    },
+    /// Compile C source to assembly.
+    Compile {
+        /// C source code.
+        source: String,
+        /// Optimization level 0–3.
+        #[serde(default)]
+        optimization: u8,
+    },
+    /// Advance a session by `cycles` clock cycles.
+    Step {
+        /// Session id.
+        session: u64,
+        /// Number of cycles (default 1).
+        #[serde(default = "default_one")]
+        cycles: u64,
+    },
+    /// Step a session backwards by `cycles` clock cycles.
+    StepBack {
+        /// Session id.
+        session: u64,
+        /// Number of cycles (default 1).
+        #[serde(default = "default_one")]
+        cycles: u64,
+    },
+    /// Run a session until it halts or `max_cycles` elapse.
+    Run {
+        /// Session id.
+        session: u64,
+        /// Cycle budget.
+        #[serde(default = "default_budget")]
+        max_cycles: u64,
+    },
+    /// Fetch the full processor-state snapshot (the GUI view).
+    GetState {
+        /// Session id.
+        session: u64,
+    },
+    /// Fetch the runtime statistics.
+    GetStats {
+        /// Session id.
+        session: u64,
+    },
+    /// Destroy a session.
+    DestroySession {
+        /// Session id.
+        session: u64,
+    },
+}
+
+fn default_one() -> u64 {
+    1
+}
+
+fn default_budget() -> u64 {
+    1_000_000
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Session created.
+    SessionCreated {
+        /// New session id.
+        session: u64,
+    },
+    /// Compilation result.
+    Compiled {
+        /// Generated (filtered) assembly.
+        assembly: String,
+        /// C line → assembly line links.
+        line_map: Vec<(usize, usize)>,
+    },
+    /// A step / step-back / run finished.
+    Stepped {
+        /// Current cycle after the operation.
+        cycle: u64,
+        /// Whether the simulation has halted.
+        halted: bool,
+    },
+    /// Processor snapshot.
+    State(Box<ProcessorSnapshot>),
+    /// Runtime statistics.
+    Stats(Box<SimulationStatistics>),
+    /// Session destroyed.
+    Destroyed,
+    /// The request failed.
+    Error {
+        /// Human-readable error message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Build an error response.
+    pub fn error(message: impl Into<String>) -> Self {
+        Response::Error { message: message.into() }
+    }
+
+    /// True for error responses.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_json_round_trip() {
+        let requests = vec![
+            Request::CreateSession { program: "main: ret".into(), architecture: None, entry: None },
+            Request::Compile { source: "int main(void){return 0;}".into(), optimization: 2 },
+            Request::Step { session: 3, cycles: 10 },
+            Request::StepBack { session: 3, cycles: 1 },
+            Request::Run { session: 3, max_cycles: 500 },
+            Request::GetState { session: 3 },
+            Request::GetStats { session: 3 },
+            Request::DestroySession { session: 3 },
+        ];
+        for r in requests {
+            let json = serde_json::to_string(&r).unwrap();
+            let back: Request = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, r);
+        }
+    }
+
+    #[test]
+    fn request_json_uses_type_tags_and_defaults() {
+        let r: Request =
+            serde_json::from_str(r#"{"type":"step","session":1}"#).unwrap();
+        assert_eq!(r, Request::Step { session: 1, cycles: 1 });
+        let r: Request = serde_json::from_str(
+            r#"{"type":"create_session","program":"main: ret"}"#,
+        )
+        .unwrap();
+        assert!(matches!(r, Request::CreateSession { .. }));
+        let r: Request = serde_json::from_str(r#"{"type":"run","session":2}"#).unwrap();
+        assert_eq!(r, Request::Run { session: 2, max_cycles: 1_000_000 });
+    }
+
+    #[test]
+    fn response_helpers() {
+        let e = Response::error("boom");
+        assert!(e.is_error());
+        let ok = Response::Destroyed;
+        assert!(!ok.is_error());
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(json.contains("\"error\""));
+    }
+}

@@ -1,0 +1,178 @@
+//! Worker-pool front end: the Rust stand-in for the Undertow HTTP server.
+//!
+//! Requests are JSON payloads submitted over a channel and handled by a fixed
+//! pool of worker threads.  Under light load a request is picked up almost
+//! immediately; under heavy load requests queue, which is exactly the
+//! behaviour Table I measures when going from 30 to 100 concurrent users.
+
+use crate::protocol::{Request, Response};
+use crate::server::SimulationServer;
+use crossbeam::channel::{unbounded, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+struct Job {
+    payload: Vec<u8>,
+    reply: Sender<Vec<u8>>,
+}
+
+/// A running worker pool around a [`SimulationServer`].
+pub struct ThreadedServer {
+    server: Arc<SimulationServer>,
+    tx: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadedServer {
+    /// Start `worker_threads` workers (taken from the server's configuration).
+    pub fn start(server: SimulationServer) -> Self {
+        let workers = server.config().worker_threads.max(1);
+        let server = Arc::new(server);
+        let (tx, rx) = unbounded::<Job>();
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let server = Arc::clone(&server);
+            handles.push(std::thread::spawn(move || {
+                while let Ok(job) = rx.recv() {
+                    let response = server.handle_raw(&job.payload);
+                    // The client may have given up (timeout); ignore send errors.
+                    let _ = job.reply.send(response);
+                }
+            }));
+        }
+        ThreadedServer { server, tx: Some(tx), workers: handles }
+    }
+
+    /// A cheap handle clients use to submit requests.
+    pub fn client(&self) -> ServerClient {
+        ServerClient { tx: self.tx.clone().expect("server is running") }
+    }
+
+    /// Access to the underlying server (e.g. for session counting in tests).
+    pub fn server(&self) -> &SimulationServer {
+        &self.server
+    }
+
+    /// Stop the workers and wait for them to exit.
+    pub fn shutdown(mut self) {
+        self.tx = None; // close the channel
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ThreadedServer {
+    fn drop(&mut self) {
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Client handle: encodes requests, submits them to the pool and decodes the
+/// (possibly compressed) responses.
+#[derive(Clone)]
+pub struct ServerClient {
+    tx: Sender<Job>,
+}
+
+impl ServerClient {
+    /// Send `request` and wait for the response.
+    pub fn call(&self, request: &Request) -> Result<Response, String> {
+        let payload = serde_json::to_vec(request).map_err(|e| e.to_string())?;
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Job { payload, reply: reply_tx })
+            .map_err(|_| "server is shut down".to_string())?;
+        let raw = reply_rx.recv().map_err(|_| "server dropped the request".to_string())?;
+        SimulationServer::decode_response(&raw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{DeploymentConfig, DeploymentMode};
+
+    const PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 50
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    mv   a0, t0
+    ret
+";
+
+    fn start(workers: usize) -> ThreadedServer {
+        ThreadedServer::start(SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::Direct,
+            compress_responses: true,
+            worker_threads: workers,
+        }))
+    }
+
+    #[test]
+    fn client_round_trip() {
+        let server = start(2);
+        let client = server.client();
+        let r = client
+            .call(&Request::CreateSession { program: PROGRAM.into(), architecture: None, entry: None })
+            .unwrap();
+        let session = match r {
+            Response::SessionCreated { session } => session,
+            other => panic!("unexpected {other:?}"),
+        };
+        let r = client.call(&Request::Step { session, cycles: 4 }).unwrap();
+        assert_eq!(r, Response::Stepped { cycle: 4, halted: false });
+        let r = client.call(&Request::GetState { session }).unwrap();
+        assert!(matches!(r, Response::State(_)));
+        server.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_get_independent_sessions() {
+        let server = start(4);
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let client = server.client();
+            threads.push(std::thread::spawn(move || {
+                let r = client
+                    .call(&Request::CreateSession {
+                        program: PROGRAM.into(),
+                        architecture: None,
+                        entry: None,
+                    })
+                    .unwrap();
+                let session = match r {
+                    Response::SessionCreated { session } => session,
+                    other => panic!("unexpected {other:?}"),
+                };
+                for _ in 0..10 {
+                    let r = client.call(&Request::Step { session, cycles: 1 }).unwrap();
+                    assert!(matches!(r, Response::Stepped { .. }));
+                }
+                session
+            }));
+        }
+        let mut ids: Vec<u64> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 8, "every client must get its own session");
+        assert_eq!(server.server().session_count(), 8);
+        server.shutdown();
+    }
+
+    #[test]
+    fn calls_after_shutdown_fail_cleanly() {
+        let server = start(1);
+        let client = server.client();
+        server.shutdown();
+        let r = client.call(&Request::GetStats { session: 1 });
+        assert!(r.is_err());
+    }
+}

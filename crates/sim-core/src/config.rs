@@ -1,0 +1,389 @@
+//! Architecture configuration (the Architecture Settings window, §II-C).
+//!
+//! The configuration is organised exactly like the paper's settings tabs:
+//! general (name, clocks), buffers (processor width), functional units,
+//! cache, memory and branch prediction.  Configurations serialize to/from
+//! JSON so they can be exported, shared and passed to the CLI.
+
+use rvsim_mem::{CacheConfig, MemoryTimings};
+use rvsim_predictor::BranchPredictorConfig;
+use serde::{Deserialize, Serialize};
+
+/// "Buffers" tab: superscalar width and speculation recovery.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferConfig {
+    /// Reorder buffer capacity.
+    pub rob_size: usize,
+    /// Instructions fetched (and decoded/renamed) per cycle.
+    pub fetch_width: usize,
+    /// Instructions committed (retired) per cycle.
+    pub commit_width: usize,
+    /// Extra cycles the front end stalls after a pipeline flush.
+    pub flush_penalty: u64,
+    /// Predicted-taken jumps the fetch unit can follow within a single cycle.
+    pub branch_follow_limit: usize,
+    /// Capacity of each issue window (FX, FP, load/store, branch).
+    pub issue_window_size: usize,
+}
+
+impl Default for BufferConfig {
+    fn default() -> Self {
+        BufferConfig {
+            rob_size: 32,
+            fetch_width: 2,
+            commit_width: 2,
+            flush_penalty: 2,
+            branch_follow_limit: 1,
+            issue_window_size: 8,
+        }
+    }
+}
+
+/// One integer ALU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FxUnitConfig {
+    /// Display name of the unit.
+    pub name: String,
+    /// Whether the unit can execute M-extension multiply/divide instructions.
+    pub supports_mul_div: bool,
+    /// Latency of simple ALU operations.
+    pub alu_latency: u64,
+    /// Latency of multiplications.
+    pub mul_latency: u64,
+    /// Latency of divisions / remainders.
+    pub div_latency: u64,
+}
+
+impl Default for FxUnitConfig {
+    fn default() -> Self {
+        FxUnitConfig {
+            name: "FX".to_string(),
+            supports_mul_div: true,
+            alu_latency: 1,
+            mul_latency: 3,
+            div_latency: 10,
+        }
+    }
+}
+
+/// One floating-point ALU.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FpUnitConfig {
+    /// Display name of the unit.
+    pub name: String,
+    /// Latency of add/sub/compare/move/convert operations.
+    pub alu_latency: u64,
+    /// Latency of multiplications.
+    pub mul_latency: u64,
+    /// Latency of divisions.
+    pub div_latency: u64,
+    /// Latency of square roots.
+    pub sqrt_latency: u64,
+    /// Latency of fused multiply-add operations.
+    pub fma_latency: u64,
+}
+
+impl Default for FpUnitConfig {
+    fn default() -> Self {
+        FpUnitConfig {
+            name: "FP".to_string(),
+            alu_latency: 3,
+            mul_latency: 4,
+            div_latency: 12,
+            sqrt_latency: 15,
+            fma_latency: 5,
+        }
+    }
+}
+
+/// "Functional units" tab.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionalUnitsConfig {
+    /// Integer ALUs.
+    pub fx_units: Vec<FxUnitConfig>,
+    /// Floating-point ALUs.
+    pub fp_units: Vec<FpUnitConfig>,
+    /// Number of load/store address-generation units.
+    pub ls_units: usize,
+    /// Address-generation latency of the L/S units.
+    pub ls_latency: u64,
+    /// Number of branch units.
+    pub branch_units: usize,
+    /// Branch resolution latency.
+    pub branch_latency: u64,
+    /// Memory-access units (transactions started per cycle).
+    pub memory_units: usize,
+}
+
+impl Default for FunctionalUnitsConfig {
+    fn default() -> Self {
+        FunctionalUnitsConfig {
+            fx_units: vec![FxUnitConfig::default(), FxUnitConfig { name: "FX2".into(), supports_mul_div: false, ..FxUnitConfig::default() }],
+            fp_units: vec![FpUnitConfig::default()],
+            ls_units: 1,
+            ls_latency: 1,
+            branch_units: 1,
+            branch_latency: 1,
+            memory_units: 1,
+        }
+    }
+}
+
+/// "Memory" tab: buffers, latencies, stack and rename file sizes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryConfig {
+    /// Load buffer entries.
+    pub load_buffer_size: usize,
+    /// Store buffer entries.
+    pub store_buffer_size: usize,
+    /// Baseline load/store latencies (main-memory access).
+    pub timings: MemoryTimings,
+    /// Call-stack size in bytes (the stack occupies the bottom of memory).
+    pub call_stack_size: u64,
+    /// Number of speculative (rename) registers.
+    pub rename_file_size: usize,
+    /// Main-memory capacity in bytes.
+    pub memory_capacity: usize,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            load_buffer_size: 8,
+            store_buffer_size: 8,
+            timings: MemoryTimings::default(),
+            call_stack_size: 4096,
+            rename_file_size: 64,
+            memory_capacity: 64 * 1024,
+        }
+    }
+}
+
+/// The complete architecture description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArchitectureConfig {
+    /// Human-readable architecture name.
+    pub name: String,
+    /// Core clock in Hz (used to derive wall time from cycles).
+    pub core_clock_hz: u64,
+    /// Memory clock in Hz (informational).
+    pub memory_clock_hz: u64,
+    /// Buffers tab.
+    pub buffers: BufferConfig,
+    /// Functional units tab.
+    pub units: FunctionalUnitsConfig,
+    /// Cache tab.
+    pub cache: CacheConfig,
+    /// Memory tab.
+    pub memory: MemoryConfig,
+    /// Branch prediction tab.
+    pub predictor: BranchPredictorConfig,
+}
+
+impl Default for ArchitectureConfig {
+    fn default() -> Self {
+        ArchitectureConfig {
+            name: "default-superscalar".to_string(),
+            core_clock_hz: 100_000_000,
+            memory_clock_hz: 50_000_000,
+            buffers: BufferConfig::default(),
+            units: FunctionalUnitsConfig::default(),
+            cache: CacheConfig::default(),
+            memory: MemoryConfig::default(),
+            predictor: BranchPredictorConfig::default(),
+        }
+    }
+}
+
+impl ArchitectureConfig {
+    /// A minimal single-issue, in-order-ish configuration useful as a baseline
+    /// in architecture-exploration experiments.
+    pub fn scalar() -> Self {
+        ArchitectureConfig {
+            name: "scalar".to_string(),
+            buffers: BufferConfig {
+                rob_size: 4,
+                fetch_width: 1,
+                commit_width: 1,
+                flush_penalty: 2,
+                branch_follow_limit: 1,
+                issue_window_size: 2,
+            },
+            units: FunctionalUnitsConfig {
+                fx_units: vec![FxUnitConfig::default()],
+                fp_units: vec![FpUnitConfig::default()],
+                ls_units: 1,
+                ls_latency: 1,
+                branch_units: 1,
+                branch_latency: 1,
+                memory_units: 1,
+            },
+            ..Default::default()
+        }
+    }
+
+    /// An aggressive 4-wide configuration.
+    pub fn wide() -> Self {
+        ArchitectureConfig {
+            name: "wide-4".to_string(),
+            buffers: BufferConfig {
+                rob_size: 64,
+                fetch_width: 4,
+                commit_width: 4,
+                flush_penalty: 3,
+                branch_follow_limit: 2,
+                issue_window_size: 16,
+            },
+            units: FunctionalUnitsConfig {
+                fx_units: vec![
+                    FxUnitConfig::default(),
+                    FxUnitConfig { name: "FX2".into(), ..Default::default() },
+                    FxUnitConfig { name: "FX3".into(), supports_mul_div: false, ..Default::default() },
+                    FxUnitConfig { name: "FX4".into(), supports_mul_div: false, ..Default::default() },
+                ],
+                fp_units: vec![
+                    FpUnitConfig::default(),
+                    FpUnitConfig { name: "FP2".into(), ..Default::default() },
+                ],
+                ls_units: 2,
+                ls_latency: 1,
+                branch_units: 2,
+                branch_latency: 1,
+                memory_units: 2,
+            },
+            memory: MemoryConfig { rename_file_size: 128, load_buffer_size: 16, store_buffer_size: 16, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    /// Validate the whole configuration, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let b = &self.buffers;
+        if b.rob_size == 0 {
+            return Err("reorder buffer size must be at least 1".into());
+        }
+        if b.fetch_width == 0 || b.commit_width == 0 {
+            return Err("fetch and commit width must be at least 1".into());
+        }
+        if b.issue_window_size == 0 {
+            return Err("issue window size must be at least 1".into());
+        }
+        if self.units.fx_units.is_empty() {
+            return Err("at least one FX unit is required".into());
+        }
+        if self.units.ls_units == 0 || self.units.branch_units == 0 || self.units.memory_units == 0 {
+            return Err("LS, branch and memory unit counts must be at least 1".into());
+        }
+        if self.memory.rename_file_size < b.rob_size {
+            return Err(format!(
+                "rename file size {} must be at least the ROB size {} (every in-flight instruction may need a destination register)",
+                self.memory.rename_file_size, b.rob_size
+            ));
+        }
+        if self.memory.load_buffer_size == 0 || self.memory.store_buffer_size == 0 {
+            return Err("load and store buffers must have at least one entry".into());
+        }
+        if self.memory.call_stack_size as usize >= self.memory.memory_capacity {
+            return Err("call stack does not fit into memory".into());
+        }
+        if self.memory.call_stack_size % 16 != 0 {
+            return Err("call stack size must be 16-byte aligned (RISC-V ABI)".into());
+        }
+        if self.core_clock_hz == 0 {
+            return Err("core clock must be non-zero".into());
+        }
+        self.cache.validate()?;
+        self.predictor.validate()?;
+        Ok(())
+    }
+
+    /// Serialize to pretty JSON (export / share configurations).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("architecture config serializes")
+    }
+
+    /// Load a configuration from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let config: ArchitectureConfig =
+            serde_json::from_str(json).map_err(|e| format!("invalid architecture JSON: {e}"))?;
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_predictor::PredictorKind;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(ArchitectureConfig::default().validate().is_ok());
+        assert!(ArchitectureConfig::scalar().validate().is_ok());
+        assert!(ArchitectureConfig::wide().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_widths() {
+        let mut c = ArchitectureConfig::default();
+        c.buffers.rob_size = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArchitectureConfig::default();
+        c.buffers.fetch_width = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = ArchitectureConfig::default();
+        c.units.fx_units.clear();
+        assert!(c.validate().is_err());
+
+        let mut c = ArchitectureConfig::default();
+        c.memory.rename_file_size = 4;
+        assert!(c.validate().unwrap_err().contains("rename file"));
+
+        let mut c = ArchitectureConfig::default();
+        c.memory.call_stack_size = c.memory.memory_capacity as u64 + 16;
+        assert!(c.validate().is_err());
+
+        let mut c = ArchitectureConfig::default();
+        c.memory.call_stack_size = 1000; // not 16-aligned
+        assert!(c.validate().is_err());
+
+        let mut c = ArchitectureConfig::default();
+        c.cache.line_size = 17;
+        assert!(c.validate().is_err(), "cache validation is included");
+
+        let mut c = ArchitectureConfig::default();
+        c.predictor.btb_size = 0;
+        assert!(c.validate().is_err(), "predictor validation is included");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut c = ArchitectureConfig::wide();
+        c.predictor.predictor_kind = PredictorKind::One;
+        c.cache.associativity = 4;
+        c.cache.line_count = 32;
+        let json = c.to_json();
+        let back = ArchitectureConfig::from_json(&json).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn from_json_rejects_invalid_configs() {
+        let mut c = ArchitectureConfig::default();
+        c.buffers.rob_size = 0;
+        let json = serde_json::to_string(&c).unwrap();
+        assert!(ArchitectureConfig::from_json(&json).is_err());
+        assert!(ArchitectureConfig::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn presets_differ_in_width() {
+        let scalar = ArchitectureConfig::scalar();
+        let wide = ArchitectureConfig::wide();
+        assert!(wide.buffers.fetch_width > scalar.buffers.fetch_width);
+        assert!(wide.units.fx_units.len() > scalar.units.fx_units.len());
+        assert!(wide.buffers.rob_size > scalar.buffers.rob_size);
+    }
+}

@@ -1,0 +1,275 @@
+//! In-flight instruction instances (`SimCode`).
+//!
+//! Every fetched instruction becomes a [`SimCode`]: the decoded operands, the
+//! renamed source/destination registers, per-phase timestamps (displayed by
+//! the instruction pop-up, Fig. 3), branch-prediction information, memory
+//! access state and any exception raised during execution.
+
+use crate::register_file::PhysRegTag;
+use rvsim_isa::{Exception, FunctionalClass, RegisterId, TypedValue};
+use serde::{Deserialize, Serialize};
+
+/// Unique, monotonically increasing instruction identifier (program order).
+pub type InstrId = u64;
+
+/// Lifecycle of an in-flight instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InstructionState {
+    /// Fetched, waiting in the fetch buffer for decode/rename.
+    Fetched,
+    /// Renamed and sitting in an issue window (and the ROB).
+    Dispatched,
+    /// Executing in a functional unit.
+    Executing,
+    /// Waiting for a memory transaction to complete (loads).
+    WaitingMemory,
+    /// Finished executing, waiting to commit.
+    Done,
+    /// Committed (retired).
+    Committed,
+    /// Squashed by a pipeline flush.
+    Squashed,
+}
+
+/// Timestamps of the pipeline phases an instruction went through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct Timestamps {
+    /// Cycle the instruction was fetched.
+    pub fetch: Option<u64>,
+    /// Cycle it was decoded/renamed/dispatched.
+    pub dispatch: Option<u64>,
+    /// Cycle it was issued to a functional unit.
+    pub issue: Option<u64>,
+    /// Cycle its functional-unit execution finished.
+    pub execute: Option<u64>,
+    /// Cycle its memory access completed (loads/stores).
+    pub memory: Option<u64>,
+    /// Cycle it committed.
+    pub commit: Option<u64>,
+}
+
+/// One renamed source operand.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SourceOperand {
+    /// Descriptor argument name (`rs1`, `rs2`, `rs3`).
+    pub arg: String,
+    /// Architectural register read.
+    pub arch: RegisterId,
+    /// Speculative register the operand waits for, if not ready at rename.
+    pub wait_tag: Option<PhysRegTag>,
+    /// The operand value, once known.
+    pub value: Option<TypedValue>,
+}
+
+impl SourceOperand {
+    /// True once the value is available.
+    pub fn ready(&self) -> bool {
+        self.value.is_some()
+    }
+}
+
+/// Renamed destination register.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DestOperand {
+    /// Descriptor argument name (`rd`).
+    pub arg: String,
+    /// Architectural destination register.
+    pub arch: RegisterId,
+    /// Allocated speculative register (`None` for discarded `x0` writes).
+    pub tag: Option<PhysRegTag>,
+    /// RAT mapping displaced by this rename (for rollback on flush).
+    pub previous: Option<PhysRegTag>,
+}
+
+/// An in-flight instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimCode {
+    /// Unique id in program (fetch) order.
+    pub id: InstrId,
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Mnemonic (after pseudo-instruction expansion).
+    pub mnemonic: String,
+    /// Original source text.
+    pub text: String,
+    /// 1-based source line.
+    pub source_line: usize,
+    /// Functional-unit class that executes the instruction.
+    pub class: FunctionalClass,
+    /// Current lifecycle state.
+    pub state: InstructionState,
+    /// Phase timestamps.
+    pub timestamps: Timestamps,
+    /// Immediate arguments: `(argument name, value)`.
+    pub immediates: Vec<(String, i64)>,
+    /// Renamed source operands.
+    pub sources: Vec<SourceOperand>,
+    /// Renamed destination, if the instruction writes a register.
+    pub dest: Option<DestOperand>,
+
+    // ------------------------------------------------------------- branches
+    /// Direction the fetch unit predicted.
+    pub predicted_taken: bool,
+    /// PC the fetch unit continued at after this instruction.
+    pub predicted_next_pc: u64,
+    /// Real direction, once resolved.
+    pub actual_taken: Option<bool>,
+    /// Real next PC, once resolved.
+    pub actual_next_pc: Option<u64>,
+    /// True when the branch was mispredicted and caused a flush.
+    pub mispredicted: bool,
+
+    // --------------------------------------------------------------- memory
+    /// Effective address, once computed by the L/S unit.
+    pub effective_address: Option<u64>,
+    /// Value to store (stores) once read from the source register.
+    pub store_value: Option<TypedValue>,
+    /// Value loaded from memory (loads).
+    pub loaded_value: Option<TypedValue>,
+    /// Whether the access hit in the L1 cache.
+    pub cache_hit: Option<bool>,
+
+    // -------------------------------------------------------------- results
+    /// Value written to the destination register.
+    pub result: Option<TypedValue>,
+    /// Exception raised during execution (acted on at commit).
+    pub exception: Option<Exception>,
+    /// FLOPs contributed when the instruction commits.
+    pub flops: u32,
+}
+
+impl SimCode {
+    /// Create a freshly fetched instruction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fetched(
+        id: InstrId,
+        pc: u64,
+        mnemonic: String,
+        text: String,
+        source_line: usize,
+        class: FunctionalClass,
+        flops: u32,
+        cycle: u64,
+    ) -> Self {
+        SimCode {
+            id,
+            pc,
+            mnemonic,
+            text,
+            source_line,
+            class,
+            state: InstructionState::Fetched,
+            timestamps: Timestamps { fetch: Some(cycle), ..Default::default() },
+            immediates: Vec::new(),
+            sources: Vec::new(),
+            dest: None,
+            predicted_taken: false,
+            predicted_next_pc: pc + 4,
+            actual_taken: None,
+            actual_next_pc: None,
+            mispredicted: false,
+            effective_address: None,
+            store_value: None,
+            loaded_value: None,
+            cache_hit: None,
+            result: None,
+            exception: None,
+            flops,
+        }
+    }
+
+    /// True when every source operand value is known.
+    pub fn sources_ready(&self) -> bool {
+        self.sources.iter().all(SourceOperand::ready)
+    }
+
+    /// Deliver a produced value to any source operand waiting on `tag`.
+    /// Returns true when at least one operand was woken.
+    pub fn wake_up(&mut self, tag: PhysRegTag, value: TypedValue) -> bool {
+        let mut woke = false;
+        for src in &mut self.sources {
+            if src.wait_tag == Some(tag) && src.value.is_none() {
+                src.value = Some(value);
+                woke = true;
+            }
+        }
+        woke
+    }
+
+    /// Value of the source operand named `arg`, if known.
+    pub fn source_value(&self, arg: &str) -> Option<TypedValue> {
+        self.sources.iter().find(|s| s.arg == arg).and_then(|s| s.value)
+    }
+
+    /// Value of the immediate argument named `arg`.
+    pub fn immediate(&self, arg: &str) -> Option<i64> {
+        self.immediates.iter().find(|(a, _)| a == arg).map(|(_, v)| *v)
+    }
+
+    /// True for instructions that are finished from the ROB's point of view.
+    pub fn is_done(&self) -> bool {
+        self.state == InstructionState::Done
+    }
+
+    /// True when the instruction still occupies pipeline resources.
+    pub fn is_in_flight(&self) -> bool {
+        !matches!(self.state, InstructionState::Committed | InstructionState::Squashed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code() -> SimCode {
+        SimCode::fetched(1, 0x10, "add".into(), "add a0, a1, a2".into(), 3, FunctionalClass::Fx, 0, 7)
+    }
+
+    #[test]
+    fn fetched_state_and_timestamp() {
+        let c = code();
+        assert_eq!(c.state, InstructionState::Fetched);
+        assert_eq!(c.timestamps.fetch, Some(7));
+        assert_eq!(c.predicted_next_pc, 0x14);
+        assert!(c.is_in_flight());
+        assert!(!c.is_done());
+    }
+
+    #[test]
+    fn sources_ready_and_wake_up() {
+        let mut c = code();
+        c.sources = vec![
+            SourceOperand { arg: "rs1".into(), arch: RegisterId::x(11), wait_tag: None, value: Some(TypedValue::int(1)) },
+            SourceOperand { arg: "rs2".into(), arch: RegisterId::x(12), wait_tag: Some(PhysRegTag(3)), value: None },
+        ];
+        assert!(!c.sources_ready());
+        assert!(!c.wake_up(PhysRegTag(9), TypedValue::int(5)), "wrong tag wakes nothing");
+        assert!(c.wake_up(PhysRegTag(3), TypedValue::int(5)));
+        assert!(c.sources_ready());
+        assert_eq!(c.source_value("rs2"), Some(TypedValue::int(5)));
+        assert_eq!(c.source_value("rs1"), Some(TypedValue::int(1)));
+        assert_eq!(c.source_value("rs9"), None);
+        // A second wake-up for the same tag does not overwrite.
+        assert!(!c.wake_up(PhysRegTag(3), TypedValue::int(99)));
+        assert_eq!(c.source_value("rs2"), Some(TypedValue::int(5)));
+    }
+
+    #[test]
+    fn immediates_lookup() {
+        let mut c = code();
+        c.immediates.push(("imm".into(), -8));
+        assert_eq!(c.immediate("imm"), Some(-8));
+        assert_eq!(c.immediate("other"), None);
+    }
+
+    #[test]
+    fn lifecycle_flags() {
+        let mut c = code();
+        c.state = InstructionState::Done;
+        assert!(c.is_done());
+        c.state = InstructionState::Committed;
+        assert!(!c.is_in_flight());
+        c.state = InstructionState::Squashed;
+        assert!(!c.is_in_flight());
+    }
+}

@@ -1,0 +1,98 @@
+//! Cycle-stamped debug log (the right-hand panel's log view, §II-A).
+
+use serde::{Deserialize, Serialize};
+
+/// One log message.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LogEntry {
+    /// Cycle the message was generated in.
+    pub cycle: u64,
+    /// Message text.
+    pub message: String,
+}
+
+/// The debug log: every message is timestamped with the cycle in which it was
+/// generated, so the GUI can navigate the simulation to that cycle.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct DebugLog {
+    entries: Vec<LogEntry>,
+    capacity: usize,
+}
+
+impl DebugLog {
+    /// Default maximum number of retained messages.
+    pub const DEFAULT_CAPACITY: usize = 10_000;
+
+    /// Create a log retaining at most `capacity` messages (oldest dropped).
+    pub fn with_capacity(capacity: usize) -> Self {
+        DebugLog { entries: Vec::new(), capacity: capacity.max(1) }
+    }
+
+    /// Create a log with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Append a message for `cycle`.
+    pub fn push(&mut self, cycle: u64, message: impl Into<String>) {
+        if self.entries.len() == self.capacity {
+            self.entries.remove(0);
+        }
+        self.entries.push(LogEntry { cycle, message: message.into() });
+    }
+
+    /// All retained messages, oldest first.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Messages generated during `cycle`.
+    pub fn at_cycle(&self, cycle: u64) -> impl Iterator<Item = &LogEntry> {
+        self.entries.iter().filter(move |e| e.cycle == cycle)
+    }
+
+    /// Number of retained messages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no messages are retained.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop all messages.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_query() {
+        let mut log = DebugLog::new();
+        log.push(1, "fetch main");
+        log.push(2, "dispatch 0");
+        log.push(2, "dispatch 1");
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.at_cycle(2).count(), 2);
+        assert_eq!(log.entries()[0].message, "fetch main");
+        assert!(!log.is_empty());
+        log.clear();
+        assert!(log.is_empty());
+    }
+
+    #[test]
+    fn capacity_drops_oldest() {
+        let mut log = DebugLog::with_capacity(2);
+        log.push(1, "a");
+        log.push(2, "b");
+        log.push(3, "c");
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.entries()[0].message, "b");
+        assert_eq!(log.entries()[1].message, "c");
+    }
+}

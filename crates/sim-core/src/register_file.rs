@@ -1,0 +1,388 @@
+//! Architectural + rename (speculative) register file (paper §III-B).
+//!
+//! Architectural registers hold the committed state; every in-flight
+//! instruction with a destination gets a *speculative* physical register from
+//! the rename file.  The register alias table (RAT) maps each architectural
+//! register to its most recent speculative copy; the paper's per-register
+//! "list of renamed copies / pointer to the architectural register" is
+//! captured here by the tag ↔ architectural-register association stored in
+//! each physical register.
+
+use rvsim_isa::{DataType, RegisterFileKind, RegisterId, RegisterValue, TypedValue};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Identifier of a speculative (rename) register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, PartialOrd, Ord)]
+pub struct PhysRegTag(pub usize);
+
+impl std::fmt::Display for PhysRegTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tg{}", self.0)
+    }
+}
+
+/// Result of reading a source operand at rename time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OperandRead {
+    /// The value is available now.
+    Ready(TypedValue),
+    /// The value will be produced by the instruction owning this tag.
+    Wait(PhysRegTag),
+}
+
+/// Result of renaming a destination register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DestRename {
+    /// A speculative register was allocated; `previous` is the RAT entry that
+    /// was displaced (needed to roll back on a flush).
+    Allocated {
+        /// Newly allocated speculative register.
+        tag: PhysRegTag,
+        /// Previous mapping of the architectural register, if any.
+        previous: Option<PhysRegTag>,
+    },
+    /// The destination is `x0`; the write will be discarded.
+    Discard,
+    /// No free speculative register — rename must stall this cycle.
+    Stall,
+}
+
+/// One speculative register.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+struct PhysReg {
+    /// The architectural register this speculative copy belongs to.
+    arch: RegisterId,
+    /// Produced value, once the owning instruction executed.
+    value: Option<RegisterValue>,
+    /// Allocated to an in-flight instruction.
+    in_use: bool,
+}
+
+/// Architectural + speculative register state.
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    int_arch: [RegisterValue; 32],
+    fp_arch: [RegisterValue; 32],
+    phys: Vec<PhysReg>,
+    free: VecDeque<usize>,
+    rat_int: [Option<PhysRegTag>; 32],
+    rat_fp: [Option<PhysRegTag>; 32],
+}
+
+impl RegisterFile {
+    /// Create a register file with `rename_file_size` speculative registers.
+    pub fn new(rename_file_size: usize) -> Self {
+        RegisterFile {
+            int_arch: [RegisterValue::zero(); 32],
+            fp_arch: [RegisterValue { bits: 0, data_type: DataType::Float }; 32],
+            phys: vec![
+                PhysReg { arch: RegisterId::zero(), value: None, in_use: false };
+                rename_file_size
+            ],
+            free: (0..rename_file_size).collect(),
+            rat_int: [None; 32],
+            rat_fp: [None; 32],
+        }
+    }
+
+    /// Number of speculative registers still free.
+    pub fn free_count(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total speculative registers.
+    pub fn capacity(&self) -> usize {
+        self.phys.len()
+    }
+
+    fn rat(&self, reg: RegisterId) -> Option<PhysRegTag> {
+        match reg.kind {
+            RegisterFileKind::Int => self.rat_int[reg.index as usize],
+            RegisterFileKind::Fp => self.rat_fp[reg.index as usize],
+        }
+    }
+
+    fn set_rat(&mut self, reg: RegisterId, tag: Option<PhysRegTag>) {
+        match reg.kind {
+            RegisterFileKind::Int => self.rat_int[reg.index as usize] = tag,
+            RegisterFileKind::Fp => self.rat_fp[reg.index as usize] = tag,
+        }
+    }
+
+    /// Committed value of an architectural register.
+    pub fn read_arch(&self, reg: RegisterId) -> RegisterValue {
+        if reg.is_zero() {
+            return RegisterValue::zero();
+        }
+        match reg.kind {
+            RegisterFileKind::Int => self.int_arch[reg.index as usize],
+            RegisterFileKind::Fp => self.fp_arch[reg.index as usize],
+        }
+    }
+
+    /// Directly set an architectural register (simulation initialisation:
+    /// stack pointer, argument registers, …).
+    pub fn write_arch(&mut self, reg: RegisterId, value: RegisterValue) {
+        if reg.is_zero() {
+            return;
+        }
+        match reg.kind {
+            RegisterFileKind::Int => self.int_arch[reg.index as usize] = value,
+            RegisterFileKind::Fp => self.fp_arch[reg.index as usize] = value,
+        }
+    }
+
+    /// Read a source operand through the RAT: the youngest speculative copy if
+    /// one exists, otherwise the architectural value.
+    pub fn read_operand(&self, reg: RegisterId) -> OperandRead {
+        if reg.is_zero() {
+            return OperandRead::Ready(TypedValue::int(0));
+        }
+        match self.rat(reg) {
+            Some(tag) => match self.phys[tag.0].value {
+                Some(v) => OperandRead::Ready(v.typed()),
+                None => OperandRead::Wait(tag),
+            },
+            None => OperandRead::Ready(self.read_arch(reg).typed()),
+        }
+    }
+
+    /// Rename a destination register.
+    pub fn rename_dest(&mut self, reg: RegisterId) -> DestRename {
+        if reg.is_zero() {
+            return DestRename::Discard;
+        }
+        let Some(index) = self.free.pop_front() else {
+            return DestRename::Stall;
+        };
+        let previous = self.rat(reg);
+        self.phys[index] = PhysReg { arch: reg, value: None, in_use: true };
+        let tag = PhysRegTag(index);
+        self.set_rat(reg, Some(tag));
+        DestRename::Allocated { tag, previous }
+    }
+
+    /// Write the produced value into a speculative register (instruction
+    /// finished executing).
+    pub fn write_phys(&mut self, tag: PhysRegTag, value: RegisterValue) {
+        debug_assert!(self.phys[tag.0].in_use, "write to a free rename register");
+        self.phys[tag.0].value = Some(value);
+    }
+
+    /// Read a speculative register's value, if already produced.
+    pub fn read_phys(&self, tag: PhysRegTag) -> Option<RegisterValue> {
+        self.phys[tag.0].value
+    }
+
+    /// Architectural register a speculative register belongs to.
+    pub fn phys_arch(&self, tag: PhysRegTag) -> RegisterId {
+        self.phys[tag.0].arch
+    }
+
+    /// Commit a speculative register: copy its value to the architectural
+    /// register, clear the RAT entry when it still points at this tag, and
+    /// return the tag to the free list.
+    pub fn commit(&mut self, tag: PhysRegTag) {
+        let phys = self.phys[tag.0];
+        debug_assert!(phys.in_use, "commit of a free rename register");
+        if let Some(value) = phys.value {
+            self.write_arch(phys.arch, value);
+        }
+        if self.rat(phys.arch) == Some(tag) {
+            self.set_rat(phys.arch, None);
+        }
+        self.release(tag);
+    }
+
+    /// Roll back a squashed instruction's rename: restore the previous RAT
+    /// mapping and free the tag.  Must be called youngest-first.
+    ///
+    /// The previous mapping may have committed (and been freed) since the
+    /// squashed instruction renamed — in that case the architectural register
+    /// is already up to date and the RAT entry is simply cleared.
+    pub fn rollback(&mut self, tag: PhysRegTag, previous: Option<PhysRegTag>) {
+        let arch = self.phys[tag.0].arch;
+        if self.rat(arch) == Some(tag) {
+            let restored = previous.filter(|p| self.phys[p.0].in_use && self.phys[p.0].arch == arch);
+            self.set_rat(arch, restored);
+        }
+        self.release(tag);
+    }
+
+    fn release(&mut self, tag: PhysRegTag) {
+        if self.phys[tag.0].in_use {
+            self.phys[tag.0].in_use = false;
+            self.phys[tag.0].value = None;
+            self.free.push_back(tag.0);
+        }
+    }
+
+    /// Number of speculative registers currently allocated.
+    pub fn in_use_count(&self) -> usize {
+        self.capacity() - self.free_count()
+    }
+
+    /// All architectural integer registers (GUI register pane).
+    pub fn int_registers(&self) -> &[RegisterValue; 32] {
+        &self.int_arch
+    }
+
+    /// All architectural floating-point registers.
+    pub fn fp_registers(&self) -> &[RegisterValue; 32] {
+        &self.fp_arch
+    }
+
+    /// Current RAT mapping for display: `(arch register, speculative tag,
+    /// value-ready)` for every renamed register.
+    pub fn rename_map(&self) -> Vec<(RegisterId, PhysRegTag, bool)> {
+        let mut out = Vec::new();
+        for i in 0..32u8 {
+            for reg in [RegisterId::x(i), RegisterId::f(i)] {
+                if let Some(tag) = self.rat(reg) {
+                    out.push((reg, tag, self.phys[tag.0].value.is_some()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf() -> RegisterFile {
+        RegisterFile::new(8)
+    }
+
+    fn alloc(rf: &mut RegisterFile, reg: RegisterId) -> (PhysRegTag, Option<PhysRegTag>) {
+        match rf.rename_dest(reg) {
+            DestRename::Allocated { tag, previous } => (tag, previous),
+            other => panic!("expected allocation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let mut r = rf();
+        assert_eq!(r.rename_dest(RegisterId::zero()), DestRename::Discard);
+        r.write_arch(RegisterId::zero(), RegisterValue { bits: 99, data_type: DataType::Int });
+        assert_eq!(r.read_arch(RegisterId::zero()).bits, 0);
+        assert_eq!(r.read_operand(RegisterId::zero()), OperandRead::Ready(TypedValue::int(0)));
+    }
+
+    #[test]
+    fn unrenamed_operand_reads_architectural_value() {
+        let mut r = rf();
+        r.write_arch(RegisterId::x(5), RegisterValue::from_typed(TypedValue::int(7)));
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Ready(TypedValue::int(7)));
+    }
+
+    #[test]
+    fn renamed_operand_waits_then_forwards() {
+        let mut r = rf();
+        let (tag, prev) = alloc(&mut r, RegisterId::x(5));
+        assert_eq!(prev, None);
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Wait(tag));
+        r.write_phys(tag, RegisterValue::from_typed(TypedValue::int(42)));
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Ready(TypedValue::int(42)));
+        assert_eq!(r.read_phys(tag).unwrap().as_i64(), 42);
+        assert_eq!(r.phys_arch(tag), RegisterId::x(5));
+    }
+
+    #[test]
+    fn chained_renames_track_previous_mapping() {
+        let mut r = rf();
+        let (t1, p1) = alloc(&mut r, RegisterId::x(5));
+        let (t2, p2) = alloc(&mut r, RegisterId::x(5));
+        assert_eq!(p1, None);
+        assert_eq!(p2, Some(t1));
+        assert_ne!(t1, t2);
+        // Youngest mapping wins for readers.
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Wait(t2));
+    }
+
+    #[test]
+    fn commit_updates_architectural_state_and_frees_tag() {
+        let mut r = rf();
+        let before_free = r.free_count();
+        let (tag, _) = alloc(&mut r, RegisterId::x(7));
+        r.write_phys(tag, RegisterValue::from_typed(TypedValue::int(13)));
+        r.commit(tag);
+        assert_eq!(r.read_arch(RegisterId::x(7)).as_i64(), 13);
+        assert_eq!(r.free_count(), before_free);
+        // RAT entry cleared: next read is architectural.
+        assert_eq!(r.read_operand(RegisterId::x(7)), OperandRead::Ready(TypedValue::int(13)));
+    }
+
+    #[test]
+    fn commit_of_older_copy_does_not_clobber_rat() {
+        let mut r = rf();
+        let (t1, _) = alloc(&mut r, RegisterId::x(5));
+        let (t2, _) = alloc(&mut r, RegisterId::x(5));
+        r.write_phys(t1, RegisterValue::from_typed(TypedValue::int(1)));
+        r.commit(t1);
+        // The younger rename t2 must still be the visible mapping.
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Wait(t2));
+        assert_eq!(r.read_arch(RegisterId::x(5)).as_i64(), 1);
+    }
+
+    #[test]
+    fn rollback_restores_previous_mapping_youngest_first() {
+        let mut r = rf();
+        r.write_arch(RegisterId::x(5), RegisterValue::from_typed(TypedValue::int(100)));
+        let (t1, p1) = alloc(&mut r, RegisterId::x(5));
+        let (t2, p2) = alloc(&mut r, RegisterId::x(5));
+        let (t3, p3) = alloc(&mut r, RegisterId::x(6));
+        // Squash youngest-first: x6 rename, then the second x5 rename.
+        r.rollback(t3, p3);
+        r.rollback(t2, p2);
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Wait(t1));
+        assert_eq!(r.read_operand(RegisterId::x(6)), OperandRead::Ready(TypedValue::int(0)));
+        r.rollback(t1, p1);
+        assert_eq!(r.read_operand(RegisterId::x(5)), OperandRead::Ready(TypedValue::int(100)));
+        assert_eq!(r.free_count(), 8);
+    }
+
+    #[test]
+    fn rename_stalls_when_file_exhausted() {
+        let mut r = RegisterFile::new(2);
+        alloc(&mut r, RegisterId::x(1));
+        alloc(&mut r, RegisterId::x(2));
+        assert_eq!(r.rename_dest(RegisterId::x(3)), DestRename::Stall);
+        assert_eq!(r.in_use_count(), 2);
+    }
+
+    #[test]
+    fn fp_registers_are_independent_from_int() {
+        let mut r = rf();
+        let (ti, _) = alloc(&mut r, RegisterId::x(4));
+        let (tf, _) = alloc(&mut r, RegisterId::f(4));
+        r.write_phys(ti, RegisterValue::from_typed(TypedValue::int(3)));
+        r.write_phys(tf, RegisterValue::from_typed(TypedValue::float(1.5)));
+        r.commit(ti);
+        r.commit(tf);
+        assert_eq!(r.read_arch(RegisterId::x(4)).as_i64(), 3);
+        assert_eq!(r.read_arch(RegisterId::f(4)).as_f32(), 1.5);
+    }
+
+    #[test]
+    fn rename_map_reports_pending_and_ready() {
+        let mut r = rf();
+        let (t1, _) = alloc(&mut r, RegisterId::x(5));
+        let (_t2, _) = alloc(&mut r, RegisterId::f(2));
+        r.write_phys(t1, RegisterValue::from_typed(TypedValue::int(1)));
+        let map = r.rename_map();
+        assert_eq!(map.len(), 2);
+        let x5 = map.iter().find(|(reg, _, _)| *reg == RegisterId::x(5)).unwrap();
+        assert!(x5.2, "x5 value produced");
+        let f2 = map.iter().find(|(reg, _, _)| *reg == RegisterId::f(2)).unwrap();
+        assert!(!f2.2, "f2 still pending");
+    }
+
+    #[test]
+    fn tag_display() {
+        assert_eq!(PhysRegTag(4).to_string(), "tg4");
+    }
+}

@@ -1,0 +1,271 @@
+//! Serializable processor-state snapshots.
+//!
+//! The web client renders the processor view (Fig. 12) from a JSON snapshot of
+//! every block's contents.  [`ProcessorSnapshot::capture`] builds that
+//! structure from a [`Simulator`]; the server crate serializes it for the
+//! GUI, and its size is what the paper's "rendering takes ~80 ms" and "60 % of
+//! request time is JSON" measurements are about.
+
+use crate::instruction::{InstrId, InstructionState};
+use crate::simulator::Simulator;
+use serde::{Deserialize, Serialize};
+
+/// One instruction as displayed inside a block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstructionView {
+    /// Instruction id (program order).
+    pub id: InstrId,
+    /// Program counter.
+    pub pc: u64,
+    /// Mnemonic.
+    pub mnemonic: String,
+    /// Original source text.
+    pub text: String,
+    /// Lifecycle state.
+    pub state: InstructionState,
+    /// Destination rename tag, if any.
+    pub dest_tag: Option<String>,
+    /// Exception message, if one was raised.
+    pub exception: Option<String>,
+}
+
+/// One architectural register with its rename information.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterView {
+    /// ABI name (`a0`, `sp`, `ft0`, …).
+    pub name: String,
+    /// Committed value rendered according to its data type.
+    pub value: String,
+    /// Raw bits.
+    pub bits: u64,
+    /// Current speculative tag, when the register is renamed.
+    pub renamed_to: Option<String>,
+    /// Whether the speculative value has been produced yet.
+    pub rename_ready: bool,
+}
+
+/// One cache line for the cache view.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLineView {
+    /// Set index.
+    pub set: usize,
+    /// Way index within the set.
+    pub way: usize,
+    /// Valid bit.
+    pub valid: bool,
+    /// Dirty bit.
+    pub dirty: bool,
+    /// Base address of the cached block.
+    pub base_address: u64,
+}
+
+/// The complete processor view: everything the main simulator window shows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessorSnapshot {
+    /// Current cycle.
+    pub cycle: u64,
+    /// Current fetch PC.
+    pub pc: u64,
+    /// Whether the simulation has halted.
+    pub halted: bool,
+    /// Instructions waiting in the fetch buffer.
+    pub fetch_buffer: Vec<InstructionView>,
+    /// Reorder buffer contents in program order.
+    pub reorder_buffer: Vec<InstructionView>,
+    /// Integer registers.
+    pub int_registers: Vec<RegisterView>,
+    /// Floating-point registers.
+    pub fp_registers: Vec<RegisterView>,
+    /// Cache lines.
+    pub cache_lines: Vec<CacheLineView>,
+    /// Headline statistics shown in the right-hand panel: cycles, committed
+    /// instructions, IPC, branch accuracy, FLOPs, cache hit rate.
+    pub headline: HeadlineStats,
+}
+
+/// The default right-hand panel statistics (§II-A).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineStats {
+    /// Executed cycles.
+    pub cycles: u64,
+    /// Committed instructions.
+    pub committed: u64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Branch prediction accuracy in `[0, 1]`.
+    pub branch_accuracy: f64,
+    /// Committed FLOPs.
+    pub flops: u64,
+    /// Cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+}
+
+impl ProcessorSnapshot {
+    /// Capture the current state of `sim`.
+    pub fn capture(sim: &Simulator) -> Self {
+        let stats = sim.statistics();
+        let view = |id: InstrId| -> Option<InstructionView> {
+            sim.in_flight().find(|c| c.id == id).map(|c| InstructionView {
+                id: c.id,
+                pc: c.pc,
+                mnemonic: c.mnemonic.clone(),
+                text: c.text.clone(),
+                state: c.state,
+                dest_tag: c.dest.as_ref().and_then(|d| d.tag.map(|t| t.to_string())),
+                exception: c.exception.as_ref().map(|e| e.to_string()),
+            })
+        };
+
+        let rename_map = sim.register_file().rename_map();
+        let register_view = |name: String, value: rvsim_isa::RegisterValue, reg: rvsim_isa::RegisterId| {
+            let rename = rename_map.iter().find(|(r, _, _)| *r == reg);
+            RegisterView {
+                name,
+                value: value.display_value(),
+                bits: value.bits,
+                renamed_to: rename.map(|(_, tag, _)| tag.to_string()),
+                rename_ready: rename.map(|(_, _, ready)| *ready).unwrap_or(false),
+            }
+        };
+
+        let int_registers = (0..32u8)
+            .map(|i| {
+                let reg = rvsim_isa::RegisterId::x(i);
+                register_view(reg.abi_name().to_string(), sim.register(reg), reg)
+            })
+            .collect();
+        let fp_registers = (0..32u8)
+            .map(|i| {
+                let reg = rvsim_isa::RegisterId::f(i);
+                register_view(reg.abi_name().to_string(), sim.register(reg), reg)
+            })
+            .collect();
+
+        let cache_lines = sim
+            .memory()
+            .cache()
+            .map(|cache| {
+                cache
+                    .lines()
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(set, ways)| {
+                        ways.iter().enumerate().map(move |(way, line)| CacheLineView {
+                            set,
+                            way,
+                            valid: line.valid,
+                            dirty: line.dirty,
+                            base_address: line.base_address,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let fetch_buffer = sim
+            .in_flight()
+            .filter(|c| c.state == InstructionState::Fetched)
+            .map(|c| view(c.id).expect("in-flight instruction"))
+            .collect();
+        let reorder_buffer = sim.rob_contents().into_iter().filter_map(view).collect();
+
+        ProcessorSnapshot {
+            cycle: sim.cycle(),
+            pc: sim.pc(),
+            halted: sim.is_halted(),
+            fetch_buffer,
+            reorder_buffer,
+            int_registers,
+            fp_registers,
+            cache_lines,
+            headline: HeadlineStats {
+                cycles: stats.cycles,
+                committed: stats.committed,
+                ipc: stats.ipc(),
+                branch_accuracy: stats.branch_accuracy(),
+                flops: stats.flops,
+                cache_hit_rate: stats.cache_hit_rate(),
+            },
+        }
+    }
+
+    /// Serialize the snapshot to JSON (the payload sent to the web client).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ArchitectureConfig;
+
+    fn simulator() -> Simulator {
+        Simulator::from_assembly(
+            "main:
+                li   t0, 5
+                li   t1, 3
+                add  a0, t0, t1
+                sw   a0, 0(sp)
+                lw   a1, 0(sp)
+                ret
+            ",
+            &ArchitectureConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn snapshot_of_fresh_simulator() {
+        let sim = simulator();
+        let snap = ProcessorSnapshot::capture(&sim);
+        assert_eq!(snap.cycle, 0);
+        assert!(!snap.halted);
+        assert_eq!(snap.int_registers.len(), 32);
+        assert_eq!(snap.fp_registers.len(), 32);
+        assert_eq!(snap.int_registers[2].name, "sp");
+        assert!(snap.reorder_buffer.is_empty());
+        assert!(!snap.cache_lines.is_empty());
+    }
+
+    #[test]
+    fn snapshot_mid_run_shows_in_flight_instructions() {
+        let mut sim = simulator();
+        for _ in 0..3 {
+            sim.step();
+        }
+        let snap = ProcessorSnapshot::capture(&sim);
+        assert_eq!(snap.cycle, 3);
+        assert!(
+            !snap.reorder_buffer.is_empty() || !snap.fetch_buffer.is_empty(),
+            "something must be in flight after 3 cycles"
+        );
+        // At least one register should be renamed while instructions are in flight.
+        let renamed = snap.int_registers.iter().filter(|r| r.renamed_to.is_some()).count();
+        assert!(renamed > 0, "destination registers must show their rename tags");
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let mut sim = simulator();
+        sim.run(10_000).unwrap();
+        let snap = ProcessorSnapshot::capture(&sim);
+        assert!(snap.halted);
+        let json = snap.to_json();
+        assert!(json.contains("\"ipc\""));
+        let back: ProcessorSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.headline.committed, snap.headline.committed);
+    }
+
+    #[test]
+    fn headline_matches_statistics() {
+        let mut sim = simulator();
+        sim.run(10_000).unwrap();
+        let stats = sim.statistics();
+        let snap = ProcessorSnapshot::capture(&sim);
+        assert_eq!(snap.headline.cycles, stats.cycles);
+        assert_eq!(snap.headline.committed, stats.committed);
+        assert!((snap.headline.ipc - stats.ipc()).abs() < 1e-12);
+    }
+}

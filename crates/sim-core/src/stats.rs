@@ -1,0 +1,233 @@
+//! Runtime statistics (the Runtime Statistics window, §II-D).
+
+use rvsim_mem::MemStats;
+use rvsim_predictor::PredictorStats;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Busy-cycle accounting for one functional unit.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct UnitUtilization {
+    /// Unit display name.
+    pub name: String,
+    /// Cycles the unit was busy.
+    pub busy_cycles: u64,
+    /// Instructions the unit executed.
+    pub executed: u64,
+}
+
+impl UnitUtilization {
+    /// Busy fraction of the given total cycle count, in `[0, 1]`.
+    pub fn utilization(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            0.0
+        } else {
+            self.busy_cycles as f64 / total_cycles as f64
+        }
+    }
+}
+
+/// All statistics collected by the simulation step manager.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SimulationStatistics {
+    /// Total executed clock cycles.
+    pub cycles: u64,
+    /// Committed (retired) instructions.
+    pub committed: u64,
+    /// Fetched instructions (including squashed wrong-path ones).
+    pub fetched: u64,
+    /// Squashed instructions.
+    pub squashed: u64,
+    /// Reorder-buffer flushes (branch mispredictions).
+    pub rob_flushes: u64,
+    /// Committed floating-point operations.
+    pub flops: u64,
+    /// Committed loads.
+    pub loads: u64,
+    /// Committed stores.
+    pub stores: u64,
+    /// Committed conditional branches.
+    pub branches: u64,
+    /// Committed unconditional jumps.
+    pub jumps: u64,
+    /// Dynamic instruction mix: mnemonic → committed count.
+    pub dynamic_mix: BTreeMap<String, u64>,
+    /// Static instruction mix: mnemonic → occurrences in the program.
+    pub static_mix: BTreeMap<String, u64>,
+    /// Per-unit busy cycles.
+    pub unit_utilization: Vec<UnitUtilization>,
+    /// Branch predictor statistics.
+    pub predictor: PredictorStats,
+    /// Memory / cache statistics.
+    pub memory: MemStats,
+    /// Core clock in Hz, used to derive wall time.
+    pub core_clock_hz: u64,
+}
+
+impl SimulationStatistics {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+
+    /// Cycles per instruction.
+    pub fn cpi(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.committed as f64
+        }
+    }
+
+    /// Simulated wall time in seconds (cycles / core clock).
+    pub fn wall_time_seconds(&self) -> f64 {
+        if self.core_clock_hz == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.core_clock_hz as f64
+        }
+    }
+
+    /// Committed FLOPs per simulated second.
+    pub fn flops_per_second(&self) -> f64 {
+        let t = self.wall_time_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.flops as f64 / t
+        }
+    }
+
+    /// Branch prediction accuracy in `[0, 1]`.
+    pub fn branch_accuracy(&self) -> f64 {
+        self.predictor.accuracy()
+    }
+
+    /// Cache hit rate in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.memory.hit_ratio()
+    }
+
+    /// Render the full statistics report as plain text (the CLI's default
+    /// output and the content of the Runtime Statistics window).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== Runtime statistics ===\n");
+        out.push_str(&format!("cycles:                 {}\n", self.cycles));
+        out.push_str(&format!("committed instructions: {}\n", self.committed));
+        out.push_str(&format!("fetched instructions:   {}\n", self.fetched));
+        out.push_str(&format!("squashed instructions:  {}\n", self.squashed));
+        out.push_str(&format!("IPC:                    {:.3}\n", self.ipc()));
+        out.push_str(&format!("CPI:                    {:.3}\n", self.cpi()));
+        out.push_str(&format!("wall time:              {:.6} s\n", self.wall_time_seconds()));
+        out.push_str(&format!("FLOPs:                  {}\n", self.flops));
+        out.push_str(&format!("FLOP/s:                 {:.0}\n", self.flops_per_second()));
+        out.push_str(&format!("ROB flushes:            {}\n", self.rob_flushes));
+        out.push_str(&format!(
+            "branch accuracy:        {:.2} % ({} / {})\n",
+            self.branch_accuracy() * 100.0,
+            self.predictor.correct,
+            self.predictor.predictions
+        ));
+        out.push_str(&format!(
+            "cache:                  {} accesses, {:.2} % hits, {} writebacks\n",
+            self.memory.cache_accesses,
+            self.cache_hit_rate() * 100.0,
+            self.memory.cache_writebacks
+        ));
+        out.push_str(&format!(
+            "memory traffic:         {} B read, {} B written\n",
+            self.memory.bytes_read, self.memory.bytes_written
+        ));
+        out.push_str("--- unit utilization ---\n");
+        for u in &self.unit_utilization {
+            out.push_str(&format!(
+                "{:<8} {:>8} busy cycles ({:>5.1} %), {:>8} instructions\n",
+                u.name,
+                u.busy_cycles,
+                u.utilization(self.cycles) * 100.0,
+                u.executed
+            ));
+        }
+        out.push_str("--- dynamic instruction mix ---\n");
+        let total = self.committed.max(1);
+        for (mnemonic, count) in &self.dynamic_mix {
+            out.push_str(&format!(
+                "{:<10} {:>8} ({:>5.1} %)\n",
+                mnemonic,
+                count,
+                *count as f64 / total as f64 * 100.0
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimulationStatistics {
+        let mut s = SimulationStatistics {
+            cycles: 100,
+            committed: 150,
+            fetched: 180,
+            squashed: 30,
+            rob_flushes: 3,
+            flops: 50,
+            core_clock_hz: 1_000_000,
+            ..Default::default()
+        };
+        s.dynamic_mix.insert("add".into(), 100);
+        s.dynamic_mix.insert("fadd.s".into(), 50);
+        s.unit_utilization.push(UnitUtilization { name: "FX1".into(), busy_cycles: 80, executed: 100 });
+        s
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = stats();
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.cpi() - 100.0 / 150.0).abs() < 1e-12);
+        assert!((s.wall_time_seconds() - 1e-4).abs() < 1e-12);
+        assert!((s.flops_per_second() - 500_000.0).abs() < 1e-6);
+        assert!((s.unit_utilization[0].utilization(s.cycles) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_safety() {
+        let s = SimulationStatistics::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.cpi(), 0.0);
+        assert_eq!(s.wall_time_seconds(), 0.0);
+        assert_eq!(s.flops_per_second(), 0.0);
+        assert_eq!(s.branch_accuracy(), 0.0);
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        assert_eq!(UnitUtilization::default().utilization(0), 0.0);
+    }
+
+    #[test]
+    fn report_contains_key_sections() {
+        let s = stats();
+        let r = s.report();
+        assert!(r.contains("IPC:"));
+        assert!(r.contains("1.500"));
+        assert!(r.contains("unit utilization"));
+        assert!(r.contains("FX1"));
+        assert!(r.contains("dynamic instruction mix"));
+        assert!(r.contains("add"));
+        assert!(r.contains("ROB flushes:            3"));
+    }
+
+    #[test]
+    fn serializes_to_json() {
+        let s = stats();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SimulationStatistics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

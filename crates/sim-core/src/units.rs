@@ -1,0 +1,376 @@
+//! Pipeline resources: reorder buffer, issue windows, functional units and
+//! load/store buffers.
+//!
+//! These are deliberately simple containers of [`InstrId`]s — all per-
+//! instruction state lives in [`crate::SimCode`], exactly like the paper's
+//! blocks that hold "lists of active instructions".
+
+use crate::instruction::InstrId;
+use rvsim_isa::TypedValue;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Reorder buffer
+// ---------------------------------------------------------------------------
+
+/// The reorder (retire) buffer: instruction ids in program order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ReorderBuffer {
+    entries: Vec<InstrId>,
+    capacity: usize,
+}
+
+impl ReorderBuffer {
+    /// Create a ROB with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        ReorderBuffer { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no instruction is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when another instruction can be inserted.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Append an instruction (program order).
+    pub fn push(&mut self, id: InstrId) {
+        debug_assert!(self.has_space(), "ROB overflow");
+        self.entries.push(id);
+    }
+
+    /// Oldest instruction, if any.
+    pub fn head(&self) -> Option<InstrId> {
+        self.entries.first().copied()
+    }
+
+    /// Remove and return the oldest instruction.
+    pub fn pop_head(&mut self) -> Option<InstrId> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    /// All entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = InstrId> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Remove every instruction younger than `id` (exclusive) and return them
+    /// youngest-first — the order required for rename rollback.
+    pub fn squash_after(&mut self, id: InstrId) -> Vec<InstrId> {
+        let keep = self.entries.iter().take_while(|&&e| e <= id).count();
+        let mut squashed: Vec<InstrId> = self.entries.split_off(keep);
+        squashed.reverse();
+        squashed
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Issue windows
+// ---------------------------------------------------------------------------
+
+/// An issue window for one functional-unit class.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct IssueWindow {
+    /// Display name ("FX issue window", …).
+    pub name: String,
+    entries: Vec<InstrId>,
+    capacity: usize,
+}
+
+impl IssueWindow {
+    /// Create a window with `capacity` entries.
+    pub fn new(name: &str, capacity: usize) -> Self {
+        IssueWindow { name: name.to_string(), entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the window holds no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when another instruction fits.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Insert an instruction.
+    pub fn insert(&mut self, id: InstrId) {
+        debug_assert!(self.has_space(), "issue window overflow");
+        self.entries.push(id);
+    }
+
+    /// Remove a specific instruction (issued or squashed).
+    pub fn remove(&mut self, id: InstrId) {
+        self.entries.retain(|&e| e != id);
+    }
+
+    /// Remove every instruction younger than `id`.
+    pub fn squash_after(&mut self, id: InstrId) {
+        self.entries.retain(|&e| e <= id);
+    }
+
+    /// Entries in insertion (program) order.
+    pub fn iter(&self) -> impl Iterator<Item = InstrId> + '_ {
+        self.entries.iter().copied()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Functional units
+// ---------------------------------------------------------------------------
+
+/// A non-pipelined functional unit: it executes one instruction at a time and
+/// is busy for the instruction's full latency (the paper notes that internal
+/// pipelining is not modelled).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FunctionalUnit {
+    /// Display name ("FX1", "FP1", "LS", "BR", …).
+    pub name: String,
+    /// Instruction currently executing.
+    pub current: Option<InstrId>,
+    /// Cycle at which the current instruction finishes.
+    pub busy_until: u64,
+    /// Total cycles this unit spent busy (statistics).
+    pub busy_cycles: u64,
+    /// Total instructions executed by this unit.
+    pub executed: u64,
+}
+
+impl FunctionalUnit {
+    /// Create an idle unit.
+    pub fn new(name: &str) -> Self {
+        FunctionalUnit { name: name.to_string(), current: None, busy_until: 0, busy_cycles: 0, executed: 0 }
+    }
+
+    /// True when the unit can accept a new instruction at `cycle`.
+    pub fn is_free(&self, cycle: u64) -> bool {
+        self.current.is_none() || self.busy_until <= cycle
+    }
+
+    /// True when the unit holds an instruction that finishes at or before `cycle`.
+    pub fn finishes_at(&self, cycle: u64) -> Option<InstrId> {
+        match self.current {
+            Some(id) if self.busy_until <= cycle => Some(id),
+            _ => None,
+        }
+    }
+
+    /// Start executing `id` for `latency` cycles beginning at `cycle`.
+    pub fn start(&mut self, id: InstrId, cycle: u64, latency: u64) {
+        debug_assert!(self.is_free(cycle));
+        self.current = Some(id);
+        self.busy_until = cycle + latency.max(1);
+        self.busy_cycles += latency.max(1);
+        self.executed += 1;
+    }
+
+    /// Release the unit (instruction finished or squashed).
+    pub fn release(&mut self) {
+        self.current = None;
+    }
+
+    /// Squash the unit's instruction if it is younger than `id`.
+    pub fn squash_after(&mut self, id: InstrId) -> Option<InstrId> {
+        match self.current {
+            Some(cur) if cur > id => {
+                self.current = None;
+                Some(cur)
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Load / store buffers
+// ---------------------------------------------------------------------------
+
+/// A load-buffer entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadEntry {
+    /// Owning instruction.
+    pub id: InstrId,
+    /// Effective address, once computed.
+    pub address: Option<u64>,
+    /// Access size in bytes.
+    pub size: usize,
+    /// Cycle the memory transaction completes, once issued.
+    pub completion: Option<u64>,
+    /// Value forwarded from an older store, if any.
+    pub forwarded: Option<TypedValue>,
+}
+
+/// A store-buffer entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreEntry {
+    /// Owning instruction.
+    pub id: InstrId,
+    /// Effective address, once computed.
+    pub address: Option<u64>,
+    /// Access size in bytes.
+    pub size: usize,
+    /// Value to store, once read.
+    pub value: Option<u64>,
+}
+
+/// A simple bounded buffer of load or store entries, kept in program order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct AccessBuffer<T> {
+    entries: Vec<T>,
+    capacity: usize,
+}
+
+impl<T> AccessBuffer<T> {
+    /// Create a buffer with `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        AccessBuffer { entries: Vec::with_capacity(capacity), capacity }
+    }
+
+    /// Occupied entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// True when another entry fits.
+    pub fn has_space(&self) -> bool {
+        self.entries.len() < self.capacity
+    }
+
+    /// Append an entry (program order).
+    pub fn push(&mut self, entry: T) {
+        debug_assert!(self.has_space(), "load/store buffer overflow");
+        self.entries.push(entry);
+    }
+
+    /// Iterate entries in program order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.entries.iter()
+    }
+
+    /// Iterate entries mutably.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut T> {
+        self.entries.iter_mut()
+    }
+
+    /// Remove entries matching the predicate.
+    pub fn retain(&mut self, f: impl FnMut(&T) -> bool) {
+        self.entries.retain(f);
+    }
+}
+
+/// Load buffer.
+pub type LoadBuffer = AccessBuffer<LoadEntry>;
+/// Store buffer.
+pub type StoreBuffer = AccessBuffer<StoreEntry>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rob_order_and_squash() {
+        let mut rob = ReorderBuffer::new(4);
+        assert!(rob.is_empty());
+        rob.push(1);
+        rob.push(2);
+        rob.push(3);
+        rob.push(4);
+        assert!(!rob.has_space());
+        assert_eq!(rob.head(), Some(1));
+        let squashed = rob.squash_after(2);
+        assert_eq!(squashed, vec![4, 3], "youngest first");
+        assert_eq!(rob.len(), 2);
+        assert_eq!(rob.pop_head(), Some(1));
+        assert_eq!(rob.pop_head(), Some(2));
+        assert_eq!(rob.pop_head(), None);
+    }
+
+    #[test]
+    fn issue_window_insert_remove_squash() {
+        let mut w = IssueWindow::new("FX window", 3);
+        w.insert(5);
+        w.insert(7);
+        w.insert(9);
+        assert!(!w.has_space());
+        w.remove(7);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![5, 9]);
+        w.squash_after(5);
+        assert_eq!(w.iter().collect::<Vec<_>>(), vec![5]);
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn functional_unit_busy_tracking() {
+        let mut fu = FunctionalUnit::new("FX1");
+        assert!(fu.is_free(0));
+        fu.start(3, 10, 4);
+        assert!(!fu.is_free(12));
+        assert!(fu.is_free(14));
+        assert_eq!(fu.finishes_at(13), None);
+        assert_eq!(fu.finishes_at(14), Some(3));
+        assert_eq!(fu.busy_cycles, 4);
+        assert_eq!(fu.executed, 1);
+        fu.release();
+        assert!(fu.is_free(0));
+    }
+
+    #[test]
+    fn functional_unit_zero_latency_clamped() {
+        let mut fu = FunctionalUnit::new("FX1");
+        fu.start(1, 5, 0);
+        assert_eq!(fu.busy_until, 6, "latency is at least one cycle");
+    }
+
+    #[test]
+    fn functional_unit_squash() {
+        let mut fu = FunctionalUnit::new("BR");
+        fu.start(10, 0, 2);
+        assert_eq!(fu.squash_after(12), None, "older instruction survives");
+        assert_eq!(fu.squash_after(5), Some(10), "younger instruction squashed");
+        assert!(fu.is_free(0));
+    }
+
+    #[test]
+    fn access_buffer_capacity_and_retain() {
+        let mut lb: LoadBuffer = AccessBuffer::new(2);
+        lb.push(LoadEntry { id: 1, address: None, size: 4, completion: None, forwarded: None });
+        lb.push(LoadEntry { id: 2, address: Some(8), size: 4, completion: None, forwarded: None });
+        assert!(!lb.has_space());
+        lb.retain(|e| e.id != 1);
+        assert_eq!(lb.len(), 1);
+        assert!(lb.has_space());
+        assert_eq!(lb.iter().next().unwrap().id, 2);
+        for e in lb.iter_mut() {
+            e.completion = Some(9);
+        }
+        assert_eq!(lb.iter().next().unwrap().completion, Some(9));
+    }
+}

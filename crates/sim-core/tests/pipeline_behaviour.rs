@@ -1,0 +1,251 @@
+//! Behavioural tests of individual pipeline mechanisms: these pin down the
+//! cycle-level consequences of the configuration knobs the Architecture
+//! Settings window exposes (flush penalty, commit width, functional-unit
+//! latencies, buffer sizes), not just functional correctness.
+
+use rvsim_core::{ArchitectureConfig, HaltReason, Simulator};
+
+fn run(asm: &str, config: &ArchitectureConfig) -> Simulator {
+    let mut sim = Simulator::from_assembly(asm, config).expect("assembles");
+    let result = sim.run(1_000_000).expect("runs");
+    assert!(!matches!(result.halt, HaltReason::MaxCyclesReached), "program hung");
+    sim
+}
+
+/// A branchy kernel whose outcome alternates, guaranteeing mispredictions
+/// with a plain two-bit counter and no history.
+const MISPREDICT_KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 64
+    li   a0, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi a0, a0, 1
+even:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    ret
+";
+
+const DEPENDENT_MUL_KERNEL: &str = "
+main:
+    li   t0, 1
+    li   t1, 16
+loop:
+    mul  t0, t0, t0
+    addi t0, t0, 1
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t0
+    ret
+";
+
+const INDEPENDENT_KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 0
+    li   t2, 0
+    li   t3, 0
+    li   t4, 100
+loop:
+    addi t0, t0, 1
+    addi t1, t1, 1
+    addi t2, t2, 1
+    addi t3, t3, 1
+    addi t4, t4, -1
+    bnez t4, loop
+    add  a0, t0, t1
+    ret
+";
+
+#[test]
+fn flush_penalty_increases_cycles_on_mispredicting_code() {
+    let mut history_free = ArchitectureConfig::default();
+    history_free.predictor.history_bits = 0;
+
+    let mut cheap = history_free.clone();
+    cheap.buffers.flush_penalty = 0;
+    let mut expensive = history_free.clone();
+    expensive.buffers.flush_penalty = 12;
+
+    let fast = run(MISPREDICT_KERNEL, &cheap);
+    let slow = run(MISPREDICT_KERNEL, &expensive);
+    assert_eq!(fast.int_register(10), slow.int_register(10));
+    assert!(fast.statistics().rob_flushes > 0, "kernel must actually mispredict");
+    assert!(
+        slow.statistics().cycles > fast.statistics().cycles,
+        "larger flush penalty must cost cycles ({} vs {})",
+        slow.statistics().cycles,
+        fast.statistics().cycles
+    );
+}
+
+#[test]
+fn commit_width_limits_retirement_rate() {
+    let mut narrow = ArchitectureConfig::wide();
+    narrow.buffers.commit_width = 1;
+    let wide = ArchitectureConfig::wide();
+
+    let one = run(INDEPENDENT_KERNEL, &narrow);
+    let four = run(INDEPENDENT_KERNEL, &wide);
+    assert_eq!(one.int_register(10), four.int_register(10));
+    assert!(one.statistics().ipc() <= 1.0 + 1e-9, "IPC can never exceed the commit width");
+    assert!(
+        four.statistics().ipc() > one.statistics().ipc(),
+        "wider commit must raise IPC ({:.3} vs {:.3})",
+        four.statistics().ipc(),
+        one.statistics().ipc()
+    );
+}
+
+#[test]
+fn functional_unit_latency_shows_up_in_dependent_chains() {
+    let mut fast_mul = ArchitectureConfig::default();
+    for fx in &mut fast_mul.units.fx_units {
+        fx.mul_latency = 1;
+    }
+    let mut slow_mul = ArchitectureConfig::default();
+    for fx in &mut slow_mul.units.fx_units {
+        fx.mul_latency = 12;
+    }
+    let fast = run(DEPENDENT_MUL_KERNEL, &fast_mul);
+    let slow = run(DEPENDENT_MUL_KERNEL, &slow_mul);
+    assert_eq!(fast.int_register(10), slow.int_register(10));
+    let delta = slow.statistics().cycles as i64 - fast.statistics().cycles as i64;
+    assert!(
+        delta > 100,
+        "a 11-cycle multiplier latency difference over 16 dependent multiplies must cost \
+         well over 100 cycles, measured {delta}"
+    );
+}
+
+#[test]
+fn issue_window_and_rob_pressure_stall_but_do_not_break() {
+    let mut tiny = ArchitectureConfig::default();
+    tiny.buffers.rob_size = 2;
+    tiny.buffers.issue_window_size = 1;
+    tiny.memory.load_buffer_size = 1;
+    tiny.memory.store_buffer_size = 1;
+    tiny.memory.rename_file_size = 2;
+
+    let asm = "
+buf:
+    .zero 64
+main:
+    la   t0, buf
+    li   t1, 8
+    li   a0, 0
+loop:
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+";
+    let constrained = run(asm, &tiny);
+    let roomy = run(asm, &ArchitectureConfig::default());
+    assert_eq!(constrained.int_register(10), roomy.int_register(10));
+    assert_eq!(constrained.int_register(10), (1..=8).sum::<i64>());
+    assert!(
+        constrained.statistics().cycles > roomy.statistics().cycles,
+        "starving the buffers must cost cycles"
+    );
+}
+
+#[test]
+fn branch_follow_limit_gates_fetch_redirects() {
+    // A chain of unconditional jumps: with a follow limit of 1 the front end
+    // needs a cycle per jump; with a higher limit it can chew through several.
+    let asm = "
+main:
+    j    a
+a:  j    b
+b:  j    c
+c:  j    d
+d:  j    e
+e:  li   a0, 9
+    ret
+";
+    let mut limited = ArchitectureConfig::wide();
+    limited.buffers.branch_follow_limit = 1;
+    let mut generous = ArchitectureConfig::wide();
+    generous.buffers.branch_follow_limit = 4;
+    let slow = run(asm, &limited);
+    let fast = run(asm, &generous);
+    assert_eq!(slow.int_register(10), 9);
+    assert_eq!(fast.int_register(10), 9);
+    assert!(
+        fast.statistics().cycles <= slow.statistics().cycles,
+        "a higher jump-follow limit must never be slower ({} vs {})",
+        fast.statistics().cycles,
+        slow.statistics().cycles
+    );
+}
+
+#[test]
+fn load_latency_hidden_by_out_of_order_execution() {
+    // Independent loads: an OoO core with a decent load buffer overlaps them,
+    // so doubling the memory latency must NOT double the execution time.
+    let asm = "
+data:
+    .word 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16
+main:
+    la   t0, data
+    li   t1, 16
+    li   a0, 0
+loop:
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+";
+    let mut fast_mem = ArchitectureConfig::default();
+    fast_mem.cache.enabled = false;
+    fast_mem.memory.timings.load_latency = 4;
+    let mut slow_mem = fast_mem.clone();
+    slow_mem.memory.timings.load_latency = 8;
+
+    let fast = run(asm, &fast_mem);
+    let slow = run(asm, &slow_mem);
+    assert_eq!(fast.int_register(10), 136);
+    assert_eq!(slow.int_register(10), 136);
+    let ratio = slow.statistics().cycles as f64 / fast.statistics().cycles as f64;
+    assert!(ratio > 1.0, "higher latency must cost something");
+    assert!(
+        ratio < 2.0,
+        "out-of-order overlap must hide part of the doubled latency (ratio {ratio:.2})"
+    );
+}
+
+#[test]
+fn statistics_expose_per_unit_utilization_and_mixes() {
+    let sim = run(DEPENDENT_MUL_KERNEL, &ArchitectureConfig::default());
+    let stats = sim.statistics();
+    let total_busy: u64 = stats.unit_utilization.iter().map(|u| u.busy_cycles).sum();
+    assert!(total_busy > 0);
+    let names: Vec<&str> = stats.unit_utilization.iter().map(|u| u.name.as_str()).collect();
+    assert!(names.iter().any(|n| n.starts_with("FX")));
+    assert!(names.iter().any(|n| n.starts_with("BR")));
+    assert!(names.iter().any(|n| n.starts_with("LS")));
+    assert_eq!(stats.static_mix.get("mul"), Some(&1));
+    assert!(stats.dynamic_mix["mul"] >= 16);
+    // Committed counts are consistent with the dynamic mix.
+    let mix_total: u64 = stats.dynamic_mix.values().sum();
+    assert_eq!(mix_total, stats.committed);
+}
+
+#[test]
+fn wall_time_and_clock_follow_the_configuration() {
+    let mut config = ArchitectureConfig::default();
+    config.core_clock_hz = 1_000_000; // 1 MHz
+    let sim = run(INDEPENDENT_KERNEL, &config);
+    let stats = sim.statistics();
+    let expected = stats.cycles as f64 / 1_000_000.0;
+    assert!((stats.wall_time_seconds() - expected).abs() < 1e-12);
+}

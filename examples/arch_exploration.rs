@@ -1,0 +1,79 @@
+//! Architecture exploration: the HW/SW co-design workflow the paper's tool is
+//! built for (§I-B).  The same kernel is run on a sweep of processor
+//! configurations — scalar to 4-wide, different ROB sizes and predictors —
+//! and the resulting IPC / cycle counts are printed as a table.
+//!
+//! ```bash
+//! cargo run --release --example arch_exploration
+//! ```
+
+use riscv_superscalar_sim::prelude::*;
+
+/// An ILP-rich kernel: independent accumulator chains over a loop.
+const KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 0
+    li   t2, 0
+    li   t3, 0
+    li   t4, 256
+loop:
+    addi t0, t0, 1
+    addi t1, t1, 2
+    addi t2, t2, 3
+    addi t3, t3, 4
+    addi t4, t4, -1
+    bnez t4, loop
+    add  a0, t0, t1
+    add  a0, a0, t2
+    add  a0, a0, t3
+    ret
+";
+
+fn run(config: &ArchitectureConfig) -> (u64, f64, f64) {
+    let mut sim = Simulator::from_assembly(KERNEL, config).expect("kernel assembles");
+    sim.run(1_000_000).expect("kernel runs");
+    assert_eq!(sim.int_register(10), 256 + 512 + 768 + 1024, "kernel result must not depend on the architecture");
+    let stats = sim.statistics();
+    (stats.cycles, stats.ipc(), stats.branch_accuracy())
+}
+
+fn main() {
+    println!("{:<22} {:>10} {:>8} {:>12}", "configuration", "cycles", "IPC", "branch acc.");
+    println!("{}", "-".repeat(56));
+
+    // Width sweep.
+    for (name, config) in [
+        ("scalar (1-wide)", ArchitectureConfig::scalar()),
+        ("default (2-wide)", ArchitectureConfig::default()),
+        ("wide (4-wide)", ArchitectureConfig::wide()),
+    ] {
+        let (cycles, ipc, acc) = run(&config);
+        println!("{name:<22} {cycles:>10} {ipc:>8.3} {:>11.1}%", acc * 100.0);
+    }
+
+    // Reorder-buffer sweep on the wide machine.
+    for rob in [8, 16, 32, 64] {
+        let mut config = ArchitectureConfig::wide();
+        config.buffers.rob_size = rob;
+        config.memory.rename_file_size = rob.max(64);
+        let (cycles, ipc, _) = run(&config);
+        println!("{:<22} {cycles:>10} {ipc:>8.3}", format!("wide, ROB={rob}"));
+    }
+
+    // Predictor sweep on the default machine.
+    for (name, kind) in [
+        ("zero-bit", PredictorKind::Zero),
+        ("one-bit", PredictorKind::One),
+        ("two-bit", PredictorKind::Two),
+    ] {
+        let mut config = ArchitectureConfig::default();
+        config.predictor.predictor_kind = kind;
+        let (cycles, ipc, acc) = run(&config);
+        println!("{:<22} {cycles:>10} {ipc:>8.3} {:>11.1}%", format!("default, {name}"), acc * 100.0);
+    }
+
+    println!("\nWider machines retire the independent chains in parallel until the");
+    println!("branch at the end of every iteration becomes the bottleneck; better");
+    println!("predictors recover most of that loss.");
+}

@@ -1,0 +1,116 @@
+//! Branch-predictor study: run branch-heavy kernels against every predictor
+//! configuration the Architecture Settings window offers (zero/one/two-bit,
+//! local vs. global history, different default states) and compare accuracy,
+//! pipeline flushes and cycles.
+//!
+//! ```bash
+//! cargo run --release --example branch_predictors
+//! ```
+
+use riscv_superscalar_sim::prelude::*;
+
+/// A predictable loop: one backward branch taken 511 times then not taken.
+const LOOP_KERNEL: &str = "
+main:
+    li   t0, 512
+    li   a0, 0
+loop:
+    addi a0, a0, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+";
+
+/// An alternating branch: taken / not-taken / taken / … — a one-bit predictor
+/// mispredicts every time, a two-bit predictor with history learns it.
+const ALTERNATING_KERNEL: &str = "
+main:
+    li   t0, 0
+    li   t1, 256
+    li   a0, 0
+loop:
+    andi t2, t0, 1
+    beqz t2, even
+    addi a0, a0, 2
+    j    next
+even:
+    addi a0, a0, 1
+next:
+    addi t0, t0, 1
+    blt  t0, t1, loop
+    ret
+";
+
+fn run(kernel: &str, predictor: BranchPredictorConfig) -> (f64, u64, u64) {
+    let mut config = ArchitectureConfig::default();
+    config.predictor = predictor;
+    let mut sim = Simulator::from_assembly(kernel, &config).expect("assembles");
+    sim.run(1_000_000).expect("runs");
+    let stats = sim.statistics();
+    (stats.branch_accuracy(), stats.rob_flushes, stats.cycles)
+}
+
+fn main() {
+    let configs: Vec<(&str, BranchPredictorConfig)> = vec![
+        (
+            "zero-bit (static NT)",
+            BranchPredictorConfig {
+                predictor_kind: PredictorKind::Zero,
+                default_state: CounterState::StronglyNotTaken,
+                ..Default::default()
+            },
+        ),
+        (
+            "zero-bit (static T)",
+            BranchPredictorConfig {
+                predictor_kind: PredictorKind::Zero,
+                default_state: CounterState::StronglyTaken,
+                ..Default::default()
+            },
+        ),
+        (
+            "one-bit",
+            BranchPredictorConfig { predictor_kind: PredictorKind::One, ..Default::default() },
+        ),
+        (
+            "two-bit, no history",
+            BranchPredictorConfig {
+                predictor_kind: PredictorKind::Two,
+                history_bits: 0,
+                ..Default::default()
+            },
+        ),
+        (
+            "two-bit, global hist",
+            BranchPredictorConfig {
+                predictor_kind: PredictorKind::Two,
+                history: HistoryKind::Global,
+                history_bits: 4,
+                ..Default::default()
+            },
+        ),
+        (
+            "two-bit, local hist",
+            BranchPredictorConfig {
+                predictor_kind: PredictorKind::Two,
+                history: HistoryKind::Local,
+                history_bits: 4,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (kernel_name, kernel) in [("loop kernel", LOOP_KERNEL), ("alternating kernel", ALTERNATING_KERNEL)] {
+        println!("\n=== {kernel_name} ===");
+        println!("{:<24} {:>10} {:>10} {:>10}", "predictor", "accuracy", "flushes", "cycles");
+        println!("{}", "-".repeat(58));
+        for (name, predictor) in &configs {
+            let (accuracy, flushes, cycles) = run(kernel, predictor.clone());
+            println!("{name:<24} {:>9.1}% {flushes:>10} {cycles:>10}", accuracy * 100.0);
+        }
+    }
+
+    println!("\nThe loop kernel favours anything that predicts 'taken'; the alternating");
+    println!("kernel defeats the one-bit predictor completely (it flips every time)");
+    println!("while history-based two-bit predictors learn the pattern.");
+}

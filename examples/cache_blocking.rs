@@ -1,0 +1,104 @@
+//! Cache behaviour: how access pattern and cache geometry change performance.
+//!
+//! Two versions of the same reduction — a sequential sweep and a strided
+//! sweep over a 4 KiB array — are run against several L1 configurations.
+//! This is the classic HPC optimization lesson the paper's simulator is meant
+//! to teach: the code computes the same value, but the memory system makes
+//! one of them much slower.
+//!
+//! ```bash
+//! cargo run --release --example cache_blocking
+//! ```
+
+use riscv_superscalar_sim::prelude::*;
+
+/// Sequential sweep: sum 1024 words in address order.
+const SEQUENTIAL: &str = "
+data:
+    .zero 4096
+main:
+    la   t0, data
+    li   t1, 1024
+    li   a0, 0
+loop:
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+";
+
+/// Strided sweep: same 1024 words, but visited with a 256-byte stride so that
+/// consecutive accesses map to different cache lines (and, for small caches,
+/// keep evicting each other).
+const STRIDED: &str = "
+data:
+    .zero 4096
+main:
+    la   t5, data
+    li   t6, 64            # 64 outer iterations (one per offset in a line group)
+    li   a0, 0
+outer:
+    mv   t0, t5
+    li   t1, 16            # 16 strided loads per outer iteration
+inner:
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 256       # stride of 256 bytes
+    addi t1, t1, -1
+    bnez t1, inner
+    addi t5, t5, 4
+    addi t6, t6, -1
+    bnez t6, outer
+    ret
+";
+
+fn run(program: &str, cache: CacheConfig) -> (u64, f64) {
+    let mut config = ArchitectureConfig::default();
+    config.cache = cache;
+    config.memory.timings.load_latency = 20;
+    config.memory.timings.store_latency = 20;
+    let mut sim = Simulator::from_assembly(program, &config).expect("assembles");
+    sim.run(5_000_000).expect("runs");
+    let stats = sim.statistics();
+    (stats.cycles, stats.cache_hit_rate())
+}
+
+fn main() {
+    let configs = [
+        ("no cache", CacheConfig { enabled: false, ..CacheConfig::default() }),
+        (
+            "small: 8 x 32 B direct",
+            CacheConfig { line_count: 8, line_size: 32, associativity: 1, ..CacheConfig::default() },
+        ),
+        (
+            "medium: 16 x 32 B 2-way",
+            CacheConfig { line_count: 16, line_size: 32, associativity: 2, ..CacheConfig::default() },
+        ),
+        (
+            "large: 64 x 64 B 4-way",
+            CacheConfig { line_count: 64, line_size: 64, associativity: 4, ..CacheConfig::default() },
+        ),
+    ];
+
+    println!(
+        "{:<26} {:>14} {:>10} {:>14} {:>10}",
+        "cache", "seq cycles", "seq hit%", "strided cycles", "str hit%"
+    );
+    println!("{}", "-".repeat(78));
+    for (name, cache) in configs {
+        let (seq_cycles, seq_hit) = run(SEQUENTIAL, cache.clone());
+        let (str_cycles, str_hit) = run(STRIDED, cache.clone());
+        println!(
+            "{name:<26} {seq_cycles:>14} {:>9.1}% {str_cycles:>14} {:>9.1}%",
+            seq_hit * 100.0,
+            str_hit * 100.0
+        );
+    }
+
+    println!("\nThe sequential sweep enjoys spatial locality (one miss per line),");
+    println!("while the strided sweep defeats small caches entirely; growing the");
+    println!("cache or its associativity closes the gap — exactly the behaviour");
+    println!("the simulator's cache statistics are meant to expose.");
+}

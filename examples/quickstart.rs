@@ -1,0 +1,60 @@
+//! Quickstart: assemble a small program, run it cycle by cycle, and print the
+//! statistics the simulator's GUI would show.
+//!
+//! ```bash
+//! cargo run --example quickstart
+//! ```
+
+use riscv_superscalar_sim::prelude::*;
+
+fn main() {
+    // A small kernel: sum the integers 1..=10.
+    let program = "
+main:
+    li   a0, 0          # accumulator
+    li   t0, 10         # loop counter
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    ret
+";
+
+    // The default architecture is a 2-wide out-of-order core with a 32-entry
+    // reorder buffer, a 2-way 16-line L1 cache and a 2-bit gshare predictor.
+    let config = ArchitectureConfig::default();
+    println!("architecture: {}", config.name);
+    println!(
+        "fetch width {}, ROB {}, {} FX units, cache {} B",
+        config.buffers.fetch_width,
+        config.buffers.rob_size,
+        config.units.fx_units.len(),
+        config.cache.capacity_bytes()
+    );
+
+    let mut sim = Simulator::from_assembly(program, &config).expect("program assembles");
+
+    // Step the first ten cycles by hand, watching instructions move through
+    // the pipeline (this is what the web GUI animates).
+    for _ in 0..10 {
+        sim.step();
+        let in_flight = sim.in_flight().count();
+        println!(
+            "cycle {:>3}: pc=0x{:04x}, {} instructions in flight",
+            sim.cycle(),
+            sim.pc(),
+            in_flight
+        );
+    }
+
+    // Run to completion and print the runtime statistics report.
+    let result = sim.run(100_000).expect("simulation runs");
+    println!("\nhalt: {:?}", result.halt);
+    println!("a0 = {}", sim.int_register(10));
+    println!();
+    println!("{}", sim.statistics().report());
+
+    // The same state can be captured as the JSON snapshot the web client renders.
+    let snapshot = ProcessorSnapshot::capture(&sim);
+    println!("snapshot JSON size: {} bytes", snapshot.to_json().len());
+}

@@ -1,0 +1,279 @@
+//! The complex validation programs from the paper's testing section (§IV):
+//! quicksort, a linked list walk, and polymorphism (dynamic dispatch).
+//! Each runs to completion on the default architecture and on the scalar and
+//! wide presets, and must produce the same, host-verified result everywhere.
+
+use riscv_superscalar_sim::prelude::*;
+
+fn run_on(asm: &str, config: &ArchitectureConfig) -> Simulator {
+    let mut sim = Simulator::from_assembly(asm, config).expect("program assembles");
+    let result = sim.run(5_000_000).expect("program runs");
+    assert!(
+        !matches!(result.halt, HaltReason::MaxCyclesReached),
+        "program did not terminate on {}",
+        config.name
+    );
+    sim
+}
+
+fn run_everywhere(asm: &str) -> Vec<(String, Simulator)> {
+    [ArchitectureConfig::scalar(), ArchitectureConfig::default(), ArchitectureConfig::wide()]
+        .into_iter()
+        .map(|c| (c.name.clone(), run_on(asm, &c)))
+        .collect()
+}
+
+#[test]
+fn quicksort_in_assembly_sorts_and_is_architecture_independent() {
+    // Quicksort written directly in assembly (recursive, uses the call stack).
+    let asm = "
+data:
+    .word 9, 3, 7, 1, 8, 2, 6, 5, 4, 0, 15, 11, 13, 10, 14, 12
+
+# quicksort(a0 = base, a1 = lo, a2 = hi)
+quicksort:
+    bge  a1, a2, qs_done
+    addi sp, sp, -32
+    sw   ra, 28(sp)
+    sw   s1, 24(sp)
+    sw   s2, 20(sp)
+    sw   s3, 16(sp)
+    mv   s1, a1              # lo
+    mv   s2, a2              # hi
+    # partition: pivot = a[hi]
+    slli t0, a2, 2
+    add  t0, a0, t0
+    lw   t1, 0(t0)           # pivot
+    addi t2, a1, -1          # i
+    mv   t3, a1              # j
+part_loop:
+    bge  t3, a2, part_done
+    slli t4, t3, 2
+    add  t4, a0, t4
+    lw   t5, 0(t4)
+    bgt  t5, t1, part_next
+    addi t2, t2, 1
+    slli t6, t2, 2
+    add  t6, a0, t6
+    lw   s3, 0(t6)
+    sw   t5, 0(t6)
+    sw   s3, 0(t4)
+part_next:
+    addi t3, t3, 1
+    j    part_loop
+part_done:
+    addi t2, t2, 1
+    slli t4, t2, 2
+    add  t4, a0, t4
+    lw   t5, 0(t4)
+    slli t6, a2, 2
+    add  t6, a0, t6
+    lw   s3, 0(t6)
+    sw   t5, 0(t6)
+    sw   s3, 0(t4)
+    # recurse left: quicksort(base, lo, p-1)
+    mv   s3, t2              # pivot index
+    mv   a1, s1
+    addi a2, s3, -1
+    call quicksort
+    # recurse right: quicksort(base, p+1, hi)
+    addi a1, s3, 1
+    mv   a2, s2
+    call quicksort
+    lw   s3, 16(sp)
+    lw   s2, 20(sp)
+    lw   s1, 24(sp)
+    lw   ra, 28(sp)
+    addi sp, sp, 32
+qs_done:
+    ret
+
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    la   a0, data
+    li   a1, 0
+    li   a2, 15
+    call quicksort
+    # checksum = sum(a[i] * (i+1))
+    la   t0, data
+    li   t1, 0
+    li   t2, 1
+    li   a0, 0
+sum_loop:
+    lw   t3, 0(t0)
+    mul  t3, t3, t2
+    add  a0, a0, t3
+    addi t0, t0, 4
+    addi t2, t2, 1
+    addi t1, t1, 1
+    li   t4, 16
+    blt  t1, t4, sum_loop
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+";
+    // Host-side expectation: sorted 0..=15, checksum = sum(v * (i+1)).
+    let expected: i64 = (0..16i64).map(|v| v * (v + 1)).sum();
+    for (name, sim) in run_everywhere(asm) {
+        assert_eq!(sim.int_register(10), expected, "wrong checksum on {name}");
+        // The array in memory must actually be sorted.
+        let base = sim.program().symbol("data").unwrap() as u64;
+        let values: Vec<u32> =
+            (0..16).map(|i| sim.memory().memory().read_u32(base + i * 4).unwrap()).collect();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        assert_eq!(values, sorted, "array not sorted on {name}");
+    }
+}
+
+#[test]
+fn linked_list_walk_accumulates_payloads() {
+    // A singly linked list laid out in the data segment: each node is
+    // (value, next-pointer); the list is deliberately out of order in memory.
+    let asm = "
+node3:
+    .word 30
+    .word node4
+node1:
+    .word 10
+    .word node2
+node4:
+    .word 40
+    .word 0
+node2:
+    .word 20
+    .word node3
+
+main:
+    la   t0, node1          # head
+    li   a0, 0
+walk:
+    beqz t0, done
+    lw   t1, 0(t0)          # value
+    add  a0, a0, t1
+    lw   t0, 4(t0)          # next
+    j    walk
+done:
+    ret
+";
+    for (name, sim) in run_everywhere(asm) {
+        assert_eq!(sim.int_register(10), 100, "list sum wrong on {name}");
+    }
+}
+
+#[test]
+fn dynamic_dispatch_through_vtables() {
+    // Polymorphism the way a compiler lowers it: objects carry a pointer to a
+    // vtable, the virtual call loads the function pointer and jumps through
+    // jalr.  Two "classes" implement area() differently.
+    let asm = "
+# object A: vtable pointer + one field (side = 5)   -> area = side * side
+obj_a:
+    .word vtable_a
+    .word 5
+# object B: vtable pointer + two fields (w=3, h=7)  -> area = w * h
+obj_b:
+    .word vtable_b
+    .word 3
+    .word 7
+
+vtable_a:
+    .word area_square
+vtable_b:
+    .word area_rect
+
+# int area_square(obj*)  a0 = object pointer
+area_square:
+    lw   t0, 4(a0)
+    mul  a0, t0, t0
+    ret
+# int area_rect(obj*)
+area_rect:
+    lw   t0, 4(a0)
+    lw   t1, 8(a0)
+    mul  a0, t0, t1
+    ret
+
+# int call_area(obj*) — the virtual dispatch helper
+call_area:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    lw   t0, 0(a0)          # vtable pointer
+    lw   t0, 0(t0)          # area() slot
+    jalr ra, t0, 0
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+
+main:
+    addi sp, sp, -16
+    sw   ra, 12(sp)
+    la   a0, obj_a
+    call call_area
+    mv   s1, a0             # 25
+    la   a0, obj_b
+    call call_area
+    add  a0, a0, s1         # 25 + 21 = 46
+    lw   ra, 12(sp)
+    addi sp, sp, 16
+    ret
+";
+    for (name, sim) in run_everywhere(asm) {
+        assert_eq!(sim.int_register(10), 46, "dynamic dispatch wrong on {name}");
+        // Indirect jumps must be visible in the statistics.
+        assert!(sim.statistics().jumps >= 4, "expected jalr-based calls on {name}");
+    }
+}
+
+#[test]
+fn quicksort_from_c_matches_assembly_results() {
+    let c = r#"
+extern int data[];
+void swap(int a[], int i, int j) { int t = a[i]; a[i] = a[j]; a[j] = t; }
+int partition(int a[], int lo, int hi) {
+    int pivot = a[hi];
+    int i = lo - 1;
+    for (int j = lo; j < hi; j++) {
+        if (a[j] <= pivot) { i++; swap(a, i, j); }
+    }
+    swap(a, i + 1, hi);
+    return i + 1;
+}
+void quicksort(int a[], int lo, int hi) {
+    if (lo < hi) {
+        int p = partition(a, lo, hi);
+        quicksort(a, lo, p - 1);
+        quicksort(a, p + 1, hi);
+    }
+}
+int main(void) {
+    quicksort(data, 0, 15);
+    int ok = 1;
+    for (int i = 1; i < 16; i++) {
+        if (data[i-1] > data[i]) { ok = 0; }
+    }
+    return ok;
+}
+"#;
+    let values = vec![9.0, 3.0, 7.0, 1.0, 8.0, 2.0, 6.0, 5.0, 4.0, 0.0, 15.0, 11.0, 13.0, 10.0, 14.0, 12.0];
+    for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
+        let output = compile(c, opt).expect("quicksort compiles");
+        let mut memory = MemorySettings::new();
+        memory.add(MemoryArray {
+            name: "data".into(),
+            element: ScalarType::Word,
+            alignment: 16,
+            fill: ArrayFill::Values(values.clone()),
+        });
+        let mut sim = Simulator::from_assembly_with_memory(
+            &output.assembly,
+            &ArchitectureConfig::default(),
+            memory,
+        )
+        .expect("assembles");
+        let result = sim.run(10_000_000).unwrap();
+        assert!(!matches!(result.halt, HaltReason::MaxCyclesReached), "quicksort at {opt:?} hung");
+        assert_eq!(sim.int_register(10), 1, "C quicksort at {opt:?} failed to sort");
+    }
+}
