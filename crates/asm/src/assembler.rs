@@ -85,9 +85,8 @@ fn strip_comment(line: &str) -> &str {
             }
         } else if c == '"' {
             in_string = true;
-        } else if c == '#' {
-            return &line[..i];
-        } else if c == '/' && i + 1 < bytes.len() && bytes[i + 1] as char == '/' {
+        } else if c == '#' || (c == '/' && i + 1 < bytes.len() && bytes[i + 1] as char == '/') {
+            // `#` and `//` both start a comment.
             return &line[..i];
         }
         i += 1;
@@ -140,9 +139,8 @@ fn parse_string_literal(text: &str, line: usize) -> Result<Vec<u8>, AsmError> {
     let mut chars = inner.chars();
     while let Some(c) = chars.next() {
         if c == '\\' {
-            let esc = chars
-                .next()
-                .ok_or_else(|| AsmError::new(line, "unterminated escape in string"))?;
+            let esc =
+                chars.next().ok_or_else(|| AsmError::new(line, "unterminated escape in string"))?;
             out.push(match esc {
                 'n' => b'\n',
                 't' => b'\t',
@@ -164,9 +162,24 @@ fn parse_string_literal(text: &str, line: usize) -> Result<Vec<u8>, AsmError> {
 
 /// Directives that are recognized but carry no meaning for the simulator.
 const IGNORED_DIRECTIVES: &[&str] = &[
-    ".globl", ".global", ".type", ".size", ".file", ".ident", ".option", ".attribute", ".local",
-    ".comm", ".weak", ".cfi_startproc", ".cfi_endproc", ".cfi_def_cfa_offset", ".cfi_offset",
-    ".cfi_restore", ".addrsig", ".addrsig_sym",
+    ".globl",
+    ".global",
+    ".type",
+    ".size",
+    ".file",
+    ".ident",
+    ".option",
+    ".attribute",
+    ".local",
+    ".comm",
+    ".weak",
+    ".cfi_startproc",
+    ".cfi_endproc",
+    ".cfi_def_cfa_offset",
+    ".cfi_offset",
+    ".cfi_restore",
+    ".addrsig",
+    ".addrsig_sym",
 ];
 
 /// Assemble `source` against the instruction set `isa`.
@@ -279,10 +292,7 @@ pub fn assemble(
     bind_labels(&mut pending_labels, trailing_value, &mut symbols, &mut errors);
 
     // ----------------------------------------------------------- second pass
-    let mut program = Program {
-        data_end: options.data_base + data_cursor,
-        ..Program::default()
-    };
+    let mut program = Program { data_end: options.data_base + data_cursor, ..Program::default() };
 
     // Data items: evaluate numeric expressions now that all labels are known.
     for item in &pending_data {
@@ -386,9 +396,7 @@ fn find_label_colon(line: &str) -> Option<usize> {
 
 fn is_valid_label(label: &str) -> bool {
     !label.is_empty()
-        && label
-            .chars()
-            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+        && label.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
         && !label.chars().next().unwrap().is_ascii_digit()
 }
 
@@ -421,7 +429,12 @@ fn handle_directive(
     };
 
     // Pad the data segment up to `align` bytes.
-    fn align_data(data_cursor: &mut u64, align: u64, pending_data: &mut Vec<PendingData>, lineno: usize) {
+    fn align_data(
+        data_cursor: &mut u64,
+        align: u64,
+        pending_data: &mut Vec<PendingData>,
+        lineno: usize,
+    ) {
         let align = align.max(1);
         let aligned = data_cursor.div_ceil(align) * align;
         if aligned > *data_cursor {
@@ -487,12 +500,19 @@ fn handle_directive(
                 } else {
                     match part.parse::<f64>() {
                         Ok(v) => bytes.extend_from_slice(&v.to_le_bytes()),
-                        Err(_) => errors.push(AsmError::new(lineno, format!("bad double `{part}`"))),
+                        Err(_) => {
+                            errors.push(AsmError::new(lineno, format!("bad double `{part}`")))
+                        }
                     }
                 }
             }
             let len = bytes.len() as u64;
-            pending_data.push(PendingData::Bytes { offset: *data_cursor, bytes, label, line: lineno });
+            pending_data.push(PendingData::Bytes {
+                offset: *data_cursor,
+                bytes,
+                label,
+                line: lineno,
+            });
             *data_cursor += len;
         }
         ".ascii" | ".asciiz" | ".string" => {
@@ -560,18 +580,14 @@ fn resolve_operands(
         ));
     }
 
-    let pc_relative = descriptor
-        .target
-        .as_deref()
-        .map(|t| t.contains("\\pc"))
-        .unwrap_or(false);
+    let pc_relative = descriptor.target.as_deref().map(|t| t.contains("\\pc")).unwrap_or(false);
 
     let mut operands = Vec::with_capacity(texts.len());
     for (arg, text) in descriptor.arguments.iter().zip(&texts) {
         match arg.kind {
             ArgKind::IntReg | ArgKind::FpReg => {
-                let reg = RegisterId::parse(text)
-                    .ok_or_else(|| format!("`{text}` is not a register"))?;
+                let reg =
+                    RegisterId::parse(text).ok_or_else(|| format!("`{text}` is not a register"))?;
                 let expects_fp = arg.kind == ArgKind::FpReg;
                 let is_fp = reg.kind == rvsim_isa::RegisterFileKind::Fp;
                 if expects_fp != is_fp {
@@ -619,7 +635,11 @@ fn split_memory_operand(text: &str) -> Result<(String, String), String> {
     Ok((offset.to_string(), base.to_string()))
 }
 
-fn check_imm_range(descriptor: &InstructionDescriptor, arg: &str, value: i64) -> Result<(), String> {
+fn check_imm_range(
+    descriptor: &InstructionDescriptor,
+    arg: &str,
+    value: i64,
+) -> Result<(), String> {
     let name = descriptor.name.as_str();
     // U-type instructions take a 20-bit immediate.
     if (name == "lui" || name == "auipc") && arg == "imm" {
@@ -631,10 +651,7 @@ fn check_imm_range(descriptor: &InstructionDescriptor, arg: &str, value: i64) ->
     // I-type arithmetic and memory offsets are 12-bit signed.
     let is_itype_imm = arg == "imm"
         && (descriptor.is_memory()
-            || matches!(
-                name,
-                "addi" | "andi" | "ori" | "xori" | "slti" | "sltiu" | "jalr"
-            ));
+            || matches!(name, "addi" | "andi" | "ori" | "xori" | "slti" | "sltiu" | "jalr"));
     if is_itype_imm && !(-2048..=2047).contains(&value) {
         return Err(format!("`{name}` immediate {value} outside -2048..2047"));
     }
@@ -656,9 +673,23 @@ fn check_imm_range(descriptor: &InstructionDescriptor, arg: &str, value: i64) ->
 /// unneeded directives, empty lines and unreferenced local labels.
 pub fn filter_assembly(text: &str) -> String {
     const NOISE: &[&str] = &[
-        ".file", ".ident", ".option", ".attribute", ".type", ".size", ".globl", ".global",
-        ".addrsig", ".addrsig_sym", ".cfi_startproc", ".cfi_endproc", ".cfi_def_cfa_offset",
-        ".cfi_offset", ".cfi_restore", ".local", ".comm",
+        ".file",
+        ".ident",
+        ".option",
+        ".attribute",
+        ".type",
+        ".size",
+        ".globl",
+        ".global",
+        ".addrsig",
+        ".addrsig_sym",
+        ".cfi_startproc",
+        ".cfi_endproc",
+        ".cfi_def_cfa_offset",
+        ".cfi_offset",
+        ".cfi_restore",
+        ".local",
+        ".comm",
     ];
     let mut out: Vec<&str> = Vec::new();
     let mut last_blank = false;
@@ -701,7 +732,8 @@ mod tests {
     }
 
     fn err(source: &str) -> Vec<AsmError> {
-        assemble(source, &isa(), &AssemblerOptions::default()).expect_err("program must not assemble")
+        assemble(source, &isa(), &AssemblerOptions::default())
+            .expect_err("program must not assemble")
     }
 
     #[test]

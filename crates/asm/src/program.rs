@@ -106,7 +106,7 @@ impl Program {
 
     /// Instruction at byte address `pc`, if it lies inside the code segment.
     pub fn at(&self, pc: u64) -> Option<&AsmInstruction> {
-        if pc % 4 != 0 {
+        if !pc.is_multiple_of(4) {
             return None;
         }
         self.instructions.get((pc / 4) as usize)
@@ -168,8 +168,7 @@ mod tests {
     use super::*;
 
     fn sample_program() -> Program {
-        let mut p = Program::default();
-        p.instructions = vec![
+        let instructions = vec![
             AsmInstruction {
                 mnemonic: "addi".into(),
                 operands: vec![
@@ -193,6 +192,7 @@ mod tests {
                 text: "add a0, a0, a0".into(),
             },
         ];
+        let mut p = Program { instructions, ..Default::default() };
         p.symbols.insert("main".into(), 0);
         p.symbols.insert("second".into(), 4);
         p.symbols.insert("arr".into(), 0x1000);
@@ -252,7 +252,12 @@ mod tests {
     #[test]
     fn load_data_writes_all_items() {
         let mut p = sample_program();
-        p.data.push(DataItem { label: Some("arr".into()), address: 0x100, bytes: vec![1, 2, 3], source_line: 1 });
+        p.data.push(DataItem {
+            label: Some("arr".into()),
+            address: 0x100,
+            bytes: vec![1, 2, 3],
+            source_line: 1,
+        });
         p.data.push(DataItem { label: None, address: 0x200, bytes: vec![], source_line: 2 });
         let mut writes = Vec::new();
         p.load_data(|addr, bytes| writes.push((addr, bytes.to_vec())));

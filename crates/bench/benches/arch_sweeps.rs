@@ -85,9 +85,11 @@ fn bench_rob_sweep(c: &mut Criterion) {
 fn bench_predictor_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("predictor_sweep");
     println!("\nA1.predictor — branchy kernel:");
-    for (label, kind) in
-        [("zero-bit", PredictorKind::Zero), ("one-bit", PredictorKind::One), ("two-bit", PredictorKind::Two)]
-    {
+    for (label, kind) in [
+        ("zero-bit", PredictorKind::Zero),
+        ("one-bit", PredictorKind::One),
+        ("two-bit", PredictorKind::Two),
+    ] {
         let mut config = ArchitectureConfig::default();
         config.predictor.predictor_kind = kind;
         config.predictor.history_bits = 4;
@@ -124,5 +126,11 @@ fn bench_cache_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_width_sweep, bench_rob_sweep, bench_predictor_sweep, bench_cache_sweep);
+criterion_group!(
+    benches,
+    bench_width_sweep,
+    bench_rob_sweep,
+    bench_predictor_sweep,
+    bench_cache_sweep
+);
 criterion_main!(benches);

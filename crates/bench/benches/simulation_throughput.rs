@@ -5,7 +5,9 @@
 //! profiling of §IV-A starts from it.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use rvsim_bench::{program_arithmetic, program_float, program_memory, run_to_completion, simulator};
+use rvsim_bench::{
+    program_arithmetic, program_float, program_memory, run_to_completion, simulator,
+};
 use rvsim_cc::{compile, OptLevel};
 use rvsim_core::ArchitectureConfig;
 use std::hint::black_box;
@@ -41,14 +43,18 @@ int main(void) {
 ";
     let mut group = c.benchmark_group("cli_batch_path");
     for opt in [OptLevel::O0, OptLevel::O3] {
-        group.bench_with_input(BenchmarkId::new("compile_and_run", format!("{opt:?}")), &opt, |b, &opt| {
-            b.iter(|| {
-                let output = compile(source, opt).unwrap();
-                let mut sim = simulator(&output.assembly, &ArchitectureConfig::default());
-                sim.run(10_000_000).unwrap();
-                black_box(sim.int_register(10))
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("compile_and_run", format!("{opt:?}")),
+            &opt,
+            |b, &opt| {
+                b.iter(|| {
+                    let output = compile(source, opt).unwrap();
+                    let mut sim = simulator(&output.assembly, &ArchitectureConfig::default());
+                    sim.run(10_000_000).unwrap();
+                    black_box(sim.int_register(10))
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -5,6 +5,10 @@
 //! to assembly, and a transparent mapping plus visibly different `-O` levels
 //! serves that goal better than a black-box optimizer.
 
+// Index loops compute stack offsets from the loop variable; iterators would
+// obscure the offset arithmetic.
+#![allow(clippy::needless_range_loop)]
+
 use crate::ast::*;
 use crate::{CcError, CompileOutput, OptLevel};
 use std::collections::HashMap;
@@ -166,11 +170,8 @@ impl Generator {
 
     fn gen_function(&mut self, f: &Function) -> Result<(), CcError> {
         // Collect every local declaration (parameters first).
-        let mut locals: Vec<(String, CType, Option<usize>)> = f
-            .params
-            .iter()
-            .map(|p| (p.name.clone(), p.ty.clone(), None))
-            .collect();
+        let mut locals: Vec<(String, CType, Option<usize>)> =
+            f.params.iter().map(|p| (p.name.clone(), p.ty.clone(), None)).collect();
         collect_locals(&f.body, &mut locals);
 
         let mut ctx = FnCtx {
@@ -229,7 +230,11 @@ impl Generator {
         self.emit(format!("addi sp, sp, -{}", ctx.frame));
         self.emit(format!("sw   ra, {}(sp)", ctx.frame - 4));
         for i in 0..ctx.used_int_saved {
-            self.emit(format!("sw   {}, {}(sp)", INT_SAVED[i], ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4));
+            self.emit(format!(
+                "sw   {}, {}(sp)",
+                INT_SAVED[i],
+                ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4
+            ));
         }
         for i in 0..ctx.used_float_saved {
             self.emit(format!(
@@ -281,7 +286,11 @@ impl Generator {
         // Epilogue.
         self.raw(format!("{}:", ctx.exit_label));
         for i in 0..ctx.used_int_saved {
-            self.emit(format!("lw   {}, {}(sp)", INT_SAVED[i], ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4));
+            self.emit(format!(
+                "lw   {}, {}(sp)",
+                INT_SAVED[i],
+                ctx.scratch_base + SCRATCH_BYTES + (i as i64) * 4
+            ));
         }
         for i in 0..ctx.used_float_saved {
             self.emit(format!(
@@ -312,7 +321,10 @@ impl Generator {
                 self.map(*line);
                 if let Some(init) = init {
                     if array_size.is_some() {
-                        return Err(CcError::new(*line, "local array initializers are not supported"));
+                        return Err(CcError::new(
+                            *line,
+                            "local array initializers are not supported",
+                        ));
                     }
                     let value = self.gen_expr(init, ctx, *line)?;
                     let want = if ty.is_float() { Ty::Float } else { Ty::Int };
@@ -467,7 +479,7 @@ impl Generator {
     /// Evaluate a condition and make sure the result is an integer 0/1.
     fn gen_condition(&mut self, cond: &Expr, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
         let v = self.gen_expr(cond, ctx, line)?;
-        Ok(self.truthify(v, ctx, line)?)
+        self.truthify(v, ctx, line)
     }
 
     fn truthify(&mut self, val: Val, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
@@ -490,7 +502,12 @@ impl Generator {
         self.gen_expr_inner(&expr, ctx, line)
     }
 
-    fn gen_expr_inner(&mut self, expr: &Expr, ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+    fn gen_expr_inner(
+        &mut self,
+        expr: &Expr,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<Val, CcError> {
         match expr {
             Expr::IntLit(v) => {
                 let reg = self.alloc_int(ctx, line)?;
@@ -613,16 +630,36 @@ impl Generator {
         }
 
         // Strength reduction: multiplication / division by a power of two.
+        // Modulo is NOT reduced: `andi` computes a two's-complement mask, which
+        // differs from C's truncating `%` for negative operands.  Divisors
+        // above 2^30 are left to the mul/div units: their shift counts would
+        // not fit the 5-bit shamt field of RV32 shift instructions.
         if self.opt.strength_reduction() {
             if let Expr::IntLit(c) = rhs {
-                if *c > 0 && (*c as u64).is_power_of_two() && matches!(op, BinOp::Mul | BinOp::Div | BinOp::Mod) {
+                if *c > 0
+                    && *c <= (1 << 30)
+                    && (*c as u64).is_power_of_two()
+                    && matches!(op, BinOp::Mul | BinOp::Div)
+                {
                     let shift = (*c as u64).trailing_zeros();
                     let l = self.gen_expr_inner(lhs, ctx, line)?;
                     if l.ty == Ty::Int {
                         match op {
-                            BinOp::Mul => self.emit(format!("slli {}, {}, {}", l.reg, l.reg, shift)),
-                            BinOp::Div => self.emit(format!("srai {}, {}, {}", l.reg, l.reg, shift)),
-                            BinOp::Mod => self.emit(format!("andi {}, {}, {}", l.reg, l.reg, c - 1)),
+                            BinOp::Mul => {
+                                self.emit(format!("slli {}, {}, {}", l.reg, l.reg, shift))
+                            }
+                            BinOp::Div if shift == 0 => {} // x / 1 == x
+                            BinOp::Div => {
+                                // A bare `srai` rounds toward -inf; C division
+                                // truncates toward zero.  Bias negative values
+                                // by (2^shift - 1) first.
+                                let bias = self.alloc_int(ctx, line)?;
+                                self.emit(format!("srai {bias}, {}, 31", l.reg));
+                                self.emit(format!("srli {bias}, {bias}, {}", 32 - shift));
+                                self.emit(format!("add  {}, {}, {bias}", l.reg, l.reg));
+                                self.emit(format!("srai {}, {}, {}", l.reg, l.reg, shift));
+                                self.free(&Val { reg: bias, ty: Ty::Int }, ctx);
+                            }
                             _ => unreachable!(),
                         }
                         return Ok(l);
@@ -675,7 +712,10 @@ impl Generator {
                 BinOp::Mul => "fmul.s",
                 BinOp::Div => "fdiv.s",
                 other => {
-                    return Err(CcError::new(line, format!("operator {other:?} not supported on float")));
+                    return Err(CcError::new(
+                        line,
+                        format!("operator {other:?} not supported on float"),
+                    ));
                 }
             };
             self.emit(format!("{mnemonic} {}, {}, {}", l.reg, l.reg, r.reg));
@@ -749,7 +789,13 @@ impl Generator {
         Ok(rhs)
     }
 
-    fn gen_call(&mut self, name: &str, args: &[Expr], ctx: &mut FnCtx, line: usize) -> Result<Val, CcError> {
+    fn gen_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<Val, CcError> {
         let (ret, params) = self
             .functions
             .get(name)
@@ -790,14 +836,22 @@ impl Generator {
             self.emit(format!("sw   {}, {}(sp)", INT_TEMPS[i], ctx.scratch_base + (i as i64) * 4));
         }
         for i in 0..live_float {
-            self.emit(format!("fsw  {}, {}(sp)", FLOAT_TEMPS[i], ctx.scratch_base + 32 + (i as i64) * 4));
+            self.emit(format!(
+                "fsw  {}, {}(sp)",
+                FLOAT_TEMPS[i],
+                ctx.scratch_base + 32 + (i as i64) * 4
+            ));
         }
         self.emit(format!("call {name}"));
         for i in 0..live_int {
             self.emit(format!("lw   {}, {}(sp)", INT_TEMPS[i], ctx.scratch_base + (i as i64) * 4));
         }
         for i in 0..live_float {
-            self.emit(format!("flw  {}, {}(sp)", FLOAT_TEMPS[i], ctx.scratch_base + 32 + (i as i64) * 4));
+            self.emit(format!(
+                "flw  {}, {}(sp)",
+                FLOAT_TEMPS[i],
+                ctx.scratch_base + 32 + (i as i64) * 4
+            ));
         }
         // Free argument temporaries, allocate the result.
         for v in arg_vals.iter().rev() {
@@ -882,7 +936,13 @@ impl Generator {
         }
     }
 
-    fn store_var(&mut self, name: &str, value: &Val, ctx: &mut FnCtx, line: usize) -> Result<(), CcError> {
+    fn store_var(
+        &mut self,
+        name: &str,
+        value: &Val,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<(), CcError> {
         let info = self.var_info(name, ctx, line)?;
         if info.is_array {
             return Err(CcError::new(line, format!("cannot assign to array `{name}`")));
@@ -924,7 +984,13 @@ impl Generator {
         }
     }
 
-    fn store_target(&mut self, target: &Expr, value: &Val, ctx: &mut FnCtx, line: usize) -> Result<(), CcError> {
+    fn store_target(
+        &mut self,
+        target: &Expr,
+        value: &Val,
+        ctx: &mut FnCtx,
+        line: usize,
+    ) -> Result<(), CcError> {
         match target {
             Expr::Var(name) => self.store_var(name, value, ctx, line),
             Expr::Index { base, index } => {
@@ -1003,11 +1069,10 @@ impl Generator {
 fn collect_locals(body: &[Stmt], out: &mut Vec<(String, CType, Option<usize>)>) {
     for stmt in body {
         match stmt {
-            Stmt::Decl { name, ty, array_size, .. } => {
-                if !out.iter().any(|(n, _, _)| n == name) {
-                    out.push((name.clone(), ty.clone(), *array_size));
-                }
+            Stmt::Decl { name, ty, array_size, .. } if !out.iter().any(|(n, _, _)| n == name) => {
+                out.push((name.clone(), ty.clone(), *array_size));
             }
+            Stmt::Decl { .. } => {}
             Stmt::Block { body } => collect_locals(body, out),
             Stmt::If { then, els, .. } => {
                 collect_locals(then, out);
@@ -1092,11 +1157,9 @@ pub fn fold(expr: &Expr) -> Expr {
                 _ => Expr::Unary { op: *op, expr: Box::new(inner) },
             }
         }
-        Expr::Assign { target, op, value } => Expr::Assign {
-            target: target.clone(),
-            op: *op,
-            value: Box::new(fold(value)),
-        },
+        Expr::Assign { target, op, value } => {
+            Expr::Assign { target: target.clone(), op: *op, value: Box::new(fold(value)) }
+        }
         Expr::Call { name, args } => {
             Expr::Call { name: name.clone(), args: args.iter().map(fold).collect() }
         }
@@ -1162,7 +1225,8 @@ mod tests {
         let src = "int main(void) { int s = 0; int i; for (i = 0; i < 100; i++) { s = s + i; } return s; }";
         let o0 = asm(src, OptLevel::O0);
         let o2 = asm(src, OptLevel::O2);
-        let count = |text: &str, pat: &str| text.lines().filter(|l| l.trim().starts_with(pat)).count();
+        let count =
+            |text: &str, pat: &str| text.lines().filter(|l| l.trim().starts_with(pat)).count();
         assert!(
             count(&o2, "lw") < count(&o0, "lw"),
             "O2 must load locals from memory less often (O0 {} vs O2 {})",
@@ -1181,7 +1245,26 @@ mod tests {
         assert!(!o3.contains("mul "), "O3 turns *8 into a shift");
         assert!(o3.contains("slli"));
         assert!(o3.contains("srai"));
-        assert!(o3.contains("andi"));
+        // `%` must keep the real `rem`: an `andi` mask would be wrong for
+        // negative operands (C's `%` truncates toward zero).
+        assert!(o3.contains("rem"));
+    }
+
+    #[test]
+    fn huge_power_of_two_divisors_fall_through_to_div() {
+        // 2^33 fits an i64 literal but not a 5-bit shift amount; the
+        // reduction must not fire (it used to panic on `32 - shift`).
+        let o3 = asm("int main(void) { int x = 5; return x / 8589934592; }", OptLevel::O3);
+        assert!(o3.contains("div"), "huge divisor uses the divide unit");
+    }
+
+    #[test]
+    fn signed_division_reduction_emits_truncation_bias() {
+        // -7/2 is -3 in C; a bare `srai` would give -4, so the reduced
+        // division must carry the sign-bias correction (srli of the sign).
+        let o3 = asm("int main(void) { int x = -7; return x / 2; }", OptLevel::O3);
+        assert!(o3.contains("srai"), "division by 2 is strength-reduced");
+        assert!(o3.contains("srli"), "reduced division biases negative operands");
     }
 
     #[test]
@@ -1245,7 +1328,11 @@ mod tests {
     fn semantic_errors_are_reported() {
         assert!(compile("int main(void) { return y; }", OptLevel::O0).is_err());
         assert!(compile("int main(void) { return f(1); }", OptLevel::O0).is_err());
-        assert!(compile("int f(int a) { return a; } int main(void) { return f(1, 2); }", OptLevel::O0).is_err());
+        assert!(compile(
+            "int f(int a) { return a; } int main(void) { return f(1, 2); }",
+            OptLevel::O0
+        )
+        .is_err());
         assert!(compile("int x = 1;", OptLevel::O0).is_err(), "missing main");
         assert!(compile("int main(void) { break; }", OptLevel::O0).is_err());
         assert!(compile("int main(void) { int a[4] = 3; return 0; }", OptLevel::O0).is_err());
@@ -1253,18 +1340,30 @@ mod tests {
 
     #[test]
     fn fold_handles_identities_and_casts() {
-        assert_eq!(fold(&Expr::Binary {
-            op: BinOp::Add,
-            lhs: Box::new(Expr::Var("x".into())),
-            rhs: Box::new(Expr::IntLit(0)),
-        }), Expr::Var("x".into()));
-        assert_eq!(fold(&Expr::Binary {
-            op: BinOp::Mul,
-            lhs: Box::new(Expr::Var("x".into())),
-            rhs: Box::new(Expr::IntLit(1)),
-        }), Expr::Var("x".into()));
-        assert_eq!(fold(&Expr::Cast { ty: CType::Float, expr: Box::new(Expr::IntLit(3)) }), Expr::FloatLit(3.0));
-        assert_eq!(fold(&Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::IntLit(0)) }), Expr::IntLit(1));
+        assert_eq!(
+            fold(&Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Var("x".into())),
+                rhs: Box::new(Expr::IntLit(0)),
+            }),
+            Expr::Var("x".into())
+        );
+        assert_eq!(
+            fold(&Expr::Binary {
+                op: BinOp::Mul,
+                lhs: Box::new(Expr::Var("x".into())),
+                rhs: Box::new(Expr::IntLit(1)),
+            }),
+            Expr::Var("x".into())
+        );
+        assert_eq!(
+            fold(&Expr::Cast { ty: CType::Float, expr: Box::new(Expr::IntLit(3)) }),
+            Expr::FloatLit(3.0)
+        );
+        assert_eq!(
+            fold(&Expr::Unary { op: UnOp::Not, expr: Box::new(Expr::IntLit(0)) }),
+            Expr::IntLit(1)
+        );
     }
 
     #[test]
@@ -1281,7 +1380,12 @@ mod tests {
         for (src, opt) in sources {
             let out = compile(src, opt).unwrap();
             let program = assemble(&out.assembly, &isa, &AssemblerOptions::default());
-            assert!(program.is_ok(), "generated assembly must assemble:\n{}\n{:?}", out.assembly, program.err());
+            assert!(
+                program.is_ok(),
+                "generated assembly must assemble:\n{}\n{:?}",
+                out.assembly,
+                program.err()
+            );
         }
     }
 }

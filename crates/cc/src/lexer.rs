@@ -64,7 +64,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, CcError> {
             }
             if bytes[i + 1] as char == '*' {
                 i += 2;
-                while i + 1 < bytes.len() && !(bytes[i] as char == '*' && bytes[i + 1] as char == '/') {
+                while i + 1 < bytes.len()
+                    && !(bytes[i] as char == '*' && bytes[i + 1] as char == '/')
+                {
                     if bytes[i] as char == '\n' {
                         line += 1;
                     }
@@ -87,7 +89,9 @@ pub fn tokenize(source: &str) -> Result<Vec<Token>, CcError> {
         // Identifiers / keywords.
         if c.is_ascii_alphabetic() || c == '_' {
             let start = i;
-            while i < bytes.len() && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_') {
+            while i < bytes.len()
+                && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] as char == '_')
+            {
                 i += 1;
             }
             tokens.push(Token { tok: Tok::Ident(source[start..i].to_string()), line });
@@ -250,12 +254,8 @@ mod tests {
     #[test]
     fn line_numbers_tracked() {
         let toks = tokenize("int a;\nint b;\n\nint c;").unwrap();
-        let line_of = |name: &str| {
-            toks.iter()
-                .find(|t| t.tok == Tok::Ident(name.into()))
-                .unwrap()
-                .line
-        };
+        let line_of =
+            |name: &str| toks.iter().find(|t| t.tok == Tok::Ident(name.into())).unwrap().line;
         assert_eq!(line_of("a"), 1);
         assert_eq!(line_of("b"), 2);
         assert_eq!(line_of("c"), 4);

@@ -66,7 +66,9 @@ impl<'a> Parser<'a> {
     fn expect_ident(&mut self) -> Result<String, CcError> {
         match self.advance() {
             Tok::Ident(name) if !KEYWORDS.contains(&name.as_str()) => Ok(name),
-            other => Err(CcError::new(self.line(), format!("expected identifier, found {other:?}"))),
+            other => {
+                Err(CcError::new(self.line(), format!("expected identifier, found {other:?}")))
+            }
         }
     }
 
@@ -85,7 +87,9 @@ impl<'a> Parser<'a> {
                     return Err(CcError::new(self.line(), format!("unknown type `{other}`")));
                 }
             },
-            other => return Err(CcError::new(self.line(), format!("expected type, found {other:?}"))),
+            other => {
+                return Err(CcError::new(self.line(), format!("expected type, found {other:?}")))
+            }
         };
         let mut ty = base;
         while self.eat_punct("*") {
@@ -168,12 +172,12 @@ impl<'a> Parser<'a> {
             return Ok(params);
         }
         // `(void)`
-        if matches!(self.peek(), Tok::Ident(n) if n == "void") {
-            if matches!(&self.tokens[self.pos + 1].tok, Tok::Punct(")")) {
-                self.advance();
-                self.expect_punct(")")?;
-                return Ok(params);
-            }
+        if matches!(self.peek(), Tok::Ident(n) if n == "void")
+            && matches!(&self.tokens[self.pos + 1].tok, Tok::Punct(")"))
+        {
+            self.advance();
+            self.expect_punct(")")?;
+            return Ok(params);
         }
         loop {
             let mut ty = self.parse_type()?;
@@ -218,7 +222,8 @@ impl<'a> Parser<'a> {
             let cond = self.parse_expr()?;
             self.expect_punct(")")?;
             let then = self.parse_stmt_as_block()?;
-            let els = if self.eat_keyword("else") { self.parse_stmt_as_block()? } else { Vec::new() };
+            let els =
+                if self.eat_keyword("else") { self.parse_stmt_as_block()? } else { Vec::new() };
             return Ok(Stmt::If { cond, then, els, line });
         }
         if self.eat_keyword("while") {
@@ -236,15 +241,27 @@ impl<'a> Parser<'a> {
                 let s = if self.peek_type() { self.parse_decl()? } else { self.parse_expr_stmt()? };
                 Some(Box::new(s))
             };
-            let cond = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.parse_expr()?) };
+            let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
             self.expect_punct(";")?;
-            let step = if matches!(self.peek(), Tok::Punct(")")) { None } else { Some(self.parse_expr()?) };
+            let step = if matches!(self.peek(), Tok::Punct(")")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
             self.expect_punct(")")?;
             let body = self.parse_stmt_as_block()?;
             return Ok(Stmt::For { init, cond, step, body, line });
         }
         if self.eat_keyword("return") {
-            let value = if matches!(self.peek(), Tok::Punct(";")) { None } else { Some(self.parse_expr()?) };
+            let value = if matches!(self.peek(), Tok::Punct(";")) {
+                None
+            } else {
+                Some(self.parse_expr()?)
+            };
             self.expect_punct(";")?;
             return Ok(Stmt::Return { value, line });
         }
@@ -280,7 +297,10 @@ impl<'a> Parser<'a> {
                 let size = match self.advance() {
                     Tok::Int(n) => n as usize,
                     other => {
-                        return Err(CcError::new(line, format!("expected array size, found {other:?}")));
+                        return Err(CcError::new(
+                            line,
+                            format!("expected array size, found {other:?}"),
+                        ));
                     }
                 };
                 self.expect_punct("]")?;
@@ -346,7 +366,10 @@ impl<'a> Parser<'a> {
             _ => return Ok(lhs),
         };
         if !matches!(lhs, Expr::Var(_) | Expr::Index { .. }) {
-            return Err(CcError::new(self.line(), "assignment target must be a variable or array element"));
+            return Err(CcError::new(
+                self.line(),
+                "assignment target must be a variable or array element",
+            ));
         }
         let value = self.parse_assignment()?;
         Ok(Expr::Assign { target: Box::new(lhs), op, value: Box::new(value) })
@@ -513,7 +536,10 @@ impl<'a> Parser<'a> {
                 let base = match expr {
                     Expr::Var(name) => name,
                     _ => {
-                        return Err(CcError::new(self.line(), "only simple arrays/pointers can be indexed"));
+                        return Err(CcError::new(
+                            self.line(),
+                            "only simple arrays/pointers can be indexed",
+                        ));
                     }
                 };
                 expr = Expr::Index { base, index: Box::new(index) };
@@ -646,11 +672,18 @@ mod tests {
 
     #[test]
     fn assignment_and_compound() {
-        let unit = parse_src("int main(void) { int a = 1; a = a + 1; a += 2; a *= 3; a[0]; return a; }");
+        let unit =
+            parse_src("int main(void) { int a = 1; a = a + 1; a += 2; a *= 3; a[0]; return a; }");
         let body = &unit.functions[0].body;
         assert!(matches!(&body[1], Stmt::Expr { expr: Expr::Assign { op: None, .. }, .. }));
-        assert!(matches!(&body[2], Stmt::Expr { expr: Expr::Assign { op: Some(BinOp::Add), .. }, .. }));
-        assert!(matches!(&body[3], Stmt::Expr { expr: Expr::Assign { op: Some(BinOp::Mul), .. }, .. }));
+        assert!(matches!(
+            &body[2],
+            Stmt::Expr { expr: Expr::Assign { op: Some(BinOp::Add), .. }, .. }
+        ));
+        assert!(matches!(
+            &body[3],
+            Stmt::Expr { expr: Expr::Assign { op: Some(BinOp::Mul), .. }, .. }
+        ));
     }
 
     #[test]

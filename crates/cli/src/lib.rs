@@ -86,8 +86,8 @@ impl CliOptions {
                 "--c" => options.compile_c = true,
                 "--opt" => {
                     let v = value(&mut i, "--opt")?;
-                    options.opt_level =
-                        OptLevel::parse(&v).ok_or_else(|| format!("invalid optimization level `{v}`"))?;
+                    options.opt_level = OptLevel::parse(&v)
+                        .ok_or_else(|| format!("invalid optimization level `{v}`"))?;
                 }
                 "--entry" => options.entry = Some(value(&mut i, "--entry")?),
                 "--memory" => options.memory_csv = Some(value(&mut i, "--memory")?),
@@ -151,8 +151,9 @@ pub fn run_with_sources(
 
     // Optional C compilation step.
     let assembly = if options.compile_c {
-        let output = rvsim_cc::compile(program_source, options.opt_level)
-            .map_err(|errors| errors.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))?;
+        let output = rvsim_cc::compile(program_source, options.opt_level).map_err(|errors| {
+            errors.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n")
+        })?;
         output.assembly
     } else {
         program_source.to_string()
@@ -262,8 +263,20 @@ loop:
     #[test]
     fn parse_full_argument_set() {
         let o = CliOptions::parse(&args(&[
-            "--program", "prog.s", "--arch", "arch.json", "--entry", "start", "--max-cycles",
-            "5000", "--format", "json", "--verbose", "--memory", "mem.csv", "--dump-memory",
+            "--program",
+            "prog.s",
+            "--arch",
+            "arch.json",
+            "--entry",
+            "start",
+            "--max-cycles",
+            "5000",
+            "--format",
+            "json",
+            "--verbose",
+            "--memory",
+            "mem.csv",
+            "--dump-memory",
             "0x1000,64",
         ]))
         .unwrap();
@@ -333,7 +346,8 @@ loop:
             max_cycles: 1_000_000,
             ..Default::default()
         };
-        let source = "int main(void) { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
+        let source =
+            "int main(void) { int s = 0; for (int i = 1; i <= 10; i++) s += i; return s; }";
         let out = run_with_sources(&options, source, None, None).unwrap();
         assert!(out.contains("a0 (return value):      55"));
         let bad = run_with_sources(&options, "int main(void) { return 1 + ; }", None, None);
@@ -385,7 +399,8 @@ main:
         };
         let out = run(&options).unwrap();
         assert!(out.contains("a0 (return value):      20"));
-        let missing = CliOptions { program_path: "/nonexistent/prog.s".into(), ..Default::default() };
+        let missing =
+            CliOptions { program_path: "/nonexistent/prog.s".into(), ..Default::default() };
         assert!(run(&missing).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }

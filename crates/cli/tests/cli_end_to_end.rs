@@ -1,0 +1,77 @@
+//! End-to-end test of the `rvsim-cli` binary: assemble and simulate a small
+//! program from a real file, then check the exit code and the emitted
+//! statistics in both output formats.
+
+use std::process::Command;
+
+const PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 10
+loop:
+    addi t0, t0, 3
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t0
+    ret
+";
+
+fn write_program() -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("rvsim_cli_e2e_{}.s", std::process::id()));
+    std::fs::write(&path, PROGRAM).expect("temp program written");
+    path
+}
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rvsim-cli"))
+}
+
+#[test]
+fn json_run_reports_statistics_and_exit_zero() {
+    let program = write_program();
+    let output = cli()
+        .args(["--program", program.to_str().unwrap(), "--format", "json"])
+        .output()
+        .expect("cli runs");
+    std::fs::remove_file(&program).ok();
+
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let value: serde_json::Value = serde_json::from_str(stdout.trim()).expect("valid JSON output");
+    assert_eq!(value["halt"], "main returned");
+    assert_eq!(value["registers"]["a0"], 30);
+    assert!(value["cycles"].as_u64().unwrap() > 0);
+    let stats = &value["statistics"];
+    assert!(stats["committed"].as_u64().unwrap() >= 34, "all loop instructions commit");
+    assert!(stats["cycles"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn text_run_reports_return_value() {
+    let program = write_program();
+    let output = cli().args(["--program", program.to_str().unwrap()]).output().expect("cli runs");
+    std::fs::remove_file(&program).ok();
+
+    assert_eq!(output.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("a0 (return value):      30"), "output:\n{stdout}");
+    assert!(stdout.contains("IPC:"), "output:\n{stdout}");
+}
+
+#[test]
+fn bad_arguments_exit_with_code_two() {
+    let output = cli().args(["--format", "json"]).output().expect("cli runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(!String::from_utf8_lossy(&output.stderr).is_empty());
+}
+
+#[test]
+fn missing_program_file_exits_with_code_one() {
+    let output = cli().args(["--program", "/nonexistent/never.s"]).output().expect("cli runs");
+    assert_eq!(output.status.code(), Some(1));
+}

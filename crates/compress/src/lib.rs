@@ -254,7 +254,10 @@ mod tests {
         assert_eq!(decompress(&[]), Err(DecompressError::Truncated));
         assert_eq!(decompress(&[10, 0, 0]), Err(DecompressError::Truncated));
         // Header promises 4 bytes but stream ends immediately.
-        assert_eq!(decompress(&[4, 0, 0, 0]), Err(DecompressError::LengthMismatch { expected: 4, actual: 0 }));
+        assert_eq!(
+            decompress(&[4, 0, 0, 0]),
+            Err(DecompressError::LengthMismatch { expected: 4, actual: 0 })
+        );
         // A back-reference with distance 16 before any output exists.
         let bad = [5u8, 0, 0, 0, 0b0000_0001, 0xf0, 0x00];
         assert_eq!(decompress(&bad), Err(DecompressError::BadReference));

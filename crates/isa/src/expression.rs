@@ -84,14 +84,15 @@ impl Evaluator {
         let mut stack: Vec<Slot> = Vec::with_capacity(8);
         let mut out = EvalOutput::default();
 
-        let resolve = |slot: Slot, bindings: &HashMap<String, TypedValue>| -> Result<TypedValue, Exception> {
-            match slot {
-                Slot::Value(v) => Ok(v),
-                Slot::ArgRef(name) => bindings.get(&name).copied().ok_or_else(|| {
-                    Exception::Interpreter(format!("unbound argument `\\{name}`"))
-                }),
-            }
-        };
+        let resolve =
+            |slot: Slot, bindings: &HashMap<String, TypedValue>| -> Result<TypedValue, Exception> {
+                match slot {
+                    Slot::Value(v) => Ok(v),
+                    Slot::ArgRef(name) => bindings.get(&name).copied().ok_or_else(|| {
+                        Exception::Interpreter(format!("unbound argument `\\{name}`"))
+                    }),
+                }
+            };
 
         for token in expr.split_whitespace() {
             if let Some(name) = token.strip_prefix('\\') {
@@ -99,9 +100,9 @@ impl Evaluator {
             } else if token == "=" {
                 // Assignment: top of stack is the target reference, below it
                 // the value to assign.
-                let target = stack.pop().ok_or_else(|| {
-                    Exception::Interpreter("`=` with empty stack".to_string())
-                })?;
+                let target = stack
+                    .pop()
+                    .ok_or_else(|| Exception::Interpreter("`=` with empty stack".to_string()))?;
                 let name = match target {
                     Slot::ArgRef(name) => name,
                     Slot::Value(_) => {
@@ -126,9 +127,9 @@ impl Evaluator {
                 let b = resolve(b, &self.bindings)?;
                 stack.push(Slot::Value(binary_op(token, a, b)?));
             } else if UNARY_OPS.contains(&token) {
-                let a = stack.pop().ok_or_else(|| {
-                    Exception::Interpreter(format!("`{token}` missing operand"))
-                })?;
+                let a = stack
+                    .pop()
+                    .ok_or_else(|| Exception::Interpreter(format!("`{token}` missing operand")))?;
                 let a = resolve(a, &self.bindings)?;
                 stack.push(Slot::Value(unary_op(token, a)?));
             } else if let Ok(v) = token.parse::<i64>() {
@@ -164,7 +165,11 @@ mod tests {
         // Listing 1: "\rs1 \rs2 + \rd ="
         let out = eval_with(
             "\\rs1 \\rs2 + \\rd =",
-            &[("rs1", TypedValue::int(40)), ("rs2", TypedValue::int(2)), ("rd", TypedValue::int(0))],
+            &[
+                ("rs1", TypedValue::int(40)),
+                ("rs2", TypedValue::int(2)),
+                ("rd", TypedValue::int(0)),
+            ],
         );
         assert_eq!(out.assignments, vec![("rd".to_string(), TypedValue::int(42))]);
         assert_eq!(out.result, None);
@@ -172,10 +177,8 @@ mod tests {
 
     #[test]
     fn branch_condition_leaves_result_on_stack() {
-        let out = eval_with(
-            "\\rs1 \\rs2 <",
-            &[("rs1", TypedValue::int(1)), ("rs2", TypedValue::int(2))],
-        );
+        let out =
+            eval_with("\\rs1 \\rs2 <", &[("rs1", TypedValue::int(1)), ("rs2", TypedValue::int(2))]);
         assert_eq!(out.result.unwrap().as_i64(), 1);
         assert!(out.assignments.is_empty());
     }
@@ -236,10 +239,8 @@ mod tests {
 
     #[test]
     fn multiple_assignments_record_in_order() {
-        let out = eval_with(
-            "1 \\a = 2 \\b =",
-            &[("a", TypedValue::int(0)), ("b", TypedValue::int(0))],
-        );
+        let out =
+            eval_with("1 \\a = 2 \\b =", &[("a", TypedValue::int(0)), ("b", TypedValue::int(0))]);
         assert_eq!(out.assignments.len(), 2);
         assert_eq!(out.assignments[0].0, "a");
         assert_eq!(out.assignments[1].0, "b");

@@ -20,8 +20,7 @@ pub fn is_pseudo(mnemonic: &str) -> bool {
         "bnez", "blez", "bgez", "bltz", "bgtz", "bgt", "ble", "bgtu", "bleu", "j", "jr", "ret",
         "call", "tail", "fmv.s", "fabs.s", "fneg.s",
     ];
-    NAMES.contains(&mnemonic)
-        || (mnemonic == "jal" || mnemonic == "jalr")
+    NAMES.contains(&mnemonic) || (mnemonic == "jal" || mnemonic == "jalr")
     // `jal`/`jalr` have short pseudo forms with fewer operands; expansion
     // decides based on the operand count.
 }
@@ -38,7 +37,7 @@ pub fn expand(mnemonic: &str, ops: &[String]) -> Option<Vec<Expanded>> {
         ("li", 2) => {
             // Small constants fit a single addi; anything else (large constant
             // or symbolic expression) becomes lui + addi via %hi/%lo.
-            if let Ok(v) = parse_int(o(1)) {
+            if let Some(v) = parse_int(o(1)) {
                 if (-2048..=2047).contains(&v) {
                     return some(vec![(
                         "addi".to_string(),
@@ -47,10 +46,7 @@ pub fn expand(mnemonic: &str, ops: &[String]) -> Option<Vec<Expanded>> {
                 }
             }
             some(vec![
-                (
-                    "lui".to_string(),
-                    vec![ops[0].clone(), format!("%hi({})", o(1))],
-                ),
+                ("lui".to_string(), vec![ops[0].clone(), format!("%hi({})", o(1))]),
                 (
                     "addi".to_string(),
                     vec![ops[0].clone(), ops[0].clone(), format!("%lo({})", o(1))],
@@ -60,81 +56,61 @@ pub fn expand(mnemonic: &str, ops: &[String]) -> Option<Vec<Expanded>> {
 
         ("la" | "lla", 2) => some(vec![
             ("lui".to_string(), vec![ops[0].clone(), format!("%hi({})", o(1))]),
-            (
-                "addi".to_string(),
-                vec![ops[0].clone(), ops[0].clone(), format!("%lo({})", o(1))],
-            ),
+            ("addi".to_string(), vec![ops[0].clone(), ops[0].clone(), format!("%lo({})", o(1))]),
         ]),
 
-        ("mv", 2) => some(vec![(
-            "addi".to_string(),
-            vec![ops[0].clone(), ops[1].clone(), "0".to_string()],
-        )]),
-        ("not", 2) => some(vec![(
-            "xori".to_string(),
-            vec![ops[0].clone(), ops[1].clone(), "-1".to_string()],
-        )]),
-        ("neg", 2) => some(vec![(
-            "sub".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("seqz", 2) => some(vec![(
-            "sltiu".to_string(),
-            vec![ops[0].clone(), ops[1].clone(), "1".to_string()],
-        )]),
-        ("snez", 2) => some(vec![(
-            "sltu".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("sltz", 2) => some(vec![(
-            "slt".to_string(),
-            vec![ops[0].clone(), ops[1].clone(), "x0".to_string()],
-        )]),
-        ("sgtz", 2) => some(vec![(
-            "slt".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
+        ("mv", 2) => {
+            some(vec![("addi".to_string(), vec![ops[0].clone(), ops[1].clone(), "0".to_string()])])
+        }
+        ("not", 2) => {
+            some(vec![("xori".to_string(), vec![ops[0].clone(), ops[1].clone(), "-1".to_string()])])
+        }
+        ("neg", 2) => {
+            some(vec![("sub".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("seqz", 2) => {
+            some(vec![("sltiu".to_string(), vec![ops[0].clone(), ops[1].clone(), "1".to_string()])])
+        }
+        ("snez", 2) => {
+            some(vec![("sltu".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("sltz", 2) => {
+            some(vec![("slt".to_string(), vec![ops[0].clone(), ops[1].clone(), "x0".to_string()])])
+        }
+        ("sgtz", 2) => {
+            some(vec![("slt".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
 
-        ("beqz", 2) => some(vec![(
-            "beq".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("bnez", 2) => some(vec![(
-            "bne".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("blez", 2) => some(vec![(
-            "bge".to_string(),
-            vec!["x0".to_string(), ops[0].clone(), ops[1].clone()],
-        )]),
-        ("bgez", 2) => some(vec![(
-            "bge".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("bltz", 2) => some(vec![(
-            "blt".to_string(),
-            vec![ops[0].clone(), "x0".to_string(), ops[1].clone()],
-        )]),
-        ("bgtz", 2) => some(vec![(
-            "blt".to_string(),
-            vec!["x0".to_string(), ops[0].clone(), ops[1].clone()],
-        )]),
-        ("bgt", 3) => some(vec![(
-            "blt".to_string(),
-            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
-        )]),
-        ("ble", 3) => some(vec![(
-            "bge".to_string(),
-            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
-        )]),
-        ("bgtu", 3) => some(vec![(
-            "bltu".to_string(),
-            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
-        )]),
-        ("bleu", 3) => some(vec![(
-            "bgeu".to_string(),
-            vec![ops[1].clone(), ops[0].clone(), ops[2].clone()],
-        )]),
+        ("beqz", 2) => {
+            some(vec![("beq".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("bnez", 2) => {
+            some(vec![("bne".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("blez", 2) => {
+            some(vec![("bge".to_string(), vec!["x0".to_string(), ops[0].clone(), ops[1].clone()])])
+        }
+        ("bgez", 2) => {
+            some(vec![("bge".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("bltz", 2) => {
+            some(vec![("blt".to_string(), vec![ops[0].clone(), "x0".to_string(), ops[1].clone()])])
+        }
+        ("bgtz", 2) => {
+            some(vec![("blt".to_string(), vec!["x0".to_string(), ops[0].clone(), ops[1].clone()])])
+        }
+        ("bgt", 3) => {
+            some(vec![("blt".to_string(), vec![ops[1].clone(), ops[0].clone(), ops[2].clone()])])
+        }
+        ("ble", 3) => {
+            some(vec![("bge".to_string(), vec![ops[1].clone(), ops[0].clone(), ops[2].clone()])])
+        }
+        ("bgtu", 3) => {
+            some(vec![("bltu".to_string(), vec![ops[1].clone(), ops[0].clone(), ops[2].clone()])])
+        }
+        ("bleu", 3) => {
+            some(vec![("bgeu".to_string(), vec![ops[1].clone(), ops[0].clone(), ops[2].clone()])])
+        }
 
         ("j", 1) => some(vec![("jal".to_string(), vec!["x0".to_string(), ops[0].clone()])]),
         ("jal", 1) => some(vec![("jal".to_string(), vec!["ra".to_string(), ops[0].clone()])]),
@@ -168,7 +144,7 @@ pub fn expand(mnemonic: &str, ops: &[String]) -> Option<Vec<Expanded>> {
 }
 
 /// Parse a decimal or hexadecimal integer literal (with optional sign).
-pub fn parse_int(s: &str) -> Result<i64, ()> {
+pub fn parse_int(s: &str) -> Option<i64> {
     let s = s.trim();
     let (neg, body) = if let Some(rest) = s.strip_prefix('-') {
         (true, rest)
@@ -178,13 +154,13 @@ pub fn parse_int(s: &str) -> Result<i64, ()> {
         (false, s)
     };
     let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
-        i64::from_str_radix(hex, 16).map_err(|_| ())?
+        i64::from_str_radix(hex, 16).ok()?
     } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
-        i64::from_str_radix(bin, 2).map_err(|_| ())?
+        i64::from_str_radix(bin, 2).ok()?
     } else {
-        body.parse::<i64>().map_err(|_| ())?
+        body.parse::<i64>().ok()?
     };
-    Ok(if neg { -value } else { value })
+    Some(if neg { -value } else { value })
 }
 
 #[cfg(test)]
@@ -285,13 +261,13 @@ mod tests {
 
     #[test]
     fn parse_int_forms() {
-        assert_eq!(parse_int("42"), Ok(42));
-        assert_eq!(parse_int("-7"), Ok(-7));
-        assert_eq!(parse_int("0x10"), Ok(16));
-        assert_eq!(parse_int("0b101"), Ok(5));
-        assert_eq!(parse_int("+3"), Ok(3));
-        assert!(parse_int("arr").is_err());
-        assert!(parse_int("").is_err());
+        assert_eq!(parse_int("42"), Some(42));
+        assert_eq!(parse_int("-7"), Some(-7));
+        assert_eq!(parse_int("0x10"), Some(16));
+        assert_eq!(parse_int("0b101"), Some(5));
+        assert_eq!(parse_int("+3"), Some(3));
+        assert!(parse_int("arr").is_none());
+        assert!(parse_int("").is_none());
     }
 
     #[test]

@@ -5,12 +5,15 @@
 //! semantics expression.  The table can be exported with
 //! [`crate::InstructionSet::to_json`] and edited/extended by users.
 
-use crate::descriptor::{
-    ArgumentDescriptor as Arg, InstructionDescriptor, MemoryAccessDescriptor,
-};
+use crate::descriptor::{ArgumentDescriptor as Arg, InstructionDescriptor, MemoryAccessDescriptor};
 use crate::types::{DataType, FunctionalClass, InstructionType};
 
-fn base(name: &str, itype: InstructionType, class: FunctionalClass, ext: &str) -> InstructionDescriptor {
+fn base(
+    name: &str,
+    itype: InstructionType,
+    class: FunctionalClass,
+    ext: &str,
+) -> InstructionDescriptor {
     InstructionDescriptor {
         name: name.to_string(),
         instruction_type: itype,
@@ -56,7 +59,8 @@ fn store(name: &str, size: usize, dt: DataType) -> InstructionDescriptor {
     let mut d = base(name, InstructionType::LoadStore, FunctionalClass::Store, "I");
     d.arguments = vec![Arg::int_reg("rs2"), Arg::imm("imm"), Arg::int_reg("rs1")];
     d.address = Some("\\rs1 \\imm +".to_string());
-    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
+    d.memory =
+        Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
     d
 }
 
@@ -139,7 +143,8 @@ fn fp_load(name: &str, size: usize, dt: DataType, ext: &str) -> InstructionDescr
     rd.data_type = dt;
     d.arguments = vec![rd, Arg::imm("imm"), Arg::int_reg("rs1")];
     d.address = Some("\\rs1 \\imm +".to_string());
-    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: false, data_type: dt });
+    d.memory =
+        Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: false, data_type: dt });
     d
 }
 
@@ -150,7 +155,8 @@ fn fp_store(name: &str, size: usize, dt: DataType, ext: &str) -> InstructionDesc
     rs2.data_type = dt;
     d.arguments = vec![rs2, Arg::imm("imm"), Arg::int_reg("rs1")];
     d.address = Some("\\rs1 \\imm +".to_string());
-    d.memory = Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
+    d.memory =
+        Some(MemoryAccessDescriptor { size, sign_extend: false, is_store: true, data_type: dt });
     d
 }
 

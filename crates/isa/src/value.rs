@@ -282,9 +282,8 @@ pub fn unary_op(op: &str, a: TypedValue) -> Result<TypedValue, Exception> {
 }
 
 fn clamp_f2i(v: f64) -> i32 {
-    if v.is_nan() {
-        i32::MAX
-    } else if v >= i32::MAX as f64 {
+    // NaN converts to i32::MAX, matching RISC-V fcvt.w.s semantics.
+    if v.is_nan() || v >= i32::MAX as f64 {
         i32::MAX
     } else if v <= i32::MIN as f64 {
         i32::MIN
@@ -317,8 +316,14 @@ mod tests {
 
     #[test]
     fn integer_arithmetic_wraps_like_rv32() {
-        assert_eq!(bi("+", TypedValue::int(i32::MAX), TypedValue::int(1)).as_i64(), i32::MIN as i64);
-        assert_eq!(bi("-", TypedValue::int(i32::MIN), TypedValue::int(1)).as_i64(), i32::MAX as i64);
+        assert_eq!(
+            bi("+", TypedValue::int(i32::MAX), TypedValue::int(1)).as_i64(),
+            i32::MIN as i64
+        );
+        assert_eq!(
+            bi("-", TypedValue::int(i32::MIN), TypedValue::int(1)).as_i64(),
+            i32::MAX as i64
+        );
         assert_eq!(bi("*", TypedValue::int(7), TypedValue::int(6)).as_i64(), 42);
     }
 

@@ -92,7 +92,7 @@ impl CacheConfig {
         if self.associativity == 0 {
             return Err("cache associativity must be at least 1".to_string());
         }
-        if self.line_count == 0 || self.line_count % self.associativity != 0 {
+        if self.line_count == 0 || !self.line_count.is_multiple_of(self.associativity) {
             return Err(format!(
                 "cache line count {} must be a non-zero multiple of associativity {}",
                 self.line_count, self.associativity
@@ -151,7 +151,14 @@ impl Cache {
     pub fn new(config: CacheConfig) -> Result<Self, String> {
         config.validate()?;
         let sets = vec![vec![CacheLine::default(); config.associativity]; config.set_count()];
-        Ok(Cache { config, sets, rng: StdRng::seed_from_u64(0x5eed), accesses: 0, hits: 0, writebacks: 0 })
+        Ok(Cache {
+            config,
+            sets,
+            rng: StdRng::seed_from_u64(0x5eed),
+            accesses: 0,
+            hits: 0,
+            writebacks: 0,
+        })
     }
 
     /// The configuration the cache was built from.
@@ -254,7 +261,8 @@ impl Cache {
         };
 
         let old = set[victim];
-        let writeback = old.valid && old.dirty && self.config.write_policy == WritePolicy::WriteBack;
+        let writeback =
+            old.valid && old.dirty && self.config.write_policy == WritePolicy::WriteBack;
         if writeback {
             self.writebacks += 1;
         }
@@ -338,6 +346,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::erasing_op, clippy::identity_op)] // `n * 32` spells out line indices
     fn lru_evicts_least_recently_used() {
         // Direct-mapped would be trivial; use 2-way with 1 set to force choice.
         let mut c = Cache::new(cfg(2, 32, 2)).unwrap();
@@ -414,7 +423,7 @@ mod tests {
         c.access(16, false, 2); // set 1
         c.access(32, false, 3); // set 2
         c.access(48, false, 4); // set 3
-        // All four lines should now hit.
+                                // All four lines should now hit.
         for (i, addr) in [(5u64, 0u64), (6, 16), (7, 32), (8, 48)] {
             assert!(c.access(addr, false, i).hit, "addr {addr}");
         }

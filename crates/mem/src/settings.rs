@@ -170,7 +170,11 @@ impl MemorySettings {
             memory
                 .write_bytes(cursor, &bytes)
                 .map_err(|e| format!("allocating `{}`: {e}", array.name))?;
-            placed.push(PlacedArray { name: array.name.clone(), address: cursor, size: bytes.len() });
+            placed.push(PlacedArray {
+                name: array.name.clone(),
+                address: cursor,
+                size: bytes.len(),
+            });
             cursor += bytes.len() as u64;
         }
         Ok(placed)
@@ -205,7 +209,11 @@ impl MemorySettings {
             }
             let fields: Vec<&str> = line.split(',').collect();
             if fields.len() != 4 {
-                return Err(format!("line {}: expected 4 fields, got {}", lineno + 1, fields.len()));
+                return Err(format!(
+                    "line {}: expected 4 fields, got {}",
+                    lineno + 1,
+                    fields.len()
+                ));
             }
             let name = fields[0].to_string();
             let ty = match fields[1] {

@@ -187,7 +187,12 @@ impl MemorySubsystem {
     }
 
     /// Convenience wrapper: load `size` bytes at `address` issued at `cycle`.
-    pub fn load(&mut self, address: u64, size: usize, cycle: u64) -> Result<MemoryTransaction, MemError> {
+    pub fn load(
+        &mut self,
+        address: u64,
+        size: usize,
+        cycle: u64,
+    ) -> Result<MemoryTransaction, MemError> {
         self.register(MemoryTransaction::load(address, size, cycle))
     }
 
@@ -229,7 +234,8 @@ mod tests {
             access_delay: 1,
             line_fill_delay: 10,
         };
-        MemorySubsystem::new(1024, cache, MemoryTimings { load_latency: 4, store_latency: 6 }).unwrap()
+        MemorySubsystem::new(1024, cache, MemoryTimings { load_latency: 4, store_latency: 6 })
+            .unwrap()
     }
 
     #[test]

@@ -95,8 +95,11 @@ impl SaturatingPredictor {
         match self.kind {
             PredictorKind::Zero => {}
             PredictorKind::One => {
-                self.state =
-                    if taken { CounterState::StronglyTaken } else { CounterState::StronglyNotTaken };
+                self.state = if taken {
+                    CounterState::StronglyTaken
+                } else {
+                    CounterState::StronglyNotTaken
+                };
             }
             PredictorKind::Two => {
                 let level = self.state.to_level() + if taken { 1 } else { -1 };

@@ -114,8 +114,10 @@ impl BranchPredictor {
     /// Build a predictor from a validated configuration.
     pub fn new(config: BranchPredictorConfig) -> Result<Self, String> {
         config.validate()?;
-        let pht =
-            vec![SaturatingPredictor::new(config.predictor_kind, config.default_state); config.pht_size];
+        let pht = vec![
+            SaturatingPredictor::new(config.predictor_kind, config.default_state);
+            config.pht_size
+        ];
         let history = HistoryRegisters::new(config.history, config.history_bits, config.pht_size);
         Ok(BranchPredictor {
             btb: vec![BtbEntry::default(); config.btb_size],
@@ -163,7 +165,12 @@ impl BranchPredictor {
         } else {
             None
         };
-        Prediction { taken: counter.predicts_taken(), target, pht_index: idx, counter_state: counter.state() }
+        Prediction {
+            taken: counter.predicts_taken(),
+            target,
+            pht_index: idx,
+            counter_state: counter.state(),
+        }
     }
 
     /// Peek at the prediction without touching BTB statistics (used by the
@@ -223,7 +230,6 @@ mod tests {
             default_state,
             history: HistoryKind::Global,
             history_bits: 0,
-            ..Default::default()
         })
         .unwrap()
     }
@@ -322,7 +328,10 @@ mod tests {
                 correct_tail += 1;
             }
         }
-        assert!(correct_tail >= 95, "history-based predictor should nail alternation, got {correct_tail}/100");
+        assert!(
+            correct_tail >= 95,
+            "history-based predictor should nail alternation, got {correct_tail}/100"
+        );
     }
 
     #[test]

@@ -5,6 +5,10 @@ use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, SimulationStatistics};
 use serde::{Deserialize, Serialize};
 
 /// A client request.
+///
+/// `CreateSession` carries an inline `ArchitectureConfig`; requests are
+/// short-lived and never stored in bulk, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "type", rename_all = "snake_case")]
 pub enum Request {
@@ -149,13 +153,10 @@ mod tests {
 
     #[test]
     fn request_json_uses_type_tags_and_defaults() {
-        let r: Request =
-            serde_json::from_str(r#"{"type":"step","session":1}"#).unwrap();
+        let r: Request = serde_json::from_str(r#"{"type":"step","session":1}"#).unwrap();
         assert_eq!(r, Request::Step { session: 1, cycles: 1 });
-        let r: Request = serde_json::from_str(
-            r#"{"type":"create_session","program":"main: ret"}"#,
-        )
-        .unwrap();
+        let r: Request =
+            serde_json::from_str(r#"{"type":"create_session","program":"main: ret"}"#).unwrap();
         assert!(matches!(r, Request::CreateSession { .. }));
         let r: Request = serde_json::from_str(r#"{"type":"run","session":2}"#).unwrap();
         assert_eq!(r, Request::Run { session: 2, max_cycles: 1_000_000 });

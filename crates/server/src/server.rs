@@ -36,7 +36,11 @@ pub struct DeploymentConfig {
 
 impl Default for DeploymentConfig {
     fn default() -> Self {
-        DeploymentConfig { mode: DeploymentMode::Direct, compress_responses: true, worker_threads: 4 }
+        DeploymentConfig {
+            mode: DeploymentMode::Direct,
+            compress_responses: true,
+            worker_threads: 4,
+        }
     }
 }
 
@@ -57,7 +61,11 @@ pub struct SimulationServer {
 impl SimulationServer {
     /// Create a server.
     pub fn new(config: DeploymentConfig) -> Self {
-        SimulationServer { config, sessions: Mutex::new(HashMap::new()), next_session: AtomicU64::new(1) }
+        SimulationServer {
+            config,
+            sessions: Mutex::new(HashMap::new()),
+            next_session: AtomicU64::new(1),
+        }
     }
 
     /// Server with the default configuration.
@@ -116,18 +124,20 @@ impl SimulationServer {
                 }
                 Response::Stepped { cycle: sim.cycle(), halted: sim.is_halted() }
             }),
-            Request::Run { session, max_cycles } => self.with_session(session, |sim| {
-                match sim.run(max_cycles) {
-                    Ok(result) => Response::Stepped { cycle: result.cycles, halted: sim.is_halted() },
+            Request::Run { session, max_cycles } => {
+                self.with_session(session, |sim| match sim.run(max_cycles) {
+                    Ok(result) => {
+                        Response::Stepped { cycle: result.cycles, halted: sim.is_halted() }
+                    }
                     Err(e) => Response::error(e),
-                }
-            }),
+                })
+            }
             Request::GetState { session } => self.with_session(session, |sim| {
                 Response::State(Box::new(ProcessorSnapshot::capture(sim)))
             }),
-            Request::GetStats { session } => self.with_session(session, |sim| {
-                Response::Stats(Box::new(sim.statistics()))
-            }),
+            Request::GetStats { session } => {
+                self.with_session(session, |sim| Response::Stats(Box::new(sim.statistics())))
+            }
             Request::DestroySession { session } => {
                 if self.sessions.lock().remove(&session).is_some() {
                     Response::Destroyed
@@ -309,7 +319,8 @@ loop:
     fn compile_request_round_trips_through_assembler() {
         let server = server();
         let r = server.handle(Request::Compile {
-            source: "int main(void) { int s = 0; for (int i = 0; i < 5; i++) s += i; return s; }".into(),
+            source: "int main(void) { int s = 0; for (int i = 0; i < 5; i++) s += i; return s; }"
+                .into(),
             optimization: 2,
         });
         match r {
@@ -326,7 +337,10 @@ loop:
             }
             other => panic!("unexpected {other:?}"),
         }
-        let r = server.handle(Request::Compile { source: "int main(void) { return 1 + ; }".into(), optimization: 0 });
+        let r = server.handle(Request::Compile {
+            source: "int main(void) { return 1 + ; }".into(),
+            optimization: 0,
+        });
         assert!(r.is_error());
     }
 

@@ -16,10 +16,18 @@ struct Job {
     reply: Sender<Vec<u8>>,
 }
 
+/// What flows to the workers: a job, or an order to exit.  The explicit
+/// sentinel (rather than channel disconnect) lets `shutdown` terminate the
+/// pool even while clients still hold `Sender` clones.
+enum WorkerMsg {
+    Job(Job),
+    Shutdown,
+}
+
 /// A running worker pool around a [`SimulationServer`].
 pub struct ThreadedServer {
     server: Arc<SimulationServer>,
-    tx: Option<Sender<Job>>,
+    tx: Option<Sender<WorkerMsg>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -28,19 +36,20 @@ impl ThreadedServer {
     pub fn start(server: SimulationServer) -> Self {
         let workers = server.config().worker_threads.max(1);
         let server = Arc::new(server);
-        let (tx, rx) = unbounded::<Job>();
+        let (tx, rx) = unbounded::<WorkerMsg>();
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = rx.clone();
             let server = Arc::clone(&server);
             handles.push(std::thread::spawn(move || {
-                while let Ok(job) = rx.recv() {
+                while let Ok(WorkerMsg::Job(job)) = rx.recv() {
                     let response = server.handle_raw(&job.payload);
                     // The client may have given up (timeout); ignore send errors.
                     let _ = job.reply.send(response);
                 }
             }));
         }
+        drop(rx); // workers hold the only receiver clones
         ThreadedServer { server, tx: Some(tx), workers: handles }
     }
 
@@ -56,19 +65,29 @@ impl ThreadedServer {
 
     /// Stop the workers and wait for them to exit.
     pub fn shutdown(mut self) {
-        self.tx = None; // close the channel
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            // One sentinel per worker; each worker exits after consuming one.
+            for _ in 0..self.workers.len() {
+                let _ = tx.send(WorkerMsg::Shutdown);
+            }
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        // When the last worker exits, its receiver clone disconnects the
+        // channel: jobs that raced in behind the sentinels are discarded
+        // (failing their clients with "server dropped the request") and
+        // later sends fail fast.  Atomic with the queue — no stranded jobs.
     }
 }
 
 impl Drop for ThreadedServer {
     fn drop(&mut self) {
-        self.tx = None;
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.stop_workers();
     }
 }
 
@@ -76,7 +95,7 @@ impl Drop for ThreadedServer {
 /// (possibly compressed) responses.
 #[derive(Clone)]
 pub struct ServerClient {
-    tx: Sender<Job>,
+    tx: Sender<WorkerMsg>,
 }
 
 impl ServerClient {
@@ -85,7 +104,7 @@ impl ServerClient {
         let payload = serde_json::to_vec(request).map_err(|e| e.to_string())?;
         let (reply_tx, reply_rx) = unbounded();
         self.tx
-            .send(Job { payload, reply: reply_tx })
+            .send(WorkerMsg::Job(Job { payload, reply: reply_tx }))
             .map_err(|_| "server is shut down".to_string())?;
         let raw = reply_rx.recv().map_err(|_| "server dropped the request".to_string())?;
         SimulationServer::decode_response(&raw)
@@ -121,7 +140,11 @@ loop:
         let server = start(2);
         let client = server.client();
         let r = client
-            .call(&Request::CreateSession { program: PROGRAM.into(), architecture: None, entry: None })
+            .call(&Request::CreateSession {
+                program: PROGRAM.into(),
+                architecture: None,
+                entry: None,
+            })
             .unwrap();
         let session = match r {
             Response::SessionCreated { session } => session,

@@ -118,7 +118,14 @@ pub struct FunctionalUnitsConfig {
 impl Default for FunctionalUnitsConfig {
     fn default() -> Self {
         FunctionalUnitsConfig {
-            fx_units: vec![FxUnitConfig::default(), FxUnitConfig { name: "FX2".into(), supports_mul_div: false, ..FxUnitConfig::default() }],
+            fx_units: vec![
+                FxUnitConfig::default(),
+                FxUnitConfig {
+                    name: "FX2".into(),
+                    supports_mul_div: false,
+                    ..FxUnitConfig::default()
+                },
+            ],
             fp_units: vec![FpUnitConfig::default()],
             ls_units: 1,
             ls_latency: 1,
@@ -238,8 +245,16 @@ impl ArchitectureConfig {
                 fx_units: vec![
                     FxUnitConfig::default(),
                     FxUnitConfig { name: "FX2".into(), ..Default::default() },
-                    FxUnitConfig { name: "FX3".into(), supports_mul_div: false, ..Default::default() },
-                    FxUnitConfig { name: "FX4".into(), supports_mul_div: false, ..Default::default() },
+                    FxUnitConfig {
+                        name: "FX3".into(),
+                        supports_mul_div: false,
+                        ..Default::default()
+                    },
+                    FxUnitConfig {
+                        name: "FX4".into(),
+                        supports_mul_div: false,
+                        ..Default::default()
+                    },
                 ],
                 fp_units: vec![
                     FpUnitConfig::default(),
@@ -251,7 +266,12 @@ impl ArchitectureConfig {
                 branch_latency: 1,
                 memory_units: 2,
             },
-            memory: MemoryConfig { rename_file_size: 128, load_buffer_size: 16, store_buffer_size: 16, ..Default::default() },
+            memory: MemoryConfig {
+                rename_file_size: 128,
+                load_buffer_size: 16,
+                store_buffer_size: 16,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -271,7 +291,8 @@ impl ArchitectureConfig {
         if self.units.fx_units.is_empty() {
             return Err("at least one FX unit is required".into());
         }
-        if self.units.ls_units == 0 || self.units.branch_units == 0 || self.units.memory_units == 0 {
+        if self.units.ls_units == 0 || self.units.branch_units == 0 || self.units.memory_units == 0
+        {
             return Err("LS, branch and memory unit counts must be at least 1".into());
         }
         if self.memory.rename_file_size < b.rob_size {
@@ -286,7 +307,7 @@ impl ArchitectureConfig {
         if self.memory.call_stack_size as usize >= self.memory.memory_capacity {
             return Err("call stack does not fit into memory".into());
         }
-        if self.memory.call_stack_size % 16 != 0 {
+        if !self.memory.call_stack_size.is_multiple_of(16) {
             return Err("call stack size must be 16-byte aligned (RISC-V ABI)".into());
         }
         if self.core_clock_hz == 0 {

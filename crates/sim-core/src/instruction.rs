@@ -222,7 +222,16 @@ mod tests {
     use super::*;
 
     fn code() -> SimCode {
-        SimCode::fetched(1, 0x10, "add".into(), "add a0, a1, a2".into(), 3, FunctionalClass::Fx, 0, 7)
+        SimCode::fetched(
+            1,
+            0x10,
+            "add".into(),
+            "add a0, a1, a2".into(),
+            3,
+            FunctionalClass::Fx,
+            0,
+            7,
+        )
     }
 
     #[test]
@@ -239,8 +248,18 @@ mod tests {
     fn sources_ready_and_wake_up() {
         let mut c = code();
         c.sources = vec![
-            SourceOperand { arg: "rs1".into(), arch: RegisterId::x(11), wait_tag: None, value: Some(TypedValue::int(1)) },
-            SourceOperand { arg: "rs2".into(), arch: RegisterId::x(12), wait_tag: Some(PhysRegTag(3)), value: None },
+            SourceOperand {
+                arg: "rs1".into(),
+                arch: RegisterId::x(11),
+                wait_tag: None,
+                value: Some(TypedValue::int(1)),
+            },
+            SourceOperand {
+                arg: "rs2".into(),
+                arch: RegisterId::x(12),
+                wait_tag: Some(PhysRegTag(3)),
+                value: None,
+            },
         ];
         assert!(!c.sources_ready());
         assert!(!c.wake_up(PhysRegTag(9), TypedValue::int(5)), "wrong tag wakes nothing");

@@ -204,7 +204,8 @@ impl RegisterFile {
     pub fn rollback(&mut self, tag: PhysRegTag, previous: Option<PhysRegTag>) {
         let arch = self.phys[tag.0].arch;
         if self.rat(arch) == Some(tag) {
-            let restored = previous.filter(|p| self.phys[p.0].in_use && self.phys[p.0].arch == arch);
+            let restored =
+                previous.filter(|p| self.phys[p.0].in_use && self.phys[p.0].arch == arch);
             self.set_rat(arch, restored);
         }
         self.release(tag);

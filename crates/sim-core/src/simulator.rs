@@ -140,7 +140,10 @@ impl Simulator {
             fx_window: IssueWindow::new("FX issue window", config.buffers.issue_window_size),
             fp_window: IssueWindow::new("FP issue window", config.buffers.issue_window_size),
             ls_window: IssueWindow::new("L/S issue window", config.buffers.issue_window_size),
-            branch_window: IssueWindow::new("Branch issue window", config.buffers.issue_window_size),
+            branch_window: IssueWindow::new(
+                "Branch issue window",
+                config.buffers.issue_window_size,
+            ),
             fx_units: config
                 .units
                 .fx_units
@@ -172,7 +175,10 @@ impl Simulator {
             mem_issues_this_cycle: 0,
             halted: None,
             main_returned: false,
-            stats: SimulationStatistics { core_clock_hz: config.core_clock_hz, ..Default::default() },
+            stats: SimulationStatistics {
+                core_clock_hz: config.core_clock_hz,
+                ..Default::default()
+            },
             log: DebugLog::new(),
             program_end,
             stack_top,
@@ -211,10 +217,8 @@ impl Simulator {
             .map(|p| p.address + p.size as u64)
             .max()
             .unwrap_or(config.memory.call_stack_size);
-        let mut options = AssemblerOptions {
-            data_base: align_up(user_data_end, 16),
-            ..Default::default()
-        };
+        let mut options =
+            AssemblerOptions { data_base: align_up(user_data_end, 16), ..Default::default() };
         for p in &placed {
             options.extra_symbols.insert(p.name.clone(), p.address as i64);
         }
@@ -321,7 +325,11 @@ impl Simulator {
         s.memory = *self.mem.stats();
         s.unit_utilization = self
             .all_units()
-            .map(|u| UnitUtilization { name: u.name.clone(), busy_cycles: u.busy_cycles, executed: u.executed })
+            .map(|u| UnitUtilization {
+                name: u.name.clone(),
+                busy_cycles: u.busy_cycles,
+                executed: u.executed,
+            })
             .collect();
         s
     }
@@ -469,8 +477,10 @@ impl Simulator {
                     .find(|e| e.id == head)
                     .cloned()
                     .expect("committed store has a buffer entry");
-                let (address, value) =
-                    (entry.address.expect("store address computed"), entry.value.expect("store value ready"));
+                let (address, value) = (
+                    entry.address.expect("store address computed"),
+                    entry.value.expect("store value ready"),
+                );
                 match self.mem.store(address, entry.size, value, cycle) {
                     Ok(tx) => {
                         code.cache_hit = Some(tx.cache_hit);
@@ -609,7 +619,12 @@ impl Simulator {
         code.timestamps.execute = Some(cycle);
     }
 
-    fn finish_branch(&mut self, code: &mut SimCode, descriptor: &InstructionDescriptor, cycle: u64) {
+    fn finish_branch(
+        &mut self,
+        code: &mut SimCode,
+        descriptor: &InstructionDescriptor,
+        cycle: u64,
+    ) {
         let evaluator = Self::evaluator_for(code);
         // Direction.
         let taken = match &descriptor.condition {
@@ -734,15 +749,18 @@ impl Simulator {
 
     /// Record the destination value, write the rename register and wake every
     /// waiting consumer.
-    fn write_dest(&mut self, code: &mut SimCode, value: TypedValue, descriptor: &InstructionDescriptor) {
+    fn write_dest(
+        &mut self,
+        code: &mut SimCode,
+        value: TypedValue,
+        descriptor: &InstructionDescriptor,
+    ) {
         code.result = Some(value);
         let Some(dest) = &code.dest else { return };
         let Some(tag) = dest.tag else { return };
         // Tag the value with the destination's declared data type for display.
-        let data_type = descriptor
-            .argument(&dest.arg)
-            .map(|a| a.data_type)
-            .unwrap_or(value.data_type());
+        let data_type =
+            descriptor.argument(&dest.arg).map(|a| a.data_type).unwrap_or(value.data_type());
         let stored = RegisterValue { bits: value.bits(), data_type };
         self.regs.write_phys(tag, stored);
         let typed = stored.typed();
@@ -811,7 +829,8 @@ impl Simulator {
             let Some(mut code) = self.in_flight.remove(&id) else { continue };
             let descriptor = self.isa.get(&code.mnemonic).cloned().expect("load descriptor");
             let memory = descriptor.memory.expect("load has memory descriptor");
-            let value = convert_loaded(raw_value.bits(), memory.size, memory.sign_extend, memory.data_type);
+            let value =
+                convert_loaded(raw_value.bits(), memory.size, memory.sign_extend, memory.data_type);
             code.loaded_value = Some(value);
             self.write_dest(&mut code, value, &descriptor);
             code.state = InstructionState::Done;
@@ -907,7 +926,12 @@ impl Simulator {
 
     // ----------------------------------------------------------------- issue
 
-    fn latency_for(&self, code: &SimCode, fx: Option<&FxUnitConfig>, fp: Option<&FpUnitConfig>) -> u64 {
+    fn latency_for(
+        &self,
+        code: &SimCode,
+        fx: Option<&FxUnitConfig>,
+        fp: Option<&FpUnitConfig>,
+    ) -> u64 {
         let m = code.mnemonic.as_str();
         if let Some(cfg) = fx {
             return if m.starts_with("mul") {
@@ -923,7 +947,11 @@ impl Simulator {
                 cfg.div_latency
             } else if m.starts_with("fsqrt") {
                 cfg.sqrt_latency
-            } else if m.starts_with("fmadd") || m.starts_with("fmsub") || m.starts_with("fnmadd") || m.starts_with("fnmsub") {
+            } else if m.starts_with("fmadd")
+                || m.starts_with("fmsub")
+                || m.starts_with("fnmadd")
+                || m.starts_with("fnmsub")
+            {
                 cfg.fma_latency
             } else if m.starts_with("fmul") {
                 cfg.mul_latency
@@ -944,10 +972,7 @@ impl Simulator {
             let pick = self.fx_window.iter().find(|id| {
                 self.in_flight
                     .get(id)
-                    .map(|c| {
-                        c.sources_ready()
-                            && (supports_muldiv || !is_mul_div(&c.mnemonic))
-                    })
+                    .map(|c| c.sources_ready() && (supports_muldiv || !is_mul_div(&c.mnemonic)))
                     .unwrap_or(false)
             });
             if let Some(id) = pick {
@@ -1074,7 +1099,12 @@ impl Simulator {
                             OperandRead::Ready(v) => (None, Some(v)),
                             OperandRead::Wait(tag) => (Some(tag), None),
                         };
-                        sources.push(SourceOperand { arg: arg.name.clone(), arch, wait_tag, value });
+                        sources.push(SourceOperand {
+                            arg: arg.name.clone(),
+                            arch,
+                            wait_tag,
+                            value,
+                        });
                     }
                     rvsim_isa::ArgKind::Imm | rvsim_isa::ArgKind::Label => {
                         immediates.push((arg.name.clone(), asm_ins.imm(i).unwrap_or(0)));
@@ -1092,10 +1122,20 @@ impl Simulator {
                 let arch = asm_ins.reg(i).expect("destination operand is a register");
                 match self.regs.rename_dest(arch) {
                     DestRename::Allocated { tag, previous } => {
-                        dest = Some(DestOperand { arg: arg.name.clone(), arch, tag: Some(tag), previous });
+                        dest = Some(DestOperand {
+                            arg: arg.name.clone(),
+                            arch,
+                            tag: Some(tag),
+                            previous,
+                        });
                     }
                     DestRename::Discard => {
-                        dest = Some(DestOperand { arg: arg.name.clone(), arch, tag: None, previous: None });
+                        dest = Some(DestOperand {
+                            arg: arg.name.clone(),
+                            arch,
+                            tag: None,
+                            previous: None,
+                        });
                     }
                     DestRename::Stall => {
                         dest_ok = false;
@@ -1124,7 +1164,12 @@ impl Simulator {
             }
             if let Some(memory) = descriptor.memory {
                 if memory.is_store {
-                    self.store_buffer.push(StoreEntry { id, address: None, size: memory.size, value: None });
+                    self.store_buffer.push(StoreEntry {
+                        id,
+                        address: None,
+                        size: memory.size,
+                        value: None,
+                    });
                 } else {
                     self.load_buffer.push(LoadEntry {
                         id,
@@ -1668,8 +1713,9 @@ mod tests {
                 add  a0, a0, a2
                 ret
         ";
-        let mut sim = Simulator::from_assembly_with_memory(asm, &ArchitectureConfig::default(), settings)
-            .unwrap();
+        let mut sim =
+            Simulator::from_assembly_with_memory(asm, &ArchitectureConfig::default(), settings)
+                .unwrap();
         sim.run(100_000).unwrap();
         assert_eq!(sim.int_register(10), 60);
     }

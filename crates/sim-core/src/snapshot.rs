@@ -117,16 +117,17 @@ impl ProcessorSnapshot {
         };
 
         let rename_map = sim.register_file().rename_map();
-        let register_view = |name: String, value: rvsim_isa::RegisterValue, reg: rvsim_isa::RegisterId| {
-            let rename = rename_map.iter().find(|(r, _, _)| *r == reg);
-            RegisterView {
-                name,
-                value: value.display_value(),
-                bits: value.bits,
-                renamed_to: rename.map(|(_, tag, _)| tag.to_string()),
-                rename_ready: rename.map(|(_, _, ready)| *ready).unwrap_or(false),
-            }
-        };
+        let register_view =
+            |name: String, value: rvsim_isa::RegisterValue, reg: rvsim_isa::RegisterId| {
+                let rename = rename_map.iter().find(|(r, _, _)| *r == reg);
+                RegisterView {
+                    name,
+                    value: value.display_value(),
+                    bits: value.bits,
+                    renamed_to: rename.map(|(_, tag, _)| tag.to_string()),
+                    rename_ready: rename.map(|(_, _, ready)| *ready).unwrap_or(false),
+                }
+            };
 
         let int_registers = (0..32u8)
             .map(|i| {

@@ -184,7 +184,11 @@ mod tests {
         };
         s.dynamic_mix.insert("add".into(), 100);
         s.dynamic_mix.insert("fadd.s".into(), 50);
-        s.unit_utilization.push(UnitUtilization { name: "FX1".into(), busy_cycles: 80, executed: 100 });
+        s.unit_utilization.push(UnitUtilization {
+            name: "FX1".into(),
+            busy_cycles: 80,
+            executed: 100,
+        });
         s
     }
 

@@ -161,7 +161,13 @@ pub struct FunctionalUnit {
 impl FunctionalUnit {
     /// Create an idle unit.
     pub fn new(name: &str) -> Self {
-        FunctionalUnit { name: name.to_string(), current: None, busy_until: 0, busy_cycles: 0, executed: 0 }
+        FunctionalUnit {
+            name: name.to_string(),
+            current: None,
+            busy_until: 0,
+            busy_cycles: 0,
+            executed: 0,
+        }
     }
 
     /// True when the unit can accept a new instruction at `cycle`.

@@ -242,8 +242,7 @@ fn statistics_expose_per_unit_utilization_and_mixes() {
 
 #[test]
 fn wall_time_and_clock_follow_the_configuration() {
-    let mut config = ArchitectureConfig::default();
-    config.core_clock_hz = 1_000_000; // 1 MHz
+    let config = ArchitectureConfig { core_clock_hz: 1_000_000, ..Default::default() }; // 1 MHz
     let sim = run(INDEPENDENT_KERNEL, &config);
     let stats = sim.statistics();
     let expected = stats.cycles as f64 / 1_000_000.0;

@@ -33,7 +33,11 @@ loop:
 fn run(config: &ArchitectureConfig) -> (u64, f64, f64) {
     let mut sim = Simulator::from_assembly(KERNEL, config).expect("kernel assembles");
     sim.run(1_000_000).expect("kernel runs");
-    assert_eq!(sim.int_register(10), 256 + 512 + 768 + 1024, "kernel result must not depend on the architecture");
+    assert_eq!(
+        sim.int_register(10),
+        256 + 512 + 768 + 1024,
+        "kernel result must not depend on the architecture"
+    );
     let stats = sim.statistics();
     (stats.cycles, stats.ipc(), stats.branch_accuracy())
 }
@@ -70,7 +74,11 @@ fn main() {
         let mut config = ArchitectureConfig::default();
         config.predictor.predictor_kind = kind;
         let (cycles, ipc, acc) = run(&config);
-        println!("{:<22} {cycles:>10} {ipc:>8.3} {:>11.1}%", format!("default, {name}"), acc * 100.0);
+        println!(
+            "{:<22} {cycles:>10} {ipc:>8.3} {:>11.1}%",
+            format!("default, {name}"),
+            acc * 100.0
+        );
     }
 
     println!("\nWider machines retire the independent chains in parallel until the");

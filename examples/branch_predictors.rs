@@ -42,8 +42,7 @@ next:
 ";
 
 fn run(kernel: &str, predictor: BranchPredictorConfig) -> (f64, u64, u64) {
-    let mut config = ArchitectureConfig::default();
-    config.predictor = predictor;
+    let config = ArchitectureConfig { predictor, ..Default::default() };
     let mut sim = Simulator::from_assembly(kernel, &config).expect("assembles");
     sim.run(1_000_000).expect("runs");
     let stats = sim.statistics();
@@ -100,7 +99,9 @@ fn main() {
         ),
     ];
 
-    for (kernel_name, kernel) in [("loop kernel", LOOP_KERNEL), ("alternating kernel", ALTERNATING_KERNEL)] {
+    for (kernel_name, kernel) in
+        [("loop kernel", LOOP_KERNEL), ("alternating kernel", ALTERNATING_KERNEL)]
+    {
         println!("\n=== {kernel_name} ===");
         println!("{:<24} {:>10} {:>10} {:>10}", "predictor", "accuracy", "flushes", "cycles");
         println!("{}", "-".repeat(58));

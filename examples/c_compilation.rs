@@ -39,7 +39,9 @@ fn main() {
     println!("{}", "-".repeat(66));
 
     let mut results = Vec::new();
-    for (label, opt) in [("-O0", OptLevel::O0), ("-O1", OptLevel::O1), ("-O2", OptLevel::O2), ("-O3", OptLevel::O3)] {
+    for (label, opt) in
+        [("-O0", OptLevel::O0), ("-O1", OptLevel::O1), ("-O2", OptLevel::O2), ("-O3", OptLevel::O3)]
+    {
         let output = compile(C_SOURCE, opt).expect("C program compiles");
         let asm_lines = output.assembly.lines().filter(|l| !l.trim().is_empty()).count();
         let mut sim = Simulator::from_assembly(&output.assembly, &config).expect("assembles");

@@ -55,8 +55,7 @@ inner:
 ";
 
 fn run(program: &str, cache: CacheConfig) -> (u64, f64) {
-    let mut config = ArchitectureConfig::default();
-    config.cache = cache;
+    let mut config = ArchitectureConfig { cache, ..Default::default() };
     config.memory.timings.load_latency = 20;
     config.memory.timings.store_latency = 20;
     let mut sim = Simulator::from_assembly(program, &config).expect("assembles");
@@ -70,15 +69,30 @@ fn main() {
         ("no cache", CacheConfig { enabled: false, ..CacheConfig::default() }),
         (
             "small: 8 x 32 B direct",
-            CacheConfig { line_count: 8, line_size: 32, associativity: 1, ..CacheConfig::default() },
+            CacheConfig {
+                line_count: 8,
+                line_size: 32,
+                associativity: 1,
+                ..CacheConfig::default()
+            },
         ),
         (
             "medium: 16 x 32 B 2-way",
-            CacheConfig { line_count: 16, line_size: 32, associativity: 2, ..CacheConfig::default() },
+            CacheConfig {
+                line_count: 16,
+                line_size: 32,
+                associativity: 2,
+                ..CacheConfig::default()
+            },
         ),
         (
             "large: 64 x 64 B 4-way",
-            CacheConfig { line_count: 64, line_size: 64, associativity: 4, ..CacheConfig::default() },
+            CacheConfig {
+                line_count: 64,
+                line_size: 64,
+                associativity: 4,
+                ..CacheConfig::default()
+            },
         ),
     ];
 

@@ -93,7 +93,10 @@ fn main() {
     println!("\ncycles:             {}", stats.cycles);
     println!("committed:          {}", stats.committed);
     println!("IPC:                {:.3}", stats.ipc());
-    println!("branch accuracy:    {:.1}% (quicksort's data-dependent branches are hard)", stats.branch_accuracy() * 100.0);
+    println!(
+        "branch accuracy:    {:.1}% (quicksort's data-dependent branches are hard)",
+        stats.branch_accuracy() * 100.0
+    );
     println!("ROB flushes:        {}", stats.rob_flushes);
     println!("cache hit rate:     {:.1}%", stats.cache_hit_rate() * 100.0);
     println!("loads / stores:     {} / {}", stats.loads, stats.stores);

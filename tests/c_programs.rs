@@ -10,10 +10,7 @@ fn run_c(source: &str, opt: OptLevel) -> Simulator {
     let mut sim = Simulator::from_assembly(&output.assembly, &ArchitectureConfig::default())
         .unwrap_or_else(|e| panic!("assembly rejected at {opt:?}: {e}\n{}", output.assembly));
     let result = sim.run(10_000_000).expect("runs");
-    assert!(
-        !matches!(result.halt, HaltReason::MaxCyclesReached),
-        "C program hung at {opt:?}"
-    );
+    assert!(!matches!(result.halt, HaltReason::MaxCyclesReached), "C program hung at {opt:?}");
     sim
 }
 
@@ -29,10 +26,26 @@ fn assert_all_levels(source: &str, expected: i64) {
 }
 
 #[test]
+fn negative_division_by_powers_of_two_truncates_toward_zero() {
+    // Strength reduction must not change results: C's `/` and `%` truncate
+    // toward zero, while bare srai/andi round toward -inf / mask.
+    assert_all_levels(
+        "int main(void) { int x = -7; return x / 2 * 10000 + x % 8 * 100 + x / 1 + 100 / 4; }",
+        -3 * 10000 + -7 * 100 + -7 + 25,
+    );
+}
+
+#[test]
 fn arithmetic_and_precedence() {
     assert_all_levels("int main(void) { return (2 + 3) * 4 - 10 / 2; }", 15);
-    assert_all_levels("int main(void) { int x = 10; return x % 3 + (x << 2) + (x >> 1); }", 1 + 40 + 5);
-    assert_all_levels("int main(void) { int x = 12; int y = 10; return (x & y) | (x ^ y); }", (12 & 10) | (12 ^ 10));
+    assert_all_levels(
+        "int main(void) { int x = 10; return x % 3 + (x << 2) + (x >> 1); }",
+        1 + 40 + 5,
+    );
+    assert_all_levels(
+        "int main(void) { int x = 12; int y = 10; return (x & y) | (x ^ y); }",
+        (12 & 10) | (12 ^ 10),
+    );
     assert_all_levels("int main(void) { return -5 + +7; }", 2);
 }
 
@@ -54,10 +67,7 @@ fn control_flow_and_loops() {
         "int main(void) { int a = 3; int b = 8; if (a < b && b < 10) return 1; else return 2; }",
         1,
     );
-    assert_all_levels(
-        "int main(void) { int a = 3; if (a > 5 || a == 3) return 7; return 0; }",
-        7,
-    );
+    assert_all_levels("int main(void) { int a = 3; if (a > 5 || a == 3) return 7; return 0; }", 7);
 }
 
 #[test]
@@ -220,10 +230,7 @@ int main(void) {
             "{opt:?} committed more instructions than -O0: {committed:?}"
         );
     }
-    assert!(
-        committed[3] < committed[0],
-        "-O3 should clearly beat -O0 ({committed:?})"
-    );
+    assert!(committed[3] < committed[0], "-O3 should clearly beat -O0 ({committed:?})");
 }
 
 #[test]

@@ -1,0 +1,26 @@
+//! Smoke test for the doc-facing entry point: `examples/quickstart.rs` must
+//! keep building and running, because it is the first thing README readers
+//! try.  Driving it through `cargo run --example` also catches manifest rot
+//! (the example disappearing from the workspace layout).
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_builds_and_runs() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--example", "quickstart"])
+        .env("CARGO_TERM_COLOR", "never")
+        .output()
+        .expect("cargo is runnable");
+    assert!(
+        output.status.success(),
+        "quickstart example failed with {:?}\nstdout:\n{}\nstderr:\n{}",
+        output.status.code(),
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("halt: MainReturned"), "unexpected quickstart output:\n{stdout}");
+    assert!(stdout.contains("snapshot JSON size:"), "unexpected quickstart output:\n{stdout}");
+}

@@ -256,7 +256,8 @@ int main(void) {
     return ok;
 }
 "#;
-    let values = vec![9.0, 3.0, 7.0, 1.0, 8.0, 2.0, 6.0, 5.0, 4.0, 0.0, 15.0, 11.0, 13.0, 10.0, 14.0, 12.0];
+    let values =
+        vec![9.0, 3.0, 7.0, 1.0, 8.0, 2.0, 6.0, 5.0, 4.0, 0.0, 15.0, 11.0, 13.0, 10.0, 14.0, 12.0];
     for opt in [OptLevel::O0, OptLevel::O2, OptLevel::O3] {
         let output = compile(c, opt).expect("quicksort compiles");
         let mut memory = MemorySettings::new();

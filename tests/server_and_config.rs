@@ -82,8 +82,7 @@ fn full_client_workflow_compile_create_run_stats() {
 fn architecture_json_export_import_drives_the_simulation() {
     // Export a customized architecture to JSON (the settings window's
     // export), re-import it, and verify the simulation actually uses it.
-    let mut config = ArchitectureConfig::default();
-    config.name = "exported".into();
+    let mut config = ArchitectureConfig { name: "exported".into(), ..Default::default() };
     config.buffers.fetch_width = 1;
     config.buffers.commit_width = 1;
     config.units.fx_units.truncate(1);

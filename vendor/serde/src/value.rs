@@ -1,0 +1,359 @@
+//! The JSON value tree shared by `serde` and `serde_json`.
+
+/// A JSON number: a non-negative integer, a negative integer, or a float.
+#[derive(Clone, Copy)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// Build from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number { n: N::U(v) }
+    }
+
+    /// Build from a signed integer (normalized: non-negative stored unsigned).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number { n: N::U(v as u64) }
+        } else {
+            Number { n: N::I(v) }
+        }
+    }
+
+    /// Build from a float.
+    pub fn from_f64(v: f64) -> Self {
+        Number { n: N::F(v) }
+    }
+
+    /// As `u64` if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::U(v) => Some(v),
+            N::I(_) => None,
+            N::F(_) => None,
+        }
+    }
+
+    /// As `i64` if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::U(v) => i64::try_from(v).ok(),
+            N::I(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// As `f64` (integers convert losslessly within 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::U(v) => Some(v as f64),
+            N::I(v) => Some(v as f64),
+            N::F(v) => Some(v),
+        }
+    }
+
+    /// Whether this number is a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.n, N::F(_))
+    }
+
+    pub(crate) fn to_i128(self) -> Option<i128> {
+        match self.n {
+            N::U(v) => Some(v as i128),
+            N::I(v) => Some(v as i128),
+            N::F(v) if v.fract() == 0.0 && v.abs() < 9e18 => Some(v as i128),
+            N::F(_) => None,
+        }
+    }
+
+    /// Render exactly as serde_json would (integers bare, floats with `.0`).
+    pub(crate) fn render(&self) -> String {
+        match self.n {
+            N::U(v) => v.to_string(),
+            N::I(v) => v.to_string(),
+            // Rust's Debug for floats is shortest-round-trip, like ryu, and
+            // keeps a trailing `.0` on integral values.
+            N::F(v) => format!("{v:?}"),
+        }
+    }
+}
+
+impl std::fmt::Debug for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.n, other.n) {
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(_), _) | (_, N::F(_)) => false,
+            _ => self.to_i128() == other.to_i128(),
+        }
+    }
+}
+
+/// An insertion-ordered string-keyed map (serde_json's `Map` stand-in).
+#[derive(Clone, Debug, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map { entries: Vec::new() }
+    }
+
+    /// Insert, replacing any existing entry with the same key.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        if let Some(slot) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(std::mem::replace(&mut slot.1, value))
+        } else {
+            self.entries.push((key, value));
+            None
+        }
+    }
+
+    /// Look up by key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Whether the key is present.
+    pub fn contains_key(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Keys in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &String> {
+        self.entries.iter().map(|(k, _)| k)
+    }
+
+    /// Values in insertion order.
+    pub fn values(&self) -> impl Iterator<Item = &Value> {
+        self.entries.iter().map(|(_, v)| v)
+    }
+}
+
+impl PartialEq for Map {
+    fn eq(&self, other: &Self) -> bool {
+        // Key order is serialization detail, not identity.
+        self.len() == other.len()
+            && self.iter().all(|(k, v)| other.get(k).is_some_and(|ov| ov == v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Self {
+        let mut map = Map::new();
+        for (k, v) in iter {
+            map.insert(k, v);
+        }
+        map
+    }
+}
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object.
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_number(&self) -> Option<&Number> {
+        match self {
+            Value::Number(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_number().and_then(Number::as_u64)
+    }
+
+    /// The value as an `i64`, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number().and_then(Number::as_i64)
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().and_then(Number::as_f64)
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Object-field access that returns `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! impl_value_eq_num {
+    ($($t:ty => $build:expr),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                #[allow(clippy::redundant_closure_call)]
+                self.as_number().is_some_and(|n| *n == ($build)(*other))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+impl_value_eq_num! {
+    i32 => |v: i32| Number::from_i64(v as i64),
+    i64 => Number::from_i64,
+    u32 => |v: u32| Number::from_u64(v as u64),
+    u64 => Number::from_u64,
+    usize => |v: usize| Number::from_u64(v as u64),
+    f64 => Number::from_f64
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other == self
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_string())
+    }
+}
+
+macro_rules! impl_value_from_num {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Self {
+                crate::Serialize::to_value(&v)
+            }
+        }
+    )*};
+}
+
+impl_value_from_num!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);

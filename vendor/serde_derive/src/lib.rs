@@ -1,0 +1,752 @@
+//! Vendored minimal `serde_derive` stand-in.
+//!
+//! Generates impls of the vendored `serde::Serialize` / `serde::Deserialize`
+//! traits (which convert through a JSON `Value` tree rather than through
+//! serde's serializer abstraction).  The parser is hand-rolled over
+//! `proc_macro::TokenTree` — `syn`/`quote` are not available offline — and
+//! supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (including one generic type parameter),
+//! * newtype / tuple structs,
+//! * enums with unit, newtype, tuple and struct variants,
+//! * externally tagged (default) and internally tagged (`#[serde(tag = ..)]`)
+//!   enum representations,
+//! * field/variant attributes: `rename`, `rename_all`, `default`,
+//!   `default = "path"`, `skip`, `skip_serializing_if = "path"`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Simplified token model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+    Lit(String),
+    Group(char, Vec<Tok>),
+}
+
+fn lower(stream: TokenStream, out: &mut Vec<Tok>) {
+    for tree in stream {
+        match tree {
+            TokenTree::Ident(i) => out.push(Tok::Ident(i.to_string())),
+            TokenTree::Punct(p) => out.push(Tok::Punct(p.as_char())),
+            TokenTree::Literal(l) => out.push(Tok::Lit(l.to_string())),
+            TokenTree::Group(g) => match g.delimiter() {
+                Delimiter::None => lower(g.stream(), out),
+                d => {
+                    let c = match d {
+                        Delimiter::Parenthesis => '(',
+                        Delimiter::Brace => '{',
+                        Delimiter::Bracket => '[',
+                        Delimiter::None => unreachable!(),
+                    };
+                    let mut inner = Vec::new();
+                    lower(g.stream(), &mut inner);
+                    out.push(Tok::Group(c, inner));
+                }
+            },
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    let s = lit.trim();
+    let s = s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(s);
+    // The paths/names used in this workspace need no escape handling beyond \\ and \".
+    s.replace("\\\"", "\"").replace("\\\\", "\\")
+}
+
+// ---------------------------------------------------------------------------
+// Parsed shapes
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Debug, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: bool,
+    default_path: Option<String>,
+    skip: bool,
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String, // empty for tuple fields
+    attrs: SerdeAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Body {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Input {
+    attrs: SerdeAttrs,
+    name: String,
+    generics: Vec<String>,
+    body: Body,
+}
+
+struct Cursor<'a> {
+    toks: &'a [Tok],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(toks: &'a [Tok]) -> Self {
+        Cursor { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&'a Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Tok> {
+        let t = self.toks.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn eat_punct(&mut self, c: char) -> bool {
+        if matches!(self.peek(), Some(Tok::Punct(p)) if *p == c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_ident(&mut self, s: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(i)) if i == s) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parse a run of `#[...]` attributes, folding `serde(...)` contents.
+    fn parse_attrs(&mut self) -> SerdeAttrs {
+        let mut attrs = SerdeAttrs::default();
+        while matches!(self.peek(), Some(Tok::Punct('#'))) {
+            self.pos += 1;
+            let Some(Tok::Group('[', inner)) = self.next() else { continue };
+            if let Some(Tok::Ident(name)) = inner.first() {
+                if name == "serde" {
+                    if let Some(Tok::Group('(', args)) = inner.get(1) {
+                        parse_serde_args(args, &mut attrs);
+                    }
+                }
+            }
+        }
+        attrs
+    }
+
+    /// Skip a `pub` / `pub(crate)` visibility marker.
+    fn skip_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(Tok::Group('(', _)) = self.peek() {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skip type tokens until a top-level comma (angle-bracket aware).
+    fn skip_type(&mut self) {
+        let mut angle = 0i32;
+        while let Some(t) = self.peek() {
+            match t {
+                Tok::Punct('<') => angle += 1,
+                Tok::Punct('>') => angle -= 1,
+                Tok::Punct(',') if angle == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_serde_args(args: &[Tok], attrs: &mut SerdeAttrs) {
+    let mut c = Cursor::new(args);
+    while let Some(tok) = c.next() {
+        let Tok::Ident(key) = tok else { continue };
+        let value = if c.eat_punct('=') {
+            match c.next() {
+                Some(Tok::Lit(l)) => Some(unquote(l)),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("default", Some(v)) => attrs.default_path = Some(v),
+            ("default", None) => attrs.default = true,
+            ("skip", None) => attrs.skip = true,
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            _ => {}
+        }
+        c.eat_punct(',');
+    }
+}
+
+fn parse_named_fields(toks: &[Tok]) -> Vec<Field> {
+    let mut c = Cursor::new(toks);
+    let mut fields = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.parse_attrs();
+        c.skip_vis();
+        let Some(Tok::Ident(name)) = c.next() else { break };
+        if !c.eat_punct(':') {
+            break;
+        }
+        c.skip_type();
+        c.eat_punct(',');
+        fields.push(Field { name: name.clone(), attrs });
+    }
+    fields
+}
+
+fn parse_tuple_arity(toks: &[Tok]) -> usize {
+    let mut c = Cursor::new(toks);
+    let mut arity = 0;
+    while c.peek().is_some() {
+        let _ = c.parse_attrs();
+        c.skip_vis();
+        c.skip_type();
+        c.eat_punct(',');
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(toks: &[Tok]) -> Vec<Variant> {
+    let mut c = Cursor::new(toks);
+    let mut variants = Vec::new();
+    while c.peek().is_some() {
+        let attrs = c.parse_attrs();
+        let Some(Tok::Ident(name)) = c.next() else { break };
+        let kind = match c.peek() {
+            Some(Tok::Group('(', inner)) => {
+                let arity = parse_tuple_arity(inner);
+                c.pos += 1;
+                VariantKind::Tuple(arity)
+            }
+            Some(Tok::Group('{', inner)) => {
+                let fields = parse_named_fields(inner);
+                c.pos += 1;
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if c.eat_punct('=') {
+            // Skip an explicit discriminant expression.
+            while let Some(t) = c.peek() {
+                if matches!(t, Tok::Punct(',')) {
+                    break;
+                }
+                c.pos += 1;
+            }
+        }
+        c.eat_punct(',');
+        variants.push(Variant { name: name.clone(), attrs, kind });
+    }
+    variants
+}
+
+fn parse_input(stream: TokenStream) -> Input {
+    let mut toks = Vec::new();
+    lower(stream, &mut toks);
+    let mut c = Cursor::new(&toks);
+    let attrs = c.parse_attrs();
+    c.skip_vis();
+    let is_enum = if c.eat_ident("struct") {
+        false
+    } else if c.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde derive: expected struct or enum");
+    };
+    let Some(Tok::Ident(name)) = c.next() else { panic!("serde derive: expected type name") };
+    let name = name.clone();
+
+    let mut generics = Vec::new();
+    if c.eat_punct('<') {
+        let mut depth = 1;
+        let mut expect_param = true;
+        while depth > 0 {
+            match c.next() {
+                Some(Tok::Punct('<')) => depth += 1,
+                Some(Tok::Punct('>')) => depth -= 1,
+                Some(Tok::Punct(',')) if depth == 1 => expect_param = true,
+                Some(Tok::Ident(id)) if depth == 1 && expect_param => {
+                    generics.push(id.clone());
+                    expect_param = false;
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+
+    let body = if is_enum {
+        let Some(Tok::Group('{', inner)) = c.next() else {
+            panic!("serde derive: expected enum body")
+        };
+        Body::Enum(parse_variants(inner))
+    } else {
+        match c.next() {
+            Some(Tok::Group('{', inner)) => Body::NamedStruct(parse_named_fields(inner)),
+            Some(Tok::Group('(', inner)) => Body::TupleStruct(parse_tuple_arity(inner)),
+            _ => panic!("serde derive: unsupported struct shape"),
+        }
+    };
+
+    Input { attrs, name, generics, body }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen helpers
+// ---------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(ch.to_ascii_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn camel_case(name: &str) -> String {
+    // lowerCamelCase from UpperCamelCase or snake_case.
+    let mut out = String::new();
+    let mut upper_next = false;
+    for (i, ch) in name.chars().enumerate() {
+        if ch == '_' {
+            upper_next = true;
+        } else if i == 0 {
+            out.push(ch.to_ascii_lowercase());
+        } else if upper_next {
+            out.push(ch.to_ascii_uppercase());
+            upper_next = false;
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+fn apply_rename_all(rule: &str, name: &str) -> String {
+    match rule {
+        "snake_case" => snake_case(name),
+        "camelCase" => camel_case(name),
+        "lowercase" => name.to_ascii_lowercase(),
+        "UPPERCASE" => name.to_ascii_uppercase(),
+        "kebab-case" => snake_case(name).replace('_', "-"),
+        "SCREAMING_SNAKE_CASE" => snake_case(name).to_ascii_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+fn variant_key(container: &SerdeAttrs, v: &Variant) -> String {
+    if let Some(r) = &v.attrs.rename {
+        return r.clone();
+    }
+    match &container.rename_all {
+        Some(rule) => apply_rename_all(rule, &v.name),
+        None => v.name.clone(),
+    }
+}
+
+fn field_key(f: &Field) -> String {
+    f.attrs.rename.clone().unwrap_or_else(|| f.name.clone())
+}
+
+fn impl_header(input: &Input, trait_name: &str) -> String {
+    if input.generics.is_empty() {
+        format!("impl serde::{t} for {n}", t = trait_name, n = input.name)
+    } else {
+        let params = input.generics.join(", ");
+        let bounds = input
+            .generics
+            .iter()
+            .map(|g| format!("{g}: serde::{trait_name}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("impl<{bounds}> serde::{trait_name} for {n}<{params}>", n = input.name)
+    }
+}
+
+/// Serialization statements for named fields; `access` maps a field name to
+/// an expression of type `&FieldTy` (e.g. `&self.f` or a match binding).
+fn ser_named_fields(fields: &[Field], map_var: &str, access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        if f.attrs.skip {
+            continue;
+        }
+        let key = field_key(f);
+        let expr = access(&f.name);
+        let insert =
+            format!("{map_var}.insert({key:?}.to_string(), serde::Serialize::to_value({expr}));\n");
+        if let Some(pred) = &f.attrs.skip_serializing_if {
+            out.push_str(&format!("if !{pred}({expr}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+        }
+    }
+    out
+}
+
+/// `field: <parse expr>,` initializers for named fields read from `obj_var`
+/// (an expression of type `&serde::Map`).
+fn de_named_fields(type_name: &str, fields: &[Field], obj_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let missing = if f.attrs.skip {
+            // Never read skipped fields.
+            out.push_str(&format!("{f}: ::std::default::Default::default(),\n", f = f.name));
+            continue;
+        } else if let Some(path) = &f.attrs.default_path {
+            format!("{path}()")
+        } else if f.attrs.default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(serde::Error::custom(\
+                 \"missing field `{key}` in {type_name}\"))"
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match {obj_var}.get({key:?}) {{\n\
+               ::std::option::Option::Some(__x) => serde::Deserialize::from_value(__x)?,\n\
+               ::std::option::Option::None => {missing},\n\
+             }},\n",
+            name = f.name,
+        ));
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Serialize derive
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inserts = ser_named_fields(fields, "__m", |f| format!("&self.{f}"));
+            format!("let mut __m = serde::Map::new();\n{inserts}serde::Value::Object(__m)")
+        }
+        Body::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("serde::Value::Array(vec![{items}])")
+        }
+        Body::Enum(variants) => gen_serialize_enum(input, variants),
+    };
+    format!(
+        "{header} {{\n fn to_value(&self) -> serde::Value {{\n{body}\n}}\n}}\n",
+        header = impl_header(input, "Serialize")
+    )
+}
+
+fn gen_serialize_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let tag = input.attrs.tag.as_deref();
+    let mut arms = String::new();
+    for v in variants {
+        let key = variant_key(&input.attrs, v);
+        let arm = match (&v.kind, tag) {
+            (VariantKind::Unit, None) => {
+                format!("{name}::{v} => serde::Value::String({key:?}.to_string()),\n", v = v.name)
+            }
+            (VariantKind::Unit, Some(t)) => format!(
+                "{name}::{v} => {{\n\
+                   let mut __m = serde::Map::new();\n\
+                   __m.insert({t:?}.to_string(), serde::Value::String({key:?}.to_string()));\n\
+                   serde::Value::Object(__m)\n\
+                 }}\n",
+                v = v.name
+            ),
+            (VariantKind::Tuple(1), None) => format!(
+                "{name}::{v}(__f0) => {{\n\
+                   let mut __m = serde::Map::new();\n\
+                   __m.insert({key:?}.to_string(), serde::Serialize::to_value(__f0));\n\
+                   serde::Value::Object(__m)\n\
+                 }}\n",
+                v = v.name
+            ),
+            (VariantKind::Tuple(1), Some(t)) => format!(
+                "{name}::{v}(__f0) => {{\n\
+                   let mut __m = serde::Map::new();\n\
+                   __m.insert({t:?}.to_string(), serde::Value::String({key:?}.to_string()));\n\
+                   if let serde::Value::Object(__inner) = serde::Serialize::to_value(__f0) {{\n\
+                       for (__k, __val) in __inner.iter() {{\n\
+                           if __k != {t:?} {{ __m.insert(__k.clone(), __val.clone()); }}\n\
+                       }}\n\
+                   }}\n\
+                   serde::Value::Object(__m)\n\
+                 }}\n",
+                v = v.name
+            ),
+            (VariantKind::Tuple(n), _) => {
+                let binds = (0..*n).map(|i| format!("__f{i}")).collect::<Vec<_>>().join(", ");
+                let items = (0..*n)
+                    .map(|i| format!("serde::Serialize::to_value(__f{i})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!(
+                    "{name}::{v}({binds}) => {{\n\
+                       let mut __m = serde::Map::new();\n\
+                       __m.insert({key:?}.to_string(), serde::Value::Array(vec![{items}]));\n\
+                       serde::Value::Object(__m)\n\
+                     }}\n",
+                    v = v.name
+                )
+            }
+            (VariantKind::Struct(fields), repr) => {
+                let binds = fields
+                    .iter()
+                    .map(|f| format!("{n}: __b_{n}", n = f.name))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let inserts = ser_named_fields(fields, "__fm", |f| format!("__b_{f}"));
+                match repr {
+                    None => format!(
+                        "{name}::{v} {{ {binds} }} => {{\n\
+                           let mut __fm = serde::Map::new();\n{inserts}\
+                           let mut __m = serde::Map::new();\n\
+                           __m.insert({key:?}.to_string(), serde::Value::Object(__fm));\n\
+                           serde::Value::Object(__m)\n\
+                         }}\n",
+                        v = v.name
+                    ),
+                    Some(t) => format!(
+                        "{name}::{v} {{ {binds} }} => {{\n\
+                           let mut __fm = serde::Map::new();\n\
+                           __fm.insert({t:?}.to_string(), serde::Value::String({key:?}.to_string()));\n{inserts}\
+                           serde::Value::Object(__fm)\n\
+                         }}\n",
+                        v = v.name
+                    ),
+                }
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize derive
+// ---------------------------------------------------------------------------
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.body {
+        Body::NamedStruct(fields) => {
+            let inits = de_named_fields(name, fields, "__o");
+            format!(
+                "let __o = __v.as_object().ok_or_else(|| serde::Error::custom(\
+                 \"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{inits}}})"
+            )
+        }
+        Body::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Body::TupleStruct(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "let __a = __v.as_array().ok_or_else(|| serde::Error::custom(\
+                 \"expected array for {name}\"))?;\n\
+                 if __a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(serde::Error::custom(\
+                     \"wrong tuple length for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))"
+            )
+        }
+        Body::Enum(variants) => match input.attrs.tag.as_deref() {
+            Some(tag) => gen_deserialize_enum_tagged(input, variants, tag),
+            None => gen_deserialize_enum_external(input, variants),
+        },
+    };
+    format!(
+        "{header} {{\n fn from_value(__v: &serde::Value) \
+         -> ::std::result::Result<Self, serde::Error> {{\n{body}\n}}\n}}\n",
+        header = impl_header(input, "Deserialize")
+    )
+}
+
+fn de_variant_from_inner(name: &str, v: &Variant, inner: &str) -> String {
+    match &v.kind {
+        VariantKind::Unit => format!("::std::result::Result::Ok({name}::{v})", v = v.name),
+        VariantKind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}::{v}(serde::Deserialize::from_value({inner})?))",
+            v = v.name
+        ),
+        VariantKind::Tuple(n) => {
+            let items = (0..*n)
+                .map(|i| format!("serde::Deserialize::from_value(&__a[{i}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "{{\n\
+                   let __a = {inner}.as_array().ok_or_else(|| serde::Error::custom(\
+                   \"expected array for {name}::{v}\"))?;\n\
+                   if __a.len() != {n} {{\n\
+                       return ::std::result::Result::Err(serde::Error::custom(\
+                       \"wrong tuple length for {name}::{v}\"));\n\
+                   }}\n\
+                   ::std::result::Result::Ok({name}::{v}({items}))\n\
+                 }}",
+                v = v.name
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let inits = de_named_fields(name, fields, "__fo");
+            format!(
+                "{{\n\
+                   let __fo = {inner}.as_object().ok_or_else(|| serde::Error::custom(\
+                   \"expected object for {name}::{v}\"))?;\n\
+                   ::std::result::Result::Ok({name}::{v} {{\n{inits}}})\n\
+                 }}",
+                v = v.name
+            )
+        }
+    }
+}
+
+fn gen_deserialize_enum_external(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let key = variant_key(&input.attrs, v);
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                v = v.name
+            )),
+            _ => data_arms.push_str(&format!(
+                "{key:?} => {arm},\n",
+                arm = de_variant_from_inner(name, v, "__inner")
+            )),
+        }
+    }
+    format!(
+        "match __v {{\n\
+           serde::Value::String(__s) => match __s.as_str() {{\n{unit_arms}\
+             __other => ::std::result::Result::Err(serde::Error::custom(format!(\
+             \"unknown {name} variant `{{__other}}`\"))),\n\
+           }},\n\
+           serde::Value::Object(__o) if __o.len() == 1 => {{\n\
+             let (__k, __inner) = __o.iter().next().unwrap();\n\
+             match __k.as_str() {{\n{data_arms}\
+               __other => ::std::result::Result::Err(serde::Error::custom(format!(\
+               \"unknown {name} variant `{{__other}}`\"))),\n\
+             }}\n\
+           }}\n\
+           _ => ::std::result::Result::Err(serde::Error::custom(\
+           \"expected string or single-key object for {name}\")),\n\
+         }}"
+    )
+}
+
+fn gen_deserialize_enum_tagged(input: &Input, variants: &[Variant], tag: &str) -> String {
+    let name = &input.name;
+    let mut arms = String::new();
+    for v in variants {
+        let key = variant_key(&input.attrs, v);
+        let arm = match &v.kind {
+            VariantKind::Unit => {
+                format!("{key:?} => ::std::result::Result::Ok({name}::{v}),\n", v = v.name)
+            }
+            // Newtype: the inner type re-parses the whole (tagged) object.
+            VariantKind::Tuple(1) => format!(
+                "{key:?} => ::std::result::Result::Ok({name}::{v}(\
+                 serde::Deserialize::from_value(__v)?)),\n",
+                v = v.name
+            ),
+            VariantKind::Struct(fields) => {
+                let inits = de_named_fields(name, fields, "__o");
+                format!(
+                    "{key:?} => ::std::result::Result::Ok({name}::{v} {{\n{inits}}}),\n",
+                    v = v.name
+                )
+            }
+            VariantKind::Tuple(_) => {
+                panic!("serde derive: internally tagged multi-field tuple variants are unsupported")
+            }
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "let __o = __v.as_object().ok_or_else(|| serde::Error::custom(\
+         \"expected object for {name}\"))?;\n\
+         let __tag = __o.get({tag:?}).and_then(|t| t.as_str()).ok_or_else(|| \
+         serde::Error::custom(\"missing `{tag}` tag for {name}\"))?;\n\
+         match __tag {{\n{arms}\
+           __other => ::std::result::Result::Err(serde::Error::custom(format!(\
+           \"unknown {name} variant `{{__other}}`\"))),\n\
+         }}"
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_serialize(&parsed);
+    code.parse().unwrap_or_else(|e| panic!("serde derive produced invalid code: {e}\n{code}"))
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = gen_deserialize(&parsed);
+    code.parse().unwrap_or_else(|e| panic!("serde derive produced invalid code: {e}\n{code}"))
+}
