@@ -1,0 +1,71 @@
+//! Reference-ISS vs pipeline throughput comparison.
+//!
+//! The in-order interpreter in `rvsim-iss` exists for verification, but — as
+//! GVSoC demonstrates for fast platform simulation — a plain interpreter also
+//! doubles as the throughput ceiling a cycle-level model can be measured
+//! against.  This bench reports retired instructions per host second for
+//! both models on the same workloads, so pipeline slowdowns show up as a
+//! ratio against the ISS baseline rather than as an absolute number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvsim_bench::{program_arithmetic, program_memory, program_mixed};
+use rvsim_core::{ArchitectureConfig, Simulator};
+use rvsim_iss::{generate_program, GenOptions, Iss};
+use std::hint::black_box;
+
+const BUDGET: u64 = 10_000_000;
+
+fn workloads() -> Vec<(&'static str, String)> {
+    vec![
+        ("arithmetic", program_arithmetic()),
+        ("memory", program_memory()),
+        ("mixed", program_mixed()),
+        ("generated", generate_program(42, &GenOptions::default())),
+    ]
+}
+
+fn bench_retired_per_second(c: &mut Criterion) {
+    let config = ArchitectureConfig::default();
+    let mut group = c.benchmark_group("retired_instructions_per_second");
+
+    for (label, program) in workloads() {
+        // Both models retire the same instruction stream; use the ISS count
+        // as the per-iteration element count.
+        let mut probe = Iss::from_assembly(&program, &config).expect("assembles");
+        let retired = probe.run(BUDGET).retired;
+        group.throughput(Throughput::Elements(retired));
+
+        group.bench_with_input(BenchmarkId::new("iss", label), &program, |b, program| {
+            b.iter(|| {
+                let mut iss = Iss::from_assembly(program, &config).expect("assembles");
+                black_box(iss.run(BUDGET).retired)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", label), &program, |b, program| {
+            b.iter(|| {
+                let mut sim = Simulator::from_assembly(program, &config).expect("assembles");
+                sim.run(BUDGET).expect("runs");
+                black_box(sim.statistics().committed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_cosim_harness(c: &mut Criterion) {
+    // End-to-end cost of one differential co-simulation (generate + both
+    // models + lockstep diff): what a CI batch pays per program.
+    let harness = rvsim_iss::Cosim::new(ArchitectureConfig::default());
+    let gen = GenOptions::default();
+    c.bench_function("cosim_one_random_program", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let source = generate_program(seed, &gen);
+            black_box(harness.run_source(&source).expect("co-simulates"))
+        });
+    });
+}
+
+criterion_group!(benches, bench_retired_per_second, bench_cosim_harness);
+criterion_main!(benches);

@@ -136,6 +136,273 @@ fn parse_u64(text: &str) -> Option<u64> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `cosim` subcommand: differential co-simulation against the reference ISS.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `cosim` subcommand.
+pub const COSIM_USAGE: &str = "\
+rvsim-cli cosim — differential co-simulation of random programs
+               (superscalar pipeline vs in-order reference ISS)
+
+USAGE:
+    rvsim-cli cosim [OPTIONS]
+
+OPTIONS:
+    --programs <N>          random programs to co-simulate (default 200)
+    --seed <N>              batch seed; each program's own seed is derived
+                            from it and printed on divergence (default 42)
+    --program-seed <N>      replay ONE program from the per-program generator
+                            seed a divergence report printed (bypasses the
+                            batch-seed derivation; --programs is ignored)
+    --arch <FILE>           architecture description in JSON
+    --instructions <N>      random items per loop body (default 32; use the
+                            value printed in the report when replaying)
+    --max-cycles <N>        pipeline cycle budget per program (default 200000)
+    --format <text|json>    output format (default text)
+    --inject-fault <M[:X]>  deliberately corrupt ISS results for mnemonic M
+                            (XOR destination bits with hex X, default 1) to
+                            demonstrate that divergences are caught
+    --help                  show this help
+
+Exit status is 1 when any divergence (or generator error) is found, when a
+replayed program is inconclusive, or when a batch matches nothing; the
+report contains a shrunk minimal reproducer per divergence.
+";
+
+/// Parsed options of the `cosim` subcommand.
+#[derive(Debug, Clone)]
+pub struct CosimCliOptions {
+    /// Number of random programs.
+    pub programs: usize,
+    /// Batch seed.
+    pub seed: u64,
+    /// Replay a single program directly from its generator seed (as printed
+    /// in a divergence report) instead of running a batch.
+    pub program_seed: Option<u64>,
+    /// Path to the architecture JSON (optional).
+    pub arch_path: Option<String>,
+    /// Random items per generated loop body.
+    pub instructions: usize,
+    /// Pipeline cycle budget per program.
+    pub max_cycles: u64,
+    /// Output format.
+    pub format: OutputFormat,
+    /// Deliberate ISS fault: `mnemonic[:xor-bits-hex]`.
+    pub inject_fault: Option<String>,
+}
+
+impl Default for CosimCliOptions {
+    fn default() -> Self {
+        CosimCliOptions {
+            programs: 200,
+            seed: 42,
+            program_seed: None,
+            arch_path: None,
+            instructions: 32,
+            max_cycles: 200_000,
+            format: OutputFormat::Text,
+            inject_fault: None,
+        }
+    }
+}
+
+impl CosimCliOptions {
+    /// Parse the arguments following the `cosim` subcommand word.
+    pub fn parse(args: &[String]) -> Result<CosimCliOptions, String> {
+        let mut options = CosimCliOptions::default();
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--programs" => {
+                    let v = value(&mut i, "--programs")?;
+                    options.programs =
+                        v.parse().map_err(|_| format!("invalid program count `{v}`"))?;
+                }
+                "--seed" => {
+                    let v = value(&mut i, "--seed")?;
+                    options.seed = parse_u64(&v).ok_or_else(|| format!("invalid seed `{v}`"))?;
+                }
+                "--program-seed" => {
+                    let v = value(&mut i, "--program-seed")?;
+                    options.program_seed =
+                        Some(parse_u64(&v).ok_or_else(|| format!("invalid seed `{v}`"))?);
+                }
+                "--arch" => options.arch_path = Some(value(&mut i, "--arch")?),
+                "--instructions" => {
+                    let v = value(&mut i, "--instructions")?;
+                    options.instructions =
+                        v.parse().map_err(|_| format!("invalid instruction count `{v}`"))?;
+                }
+                "--max-cycles" => {
+                    let v = value(&mut i, "--max-cycles")?;
+                    options.max_cycles =
+                        v.parse().map_err(|_| format!("invalid cycle budget `{v}`"))?;
+                }
+                "--format" => {
+                    let v = value(&mut i, "--format")?;
+                    options.format = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                }
+                "--inject-fault" => options.inject_fault = Some(value(&mut i, "--inject-fault")?),
+                "--help" | "-h" => return Err(COSIM_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{COSIM_USAGE}")),
+            }
+            i += 1;
+        }
+        if options.programs == 0 {
+            return Err("--programs must be at least 1".to_string());
+        }
+        Ok(options)
+    }
+}
+
+fn parse_fault(spec: &str) -> Result<rvsim_iss::InjectedFault, String> {
+    let (mnemonic, bits) = match spec.split_once(':') {
+        Some((m, x)) => {
+            let hex = x.trim().trim_start_matches("0x");
+            let bits = u64::from_str_radix(hex, 16)
+                .map_err(|_| format!("invalid fault bits `{x}` (expected hex)"))?;
+            (m, bits)
+        }
+        None => (spec, 1),
+    };
+    if mnemonic.trim().is_empty() {
+        return Err("fault mnemonic must not be empty".to_string());
+    }
+    Ok(rvsim_iss::InjectedFault { mnemonic: mnemonic.trim().to_string(), xor_bits: bits })
+}
+
+/// Run the `cosim` subcommand.  Returns the report text; divergences (and
+/// generator errors) are returned as `Err` so the binary exits non-zero.
+pub fn run_cosim(options: &CosimCliOptions) -> Result<String, String> {
+    let config = match &options.arch_path {
+        Some(path) => {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            ArchitectureConfig::from_json(&json)?
+        }
+        None => ArchitectureConfig::default(),
+    };
+    let mut harness = rvsim_iss::Cosim::new(config);
+    harness.max_cycles = options.max_cycles;
+    harness.max_steps = options.max_cycles;
+    if let Some(spec) = &options.inject_fault {
+        harness.fault = Some(parse_fault(spec)?);
+    }
+    let gen =
+        rvsim_iss::GenOptions { body_instructions: options.instructions, ..Default::default() };
+
+    // Replay mode: one exact program from a printed per-program seed.
+    if let Some(program_seed) = options.program_seed {
+        return run_cosim_replay(&harness, program_seed, &gen, options.format);
+    }
+
+    let report = harness.run_batch(options.seed, options.programs, &gen);
+
+    let text = match options.format {
+        OutputFormat::Text => {
+            let mut out = report.render_text();
+            if !out.ends_with('\n') {
+                out.push('\n');
+            }
+            out
+        }
+        OutputFormat::Json => {
+            let mut out = serde_json::to_string_pretty(&report).expect("batch report serializes");
+            out.push('\n');
+            out
+        }
+    };
+    // A batch that matched nothing (every program inconclusive) provides no
+    // differential coverage; fail loudly instead of letting CI go green.
+    if report.divergences.is_empty() && report.errors.is_empty() && report.matched > 0 {
+        Ok(text)
+    } else {
+        Err(text)
+    }
+}
+
+fn run_cosim_replay(
+    harness: &rvsim_iss::Cosim,
+    program_seed: u64,
+    gen: &rvsim_iss::GenOptions,
+    format: OutputFormat,
+) -> Result<String, String> {
+    let source = rvsim_iss::generate_program(program_seed, gen);
+    let outcome = harness.run_source(&source)?;
+
+    // Shrink first so both output formats can include the reproducer.
+    let shrunk = match &outcome {
+        rvsim_iss::CosimOutcome::Divergence(divergence) => Some(
+            harness.shrink(&source).unwrap_or_else(|| (source.clone(), (**divergence).clone())),
+        ),
+        _ => None,
+    };
+
+    let text = match format {
+        OutputFormat::Json => {
+            let value = match &outcome {
+                rvsim_iss::CosimOutcome::Match { retired } => serde_json::json!({
+                    "mode": "replay",
+                    "program_seed": program_seed,
+                    "outcome": "match",
+                    "retired": retired,
+                }),
+                rvsim_iss::CosimOutcome::Inconclusive { reason } => serde_json::json!({
+                    "mode": "replay",
+                    "program_seed": program_seed,
+                    "outcome": "inconclusive",
+                    "reason": reason,
+                }),
+                rvsim_iss::CosimOutcome::Divergence(divergence) => {
+                    let (shrunk_program, shrunk_div) = shrunk.as_ref().expect("shrunk above");
+                    serde_json::json!({
+                        "mode": "replay",
+                        "program_seed": program_seed,
+                        "outcome": "divergence",
+                        "divergence": divergence,
+                        "shrunk_program": shrunk_program,
+                        "shrunk_summary": shrunk_div.summary,
+                    })
+                }
+            };
+            let mut out = serde_json::to_string_pretty(&value).expect("replay report serializes");
+            out.push('\n');
+            out
+        }
+        OutputFormat::Text => match &outcome {
+            rvsim_iss::CosimOutcome::Match { retired } => format!(
+                "cosim replay: program seed {program_seed} matches ({retired} instructions \
+                 co-verified)\n"
+            ),
+            rvsim_iss::CosimOutcome::Inconclusive { reason } => format!(
+                "cosim replay: program seed {program_seed} inconclusive: {reason} \
+                 (raise --max-cycles)\n"
+            ),
+            rvsim_iss::CosimOutcome::Divergence(divergence) => {
+                let (shrunk_program, shrunk_div) = shrunk.as_ref().expect("shrunk above");
+                format!(
+                    "cosim replay: program seed {program_seed} diverges:\n{}\n\
+                     --- shrunk reproducer ({}) ---\n{}",
+                    divergence.report, shrunk_div.summary, shrunk_program
+                )
+            }
+        },
+    };
+    match outcome {
+        rvsim_iss::CosimOutcome::Match { .. } => Ok(text),
+        _ => Err(text),
+    }
+}
+
 /// Run the CLI against already-loaded inputs (program source + optional
 /// architecture JSON + optional memory CSV).  Returns the report text.
 pub fn run_with_sources(
@@ -384,6 +651,126 @@ main:
         assert!(out.contains("--- memory dump ---"));
         assert!(out.contains("--- debug log ---"));
         assert!(out.contains("simulation finished"));
+    }
+
+    #[test]
+    fn cosim_options_parse() {
+        let o = CosimCliOptions::parse(&args(&[
+            "--programs",
+            "50",
+            "--seed",
+            "0x2a",
+            "--instructions",
+            "24",
+            "--max-cycles",
+            "90000",
+            "--format",
+            "json",
+            "--inject-fault",
+            "xor:0x10",
+        ]))
+        .unwrap();
+        assert_eq!(o.programs, 50);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.instructions, 24);
+        assert_eq!(o.max_cycles, 90_000);
+        assert_eq!(o.format, OutputFormat::Json);
+        assert_eq!(o.inject_fault.as_deref(), Some("xor:0x10"));
+
+        let defaults = CosimCliOptions::parse(&args(&[])).unwrap();
+        assert_eq!(defaults.programs, 200);
+        assert_eq!(defaults.seed, 42);
+
+        assert!(CosimCliOptions::parse(&args(&["--programs", "0"])).is_err());
+        assert!(CosimCliOptions::parse(&args(&["--bogus"])).is_err());
+        assert!(CosimCliOptions::parse(&args(&["--help"])).unwrap_err().contains("cosim"));
+    }
+
+    #[test]
+    fn fault_spec_parsing() {
+        assert_eq!(
+            parse_fault("xor").unwrap(),
+            rvsim_iss::InjectedFault { mnemonic: "xor".into(), xor_bits: 1 }
+        );
+        assert_eq!(
+            parse_fault("addi:0x80").unwrap(),
+            rvsim_iss::InjectedFault { mnemonic: "addi".into(), xor_bits: 0x80 }
+        );
+        assert!(parse_fault("addi:zz").is_err());
+        assert!(parse_fault(":1").is_err());
+    }
+
+    #[test]
+    fn cosim_batch_matches_and_injected_fault_fails() {
+        let options =
+            CosimCliOptions { programs: 8, seed: 42, instructions: 16, ..Default::default() };
+        let out = run_cosim(&options).expect("clean batch must succeed");
+        assert!(out.contains("8 programs"));
+        assert!(out.contains("0 divergences"), "output:\n{out}");
+
+        let faulty = CosimCliOptions {
+            inject_fault: Some("addi".into()),
+            programs: 2,
+            instructions: 8,
+            ..options
+        };
+        let report = run_cosim(&faulty).expect_err("fault must be detected");
+        assert!(report.contains("shrunk reproducer"), "report:\n{report}");
+        assert!(report.contains("addi"), "report:\n{report}");
+    }
+
+    #[test]
+    fn cosim_replay_mode_runs_one_exact_program() {
+        // Clean replay matches and exits successfully.
+        let options =
+            CosimCliOptions { program_seed: Some(1), instructions: 12, ..Default::default() };
+        let out = run_cosim(&options).expect("clean replay succeeds");
+        assert!(out.contains("program seed 1 matches"), "output:\n{out}");
+
+        // Replay with the fault injected reproduces the divergence directly
+        // from the per-program seed (no batch derivation involved).
+        let faulty = CosimCliOptions { inject_fault: Some("addi".into()), ..options };
+        let report = run_cosim(&faulty).expect_err("faulty replay diverges");
+        assert!(report.contains("diverges"), "report:\n{report}");
+        assert!(report.contains("shrunk reproducer"), "report:\n{report}");
+    }
+
+    #[test]
+    fn cosim_all_inconclusive_batch_fails() {
+        // A 10-cycle budget is too small for any generated program to halt
+        // (the prologue alone is longer), so nothing is matched — the run
+        // must not report success.
+        let options =
+            CosimCliOptions { programs: 3, instructions: 12, max_cycles: 10, ..Default::default() };
+        let report = run_cosim(&options).expect_err("zero coverage must fail");
+        assert!(report.contains("3 inconclusive"), "report:\n{report}");
+    }
+
+    #[test]
+    fn cosim_json_format_is_machine_readable() {
+        let options = CosimCliOptions {
+            programs: 3,
+            format: OutputFormat::Json,
+            instructions: 12,
+            ..Default::default()
+        };
+        let out = run_cosim(&options).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["programs"], 3);
+        assert_eq!(value["divergences"].as_array().unwrap().len(), 0);
+
+        // Replay mode honours --format json too, in all outcomes.
+        let replay = CosimCliOptions { program_seed: Some(5), ..options.clone() };
+        let out = run_cosim(&replay).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["mode"], "replay");
+        assert_eq!(value["outcome"], "match");
+
+        let faulty = CosimCliOptions { inject_fault: Some("addi".into()), ..replay };
+        let report = run_cosim(&faulty).expect_err("fault diverges");
+        let value: serde_json::Value = serde_json::from_str(&report).unwrap();
+        assert_eq!(value["outcome"], "divergence");
+        assert!(value["shrunk_program"].as_str().unwrap().contains("addi"));
     }
 
     #[test]

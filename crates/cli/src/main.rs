@@ -2,6 +2,28 @@
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // `rvsim-cli cosim ...` — differential co-simulation subcommand.
+    if args.first().map(String::as_str) == Some("cosim") {
+        let options = match rvsim_cli::CosimCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        match rvsim_cli::run_cosim(&options) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                // Divergence reports go to stdout (they are the product of
+                // the run); the exit code carries the failure.
+                print!("{report}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
     let options = match rvsim_cli::CliOptions::parse(&args) {
         Ok(options) => options,
         Err(message) => {

@@ -64,6 +64,80 @@ fn text_run_reports_return_value() {
 }
 
 #[test]
+fn cosim_subcommand_reports_zero_divergences() {
+    let output = cli()
+        .args(["cosim", "--programs", "12", "--seed", "42", "--instructions", "20"])
+        .output()
+        .expect("cli runs");
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "stderr: {}\nstdout: {}",
+        String::from_utf8_lossy(&output.stderr),
+        String::from_utf8_lossy(&output.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("12 programs"), "output:\n{stdout}");
+    assert!(stdout.contains("0 divergences"), "output:\n{stdout}");
+}
+
+#[test]
+fn cosim_injected_fault_exits_one_with_shrunk_reproducer() {
+    let output = cli()
+        .args([
+            "cosim",
+            "--programs",
+            "2",
+            "--seed",
+            "7",
+            "--instructions",
+            "8",
+            "--inject-fault",
+            "addi",
+        ])
+        .output()
+        .expect("cli runs");
+    assert_eq!(output.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("shrunk reproducer"), "output:\n{stdout}");
+    assert!(stdout.contains("--program-seed"), "output:\n{stdout}");
+}
+
+#[test]
+fn cosim_replay_from_printed_program_seed() {
+    // The replay flag must regenerate the exact program: a clean harness
+    // matches it, and the same seed with the fault injected diverges.
+    let clean = cli()
+        .args(["cosim", "--program-seed", "1346066267577507604", "--instructions", "8"])
+        .output()
+        .expect("cli runs");
+    assert_eq!(clean.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&clean.stdout));
+    assert!(String::from_utf8_lossy(&clean.stdout).contains("matches"));
+
+    let faulty = cli()
+        .args([
+            "cosim",
+            "--program-seed",
+            "1346066267577507604",
+            "--instructions",
+            "8",
+            "--inject-fault",
+            "addi",
+        ])
+        .output()
+        .expect("cli runs");
+    assert_eq!(faulty.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&faulty.stdout).contains("diverges"));
+}
+
+#[test]
+fn cosim_bad_arguments_exit_with_code_two() {
+    let output = cli().args(["cosim", "--wat"]).output().expect("cli runs");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("cosim"));
+}
+
+#[test]
 fn bad_arguments_exit_with_code_two() {
     let output = cli().args(["--format", "json"]).output().expect("cli runs");
     assert_eq!(output.status.code(), Some(2));

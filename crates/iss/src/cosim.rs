@@ -1,0 +1,633 @@
+//! Differential co-simulation: pipeline vs reference ISS in lockstep.
+//!
+//! [`Cosim`] runs the same program through the superscalar pipeline
+//! (`rvsim_core::Simulator`, retirement trace enabled) and through the
+//! in-order [`Iss`], then diffs the two retirement streams event by event and
+//! the final architectural state register by register.  The first divergence
+//! is reported with full context: retirement index, both events, a
+//! disassembly window around the diverging instruction and the complete
+//! program source.
+//!
+//! A failing random program is automatically *shrunk* to a minimal
+//! reproducer: the harness greedily deletes source lines while the divergence
+//! persists, so a report ends with the handful of instructions that actually
+//! matter.
+
+use crate::gen::{generate_program, GenOptions};
+use crate::interp::{InjectedFault, Iss};
+use rvsim_core::{ArchitectureConfig, HaltReason, RetireEvent, Simulator};
+use rvsim_isa::RegisterId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of co-simulating one program.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum CosimOutcome {
+    /// Both models agree on every retirement and on the final state.
+    Match {
+        /// Instructions retired (identically) by both models.
+        retired: u64,
+    },
+    /// One of the models hit its budget before the comparison finished; the
+    /// prefix that did execute was identical.
+    Inconclusive {
+        /// What ran out.
+        reason: String,
+    },
+    /// The models disagree.
+    Divergence(Box<Divergence>),
+}
+
+/// A detected difference between the pipeline and the reference ISS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Divergence {
+    /// Retirement index of the first mismatching event, when the mismatch is
+    /// in the trace (`None` for halt-reason or final-state mismatches).
+    pub index: Option<u64>,
+    /// One-line description of the difference.
+    pub summary: String,
+    /// Full human-readable report: events, disassembly window, program.
+    pub report: String,
+}
+
+/// The lockstep comparison harness.
+#[derive(Debug, Clone)]
+pub struct Cosim {
+    /// Architecture both models simulate.
+    pub config: ArchitectureConfig,
+    /// Cycle budget for the pipeline model.
+    pub max_cycles: u64,
+    /// Retired-instruction budget for the reference ISS.
+    pub max_steps: u64,
+    /// Deliberate ISS bug, injected by tests to prove the harness catches it.
+    pub fault: Option<InjectedFault>,
+}
+
+impl Cosim {
+    /// Harness with default budgets (generous for generated programs, which
+    /// retire a few thousand instructions).
+    pub fn new(config: ArchitectureConfig) -> Self {
+        Cosim { config, max_cycles: 200_000, max_steps: 200_000, fault: None }
+    }
+
+    /// Co-simulate one assembly program.
+    pub fn run_source(&self, source: &str) -> Result<CosimOutcome, String> {
+        let mut sim = Simulator::from_assembly(source, &self.config)?;
+        sim.set_retirement_trace(true);
+        let sim_run = sim.run(self.max_cycles)?;
+
+        let mut iss = Iss::new(sim.program().clone(), &self.config)?;
+        if let Some(fault) = &self.fault {
+            iss.inject_fault(fault.clone());
+        }
+        iss.set_retirement_trace(true);
+        let iss_run = iss.run(self.max_steps);
+
+        let pipeline_trace = sim.retirement_trace();
+        let iss_trace = iss.retirement_trace();
+
+        // 1. Event-by-event comparison of the common prefix.  A mismatch here
+        // is definitive even if one model later hit its budget.
+        let common = pipeline_trace.len().min(iss_trace.len());
+        for i in 0..common {
+            let (p, r) = (&pipeline_trace[i], &iss_trace[i]);
+            if !p.architecturally_equal(r) {
+                return Ok(CosimOutcome::Divergence(Box::new(
+                    self.divergence_at(source, &sim, i, p, r),
+                )));
+            }
+        }
+
+        // 2. One model halted normally but the other retired past that
+        // model's complete trace: the first extra retirement is a definitive
+        // divergence even if the longer model later hit its budget — a
+        // runaway pipeline (or ISS) must not hide behind "inconclusive".
+        let sim_halted_normally = sim_run.halt != HaltReason::MaxCyclesReached;
+        let iss_halted_normally = iss_run.halt != HaltReason::MaxCyclesReached;
+        if pipeline_trace.len() != iss_trace.len() {
+            let pipeline_longer = pipeline_trace.len() > iss_trace.len();
+            let definitive =
+                if pipeline_longer { iss_halted_normally } else { sim_halted_normally };
+            if definitive {
+                let summary = format!(
+                    "pipeline retired {} instructions, ISS retired {}",
+                    pipeline_trace.len(),
+                    iss_trace.len()
+                );
+                let longer = if pipeline_longer {
+                    ("pipeline", &pipeline_trace[common])
+                } else {
+                    ("ISS", &iss_trace[common])
+                };
+                let report = self.report(
+                    source,
+                    &sim,
+                    &summary,
+                    &format!("first extra event ({} only): {}", longer.0, longer.1),
+                    longer.1.pc,
+                );
+                return Ok(CosimOutcome::Divergence(Box::new(Divergence {
+                    index: Some(common as u64),
+                    summary,
+                    report,
+                })));
+            }
+        }
+
+        // 3. Budget exhaustion with an identical (non-definitive) prefix
+        // proves nothing.
+        if !sim_halted_normally {
+            return Ok(CosimOutcome::Inconclusive {
+                reason: format!("pipeline hit its {}-cycle budget", self.max_cycles),
+            });
+        }
+        if !iss_halted_normally {
+            return Ok(CosimOutcome::Inconclusive {
+                reason: format!("ISS hit its {}-instruction budget", self.max_steps),
+            });
+        }
+
+        // 4. Same trace, both halted: halt reasons and final state must agree.
+        if sim_run.halt != *iss.halt_reason().expect("ISS halted") {
+            let summary = format!(
+                "halt reasons differ: pipeline {:?}, ISS {:?}",
+                sim_run.halt,
+                iss.halt_reason()
+            );
+            let report = self.report(source, &sim, &summary, "", sim.pc());
+            return Ok(CosimOutcome::Divergence(Box::new(Divergence {
+                index: None,
+                summary,
+                report,
+            })));
+        }
+        for i in 0..32u8 {
+            for reg in [RegisterId::x(i), RegisterId::f(i)] {
+                let (p, r) = (sim.register(reg).bits, iss.register(reg).bits);
+                if p != r {
+                    let summary = format!(
+                        "final state differs in {}: pipeline 0x{:x}, ISS 0x{:x}",
+                        reg, p, r
+                    );
+                    let report = self.report(source, &sim, &summary, "", sim.pc());
+                    return Ok(CosimOutcome::Divergence(Box::new(Divergence {
+                        index: None,
+                        summary,
+                        report,
+                    })));
+                }
+            }
+        }
+
+        // 5. Final memory image.  The trace records a store's *intent*; this
+        // catches a commit/writeback path that put different bytes in memory
+        // even when the corrupted location is never loaded again.
+        let pipeline_mem = sim.memory().memory().bytes();
+        let iss_mem = iss.memory().bytes();
+        if let Some(offset) = first_difference(pipeline_mem, iss_mem) {
+            let summary = format!(
+                "final memory differs at 0x{:x}: pipeline 0x{:02x}, ISS 0x{:02x}",
+                offset,
+                pipeline_mem.get(offset).copied().unwrap_or(0),
+                iss_mem.get(offset).copied().unwrap_or(0)
+            );
+            let report = self.report(source, &sim, &summary, "", sim.pc());
+            return Ok(CosimOutcome::Divergence(Box::new(Divergence {
+                index: None,
+                summary,
+                report,
+            })));
+        }
+
+        Ok(CosimOutcome::Match { retired: pipeline_trace.len() as u64 })
+    }
+
+    fn divergence_at(
+        &self,
+        source: &str,
+        sim: &Simulator,
+        index: usize,
+        pipeline: &RetireEvent,
+        iss: &RetireEvent,
+    ) -> Divergence {
+        let summary = format!(
+            "retirement #{index} differs at pc 0x{:x} ({})",
+            pipeline.pc, pipeline.mnemonic
+        );
+        let detail =
+            format!("pipeline: {pipeline}\n     ISS: {iss}\n(the ISS is the reference model)");
+        let report = self.report(source, sim, &summary, &detail, pipeline.pc);
+        Divergence { index: Some(index as u64), summary, report }
+    }
+
+    /// Build the full divergence report: summary, detail, a disassembly
+    /// window around `pc` and the complete program source.
+    fn report(
+        &self,
+        source: &str,
+        sim: &Simulator,
+        summary: &str,
+        detail: &str,
+        pc: u64,
+    ) -> String {
+        let mut out = String::new();
+        out.push_str("=== co-simulation divergence ===\n");
+        out.push_str(summary);
+        out.push('\n');
+        if !detail.is_empty() {
+            out.push_str(detail);
+            out.push('\n');
+        }
+        out.push_str("--- disassembly window ---\n");
+        let program = sim.program();
+        let center = (pc / 4) as i64;
+        for idx in (center - 3).max(0)..(center + 4).min(program.len() as i64) {
+            let ins = &program.instructions[idx as usize];
+            let marker = if idx == center { "=>" } else { "  " };
+            out.push_str(&format!(
+                "{marker} 0x{:04x}  {:<28} ; line {}: {}\n",
+                ins.address,
+                render_instruction(ins),
+                ins.source_line,
+                ins.text.trim()
+            ));
+        }
+        out.push_str("--- program ---\n");
+        out.push_str(source.trim_end());
+        out.push('\n');
+        out
+    }
+
+    /// Shrink a diverging program to a minimal reproducer by greedily
+    /// deleting source lines while the divergence persists.  Returns the
+    /// shrunk source and its divergence, or `None` when `source` does not
+    /// diverge in the first place.
+    pub fn shrink(&self, source: &str) -> Option<(String, Divergence)> {
+        // Deleting a loop-counter update turns a candidate into an infinite
+        // loop that burns the whole cycle budget before being rejected, so
+        // shrinking runs under a much smaller budget whenever the original
+        // divergence still shows up there (it almost always does — generated
+        // programs finish well within 25k cycles).
+        let fast = Cosim { max_cycles: 25_000, max_steps: 25_000, ..self.clone() };
+        let harness = if matches!(fast.run_source(source), Ok(CosimOutcome::Divergence(_))) {
+            &fast
+        } else {
+            self
+        };
+        let diverges = |lines: &[String]| -> Option<Divergence> {
+            let candidate = lines.join("\n");
+            match harness.run_source(&candidate) {
+                Ok(CosimOutcome::Divergence(d)) => Some(*d),
+                _ => None,
+            }
+        };
+        let mut lines: Vec<String> = source.lines().map(str::to_string).collect();
+        let mut best = diverges(&lines)?;
+        loop {
+            let mut removed_any = false;
+            let mut i = 0;
+            while i < lines.len() {
+                let mut candidate = lines.clone();
+                candidate.remove(i);
+                if let Some(d) = diverges(&candidate) {
+                    lines = candidate;
+                    best = d;
+                    removed_any = true;
+                } else {
+                    i += 1;
+                }
+            }
+            if !removed_any {
+                break;
+            }
+        }
+        Some((lines.join("\n") + "\n", best))
+    }
+
+    /// Divergences shrunk per batch before the (expensive) shrinker is
+    /// skipped — a systematic bug makes every program diverge, and three
+    /// minimal reproducers are plenty to debug from.
+    pub const SHRINK_LIMIT: usize = 3;
+
+    /// Co-simulate `programs` random programs derived from `batch_seed`.
+    /// The first [`Self::SHRINK_LIMIT`] divergences are shrunk to minimal
+    /// reproducers; later ones are reported as-is.
+    pub fn run_batch(&self, batch_seed: u64, programs: usize, gen: &GenOptions) -> BatchReport {
+        let mut report = BatchReport {
+            batch_seed,
+            programs,
+            gen_instructions: gen.body_instructions,
+            matched: 0,
+            inconclusive: 0,
+            retired_instructions: 0,
+            divergences: Vec::new(),
+            errors: Vec::new(),
+        };
+        for index in 0..programs {
+            let seed = derive_seed(batch_seed, index as u64);
+            let source = generate_program(seed, gen);
+            match self.run_source(&source) {
+                Ok(CosimOutcome::Match { retired }) => {
+                    report.matched += 1;
+                    report.retired_instructions += retired;
+                }
+                Ok(CosimOutcome::Inconclusive { .. }) => report.inconclusive += 1,
+                Ok(CosimOutcome::Divergence(divergence)) => {
+                    let shrink_result = if report.divergences.len() < Self::SHRINK_LIMIT {
+                        self.shrink(&source)
+                    } else {
+                        None
+                    };
+                    let shrunk = shrink_result.is_some();
+                    let (shrunk_program, shrunk_divergence) =
+                        shrink_result.unwrap_or_else(|| (source.clone(), (*divergence).clone()));
+                    report.divergences.push(BatchDivergence {
+                        program_index: index,
+                        program_seed: seed,
+                        divergence: *divergence,
+                        shrunk,
+                        shrunk_program,
+                        shrunk_summary: shrunk_divergence.summary,
+                    });
+                }
+                Err(e) => {
+                    report.errors.push(format!("program {index} (seed {seed}): {e}"));
+                }
+            }
+        }
+        report
+    }
+}
+
+/// Index of the first differing byte between two slices (length differences
+/// count as a difference at the shorter length).
+fn first_difference(a: &[u8], b: &[u8]) -> Option<usize> {
+    let common = a.len().min(b.len());
+    (0..common).find(|&i| a[i] != b[i]).or({
+        if a.len() != b.len() {
+            Some(common)
+        } else {
+            None
+        }
+    })
+}
+
+/// Per-program seed derivation (splitmix64 over the batch seed and index), so
+/// one printed seed regenerates one exact program.
+pub fn derive_seed(batch_seed: u64, index: u64) -> u64 {
+    let mut z = batch_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One shrunk divergence found by a batch run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchDivergence {
+    /// Index of the program within the batch.
+    pub program_index: usize,
+    /// Generator seed that reproduces the full program.
+    pub program_seed: u64,
+    /// Divergence found in the full program.
+    pub divergence: Divergence,
+    /// Whether the shrinker actually ran (it is skipped past
+    /// [`Cosim::SHRINK_LIMIT`] divergences per batch).
+    pub shrunk: bool,
+    /// Minimal reproducer after shrinking (the full program when `!shrunk`).
+    pub shrunk_program: String,
+    /// Summary of the divergence the shrunk program still exhibits.
+    pub shrunk_summary: String,
+}
+
+/// Summary of a batch co-simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// Seed the per-program seeds were derived from.
+    pub batch_seed: u64,
+    /// Programs generated.
+    pub programs: usize,
+    /// `GenOptions::body_instructions` used for every program (needed to
+    /// regenerate a program from its printed seed).
+    pub gen_instructions: usize,
+    /// Programs where both models agreed completely.
+    pub matched: usize,
+    /// Programs where a budget ran out before the comparison finished.
+    pub inconclusive: usize,
+    /// Total instructions retired identically by both models.
+    pub retired_instructions: u64,
+    /// Shrunk divergences.
+    pub divergences: Vec<BatchDivergence>,
+    /// Programs that failed to assemble or simulate at all.
+    pub errors: Vec<String>,
+}
+
+impl BatchReport {
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "cosim: {} programs (seed {}), {} matched, {} inconclusive, {} errors, \
+             {} instructions co-verified, {} divergences",
+            self.programs,
+            self.batch_seed,
+            self.matched,
+            self.inconclusive,
+            self.errors.len(),
+            self.retired_instructions,
+            self.divergences.len()
+        )
+    }
+
+    /// Full text report: summary plus every shrunk divergence.
+    pub fn render_text(&self) -> String {
+        let mut out = self.summary();
+        out.push('\n');
+        for error in &self.errors {
+            out.push_str(&format!("error: {error}\n"));
+        }
+        for d in &self.divergences {
+            let reproducer_label = if d.shrunk {
+                format!("shrunk reproducer ({})", d.shrunk_summary)
+            } else {
+                "full program (shrink limit reached, not minimised)".to_string()
+            };
+            out.push_str(&format!(
+                "\nprogram {} (replay: rvsim-cli cosim --program-seed {} --instructions {}, \
+                 plus any --arch/--max-cycles/--inject-fault flags this batch used):\n{}\n\
+                 --- {} ---\n{}",
+                d.program_index,
+                d.program_seed,
+                self.gen_instructions,
+                d.divergence.report,
+                reproducer_label,
+                d.shrunk_program
+            ));
+        }
+        out
+    }
+}
+
+fn render_instruction(ins: &rvsim_asm::AsmInstruction) -> String {
+    use rvsim_asm::Operand;
+    let ops: Vec<String> = ins
+        .operands
+        .iter()
+        .map(|op| match op {
+            Operand::Register(r) => r.to_string(),
+            Operand::Immediate(v) => v.to_string(),
+        })
+        .collect();
+    format!("{} {}", ins.mnemonic, ops.join(", "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> Cosim {
+        Cosim::new(ArchitectureConfig::default())
+    }
+
+    #[test]
+    fn identical_models_match_on_handwritten_program() {
+        let outcome = harness()
+            .run_source(
+                "buf:
+                    .zero 32
+                main:
+                    la   t0, buf
+                    li   t1, 77
+                    sw   t1, 0(t0)
+                    lw   a0, 0(t0)
+                    addi a0, a0, 1
+                    ret
+                ",
+            )
+            .unwrap();
+        match outcome {
+            CosimOutcome::Match { retired } => assert!(retired >= 6),
+            other => panic!("expected a match, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exception_programs_agree() {
+        let outcome = harness()
+            .run_source(
+                "main:
+                    li  a0, 9
+                    li  a1, 0
+                    div a2, a0, a1
+                    ret
+                ",
+            )
+            .unwrap();
+        assert!(matches!(outcome, CosimOutcome::Match { .. }), "got {outcome:?}");
+    }
+
+    #[test]
+    fn batch_of_random_programs_has_zero_divergences() {
+        let report = harness().run_batch(42, 40, &GenOptions::default());
+        assert!(report.errors.is_empty(), "errors: {:?}", report.errors);
+        assert!(report.divergences.is_empty(), "divergences found:\n{}", report.render_text());
+        assert_eq!(report.matched + report.inconclusive, 40);
+        assert!(report.matched >= 38, "too many inconclusive runs");
+        assert!(report.retired_instructions > 1000);
+    }
+
+    #[test]
+    fn injected_fault_is_caught_and_shrunk_to_a_minimal_reproducer() {
+        let mut harness = harness();
+        harness.fault = Some(InjectedFault { mnemonic: "xor".into(), xor_bits: 1 });
+        // Small ALU-heavy programs keep the greedy shrinker cheap in debug
+        // builds while still tripping over a corrupted xor almost surely.
+        let gen = GenOptions {
+            body_instructions: 12,
+            fp_ops: false,
+            calls: false,
+            inner_loops: false,
+            ..Default::default()
+        };
+        let mut caught = None;
+        for batch_seed in 1..=4u64 {
+            let report = harness.run_batch(batch_seed, 8, &gen);
+            if let Some(d) = report.divergences.into_iter().next() {
+                caught = Some(d);
+                break;
+            }
+        }
+        let d = caught.expect("a seeded xor bug must be caught within a few batches");
+        // The report names the culprit and the reproducer is genuinely small.
+        assert!(d.divergence.report.contains("xor"), "report:\n{}", d.divergence.report);
+        assert!(d.shrunk_summary.contains("differs"), "{}", d.shrunk_summary);
+        let original_lines = generate_program(d.program_seed, &gen).lines().count();
+        let shrunk_lines = d.shrunk_program.lines().count();
+        assert!(
+            shrunk_lines <= 6 && shrunk_lines < original_lines,
+            "expected a minimal reproducer, got {shrunk_lines} lines (from {original_lines}):\n{}",
+            d.shrunk_program
+        );
+        // The acceptance criterion asks for the reproducer to be printed.
+        println!("shrunk reproducer:\n{}", d.shrunk_program);
+    }
+
+    #[test]
+    fn budget_limited_shorter_side_is_inconclusive_not_divergent() {
+        // A model that simply ran out of budget with a shorter (matching)
+        // trace proves nothing: the other model finishing is not a runaway.
+        let source = "main:
+                li   t0, 50
+            loop:
+                addi t0, t0, -1
+                bnez t0, loop
+                ret
+            ";
+        let mut harness = harness();
+        harness.max_steps = 5; // ISS stops after 5 retirements
+        match harness.run_source(source).unwrap() {
+            CosimOutcome::Inconclusive { reason } => {
+                assert!(reason.contains("ISS"), "reason: {reason}")
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+        let mut harness = self::harness();
+        harness.max_cycles = 10; // pipeline stops after 10 cycles
+        match harness.run_source(source).unwrap() {
+            CosimOutcome::Inconclusive { reason } => {
+                assert!(reason.contains("pipeline"), "reason: {reason}")
+            }
+            other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_and_wide_configs_also_match() {
+        // The reference model is width-agnostic; the pipeline's schedule
+        // changes completely between a single-issue and a 4-wide machine,
+        // but the retirement stream must not.
+        let gen = GenOptions { body_instructions: 20, ..Default::default() };
+        for config in [ArchitectureConfig::scalar(), ArchitectureConfig::wide()] {
+            let name = config.name.clone();
+            let report = Cosim::new(config).run_batch(11, 10, &gen);
+            assert!(report.errors.is_empty(), "{name} errors: {:?}", report.errors);
+            assert!(report.divergences.is_empty(), "{name} divergences:\n{}", report.render_text());
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_spread() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(derive_seed(42, 1), b, "derivation is deterministic");
+    }
+
+    #[test]
+    fn batch_report_serializes() {
+        let report = harness().run_batch(7, 3, &GenOptions::default());
+        let json = serde_json::to_string(&report).unwrap();
+        let back: BatchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert!(report.summary().contains("3 programs"));
+    }
+}

@@ -1,0 +1,459 @@
+//! Seeded random-program generator for differential testing.
+//!
+//! [`generate_program`] emits valid assembly over the supported ISA subset —
+//! ALU, branch, load/store, M- and F-extension and pseudo-instruction mixes
+//! with loop, call and hazard patterns — from a 64-bit seed.  The same seed
+//! always produces the same program, so a divergence report quoting its seed
+//! is a complete reproducer.
+//!
+//! Termination is guaranteed by construction: control flow consists of the
+//! counted outer loop, counted inner loops, strictly forward conditional
+//! branches and calls to straight-line leaf functions.  Registers with a
+//! structural role (`sp`, `ra`, the loop counters `s0`/`s10`, the data base
+//! `s1`) are excluded from the random destination pool.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Knobs controlling the shape of generated programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenOptions {
+    /// Random items per outer-loop body (an item expands to 1–6 instructions).
+    pub body_instructions: usize,
+    /// Emit loads and stores (data buffer and stack slots).
+    pub memory_ops: bool,
+    /// Emit F-extension instructions.
+    pub fp_ops: bool,
+    /// Emit M-extension multiply/divide instructions.
+    pub mul_div: bool,
+    /// Emit `jal`/`jalr` calls to generated leaf functions.
+    pub calls: bool,
+    /// Emit counted inner loops.
+    pub inner_loops: bool,
+    /// Maximum trip count of the outer loop (inner loops stay below 5).
+    pub max_trip_count: u64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions {
+            body_instructions: 32,
+            memory_ops: true,
+            fp_ops: true,
+            mul_div: true,
+            calls: true,
+            inner_loops: true,
+            max_trip_count: 5,
+        }
+    }
+}
+
+/// Integer registers the generator may freely overwrite.
+const INT_POOL: &[&str] = &[
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2",
+    "s3", "s4", "s5", "s6", "s7",
+];
+
+/// Floating-point registers the generator may freely overwrite.
+const FP_POOL: &[&str] =
+    &["ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fa0", "fa1", "fa2", "fa3"];
+
+/// Size of the scratch data buffer (`buf`) in bytes.
+const BUF_BYTES: u64 = 256;
+
+struct Generator {
+    rng: StdRng,
+    opts: GenOptions,
+    lines: Vec<String>,
+    labels: usize,
+    functions: usize,
+}
+
+/// Generate a deterministic, terminating assembly program from `seed`.
+pub fn generate_program(seed: u64, opts: &GenOptions) -> String {
+    let mut g = Generator {
+        rng: StdRng::seed_from_u64(seed),
+        opts: opts.clone(),
+        lines: Vec::new(),
+        labels: 0,
+        functions: if opts.calls { 1 + (seed as usize % 2) } else { 0 },
+    };
+    g.emit_program(seed);
+    g.lines.join("\n") + "\n"
+}
+
+impl Generator {
+    fn push(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    fn int_reg(&mut self) -> &'static str {
+        INT_POOL[self.rng.random_range(0..INT_POOL.len())]
+    }
+
+    fn fp_reg(&mut self) -> &'static str {
+        FP_POOL[self.rng.random_range(0..FP_POOL.len())]
+    }
+
+    fn imm12(&mut self) -> i64 {
+        self.rng.random_range(-2048i64..2048)
+    }
+
+    fn fresh_label(&mut self, prefix: &str) -> String {
+        self.labels += 1;
+        format!("{prefix}_{}", self.labels)
+    }
+
+    fn emit_program(&mut self, seed: u64) {
+        self.push(format!("# rvsim-iss random program, seed {seed}"));
+        self.push("buf:");
+        self.push(format!("    .zero {BUF_BYTES}"));
+        self.push("main:");
+        self.push("    addi sp, sp, -32");
+        self.push("    sw   ra, 28(sp)");
+        self.push("    la   s1, buf");
+        // Seed a handful of pool registers with non-trivial values so early
+        // instructions have real data hazards to chew on.
+        for _ in 0..6 {
+            let rd = self.int_reg();
+            let value: i64 = if self.rng.random_range(0..4) == 0 {
+                self.rng.random_range(-2_000_000i64..2_000_000)
+            } else {
+                self.imm12()
+            };
+            self.push(format!("    li   {rd}, {value}"));
+        }
+        if self.opts.fp_ops {
+            for _ in 0..2 {
+                let (fd, rs) = (self.fp_reg(), self.int_reg());
+                self.push(format!("    fcvt.s.w {fd}, {rs}"));
+            }
+        }
+        let trips = self.rng.random_range(2..self.opts.max_trip_count.max(2) + 1);
+        self.push(format!("    li   s0, {trips}"));
+        self.push("outer:");
+        for _ in 0..self.opts.body_instructions {
+            self.emit_item(true);
+        }
+        self.push("    addi s0, s0, -1");
+        self.push("    bnez s0, outer");
+        self.push("    lw   ra, 28(sp)");
+        self.push("    addi sp, sp, 32");
+        self.push("    ret");
+        for f in 0..self.functions {
+            self.push(format!("func_{f}:"));
+            for _ in 0..self.rng.random_range(3..7usize) {
+                self.emit_item(false);
+            }
+            self.push("    ret");
+        }
+    }
+
+    /// Emit one random item.  `top_level` items may open control flow
+    /// (forward branches, inner loops, calls); nested items stay straight-line.
+    fn emit_item(&mut self, top_level: bool) {
+        let roll = self.rng.random_range(0..100u32);
+        match roll {
+            0..=34 => self.emit_alu(),
+            35..=49 if self.opts.memory_ops => self.emit_memory(),
+            50..=61 if self.opts.fp_ops => self.emit_fp(),
+            62..=71 if self.opts.mul_div => self.emit_mul_div(),
+            72..=81 if top_level => self.emit_forward_branch(),
+            82..=87 if top_level && self.opts.inner_loops => self.emit_inner_loop(),
+            88..=93 if top_level && self.functions > 0 => self.emit_call(),
+            _ => self.emit_alu(),
+        }
+    }
+
+    fn emit_alu(&mut self) {
+        let kind = self.rng.random_range(0..5u32);
+        match kind {
+            0 => {
+                const OPS: &[&str] =
+                    &["add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                // Rarely target x0 to exercise the discarded-write path.
+                let rd = if self.rng.random_range(0..24) == 0 { "zero" } else { self.int_reg() };
+                let (rs1, rs2) = (self.int_reg(), self.int_reg());
+                self.push(format!("    {op:<5} {rd}, {rs1}, {rs2}"));
+            }
+            1 => {
+                const OPS: &[&str] = &["addi", "andi", "ori", "xori", "slti", "sltiu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (rd, rs1, imm) = (self.int_reg(), self.int_reg(), self.imm12());
+                self.push(format!("    {op:<5} {rd}, {rs1}, {imm}"));
+            }
+            2 => {
+                const OPS: &[&str] = &["slli", "srli", "srai"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (rd, rs1) = (self.int_reg(), self.int_reg());
+                let shamt = self.rng.random_range(0..32u32);
+                self.push(format!("    {op:<5} {rd}, {rs1}, {shamt}"));
+            }
+            3 => {
+                let rd = self.int_reg();
+                if self.rng.random_range(0..2) == 0 {
+                    let upper = self.rng.random_range(0..0x10_0000u64);
+                    self.push(format!("    lui  {rd}, {upper}"));
+                } else {
+                    let upper = self.rng.random_range(0..16u64);
+                    self.push(format!("    auipc {rd}, {upper}"));
+                }
+            }
+            _ => {
+                const OPS: &[&str] = &["mv", "neg", "not", "seqz", "snez", "sltz", "sgtz"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (rd, rs1) = (self.int_reg(), self.int_reg());
+                self.push(format!("    {op:<5} {rd}, {rs1}"));
+            }
+        }
+    }
+
+    fn emit_mul_div(&mut self) {
+        let kind = self.rng.random_range(0..10u32);
+        let (rd, rs1, rs2) = (self.int_reg(), self.int_reg(), self.int_reg());
+        match kind {
+            0..=4 => {
+                const OPS: &[&str] = &["mul", "mulh", "mulhu", "mulhsu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                self.push(format!("    {op:<5} {rd}, {rs1}, {rs2}"));
+            }
+            _ => {
+                const OPS: &[&str] = &["div", "divu", "rem", "remu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                if self.rng.random_range(0..16) == 0 {
+                    // Rarely leave the divisor unguarded: a division by zero
+                    // must raise the same precise exception in both models.
+                    self.push(format!("    {op:<5} {rd}, {rs1}, {rs2}"));
+                } else {
+                    let guard = self.int_reg();
+                    self.push(format!("    ori  {guard}, {rs2}, 1"));
+                    self.push(format!("    {op:<5} {rd}, {rs1}, {guard}"));
+                }
+            }
+        }
+    }
+
+    fn emit_memory(&mut self) {
+        let kind = self.rng.random_range(0..8u32);
+        match kind {
+            0 | 1 => {
+                // Word store + load to the shared buffer (store-to-load
+                // forwarding and memory disambiguation fodder).
+                let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
+                if self.rng.random_range(0..2) == 0 {
+                    let rs = self.int_reg();
+                    self.push(format!("    sw   {rs}, {off}(s1)"));
+                } else {
+                    let rd = self.int_reg();
+                    self.push(format!("    lw   {rd}, {off}(s1)"));
+                }
+            }
+            2 => {
+                let off = self.rng.random_range(0..BUF_BYTES / 2) * 2;
+                const OPS: &[&str] = &["sh", "lh", "lhu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let r = self.int_reg();
+                self.push(format!("    {op:<4} {r}, {off}(s1)"));
+            }
+            3 => {
+                let off = self.rng.random_range(0..BUF_BYTES);
+                const OPS: &[&str] = &["sb", "lb", "lbu"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let r = self.int_reg();
+                self.push(format!("    {op:<4} {r}, {off}(s1)"));
+            }
+            4 => {
+                // Stack-slot traffic below the saved ra at 28(sp).
+                let off = self.rng.random_range(0..6u64) * 4;
+                let r = self.int_reg();
+                if self.rng.random_range(0..2) == 0 {
+                    self.push(format!("    sw   {r}, {off}(sp)"));
+                } else {
+                    self.push(format!("    lw   {r}, {off}(sp)"));
+                }
+            }
+            5 => {
+                // Computed base address: an address-generation hazard.
+                let base = self.int_reg();
+                let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
+                let r = self.int_reg();
+                self.push(format!("    addi {base}, s1, {off}"));
+                if self.rng.random_range(0..2) == 0 {
+                    self.push(format!("    sw   {r}, 0({base})"));
+                } else {
+                    self.push(format!("    lw   {r}, 0({base})"));
+                }
+            }
+            _ if self.opts.fp_ops => {
+                let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
+                let f = self.fp_reg();
+                if self.rng.random_range(0..2) == 0 {
+                    self.push(format!("    fsw  {f}, {off}(s1)"));
+                } else {
+                    self.push(format!("    flw  {f}, {off}(s1)"));
+                }
+            }
+            _ => {
+                let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
+                let r = self.int_reg();
+                self.push(format!("    sw   {r}, {off}(s1)"));
+            }
+        }
+    }
+
+    fn emit_fp(&mut self) {
+        let kind = self.rng.random_range(0..10u32);
+        match kind {
+            0..=3 => {
+                const OPS: &[&str] =
+                    &["fadd.s", "fsub.s", "fmul.s", "fmin.s", "fmax.s", "fsgnj.s", "fsgnjn.s"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (fd, f1, f2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    {op} {fd}, {f1}, {f2}"));
+            }
+            4 => {
+                let (fd, f1, f2, f3) = (self.fp_reg(), self.fp_reg(), self.fp_reg(), self.fp_reg());
+                const OPS: &[&str] = &["fmadd.s", "fmsub.s", "fnmadd.s", "fnmsub.s"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                self.push(format!("    {op} {fd}, {f1}, {f2}, {f3}"));
+            }
+            5 => {
+                let (fd, rs) = (self.fp_reg(), self.int_reg());
+                self.push(format!("    fcvt.s.w {fd}, {rs}"));
+            }
+            6 => {
+                let (rd, fs) = (self.int_reg(), self.fp_reg());
+                self.push(format!("    fcvt.w.s {rd}, {fs}"));
+            }
+            7 => {
+                const OPS: &[&str] = &["feq.s", "flt.s", "fle.s"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (rd, f1, f2) = (self.int_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    {op} {rd}, {f1}, {f2}"));
+            }
+            8 => {
+                let (fd, f1) = (self.fp_reg(), self.fp_reg());
+                // fabs first so fsqrt sees a non-negative input most runs;
+                // NaN propagation is bit-identical anyway.
+                self.push(format!("    fabs.s {fd}, {f1}"));
+                self.push(format!("    fsqrt.s {fd}, {fd}"));
+            }
+            _ => {
+                let (fd, f1, f2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    fdiv.s {fd}, {f1}, {f2}"));
+            }
+        }
+    }
+
+    fn emit_forward_branch(&mut self) {
+        let label = self.fresh_label("fwd");
+        let kind = self.rng.random_range(0..2u32);
+        if kind == 0 {
+            const OPS: &[&str] = &["beq", "bne", "blt", "bge", "bltu", "bgeu"];
+            let op = OPS[self.rng.random_range(0..OPS.len())];
+            let (rs1, rs2) = (self.int_reg(), self.int_reg());
+            self.push(format!("    {op:<5} {rs1}, {rs2}, {label}"));
+        } else {
+            const OPS: &[&str] = &["beqz", "bnez", "blez", "bgez", "bltz", "bgtz"];
+            let op = OPS[self.rng.random_range(0..OPS.len())];
+            let rs1 = self.int_reg();
+            self.push(format!("    {op:<5} {rs1}, {label}"));
+        }
+        for _ in 0..self.rng.random_range(1..4usize) {
+            self.emit_item(false);
+        }
+        self.push(format!("{label}:"));
+    }
+
+    fn emit_inner_loop(&mut self) {
+        let label = self.fresh_label("inner");
+        let trips = self.rng.random_range(2..5u32);
+        self.push(format!("    li   s10, {trips}"));
+        self.push(format!("{label}:"));
+        for _ in 0..self.rng.random_range(2..5usize) {
+            self.emit_item(false);
+        }
+        self.push("    addi s10, s10, -1");
+        self.push(format!("    bnez s10, {label}"));
+    }
+
+    fn emit_call(&mut self) {
+        let f = self.rng.random_range(0..self.functions);
+        if self.rng.random_range(0..3) == 0 {
+            // Indirect call through a register: exercises jalr + BTB.
+            let t = self.int_reg();
+            self.push(format!("    la   {t}, func_{f}"));
+            self.push(format!("    jalr ra, {t}, 0"));
+        } else {
+            self.push(format!("    call func_{f}"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Iss;
+    use rvsim_core::{ArchitectureConfig, HaltReason};
+
+    #[test]
+    fn same_seed_same_program() {
+        let opts = GenOptions::default();
+        assert_eq!(generate_program(7, &opts), generate_program(7, &opts));
+        assert_ne!(generate_program(7, &opts), generate_program(8, &opts));
+    }
+
+    #[test]
+    fn generated_programs_assemble_and_terminate() {
+        let config = ArchitectureConfig::default();
+        let opts = GenOptions::default();
+        for seed in 0..30u64 {
+            let source = generate_program(seed, &opts);
+            let mut iss = Iss::from_assembly(&source, &config)
+                .unwrap_or_else(|e| panic!("seed {seed} does not assemble: {e}\n{source}"));
+            let result = iss.run(1_000_000);
+            assert_ne!(
+                result.halt,
+                HaltReason::MaxCyclesReached,
+                "seed {seed} does not terminate:\n{source}"
+            );
+            assert!(result.retired > 10, "seed {seed} retired almost nothing");
+        }
+    }
+
+    #[test]
+    fn option_gates_suppress_instruction_classes() {
+        let opts = GenOptions {
+            memory_ops: false,
+            fp_ops: false,
+            mul_div: false,
+            calls: false,
+            inner_loops: false,
+            ..Default::default()
+        };
+        for seed in 0..10u64 {
+            let source = generate_program(seed, &opts);
+            assert!(!source.contains("mul"), "seed {seed}:\n{source}");
+            assert!(!source.contains(" div"), "seed {seed}:\n{source}");
+            assert!(!source.contains("fadd"), "seed {seed}:\n{source}");
+            assert!(!source.contains("call"), "seed {seed}:\n{source}");
+            assert!(!source.contains("inner"), "seed {seed}:\n{source}");
+            // The only stores left are the structural prologue/epilogue ones.
+            assert!(!source.contains("(s1)"), "seed {seed}:\n{source}");
+        }
+    }
+
+    #[test]
+    fn programs_exercise_hazard_patterns() {
+        // Over a small seed range the default mix must produce branches,
+        // memory traffic and loops — the patterns the harness exists for.
+        let opts = GenOptions::default();
+        let all: String = (0..10u64).map(|s| generate_program(s, &opts)).collect();
+        assert!(all.contains("outer:"));
+        assert!(all.contains("fwd_"));
+        assert!(all.contains("inner_"));
+        assert!(all.contains("(s1)"));
+        assert!(all.contains("func_0:"));
+        assert!(all.contains("jalr"));
+    }
+}

@@ -1,0 +1,651 @@
+//! The in-order, architecturally-exact reference interpreter.
+//!
+//! [`Iss`] executes the same assembled [`Program`] against the same
+//! [`ArchitectureConfig`] as the pipeline simulator, but with single-cycle
+//! semantics: one instruction per step, no renaming, no speculation, no
+//! buffers.  Its state is purely architectural — 32+32 registers, flat main
+//! memory, a program counter and a halt reason — which is exactly the state
+//! the two models must agree on at every retirement.
+//!
+//! The interpreter deliberately reuses the instruction *descriptors* (postfix
+//! semantics expressions) shared with the pipeline, so divergences point at
+//! the pipeline machinery under test — renaming, forwarding, speculation,
+//! flush recovery, store/load ordering — rather than at duplicated ALU
+//! tables.  The memory access conversions are implemented independently and
+//! must mirror the pipeline's commit/convert rules bit for bit.
+
+use rvsim_asm::{assemble, AssemblerOptions, Program};
+use rvsim_core::{ArchitectureConfig, HaltReason, MemEffect, RetireEvent};
+use rvsim_isa::{
+    ArgKind, DataType, Evaluator, Exception, FunctionalClass, InstructionSet, RegisterId,
+    RegisterValue, TypedValue,
+};
+use rvsim_mem::{MainMemory, MemorySettings};
+
+/// A deliberately wrong result transformation, used by tests to prove the
+/// co-simulation harness catches real bugs: whenever the ISS retires an
+/// instruction with this mnemonic, the destination register bits are XOR-ed
+/// with `xor_bits` before being written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Mnemonic the fault applies to (after pseudo-instruction expansion).
+    pub mnemonic: String,
+    /// Bits flipped in the destination value.
+    pub xor_bits: u64,
+}
+
+/// Result of [`Iss::run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssResult {
+    /// Why execution stopped.
+    pub halt: HaltReason,
+    /// Instructions retired in total.
+    pub retired: u64,
+}
+
+/// The in-order reference interpreter.
+#[derive(Debug)]
+pub struct Iss {
+    isa: InstructionSet,
+    program: Program,
+    int_regs: [RegisterValue; 32],
+    fp_regs: [RegisterValue; 32],
+    mem: MainMemory,
+    pc: u64,
+    retired: u64,
+    halted: Option<HaltReason>,
+    main_returned: bool,
+    program_end: u64,
+    trace_enabled: bool,
+    trace: Vec<RetireEvent>,
+    fault: Option<InjectedFault>,
+}
+
+impl Iss {
+    // ------------------------------------------------------------ construction
+
+    /// Build an interpreter from an already assembled [`Program`].
+    pub fn new(program: Program, config: &ArchitectureConfig) -> Result<Self, String> {
+        Self::with_memory(program, config, MemorySettings::new())
+    }
+
+    /// Build an interpreter with user-defined memory arrays, mirroring the
+    /// layout `Simulator::with_memory` uses (stack, then user arrays, then
+    /// program data).
+    pub fn with_memory(
+        program: Program,
+        config: &ArchitectureConfig,
+        memory_settings: MemorySettings,
+    ) -> Result<Self, String> {
+        Self::with_parts(InstructionSet::rv32imf(), program, config, memory_settings)
+    }
+
+    /// Shared constructor: the caller supplies the (already built)
+    /// instruction set so `from_assembly` does not pay for it twice.
+    fn with_parts(
+        isa: InstructionSet,
+        program: Program,
+        config: &ArchitectureConfig,
+        memory_settings: MemorySettings,
+    ) -> Result<Self, String> {
+        config.validate()?;
+        program.validate_against(&isa)?;
+
+        let mut mem = MainMemory::new(config.memory.memory_capacity);
+        program.load_data(|addr, bytes| {
+            mem.write_bytes(addr, bytes)
+                .unwrap_or_else(|e| panic!("program data does not fit in memory: {e}"));
+        });
+        if !memory_settings.arrays.is_empty() {
+            memory_settings.allocate(&mut mem, config.memory.call_stack_size)?;
+        }
+
+        let program_end = program.len() as u64 * 4;
+        let stack_top = config.memory.call_stack_size;
+        let mut iss = Iss {
+            isa,
+            pc: program.entry_point,
+            program,
+            int_regs: [RegisterValue::zero(); 32],
+            fp_regs: [RegisterValue { bits: 0, data_type: DataType::Float }; 32],
+            mem,
+            retired: 0,
+            halted: None,
+            main_returned: false,
+            program_end,
+            trace_enabled: false,
+            trace: Vec::new(),
+            fault: None,
+        };
+        // Same ABI initialisation as the pipeline: sp at the top of the call
+        // stack, ra at the exit sentinel.
+        iss.int_regs[2] = RegisterValue::from_typed(TypedValue::int(stack_top as i32));
+        iss.int_regs[1] = RegisterValue::from_typed(TypedValue::int(program_end as i32));
+        Ok(iss)
+    }
+
+    /// Assemble `source` with the same data layout as
+    /// `Simulator::from_assembly` and build an interpreter for it.
+    pub fn from_assembly(source: &str, config: &ArchitectureConfig) -> Result<Self, String> {
+        config.validate()?;
+        let data_base = config.memory.call_stack_size.div_ceil(16) * 16;
+        let options = AssemblerOptions { data_base, ..Default::default() };
+        let isa = InstructionSet::rv32imf();
+        let program = assemble(source, &isa, &options)
+            .map_err(|errs| errs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join("\n"))?;
+        Self::with_parts(isa, program, config, MemorySettings::new())
+    }
+
+    // ----------------------------------------------------------------- access
+
+    /// The program being executed.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u64 {
+        self.pc
+    }
+
+    /// Instructions retired so far.
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Why execution halted, if it has.
+    pub fn halt_reason(&self) -> Option<&HaltReason> {
+        self.halted.as_ref()
+    }
+
+    /// True once execution has ended.
+    pub fn is_halted(&self) -> bool {
+        self.halted.is_some()
+    }
+
+    /// Value of integer register `xi` as a signed 64-bit value.
+    pub fn int_register(&self, index: u8) -> i64 {
+        self.register(RegisterId::x(index)).as_i64()
+    }
+
+    /// Value of floating-point register `fi`.
+    pub fn fp_register(&self, index: u8) -> f32 {
+        self.register(RegisterId::f(index)).as_f32()
+    }
+
+    /// Value of an arbitrary register.
+    pub fn register(&self, reg: RegisterId) -> RegisterValue {
+        if reg.is_zero() {
+            return RegisterValue::zero();
+        }
+        match reg.kind {
+            rvsim_isa::RegisterFileKind::Int => self.int_regs[reg.index as usize],
+            rvsim_isa::RegisterFileKind::Fp => self.fp_regs[reg.index as usize],
+        }
+    }
+
+    /// The flat main memory.
+    pub fn memory(&self) -> &MainMemory {
+        &self.mem
+    }
+
+    /// Enable or disable the retirement trace (clears recorded events).
+    pub fn set_retirement_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+        self.trace.clear();
+    }
+
+    /// Events recorded since the trace was enabled.
+    pub fn retirement_trace(&self) -> &[RetireEvent] {
+        &self.trace
+    }
+
+    /// Drain the recorded retirement trace, leaving tracing enabled.
+    pub fn take_retirement_trace(&mut self) -> Vec<RetireEvent> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Install a deliberate bug (testing aid for the co-simulation harness).
+    pub fn inject_fault(&mut self, fault: InjectedFault) {
+        self.fault = Some(fault);
+    }
+
+    // -------------------------------------------------------------- execution
+
+    /// Run until execution halts or `max_steps` instructions retired.
+    pub fn run(&mut self, max_steps: u64) -> IssResult {
+        let budget_end = self.retired + max_steps;
+        while self.halted.is_none() && self.retired < budget_end {
+            self.step();
+        }
+        if self.halted.is_none() {
+            self.halted = Some(HaltReason::MaxCyclesReached);
+        }
+        IssResult { halt: self.halted.clone().expect("halt set"), retired: self.retired }
+    }
+
+    /// Execute one instruction.
+    pub fn step(&mut self) {
+        if self.halted.is_some() {
+            return;
+        }
+        if self.pc >= self.program_end {
+            self.halted = Some(if self.main_returned {
+                HaltReason::MainReturned
+            } else {
+                HaltReason::PipelineEmpty
+            });
+            return;
+        }
+        let Some(ins) = self.program.at(self.pc) else {
+            // A misaligned pc inside the code segment livelocks the pipeline
+            // (it fetches nothing forever); report the same budget-style halt.
+            self.halted = Some(HaltReason::MaxCyclesReached);
+            return;
+        };
+        let ins = ins.clone();
+        let descriptor = self
+            .isa
+            .get(&ins.mnemonic)
+            .cloned()
+            .expect("validated program instruction exists in the ISA");
+
+        // Bind source operands exactly like the pipeline's dispatch stage:
+        // register reads by argument name, immediates as 32-bit ints, plus pc.
+        let mut evaluator = Evaluator::new();
+        let mut dest: Option<(String, RegisterId, DataType)> = None;
+        for (i, arg) in descriptor.arguments.iter().enumerate() {
+            if arg.write_back {
+                let arch = ins.reg(i).expect("destination operand is a register");
+                dest = Some((arg.name.clone(), arch, arg.data_type));
+                continue;
+            }
+            match arg.kind {
+                ArgKind::IntReg | ArgKind::FpReg => {
+                    let arch = ins.reg(i).expect("register operand");
+                    evaluator.bind(&arg.name, self.register(arch).typed());
+                }
+                ArgKind::Imm | ArgKind::Label => {
+                    evaluator.bind(&arg.name, TypedValue::int(ins.imm(i).unwrap_or(0) as i32));
+                }
+            }
+        }
+        evaluator.bind("pc", TypedValue::int(self.pc as i32));
+
+        let pc = self.pc;
+        let mnemonic = ins.mnemonic.clone();
+        let mut dest_effect: Option<(RegisterId, u64)> = None;
+        let mut store_effect: Option<MemEffect> = None;
+        let mut load_effect: Option<MemEffect> = None;
+        let mut next_pc: Option<u64> = None;
+
+        match descriptor.functional_class {
+            FunctionalClass::Fx | FunctionalClass::Fp => {
+                match evaluator.run(&descriptor.interpretable_as) {
+                    Ok(output) => {
+                        if let Some((_, value)) = output.assignments.first() {
+                            dest_effect = self.write_dest(&mnemonic, &dest, *value);
+                        }
+                    }
+                    Err(exception) => {
+                        self.halted = Some(HaltReason::Exception(exception));
+                        return;
+                    }
+                }
+            }
+            FunctionalClass::Branch => {
+                let taken = match &descriptor.condition {
+                    Some(cond) => match evaluator.run(cond) {
+                        Ok(out) => out.result.map(|v| v.is_true()).unwrap_or(false),
+                        Err(e) => {
+                            self.halted = Some(HaltReason::Exception(e));
+                            return;
+                        }
+                    },
+                    None => true,
+                };
+                let target = match &descriptor.target {
+                    Some(t) => match evaluator.run(t) {
+                        Ok(out) => out.result.map(|v| v.as_u32() as u64).unwrap_or(pc + 4),
+                        Err(e) => {
+                            self.halted = Some(HaltReason::Exception(e));
+                            return;
+                        }
+                    },
+                    None => pc + 4,
+                };
+                if !descriptor.interpretable_as.is_empty() {
+                    if let Ok(out) = evaluator.run(&descriptor.interpretable_as) {
+                        if let Some((_, value)) = out.assignments.first() {
+                            dest_effect = self.write_dest(&mnemonic, &dest, *value);
+                        }
+                    }
+                }
+                let next = if taken { target } else { pc + 4 };
+                if next == self.program_end {
+                    self.main_returned = true;
+                }
+                next_pc = Some(next);
+            }
+            FunctionalClass::Load => {
+                let address = match self.effective_address(&evaluator, &descriptor) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        self.halted = Some(HaltReason::Exception(e));
+                        return;
+                    }
+                };
+                let memory = descriptor.memory.expect("load has a memory descriptor");
+                let raw = match self.mem.read(address, memory.size) {
+                    Ok(raw) => raw,
+                    Err(_) => {
+                        self.halted =
+                            Some(HaltReason::Exception(Exception::InvalidAddress { address }));
+                        return;
+                    }
+                };
+                let value = convert_loaded(raw, memory.size, memory.sign_extend, memory.data_type);
+                dest_effect = self.write_dest(&mnemonic, &dest, value);
+                load_effect = Some(MemEffect { address, size: memory.size, value: value.bits() });
+            }
+            FunctionalClass::Store => {
+                let address = match self.effective_address(&evaluator, &descriptor) {
+                    Ok(a) => a,
+                    Err(e) => {
+                        self.halted = Some(HaltReason::Exception(e));
+                        return;
+                    }
+                };
+                let memory = descriptor.memory.expect("store has a memory descriptor");
+                let value = evaluator.get("rs2").unwrap_or_default();
+                // Same raw-image rule as the pipeline's store buffer: floats
+                // keep their bit pattern, integers their 64-bit extension.
+                let raw = match memory.data_type {
+                    DataType::Float => value.bits() & 0xffff_ffff,
+                    DataType::Double => value.bits(),
+                    _ => value.as_u64(),
+                };
+                if self.mem.write(address, memory.size, raw).is_err() {
+                    self.halted =
+                        Some(HaltReason::Exception(Exception::InvalidAddress { address }));
+                    return;
+                }
+                store_effect = Some(MemEffect { address, size: memory.size, value: raw });
+            }
+        }
+
+        if self.trace_enabled {
+            self.trace.push(RetireEvent {
+                seq: self.retired,
+                cycle: self.retired,
+                pc,
+                mnemonic,
+                dest: dest_effect,
+                store: store_effect,
+                load: load_effect,
+                next_pc,
+            });
+        }
+        self.retired += 1;
+        self.pc = next_pc.unwrap_or(pc + 4);
+    }
+
+    fn effective_address(
+        &self,
+        evaluator: &Evaluator,
+        descriptor: &rvsim_isa::InstructionDescriptor,
+    ) -> Result<u64, Exception> {
+        let expr = descriptor.address.as_deref().unwrap_or("\\rs1");
+        let out = evaluator.run(expr)?;
+        Ok(out.result.map(|v| v.as_u32() as u64).unwrap_or(0))
+    }
+
+    /// Write the destination register, tagging the value with the argument's
+    /// declared data type like the pipeline's `write_dest`.  Returns the
+    /// architectural effect, or `None` when the write is discarded (`x0`).
+    fn write_dest(
+        &mut self,
+        mnemonic: &str,
+        dest: &Option<(String, RegisterId, DataType)>,
+        value: TypedValue,
+    ) -> Option<(RegisterId, u64)> {
+        let (_, arch, data_type) = dest.as_ref()?;
+        if arch.is_zero() {
+            return None;
+        }
+        let mut stored = RegisterValue { bits: value.bits(), data_type: *data_type };
+        if let Some(fault) = &self.fault {
+            if fault.mnemonic == mnemonic {
+                stored.bits ^= fault.xor_bits;
+            }
+        }
+        match arch.kind {
+            rvsim_isa::RegisterFileKind::Int => self.int_regs[arch.index as usize] = stored,
+            rvsim_isa::RegisterFileKind::Fp => self.fp_regs[arch.index as usize] = stored,
+        }
+        Some((*arch, stored.bits))
+    }
+}
+
+/// Convert a raw little-endian loaded value according to the access shape.
+/// Mirrors the pipeline's commit-path conversion bit for bit.
+fn convert_loaded(raw: u64, size: usize, sign_extend: bool, data_type: DataType) -> TypedValue {
+    match data_type {
+        DataType::Float => TypedValue::from_bits(raw & 0xffff_ffff, DataType::Float),
+        DataType::Double => TypedValue::from_bits(raw, DataType::Double),
+        _ => {
+            let value: i64 = match (size, sign_extend) {
+                (1, true) => raw as u8 as i8 as i64,
+                (1, false) => (raw & 0xff) as i64,
+                (2, true) => raw as u16 as i16 as i64,
+                (2, false) => (raw & 0xffff) as i64,
+                (8, _) => raw as i64,
+                (_, _) => raw as u32 as i32 as i64,
+            };
+            TypedValue::int(value as i32)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_iss(asm: &str) -> Iss {
+        let mut iss = Iss::from_assembly(asm, &ArchitectureConfig::default()).expect("assembles");
+        let result = iss.run(100_000);
+        assert_ne!(result.halt, HaltReason::MaxCyclesReached, "program hung");
+        iss
+    }
+
+    #[test]
+    fn arithmetic_and_halt_reason() {
+        let iss = run_iss(
+            "main:
+                li   a0, 6
+                li   a1, 7
+                mul  a2, a0, a1
+                addi a2, a2, -2
+                ret
+            ",
+        );
+        assert_eq!(iss.int_register(12), 40);
+        assert_eq!(iss.halt_reason(), Some(&HaltReason::MainReturned));
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        let iss = run_iss(
+            "main:
+                li   t0, 0
+                li   t1, 25
+            loop:
+                addi t0, t0, 3
+                addi t1, t1, -1
+                bnez t1, loop
+                mv   a0, t0
+                ret
+            ",
+        );
+        assert_eq!(iss.int_register(10), 75);
+    }
+
+    #[test]
+    fn memory_round_trip_and_sign_extension() {
+        let iss = run_iss(
+            "data:
+                .byte 0xff, 0x7f
+                .hword 0x8000
+            buf:
+                .zero 8
+            main:
+                la   t0, data
+                lb   a0, 0(t0)
+                lbu  a1, 0(t0)
+                lh   a2, 2(t0)
+                la   t1, buf
+                li   t2, -2
+                sw   t2, 0(t1)
+                lw   a3, 0(t1)
+                ret
+            ",
+        );
+        assert_eq!(iss.int_register(10), -1);
+        assert_eq!(iss.int_register(11), 255);
+        assert_eq!(iss.int_register(12), -32768);
+        assert_eq!(iss.int_register(13), -2);
+    }
+
+    #[test]
+    fn x0_writes_are_discarded() {
+        let iss = run_iss(
+            "main:
+                li   x0, 55
+                addi a0, x0, 3
+                ret
+            ",
+        );
+        assert_eq!(iss.int_register(0), 0);
+        assert_eq!(iss.int_register(10), 3);
+    }
+
+    #[test]
+    fn division_by_zero_halts_with_exception() {
+        let mut iss = Iss::from_assembly(
+            "main:
+                li  a0, 10
+                li  a1, 0
+                div a2, a0, a1
+                ret
+            ",
+            &ArchitectureConfig::default(),
+        )
+        .unwrap();
+        let result = iss.run(1000);
+        assert_eq!(result.halt, HaltReason::Exception(Exception::DivisionByZero));
+        assert_eq!(result.retired, 2, "the faulting div does not retire");
+    }
+
+    #[test]
+    fn invalid_address_halts_with_exception() {
+        let mut iss = Iss::from_assembly(
+            "main:
+                li  t0, 0x40000
+                lw  a0, 0(t0)
+                ret
+            ",
+            &ArchitectureConfig::default(),
+        )
+        .unwrap();
+        let result = iss.run(1000);
+        assert!(matches!(result.halt, HaltReason::Exception(Exception::InvalidAddress { .. })));
+    }
+
+    #[test]
+    fn function_calls_and_floats() {
+        let iss = run_iss(
+            "vals:
+                .float 1.5, 2.25
+            main:
+                addi sp, sp, -16
+                sw   ra, 12(sp)
+                li   a0, 5
+                call double
+                la    t0, vals
+                flw   fa0, 0(t0)
+                flw   fa1, 4(t0)
+                fadd.s fa2, fa0, fa1
+                lw   ra, 12(sp)
+                addi sp, sp, 16
+                ret
+            double:
+                add  a0, a0, a0
+                ret
+            ",
+        );
+        assert_eq!(iss.int_register(10), 10);
+        assert_eq!(iss.fp_register(12), 3.75);
+    }
+
+    #[test]
+    fn trace_records_architectural_effects() {
+        let mut iss = Iss::from_assembly(
+            "buf:
+                .zero 8
+            main:
+                li   t0, 7
+                la   t1, buf
+                sw   t0, 0(t1)
+                lw   a0, 4(t1)
+                ret
+            ",
+            &ArchitectureConfig::default(),
+        )
+        .unwrap();
+        iss.set_retirement_trace(true);
+        iss.run(1000);
+        let trace = iss.retirement_trace();
+        assert_eq!(trace[0].mnemonic, "addi"); // li expansion
+        assert_eq!(trace[0].dest.unwrap().1, 7);
+        let store = trace.iter().find(|e| e.store.is_some()).unwrap();
+        assert_eq!(store.store.unwrap().size, 4);
+        let load = trace.iter().find(|e| e.load.is_some()).unwrap();
+        assert_eq!(load.load.unwrap().value, 0);
+        let ret = trace.last().unwrap();
+        assert_eq!(ret.mnemonic, "jalr");
+        assert!(ret.next_pc.is_some());
+        // seq numbers are dense program order.
+        for (i, e) in trace.iter().enumerate() {
+            assert_eq!(e.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn injected_fault_corrupts_matching_mnemonic_only() {
+        let asm = "main:
+                li   t0, 12
+                li   t1, 10
+                xor  a0, t0, t1
+                add  a1, t0, t1
+                ret
+            ";
+        let config = ArchitectureConfig::default();
+        let mut good = Iss::from_assembly(asm, &config).unwrap();
+        good.run(1000);
+        let mut bad = Iss::from_assembly(asm, &config).unwrap();
+        bad.inject_fault(InjectedFault { mnemonic: "xor".into(), xor_bits: 1 });
+        bad.run(1000);
+        assert_eq!(good.int_register(10) ^ 1, bad.int_register(10));
+        assert_eq!(good.int_register(11), bad.int_register(11), "add is unaffected");
+    }
+
+    #[test]
+    fn convert_loaded_shapes() {
+        assert_eq!(convert_loaded(0xff, 1, true, DataType::Int).as_i64(), -1);
+        assert_eq!(convert_loaded(0xff, 1, false, DataType::Int).as_i64(), 255);
+        assert_eq!(convert_loaded(0x8000, 2, true, DataType::Int).as_i64(), -32768);
+        assert_eq!(convert_loaded(0x8000, 2, false, DataType::Int).as_i64(), 0x8000);
+        let f = convert_loaded(1.5f32.to_bits() as u64, 4, false, DataType::Float);
+        assert_eq!(f.as_f32(), 1.5);
+    }
+}

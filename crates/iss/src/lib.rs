@@ -1,0 +1,51 @@
+//! # rvsim-iss — reference interpreter and differential co-simulation
+//!
+//! The verification spine of the workspace, following the methodology of
+//! "Functional ISS-Driven Verification of Superscalar RISC-V Processors":
+//! a minimal in-order, architecturally-exact interpreter ([`Iss`]) executes
+//! the same programs as the superscalar pipeline, and a lockstep harness
+//! ([`Cosim`]) diffs the two retirement streams to find bugs hiding in
+//! instruction interleavings no hand-written test exercises.
+//!
+//! Three pieces:
+//!
+//! * [`Iss`] — single-cycle semantics over the shared instruction
+//!   descriptors: registers, flat memory, pc and a halt reason.  Doubles as a
+//!   fast throughput baseline (see `crates/bench/benches/iss_throughput.rs`).
+//! * [`generate_program`] — a seeded random-program generator emitting valid,
+//!   terminating assembly with ALU/branch/load-store/FP/pseudo-instruction
+//!   mixes, loop and hazard patterns.
+//! * [`Cosim`] — runs both models in lockstep, reports the first divergence
+//!   with full context (program, seed, retirement index, disassembly window)
+//!   and shrinks failing programs to minimal reproducers.
+//!
+//! ## Reproducing a divergence
+//!
+//! Every batch divergence prints the generator seed of the failing program.
+//! To replay it:
+//!
+//! ```
+//! use rvsim_core::ArchitectureConfig;
+//! use rvsim_iss::{generate_program, Cosim, CosimOutcome, GenOptions};
+//!
+//! let source = generate_program(1234, &GenOptions::default()); // printed seed
+//! let harness = Cosim::new(ArchitectureConfig::default());
+//! match harness.run_source(&source).unwrap() {
+//!     CosimOutcome::Match { .. } => {}                  // bug already fixed
+//!     CosimOutcome::Divergence(d) => println!("{}", d.report),
+//!     CosimOutcome::Inconclusive { reason } => println!("{reason}"),
+//! }
+//! ```
+//!
+//! From the command line the same run is `rvsim-cli cosim --programs 200
+//! --seed 42` (see the CLI's `cosim --help`).
+
+#![warn(missing_docs)]
+
+pub mod cosim;
+pub mod gen;
+pub mod interp;
+
+pub use cosim::{derive_seed, BatchDivergence, BatchReport, Cosim, CosimOutcome, Divergence};
+pub use gen::{generate_program, GenOptions};
+pub use interp::{InjectedFault, Iss, IssResult};

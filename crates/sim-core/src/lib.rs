@@ -43,6 +43,7 @@ pub mod register_file;
 pub mod simulator;
 pub mod snapshot;
 pub mod stats;
+pub mod trace;
 pub mod units;
 
 pub use config::{
@@ -55,3 +56,4 @@ pub use register_file::{PhysRegTag, RegisterFile};
 pub use simulator::{HaltReason, RunResult, Simulator};
 pub use snapshot::ProcessorSnapshot;
 pub use stats::SimulationStatistics;
+pub use trace::{MemEffect, RetireEvent};

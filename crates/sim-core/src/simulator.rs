@@ -11,6 +11,7 @@ use crate::instruction::{DestOperand, InstrId, InstructionState, SimCode, Source
 use crate::log::DebugLog;
 use crate::register_file::{DestRename, OperandRead, RegisterFile};
 use crate::stats::{SimulationStatistics, UnitUtilization};
+use crate::trace::{MemEffect, RetireEvent};
 use crate::units::{
     FunctionalUnit, IssueWindow, LoadBuffer, LoadEntry, ReorderBuffer, StoreBuffer, StoreEntry,
 };
@@ -87,6 +88,9 @@ pub struct Simulator {
     log: DebugLog,
     program_end: u64,
     stack_top: u64,
+
+    trace_enabled: bool,
+    retire_log: Vec<RetireEvent>,
 }
 
 impl Simulator {
@@ -182,6 +186,8 @@ impl Simulator {
             log: DebugLog::new(),
             program_end,
             stack_top,
+            trace_enabled: false,
+            retire_log: Vec::new(),
             mem,
             config: config.clone(),
             program,
@@ -306,6 +312,24 @@ impl Simulator {
         &self.log
     }
 
+    /// Enable or disable the retirement trace.  Enabling clears any events
+    /// recorded so far; with the trace on, every committed instruction
+    /// appends a [`RetireEvent`] describing its architectural effects.
+    pub fn set_retirement_trace(&mut self, enabled: bool) {
+        self.trace_enabled = enabled;
+        self.retire_log.clear();
+    }
+
+    /// Events recorded since the trace was enabled (or the last reset).
+    pub fn retirement_trace(&self) -> &[RetireEvent] {
+        &self.retire_log
+    }
+
+    /// Drain the recorded retirement trace, leaving tracing enabled.
+    pub fn take_retirement_trace(&mut self) -> Vec<RetireEvent> {
+        std::mem::take(&mut self.retire_log)
+    }
+
     /// In-flight instructions in program order (GUI block contents).
     pub fn in_flight(&self) -> impl Iterator<Item = &SimCode> {
         self.in_flight.values()
@@ -412,6 +436,10 @@ impl Simulator {
             ..Default::default()
         };
         self.log.clear();
+        // The trace must restart from scratch so that a reset + replay (and
+        // therefore `step_back`) reproduces the original event stream instead
+        // of appending to it.
+        self.retire_log.clear();
         self.init_registers();
     }
 
@@ -470,6 +498,7 @@ impl Simulator {
             }
 
             // Stores write memory at commit so speculative stores never leak.
+            let mut store_effect: Option<MemEffect> = None;
             if code.class == FunctionalClass::Store {
                 let entry = self
                     .store_buffer
@@ -481,6 +510,7 @@ impl Simulator {
                     entry.address.expect("store address computed"),
                     entry.value.expect("store value ready"),
                 );
+                store_effect = Some(MemEffect { address, size: entry.size, value });
                 match self.mem.store(address, entry.size, value, cycle) {
                     Ok(tx) => {
                         code.cache_hit = Some(tx.cache_hit);
@@ -526,6 +556,41 @@ impl Simulator {
                 if code.actual_next_pc == Some(self.program_end) {
                     self.main_returned = true;
                 }
+            }
+
+            if self.trace_enabled {
+                let dest = code.dest.as_ref().and_then(|d| {
+                    d.tag?;
+                    code.result.map(|v| (d.arch, v.bits()))
+                });
+                let load =
+                    if code.class == FunctionalClass::Load {
+                        let size = self
+                            .isa
+                            .get(&code.mnemonic)
+                            .and_then(|d| d.memory)
+                            .map(|m| m.size)
+                            .unwrap_or(0);
+                        code.effective_address
+                            .zip(code.loaded_value)
+                            .map(|(address, v)| MemEffect { address, size, value: v.bits() })
+                    } else {
+                        None
+                    };
+                // `committed` was incremented above, so `committed - 1` is
+                // this instruction's 0-based program-order retirement index.
+                // It stays monotonic across `take_retirement_trace` drains
+                // (matching the ISS) and restarts on `reset`.
+                self.retire_log.push(RetireEvent {
+                    seq: self.stats.committed - 1,
+                    cycle,
+                    pc: code.pc,
+                    mnemonic: code.mnemonic.clone(),
+                    dest,
+                    store: store_effect,
+                    load,
+                    next_pc: code.actual_next_pc,
+                });
             }
 
             code.state = InstructionState::Committed;

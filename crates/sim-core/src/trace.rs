@@ -1,0 +1,149 @@
+//! Retirement trace: the per-committed-instruction record of architectural
+//! effects.
+//!
+//! The trace is the comparison point of the differential co-simulation
+//! harness (`rvsim-iss`): the pipeline records one [`RetireEvent`] per
+//! committed instruction, the in-order reference interpreter records one per
+//! executed instruction, and the two streams must agree event-by-event on
+//! every architectural field — program counter, destination register write,
+//! memory effect and resolved control flow.  Timing fields (`seq`, `cycle`)
+//! are carried for context but are *not* part of the architectural
+//! comparison, because the two models disagree on them by design.
+
+use rvsim_isa::RegisterId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One memory effect performed by a retired instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemEffect {
+    /// Effective byte address of the access.
+    pub address: u64,
+    /// Access size in bytes (1, 2, 4 or 8).
+    pub size: usize,
+    /// For stores: the raw value handed to memory (only the low `size` bytes
+    /// reach memory, but the full register image is kept so both models can
+    /// be compared bit-for-bit).  For loads: the converted value written to
+    /// the destination register.
+    pub value: u64,
+}
+
+/// Architectural effects of one retired (committed) instruction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RetireEvent {
+    /// Retirement sequence number (0-based, program order).
+    pub seq: u64,
+    /// Cycle the instruction committed (pipeline) or step index (ISS).
+    /// Context only — not compared between models.
+    pub cycle: u64,
+    /// Program counter of the instruction.
+    pub pc: u64,
+    /// Mnemonic after pseudo-instruction expansion.
+    pub mnemonic: String,
+    /// Destination register write that became architectural, if any
+    /// (discarded `x0` writes are `None`): register plus raw bits.
+    pub dest: Option<(RegisterId, u64)>,
+    /// Memory write performed at commit (stores).
+    pub store: Option<MemEffect>,
+    /// Memory read performed by the instruction (loads).
+    pub load: Option<MemEffect>,
+    /// Resolved next program counter (control-flow instructions only).
+    pub next_pc: Option<u64>,
+}
+
+impl RetireEvent {
+    /// True when the two events describe the same architectural effect.
+    /// `seq` and `cycle` are deliberately excluded: the pipeline and the ISS
+    /// retire the same instructions at different cycles.
+    pub fn architecturally_equal(&self, other: &RetireEvent) -> bool {
+        self.pc == other.pc
+            && self.mnemonic == other.mnemonic
+            && self.dest == other.dest
+            && self.store == other.store
+            && self.load == other.load
+            && self.next_pc == other.next_pc
+    }
+}
+
+impl fmt::Display for RetireEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{:<5} pc 0x{:04x} {:<8}", self.seq, self.pc, self.mnemonic)?;
+        if let Some((reg, bits)) = &self.dest {
+            write!(f, " {} <- 0x{:x}", reg, bits)?;
+        }
+        if let Some(s) = &self.store {
+            write!(f, " mem[0x{:x}..+{}] <- 0x{:x}", s.address, s.size, s.value)?;
+        }
+        if let Some(l) = &self.load {
+            write!(f, " loaded mem[0x{:x}..+{}] = 0x{:x}", l.address, l.size, l.value)?;
+        }
+        if let Some(next) = self.next_pc {
+            write!(f, " -> 0x{:x}", next)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event() -> RetireEvent {
+        RetireEvent {
+            seq: 3,
+            cycle: 17,
+            pc: 0x10,
+            mnemonic: "addi".into(),
+            dest: Some((RegisterId::x(10), 42)),
+            store: None,
+            load: None,
+            next_pc: None,
+        }
+    }
+
+    #[test]
+    fn architectural_equality_ignores_timing() {
+        let a = event();
+        let mut b = event();
+        b.seq = 99;
+        b.cycle = 1234;
+        assert!(a.architecturally_equal(&b));
+        assert_ne!(a, b, "full equality still sees the timing fields");
+    }
+
+    #[test]
+    fn architectural_equality_detects_effect_differences() {
+        let a = event();
+        let mut b = event();
+        b.dest = Some((RegisterId::x(10), 43));
+        assert!(!a.architecturally_equal(&b));
+
+        let mut c = event();
+        c.store = Some(MemEffect { address: 0x100, size: 4, value: 7 });
+        assert!(!a.architecturally_equal(&c));
+
+        let mut d = event();
+        d.next_pc = Some(0x20);
+        assert!(!a.architecturally_equal(&d));
+    }
+
+    #[test]
+    fn display_shows_effects() {
+        let mut e = event();
+        e.store = Some(MemEffect { address: 0x200, size: 4, value: 0xbeef });
+        e.next_pc = Some(0x14);
+        let text = e.to_string();
+        assert!(text.contains("pc 0x0010"));
+        assert!(text.contains("a0 <- 0x2a"));
+        assert!(text.contains("mem[0x200..+4] <- 0xbeef"));
+        assert!(text.contains("-> 0x14"));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = event();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: RetireEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

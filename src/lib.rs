@@ -16,6 +16,7 @@
 //! | [`mem`] | `rvsim-mem` | transactional main memory + configurable L1 cache |
 //! | [`predictor`] | `rvsim-predictor` | BTB, PHT, zero/one/two-bit predictors, history |
 //! | [`core`] | `rvsim-core` | the superscalar out-of-order pipeline and statistics |
+//! | [`iss`] | `rvsim-iss` | in-order reference ISS, program generator, co-simulation |
 //! | [`cc`] | `rvsim-cc` | C-subset compiler with `-O0..-O3` |
 //! | [`compress`] | `rvsim-compress` | LZSS payload compression (gzip stand-in) |
 //! | [`server`] | `rvsim-server` | session server with a JSON request/response API |
@@ -46,6 +47,7 @@ pub use rvsim_cc as cc;
 pub use rvsim_compress as compress;
 pub use rvsim_core as core;
 pub use rvsim_isa as isa;
+pub use rvsim_iss as iss;
 pub use rvsim_loadgen as loadgen;
 pub use rvsim_mem as mem;
 pub use rvsim_predictor as predictor;
@@ -60,6 +62,7 @@ pub mod prelude {
         Simulator,
     };
     pub use rvsim_isa::{InstructionSet, RegisterId};
+    pub use rvsim_iss::{generate_program, Cosim, CosimOutcome, GenOptions, Iss};
     pub use rvsim_loadgen::{run_load_test, LoadTestReport, Scenario};
     pub use rvsim_mem::{ArrayFill, CacheConfig, MemoryArray, MemorySettings, ScalarType};
     pub use rvsim_predictor::{BranchPredictorConfig, CounterState, HistoryKind, PredictorKind};

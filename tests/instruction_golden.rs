@@ -3,15 +3,32 @@
 //! at the end of the simulation.")
 //!
 //! Every entry assembles a tiny program exercising one instruction and checks
-//! the architectural state after the run.
+//! the architectural state after the run.  Each program is additionally run
+//! through the in-order reference interpreter (`rvsim-iss`), which must halt
+//! for the same reason and end with bit-identical architectural registers —
+//! so the whole golden table doubles as ISS coverage.
 
 use riscv_superscalar_sim::prelude::*;
 
 fn run(asm: &str) -> Simulator {
-    let mut sim =
-        Simulator::from_assembly(asm, &ArchitectureConfig::default()).expect("program assembles");
+    let config = ArchitectureConfig::default();
+    let mut sim = Simulator::from_assembly(asm, &config).expect("program assembles");
     let result = sim.run(50_000).expect("program runs");
     assert!(!matches!(result.halt, HaltReason::MaxCyclesReached), "program hung:\n{asm}");
+
+    // Reference-model cross-check: identical halt reason and registers.
+    let mut iss = Iss::from_assembly(asm, &config).expect("ISS accepts the same program");
+    let iss_result = iss.run(50_000);
+    assert_eq!(iss_result.halt, result.halt, "halt reasons differ:\n{asm}");
+    for i in 0..32u8 {
+        for reg in [RegisterId::x(i), RegisterId::f(i)] {
+            assert_eq!(
+                sim.register(reg).bits,
+                iss.register(reg).bits,
+                "register {reg} differs between pipeline and ISS:\n{asm}"
+            );
+        }
+    }
     sim
 }
 

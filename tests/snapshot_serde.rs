@@ -1,0 +1,65 @@
+//! Snapshot serde round-trip property test: a [`ProcessorSnapshot`] captured
+//! from a randomly generated program at a random mid-execution point must
+//! survive `Snapshot -> JSON -> Snapshot` with the register file, cache-line
+//! (memory delta) view and statistics intact.  The statistics object itself
+//! gets the same treatment.
+
+use proptest::prelude::*;
+use riscv_superscalar_sim::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshot_round_trips_through_json(seed in any::<u64>(), steps in 0u64..400) {
+        let source = generate_program(seed, &GenOptions::default());
+        let config = ArchitectureConfig::default();
+        let mut sim = Simulator::from_assembly(&source, &config)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed} does not assemble: {e}")))?;
+        for _ in 0..steps {
+            sim.step();
+        }
+
+        let snapshot = ProcessorSnapshot::capture(&sim);
+        let json = snapshot.to_json();
+        let back: ProcessorSnapshot = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::fail(format!("snapshot does not re-parse: {e}")))?;
+        prop_assert_eq!(&back, &snapshot);
+
+        // Spot-check the pieces the GUI depends on, in case a future change
+        // weakens the derived PartialEq.
+        prop_assert_eq!(back.int_registers.len(), 32);
+        prop_assert_eq!(back.fp_registers.len(), 32);
+        for (a, b) in back.int_registers.iter().zip(snapshot.int_registers.iter()) {
+            prop_assert_eq!(a.bits, b.bits);
+            prop_assert_eq!(&a.renamed_to, &b.renamed_to);
+        }
+        prop_assert_eq!(back.cache_lines.len(), snapshot.cache_lines.len());
+        prop_assert_eq!(back.headline.committed, snapshot.headline.committed);
+
+        let stats = sim.statistics();
+        let stats_json = serde_json::to_string(&stats)
+            .map_err(|e| TestCaseError::fail(format!("stats do not serialize: {e}")))?;
+        let stats_back: SimulationStatistics = serde_json::from_str(&stats_json)
+            .map_err(|e| TestCaseError::fail(format!("stats do not re-parse: {e}")))?;
+        prop_assert_eq!(stats_back, stats);
+    }
+
+    #[test]
+    fn retirement_trace_round_trips_through_json(seed in any::<u64>()) {
+        let source = generate_program(seed, &GenOptions::default());
+        let config = ArchitectureConfig::default();
+        let mut sim = Simulator::from_assembly(&source, &config)
+            .map_err(|e| TestCaseError::fail(format!("seed {seed} does not assemble: {e}")))?;
+        sim.set_retirement_trace(true);
+        for _ in 0..200 {
+            sim.step();
+        }
+        let trace = sim.retirement_trace();
+        let json = serde_json::to_string(trace)
+            .map_err(|e| TestCaseError::fail(format!("trace does not serialize: {e}")))?;
+        let back: Vec<riscv_superscalar_sim::core::RetireEvent> = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::fail(format!("trace does not re-parse: {e}")))?;
+        prop_assert_eq!(back.as_slice(), trace);
+    }
+}
