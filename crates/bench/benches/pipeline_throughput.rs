@@ -1,0 +1,41 @@
+//! Pipeline throughput: retired (committed) instructions per host second for
+//! the benchmark suite (quicksort + the paper's sample programs) across the
+//! scalar, 2-wide and 4-wide processor presets.
+//!
+//! This is the repo's tracked perf trajectory for the simulate loop: the same
+//! matrix is emitted in machine-readable form by `rvsim-cli bench --json`
+//! (`BENCH_pipeline.json`), so regressions in the hot path show up both here
+//! and in CI artifacts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvsim_bench::{pipeline_bench_configs, pipeline_workloads};
+use rvsim_core::Simulator;
+use std::hint::black_box;
+
+fn bench_retired_per_second(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_retired_per_second");
+    for workload in pipeline_workloads() {
+        for config in pipeline_bench_configs() {
+            let mut sim = Simulator::from_assembly_with_memory(
+                &workload.assembly,
+                &config,
+                workload.memory.clone(),
+            )
+            .expect("benchmark workload assembles");
+            sim.run(50_000_000).expect("benchmark workload runs");
+            let committed = sim.statistics().committed;
+            group.throughput(Throughput::Elements(committed));
+            group.bench_function(BenchmarkId::new(workload.name, &config.name), |b| {
+                b.iter(|| {
+                    sim.reset();
+                    sim.run(50_000_000).expect("benchmark workload runs");
+                    black_box(sim.cycle())
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retired_per_second);
+criterion_main!(benches);

@@ -9,7 +9,10 @@
 #![warn(missing_docs)]
 
 use rvsim_core::{ArchitectureConfig, Simulator};
+use rvsim_mem::{ArrayFill, MemoryArray, MemorySettings, ScalarType};
 use rvsim_server::{DeploymentConfig, DeploymentMode, SimulationServer, ThreadedServer};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Arithmetic loop used as the "program 1" interactive workload.
 pub fn program_arithmetic() -> String {
@@ -93,6 +96,185 @@ pub fn start_server(mode: DeploymentMode, compress: bool, workers: usize) -> Thr
     }))
 }
 
+// ---------------------------------------------------------------------------
+// Pipeline-throughput benchmark harness (retired instructions per host second)
+// ---------------------------------------------------------------------------
+
+/// One benchmark program plus the memory arrays it expects.
+pub struct Workload {
+    /// Short display name ("quicksort", "arithmetic", …).
+    pub name: &'static str,
+    /// Assembly source (already compiled for C workloads).
+    pub assembly: String,
+    /// Memory Settings arrays referenced by the program.
+    pub memory: MemorySettings,
+}
+
+/// Recursive quicksort over a 32-element array, compiled from the same C
+/// source the paper uses for validation (§IV).  Returns the assembly and the
+/// unsorted input array as a Memory Settings workload.
+pub fn workload_quicksort() -> Workload {
+    const QUICKSORT_C: &str = r#"
+extern int data[];
+
+void swap(int a[], int i, int j) {
+    int t = a[i];
+    a[i] = a[j];
+    a[j] = t;
+}
+
+int partition(int a[], int lo, int hi) {
+    int pivot = a[hi];
+    int i = lo - 1;
+    for (int j = lo; j < hi; j++) {
+        if (a[j] <= pivot) {
+            i++;
+            swap(a, i, j);
+        }
+    }
+    swap(a, i + 1, hi);
+    return i + 1;
+}
+
+void quicksort(int a[], int lo, int hi) {
+    if (lo < hi) {
+        int p = partition(a, lo, hi);
+        quicksort(a, lo, p - 1);
+        quicksort(a, p + 1, hi);
+    }
+}
+
+int main(void) {
+    quicksort(data, 0, 31);
+    int sum = 0;
+    for (int i = 0; i < 32; i++) {
+        sum += data[i] * (i + 1);
+    }
+    return sum;
+}
+"#;
+    let values: Vec<f64> = vec![
+        93.0, 7.0, 55.0, 12.0, 88.0, 3.0, 41.0, 67.0, 25.0, 99.0, 4.0, 73.0, 18.0, 62.0, 31.0,
+        80.0, 9.0, 46.0, 58.0, 2.0, 77.0, 36.0, 14.0, 91.0, 28.0, 65.0, 50.0, 6.0, 84.0, 21.0,
+        70.0, 39.0,
+    ];
+    let mut memory = MemorySettings::new();
+    memory.add(MemoryArray {
+        name: "data".to_string(),
+        element: ScalarType::Word,
+        alignment: 16,
+        fill: ArrayFill::Values(values),
+    });
+    let output =
+        rvsim_cc::compile(QUICKSORT_C, rvsim_cc::OptLevel::O2).expect("quicksort compiles");
+    Workload { name: "quicksort", assembly: output.assembly, memory }
+}
+
+/// The benchmark suite measured by `pipeline_throughput` and
+/// `rvsim-cli bench`: quicksort plus the paper's sample programs.
+pub fn pipeline_workloads() -> Vec<Workload> {
+    let plain = |name, assembly| Workload { name, assembly, memory: MemorySettings::new() };
+    vec![
+        workload_quicksort(),
+        plain("arithmetic", program_arithmetic()),
+        plain("memory", program_memory()),
+        plain("mixed", program_mixed()),
+        plain("float", program_float()),
+    ]
+}
+
+/// The processor presets the throughput benchmark sweeps: single-issue,
+/// the default 2-wide machine and the aggressive 4-wide machine.
+pub fn pipeline_bench_configs() -> Vec<ArchitectureConfig> {
+    vec![ArchitectureConfig::scalar(), ArchitectureConfig::default(), ArchitectureConfig::wide()]
+}
+
+/// One measured (workload, configuration) cell of the pipeline-throughput
+/// benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSample {
+    /// Workload name.
+    pub workload: String,
+    /// Architecture configuration name.
+    pub config: String,
+    /// Fetch width of the configuration (1 / 2 / 4).
+    pub fetch_width: usize,
+    /// Instructions committed by one complete run of the program.
+    pub committed_per_run: u64,
+    /// Simulated cycles of one complete run.
+    pub cycles_per_run: u64,
+    /// Complete runs executed during the measurement window.
+    pub runs: u64,
+    /// Host wall-clock seconds spent simulating.
+    pub wall_seconds: f64,
+    /// Retired (committed) instructions per host second — the headline metric.
+    pub retired_per_second: f64,
+    /// Simulated cycles per host second.
+    pub cycles_per_second: f64,
+    /// Instructions per cycle of the simulated machine (sanity statistic).
+    pub ipc: f64,
+}
+
+/// Measure retired-instructions-per-host-second for one workload on one
+/// configuration.  The program is run to completion repeatedly (via
+/// [`Simulator::reset`]) until `min_wall_seconds` of measurement have
+/// accumulated; at least one run always happens.
+pub fn measure_pipeline(
+    workload: &Workload,
+    config: &ArchitectureConfig,
+    min_wall_seconds: f64,
+) -> PipelineSample {
+    let mut sim =
+        Simulator::from_assembly_with_memory(&workload.assembly, config, workload.memory.clone())
+            .expect("benchmark workload assembles");
+
+    // Warm-up run: validates termination and fills caches/allocations.
+    let warm = sim.run(50_000_000).expect("benchmark workload runs");
+    assert!(
+        !matches!(warm.halt, rvsim_core::HaltReason::MaxCyclesReached),
+        "workload {} did not terminate",
+        workload.name
+    );
+    let stats = sim.statistics();
+    let (committed_per_run, cycles_per_run) = (stats.committed, stats.cycles);
+
+    let mut runs = 0u64;
+    let start = Instant::now();
+    loop {
+        sim.reset();
+        sim.run(50_000_000).expect("benchmark workload runs");
+        runs += 1;
+        if start.elapsed().as_secs_f64() >= min_wall_seconds {
+            break;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let retired = committed_per_run * runs;
+    PipelineSample {
+        workload: workload.name.to_string(),
+        config: config.name.clone(),
+        fetch_width: config.buffers.fetch_width,
+        committed_per_run,
+        cycles_per_run,
+        runs,
+        wall_seconds,
+        retired_per_second: retired as f64 / wall_seconds,
+        cycles_per_second: (cycles_per_run * runs) as f64 / wall_seconds,
+        ipc: committed_per_run as f64 / cycles_per_run as f64,
+    }
+}
+
+/// Run the full pipeline-throughput matrix (workloads × configurations).
+pub fn run_pipeline_bench(min_wall_seconds: f64) -> Vec<PipelineSample> {
+    let mut samples = Vec::new();
+    for workload in pipeline_workloads() {
+        for config in pipeline_bench_configs() {
+            samples.push(measure_pipeline(&workload, &config, min_wall_seconds));
+        }
+    }
+    samples
+}
+
 /// Print a paper-style table header once per bench run.
 pub fn print_header(title: &str, columns: &str) {
     println!();
@@ -113,6 +295,42 @@ mod tests {
             assert!(cycles > 10);
             assert!(ipc > 0.0);
         }
+    }
+
+    #[test]
+    fn pipeline_bench_harness_measures_all_cells() {
+        // A tiny measurement window keeps this a smoke test; the real numbers
+        // come from `rvsim-cli bench` / the pipeline_throughput bench.
+        let workloads = pipeline_workloads();
+        assert!(workloads.iter().any(|w| w.name == "quicksort"));
+        let sample = measure_pipeline(&workloads[1], &ArchitectureConfig::scalar(), 0.0);
+        assert!(sample.committed_per_run > 100);
+        assert!(sample.retired_per_second > 0.0);
+        assert!(sample.runs >= 1);
+        assert_eq!(sample.fetch_width, 1);
+        let json = serde_json::to_string(&sample).unwrap();
+        let back: PipelineSample = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, sample);
+    }
+
+    #[test]
+    fn quicksort_workload_sorts_and_checksums() {
+        let w = workload_quicksort();
+        let mut sim = Simulator::from_assembly_with_memory(
+            &w.assembly,
+            &ArchitectureConfig::default(),
+            w.memory.clone(),
+        )
+        .unwrap();
+        sim.run(50_000_000).unwrap();
+        // Checksum of the sorted array: sum(a[i] * (i+1)) for the fixed input.
+        let mut sorted = vec![
+            93i64, 7, 55, 12, 88, 3, 41, 67, 25, 99, 4, 73, 18, 62, 31, 80, 9, 46, 58, 2, 77, 36,
+            14, 91, 28, 65, 50, 6, 84, 21, 70, 39,
+        ];
+        sorted.sort_unstable();
+        let expected: i64 = sorted.iter().enumerate().map(|(i, v)| v * (i as i64 + 1)).sum();
+        assert_eq!(sim.int_register(10), expected);
     }
 
     #[test]

@@ -155,7 +155,9 @@ OPTIONS:
     --program-seed <N>      replay ONE program from the per-program generator
                             seed a divergence report printed (bypasses the
                             batch-seed derivation; --programs is ignored)
-    --arch <FILE>           architecture description in JSON
+    --arch <FILE>           architecture description in JSON; without it the
+                            batch runs on the scalar, default 2-wide AND
+                            4-wide / deep-ROB (wide-4) presets
     --instructions <N>      random items per loop body (default 32; use the
                             value printed in the report when replaying)
     --max-cycles <N>        pipeline cycle budget per program (default 200000)
@@ -264,6 +266,125 @@ impl CosimCliOptions {
     }
 }
 
+// ---------------------------------------------------------------------------
+// `bench` subcommand: pipeline-throughput benchmark (retired instrs/second).
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `bench` subcommand.
+pub const BENCH_USAGE: &str = "\
+rvsim-cli bench — pipeline throughput benchmark
+               (retired instructions per host second, quicksort + paper
+               programs, scalar / 2-wide / 4-wide presets)
+
+USAGE:
+    rvsim-cli bench [OPTIONS]
+
+OPTIONS:
+    --json                  emit machine-readable JSON (and write it to
+                            BENCH_pipeline.json unless --out changes the path)
+    --out <FILE>            JSON output path (implies --json;
+                            default BENCH_pipeline.json)
+    --min-seconds <F>       minimum measurement window per (workload, config)
+                            cell (default 0.2; use a small value for smoke
+                            runs)
+    --help                  show this help
+";
+
+/// Parsed options of the `bench` subcommand.
+#[derive(Debug, Clone)]
+pub struct BenchCliOptions {
+    /// Emit (and write) JSON instead of the text table.
+    pub json: bool,
+    /// Path of the JSON report (written only in JSON mode).
+    pub out: String,
+    /// Minimum measurement window per benchmark cell, in seconds.
+    pub min_seconds: f64,
+}
+
+impl Default for BenchCliOptions {
+    fn default() -> Self {
+        BenchCliOptions { json: false, out: "BENCH_pipeline.json".to_string(), min_seconds: 0.2 }
+    }
+}
+
+impl BenchCliOptions {
+    /// Parse the arguments following the `bench` subcommand word.
+    pub fn parse(args: &[String]) -> Result<BenchCliOptions, String> {
+        let mut options = BenchCliOptions::default();
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--json" => options.json = true,
+                "--out" => {
+                    options.out = value(&mut i, "--out")?;
+                    options.json = true;
+                }
+                "--min-seconds" => {
+                    let v = value(&mut i, "--min-seconds")?;
+                    options.min_seconds =
+                        v.parse().map_err(|_| format!("invalid duration `{v}`"))?;
+                    if !options.min_seconds.is_finite() || options.min_seconds < 0.0 {
+                        return Err(format!("invalid duration `{v}`"));
+                    }
+                }
+                "--help" | "-h" => return Err(BENCH_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{BENCH_USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(options)
+    }
+}
+
+/// Run the `bench` subcommand.  In JSON mode the report is also written to
+/// `options.out` (`BENCH_pipeline.json` by default) so CI can archive the
+/// perf trajectory.
+pub fn run_bench(options: &BenchCliOptions) -> Result<String, String> {
+    let samples = rvsim_bench::run_pipeline_bench(options.min_seconds);
+    let total_retired: f64 = samples.iter().map(|s| s.retired_per_second).sum();
+    let geomean = if samples.is_empty() {
+        0.0
+    } else {
+        let log_sum: f64 = samples.iter().map(|s| s.retired_per_second.ln()).sum();
+        (log_sum / samples.len() as f64).exp()
+    };
+
+    if options.json {
+        let value = serde_json::json!({
+            "benchmark": "pipeline_throughput",
+            "metric": "retired_instructions_per_host_second",
+            "min_seconds_per_cell": options.min_seconds,
+            "samples": samples,
+            "geomean_retired_per_second": geomean,
+            "sum_retired_per_second": total_retired,
+        });
+        let mut text = serde_json::to_string_pretty(&value).expect("bench report serializes");
+        text.push('\n');
+        std::fs::write(&options.out, &text)
+            .map_err(|e| format!("cannot write `{}`: {e}", options.out))?;
+        return Ok(text);
+    }
+
+    let mut out = String::new();
+    out.push_str("=== pipeline throughput (retired instructions / host second) ===\n");
+    out.push_str(&format!(
+        "{:<12} {:<20} {:>6} {:>12} {:>8} {:>16}\n",
+        "workload", "config", "width", "instrs/run", "runs", "retired/s"
+    ));
+    for s in &samples {
+        out.push_str(&format!(
+            "{:<12} {:<20} {:>6} {:>12} {:>8} {:>16.0}\n",
+            s.workload, s.config, s.fetch_width, s.committed_per_run, s.runs, s.retired_per_second
+        ));
+    }
+    out.push_str(&format!("geomean: {geomean:.0} retired instructions/s\n"));
+    Ok(out)
+}
+
 fn parse_fault(spec: &str) -> Result<rvsim_iss::InjectedFault, String> {
     let (mnemonic, bits) = match spec.split_once(':') {
         Some((m, x)) => {
@@ -280,50 +401,90 @@ fn parse_fault(spec: &str) -> Result<rvsim_iss::InjectedFault, String> {
     Ok(rvsim_iss::InjectedFault { mnemonic: mnemonic.trim().to_string(), xor_bits: bits })
 }
 
-/// Run the `cosim` subcommand.  Returns the report text; divergences (and
-/// generator errors) are returned as `Err` so the binary exits non-zero.
-pub fn run_cosim(options: &CosimCliOptions) -> Result<String, String> {
-    let config = match &options.arch_path {
+/// Resolve the configurations a cosim invocation covers: a custom `--arch`
+/// file runs alone; by default the batch co-verifies the single-issue
+/// scalar preset, the default 2-wide machine every plain user gets, and the
+/// 4-wide / deep-ROB `wide-4` preset — the same machines the throughput
+/// benchmark measures.
+fn cosim_configs(options: &CosimCliOptions) -> Result<Vec<ArchitectureConfig>, String> {
+    match &options.arch_path {
         Some(path) => {
             let json =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
-            ArchitectureConfig::from_json(&json)?
+            Ok(vec![ArchitectureConfig::from_json(&json)?])
         }
-        None => ArchitectureConfig::default(),
-    };
-    let mut harness = rvsim_iss::Cosim::new(config);
+        // The throughput benchmark's preset matrix, so the batch always
+        // co-verifies exactly the machines the bench measures.
+        None => Ok(rvsim_bench::pipeline_bench_configs()),
+    }
+}
+
+fn cosim_harness(
+    config: &ArchitectureConfig,
+    options: &CosimCliOptions,
+) -> Result<rvsim_iss::Cosim, String> {
+    let mut harness = rvsim_iss::Cosim::new(config.clone());
     harness.max_cycles = options.max_cycles;
     harness.max_steps = options.max_cycles;
     if let Some(spec) = &options.inject_fault {
         harness.fault = Some(parse_fault(spec)?);
     }
+    Ok(harness)
+}
+
+/// Run the `cosim` subcommand.  Returns the report text; divergences (and
+/// generator errors) on any configuration are returned as `Err` so the
+/// binary exits non-zero.
+pub fn run_cosim(options: &CosimCliOptions) -> Result<String, String> {
+    let configs = cosim_configs(options)?;
     let gen =
         rvsim_iss::GenOptions { body_instructions: options.instructions, ..Default::default() };
 
     // Replay mode: one exact program from a printed per-program seed.
     if let Some(program_seed) = options.program_seed {
-        return run_cosim_replay(&harness, program_seed, &gen, options.format);
+        return run_cosim_replay(&configs, options, program_seed, &gen);
     }
 
-    let report = harness.run_batch(options.seed, options.programs, &gen);
+    let mut reports: Vec<(String, rvsim_iss::BatchReport)> = Vec::new();
+    let mut all_ok = true;
+    for config in &configs {
+        let harness = cosim_harness(config, options)?;
+        let report = harness.run_batch(options.seed, options.programs, &gen);
+        // A batch that matched nothing (every program inconclusive) provides
+        // no differential coverage; fail loudly instead of letting CI go
+        // green.
+        all_ok &= report.divergences.is_empty() && report.errors.is_empty() && report.matched > 0;
+        reports.push((config.name.clone(), report));
+    }
 
     let text = match options.format {
         OutputFormat::Text => {
-            let mut out = report.render_text();
-            if !out.ends_with('\n') {
-                out.push('\n');
+            let mut out = String::new();
+            for (name, report) in &reports {
+                out.push_str(&format!("[{name}] "));
+                out.push_str(&report.render_text());
+                if !out.ends_with('\n') {
+                    out.push('\n');
+                }
             }
             out
         }
         OutputFormat::Json => {
-            let mut out = serde_json::to_string_pretty(&report).expect("batch report serializes");
+            let configs_json: Vec<serde_json::Value> = reports
+                .iter()
+                .map(|(name, report)| serde_json::json!({ "config": name, "report": report }))
+                .collect();
+            let value = serde_json::json!({
+                "batch_seed": options.seed,
+                "programs": options.programs,
+                "configs": configs_json,
+            });
+            let mut out = serde_json::to_string_pretty(&value).expect("batch report serializes");
             out.push('\n');
             out
         }
     };
-    // A batch that matched nothing (every program inconclusive) provides no
-    // differential coverage; fail loudly instead of letting CI go green.
-    if report.divergences.is_empty() && report.errors.is_empty() && report.matched > 0 {
+    if all_ok {
         Ok(text)
     } else {
         Err(text)
@@ -331,75 +492,89 @@ pub fn run_cosim(options: &CosimCliOptions) -> Result<String, String> {
 }
 
 fn run_cosim_replay(
-    harness: &rvsim_iss::Cosim,
+    configs: &[ArchitectureConfig],
+    options: &CosimCliOptions,
     program_seed: u64,
     gen: &rvsim_iss::GenOptions,
-    format: OutputFormat,
 ) -> Result<String, String> {
     let source = rvsim_iss::generate_program(program_seed, gen);
-    let outcome = harness.run_source(&source)?;
+    let mut all_match = true;
+    let mut texts = Vec::new();
+    let mut jsons = Vec::new();
 
-    // Shrink first so both output formats can include the reproducer.
-    let shrunk = match &outcome {
-        rvsim_iss::CosimOutcome::Divergence(divergence) => Some(
-            harness.shrink(&source).unwrap_or_else(|| (source.clone(), (**divergence).clone())),
-        ),
-        _ => None,
-    };
+    for config in configs {
+        let harness = cosim_harness(config, options)?;
+        let name = config.name.as_str();
+        let outcome = harness.run_source(&source)?;
 
-    let text = match format {
-        OutputFormat::Json => {
-            let value = match &outcome {
-                rvsim_iss::CosimOutcome::Match { retired } => serde_json::json!({
-                    "mode": "replay",
-                    "program_seed": program_seed,
+        // Shrink first so both output formats can include the reproducer.
+        let shrunk = match &outcome {
+            rvsim_iss::CosimOutcome::Divergence(divergence) => Some(
+                harness.shrink(&source).unwrap_or_else(|| (source.clone(), (**divergence).clone())),
+            ),
+            _ => None,
+        };
+
+        match &outcome {
+            rvsim_iss::CosimOutcome::Match { retired } => {
+                texts.push(format!(
+                    "[{name}] cosim replay: program seed {program_seed} matches ({retired} \
+                     instructions co-verified)\n"
+                ));
+                jsons.push(serde_json::json!({
+                    "config": name,
                     "outcome": "match",
                     "retired": retired,
-                }),
-                rvsim_iss::CosimOutcome::Inconclusive { reason } => serde_json::json!({
-                    "mode": "replay",
-                    "program_seed": program_seed,
+                }));
+            }
+            rvsim_iss::CosimOutcome::Inconclusive { reason } => {
+                all_match = false;
+                texts.push(format!(
+                    "[{name}] cosim replay: program seed {program_seed} inconclusive: {reason} \
+                     (raise --max-cycles)\n"
+                ));
+                jsons.push(serde_json::json!({
+                    "config": name,
                     "outcome": "inconclusive",
                     "reason": reason,
-                }),
-                rvsim_iss::CosimOutcome::Divergence(divergence) => {
-                    let (shrunk_program, shrunk_div) = shrunk.as_ref().expect("shrunk above");
-                    serde_json::json!({
-                        "mode": "replay",
-                        "program_seed": program_seed,
-                        "outcome": "divergence",
-                        "divergence": divergence,
-                        "shrunk_program": shrunk_program,
-                        "shrunk_summary": shrunk_div.summary,
-                    })
-                }
-            };
+                }));
+            }
+            rvsim_iss::CosimOutcome::Divergence(divergence) => {
+                all_match = false;
+                let (shrunk_program, shrunk_div) = shrunk.as_ref().expect("shrunk above");
+                texts.push(format!(
+                    "[{name}] cosim replay: program seed {program_seed} diverges:\n{}\n\
+                     --- shrunk reproducer ({}) ---\n{}",
+                    divergence.report, shrunk_div.summary, shrunk_program
+                ));
+                jsons.push(serde_json::json!({
+                    "config": name,
+                    "outcome": "divergence",
+                    "divergence": divergence,
+                    "shrunk_program": shrunk_program,
+                    "shrunk_summary": shrunk_div.summary,
+                }));
+            }
+        }
+    }
+
+    let text = match options.format {
+        OutputFormat::Json => {
+            let value = serde_json::json!({
+                "mode": "replay",
+                "program_seed": program_seed,
+                "configs": jsons,
+            });
             let mut out = serde_json::to_string_pretty(&value).expect("replay report serializes");
             out.push('\n');
             out
         }
-        OutputFormat::Text => match &outcome {
-            rvsim_iss::CosimOutcome::Match { retired } => format!(
-                "cosim replay: program seed {program_seed} matches ({retired} instructions \
-                 co-verified)\n"
-            ),
-            rvsim_iss::CosimOutcome::Inconclusive { reason } => format!(
-                "cosim replay: program seed {program_seed} inconclusive: {reason} \
-                 (raise --max-cycles)\n"
-            ),
-            rvsim_iss::CosimOutcome::Divergence(divergence) => {
-                let (shrunk_program, shrunk_div) = shrunk.as_ref().expect("shrunk above");
-                format!(
-                    "cosim replay: program seed {program_seed} diverges:\n{}\n\
-                     --- shrunk reproducer ({}) ---\n{}",
-                    divergence.report, shrunk_div.summary, shrunk_program
-                )
-            }
-        },
+        OutputFormat::Text => texts.concat(),
     };
-    match outcome {
-        rvsim_iss::CosimOutcome::Match { .. } => Ok(text),
-        _ => Err(text),
+    if all_match {
+        Ok(text)
+    } else {
+        Err(text)
     }
 }
 
@@ -687,6 +862,55 @@ main:
     }
 
     #[test]
+    fn bench_options_parse() {
+        let defaults = BenchCliOptions::parse(&args(&[])).unwrap();
+        assert!(!defaults.json);
+        assert_eq!(defaults.out, "BENCH_pipeline.json");
+        assert!((defaults.min_seconds - 0.2).abs() < 1e-12);
+
+        let o =
+            BenchCliOptions::parse(&args(&["--out", "x.json", "--min-seconds", "0.01"])).unwrap();
+        assert!(o.json, "--out implies --json");
+        assert_eq!(o.out, "x.json");
+
+        assert!(BenchCliOptions::parse(&args(&["--min-seconds", "zz"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--min-seconds", "-1"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--min-seconds", "inf"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--min-seconds", "NaN"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--bogus"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--help"])).unwrap_err().contains("bench"));
+    }
+
+    #[test]
+    fn bench_run_writes_machine_readable_report() {
+        let dir = std::env::temp_dir().join(format!("rvsim-bench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_pipeline.json");
+        let options = BenchCliOptions {
+            json: true,
+            out: out.to_string_lossy().into_owned(),
+            min_seconds: 0.0,
+        };
+        let text = run_bench(&options).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["benchmark"], "pipeline_throughput");
+        let samples = value["samples"].as_array().unwrap();
+        // 5 workloads × 3 configurations.
+        assert_eq!(samples.len(), 15);
+        assert!(samples.iter().any(|s| s["workload"] == "quicksort"));
+        assert!(value["geomean_retired_per_second"].as_f64().unwrap() > 0.0);
+        // The file on disk is the same report.
+        let on_disk = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(on_disk, text);
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Text mode renders a table and does not touch the filesystem.
+        let table = run_bench(&BenchCliOptions { min_seconds: 0.0, ..Default::default() }).unwrap();
+        assert!(table.contains("retired/s"));
+        assert!(table.contains("quicksort"));
+    }
+
+    #[test]
     fn fault_spec_parsing() {
         assert_eq!(
             parse_fault("xor").unwrap(),
@@ -757,20 +981,36 @@ main:
         let out = run_cosim(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(value["programs"], 3);
-        assert_eq!(value["divergences"].as_array().unwrap().len(), 0);
+        // The default batch covers the scalar, 2-wide and 4-wide presets.
+        let configs = value["configs"].as_array().unwrap();
+        assert_eq!(configs.len(), 3);
+        assert_eq!(configs[0]["config"], "scalar");
+        assert_eq!(configs[1]["config"], "default-superscalar");
+        assert_eq!(configs[2]["config"], "wide-4");
+        for c in configs {
+            assert_eq!(c["report"]["divergences"].as_array().unwrap().len(), 0);
+            assert_eq!(c["report"]["programs"], 3);
+        }
 
         // Replay mode honours --format json too, in all outcomes.
         let replay = CosimCliOptions { program_seed: Some(5), ..options.clone() };
         let out = run_cosim(&replay).unwrap();
         let value: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(value["mode"], "replay");
-        assert_eq!(value["outcome"], "match");
+        let configs = value["configs"].as_array().unwrap();
+        assert_eq!(configs.len(), 3);
+        assert!(configs.iter().all(|c| c["outcome"] == "match"));
 
         let faulty = CosimCliOptions { inject_fault: Some("addi".into()), ..replay };
         let report = run_cosim(&faulty).expect_err("fault diverges");
         let value: serde_json::Value = serde_json::from_str(&report).unwrap();
-        assert_eq!(value["outcome"], "divergence");
-        assert!(value["shrunk_program"].as_str().unwrap().contains("addi"));
+        let diverged = value["configs"]
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|c| c["outcome"] == "divergence")
+            .expect("at least one config diverges");
+        assert!(diverged["shrunk_program"].as_str().unwrap().contains("addi"));
     }
 
     #[test]

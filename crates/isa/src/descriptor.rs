@@ -14,6 +14,29 @@
 use crate::types::{ArgKind, DataType, FunctionalClass, InstructionType};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt;
+
+/// Dense identifier of a descriptor within one [`InstructionSet`].
+///
+/// Ids are assigned in insertion order and are stable across
+/// [`InstructionSet::add`] replacements, so hot paths (predecoded programs,
+/// dynamic-mix counters, ISS dispatch) can index plain arrays by id and
+/// convert back to mnemonics only at serialization boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DescriptorId(pub u16);
+
+impl DescriptorId {
+    /// The id as a plain array index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for DescriptorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
 
 /// One instruction argument (paper Listing 1: `{"name": "rd", "type": "kInt",
 /// "writeBack": true}`).
@@ -206,6 +229,10 @@ impl InstructionSet {
         if let Some(&i) = self.index.get(&descriptor.name) {
             self.instructions[i] = descriptor;
         } else {
+            assert!(
+                self.instructions.len() < u16::MAX as usize,
+                "instruction set exceeds DescriptorId range"
+            );
             self.index.insert(descriptor.name.clone(), self.instructions.len());
             self.instructions.push(descriptor);
         }
@@ -214,6 +241,21 @@ impl InstructionSet {
     /// Look up an instruction by mnemonic.
     pub fn get(&self, name: &str) -> Option<&InstructionDescriptor> {
         self.index.get(name).map(|&i| &self.instructions[i])
+    }
+
+    /// Dense id of the instruction named `name` within this set.
+    pub fn id_of(&self, name: &str) -> Option<DescriptorId> {
+        self.index.get(name).map(|&i| DescriptorId(i as u16))
+    }
+
+    /// Descriptor by dense id (see [`InstructionSet::id_of`]).
+    pub fn get_by_id(&self, id: DescriptorId) -> Option<&InstructionDescriptor> {
+        self.instructions.get(id.index())
+    }
+
+    /// Iterate `(id, descriptor)` pairs in id order.
+    pub fn iter_with_ids(&self) -> impl Iterator<Item = (DescriptorId, &InstructionDescriptor)> {
+        self.instructions.iter().enumerate().map(|(i, d)| (DescriptorId(i as u16), d))
     }
 
     /// True when the mnemonic exists (either directly or as a pseudo-instruction).
@@ -281,6 +323,30 @@ mod tests {
         set.add(d);
         assert_eq!(set.len(), 1);
         assert_eq!(set.get("add").unwrap().flops, 7);
+    }
+
+    #[test]
+    fn descriptor_ids_are_dense_and_stable() {
+        let isa = InstructionSet::rv32imf();
+        // Every mnemonic round-trips through its id.
+        for (id, d) in isa.iter_with_ids() {
+            assert_eq!(isa.id_of(&d.name), Some(id));
+            assert_eq!(isa.get_by_id(id).unwrap().name, d.name);
+        }
+        // Ids cover 0..len densely.
+        let ids: Vec<usize> = isa.iter_with_ids().map(|(id, _)| id.index()).collect();
+        assert_eq!(ids, (0..isa.len()).collect::<Vec<_>>());
+        assert!(isa.id_of("not-an-instruction").is_none());
+        assert!(isa.get_by_id(DescriptorId(u16::MAX)).is_none());
+
+        // Replacing a descriptor keeps its id.
+        let mut set = InstructionSet::rv32imf();
+        let before = set.id_of("add").unwrap();
+        let mut d = set.get("add").unwrap().clone();
+        d.flops = 3;
+        set.add(d);
+        assert_eq!(set.id_of("add").unwrap(), before);
+        assert_eq!(format!("{before}"), format!("#{}", before.0));
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! A fixed-capacity, heap-free vector for hot-path operand lists.
+//!
+//! The pipeline stores per-instruction operand state (sources, immediates,
+//! evaluator bindings) in [`InlineVec`]s so that fetching, renaming and
+//! waking instructions never allocates.  Capacities are chosen from the
+//! instruction-set shape (at most 3 register sources and 2 immediates per
+//! descriptor); predecoding validates user-extended descriptors against the
+//! same bounds instead of panicking mid-simulation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A `Vec`-like container with inline storage for at most `N` elements.
+#[derive(Clone, Copy)]
+pub struct InlineVec<T: Copy + Default, const N: usize> {
+    items: [T; N],
+    len: u8,
+}
+
+impl<T: Copy + Default, const N: usize> InlineVec<T, N> {
+    /// An empty vector.
+    pub fn new() -> Self {
+        InlineVec { items: [T::default(); N], len: 0 }
+    }
+
+    /// Number of stored elements.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True when no elements are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total capacity (`N`).
+    pub fn capacity(&self) -> usize {
+        N
+    }
+
+    /// Append `item`; returns `Err(item)` when the vector is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        if self.len() == N {
+            return Err(item);
+        }
+        self.items[self.len()] = item;
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Append `item`, panicking on overflow (use [`Self::try_push`] on
+    /// untrusted input).
+    pub fn push(&mut self, item: T) {
+        if self.try_push(item).is_err() {
+            panic!("InlineVec overflow: capacity {N}");
+        }
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.len = 0;
+    }
+
+    /// The stored elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items[..self.len()]
+    }
+
+    /// The stored elements as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        let len = self.len();
+        &mut self.items[..len]
+    }
+
+    /// Iterate over the stored elements.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.as_slice().iter()
+    }
+
+    /// Iterate mutably over the stored elements.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.as_mut_slice().iter_mut()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for InlineVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for InlineVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::DerefMut for InlineVec<T, N> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a InlineVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a mut InlineVec<T, N> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter_mut()
+    }
+}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for InlineVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for InlineVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Serialize, const N: usize> Serialize for InlineVec<T, N> {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Copy + Default + Deserialize, const N: usize> Deserialize for InlineVec<T, N> {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| serde::Error::custom(format!("expected array, got {value:?}")))?;
+        let mut v = InlineVec::new();
+        for item in items {
+            v.try_push(T::from_value(item)?).map_err(|_| {
+                serde::Error::custom(format!("array longer than inline capacity {N}"))
+            })?;
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_iterate_and_slice() {
+        let mut v: InlineVec<i32, 3> = InlineVec::new();
+        assert!(v.is_empty());
+        assert_eq!(v.capacity(), 3);
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.as_slice(), &[1, 2]);
+        assert_eq!(v.iter().sum::<i32>(), 3);
+        for item in v.iter_mut() {
+            *item *= 10;
+        }
+        assert_eq!(v[1], 20, "deref to slice works");
+        v.clear();
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut v: InlineVec<u8, 2> = InlineVec::new();
+        assert!(v.try_push(1).is_ok());
+        assert!(v.try_push(2).is_ok());
+        assert_eq!(v.try_push(3), Err(3));
+        assert_eq!(v.as_slice(), &[1, 2]);
+    }
+
+    #[test]
+    fn equality_ignores_spare_capacity() {
+        let mut a: InlineVec<i32, 4> = InlineVec::new();
+        let mut b: InlineVec<i32, 4> = InlineVec::new();
+        a.push(7);
+        b.push(7);
+        assert_eq!(a, b);
+        b.push(8);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trips_as_array() {
+        let mut v: InlineVec<i32, 4> = InlineVec::new();
+        v.push(3);
+        v.push(-1);
+        let json = serde_json::to_string(&v).unwrap();
+        assert_eq!(json, "[3,-1]");
+        let back: InlineVec<i32, 4> = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, v);
+        assert!(serde_json::from_str::<InlineVec<i32, 1>>("[1,2]").is_err(), "overflow");
+    }
+}

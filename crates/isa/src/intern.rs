@@ -1,0 +1,204 @@
+//! Global string interner for hot-path identity comparison.
+//!
+//! Mnemonics and operand-argument names are compared millions of times per
+//! simulated second (issue-window scans, wake-ups, statistics).  Interning
+//! turns every such comparison into a `u32` equality while keeping
+//! `&'static str` round-tripping for display and serde: a [`Sym`] serializes
+//! as its string and deserializes by re-interning, so every JSON surface
+//! (retirement traces, statistics, snapshots) is unchanged.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// An interned string: a dense `u32` id into the process-wide intern table.
+///
+/// Two `Sym`s are equal iff their strings are equal, so `==` on `Sym` is the
+/// integer comparison the pipeline hot path wants.  `Ord` follows the id
+/// (interning order), *not* lexicographic order — sort by [`Sym::as_str`]
+/// where display order matters.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+/// `Sym::default()` — the interned empty string.
+pub const SYM_EMPTY: Sym = Sym(0);
+/// The interned `"pc"` (bound by every semantics evaluation).
+pub const SYM_PC: Sym = Sym(1);
+/// The interned `"rd"`.
+pub const SYM_RD: Sym = Sym(2);
+/// The interned `"rs1"`.
+pub const SYM_RS1: Sym = Sym(3);
+/// The interned `"rs2"` (the store-data operand by convention).
+pub const SYM_RS2: Sym = Sym(4);
+/// The interned `"rs3"`.
+pub const SYM_RS3: Sym = Sym(5);
+/// The interned `"imm"`.
+pub const SYM_IMM: Sym = Sym(6);
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+impl Interner {
+    fn new() -> Self {
+        let mut interner = Interner { by_name: HashMap::new(), names: Vec::new() };
+        // Well-known ids, in the exact order of the `SYM_*` constants above.
+        for name in ["", "pc", "rd", "rs1", "rs2", "rs3", "imm"] {
+            interner.intern(name);
+        }
+        interner
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(&id) = self.by_name.get(s) {
+            return id;
+        }
+        let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+        let id = self.names.len() as u32;
+        self.names.push(leaked);
+        self.by_name.insert(leaked, id);
+        id
+    }
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| RwLock::new(Interner::new()))
+}
+
+impl Sym {
+    /// Intern `s`, returning its stable id.  Repeated calls with the same
+    /// string return the same `Sym` for the lifetime of the process.
+    pub fn new(s: &str) -> Sym {
+        {
+            let guard = interner().read().expect("interner poisoned");
+            if let Some(&id) = guard.by_name.get(s) {
+                return Sym(id);
+            }
+        }
+        Sym(interner().write().expect("interner poisoned").intern(s))
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        interner().read().expect("interner poisoned").names[self.0 as usize]
+    }
+
+    /// The raw id (dense, process-wide).
+    pub fn id(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for Sym {
+    fn default() -> Self {
+        SYM_EMPTY
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(s: &String) -> Sym {
+        Sym::new(s)
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl Serialize for Sym {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Sym {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        value
+            .as_str()
+            .map(Sym::new)
+            .ok_or_else(|| serde::Error::custom(format!("expected string, got {value:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent_and_identity_preserving() {
+        let a = Sym::new("addi");
+        let b = Sym::new("addi");
+        let c = Sym::new("add");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.as_str(), "addi");
+        assert_eq!(a, "addi");
+        assert_eq!("addi", a);
+        assert_ne!(a, "add");
+    }
+
+    #[test]
+    fn well_known_symbols_match_their_constants() {
+        assert_eq!(Sym::new(""), SYM_EMPTY);
+        assert_eq!(Sym::new("pc"), SYM_PC);
+        assert_eq!(Sym::new("rd"), SYM_RD);
+        assert_eq!(Sym::new("rs1"), SYM_RS1);
+        assert_eq!(Sym::new("rs2"), SYM_RS2);
+        assert_eq!(Sym::new("rs3"), SYM_RS3);
+        assert_eq!(Sym::new("imm"), SYM_IMM);
+        assert_eq!(Sym::default(), SYM_EMPTY);
+    }
+
+    #[test]
+    fn display_and_debug_show_the_string() {
+        let s = Sym::new("beq");
+        assert_eq!(s.to_string(), "beq");
+        assert_eq!(format!("{s:?}"), "\"beq\"");
+        assert_eq!(format!("{s:<5}|"), "beq  |", "Display honours padding");
+    }
+
+    #[test]
+    fn serde_round_trips_as_string() {
+        let s = Sym::new("fmadd.s");
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(json, "\"fmadd.s\"");
+        let back: Sym = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert!(serde_json::from_str::<Sym>("17").is_err());
+    }
+}

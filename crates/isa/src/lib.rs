@@ -39,14 +39,20 @@
 
 pub mod descriptor;
 pub mod expression;
+pub mod inline_vec;
+pub mod intern;
 pub mod pseudo;
 pub mod register;
 pub mod riscv;
 pub mod types;
 pub mod value;
 
-pub use descriptor::{ArgumentDescriptor, InstructionDescriptor, InstructionSet};
-pub use expression::{EvalOutput, Evaluator};
+pub use descriptor::{
+    ArgumentDescriptor, DescriptorId, InstructionDescriptor, InstructionSet, MemoryAccessDescriptor,
+};
+pub use expression::{Bindings, CompiledExpr, CompiledOutput, EvalOutput, Evaluator};
+pub use inline_vec::InlineVec;
+pub use intern::{Sym, SYM_EMPTY, SYM_IMM, SYM_PC, SYM_RD, SYM_RS1, SYM_RS2, SYM_RS3};
 pub use register::{RegisterFileKind, RegisterId, RegisterValue};
 pub use types::{ArgKind, DataType, Exception, FunctionalClass, InstructionType};
 pub use value::TypedValue;

@@ -7,20 +7,23 @@
 //! memory, a program counter and a halt reason — which is exactly the state
 //! the two models must agree on at every retirement.
 //!
-//! The interpreter deliberately reuses the instruction *descriptors* (postfix
-//! semantics expressions) shared with the pipeline, so divergences point at
-//! the pipeline machinery under test — renaming, forwarding, speculation,
-//! flush recovery, store/load ordering — rather than at duplicated ALU
-//! tables.  The memory access conversions are implemented independently and
-//! must mirror the pipeline's commit/convert rules bit for bit.
+//! The interpreter deliberately reuses the *predecoded* instruction layer
+//! shared with the pipeline ([`PredecodedProgram`]): dispatch is keyed by
+//! dense `DescriptorId` and semantics run as compiled postfix expressions,
+//! so divergences point at the pipeline machinery under test — renaming,
+//! forwarding, speculation, flush recovery, store/load ordering — rather
+//! than at duplicated ALU tables.  The memory access conversions are
+//! implemented independently and must mirror the pipeline's commit/convert
+//! rules bit for bit.
 
 use rvsim_asm::{assemble, AssemblerOptions, Program};
-use rvsim_core::{ArchitectureConfig, HaltReason, MemEffect, RetireEvent};
+use rvsim_core::{ArchitectureConfig, HaltReason, MemEffect, PredecodedProgram, RetireEvent};
 use rvsim_isa::{
-    ArgKind, DataType, Evaluator, Exception, FunctionalClass, InstructionSet, RegisterId,
-    RegisterValue, TypedValue,
+    Bindings, DataType, Exception, FunctionalClass, InstructionSet, RegisterId, RegisterValue, Sym,
+    TypedValue, SYM_PC, SYM_RS2,
 };
 use rvsim_mem::{MainMemory, MemorySettings};
+use std::sync::Arc;
 
 /// A deliberately wrong result transformation, used by tests to prove the
 /// co-simulation harness catches real bugs: whenever the ISS retires an
@@ -46,8 +49,8 @@ pub struct IssResult {
 /// The in-order reference interpreter.
 #[derive(Debug)]
 pub struct Iss {
-    isa: InstructionSet,
     program: Program,
+    predecoded: Arc<PredecodedProgram>,
     int_regs: [RegisterValue; 32],
     fp_regs: [RegisterValue; 32],
     mem: MainMemory,
@@ -58,7 +61,8 @@ pub struct Iss {
     program_end: u64,
     trace_enabled: bool,
     trace: Vec<RetireEvent>,
-    fault: Option<InjectedFault>,
+    /// Interned mnemonic + xor bits of the injected fault, resolved once.
+    fault: Option<(Sym, u64)>,
 }
 
 impl Iss {
@@ -90,6 +94,8 @@ impl Iss {
     ) -> Result<Self, String> {
         config.validate()?;
         program.validate_against(&isa)?;
+        // Decode once, dispatch by DescriptorId from then on.
+        let predecoded = Arc::new(PredecodedProgram::new(&program, &isa)?);
 
         let mut mem = MainMemory::new(config.memory.memory_capacity);
         program.load_data(|addr, bytes| {
@@ -103,9 +109,9 @@ impl Iss {
         let program_end = program.len() as u64 * 4;
         let stack_top = config.memory.call_stack_size;
         let mut iss = Iss {
-            isa,
             pc: program.entry_point,
             program,
+            predecoded,
             int_regs: [RegisterValue::zero(); 32],
             fp_regs: [RegisterValue { bits: 0, data_type: DataType::Float }; 32],
             mem,
@@ -207,7 +213,7 @@ impl Iss {
 
     /// Install a deliberate bug (testing aid for the co-simulation harness).
     pub fn inject_fault(&mut self, fault: InjectedFault) {
-        self.fault = Some(fault);
+        self.fault = Some((Sym::new(&fault.mnemonic), fault.xor_bits));
     }
 
     // -------------------------------------------------------------- execution
@@ -215,8 +221,10 @@ impl Iss {
     /// Run until execution halts or `max_steps` instructions retired.
     pub fn run(&mut self, max_steps: u64) -> IssResult {
         let budget_end = self.retired + max_steps;
+        // One refcount bump for the whole run, not one per instruction.
+        let pp = Arc::clone(&self.predecoded);
         while self.halted.is_none() && self.retired < budget_end {
-            self.step();
+            self.step_with(&pp);
         }
         if self.halted.is_none() {
             self.halted = Some(HaltReason::MaxCyclesReached);
@@ -226,6 +234,11 @@ impl Iss {
 
     /// Execute one instruction.
     pub fn step(&mut self) {
+        let pp = Arc::clone(&self.predecoded);
+        self.step_with(&pp);
+    }
+
+    fn step_with(&mut self, pp: &PredecodedProgram) {
         if self.halted.is_some() {
             return;
         }
@@ -237,65 +250,50 @@ impl Iss {
             });
             return;
         }
-        let Some(ins) = self.program.at(self.pc) else {
+        let Some(entry) = pp.entry(self.pc) else {
             // A misaligned pc inside the code segment livelocks the pipeline
             // (it fetches nothing forever); report the same budget-style halt.
             self.halted = Some(HaltReason::MaxCyclesReached);
             return;
         };
-        let ins = ins.clone();
-        let descriptor = self
-            .isa
-            .get(&ins.mnemonic)
-            .cloned()
-            .expect("validated program instruction exists in the ISA");
+        let sem = pp.semantics(entry.desc);
 
         // Bind source operands exactly like the pipeline's dispatch stage:
         // register reads by argument name, immediates as 32-bit ints, plus pc.
-        let mut evaluator = Evaluator::new();
-        let mut dest: Option<(String, RegisterId, DataType)> = None;
-        for (i, arg) in descriptor.arguments.iter().enumerate() {
-            if arg.write_back {
-                let arch = ins.reg(i).expect("destination operand is a register");
-                dest = Some((arg.name.clone(), arch, arg.data_type));
-                continue;
-            }
-            match arg.kind {
-                ArgKind::IntReg | ArgKind::FpReg => {
-                    let arch = ins.reg(i).expect("register operand");
-                    evaluator.bind(&arg.name, self.register(arch).typed());
-                }
-                ArgKind::Imm | ArgKind::Label => {
-                    evaluator.bind(&arg.name, TypedValue::int(ins.imm(i).unwrap_or(0) as i32));
-                }
-            }
+        let mut bindings = Bindings::new();
+        for src in entry.srcs.iter() {
+            bindings.bind(src.arg, self.register(src.reg).typed());
         }
-        evaluator.bind("pc", TypedValue::int(self.pc as i32));
+        for imm in entry.imms.iter() {
+            bindings.bind(imm.arg, TypedValue::int(imm.value as i32));
+        }
+        bindings.bind(SYM_PC, TypedValue::int(self.pc as i32));
 
         let pc = self.pc;
-        let mnemonic = ins.mnemonic.clone();
         let mut dest_effect: Option<(RegisterId, u64)> = None;
         let mut store_effect: Option<MemEffect> = None;
         let mut load_effect: Option<MemEffect> = None;
         let mut next_pc: Option<u64> = None;
 
-        match descriptor.functional_class {
+        match entry.class {
             FunctionalClass::Fx | FunctionalClass::Fp => {
-                match evaluator.run(&descriptor.interpretable_as) {
-                    Ok(output) => {
-                        if let Some((_, value)) = output.assignments.first() {
-                            dest_effect = self.write_dest(&mnemonic, &dest, *value);
+                if let Some(expr) = &sem.interpretable {
+                    match expr.run(&bindings) {
+                        Ok(output) => {
+                            if let Some((_, value)) = output.assignments.first() {
+                                dest_effect = self.write_dest(entry.mnemonic, &entry.dst, *value);
+                            }
                         }
-                    }
-                    Err(exception) => {
-                        self.halted = Some(HaltReason::Exception(exception));
-                        return;
+                        Err(exception) => {
+                            self.halted = Some(HaltReason::Exception(exception));
+                            return;
+                        }
                     }
                 }
             }
             FunctionalClass::Branch => {
-                let taken = match &descriptor.condition {
-                    Some(cond) => match evaluator.run(cond) {
+                let taken = match &sem.condition {
+                    Some(cond) => match cond.run(&bindings) {
                         Ok(out) => out.result.map(|v| v.is_true()).unwrap_or(false),
                         Err(e) => {
                             self.halted = Some(HaltReason::Exception(e));
@@ -304,8 +302,8 @@ impl Iss {
                     },
                     None => true,
                 };
-                let target = match &descriptor.target {
-                    Some(t) => match evaluator.run(t) {
+                let target = match &sem.target {
+                    Some(t) => match t.run(&bindings) {
                         Ok(out) => out.result.map(|v| v.as_u32() as u64).unwrap_or(pc + 4),
                         Err(e) => {
                             self.halted = Some(HaltReason::Exception(e));
@@ -314,10 +312,10 @@ impl Iss {
                     },
                     None => pc + 4,
                 };
-                if !descriptor.interpretable_as.is_empty() {
-                    if let Ok(out) = evaluator.run(&descriptor.interpretable_as) {
+                if let Some(expr) = &sem.interpretable {
+                    if let Ok(out) = expr.run(&bindings) {
                         if let Some((_, value)) = out.assignments.first() {
-                            dest_effect = self.write_dest(&mnemonic, &dest, *value);
+                            dest_effect = self.write_dest(entry.mnemonic, &entry.dst, *value);
                         }
                     }
                 }
@@ -328,14 +326,14 @@ impl Iss {
                 next_pc = Some(next);
             }
             FunctionalClass::Load => {
-                let address = match self.effective_address(&evaluator, &descriptor) {
+                let address = match Self::effective_address(&bindings, sem) {
                     Ok(a) => a,
                     Err(e) => {
                         self.halted = Some(HaltReason::Exception(e));
                         return;
                     }
                 };
-                let memory = descriptor.memory.expect("load has a memory descriptor");
+                let memory = entry.memory.expect("load has a memory descriptor");
                 let raw = match self.mem.read(address, memory.size) {
                     Ok(raw) => raw,
                     Err(_) => {
@@ -345,19 +343,19 @@ impl Iss {
                     }
                 };
                 let value = convert_loaded(raw, memory.size, memory.sign_extend, memory.data_type);
-                dest_effect = self.write_dest(&mnemonic, &dest, value);
+                dest_effect = self.write_dest(entry.mnemonic, &entry.dst, value);
                 load_effect = Some(MemEffect { address, size: memory.size, value: value.bits() });
             }
             FunctionalClass::Store => {
-                let address = match self.effective_address(&evaluator, &descriptor) {
+                let address = match Self::effective_address(&bindings, sem) {
                     Ok(a) => a,
                     Err(e) => {
                         self.halted = Some(HaltReason::Exception(e));
                         return;
                     }
                 };
-                let memory = descriptor.memory.expect("store has a memory descriptor");
-                let value = evaluator.get("rs2").unwrap_or_default();
+                let memory = entry.memory.expect("store has a memory descriptor");
+                let value = bindings.get(SYM_RS2).unwrap_or_default();
                 // Same raw-image rule as the pipeline's store buffer: floats
                 // keep their bit pattern, integers their 64-bit extension.
                 let raw = match memory.data_type {
@@ -379,7 +377,7 @@ impl Iss {
                 seq: self.retired,
                 cycle: self.retired,
                 pc,
-                mnemonic,
+                mnemonic: entry.mnemonic,
                 dest: dest_effect,
                 store: store_effect,
                 load: load_effect,
@@ -391,12 +389,11 @@ impl Iss {
     }
 
     fn effective_address(
-        &self,
-        evaluator: &Evaluator,
-        descriptor: &rvsim_isa::InstructionDescriptor,
+        bindings: &Bindings,
+        sem: &rvsim_core::predecode::DescSemantics,
     ) -> Result<u64, Exception> {
-        let expr = descriptor.address.as_deref().unwrap_or("\\rs1");
-        let out = evaluator.run(expr)?;
+        let expr = sem.address.as_ref().expect("memory instruction has an address expression");
+        let out = expr.run(bindings)?;
         Ok(out.result.map(|v| v.as_u32() as u64).unwrap_or(0))
     }
 
@@ -405,25 +402,25 @@ impl Iss {
     /// architectural effect, or `None` when the write is discarded (`x0`).
     fn write_dest(
         &mut self,
-        mnemonic: &str,
-        dest: &Option<(String, RegisterId, DataType)>,
+        mnemonic: Sym,
+        dst: &Option<rvsim_core::predecode::DstSpec>,
         value: TypedValue,
     ) -> Option<(RegisterId, u64)> {
-        let (_, arch, data_type) = dest.as_ref()?;
-        if arch.is_zero() {
+        let dst = dst.as_ref()?;
+        if dst.reg.is_zero() {
             return None;
         }
-        let mut stored = RegisterValue { bits: value.bits(), data_type: *data_type };
-        if let Some(fault) = &self.fault {
-            if fault.mnemonic == mnemonic {
-                stored.bits ^= fault.xor_bits;
+        let mut stored = RegisterValue { bits: value.bits(), data_type: dst.data_type };
+        if let Some((fault_sym, xor_bits)) = self.fault {
+            if fault_sym == mnemonic {
+                stored.bits ^= xor_bits;
             }
         }
-        match arch.kind {
-            rvsim_isa::RegisterFileKind::Int => self.int_regs[arch.index as usize] = stored,
-            rvsim_isa::RegisterFileKind::Fp => self.fp_regs[arch.index as usize] = stored,
+        match dst.reg.kind {
+            rvsim_isa::RegisterFileKind::Int => self.int_regs[dst.reg.index as usize] = stored,
+            rvsim_isa::RegisterFileKind::Fp => self.fp_regs[dst.reg.index as usize] = stored,
         }
-        Some((*arch, stored.bits))
+        Some((dst.reg, stored.bits))
     }
 }
 
@@ -446,7 +443,6 @@ fn convert_loaded(raw: u64, size: usize, sign_extend: bool, data_type: DataType)
         }
     }
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

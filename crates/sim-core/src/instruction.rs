@@ -1,12 +1,19 @@
 //! In-flight instruction instances (`SimCode`).
 //!
-//! Every fetched instruction becomes a [`SimCode`]: the decoded operands, the
-//! renamed source/destination registers, per-phase timestamps (displayed by
-//! the instruction pop-up, Fig. 3), branch-prediction information, memory
-//! access state and any exception raised during execution.
+//! Every fetched instruction becomes a [`SimCode`]: a reference to its
+//! predecoded static entry plus the dynamic pipeline state — renamed
+//! source/destination registers, per-phase timestamps (displayed by the
+//! instruction pop-up, Fig. 3), branch-prediction information, memory access
+//! state and any exception raised during execution.
+//!
+//! Since the predecoded-µop refactor the struct is allocation-free: names are
+//! interned [`Sym`]s, operand lists live in fixed [`InlineVec`]s, and static
+//! facts (immediates, semantics, display text) stay in the shared
+//! [`crate::predecode::PredecodedProgram`] instead of being cloned per fetch.
 
+use crate::predecode::{LatencyClass, PredecodedInstr};
 use crate::register_file::PhysRegTag;
-use rvsim_isa::{Exception, FunctionalClass, RegisterId, TypedValue};
+use rvsim_isa::{DescriptorId, Exception, FunctionalClass, InlineVec, RegisterId, Sym, TypedValue};
 use serde::{Deserialize, Serialize};
 
 /// Unique, monotonically increasing instruction identifier (program order).
@@ -49,16 +56,22 @@ pub struct Timestamps {
 }
 
 /// One renamed source operand.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SourceOperand {
-    /// Descriptor argument name (`rs1`, `rs2`, `rs3`).
-    pub arg: String,
+    /// Descriptor argument name (`rs1`, `rs2`, `rs3`), interned.
+    pub arg: Sym,
     /// Architectural register read.
     pub arch: RegisterId,
     /// Speculative register the operand waits for, if not ready at rename.
     pub wait_tag: Option<PhysRegTag>,
     /// The operand value, once known.
     pub value: Option<TypedValue>,
+}
+
+impl Default for SourceOperand {
+    fn default() -> Self {
+        SourceOperand { arg: Sym::default(), arch: RegisterId::x(0), wait_tag: None, value: None }
+    }
 }
 
 impl SourceOperand {
@@ -69,12 +82,14 @@ impl SourceOperand {
 }
 
 /// Renamed destination register.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DestOperand {
-    /// Descriptor argument name (`rd`).
-    pub arg: String,
+    /// Descriptor argument name (`rd`), interned.
+    pub arg: Sym,
     /// Architectural destination register.
     pub arch: RegisterId,
+    /// Declared data type of the destination (display metadata).
+    pub data_type: rvsim_isa::DataType,
     /// Allocated speculative register (`None` for discarded `x0` writes).
     pub tag: Option<PhysRegTag>,
     /// RAT mapping displaced by this rename (for rollback on flush).
@@ -88,22 +103,20 @@ pub struct SimCode {
     pub id: InstrId,
     /// Program counter of the instruction.
     pub pc: u64,
-    /// Mnemonic (after pseudo-instruction expansion).
-    pub mnemonic: String,
-    /// Original source text.
-    pub text: String,
-    /// 1-based source line.
-    pub source_line: usize,
+    /// Dense descriptor id (keys the dynamic mix and semantics lookup).
+    pub desc: DescriptorId,
+    /// Interned mnemonic (after pseudo-instruction expansion).
+    pub mnemonic: Sym,
     /// Functional-unit class that executes the instruction.
     pub class: FunctionalClass,
+    /// Latency class resolved at predecode time.
+    pub latency: LatencyClass,
     /// Current lifecycle state.
     pub state: InstructionState,
     /// Phase timestamps.
     pub timestamps: Timestamps,
-    /// Immediate arguments: `(argument name, value)`.
-    pub immediates: Vec<(String, i64)>,
     /// Renamed source operands.
-    pub sources: Vec<SourceOperand>,
+    pub sources: InlineVec<SourceOperand, 3>,
     /// Renamed destination, if the instruction writes a register.
     pub dest: Option<DestOperand>,
 
@@ -139,29 +152,19 @@ pub struct SimCode {
 }
 
 impl SimCode {
-    /// Create a freshly fetched instruction.
-    #[allow(clippy::too_many_arguments)]
-    pub fn fetched(
-        id: InstrId,
-        pc: u64,
-        mnemonic: String,
-        text: String,
-        source_line: usize,
-        class: FunctionalClass,
-        flops: u32,
-        cycle: u64,
-    ) -> Self {
+    /// Create a freshly fetched instruction from its predecoded entry —
+    /// a handful of `Copy` fields, no heap traffic.
+    pub fn fetched(id: InstrId, pc: u64, entry: &PredecodedInstr, cycle: u64) -> Self {
         SimCode {
             id,
             pc,
-            mnemonic,
-            text,
-            source_line,
-            class,
+            desc: entry.desc,
+            mnemonic: entry.mnemonic,
+            class: entry.class,
+            latency: entry.latency,
             state: InstructionState::Fetched,
             timestamps: Timestamps { fetch: Some(cycle), ..Default::default() },
-            immediates: Vec::new(),
-            sources: Vec::new(),
+            sources: InlineVec::new(),
             dest: None,
             predicted_taken: false,
             predicted_next_pc: pc + 4,
@@ -174,7 +177,7 @@ impl SimCode {
             cache_hit: None,
             result: None,
             exception: None,
-            flops,
+            flops: entry.flops,
         }
     }
 
@@ -187,7 +190,7 @@ impl SimCode {
     /// Returns true when at least one operand was woken.
     pub fn wake_up(&mut self, tag: PhysRegTag, value: TypedValue) -> bool {
         let mut woke = false;
-        for src in &mut self.sources {
+        for src in self.sources.iter_mut() {
             if src.wait_tag == Some(tag) && src.value.is_none() {
                 src.value = Some(value);
                 woke = true;
@@ -197,13 +200,8 @@ impl SimCode {
     }
 
     /// Value of the source operand named `arg`, if known.
-    pub fn source_value(&self, arg: &str) -> Option<TypedValue> {
+    pub fn source_value(&self, arg: Sym) -> Option<TypedValue> {
         self.sources.iter().find(|s| s.arg == arg).and_then(|s| s.value)
-    }
-
-    /// Value of the immediate argument named `arg`.
-    pub fn immediate(&self, arg: &str) -> Option<i64> {
-        self.immediates.iter().find(|(a, _)| a == arg).map(|(_, v)| *v)
     }
 
     /// True for instructions that are finished from the ROB's point of view.
@@ -220,18 +218,26 @@ impl SimCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvsim_isa::{SYM_RS1, SYM_RS2};
 
     fn code() -> SimCode {
-        SimCode::fetched(
-            1,
-            0x10,
-            "add".into(),
-            "add a0, a1, a2".into(),
-            3,
-            FunctionalClass::Fx,
-            0,
-            7,
-        )
+        let entry = PredecodedInstr {
+            desc: DescriptorId(0),
+            mnemonic: Sym::new("add"),
+            class: FunctionalClass::Fx,
+            flops: 0,
+            latency: LatencyClass::IntAlu,
+            is_cond_branch: false,
+            is_uncond_jump: false,
+            is_direct_jal: false,
+            static_target: 0,
+            memory: None,
+            srcs: InlineVec::new(),
+            dst: None,
+            imms: InlineVec::new(),
+            store_data: None,
+        };
+        SimCode::fetched(1, 0x10, &entry, 7)
     }
 
     #[test]
@@ -240,6 +246,8 @@ mod tests {
         assert_eq!(c.state, InstructionState::Fetched);
         assert_eq!(c.timestamps.fetch, Some(7));
         assert_eq!(c.predicted_next_pc, 0x14);
+        assert_eq!(c.mnemonic, "add");
+        assert_eq!(c.latency, LatencyClass::IntAlu);
         assert!(c.is_in_flight());
         assert!(!c.is_done());
     }
@@ -247,38 +255,28 @@ mod tests {
     #[test]
     fn sources_ready_and_wake_up() {
         let mut c = code();
-        c.sources = vec![
-            SourceOperand {
-                arg: "rs1".into(),
-                arch: RegisterId::x(11),
-                wait_tag: None,
-                value: Some(TypedValue::int(1)),
-            },
-            SourceOperand {
-                arg: "rs2".into(),
-                arch: RegisterId::x(12),
-                wait_tag: Some(PhysRegTag(3)),
-                value: None,
-            },
-        ];
+        c.sources.push(SourceOperand {
+            arg: SYM_RS1,
+            arch: RegisterId::x(11),
+            wait_tag: None,
+            value: Some(TypedValue::int(1)),
+        });
+        c.sources.push(SourceOperand {
+            arg: SYM_RS2,
+            arch: RegisterId::x(12),
+            wait_tag: Some(PhysRegTag(3)),
+            value: None,
+        });
         assert!(!c.sources_ready());
         assert!(!c.wake_up(PhysRegTag(9), TypedValue::int(5)), "wrong tag wakes nothing");
         assert!(c.wake_up(PhysRegTag(3), TypedValue::int(5)));
         assert!(c.sources_ready());
-        assert_eq!(c.source_value("rs2"), Some(TypedValue::int(5)));
-        assert_eq!(c.source_value("rs1"), Some(TypedValue::int(1)));
-        assert_eq!(c.source_value("rs9"), None);
+        assert_eq!(c.source_value(SYM_RS2), Some(TypedValue::int(5)));
+        assert_eq!(c.source_value(SYM_RS1), Some(TypedValue::int(1)));
+        assert_eq!(c.source_value(Sym::new("rs9")), None);
         // A second wake-up for the same tag does not overwrite.
         assert!(!c.wake_up(PhysRegTag(3), TypedValue::int(99)));
-        assert_eq!(c.source_value("rs2"), Some(TypedValue::int(5)));
-    }
-
-    #[test]
-    fn immediates_lookup() {
-        let mut c = code();
-        c.immediates.push(("imm".into(), -8));
-        assert_eq!(c.immediate("imm"), Some(-8));
-        assert_eq!(c.immediate("other"), None);
+        assert_eq!(c.source_value(SYM_RS2), Some(TypedValue::int(5)));
     }
 
     #[test]
@@ -290,5 +288,26 @@ mod tests {
         assert!(!c.is_in_flight());
         c.state = InstructionState::Squashed;
         assert!(!c.is_in_flight());
+    }
+
+    #[test]
+    fn sim_code_serde_round_trip() {
+        let mut c = code();
+        c.sources.push(SourceOperand {
+            arg: SYM_RS1,
+            arch: RegisterId::x(11),
+            wait_tag: Some(PhysRegTag(4)),
+            value: None,
+        });
+        c.dest = Some(DestOperand {
+            arg: rvsim_isa::SYM_RD,
+            arch: RegisterId::x(10),
+            data_type: rvsim_isa::DataType::Int,
+            tag: Some(PhysRegTag(9)),
+            previous: None,
+        });
+        let json = serde_json::to_string(&c).unwrap();
+        let back: SimCode = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
     }
 }

@@ -37,8 +37,10 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod inflight;
 pub mod instruction;
 pub mod log;
+pub mod predecode;
 pub mod register_file;
 pub mod simulator;
 pub mod snapshot;
@@ -50,8 +52,10 @@ pub use config::{
     ArchitectureConfig, BufferConfig, FpUnitConfig, FunctionalUnitsConfig, FxUnitConfig,
     MemoryConfig,
 };
+pub use inflight::InFlightRing;
 pub use instruction::{InstrId, InstructionState, SimCode};
 pub use log::DebugLog;
+pub use predecode::{LatencyClass, PredecodedInstr, PredecodedProgram};
 pub use register_file::{PhysRegTag, RegisterFile};
 pub use simulator::{HaltReason, RunResult, Simulator};
 pub use snapshot::ProcessorSnapshot;

@@ -5,10 +5,19 @@
 //! memory → issue → dispatch → fetch) so an instruction can leave a resource
 //! and another enter it within the same cycle — the Rust equivalent of the
 //! paper's "two sub-step" functional-unit update (§III-A).
+//!
+//! The simulate loop is allocation-free: the whole program is predecoded at
+//! construction ([`crate::predecode::PredecodedProgram`]), so fetch — and
+//! therefore every mispredict replay and every `step_back` re-simulation —
+//! is an array index, execution runs compiled semantics expressions, and the
+//! in-flight window lives in a ring ([`crate::inflight::InFlightRing`])
+//! instead of a `BTreeMap`.
 
 use crate::config::{ArchitectureConfig, FpUnitConfig, FxUnitConfig};
+use crate::inflight::InFlightRing;
 use crate::instruction::{DestOperand, InstrId, InstructionState, SimCode, SourceOperand};
 use crate::log::DebugLog;
+use crate::predecode::{DescSemantics, LatencyClass, PredecodedInstr, PredecodedProgram};
 use crate::register_file::{DestRename, OperandRead, RegisterFile};
 use crate::stats::{SimulationStatistics, UnitUtilization};
 use crate::trace::{MemEffect, RetireEvent};
@@ -17,13 +26,14 @@ use crate::units::{
 };
 use rvsim_asm::{assemble, AssemblerOptions, Program};
 use rvsim_isa::{
-    DataType, Evaluator, Exception, FunctionalClass, InstructionDescriptor, InstructionSet,
-    RegisterId, RegisterValue, TypedValue,
+    Bindings, DataType, Exception, FunctionalClass, InstructionSet, RegisterId, RegisterValue,
+    TypedValue, SYM_PC,
 };
 use rvsim_mem::{MemorySettings, MemorySubsystem};
 use rvsim_predictor::BranchPredictor;
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 /// Why the simulation stopped.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -53,8 +63,8 @@ pub struct RunResult {
 #[derive(Debug)]
 pub struct Simulator {
     config: ArchitectureConfig,
-    isa: InstructionSet,
     program: Program,
+    predecoded: Arc<PredecodedProgram>,
     initial_memory: Vec<u8>,
 
     mem: MemorySubsystem,
@@ -73,7 +83,7 @@ pub struct Simulator {
     load_buffer: LoadBuffer,
     store_buffer: StoreBuffer,
 
-    in_flight: BTreeMap<InstrId, SimCode>,
+    in_flight: InFlightRing,
     fetch_buffer: VecDeque<InstrId>,
 
     pc: u64,
@@ -85,6 +95,9 @@ pub struct Simulator {
     main_returned: bool,
 
     stats: SimulationStatistics,
+    /// Dynamic instruction mix keyed by dense `DescriptorId` — converted to
+    /// mnemonic strings only in [`Simulator::statistics`].
+    dyn_mix: Vec<u64>,
     log: DebugLog,
     program_end: u64,
     stack_top: u64,
@@ -111,6 +124,9 @@ impl Simulator {
         config.validate()?;
         let isa = InstructionSet::rv32imf();
         program.validate_against(&isa)?;
+        // Decode once: every later fetch (including mispredict replays and
+        // `step_back` re-simulation) is an array index into this table.
+        let predecoded = Arc::new(PredecodedProgram::new(&program, &isa)?);
 
         let mut mem = MemorySubsystem::new(
             config.memory.memory_capacity,
@@ -136,7 +152,6 @@ impl Simulator {
         let stack_top = config.memory.call_stack_size;
 
         let mut sim = Simulator {
-            isa,
             initial_memory: mem.memory().bytes().to_vec(),
             regs: RegisterFile::new(config.memory.rename_file_size),
             predictor: BranchPredictor::new(config.predictor.clone())?,
@@ -170,7 +185,7 @@ impl Simulator {
                 .collect(),
             load_buffer: LoadBuffer::new(config.memory.load_buffer_size),
             store_buffer: StoreBuffer::new(config.memory.store_buffer_size),
-            in_flight: BTreeMap::new(),
+            in_flight: InFlightRing::new(1),
             fetch_buffer: VecDeque::new(),
             pc: program.entry_point,
             cycle: 0,
@@ -183,6 +198,7 @@ impl Simulator {
                 core_clock_hz: config.core_clock_hz,
                 ..Default::default()
             },
+            dyn_mix: vec![0; predecoded.descriptor_count()],
             log: DebugLog::new(),
             program_end,
             stack_top,
@@ -190,6 +206,7 @@ impl Simulator {
             retire_log: Vec::new(),
             mem,
             config: config.clone(),
+            predecoded,
             program,
         };
         // Static instruction mix is known up front.
@@ -255,6 +272,11 @@ impl Simulator {
     /// The assembled program being executed.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The predecoded form of the program (decode-once fetch table).
+    pub fn predecoded(&self) -> &PredecodedProgram {
+        &self.predecoded
     }
 
     /// Current cycle number.
@@ -332,7 +354,7 @@ impl Simulator {
 
     /// In-flight instructions in program order (GUI block contents).
     pub fn in_flight(&self) -> impl Iterator<Item = &SimCode> {
-        self.in_flight.values()
+        self.in_flight.iter()
     }
 
     /// Reorder-buffer contents in program order.
@@ -341,12 +363,20 @@ impl Simulator {
     }
 
     /// Full statistics, merging step-manager counters with the predictor and
-    /// memory statistics.
+    /// memory statistics.  This is the serialization boundary where the
+    /// `DescriptorId`-keyed dynamic mix becomes mnemonic-keyed.
     pub fn statistics(&self) -> SimulationStatistics {
         let mut s = self.stats.clone();
         s.cycles = self.cycle;
         s.predictor = *self.predictor.stats();
         s.memory = *self.mem.stats();
+        s.dynamic_mix = BTreeMap::new();
+        for (index, &count) in self.dyn_mix.iter().enumerate() {
+            if count > 0 {
+                let name = self.predecoded.name(rvsim_isa::DescriptorId(index as u16));
+                s.dynamic_mix.insert(name.as_str().to_string(), count);
+            }
+        }
         s.unit_utilization = self
             .all_units()
             .map(|u| UnitUtilization {
@@ -407,20 +437,20 @@ impl Simulator {
         self.ls_window = IssueWindow::new("L/S issue window", iw);
         self.branch_window = IssueWindow::new("Branch issue window", iw);
         for (u, _) in &mut self.fx_units {
-            *u = FunctionalUnit::new(&u.name.clone());
+            u.reset();
         }
         for (u, _) in &mut self.fp_units {
-            *u = FunctionalUnit::new(&u.name.clone());
+            u.reset();
         }
         for u in &mut self.ls_units {
-            *u = FunctionalUnit::new(&u.name.clone());
+            u.reset();
         }
         for u in &mut self.branch_units {
-            *u = FunctionalUnit::new(&u.name.clone());
+            u.reset();
         }
         self.load_buffer = LoadBuffer::new(self.config.memory.load_buffer_size);
         self.store_buffer = StoreBuffer::new(self.config.memory.store_buffer_size);
-        self.in_flight.clear();
+        self.in_flight.reset(1);
         self.fetch_buffer.clear();
         self.pc = self.program.entry_point;
         self.cycle = 0;
@@ -435,6 +465,7 @@ impl Simulator {
             static_mix,
             ..Default::default()
         };
+        self.dyn_mix.fill(0);
         self.log.clear();
         // The trace must restart from scratch so that a reset + replay (and
         // therefore `step_back`) reproduces the original event stream instead
@@ -444,7 +475,9 @@ impl Simulator {
     }
 
     /// Step one cycle backwards.  As in the paper (§III-B) this is implemented
-    /// as a deterministic forward re-simulation of `cycle − 1` cycles.
+    /// as a deterministic forward re-simulation of `cycle − 1` cycles — every
+    /// re-fetched instruction is an index into the predecoded table, so the
+    /// replay does no decoding at all.
     pub fn step_back(&mut self) {
         let target = self.cycle.saturating_sub(1);
         self.reset();
@@ -461,16 +494,20 @@ impl Simulator {
         let cycle = self.cycle;
         self.mem_issues_this_cycle = 0;
 
-        self.stage_commit(cycle);
+        // One shared handle to the predecoded table for the whole cycle;
+        // the stages borrow it so the hot loop does no refcount traffic.
+        let pp = Arc::clone(&self.predecoded);
+
+        self.stage_commit(&pp, cycle);
         if self.halted.is_some() {
             self.cycle += 1;
             return;
         }
-        self.stage_writeback(cycle);
-        self.stage_memory(cycle);
+        self.stage_writeback(&pp, cycle);
+        self.stage_memory(&pp, cycle);
         self.stage_issue(cycle);
-        self.stage_dispatch(cycle);
-        self.stage_fetch(cycle);
+        self.stage_dispatch(&pp, cycle);
+        self.stage_fetch(&pp, cycle);
 
         self.cycle += 1;
         self.check_end_of_program();
@@ -478,15 +515,17 @@ impl Simulator {
 
     // ---------------------------------------------------------------- commit
 
-    fn stage_commit(&mut self, cycle: u64) {
+    fn stage_commit(&mut self, pp: &PredecodedProgram, cycle: u64) {
         for _ in 0..self.config.buffers.commit_width {
             let Some(head) = self.rob.head() else { break };
-            let Some(code) = self.in_flight.get(&head) else { break };
+            let Some(code) = self.in_flight.get(head) else { break };
             if !code.is_done() {
                 break;
             }
-            let mut code = self.in_flight.remove(&head).unwrap();
+            let mut code = self.in_flight.take(head).unwrap();
+            self.in_flight.trim();
             self.rob.pop_head();
+            let entry = pp.entry(code.pc).expect("committed pc is predecoded");
 
             // Exceptions are raised at commit (paper §III-B).
             if let Some(exception) = code.exception.clone() {
@@ -500,18 +539,18 @@ impl Simulator {
             // Stores write memory at commit so speculative stores never leak.
             let mut store_effect: Option<MemEffect> = None;
             if code.class == FunctionalClass::Store {
-                let entry = self
+                let store = self
                     .store_buffer
                     .iter()
                     .find(|e| e.id == head)
                     .cloned()
                     .expect("committed store has a buffer entry");
                 let (address, value) = (
-                    entry.address.expect("store address computed"),
-                    entry.value.expect("store value ready"),
+                    store.address.expect("store address computed"),
+                    store.value.expect("store value ready"),
                 );
-                store_effect = Some(MemEffect { address, size: entry.size, value });
-                match self.mem.store(address, entry.size, value, cycle) {
+                store_effect = Some(MemEffect { address, size: store.size, value });
+                match self.mem.store(address, store.size, value, cycle) {
                     Ok(tx) => {
                         code.cache_hit = Some(tx.cache_hit);
                         code.timestamps.memory = Some(cycle);
@@ -538,17 +577,13 @@ impl Simulator {
                 }
             }
 
-            // Statistics.
+            // Statistics.  The dynamic mix is a dense per-descriptor counter;
+            // it becomes a mnemonic-keyed map only in `statistics()`.
             self.stats.committed += 1;
             self.stats.flops += code.flops as u64;
-            *self.stats.dynamic_mix.entry(code.mnemonic.clone()).or_insert(0) += 1;
+            self.dyn_mix[code.desc.index()] += 1;
             if code.class == FunctionalClass::Branch {
-                let conditional = self
-                    .isa
-                    .get(&code.mnemonic)
-                    .map(|d| d.is_conditional_branch())
-                    .unwrap_or(false);
-                if conditional {
+                if entry.is_cond_branch {
                     self.stats.branches += 1;
                 } else {
                     self.stats.jumps += 1;
@@ -565,12 +600,7 @@ impl Simulator {
                 });
                 let load =
                     if code.class == FunctionalClass::Load {
-                        let size = self
-                            .isa
-                            .get(&code.mnemonic)
-                            .and_then(|d| d.memory)
-                            .map(|m| m.size)
-                            .unwrap_or(0);
+                        let size = entry.memory.map(|m| m.size).unwrap_or(0);
                         code.effective_address
                             .zip(code.loaded_value)
                             .map(|(address, v)| MemEffect { address, size, value: v.bits() })
@@ -585,7 +615,7 @@ impl Simulator {
                     seq: self.stats.committed - 1,
                     cycle,
                     pc: code.pc,
-                    mnemonic: code.mnemonic.clone(),
+                    mnemonic: code.mnemonic,
                     dest,
                     store: store_effect,
                     load,
@@ -600,7 +630,7 @@ impl Simulator {
 
     // ------------------------------------------------------------- write-back
 
-    fn stage_writeback(&mut self, cycle: u64) {
+    fn stage_writeback(&mut self, pp: &PredecodedProgram, cycle: u64) {
         // Gather all functional-unit completions for this cycle, oldest first.
         let mut finished: Vec<InstrId> = Vec::new();
         for (unit, _) in &mut self.fx_units {
@@ -630,54 +660,61 @@ impl Simulator {
         finished.sort_unstable();
 
         for id in finished {
-            let Some(mut code) = self.in_flight.remove(&id) else { continue };
-            let descriptor = self
-                .isa
-                .get(&code.mnemonic)
-                .cloned()
-                .expect("dispatched instruction has a descriptor");
+            let Some(mut code) = self.in_flight.take(id) else { continue };
+            let entry = pp.entry(code.pc).expect("executed pc is predecoded");
+            let sem = pp.semantics(code.desc);
             match code.class {
                 FunctionalClass::Fx | FunctionalClass::Fp => {
-                    self.finish_alu(&mut code, &descriptor, cycle);
+                    self.finish_alu(&mut code, entry, sem, cycle);
                 }
                 FunctionalClass::Branch => {
-                    self.finish_branch(&mut code, &descriptor, cycle);
+                    self.finish_branch(&mut code, entry, sem, cycle);
                 }
                 FunctionalClass::Load => {
-                    self.finish_load_address(&mut code, &descriptor, cycle);
+                    self.finish_load_address(&mut code, entry, sem, cycle);
                 }
                 FunctionalClass::Store => {
-                    self.finish_store_address(&mut code, &descriptor, cycle);
+                    self.finish_store_address(&mut code, entry, sem, cycle);
                 }
             }
-            self.in_flight.insert(id, code);
+            self.in_flight.put(code);
         }
     }
 
-    fn evaluator_for(code: &SimCode) -> Evaluator {
-        let mut e = Evaluator::new();
-        for src in &code.sources {
+    /// Bind the instruction's known source values, immediates and pc for a
+    /// compiled-expression evaluation — inline storage, no hashing.
+    fn bindings_for(code: &SimCode, entry: &PredecodedInstr) -> Bindings {
+        let mut bindings = Bindings::new();
+        for src in code.sources.iter() {
             if let Some(v) = src.value {
-                e.bind(&src.arg, v);
+                bindings.bind(src.arg, v);
             }
         }
-        for (name, v) in &code.immediates {
-            e.bind(name, TypedValue::int(*v as i32));
+        for imm in entry.imms.iter() {
+            bindings.bind(imm.arg, TypedValue::int(imm.value as i32));
         }
-        e.bind("pc", TypedValue::int(code.pc as i32));
-        e
+        bindings.bind(SYM_PC, TypedValue::int(code.pc as i32));
+        bindings
     }
 
-    fn finish_alu(&mut self, code: &mut SimCode, descriptor: &InstructionDescriptor, cycle: u64) {
-        let evaluator = Self::evaluator_for(code);
-        match evaluator.run(&descriptor.interpretable_as) {
-            Ok(output) => {
-                if let Some((_, value)) = output.assignments.first() {
-                    self.write_dest(code, *value, descriptor);
+    fn finish_alu(
+        &mut self,
+        code: &mut SimCode,
+        entry: &PredecodedInstr,
+        sem: &DescSemantics,
+        cycle: u64,
+    ) {
+        if let Some(expr) = &sem.interpretable {
+            let bindings = Self::bindings_for(code, entry);
+            match expr.run(&bindings) {
+                Ok(output) => {
+                    if let Some((_, value)) = output.assignments.first() {
+                        self.write_dest(code, *value);
+                    }
                 }
-            }
-            Err(exception) => {
-                code.exception = Some(exception);
+                Err(exception) => {
+                    code.exception = Some(exception);
+                }
             }
         }
         code.state = InstructionState::Done;
@@ -687,13 +724,14 @@ impl Simulator {
     fn finish_branch(
         &mut self,
         code: &mut SimCode,
-        descriptor: &InstructionDescriptor,
+        entry: &PredecodedInstr,
+        sem: &DescSemantics,
         cycle: u64,
     ) {
-        let evaluator = Self::evaluator_for(code);
+        let bindings = Self::bindings_for(code, entry);
         // Direction.
-        let taken = match &descriptor.condition {
-            Some(cond) => match evaluator.run(cond) {
+        let taken = match &sem.condition {
+            Some(cond) => match cond.run(&bindings) {
                 Ok(out) => out.result.map(|v| v.is_true()).unwrap_or(false),
                 Err(e) => {
                     code.exception = Some(e);
@@ -703,8 +741,8 @@ impl Simulator {
             None => true,
         };
         // Target.
-        let target = match &descriptor.target {
-            Some(t) => match evaluator.run(t) {
+        let target = match &sem.target {
+            Some(t) => match t.run(&bindings) {
                 Ok(out) => out.result.map(|v| v.as_u32() as u64).unwrap_or(code.pc + 4),
                 Err(e) => {
                     code.exception = Some(e);
@@ -714,10 +752,10 @@ impl Simulator {
             None => code.pc + 4,
         };
         // Link register write (jal/jalr).
-        if !descriptor.interpretable_as.is_empty() {
-            if let Ok(out) = evaluator.run(&descriptor.interpretable_as) {
+        if let Some(expr) = &sem.interpretable {
+            if let Ok(out) = expr.run(&bindings) {
                 if let Some((_, value)) = out.assignments.first() {
-                    self.write_dest(code, *value, descriptor);
+                    self.write_dest(code, *value);
                 }
             }
         }
@@ -729,7 +767,7 @@ impl Simulator {
         code.timestamps.execute = Some(cycle);
 
         // Train the predictor.
-        if descriptor.is_conditional_branch() {
+        if entry.is_cond_branch {
             self.predictor.update(code.pc, code.predicted_taken, taken, target);
         } else {
             self.predictor.train_btb(code.pc, target);
@@ -752,18 +790,19 @@ impl Simulator {
     fn finish_load_address(
         &mut self,
         code: &mut SimCode,
-        descriptor: &InstructionDescriptor,
+        entry: &PredecodedInstr,
+        sem: &DescSemantics,
         cycle: u64,
     ) {
-        let evaluator = Self::evaluator_for(code);
-        let address_expr = descriptor.address.as_deref().unwrap_or("\\rs1");
-        match evaluator.run(address_expr) {
+        let bindings = Self::bindings_for(code, entry);
+        let address_expr = sem.address.as_ref().expect("load has an address expression");
+        match address_expr.run(&bindings) {
             Ok(out) => {
                 let address = out.result.map(|v| v.as_u32() as u64).unwrap_or(0);
                 code.effective_address = Some(address);
-                for entry in self.load_buffer.iter_mut() {
-                    if entry.id == code.id {
-                        entry.address = Some(address);
+                for load in self.load_buffer.iter_mut() {
+                    if load.id == code.id {
+                        load.address = Some(address);
                     }
                 }
                 code.state = InstructionState::WaitingMemory;
@@ -779,27 +818,31 @@ impl Simulator {
     fn finish_store_address(
         &mut self,
         code: &mut SimCode,
-        descriptor: &InstructionDescriptor,
+        entry: &PredecodedInstr,
+        sem: &DescSemantics,
         cycle: u64,
     ) {
-        let evaluator = Self::evaluator_for(code);
-        let address_expr = descriptor.address.as_deref().unwrap_or("\\rs1");
-        let memory = descriptor.memory.expect("store has a memory descriptor");
-        match evaluator.run(address_expr) {
+        let bindings = Self::bindings_for(code, entry);
+        let address_expr = sem.address.as_ref().expect("store has an address expression");
+        let memory = entry.memory.expect("store has a memory descriptor");
+        match address_expr.run(&bindings) {
             Ok(out) => {
                 let address = out.result.map(|v| v.as_u32() as u64).unwrap_or(0);
                 code.effective_address = Some(address);
-                let value = code.source_value("rs2").unwrap_or_default();
+                let value = entry
+                    .store_data
+                    .and_then(|i| code.sources[i as usize].value)
+                    .unwrap_or_default();
                 code.store_value = Some(value);
                 let raw = match memory.data_type {
                     DataType::Float => value.bits() & 0xffff_ffff,
                     DataType::Double => value.bits(),
                     _ => value.as_u64(),
                 };
-                for entry in self.store_buffer.iter_mut() {
-                    if entry.id == code.id {
-                        entry.address = Some(address);
-                        entry.value = Some(raw);
+                for store in self.store_buffer.iter_mut() {
+                    if store.id == code.id {
+                        store.address = Some(address);
+                        store.value = Some(raw);
                     }
                 }
                 code.state = InstructionState::Done;
@@ -814,22 +857,15 @@ impl Simulator {
 
     /// Record the destination value, write the rename register and wake every
     /// waiting consumer.
-    fn write_dest(
-        &mut self,
-        code: &mut SimCode,
-        value: TypedValue,
-        descriptor: &InstructionDescriptor,
-    ) {
+    fn write_dest(&mut self, code: &mut SimCode, value: TypedValue) {
         code.result = Some(value);
         let Some(dest) = &code.dest else { return };
         let Some(tag) = dest.tag else { return };
         // Tag the value with the destination's declared data type for display.
-        let data_type =
-            descriptor.argument(&dest.arg).map(|a| a.data_type).unwrap_or(value.data_type());
-        let stored = RegisterValue { bits: value.bits(), data_type };
+        let stored = RegisterValue { bits: value.bits(), data_type: dest.data_type };
         self.regs.write_phys(tag, stored);
         let typed = stored.typed();
-        for other in self.in_flight.values_mut() {
+        for other in self.in_flight.iter_mut() {
             other.wake_up(tag, typed);
         }
     }
@@ -840,7 +876,7 @@ impl Simulator {
         // Wrong-path instructions still in the fetch buffer carry no renames.
         let fetched: Vec<InstrId> = self.fetch_buffer.drain(..).collect();
         for fid in fetched {
-            if let Some(mut code) = self.in_flight.remove(&fid) {
+            if let Some(mut code) = self.in_flight.take(fid) {
                 code.state = InstructionState::Squashed;
                 self.stats.squashed += 1;
             }
@@ -848,8 +884,8 @@ impl Simulator {
         // Dispatched instructions: youngest first so RAT rollback is correct.
         let squashed = self.rob.squash_after(id);
         for sid in squashed {
-            if let Some(mut code) = self.in_flight.remove(&sid) {
-                if let Some(DestOperand { tag: Some(tag), previous, .. }) = code.dest.clone() {
+            if let Some(mut code) = self.in_flight.take(sid) {
+                if let Some(DestOperand { tag: Some(tag), previous, .. }) = code.dest {
                     self.regs.rollback(tag, previous);
                 }
                 code.state = InstructionState::Squashed;
@@ -860,6 +896,8 @@ impl Simulator {
             self.ls_window.remove(sid);
             self.branch_window.remove(sid);
         }
+        // No ring trim here: the flushing branch itself is still taken out by
+        // the write-back stage and must be able to return to its slot.
         for (unit, _) in &mut self.fx_units {
             unit.squash_after(id);
         }
@@ -882,7 +920,7 @@ impl Simulator {
 
     // ---------------------------------------------------------------- memory
 
-    fn stage_memory(&mut self, cycle: u64) {
+    fn stage_memory(&mut self, pp: &PredecodedProgram, cycle: u64) {
         // 1. Complete loads whose data is available.
         let completed: Vec<(InstrId, TypedValue)> = self
             .load_buffer
@@ -891,16 +929,16 @@ impl Simulator {
             .map(|e| (e.id, e.forwarded.unwrap()))
             .collect();
         for (id, raw_value) in completed {
-            let Some(mut code) = self.in_flight.remove(&id) else { continue };
-            let descriptor = self.isa.get(&code.mnemonic).cloned().expect("load descriptor");
-            let memory = descriptor.memory.expect("load has memory descriptor");
+            let Some(mut code) = self.in_flight.take(id) else { continue };
+            let entry = pp.entry(code.pc).expect("load pc is predecoded");
+            let memory = entry.memory.expect("load has memory descriptor");
             let value =
                 convert_loaded(raw_value.bits(), memory.size, memory.sign_extend, memory.data_type);
             code.loaded_value = Some(value);
-            self.write_dest(&mut code, value, &descriptor);
+            self.write_dest(&mut code, value);
             code.state = InstructionState::Done;
             code.timestamps.memory = Some(cycle);
-            self.in_flight.insert(id, code);
+            self.in_flight.put(code);
             // The buffer entry is kept until commit for occupancy accounting,
             // but marked complete so it is not re-issued.
         }
@@ -972,12 +1010,12 @@ impl Simulator {
                                     entry.completion = Some(tx.completion_cycle);
                                 }
                             }
-                            if let Some(code) = self.in_flight.get_mut(&id) {
+                            if let Some(code) = self.in_flight.get_mut(id) {
                                 code.cache_hit = Some(tx.cache_hit);
                             }
                         }
                         Err(_) => {
-                            if let Some(code) = self.in_flight.get_mut(&id) {
+                            if let Some(code) = self.in_flight.get_mut(id) {
                                 code.exception = Some(Exception::InvalidAddress { address });
                                 code.state = InstructionState::Done;
                             }
@@ -992,36 +1030,24 @@ impl Simulator {
     // ----------------------------------------------------------------- issue
 
     fn latency_for(
-        &self,
-        code: &SimCode,
+        latency: LatencyClass,
         fx: Option<&FxUnitConfig>,
         fp: Option<&FpUnitConfig>,
     ) -> u64 {
-        let m = code.mnemonic.as_str();
         if let Some(cfg) = fx {
-            return if m.starts_with("mul") {
-                cfg.mul_latency
-            } else if m.starts_with("div") || m.starts_with("rem") {
-                cfg.div_latency
-            } else {
-                cfg.alu_latency
+            return match latency {
+                LatencyClass::IntMul => cfg.mul_latency,
+                LatencyClass::IntDiv => cfg.div_latency,
+                _ => cfg.alu_latency,
             };
         }
         if let Some(cfg) = fp {
-            return if m.starts_with("fdiv") {
-                cfg.div_latency
-            } else if m.starts_with("fsqrt") {
-                cfg.sqrt_latency
-            } else if m.starts_with("fmadd")
-                || m.starts_with("fmsub")
-                || m.starts_with("fnmadd")
-                || m.starts_with("fnmsub")
-            {
-                cfg.fma_latency
-            } else if m.starts_with("fmul") {
-                cfg.mul_latency
-            } else {
-                cfg.alu_latency
+            return match latency {
+                LatencyClass::FpDiv => cfg.div_latency,
+                LatencyClass::FpSqrt => cfg.sqrt_latency,
+                LatencyClass::FpFma => cfg.fma_latency,
+                LatencyClass::FpMul => cfg.mul_latency,
+                _ => cfg.alu_latency,
             };
         }
         1
@@ -1034,22 +1060,19 @@ impl Simulator {
                 continue;
             }
             let supports_muldiv = self.fx_units[i].1.supports_mul_div;
-            let pick = self.fx_window.iter().find(|id| {
+            let pick = self.fx_window.iter().find(|&id| {
                 self.in_flight
                     .get(id)
-                    .map(|c| c.sources_ready() && (supports_muldiv || !is_mul_div(&c.mnemonic)))
+                    .map(|c| c.sources_ready() && (supports_muldiv || !c.latency.is_mul_div()))
                     .unwrap_or(false)
             });
             if let Some(id) = pick {
-                let latency = {
-                    let code = &self.in_flight[&id];
-                    self.latency_for(code, Some(&self.fx_units[i].1), None)
-                };
-                self.fx_window.remove(id);
-                self.fx_units[i].0.start(id, cycle, latency);
-                let code = self.in_flight.get_mut(&id).unwrap();
+                let code = self.in_flight.get_mut(id).unwrap();
+                let latency = Self::latency_for(code.latency, Some(&self.fx_units[i].1), None);
                 code.state = InstructionState::Executing;
                 code.timestamps.issue = Some(cycle);
+                self.fx_window.remove(id);
+                self.fx_units[i].0.start(id, cycle, latency);
             }
         }
         // FP units.
@@ -1060,17 +1083,14 @@ impl Simulator {
             let pick = self
                 .fp_window
                 .iter()
-                .find(|id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
+                .find(|&id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
             if let Some(id) = pick {
-                let latency = {
-                    let code = &self.in_flight[&id];
-                    self.latency_for(code, None, Some(&self.fp_units[i].1))
-                };
-                self.fp_window.remove(id);
-                self.fp_units[i].0.start(id, cycle, latency);
-                let code = self.in_flight.get_mut(&id).unwrap();
+                let code = self.in_flight.get_mut(id).unwrap();
+                let latency = Self::latency_for(code.latency, None, Some(&self.fp_units[i].1));
                 code.state = InstructionState::Executing;
                 code.timestamps.issue = Some(cycle);
+                self.fp_window.remove(id);
+                self.fp_units[i].0.start(id, cycle, latency);
             }
         }
         // Load/store address generation units.
@@ -1081,12 +1101,12 @@ impl Simulator {
             let pick = self
                 .ls_window
                 .iter()
-                .find(|id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
+                .find(|&id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
             if let Some(id) = pick {
                 let latency = self.config.units.ls_latency;
                 self.ls_window.remove(id);
                 self.ls_units[i].start(id, cycle, latency);
-                let code = self.in_flight.get_mut(&id).unwrap();
+                let code = self.in_flight.get_mut(id).unwrap();
                 code.state = InstructionState::Executing;
                 code.timestamps.issue = Some(cycle);
             }
@@ -1099,12 +1119,12 @@ impl Simulator {
             let pick = self
                 .branch_window
                 .iter()
-                .find(|id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
+                .find(|&id| self.in_flight.get(id).map(|c| c.sources_ready()).unwrap_or(false));
             if let Some(id) = pick {
                 let latency = self.config.units.branch_latency;
                 self.branch_window.remove(id);
                 self.branch_units[i].start(id, cycle, latency);
-                let code = self.in_flight.get_mut(&id).unwrap();
+                let code = self.in_flight.get_mut(id).unwrap();
                 code.state = InstructionState::Executing;
                 code.timestamps.issue = Some(cycle);
             }
@@ -1113,24 +1133,21 @@ impl Simulator {
 
     // -------------------------------------------------------------- dispatch
 
-    fn stage_dispatch(&mut self, cycle: u64) {
+    fn stage_dispatch(&mut self, pp: &PredecodedProgram, cycle: u64) {
         for _ in 0..self.config.buffers.fetch_width {
             let Some(&id) = self.fetch_buffer.front() else { break };
-            let Some(code) = self.in_flight.get(&id) else {
+            let Some(code) = self.in_flight.get(id) else {
                 self.fetch_buffer.pop_front();
                 continue;
             };
-            let descriptor = self
-                .isa
-                .get(&code.mnemonic)
-                .cloned()
-                .expect("fetched instruction exists in the ISA");
+            let class = code.class;
+            let entry = pp.entry(code.pc).expect("fetched pc is predecoded");
 
             // Structural hazards: every resource must be available.
             if !self.rob.has_space() {
                 break;
             }
-            let window = match code.class {
+            let window = match class {
                 FunctionalClass::Fx => &self.fx_window,
                 FunctionalClass::Fp => &self.fp_window,
                 FunctionalClass::Load | FunctionalClass::Store => &self.ls_window,
@@ -1139,65 +1156,46 @@ impl Simulator {
             if !window.has_space() {
                 break;
             }
-            if code.class == FunctionalClass::Load && !self.load_buffer.has_space() {
+            if class == FunctionalClass::Load && !self.load_buffer.has_space() {
                 break;
             }
-            if code.class == FunctionalClass::Store && !self.store_buffer.has_space() {
+            if class == FunctionalClass::Store && !self.store_buffer.has_space() {
                 break;
             }
 
-            // Read source operands and collect immediates FIRST: an
-            // instruction whose destination equals one of its sources
-            // (`addi a0, a0, 1`) must read the previous mapping, not the tag
-            // it is about to allocate for itself.
-            let asm_ins = self.program.at(code.pc).expect("fetched pc is valid").clone();
-            let mut sources = Vec::new();
-            let mut immediates = Vec::new();
-            for (i, arg) in descriptor.arguments.iter().enumerate() {
-                if arg.write_back {
-                    continue;
-                }
-                match arg.kind {
-                    rvsim_isa::ArgKind::IntReg | rvsim_isa::ArgKind::FpReg => {
-                        let arch = asm_ins.reg(i).expect("register operand");
-                        let (wait_tag, value) = match self.regs.read_operand(arch) {
-                            OperandRead::Ready(v) => (None, Some(v)),
-                            OperandRead::Wait(tag) => (Some(tag), None),
-                        };
-                        sources.push(SourceOperand {
-                            arg: arg.name.clone(),
-                            arch,
-                            wait_tag,
-                            value,
-                        });
-                    }
-                    rvsim_isa::ArgKind::Imm | rvsim_isa::ArgKind::Label => {
-                        immediates.push((arg.name.clone(), asm_ins.imm(i).unwrap_or(0)));
-                    }
-                }
+            // Read source operands FIRST: an instruction whose destination
+            // equals one of its sources (`addi a0, a0, 1`) must read the
+            // previous mapping, not the tag it is about to allocate for
+            // itself.  The operand specs are predecoded — no descriptor or
+            // program lookups here.
+            let mut sources: rvsim_isa::InlineVec<SourceOperand, 3> = rvsim_isa::InlineVec::new();
+            for src in entry.srcs.iter() {
+                let (wait_tag, value) = match self.regs.read_operand(src.reg) {
+                    OperandRead::Ready(v) => (None, Some(v)),
+                    OperandRead::Wait(tag) => (Some(tag), None),
+                };
+                sources.push(SourceOperand { arg: src.arg, arch: src.reg, wait_tag, value });
             }
 
             // Rename the destination (may stall when the rename file is full).
             let mut dest: Option<DestOperand> = None;
             let mut dest_ok = true;
-            for (i, arg) in descriptor.arguments.iter().enumerate() {
-                if !arg.write_back {
-                    continue;
-                }
-                let arch = asm_ins.reg(i).expect("destination operand is a register");
-                match self.regs.rename_dest(arch) {
+            if let Some(dst) = &entry.dst {
+                match self.regs.rename_dest(dst.reg) {
                     DestRename::Allocated { tag, previous } => {
                         dest = Some(DestOperand {
-                            arg: arg.name.clone(),
-                            arch,
+                            arg: dst.arg,
+                            arch: dst.reg,
+                            data_type: dst.data_type,
                             tag: Some(tag),
                             previous,
                         });
                     }
                     DestRename::Discard => {
                         dest = Some(DestOperand {
-                            arg: arg.name.clone(),
-                            arch,
+                            arg: dst.arg,
+                            arch: dst.reg,
+                            data_type: dst.data_type,
                             tag: None,
                             previous: None,
                         });
@@ -1213,13 +1211,11 @@ impl Simulator {
 
             // Commit the dispatch.
             self.fetch_buffer.pop_front();
-            let code = self.in_flight.get_mut(&id).unwrap();
+            let code = self.in_flight.get_mut(id).unwrap();
             code.sources = sources;
-            code.immediates = immediates;
             code.dest = dest;
             code.state = InstructionState::Dispatched;
             code.timestamps.dispatch = Some(cycle);
-            let class = code.class;
             self.rob.push(id);
             match class {
                 FunctionalClass::Fx => self.fx_window.insert(id),
@@ -1227,7 +1223,7 @@ impl Simulator {
                 FunctionalClass::Load | FunctionalClass::Store => self.ls_window.insert(id),
                 FunctionalClass::Branch => self.branch_window.insert(id),
             }
-            if let Some(memory) = descriptor.memory {
+            if let Some(memory) = entry.memory {
                 if memory.is_store {
                     self.store_buffer.push(StoreEntry {
                         id,
@@ -1250,7 +1246,7 @@ impl Simulator {
 
     // ----------------------------------------------------------------- fetch
 
-    fn stage_fetch(&mut self, cycle: u64) {
+    fn stage_fetch(&mut self, pp: &PredecodedProgram, cycle: u64) {
         if cycle < self.fetch_stall_until {
             return;
         }
@@ -1264,35 +1260,22 @@ impl Simulator {
             if pc >= self.program_end {
                 break;
             }
-            let Some(asm_ins) = self.program.at(pc).cloned() else { break };
-            let descriptor = self
-                .isa
-                .get(&asm_ins.mnemonic)
-                .cloned()
-                .expect("assembled instruction exists in the ISA");
+            // The predecoded table replaces the seed's program lookup,
+            // ISA-map lookup and descriptor/mnemonic/text clones.
+            let Some(entry) = pp.entry(pc) else { break };
 
             let id = self.next_id;
             self.next_id += 1;
-            let mut code = SimCode::fetched(
-                id,
-                pc,
-                asm_ins.mnemonic.clone(),
-                asm_ins.text.clone(),
-                asm_ins.source_line,
-                descriptor.functional_class,
-                descriptor.flops,
-                cycle,
-            );
+            let mut code = SimCode::fetched(id, pc, entry, cycle);
             self.stats.fetched += 1;
 
             // Predict the next PC.
             let mut next = pc + 4;
-            if descriptor.is_control_flow() {
-                if descriptor.is_unconditional_jump() {
-                    if asm_ins.mnemonic == "jal" {
+            if entry.is_control_flow() {
+                if entry.is_uncond_jump {
+                    if entry.is_direct_jal {
                         // Direct jump: the target is known statically.
-                        let imm = asm_ins.imm(1).unwrap_or(0);
-                        next = (pc as i64 + imm) as u64;
+                        next = entry.static_target;
                         code.predicted_taken = true;
                     } else {
                         // Indirect jump (jalr): use the BTB if it knows a target.
@@ -1314,7 +1297,7 @@ impl Simulator {
             }
             code.predicted_next_pc = next;
 
-            self.in_flight.insert(id, code);
+            self.in_flight.insert(code);
             self.fetch_buffer.push_back(id);
             fetched += 1;
 
@@ -1366,10 +1349,6 @@ fn convert_loaded(raw: u64, size: usize, sign_extend: bool, data_type: DataType)
     }
 }
 
-fn is_mul_div(mnemonic: &str) -> bool {
-    mnemonic.starts_with("mul") || mnemonic.starts_with("div") || mnemonic.starts_with("rem")
-}
-
 fn ranges_overlap(a: u64, a_len: usize, b: u64, b_len: usize) -> bool {
     a < b + b_len as u64 && b < a + a_len as u64
 }
@@ -1377,7 +1356,6 @@ fn ranges_overlap(a: u64, a_len: usize, b: u64, b_len: usize) -> bool {
 fn align_up(value: u64, align: u64) -> u64 {
     value.div_ceil(align) * align
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -108,8 +108,10 @@ impl ProcessorSnapshot {
             sim.in_flight().find(|c| c.id == id).map(|c| InstructionView {
                 id: c.id,
                 pc: c.pc,
-                mnemonic: c.mnemonic.clone(),
-                text: c.text.clone(),
+                mnemonic: c.mnemonic.as_str().to_string(),
+                // The display text stays in the (shared) program; in-flight
+                // instructions no longer carry owned strings.
+                text: sim.program().at(c.pc).map(|i| i.text.clone()).unwrap_or_default(),
                 state: c.state,
                 dest_tag: c.dest.as_ref().and_then(|d| d.tag.map(|t| t.to_string())),
                 exception: c.exception.as_ref().map(|e| e.to_string()),

@@ -10,7 +10,7 @@
 //! are carried for context but are *not* part of the architectural
 //! comparison, because the two models disagree on them by design.
 
-use rvsim_isa::RegisterId;
+use rvsim_isa::{RegisterId, Sym};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -38,8 +38,9 @@ pub struct RetireEvent {
     pub cycle: u64,
     /// Program counter of the instruction.
     pub pc: u64,
-    /// Mnemonic after pseudo-instruction expansion.
-    pub mnemonic: String,
+    /// Mnemonic after pseudo-instruction expansion (interned: comparisons in
+    /// the cosim diff loop are integer equality; serde emits the string).
+    pub mnemonic: Sym,
     /// Destination register write that became architectural, if any
     /// (discarded `x0` writes are `None`): register plus raw bits.
     pub dest: Option<(RegisterId, u64)>,

@@ -197,6 +197,16 @@ impl FunctionalUnit {
         self.current = None;
     }
 
+    /// Return the unit to its idle post-construction state, keeping the
+    /// allocated name (used by `Simulator::reset` instead of rebuilding the
+    /// unit from a cloned name).
+    pub fn reset(&mut self) {
+        self.current = None;
+        self.busy_until = 0;
+        self.busy_cycles = 0;
+        self.executed = 0;
+    }
+
     /// Squash the unit's instruction if it is younger than `id`.
     pub fn squash_after(&mut self, id: InstrId) -> Option<InstrId> {
         match self.current {
@@ -345,6 +355,19 @@ mod tests {
         assert_eq!(fu.busy_cycles, 4);
         assert_eq!(fu.executed, 1);
         fu.release();
+        assert!(fu.is_free(0));
+    }
+
+    #[test]
+    fn functional_unit_reset_keeps_name_clears_state() {
+        let mut fu = FunctionalUnit::new("FX1");
+        fu.start(3, 10, 4);
+        fu.reset();
+        assert_eq!(fu.name, "FX1");
+        assert_eq!(fu.current, None);
+        assert_eq!(fu.busy_until, 0);
+        assert_eq!(fu.busy_cycles, 0);
+        assert_eq!(fu.executed, 0);
         assert!(fu.is_free(0));
     }
 

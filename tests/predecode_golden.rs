@@ -1,0 +1,187 @@
+//! Golden-equivalence fixtures for the predecoded execution path.
+//!
+//! The fixtures under `tests/fixtures/` were captured from the seed
+//! (decode-per-fetch) implementation, *before* the predecoded-µop layer
+//! landed.  This suite re-runs the same programs on the same configurations
+//! and asserts that the retirement trace, the full `SimulationStatistics`
+//! and the processor-snapshot serde output are byte-identical to those
+//! fixtures — guarding, in particular, the `DescriptorId`-keyed
+//! `dynamic_mix` serialization and the interned-mnemonic trace fields.
+//!
+//! Regenerate (only when an *intentional* behaviour change is made) with:
+//!
+//! ```bash
+//! RVSIM_UPDATE_FIXTURES=1 cargo test --test predecode_golden
+//! ```
+
+use riscv_superscalar_sim::prelude::*;
+use std::path::PathBuf;
+
+/// Fixed program set: the paper's sample kernels plus two generated programs.
+fn programs() -> Vec<(&'static str, String)> {
+    let arithmetic = "
+main:
+    li   t0, 0
+    li   t1, 64
+    li   a0, 0
+loop:
+    addi a0, a0, 3
+    xor  t2, a0, t1
+    add  t0, t0, t2
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t0
+    ret
+"
+    .to_string();
+    let memory = "
+buf:
+    .zero 512
+main:
+    la   t0, buf
+    li   t1, 128
+    li   a0, 0
+loop:
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    add  a0, a0, t2
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+"
+    .to_string();
+    let float = "
+a:
+    .float 1.5, 2.0, 0.5, 4.0, 3.25, 0.75, 2.5, 1.0
+b:
+    .float 2.0, 3.0, 8.0, 0.25, 1.0, 4.0, 0.5, 2.0
+main:
+    la   t0, a
+    la   t1, b
+    li   t2, 8
+    fmv.w.x fa0, x0
+loop:
+    flw  ft0, 0(t0)
+    flw  ft1, 0(t1)
+    fmadd.s fa0, ft0, ft1, fa0
+    addi t0, t0, 4
+    addi t1, t1, 4
+    addi t2, t2, -1
+    bnez t2, loop
+    fcvt.w.s a0, fa0
+    ret
+"
+    .to_string();
+    vec![
+        ("arithmetic", arithmetic),
+        ("memory", memory),
+        ("float", float),
+        ("gen3", generate_program(3, &GenOptions::default())),
+        ("gen11", generate_program(11, &GenOptions::default())),
+    ]
+}
+
+fn configs() -> Vec<(&'static str, ArchitectureConfig)> {
+    vec![
+        ("scalar", ArchitectureConfig::scalar()),
+        ("default", ArchitectureConfig::default()),
+        ("wide", ArchitectureConfig::wide()),
+    ]
+}
+
+/// Capture everything the fixture compares: retirement trace, statistics,
+/// a mid-run snapshot (in-flight instructions visible) and the final
+/// snapshot, all in serialized form.
+fn capture(source: &str, config: &ArchitectureConfig) -> serde_json::Value {
+    // Mid-run snapshot from a separate simulator so stepping does not
+    // perturb the traced run.
+    let mut probe = Simulator::from_assembly(source, config).expect("program assembles");
+    for _ in 0..30 {
+        probe.step();
+    }
+    let snapshot_mid = ProcessorSnapshot::capture(&probe);
+
+    let mut sim = Simulator::from_assembly(source, config).expect("program assembles");
+    sim.set_retirement_trace(true);
+    let result = sim.run(500_000).expect("program runs");
+    assert!(
+        !matches!(result.halt, HaltReason::MaxCyclesReached),
+        "golden program did not terminate"
+    );
+    let snapshot_final = ProcessorSnapshot::capture(&sim);
+
+    serde_json::json!({
+        "halt": format!("{:?}", result.halt),
+        "cycles": result.cycles,
+        "trace": sim.retirement_trace(),
+        "statistics": sim.statistics(),
+        "snapshot_mid": snapshot_mid,
+        "snapshot_final": snapshot_final,
+    })
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(format!("{name}.json"))
+}
+
+#[test]
+fn execution_matches_seed_fixtures() {
+    let update = std::env::var("RVSIM_UPDATE_FIXTURES").is_ok();
+    let mut failures = Vec::new();
+    for (prog_name, source) in programs() {
+        for (config_name, config) in configs() {
+            let name = format!("golden_{prog_name}_{config_name}");
+            let mut actual =
+                serde_json::to_string_pretty(&capture(&source, &config)).expect("serializes");
+            actual.push('\n');
+            let path = fixture_path(&name);
+            if update {
+                std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+                std::fs::write(&path, &actual).unwrap();
+                continue;
+            }
+            let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!(
+                    "fixture {name} missing ({e}); regenerate with \
+                     RVSIM_UPDATE_FIXTURES=1 cargo test --test predecode_golden"
+                )
+            });
+            if actual != expected {
+                // Report the first differing line for a debuggable failure.
+                let diff_line = actual
+                    .lines()
+                    .zip(expected.lines())
+                    .enumerate()
+                    .find(|(_, (a, e))| a != e)
+                    .map(|(i, (a, e))| format!("line {}: got `{a}`, fixture `{e}`", i + 1))
+                    .unwrap_or_else(|| "outputs differ in length".to_string());
+                failures.push(format!("{name}: {diff_line}"));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "execution diverged from the seed fixtures:\n{}",
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn fixture_trace_round_trips_through_serde() {
+    // The comparison above is textual; this guards the deserialize side of
+    // the interned-mnemonic types (RetireEvent::mnemonic, dynamic_mix keys).
+    let (_, source) = &programs()[0];
+    let mut sim = Simulator::from_assembly(source, &ArchitectureConfig::default()).unwrap();
+    sim.set_retirement_trace(true);
+    sim.run(500_000).unwrap();
+    let trace = sim.retirement_trace().to_vec();
+    let json = serde_json::to_string(&trace).unwrap();
+    let back: Vec<rvsim_core::RetireEvent> = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, trace);
+
+    let stats = sim.statistics();
+    let json = serde_json::to_string(&stats).unwrap();
+    let back: SimulationStatistics = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, stats);
+}
