@@ -1,0 +1,73 @@
+//! **Server request path**: per-request cost of the `GetState` serve path —
+//! the layer the paper's evaluation measures (JSON encode dominates request
+//! time, §IV-A).  Cells cover the GUI's two request patterns (refreshing an
+//! unchanged session and stepping+fetching a changing one) with and without
+//! response compression, through `SimulationServer::handle_raw`, i.e. the
+//! full decode → simulate → capture → encode → compress pipeline.
+//!
+//! The committed trajectory lives in `BENCH_server.json` (produced by
+//! `rvsim-cli bench --server --json`); this bench is the Criterion view of
+//! the same path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvsim_bench::raw_bench_server;
+use rvsim_server::Request;
+use std::hint::black_box;
+use std::io::Write as _;
+
+fn bench_server_request(c: &mut Criterion) {
+    let mut group = c.benchmark_group("server_request");
+
+    for compress in [false, true] {
+        let label = if compress { "compressed" } else { "plain" };
+
+        // Repeated snapshot fetch of an unchanged session (GUI refresh).
+        let (server, session) = raw_bench_server(compress);
+        let state = serde_json::to_vec(&Request::GetState { session }).unwrap();
+        group.bench_with_input(BenchmarkId::new("get_state", label), &server, |b, server| {
+            b.iter(|| black_box(server.handle_raw(&state)));
+        });
+
+        // Step one cycle then fetch: every fetch captures a changed machine.
+        let (server, session) = raw_bench_server(compress);
+        let step = serde_json::to_vec(&Request::Step { session, cycles: 1 }).unwrap();
+        let state = serde_json::to_vec(&Request::GetState { session }).unwrap();
+        group.bench_with_input(BenchmarkId::new("step_state", label), &server, |b, server| {
+            b.iter(|| {
+                black_box(server.handle_raw(&step));
+                black_box(server.handle_raw(&state));
+            });
+        });
+
+        // Delta protocol: step then fetch only what changed since the
+        // previous cycle (after the first full-snapshot fallback the server
+        // serves true deltas).
+        let (server, session) = raw_bench_server(compress);
+        let step = serde_json::to_vec(&Request::Step { session, cycles: 1 }).unwrap();
+        // raw_bench_server warms the session by 64 steps.  The request varies
+        // per iteration (since_cycle advances), so it is rendered into a
+        // reusable buffer with a plain write! instead of the serde path the
+        // fixed-request cells pre-serialize outside the loop — keeping
+        // request-construction overhead negligible in the timing.
+        let mut cycle = 64u64;
+        let mut delta_req: Vec<u8> = Vec::with_capacity(64);
+        group.bench_with_input(BenchmarkId::new("step_delta", label), &server, |b, server| {
+            b.iter(|| {
+                black_box(server.handle_raw(&step));
+                delta_req.clear();
+                write!(
+                    delta_req,
+                    "{{\"type\":\"get_state_delta\",\"session\":{session},\"since_cycle\":{cycle}}}"
+                )
+                .unwrap();
+                cycle += 1;
+                black_box(server.handle_raw(&delta_req));
+            });
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_server_request);
+criterion_main!(benches);

@@ -275,6 +275,215 @@ pub fn run_pipeline_bench(min_wall_seconds: f64) -> Vec<PipelineSample> {
     samples
 }
 
+// ---------------------------------------------------------------------------
+// Server-throughput benchmark harness (the paper's request-path measurements)
+// ---------------------------------------------------------------------------
+
+/// Long-running mixed workload for server-side request benchmarks.  The loop
+/// count is large enough that a session never halts within a measurement
+/// window, so every `Step` advances the cycle counter and every `GetState`
+/// captures a pipeline with real in-flight state (ROB entries, renames,
+/// cache lines).
+pub fn program_server() -> String {
+    "
+data:
+    .word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3
+main:
+    la   t0, data
+    li   t1, 4000000
+    li   a0, 0
+    li   a1, 1
+loop:
+    lw   t2, 0(t0)
+    mul  t3, t2, a1
+    add  a0, a0, t3
+    sw   a0, 32(t0)
+    addi a1, a1, 1
+    andi t4, a1, 60
+    add  t0, t0, t4
+    sub  t0, t0, t4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+"
+    .to_string()
+}
+
+/// One measured raw-request scenario (server-side work only, no worker pool).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RawRequestSample {
+    /// Scenario name: `get_state` (repeated snapshot fetch of an unchanged
+    /// session — the GUI's refresh pattern) or `step_state` (step one cycle,
+    /// then fetch — the interactive stepping pattern; every fetch captures a
+    /// changed machine).
+    pub scenario: String,
+    /// Whether response compression was enabled.
+    pub compressed: bool,
+    /// `GetState` requests completed in the measurement window.
+    pub requests: u64,
+    /// Wall-clock seconds of the measurement window.  For `step_state` this
+    /// includes the untimed `Step` request preceding each fetch, so the
+    /// derived rate is the sustained step+fetch interaction rate — only the
+    /// `get_state` scenario measures pure serve throughput.
+    pub wall_seconds: f64,
+    /// `GetState` requests completed per wall-clock second of the scenario
+    /// loop (see [`Self::wall_seconds`] for what the window includes) — the
+    /// headline metric.
+    pub requests_per_second: f64,
+    /// Median `GetState` latency in microseconds (the fetch alone is timed,
+    /// in every scenario).
+    pub p50_us: f64,
+    /// 90th-percentile `GetState` latency in microseconds.
+    pub p90_us: f64,
+    /// Encoded response payload size in bytes (last response).
+    pub payload_bytes: u64,
+}
+
+/// One load-generator row (threaded server, paper scenario).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerLoadSample {
+    /// Concurrent simulated users.
+    pub users: usize,
+    /// Whether response compression was enabled.
+    pub compressed: bool,
+    /// Snapshot fetch mode: `full` (`GetState` every step) or `delta`
+    /// (`GetStateDelta` against the previously seen cycle).
+    pub mode: String,
+    /// The Table-I-style report.
+    pub report: rvsim_loadgen::LoadTestReport,
+}
+
+/// Complete server-throughput report (`BENCH_server.json`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServerBenchReport {
+    /// Raw request-path samples.
+    pub raw: Vec<RawRequestSample>,
+    /// Load-generator samples.
+    pub load: Vec<ServerLoadSample>,
+}
+
+impl ServerBenchReport {
+    /// Requests/s of the headline cell (`get_state`, compressed), if present.
+    pub fn headline_get_state_rps(&self) -> Option<f64> {
+        self.raw
+            .iter()
+            .find(|s| s.scenario == "get_state" && s.compressed)
+            .map(|s| s.requests_per_second)
+    }
+}
+
+/// Knobs of the server benchmark.
+#[derive(Debug, Clone)]
+pub struct ServerBenchOptions {
+    /// Minimum measurement window per raw cell, in seconds.
+    pub min_seconds: f64,
+    /// Load-generator time scale (1.0 = paper timing).
+    pub time_scale: f64,
+    /// User counts the load generator sweeps.
+    pub users: Vec<usize>,
+}
+
+impl Default for ServerBenchOptions {
+    fn default() -> Self {
+        ServerBenchOptions { min_seconds: 0.5, time_scale: 0.05, users: vec![1, 8, 32] }
+    }
+}
+
+fn percentile_us(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (p * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Create a direct (pool-less) server with one warmed-up session on the
+/// server workload and return both.
+pub fn raw_bench_server(compress: bool) -> (SimulationServer, u64) {
+    let server = SimulationServer::new(DeploymentConfig {
+        mode: DeploymentMode::Direct,
+        compress_responses: compress,
+        worker_threads: 1,
+    });
+    let create = serde_json::to_vec(&rvsim_server::Request::CreateSession {
+        program: program_server(),
+        architecture: None,
+        entry: None,
+    })
+    .expect("request serializes");
+    let payload = server.handle_raw(&create);
+    let response = SimulationServer::decode_response(&payload).expect("create decodes");
+    let session = match response {
+        rvsim_server::Response::SessionCreated { session } => session,
+        other => panic!("unexpected create response {other:?}"),
+    };
+    // Warm the pipeline so snapshots contain real in-flight state.
+    let step = serde_json::to_vec(&rvsim_server::Request::Step { session, cycles: 64 }).unwrap();
+    server.handle_raw(&step);
+    (server, session)
+}
+
+fn measure_raw(scenario: &str, compress: bool, min_seconds: f64) -> RawRequestSample {
+    let (server, session) = raw_bench_server(compress);
+    let state_req = serde_json::to_vec(&rvsim_server::Request::GetState { session }).unwrap();
+    let step_req = serde_json::to_vec(&rvsim_server::Request::Step { session, cycles: 1 }).unwrap();
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let start = Instant::now();
+    loop {
+        if scenario == "step_state" {
+            server.handle_raw(&step_req);
+        }
+        let t0 = Instant::now();
+        server.handle_raw(&state_req);
+        latencies_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        if start.elapsed().as_secs_f64() >= min_seconds {
+            break;
+        }
+    }
+    let wall_seconds = start.elapsed().as_secs_f64();
+    // Representative payload size, measured outside the timing window.
+    let payload_bytes = server.handle_raw(&state_req).len() as u64;
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let requests = latencies_us.len() as u64;
+    RawRequestSample {
+        scenario: scenario.to_string(),
+        compressed: compress,
+        requests,
+        wall_seconds,
+        requests_per_second: requests as f64 / wall_seconds,
+        p50_us: percentile_us(&latencies_us, 0.5),
+        p90_us: percentile_us(&latencies_us, 0.9),
+        payload_bytes,
+    }
+}
+
+/// Run the full server-throughput benchmark: raw `GetState` request path
+/// (with and without compression, cached and stepping patterns) plus the
+/// paper's load-test scenario over `options.users` user counts.
+pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
+    let mut raw = Vec::new();
+    for compress in [true, false] {
+        for scenario in ["get_state", "step_state"] {
+            raw.push(measure_raw(scenario, compress, options.min_seconds));
+        }
+    }
+
+    let mut load = Vec::new();
+    for &users in &options.users {
+        for mode in ["full", "delta"] {
+            let server = start_server(DeploymentMode::Direct, true, 4);
+            let mut scenario = rvsim_loadgen::Scenario::paper_scaled(users, options.time_scale);
+            scenario.programs = vec![program_server()];
+            scenario.delta_state = mode == "delta";
+            let report = rvsim_loadgen::run_load_test(&server, &scenario);
+            server.shutdown();
+            load.push(ServerLoadSample { users, compressed: true, mode: mode.to_string(), report });
+        }
+    }
+    ServerBenchReport { raw, load }
+}
+
 /// Print a paper-style table header once per bench run.
 pub fn print_header(title: &str, columns: &str) {
     println!();
@@ -338,5 +547,53 @@ mod tests {
         let server = start_server(DeploymentMode::Direct, true, 2);
         assert_eq!(server.server().session_count(), 0);
         server.shutdown();
+    }
+
+    #[test]
+    fn server_bench_harness_measures_all_cells() {
+        let options = ServerBenchOptions { min_seconds: 0.0, time_scale: 0.0, users: vec![2] };
+        let report = run_server_bench(&options);
+        // 2 scenarios × compression on/off.
+        assert_eq!(report.raw.len(), 4);
+        for s in &report.raw {
+            assert!(s.requests >= 1);
+            assert!(s.requests_per_second > 0.0);
+            assert!(s.p90_us >= s.p50_us);
+            assert!(s.payload_bytes > 0);
+        }
+        let compressed = report
+            .raw
+            .iter()
+            .find(|s| s.scenario == "get_state" && s.compressed)
+            .expect("compressed get_state cell");
+        let plain = report
+            .raw
+            .iter()
+            .find(|s| s.scenario == "get_state" && !s.compressed)
+            .expect("plain get_state cell");
+        assert!(
+            compressed.payload_bytes < plain.payload_bytes,
+            "compression must shrink the state payload ({} vs {})",
+            compressed.payload_bytes,
+            plain.payload_bytes
+        );
+        assert!(report.headline_get_state_rps().unwrap() > 0.0);
+        assert!(!report.load.is_empty());
+        assert!(report.load.iter().all(|l| l.report.errors == 0));
+        let json = serde_json::to_string(&report).unwrap();
+        let back: ServerBenchReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.raw, report.raw);
+    }
+
+    #[test]
+    fn server_bench_program_runs_long() {
+        // The server workload must not halt within any realistic measurement
+        // window: a halted session would freeze the cycle counter and turn
+        // the step_state scenario into a cached-refresh measurement.
+        let mut sim = simulator(&program_server(), &ArchitectureConfig::default());
+        for _ in 0..5_000 {
+            sim.step();
+        }
+        assert!(!sim.is_halted(), "server bench program halted too early");
     }
 }

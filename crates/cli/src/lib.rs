@@ -167,6 +167,10 @@ OPTIONS:
                             demonstrate that divergences are caught
     --help                  show this help
 
+Each program runs with memory-settings load/store latencies derived from its
+program seed (1-8 cycles each), so a batch also sweeps non-default memory
+configurations; --program-seed re-derives the same timings on replay.
+
 Exit status is 1 when any divergence (or generator error) is found, when a
 replayed program is inconclusive, or when a batch matches nothing; the
 report contains a shrunk minimal reproducer per divergence.
@@ -272,21 +276,28 @@ impl CosimCliOptions {
 
 /// Usage string of the `bench` subcommand.
 pub const BENCH_USAGE: &str = "\
-rvsim-cli bench — pipeline throughput benchmark
-               (retired instructions per host second, quicksort + paper
-               programs, scalar / 2-wide / 4-wide presets)
+rvsim-cli bench — throughput benchmarks
+               (pipeline: retired instructions per host second;
+                --server: GetState request path + load-test scenario)
 
 USAGE:
     rvsim-cli bench [OPTIONS]
 
 OPTIONS:
     --json                  emit machine-readable JSON (and write it to
-                            BENCH_pipeline.json unless --out changes the path)
-    --out <FILE>            JSON output path (implies --json;
-                            default BENCH_pipeline.json)
-    --min-seconds <F>       minimum measurement window per (workload, config)
-                            cell (default 0.2; use a small value for smoke
-                            runs)
+                            BENCH_pipeline.json / BENCH_server.json unless
+                            --out changes the path)
+    --out <FILE>            JSON output path (implies --json)
+    --min-seconds <F>       minimum measurement window per benchmark cell
+                            (default 0.2; use a small value for smoke runs)
+    --server                measure the server request path instead of the
+                            pipeline: raw GetState p50/p90 and requests/s
+                            with and without compression, plus the paper's
+                            load-test scenario at 1/8/32 users
+    --time-scale <F>        load-generator time scale for --server
+                            (default 0.05; 1.0 = paper timing)
+    --users <N[,N..]>       load-generator user counts for --server
+                            (default 1,8,32)
     --help                  show this help
 ";
 
@@ -295,15 +306,40 @@ OPTIONS:
 pub struct BenchCliOptions {
     /// Emit (and write) JSON instead of the text table.
     pub json: bool,
-    /// Path of the JSON report (written only in JSON mode).
-    pub out: String,
+    /// Path of the JSON report (written only in JSON mode); `None` selects
+    /// the per-mode default (`BENCH_pipeline.json` / `BENCH_server.json`).
+    pub out: Option<String>,
     /// Minimum measurement window per benchmark cell, in seconds.
     pub min_seconds: f64,
+    /// Measure the server request path instead of the pipeline.
+    pub server: bool,
+    /// Load-generator time scale (server mode).
+    pub time_scale: f64,
+    /// Load-generator user counts (server mode).
+    pub users: Vec<usize>,
 }
 
 impl Default for BenchCliOptions {
     fn default() -> Self {
-        BenchCliOptions { json: false, out: "BENCH_pipeline.json".to_string(), min_seconds: 0.2 }
+        BenchCliOptions {
+            json: false,
+            out: None,
+            min_seconds: 0.2,
+            server: false,
+            time_scale: 0.05,
+            users: vec![1, 8, 32],
+        }
+    }
+}
+
+impl BenchCliOptions {
+    /// Effective JSON output path.
+    pub fn out_path(&self) -> &str {
+        match &self.out {
+            Some(path) => path,
+            None if self.server => "BENCH_server.json",
+            None => "BENCH_pipeline.json",
+        }
     }
 }
 
@@ -320,7 +356,7 @@ impl BenchCliOptions {
             match args[i].as_str() {
                 "--json" => options.json = true,
                 "--out" => {
-                    options.out = value(&mut i, "--out")?;
+                    options.out = Some(value(&mut i, "--out")?);
                     options.json = true;
                 }
                 "--min-seconds" => {
@@ -329,6 +365,31 @@ impl BenchCliOptions {
                         v.parse().map_err(|_| format!("invalid duration `{v}`"))?;
                     if !options.min_seconds.is_finite() || options.min_seconds < 0.0 {
                         return Err(format!("invalid duration `{v}`"));
+                    }
+                }
+                "--server" => options.server = true,
+                "--time-scale" => {
+                    let v = value(&mut i, "--time-scale")?;
+                    options.time_scale =
+                        v.parse().map_err(|_| format!("invalid time scale `{v}`"))?;
+                    if !options.time_scale.is_finite() || options.time_scale < 0.0 {
+                        return Err(format!("invalid time scale `{v}`"));
+                    }
+                }
+                "--users" => {
+                    let v = value(&mut i, "--users")?;
+                    options.users = v
+                        .split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| format!("invalid user count `{part}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if options.users.is_empty() {
+                        return Err("--users needs at least one count".to_string());
                     }
                 }
                 "--help" | "-h" => return Err(BENCH_USAGE.to_string()),
@@ -341,9 +402,12 @@ impl BenchCliOptions {
 }
 
 /// Run the `bench` subcommand.  In JSON mode the report is also written to
-/// `options.out` (`BENCH_pipeline.json` by default) so CI can archive the
-/// perf trajectory.
+/// `options.out` (`BENCH_pipeline.json` / `BENCH_server.json` by default) so
+/// CI can archive the perf trajectory.
 pub fn run_bench(options: &BenchCliOptions) -> Result<String, String> {
+    if options.server {
+        return run_server_bench(options);
+    }
     let samples = rvsim_bench::run_pipeline_bench(options.min_seconds);
     let total_retired: f64 = samples.iter().map(|s| s.retired_per_second).sum();
     let geomean = if samples.is_empty() {
@@ -364,8 +428,8 @@ pub fn run_bench(options: &BenchCliOptions) -> Result<String, String> {
         });
         let mut text = serde_json::to_string_pretty(&value).expect("bench report serializes");
         text.push('\n');
-        std::fs::write(&options.out, &text)
-            .map_err(|e| format!("cannot write `{}`: {e}", options.out))?;
+        let out = options.out_path();
+        std::fs::write(out, &text).map_err(|e| format!("cannot write `{out}`: {e}"))?;
         return Ok(text);
     }
 
@@ -382,6 +446,52 @@ pub fn run_bench(options: &BenchCliOptions) -> Result<String, String> {
         ));
     }
     out.push_str(&format!("geomean: {geomean:.0} retired instructions/s\n"));
+    Ok(out)
+}
+
+/// Run the server-throughput benchmark (`bench --server`).
+fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
+    let bench_options = rvsim_bench::ServerBenchOptions {
+        min_seconds: options.min_seconds,
+        time_scale: options.time_scale,
+        users: options.users.clone(),
+    };
+    let report = rvsim_bench::run_server_bench(&bench_options);
+
+    if options.json {
+        let value = serde_json::json!({
+            "benchmark": "server_request",
+            "metric": "get_state_requests_per_second",
+            "min_seconds_per_cell": options.min_seconds,
+            "time_scale": options.time_scale,
+            "headline_get_state_rps": report.headline_get_state_rps(),
+            "raw": report.raw,
+            "load": report.load,
+        });
+        let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
+        text.push('\n');
+        let out = options.out_path();
+        std::fs::write(out, &text).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+        return Ok(text);
+    }
+
+    let mut out = String::new();
+    out.push_str("=== server request path (GetState) ===\n");
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>10}\n",
+        "scenario", "compress", "requests/s", "p50 us", "p90 us", "bytes"
+    ));
+    for s in &report.raw {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>12.0} {:>10.1} {:>10.1} {:>10}\n",
+            s.scenario, s.compressed, s.requests_per_second, s.p50_us, s.p90_us, s.payload_bytes
+        ));
+    }
+    out.push_str("=== load test (paper scenario) ===\n");
+    for s in &report.load {
+        out.push_str(&s.report.table_row(&format!("{}/{}", s.mode, s.users)));
+        out.push('\n');
+    }
     Ok(out)
 }
 
@@ -503,7 +613,10 @@ fn run_cosim_replay(
     let mut jsons = Vec::new();
 
     for config in configs {
-        let harness = cosim_harness(config, options)?;
+        // Replay under the same seed-derived memory timings the batch used,
+        // so a printed seed reproduces the exact run.
+        let harness =
+            cosim_harness(config, options)?.with_timings(rvsim_iss::timings_for_seed(program_seed));
         let name = config.name.as_str();
         let outcome = harness.run_source(&source)?;
 
@@ -865,18 +978,31 @@ main:
     fn bench_options_parse() {
         let defaults = BenchCliOptions::parse(&args(&[])).unwrap();
         assert!(!defaults.json);
-        assert_eq!(defaults.out, "BENCH_pipeline.json");
+        assert!(!defaults.server);
+        assert_eq!(defaults.out_path(), "BENCH_pipeline.json");
         assert!((defaults.min_seconds - 0.2).abs() < 1e-12);
+        assert_eq!(defaults.users, vec![1, 8, 32]);
 
         let o =
             BenchCliOptions::parse(&args(&["--out", "x.json", "--min-seconds", "0.01"])).unwrap();
         assert!(o.json, "--out implies --json");
-        assert_eq!(o.out, "x.json");
+        assert_eq!(o.out_path(), "x.json");
+
+        let s =
+            BenchCliOptions::parse(&args(&["--server", "--time-scale", "0.5", "--users", "2,4"]))
+                .unwrap();
+        assert!(s.server);
+        assert_eq!(s.out_path(), "BENCH_server.json");
+        assert!((s.time_scale - 0.5).abs() < 1e-12);
+        assert_eq!(s.users, vec![2, 4]);
 
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "zz"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "-1"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "inf"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "NaN"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--time-scale", "-2"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--users", "0"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--users", "x"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--bogus"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--help"])).unwrap_err().contains("bench"));
     }
@@ -888,8 +1014,9 @@ main:
         let out = dir.join("BENCH_pipeline.json");
         let options = BenchCliOptions {
             json: true,
-            out: out.to_string_lossy().into_owned(),
+            out: Some(out.to_string_lossy().into_owned()),
             min_seconds: 0.0,
+            ..Default::default()
         };
         let text = run_bench(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
@@ -908,6 +1035,44 @@ main:
         let table = run_bench(&BenchCliOptions { min_seconds: 0.0, ..Default::default() }).unwrap();
         assert!(table.contains("retired/s"));
         assert!(table.contains("quicksort"));
+    }
+
+    #[test]
+    fn server_bench_writes_machine_readable_report() {
+        let dir = std::env::temp_dir().join(format!("rvsim-sbench-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("BENCH_server.json");
+        let options = BenchCliOptions {
+            json: true,
+            out: Some(out.to_string_lossy().into_owned()),
+            min_seconds: 0.0,
+            server: true,
+            time_scale: 0.0,
+            users: vec![2],
+        };
+        let text = run_bench(&options).unwrap();
+        let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(value["benchmark"], "server_request");
+        let raw = value["raw"].as_array().unwrap();
+        // 2 scenarios × compression on/off.
+        assert_eq!(raw.len(), 4);
+        assert!(raw.iter().any(|s| s["scenario"] == "get_state" && s["compressed"] == true));
+        assert!(value["headline_get_state_rps"].as_f64().unwrap() > 0.0);
+        assert!(!value["load"].as_array().unwrap().is_empty());
+        assert!(std::path::Path::new(&out).exists());
+        std::fs::remove_dir_all(&dir).ok();
+
+        // Text mode renders the request-path table.
+        let table = run_bench(&BenchCliOptions {
+            min_seconds: 0.0,
+            server: true,
+            time_scale: 0.0,
+            users: vec![1],
+            ..Default::default()
+        })
+        .unwrap();
+        assert!(table.contains("get_state"));
+        assert!(table.contains("load test"));
     }
 
     #[test]

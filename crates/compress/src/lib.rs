@@ -20,7 +20,7 @@
 
 #![warn(missing_docs)]
 
-use bytes::{BufMut, Bytes, BytesMut};
+use bytes::Bytes;
 
 /// Minimum back-reference length (shorter matches are stored as literals).
 const MIN_MATCH: usize = 3;
@@ -29,79 +29,181 @@ const MAX_MATCH: usize = 18;
 /// Sliding-window size (12-bit distance field).
 const WINDOW: usize = 4096;
 
+/// Hash-table size (3-byte hash, 16 bits).
+const HASH_SIZE: usize = 1 << 16;
+/// How many chain candidates are examined per position.  Snapshot payloads
+/// are highly repetitive, so a short walk already finds near-optimal matches.
+const CHAIN_LIMIT: usize = 8;
+/// Matches at least this long skip the lazy one-byte-later probe: the gain
+/// from maybe finding a slightly longer match no longer pays for a second
+/// chain walk (zlib's `good_length` heuristic).
+const LAZY_THRESHOLD: usize = 10;
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let a = data[i] as usize;
+    let b = data[i + 1] as usize;
+    let c = data[i + 2] as usize;
+    (a.wrapping_mul(2654435761) ^ b.wrapping_mul(40503) ^ c.wrapping_mul(2246822519)) & 0xffff
+}
+
+/// Reusable LZSS compressor: hash chains with lazy matching, compressing
+/// from/into caller-provided buffers.  The search tables persist across calls
+/// (stale entries are invalidated by a monotonically increasing sequence
+/// base, not by clearing half a megabyte of table per payload), so a
+/// per-session compressor performs no allocation in steady state.
+///
+/// The emitted stream is the same on-wire format [`compress`] always
+/// produced — [`decompress`] decodes it unchanged.
+#[derive(Debug)]
+pub struct Compressor {
+    /// Latest sequence position per 3-byte hash; values below `base` are
+    /// stale leftovers from earlier payloads.
+    head: Vec<i64>,
+    /// Previous sequence position with the same hash, indexed by
+    /// `seq & (WINDOW - 1)`.
+    prev: Vec<i64>,
+    /// Sequence number of byte 0 of the current payload.
+    base: i64,
+    /// Per-flag-group scratch (up to 8 tokens).
+    chunk: Vec<u8>,
+}
+
+impl Default for Compressor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Compressor {
+    /// A fresh compressor (the only allocations this type ever makes).
+    pub fn new() -> Self {
+        Compressor {
+            head: vec![-1; HASH_SIZE],
+            prev: vec![-1; WINDOW],
+            base: 0,
+            chunk: Vec::with_capacity(24),
+        }
+    }
+
+    /// Longest chain match for `pos`, as `(length, distance)`.
+    #[inline]
+    fn find_match(&self, input: &[u8], pos: usize) -> (usize, usize) {
+        let max_len = MAX_MATCH.min(input.len() - pos);
+        if max_len < MIN_MATCH {
+            return (0, 0);
+        }
+        let pos_seq = self.base + pos as i64;
+        let mut cand_seq = self.head[hash3(input, pos)];
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        for _ in 0..CHAIN_LIMIT {
+            // Stale (previous payload) and out-of-window candidates end the
+            // walk; chains are strictly decreasing so this terminates.
+            if cand_seq < self.base || pos_seq - cand_seq > WINDOW as i64 || cand_seq >= pos_seq {
+                break;
+            }
+            let cand = (cand_seq - self.base) as usize;
+            let mut len = 0;
+            while len < max_len && input[cand + len] == input[pos + len] {
+                len += 1;
+            }
+            if len > best_len {
+                best_len = len;
+                best_dist = pos - cand;
+                if len == max_len {
+                    break;
+                }
+            }
+            let next = self.prev[(cand_seq as usize) & (WINDOW - 1)];
+            if next >= cand_seq {
+                break;
+            }
+            cand_seq = next;
+        }
+        if best_len >= MIN_MATCH {
+            (best_len, best_dist)
+        } else {
+            (0, 0)
+        }
+    }
+
+    /// Insert `pos` into the hash chains.
+    #[inline]
+    fn insert(&mut self, input: &[u8], pos: usize) {
+        if pos + MIN_MATCH > input.len() {
+            return;
+        }
+        let seq = self.base + pos as i64;
+        let h = hash3(input, pos);
+        self.prev[(seq as usize) & (WINDOW - 1)] = self.head[h];
+        self.head[h] = seq;
+    }
+
+    /// Compress `input`, appending the stream (length header + blocks) to
+    /// `out`.  `out` is not cleared, so callers can prepend protocol bytes.
+    pub fn compress_into(&mut self, input: &[u8], out: &mut Vec<u8>) {
+        out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+        let mut pos = 0usize;
+        // Match found by a lazy probe for the position we are about to
+        // process, carried forward so the chain walk is not repeated.
+        let mut carried: Option<(usize, usize)> = None;
+        while pos < input.len() {
+            let mut flags = 0u8;
+            let mut flag_bit = 0;
+            self.chunk.clear();
+
+            while flag_bit < 8 && pos < input.len() {
+                let (mut best_len, best_dist) =
+                    carried.take().unwrap_or_else(|| self.find_match(input, pos));
+                if (MIN_MATCH..LAZY_THRESHOLD).contains(&best_len) && pos + 1 < input.len() {
+                    // Lazy matching: when the next position starts a strictly
+                    // longer match, emit a literal here and take that one
+                    // (the probed match is carried to the next iteration).
+                    let (next_len, next_dist) = self.find_match(input, pos + 1);
+                    if next_len > best_len {
+                        best_len = 0;
+                        carried = Some((next_len, next_dist));
+                    }
+                }
+
+                if best_len >= MIN_MATCH {
+                    flags |= 1 << flag_bit;
+                    let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
+                    self.chunk.extend_from_slice(&token.to_le_bytes());
+                    for p in pos..pos + best_len {
+                        self.insert(input, p);
+                    }
+                    pos += best_len;
+                } else {
+                    self.insert(input, pos);
+                    self.chunk.push(input[pos]);
+                    pos += 1;
+                }
+                flag_bit += 1;
+            }
+
+            out.push(flags);
+            out.extend_from_slice(&self.chunk);
+        }
+
+        // Advance the sequence base past this payload plus a full window so
+        // no stale chain entry can ever look in-window for the next payload.
+        self.base += input.len() as i64 + WINDOW as i64;
+    }
+}
+
 /// Compress `input` with LZSS.
 ///
 /// The output starts with the uncompressed length as a little-endian `u32`
 /// so [`decompress`] can pre-allocate, followed by the block stream.
+/// One-shot convenience over [`Compressor::compress_into`]; server sessions
+/// hold a reusable [`Compressor`] instead.
 pub fn compress(input: &[u8]) -> Bytes {
-    let mut out = BytesMut::with_capacity(input.len() / 2 + 16);
-    out.put_u32_le(input.len() as u32);
-
-    let mut pos = 0usize;
-    // Hash chains would be faster, but a bounded brute-force search over the
-    // window keeps the code small; server payloads are tens of kilobytes.
-    // A simple 3-byte hash table keeps it O(n) in practice.
-    let mut head: Vec<i64> = vec![-1; 1 << 16];
-    let hash = |data: &[u8], i: usize| -> usize {
-        let a = data[i] as usize;
-        let b = data[i + 1] as usize;
-        let c = data[i + 2] as usize;
-        (a.wrapping_mul(2654435761) ^ b.wrapping_mul(40503) ^ c.wrapping_mul(2246822519)) & 0xffff
-    };
-
-    while pos < input.len() {
-        let mut flags = 0u8;
-        let mut flag_bit = 0;
-        let mut chunk = BytesMut::with_capacity(32);
-
-        while flag_bit < 8 && pos < input.len() {
-            let mut best_len = 0usize;
-            let mut best_dist = 0usize;
-            if pos + MIN_MATCH <= input.len() {
-                let h = hash(input, pos);
-                let candidate = head[h];
-                if candidate >= 0 {
-                    let cand = candidate as usize;
-                    let dist = pos - cand;
-                    if dist > 0 && dist <= WINDOW {
-                        let max_len = MAX_MATCH.min(input.len() - pos);
-                        let mut len = 0;
-                        while len < max_len && input[cand + len] == input[pos + len] {
-                            len += 1;
-                        }
-                        if len >= MIN_MATCH {
-                            best_len = len;
-                            best_dist = dist;
-                        }
-                    }
-                }
-                head[h] = pos as i64;
-            }
-
-            if best_len >= MIN_MATCH {
-                flags |= 1 << flag_bit;
-                let token = (((best_dist - 1) as u16) << 4) | ((best_len - MIN_MATCH) as u16);
-                chunk.put_u16_le(token);
-                // Update the hash table for the skipped positions so later
-                // matches can point into this region.
-                let end = pos + best_len;
-                let mut p = pos + 1;
-                while p + MIN_MATCH <= input.len() && p < end {
-                    head[hash(input, p)] = p as i64;
-                    p += 1;
-                }
-                pos = end;
-            } else {
-                chunk.put_u8(input[pos]);
-                pos += 1;
-            }
-            flag_bit += 1;
-        }
-
-        out.put_u8(flags);
-        out.extend_from_slice(&chunk);
-    }
-    out.freeze()
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    Compressor::new().compress_into(input, &mut out);
+    Bytes::from(out)
 }
 
 /// Errors returned by [`decompress`].
@@ -269,6 +371,59 @@ mod tests {
     #[test]
     fn ratio_of_empty_is_one() {
         assert_eq!(ratio(b""), 1.0);
+    }
+
+    #[test]
+    fn reused_compressor_round_trips_successive_payloads() {
+        // A per-session compressor sees many different payloads; stale hash
+        // chains from earlier payloads must never corrupt later streams.
+        let mut compressor = Compressor::new();
+        let payloads: Vec<Vec<u8>> = vec![
+            b"abcabcabcabcabc".to_vec(),
+            vec![b'x'; 5000],
+            (0..2000u32).flat_map(|i| i.to_le_bytes()).collect(),
+            b"".to_vec(),
+            b"abcabcabcabcabc".to_vec(),
+            {
+                let mut rng = StdRng::seed_from_u64(11);
+                (0..3000).map(|_| rng.random()).collect()
+            },
+        ];
+        let mut out = Vec::new();
+        for payload in &payloads {
+            out.clear();
+            compressor.compress_into(payload, &mut out);
+            assert_eq!(decompress(&out).unwrap(), *payload);
+        }
+    }
+
+    #[test]
+    fn compress_into_appends_after_existing_bytes() {
+        let mut out = vec![9u8];
+        Compressor::new().compress_into(b"hello hello hello", &mut out);
+        assert_eq!(out[0], 9);
+        assert_eq!(decompress(&out[1..]).unwrap(), b"hello hello hello");
+    }
+
+    #[test]
+    fn hash_chains_find_matches_beyond_the_newest_candidate() {
+        // Byte patterns where the newest hash-table candidate is a short
+        // match but an older chain entry yields a longer one: a single-head
+        // table stops at the first candidate, chains keep walking.
+        let mut data = Vec::new();
+        data.extend_from_slice(b"AAAABBBBCCCCDDDD-long-prefix-0123456789");
+        data.extend_from_slice(b"AAAAZZZZ"); // newest "AAAA" occurrence, diverges after 4
+        data.extend_from_slice(b"AAAABBBBCCCCDDDD-long-prefix-0123456789"); // full repeat
+        let compressed = compress(&data);
+        assert_eq!(decompress(&compressed).unwrap(), data);
+        // The 39-byte repeat must compress into a handful of tokens: well
+        // under half the repeat's size on the wire.
+        assert!(
+            compressed.len() < data.len() - 20,
+            "chains should exploit the long repeat ({} vs {})",
+            compressed.len(),
+            data.len()
+        );
     }
 
     proptest! {

@@ -176,22 +176,30 @@ impl RegisterValue {
     /// Human-readable rendering that respects the stored data type — the GUI
     /// behaviour described in §III-B (show `'a'` instead of `97`).
     pub fn display_value(self) -> String {
+        let mut out = String::new();
+        self.write_display_value(&mut out).expect("writing to a String cannot fail");
+        out
+    }
+
+    /// Write [`Self::display_value`] into an existing buffer — the
+    /// allocation-free path used by the snapshot writer's reusable scratch.
+    pub fn write_display_value(self, out: &mut impl fmt::Write) -> fmt::Result {
         match self.data_type {
-            DataType::Int => format!("{}", self.bits as u32 as i32),
-            DataType::UInt => format!("{}", self.bits as u32),
-            DataType::Long => format!("{}", self.bits as i64),
-            DataType::ULong => format!("{}", self.bits),
-            DataType::Float => format!("{}", f32::from_bits(self.bits as u32)),
-            DataType::Double => format!("{}", f64::from_bits(self.bits)),
+            DataType::Int => write!(out, "{}", self.bits as u32 as i32),
+            DataType::UInt => write!(out, "{}", self.bits as u32),
+            DataType::Long => write!(out, "{}", self.bits as i64),
+            DataType::ULong => write!(out, "{}", self.bits),
+            DataType::Float => write!(out, "{}", f32::from_bits(self.bits as u32)),
+            DataType::Double => write!(out, "{}", f64::from_bits(self.bits)),
             DataType::Char => {
                 let c = (self.bits & 0xff) as u8 as char;
                 if c.is_ascii_graphic() || c == ' ' {
-                    format!("'{c}'")
+                    write!(out, "'{c}'")
                 } else {
-                    format!("0x{:02x}", self.bits & 0xff)
+                    write!(out, "0x{:02x}", self.bits & 0xff)
                 }
             }
-            DataType::Bool => if self.bits != 0 { "true" } else { "false" }.to_string(),
+            DataType::Bool => out.write_str(if self.bits != 0 { "true" } else { "false" }),
         }
     }
 }

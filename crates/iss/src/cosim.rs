@@ -17,6 +17,7 @@ use crate::gen::{generate_program, GenOptions};
 use crate::interp::{InjectedFault, Iss};
 use rvsim_core::{ArchitectureConfig, HaltReason, RetireEvent, Simulator};
 use rvsim_isa::RegisterId;
+use rvsim_mem::MemoryTimings;
 use serde::{Deserialize, Serialize};
 
 /// Outcome of co-simulating one program.
@@ -60,13 +61,39 @@ pub struct Cosim {
     pub max_steps: u64,
     /// Deliberate ISS bug, injected by tests to prove the harness catches it.
     pub fault: Option<InjectedFault>,
+    /// Randomize the memory-settings load/store latencies per generated
+    /// program (derived from the program seed, so a printed seed still
+    /// reproduces the exact run).  Timing must never change architectural
+    /// results; this is what the randomization verifies.
+    pub randomize_timings: bool,
+}
+
+/// Memory-settings latencies derived from a program seed: load and store
+/// latencies each in `1..=8` cycles (the default machine uses 4/4), so a
+/// batch sweeps fast-as-cache through slow main-memory configurations.
+pub fn timings_for_seed(seed: u64) -> MemoryTimings {
+    let z = derive_seed(seed, 0x4d45_4d54_494d_5347); // "MEMTIMSG" tag stream
+    MemoryTimings { load_latency: 1 + (z & 7), store_latency: 1 + ((z >> 3) & 7) }
 }
 
 impl Cosim {
     /// Harness with default budgets (generous for generated programs, which
     /// retire a few thousand instructions).
     pub fn new(config: ArchitectureConfig) -> Self {
-        Cosim { config, max_cycles: 200_000, max_steps: 200_000, fault: None }
+        Cosim {
+            config,
+            max_cycles: 200_000,
+            max_steps: 200_000,
+            fault: None,
+            randomize_timings: true,
+        }
+    }
+
+    /// A copy of this harness whose architecture uses `timings`.
+    pub fn with_timings(&self, timings: MemoryTimings) -> Cosim {
+        let mut harness = self.clone();
+        harness.config.memory.timings = timings;
+        harness
     }
 
     /// Co-simulate one assembly program.
@@ -325,7 +352,16 @@ impl Cosim {
         for index in 0..programs {
             let seed = derive_seed(batch_seed, index as u64);
             let source = generate_program(seed, gen);
-            match self.run_source(&source) {
+            // Each program runs on its own seed-derived memory timings, so
+            // the batch also exercises non-default memory configurations.
+            // The shrinker runs on the same per-program harness, keeping the
+            // reproducer's timing context.
+            let harness = if self.randomize_timings {
+                self.with_timings(timings_for_seed(seed))
+            } else {
+                self.clone()
+            };
+            match harness.run_source(&source) {
                 Ok(CosimOutcome::Match { retired }) => {
                     report.matched += 1;
                     report.retired_instructions += retired;
@@ -333,7 +369,7 @@ impl Cosim {
                 Ok(CosimOutcome::Inconclusive { .. }) => report.inconclusive += 1,
                 Ok(CosimOutcome::Divergence(divergence)) => {
                     let shrink_result = if report.divergences.len() < Self::SHRINK_LIMIT {
-                        self.shrink(&source)
+                        harness.shrink(&source)
                     } else {
                         None
                     };
@@ -343,6 +379,7 @@ impl Cosim {
                     report.divergences.push(BatchDivergence {
                         program_index: index,
                         program_seed: seed,
+                        timings: harness.config.memory.timings,
                         divergence: *divergence,
                         shrunk,
                         shrunk_program,
@@ -387,6 +424,9 @@ pub struct BatchDivergence {
     pub program_index: usize,
     /// Generator seed that reproduces the full program.
     pub program_seed: u64,
+    /// Memory timings the diverging run used (seed-derived when the batch
+    /// randomizes timings).
+    pub timings: MemoryTimings,
     /// Divergence found in the full program.
     pub divergence: Divergence,
     /// Whether the shrinker actually ran (it is skipped past
@@ -451,11 +491,14 @@ impl BatchReport {
             };
             out.push_str(&format!(
                 "\nprogram {} (replay: rvsim-cli cosim --program-seed {} --instructions {}, \
-                 plus any --arch/--max-cycles/--inject-fault flags this batch used):\n{}\n\
+                 plus any --arch/--max-cycles/--inject-fault flags this batch used; \
+                 memory timings load={} store={} are re-derived from the seed):\n{}\n\
                  --- {} ---\n{}",
                 d.program_index,
                 d.program_seed,
                 self.gen_instructions,
+                d.timings.load_latency,
+                d.timings.store_latency,
                 d.divergence.report,
                 reproducer_label,
                 d.shrunk_program
@@ -610,6 +653,62 @@ mod tests {
             assert!(report.errors.is_empty(), "{name} errors: {:?}", report.errors);
             assert!(report.divergences.is_empty(), "{name} divergences:\n{}", report.render_text());
         }
+    }
+
+    #[test]
+    fn seed_derived_timings_are_deterministic_in_range_and_spread() {
+        assert_eq!(timings_for_seed(7), timings_for_seed(7));
+        let mut distinct = std::collections::HashSet::new();
+        for seed in 0..64u64 {
+            let t = timings_for_seed(seed);
+            assert!((1..=8).contains(&t.load_latency), "load latency {t:?}");
+            assert!((1..=8).contains(&t.store_latency), "store latency {t:?}");
+            distinct.insert((t.load_latency, t.store_latency));
+        }
+        assert!(distinct.len() > 8, "timings must actually vary, got {distinct:?}");
+    }
+
+    #[test]
+    fn randomized_timings_change_schedules_but_not_results() {
+        // The same program must match on every timing configuration the
+        // randomizer can produce — and slow timings must actually cost
+        // cycles (i.e. the knob is wired through to the pipeline).
+        let source = generate_program(3, &GenOptions::default());
+        // Disable the cache so every access pays the configured latency —
+        // with the default cache most accesses hit and timings barely show.
+        let mut uncached = harness();
+        uncached.config.cache.enabled = false;
+        let fast = uncached.with_timings(MemoryTimings { load_latency: 1, store_latency: 1 });
+        let slow = uncached.with_timings(MemoryTimings { load_latency: 8, store_latency: 8 });
+        for h in [&fast, &slow] {
+            match h.run_source(&source).unwrap() {
+                CosimOutcome::Match { retired } => assert!(retired > 10),
+                other => panic!("timing variation must not diverge: {other:?}"),
+            }
+        }
+        // A serially dependent load chain cannot hide the latency: the knob
+        // must be wired through to the pipeline's schedule.
+        let chain = "buf:
+    .word 5
+main:
+    la   t0, buf
+    lw   t1, 0(t0)
+    addi t1, t1, 1
+    sw   t1, 0(t0)
+    lw   t2, 0(t0)
+    addi t2, t2, 1
+    sw   t2, 0(t0)
+    lw   a0, 0(t0)
+    ret
+";
+        let cycles = |h: &Cosim| {
+            let mut sim = Simulator::from_assembly(chain, &h.config).unwrap();
+            sim.run(200_000).unwrap().cycles
+        };
+        assert!(
+            cycles(&slow) > cycles(&fast),
+            "slow memory timings must lengthen a dependent-load schedule"
+        );
     }
 
     #[test]

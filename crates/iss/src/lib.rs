@@ -46,6 +46,8 @@ pub mod cosim;
 pub mod gen;
 pub mod interp;
 
-pub use cosim::{derive_seed, BatchDivergence, BatchReport, Cosim, CosimOutcome, Divergence};
+pub use cosim::{
+    derive_seed, timings_for_seed, BatchDivergence, BatchReport, Cosim, CosimOutcome, Divergence,
+};
 pub use gen::{generate_program, GenOptions};
 pub use interp::{InjectedFault, Iss, IssResult};

@@ -36,6 +36,11 @@ pub struct Scenario {
     /// Fetch the full processor snapshot after every step (the interactive
     /// GUI behaviour; this is what makes JSON dominate request time).
     pub fetch_state_each_step: bool,
+    /// Use the delta protocol for state fetches: after the first snapshot,
+    /// ask for `GetStateDelta` against the last seen cycle instead of the
+    /// full state (the bandwidth-saving client behaviour).
+    #[serde(default)]
+    pub delta_state: bool,
 }
 
 impl Scenario {
@@ -50,6 +55,7 @@ impl Scenario {
             programs: vec![sample_program_loop(), sample_program_memory()],
             time_scale: 1.0,
             fetch_state_each_step: true,
+            delta_state: false,
         }
     }
 
@@ -159,6 +165,7 @@ pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestRe
         let program = scenario.programs[user % scenario.programs.len().max(1)].clone();
         let steps = scenario.steps_per_user;
         let fetch_state = scenario.fetch_state_each_step;
+        let delta_state = scenario.delta_state;
         let start_delay = if users > 1 {
             ramp_up.mul_f64(user as f64 / (users - 1) as f64)
         } else {
@@ -190,10 +197,25 @@ pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestRe
                 Some(Response::SessionCreated { session }) => session,
                 _ => return (latencies, errors),
             };
+            let mut seen_cycle: Option<u64> = None;
             for _ in 0..steps {
                 timed_call(&Request::Step { session, cycles: 1 });
                 if fetch_state {
-                    timed_call(&Request::GetState { session });
+                    let request = match (delta_state, seen_cycle) {
+                        (true, Some(since_cycle)) => {
+                            Request::GetStateDelta { session, since_cycle }
+                        }
+                        // First fetch in delta mode: ask for a delta against
+                        // a cycle the server cannot have, receiving the full
+                        // snapshot fallback (which also seeds the base).
+                        (true, None) => Request::GetStateDelta { session, since_cycle: u64::MAX },
+                        (false, _) => Request::GetState { session },
+                    };
+                    match timed_call(&request) {
+                        Some(Response::State(snapshot)) => seen_cycle = Some(snapshot.cycle),
+                        Some(Response::StateDelta(delta)) => seen_cycle = Some(delta.cycle),
+                        _ => seen_cycle = None,
+                    }
                 }
                 if !think.is_zero() {
                     std::thread::sleep(think);
@@ -296,6 +318,19 @@ mod tests {
     }
 
     #[test]
+    fn delta_mode_completes_with_no_errors() {
+        let server = server(true);
+        let mut scenario = Scenario::paper_scaled(3, 0.0);
+        scenario.steps_per_user = 6;
+        scenario.delta_state = true;
+        let report = run_load_test(&server, &scenario);
+        // Same request count as full mode: 3 × (create + 6 × (step + fetch) + destroy).
+        assert_eq!(report.transactions, 42);
+        assert_eq!(report.errors, 0, "delta fetches must all succeed");
+        server.shutdown();
+    }
+
+    #[test]
     fn bad_program_counts_as_errors_but_does_not_panic() {
         let server = server(false);
         let scenario = Scenario {
@@ -306,6 +341,7 @@ mod tests {
             programs: vec!["main:\n  bogus\n".to_string()],
             time_scale: 0.0,
             fetch_state_each_step: false,
+            delta_state: false,
         };
         let report = run_load_test(&server, &scenario);
         assert_eq!(report.errors, 2, "each user fails once at session creation");

@@ -1,7 +1,7 @@
 //! JSON request/response protocol between clients (web GUI, CLI, load
 //! generator) and the simulation server.
 
-use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, SimulationStatistics};
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, SimulationStatistics, SnapshotDelta};
 use serde::{Deserialize, Serialize};
 
 /// A client request.
@@ -60,6 +60,18 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Fetch the state as a delta against the snapshot the client already
+    /// holds.  Answered with [`Response::StateDelta`] when the server still
+    /// has the matching base (the state a previous `GetStateDelta` served
+    /// for this session at `since_cycle`), and with a full
+    /// [`Response::State`] otherwise — so the first delta request of a
+    /// session always receives the full snapshot that seeds the base.
+    GetStateDelta {
+        /// Session id.
+        session: u64,
+        /// Cycle of the snapshot the client holds.
+        since_cycle: u64,
+    },
     /// Fetch the runtime statistics.
     GetStats {
         /// Session id.
@@ -105,6 +117,8 @@ pub enum Response {
     },
     /// Processor snapshot.
     State(Box<ProcessorSnapshot>),
+    /// Incremental snapshot: only what changed since the client's base cycle.
+    StateDelta(Box<SnapshotDelta>),
     /// Runtime statistics.
     Stats(Box<SimulationStatistics>),
     /// Session destroyed.
@@ -141,6 +155,7 @@ mod tests {
             Request::StepBack { session: 3, cycles: 1 },
             Request::Run { session: 3, max_cycles: 500 },
             Request::GetState { session: 3 },
+            Request::GetStateDelta { session: 3, since_cycle: 17 },
             Request::GetStats { session: 3 },
             Request::DestroySession { session: 3 },
         ];

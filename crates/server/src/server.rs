@@ -4,7 +4,8 @@ use crate::protocol::{Request, Response};
 use parking_lot::Mutex;
 use rvsim_asm::filter_assembly;
 use rvsim_cc::OptLevel;
-use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator};
+use rvsim_compress::Compressor;
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator, SnapshotBuffer, SnapshotDelta};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -44,8 +45,48 @@ impl Default for DeploymentConfig {
     }
 }
 
+/// Per-session serving state: reusable render/compress buffers, the encoded
+/// payload of the last `GetState` answer, and the delta-protocol base.
+/// Everything here reaches allocation steady state after the first request.
+#[derive(Default)]
+struct ServeCache {
+    /// Reusable direct-JSON render buffer.
+    buffer: SnapshotBuffer,
+    /// Reusable LZSS compressor (hash chains persist across requests).
+    compressor: Compressor,
+    /// Encoded payload (flag byte + bytes) of the last `GetState` answer.
+    encoded: Vec<u8>,
+    /// Cycle `encoded` was rendered at.  Simulation is deterministic, so an
+    /// unchanged cycle implies unchanged state and the cached bytes are
+    /// returned without re-capturing anything.
+    encoded_cycle: Option<u64>,
+    /// The snapshot this session's client last received (delta base).
+    delta_base: Option<ProcessorSnapshot>,
+}
+
 struct Session {
     simulator: Simulator,
+    serve: ServeCache,
+}
+
+/// Answer a `GetStateDelta` request against `session`'s stored base: a real
+/// delta when the base matches `since_cycle`, a full snapshot otherwise.
+/// Either way the served state becomes the next delta base.
+fn state_delta_response(session: &mut Session, since_cycle: u64) -> Response {
+    let current = ProcessorSnapshot::capture(&session.simulator);
+    match session.serve.delta_base.take() {
+        Some(base) if base.cycle == since_cycle => {
+            let delta = SnapshotDelta::between(&base, &current);
+            session.serve.delta_base = Some(current);
+            Response::StateDelta(Box::new(delta))
+        }
+        // No matching base (first request, or the client fell behind): fall
+        // back to a full snapshot.
+        _ => {
+            session.serve.delta_base = Some(current.clone());
+            Response::State(Box::new(current))
+        }
+    }
 }
 
 /// The simulation server: a set of sessions plus request dispatch.
@@ -112,31 +153,41 @@ impl SimulationServer {
                     ),
                 }
             }
-            Request::Step { session, cycles } => self.with_session(session, |sim| {
+            Request::Step { session, cycles } => self.with_session(session, |s| {
+                let sim = &mut s.simulator;
                 for _ in 0..cycles {
                     sim.step();
                 }
                 Response::Stepped { cycle: sim.cycle(), halted: sim.is_halted() }
             }),
-            Request::StepBack { session, cycles } => self.with_session(session, |sim| {
+            Request::StepBack { session, cycles } => self.with_session(session, |s| {
+                let sim = &mut s.simulator;
                 for _ in 0..cycles {
                     sim.step_back();
                 }
                 Response::Stepped { cycle: sim.cycle(), halted: sim.is_halted() }
             }),
             Request::Run { session, max_cycles } => {
-                self.with_session(session, |sim| match sim.run(max_cycles) {
+                self.with_session(session, |s| match s.simulator.run(max_cycles) {
                     Ok(result) => {
-                        Response::Stepped { cycle: result.cycles, halted: sim.is_halted() }
+                        Response::Stepped { cycle: result.cycles, halted: s.simulator.is_halted() }
                     }
                     Err(e) => Response::error(e),
                 })
             }
-            Request::GetState { session } => self.with_session(session, |sim| {
-                Response::State(Box::new(ProcessorSnapshot::capture(sim)))
+            // Plain GetState does not seed the delta base (that would cost a
+            // full snapshot clone per request, and the raw fast path cannot
+            // afford a structured capture at all): the base is tracked by
+            // delta requests only, whose first ask falls back to a full
+            // snapshot.  Typed and raw paths behave identically.
+            Request::GetState { session } => self.with_session(session, |s| {
+                Response::State(Box::new(ProcessorSnapshot::capture(&s.simulator)))
             }),
+            Request::GetStateDelta { session, since_cycle } => {
+                self.with_session(session, |s| state_delta_response(s, since_cycle))
+            }
             Request::GetStats { session } => {
-                self.with_session(session, |sim| Response::Stats(Box::new(sim.statistics())))
+                self.with_session(session, |s| Response::Stats(Box::new(s.simulator.statistics())))
             }
             Request::DestroySession { session } => {
                 if self.sessions.lock().remove(&session).is_some() {
@@ -148,6 +199,29 @@ impl SimulationServer {
         }
     }
 
+    /// The `GetStateDelta` raw path: the same response the typed handler
+    /// produces, but compressed through the session's reusable
+    /// [`Compressor`] instead of a one-shot hash-table allocation per
+    /// response.
+    fn serve_delta_raw(&self, id: u64, since_cycle: u64) -> Vec<u8> {
+        self.apply_deployment_overhead();
+        let Some(session) = self.session(id) else {
+            return self.encode_response(&Response::error(format!("unknown session {id}")));
+        };
+        let mut guard = session.lock();
+        let response = state_delta_response(&mut guard, since_cycle);
+        let json = serde_json::to_vec(&response).expect("responses serialize");
+        let mut out = Vec::with_capacity(json.len() / 2 + 8);
+        if self.config.compress_responses {
+            out.push(1u8);
+            guard.serve.compressor.compress_into(&json, &mut out);
+        } else {
+            out.push(0u8);
+            out.extend_from_slice(&json);
+        }
+        out
+    }
+
     fn create_session(
         &self,
         program: &str,
@@ -157,18 +231,19 @@ impl SimulationServer {
         match Simulator::from_assembly(program, config) {
             Ok(simulator) => {
                 let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-                self.sessions.lock().insert(id, Arc::new(Mutex::new(Session { simulator })));
+                let session = Session { simulator, serve: ServeCache::default() };
+                self.sessions.lock().insert(id, Arc::new(Mutex::new(session)));
                 Response::SessionCreated { session: id }
             }
             Err(e) => Response::error(e),
         }
     }
 
-    fn with_session(&self, id: u64, f: impl FnOnce(&mut Simulator) -> Response) -> Response {
+    fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Response) -> Response {
         match self.session(id) {
             Some(session) => {
                 let mut guard = session.lock();
-                f(&mut guard.simulator)
+                f(&mut guard)
             }
             None => Response::error(format!("unknown session {id}")),
         }
@@ -197,23 +272,64 @@ impl SimulationServer {
         if payload.is_empty() {
             return Err("empty response payload".to_string());
         }
-        let json = match payload[0] {
-            0 => payload[1..].to_vec(),
-            1 => rvsim_compress::decompress(&payload[1..]).map_err(|e| e.to_string())?,
-            other => return Err(format!("unknown payload flag {other}")),
-        };
-        serde_json::from_slice(&json).map_err(|e| e.to_string())
+        match payload[0] {
+            // Plain JSON deserializes straight from the borrowed slice.
+            0 => serde_json::from_slice(&payload[1..]).map_err(|e| e.to_string()),
+            1 => {
+                let json = rvsim_compress::decompress(&payload[1..]).map_err(|e| e.to_string())?;
+                serde_json::from_slice(&json).map_err(|e| e.to_string())
+            }
+            other => Err(format!("unknown payload flag {other}")),
+        }
     }
 
     /// Handle a raw JSON request payload and produce an encoded response —
     /// the full per-request work the paper's performance evaluation measures
-    /// (decode, simulate, encode, compress).
+    /// (decode, simulate, encode, compress).  `GetState` takes the
+    /// allocation-free serve path: the snapshot renders directly into the
+    /// session's reusable buffers, and an unchanged cycle returns the cached
+    /// encoded payload without re-capturing anything.
     pub fn handle_raw(&self, request_json: &[u8]) -> Vec<u8> {
-        let response = match serde_json::from_slice::<Request>(request_json) {
-            Ok(request) => self.handle(request),
-            Err(e) => Response::error(format!("malformed request: {e}")),
+        match serde_json::from_slice::<Request>(request_json) {
+            Ok(Request::GetState { session }) => self.serve_state_raw(session),
+            Ok(Request::GetStateDelta { session, since_cycle }) => {
+                self.serve_delta_raw(session, since_cycle)
+            }
+            Ok(request) => self.encode_response(&self.handle(request)),
+            Err(e) => self.encode_response(&Response::error(format!("malformed request: {e}"))),
+        }
+    }
+
+    /// The `GetState` fast path: render the state-response JSON directly from
+    /// the simulator into the session's reusable [`SnapshotBuffer`], compress
+    /// it with the session's reusable [`Compressor`], and cache the encoded
+    /// bytes keyed by cycle.  Byte-identical to the generic
+    /// `encode_response(&handle(GetState))` path (golden-tested).
+    fn serve_state_raw(&self, id: u64) -> Vec<u8> {
+        self.apply_deployment_overhead();
+        let Some(session) = self.session(id) else {
+            return self.encode_response(&Response::error(format!("unknown session {id}")));
         };
-        self.encode_response(&response)
+        let mut guard = session.lock();
+        let Session { simulator, serve } = &mut *guard;
+        let cycle = simulator.cycle();
+        if serve.encoded_cycle != Some(cycle) {
+            serve.buffer.render_state_response(simulator);
+            serve.encoded.clear();
+            if self.config.compress_responses {
+                serve.encoded.push(1u8);
+                serve.compressor.compress_into(serve.buffer.bytes(), &mut serve.encoded);
+            } else {
+                serve.encoded.push(0u8);
+                serve.encoded.extend_from_slice(serve.buffer.bytes());
+            }
+            serve.encoded_cycle = Some(cycle);
+        }
+        // The raw path serves full snapshots; a client that later asks for a
+        // delta against this cycle must get one, so the base must exist.
+        // Capturing it structurally would defeat the fast path: instead the
+        // delta handler falls back to a full snapshot when no base matches.
+        serve.encoded.clone()
     }
 
     fn apply_deployment_overhead(&self) {
@@ -394,6 +510,108 @@ loop:
             t_container > t_direct,
             "containerized ({t_container:?}) must be slower than direct ({t_direct:?})"
         );
+    }
+
+    #[test]
+    fn raw_get_state_is_byte_identical_to_generic_encode_across_run() {
+        // The fast path (direct render + cached payload) must be
+        // indistinguishable on the wire from the generic capture+serde path,
+        // from the fresh session through mid-run to the halted state, both
+        // with and without compression.
+        for compress in [false, true] {
+            let server = SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: compress,
+                worker_threads: 1,
+            });
+            let id = create(&server);
+            let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+            loop {
+                let fast = server.handle_raw(&raw_request);
+                let generic =
+                    server.encode_response(&server.handle(Request::GetState { session: id }));
+                assert_eq!(
+                    fast, generic,
+                    "fast path differs from generic path (compress={compress})"
+                );
+                let halted = match server.handle(Request::Step { session: id, cycles: 1 }) {
+                    Response::Stepped { halted, .. } => halted,
+                    other => panic!("unexpected {other:?}"),
+                };
+                if halted {
+                    let fast = server.handle_raw(&raw_request);
+                    let generic =
+                        server.encode_response(&server.handle(Request::GetState { session: id }));
+                    assert_eq!(fast, generic, "halted-state payload differs");
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unchanged_cycle_returns_cached_payload() {
+        let server = server();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 5 });
+        let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let first = server.handle_raw(&raw_request);
+        let second = server.handle_raw(&raw_request);
+        assert_eq!(first, second, "same cycle must serve identical bytes");
+        server.handle(Request::Step { session: id, cycles: 1 });
+        let third = server.handle_raw(&raw_request);
+        assert_ne!(first, third, "advancing the cycle must refresh the payload");
+        // Stepping back to an earlier cycle re-renders deterministically.
+        server.handle(Request::StepBack { session: id, cycles: 1 });
+        let fourth = server.handle_raw(&raw_request);
+        assert_eq!(first, fourth, "deterministic replay must reproduce the payload");
+    }
+
+    #[test]
+    fn delta_protocol_reconstructs_full_snapshots() {
+        let server = server();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 3 });
+
+        // First delta request has no base: full snapshot fallback.
+        let base =
+            match server.handle(Request::GetStateDelta { session: id, since_cycle: u64::MAX }) {
+                Response::State(snapshot) => *snapshot,
+                other => panic!("expected full fallback, got {other:?}"),
+            };
+
+        // From here on, every step yields a real delta that reconstructs the
+        // exact capture.
+        let mut held = base;
+        for _ in 0..10 {
+            server.handle(Request::Step { session: id, cycles: 1 });
+            let response =
+                server.handle(Request::GetStateDelta { session: id, since_cycle: held.cycle });
+            match response {
+                Response::StateDelta(delta) => {
+                    assert_eq!(delta.since_cycle, held.cycle);
+                    held = delta.apply_to(&held).expect("delta applies");
+                }
+                other => panic!("expected a delta, got {other:?}"),
+            }
+            let full = match server.handle(Request::GetState { session: id }) {
+                Response::State(snapshot) => *snapshot,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(held, full, "reconstructed snapshot must equal the full capture");
+        }
+
+        // A stale base (client fell behind) falls back to a full snapshot.
+        server.handle(Request::Step { session: id, cycles: 2 });
+        let response = server.handle(Request::GetStateDelta { session: id, since_cycle: 1 });
+        assert!(matches!(response, Response::State(_)), "stale base must fall back");
+    }
+
+    #[test]
+    fn delta_for_unknown_session_is_an_error() {
+        let server = server();
+        let r = server.handle(Request::GetStateDelta { session: 99, since_cycle: 0 });
+        assert!(r.is_error());
     }
 
     #[test]

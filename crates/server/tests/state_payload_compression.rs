@@ -1,0 +1,73 @@
+//! Property tests of the serve-path compression on *real* snapshot payloads:
+//! random programs, random step counts, reused per-session compressors —
+//! every payload must round-trip bit-exactly and state payloads must shrink.
+
+use proptest::prelude::*;
+use rvsim_compress::{decompress, Compressor};
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator, SnapshotBuffer};
+
+/// Build a small but state-rich program from a handful of random parameters.
+fn program(loops: u8, stores: u8) -> String {
+    let mut body = String::new();
+    for i in 0..stores {
+        body.push_str(&format!("    sw   t0, {}(t1)\n    lw   t2, {}(t1)\n", i as u32 * 4, 0));
+    }
+    format!(
+        "buf:
+    .zero 128
+main:
+    la   t1, buf
+    li   t0, {loops}
+loop:
+{body}    addi t0, t0, -1
+    bnez t0, loop
+    ret
+"
+    )
+}
+
+fn preset(index: u8) -> ArchitectureConfig {
+    match index % 3 {
+        0 => ArchitectureConfig::scalar(),
+        1 => ArchitectureConfig::default(),
+        _ => ArchitectureConfig::wide(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn snapshot_payloads_round_trip_through_a_reused_compressor(
+        loops in 1u8..6,
+        stores in 1u8..5,
+        preset_index in 0u8..3,
+        step_counts in proptest::collection::vec(1u64..12, 1..6),
+    ) {
+        let config = preset(preset_index);
+        let mut sim = Simulator::from_assembly(&program(loops, stores), &config).unwrap();
+        let mut buffer = SnapshotBuffer::new();
+        let mut compressor = Compressor::new();
+        let mut out = Vec::new();
+
+        for steps in step_counts {
+            for _ in 0..steps {
+                sim.step();
+            }
+            let json = buffer.render(&sim);
+            out.clear();
+            compressor.compress_into(json, &mut out);
+            let back = decompress(&out).expect("snapshot payload decompresses");
+            prop_assert_eq!(back.as_slice(), json, "payload corrupted at cycle {}", sim.cycle());
+            prop_assert!(
+                out.len() < json.len() / 2,
+                "state payload should compress below half: {} vs {}",
+                out.len(),
+                json.len()
+            );
+            // The rendered JSON is the serde snapshot, byte for byte.
+            let expected = serde_json::to_vec(&ProcessorSnapshot::capture(&sim)).unwrap();
+            prop_assert_eq!(json, expected.as_slice());
+        }
+    }
+}

@@ -58,6 +58,9 @@ pub use log::DebugLog;
 pub use predecode::{LatencyClass, PredecodedInstr, PredecodedProgram};
 pub use register_file::{PhysRegTag, RegisterFile};
 pub use simulator::{HaltReason, RunResult, Simulator};
-pub use snapshot::ProcessorSnapshot;
+pub use snapshot::{
+    CacheLineView, HeadlineStats, InstructionView, ProcessorSnapshot, RegisterView, SnapshotBuffer,
+    SnapshotDelta,
+};
 pub use stats::SimulationStatistics;
 pub use trace::{MemEffect, RetireEvent};

@@ -234,6 +234,13 @@ impl RegisterFile {
         &self.fp_arch
     }
 
+    /// Current rename of one architectural register, if any: the speculative
+    /// tag plus whether its value has been produced.  O(1), used by snapshot
+    /// capture instead of scanning [`Self::rename_map`].
+    pub fn rename_of(&self, reg: RegisterId) -> Option<(PhysRegTag, bool)> {
+        self.rat(reg).map(|tag| (tag, self.phys[tag.0].value.is_some()))
+    }
+
     /// Current RAT mapping for display: `(arch register, speculative tag,
     /// value-ready)` for every renamed register.
     pub fn rename_map(&self) -> Vec<(RegisterId, PhysRegTag, bool)> {

@@ -357,9 +357,37 @@ impl Simulator {
         self.in_flight.iter()
     }
 
-    /// Reorder-buffer contents in program order.
+    /// O(1) lookup of one in-flight instruction by id (snapshot capture).
+    pub fn in_flight_by_id(&self, id: InstrId) -> Option<&SimCode> {
+        self.in_flight.get(id)
+    }
+
+    /// Reorder-buffer contents in program order, as an owned list
+    /// (convenience over the allocation-free [`Self::rob_ids`]).
     pub fn rob_contents(&self) -> Vec<InstrId> {
-        self.rob.iter().collect()
+        self.rob_ids().collect()
+    }
+
+    /// Reorder-buffer ids in program order, without allocating.
+    pub fn rob_ids(&self) -> impl Iterator<Item = InstrId> + '_ {
+        self.rob.iter()
+    }
+
+    /// The right-hand-panel headline numbers, without materialising the full
+    /// (allocating) [`SimulationStatistics`] object.
+    pub fn headline(&self) -> crate::snapshot::HeadlineStats {
+        crate::snapshot::HeadlineStats {
+            cycles: self.cycle,
+            committed: self.stats.committed,
+            ipc: if self.cycle == 0 {
+                0.0
+            } else {
+                self.stats.committed as f64 / self.cycle as f64
+            },
+            branch_accuracy: self.predictor.stats().accuracy(),
+            flops: self.stats.flops,
+            cache_hit_rate: self.mem.stats().hit_ratio(),
+        }
     }
 
     /// Full statistics, merging step-manager counters with the predictor and

@@ -1,14 +1,28 @@
-//! Serializable processor-state snapshots.
+//! Serializable processor-state snapshots and their allocation-free JSON
+//! rendering.
 //!
 //! The web client renders the processor view (Fig. 12) from a JSON snapshot of
-//! every block's contents.  [`ProcessorSnapshot::capture`] builds that
-//! structure from a [`Simulator`]; the server crate serializes it for the
-//! GUI, and its size is what the paper's "rendering takes ~80 ms" and "60 % of
-//! request time is JSON" measurements are about.
-
-use crate::instruction::{InstrId, InstructionState};
+//! every block's contents.  Three representations exist:
+//!
+//! * [`ProcessorSnapshot`] — the structured form (serde round-trips, delta
+//!   computation, tests).  [`ProcessorSnapshot::capture`] builds it from a
+//!   [`Simulator`] in one O(in-flight) pass.
+//! * [`SnapshotBuffer`] / `SnapshotWriter` — the serve path: renders the
+//!   snapshot JSON **directly** from the simulator into a reusable byte
+//!   buffer, byte-identical to `serde_json::to_vec(&ProcessorSnapshot::
+//!   capture(sim))` but without building any intermediate strings or
+//!   structs.  The paper reports ~60 % of request time spent on JSON
+//!   (§IV-A); this writer is what makes the `GetState` request path cheap.
+//! * [`SnapshotDelta`] — the incremental form sent to clients that already
+//!   hold a snapshot: only registers, instruction views and cache lines that
+//!   changed since a known base cycle.
+use crate::instruction::{InstrId, InstructionState, SimCode};
 use crate::simulator::Simulator;
+use rvsim_isa::{RegisterId, RegisterValue};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::Write as _;
 
 /// One instruction as displayed inside a block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,6 +41,23 @@ pub struct InstructionView {
     pub dest_tag: Option<String>,
     /// Exception message, if one was raised.
     pub exception: Option<String>,
+}
+
+impl InstructionView {
+    /// Build the view of one in-flight instruction.
+    fn of(sim: &Simulator, c: &SimCode) -> InstructionView {
+        InstructionView {
+            id: c.id,
+            pc: c.pc,
+            mnemonic: c.mnemonic.as_str().to_string(),
+            // The display text stays in the (shared) program; in-flight
+            // instructions no longer carry owned strings.
+            text: sim.program().at(c.pc).map(|i| i.text.clone()).unwrap_or_default(),
+            state: c.state,
+            dest_tag: c.dest.as_ref().and_then(|d| d.tag.map(|t| t.to_string())),
+            exception: c.exception.as_ref().map(|e| e.to_string()),
+        }
+    }
 }
 
 /// One architectural register with its rename information.
@@ -100,49 +131,36 @@ pub struct HeadlineStats {
     pub cache_hit_rate: f64,
 }
 
+fn register_view(sim: &Simulator, reg: RegisterId) -> RegisterView {
+    let value = sim.register(reg);
+    let rename = sim.register_file().rename_of(reg);
+    RegisterView {
+        name: reg.abi_name().to_string(),
+        value: value.display_value(),
+        bits: value.bits,
+        renamed_to: rename.map(|(tag, _)| tag.to_string()),
+        rename_ready: rename.map(|(_, ready)| ready).unwrap_or(false),
+    }
+}
+
 impl ProcessorSnapshot {
-    /// Capture the current state of `sim`.
+    /// Capture the current state of `sim` in a single pass over the in-flight
+    /// window: ROB entries resolve through the O(1) id-indexed ring instead
+    /// of a per-entry scan, and register renames read the RAT directly.
     pub fn capture(sim: &Simulator) -> Self {
-        let stats = sim.statistics();
-        let view = |id: InstrId| -> Option<InstructionView> {
-            sim.in_flight().find(|c| c.id == id).map(|c| InstructionView {
-                id: c.id,
-                pc: c.pc,
-                mnemonic: c.mnemonic.as_str().to_string(),
-                // The display text stays in the (shared) program; in-flight
-                // instructions no longer carry owned strings.
-                text: sim.program().at(c.pc).map(|i| i.text.clone()).unwrap_or_default(),
-                state: c.state,
-                dest_tag: c.dest.as_ref().and_then(|d| d.tag.map(|t| t.to_string())),
-                exception: c.exception.as_ref().map(|e| e.to_string()),
-            })
-        };
-
-        let rename_map = sim.register_file().rename_map();
-        let register_view =
-            |name: String, value: rvsim_isa::RegisterValue, reg: rvsim_isa::RegisterId| {
-                let rename = rename_map.iter().find(|(r, _, _)| *r == reg);
-                RegisterView {
-                    name,
-                    value: value.display_value(),
-                    bits: value.bits,
-                    renamed_to: rename.map(|(_, tag, _)| tag.to_string()),
-                    rename_ready: rename.map(|(_, _, ready)| *ready).unwrap_or(false),
-                }
-            };
-
-        let int_registers = (0..32u8)
-            .map(|i| {
-                let reg = rvsim_isa::RegisterId::x(i);
-                register_view(reg.abi_name().to_string(), sim.register(reg), reg)
-            })
+        let fetch_buffer = sim
+            .in_flight()
+            .filter(|c| c.state == InstructionState::Fetched)
+            .map(|c| InstructionView::of(sim, c))
             .collect();
-        let fp_registers = (0..32u8)
-            .map(|i| {
-                let reg = rvsim_isa::RegisterId::f(i);
-                register_view(reg.abi_name().to_string(), sim.register(reg), reg)
-            })
+        let reorder_buffer = sim
+            .rob_ids()
+            .filter_map(|id| sim.in_flight_by_id(id))
+            .map(|c| InstructionView::of(sim, c))
             .collect();
+
+        let int_registers = (0..32u8).map(|i| register_view(sim, RegisterId::x(i))).collect();
+        let fp_registers = (0..32u8).map(|i| register_view(sim, RegisterId::f(i))).collect();
 
         let cache_lines = sim
             .memory()
@@ -165,13 +183,6 @@ impl ProcessorSnapshot {
             })
             .unwrap_or_default();
 
-        let fetch_buffer = sim
-            .in_flight()
-            .filter(|c| c.state == InstructionState::Fetched)
-            .map(|c| view(c.id).expect("in-flight instruction"))
-            .collect();
-        let reorder_buffer = sim.rob_contents().into_iter().filter_map(view).collect();
-
         ProcessorSnapshot {
             cycle: sim.cycle(),
             pc: sim.pc(),
@@ -181,20 +192,463 @@ impl ProcessorSnapshot {
             int_registers,
             fp_registers,
             cache_lines,
-            headline: HeadlineStats {
-                cycles: stats.cycles,
-                committed: stats.committed,
-                ipc: stats.ipc(),
-                branch_accuracy: stats.branch_accuracy(),
-                flops: stats.flops,
-                cache_hit_rate: stats.cache_hit_rate(),
-            },
+            headline: sim.headline(),
         }
     }
 
     /// Serialize the snapshot to JSON (the payload sent to the web client).
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("snapshot serializes")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Direct JSON rendering
+// ---------------------------------------------------------------------------
+
+/// Reusable per-session buffer for direct snapshot rendering: the JSON output
+/// bytes plus a scratch string for `Display`-formatted fragments.  After the
+/// first render of a session both allocations reach steady state and later
+/// renders perform no heap allocation.
+#[derive(Debug, Default)]
+pub struct SnapshotBuffer {
+    out: Vec<u8>,
+    scratch: String,
+}
+
+impl SnapshotBuffer {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes produced by the last render.
+    pub fn bytes(&self) -> &[u8] {
+        &self.out
+    }
+
+    /// Render the snapshot of `sim` as JSON, byte-identical to
+    /// `serde_json::to_vec(&ProcessorSnapshot::capture(sim))`.
+    pub fn render(&mut self, sim: &Simulator) -> &[u8] {
+        self.out.clear();
+        SnapshotWriter { sim, out: &mut self.out, scratch: &mut self.scratch }.snapshot(None);
+        &self.out
+    }
+
+    /// Render the full `GetState` response envelope, byte-identical to
+    /// `serde_json::to_vec(&Response::State(Box::new(capture(sim))))` of the
+    /// server protocol (an internally tagged object with `"type":"state"`
+    /// first).
+    pub fn render_state_response(&mut self, sim: &Simulator) -> &[u8] {
+        self.out.clear();
+        SnapshotWriter { sim, out: &mut self.out, scratch: &mut self.scratch }
+            .snapshot(Some("state"));
+        &self.out
+    }
+}
+
+/// Hand-rolled snapshot serializer: one pass over the simulator state, no
+/// intermediate `String`/`Vec` structs.  Register names come from the static
+/// ABI tables, values render through the reusable scratch buffer, ROB entries
+/// resolve through the O(1) in-flight ring.  Drive it through
+/// [`SnapshotBuffer::render`] / [`SnapshotBuffer::render_state_response`].
+pub(crate) struct SnapshotWriter<'a> {
+    sim: &'a Simulator,
+    out: &'a mut Vec<u8>,
+    scratch: &'a mut String,
+}
+
+/// Append `s` to `out` with serde_json-compatible escaping.
+fn write_json_string(out: &mut Vec<u8>, s: &str) {
+    out.push(b'"');
+    let bytes = s.as_bytes();
+    let mut start = 0;
+    for (i, &b) in bytes.iter().enumerate() {
+        // Runs of bytes that need no escaping (everything except `"`, `\`
+        // and ASCII control characters; UTF-8 continuation bytes are ≥ 0x80
+        // and pass through) are copied wholesale.
+        let escape: &[u8] = match b {
+            b'"' => b"\\\"",
+            b'\\' => b"\\\\",
+            b'\n' => b"\\n",
+            b'\r' => b"\\r",
+            b'\t' => b"\\t",
+            0x08 => b"\\b",
+            0x0c => b"\\f",
+            b if b < 0x20 => {
+                out.extend_from_slice(&bytes[start..i]);
+                let _ = write!(out, "\\u{:04x}", b);
+                start = i + 1;
+                continue;
+            }
+            _ => continue,
+        };
+        out.extend_from_slice(&bytes[start..i]);
+        out.extend_from_slice(escape);
+        start = i + 1;
+    }
+    out.extend_from_slice(&bytes[start..]);
+    out.push(b'"');
+}
+
+impl<'a> SnapshotWriter<'a> {
+    fn raw(&mut self, s: &[u8]) {
+        self.out.extend_from_slice(s);
+    }
+
+    fn string(&mut self, s: &str) {
+        write_json_string(self.out, s);
+    }
+
+    fn u64v(&mut self, v: u64) {
+        let _ = write!(self.out, "{v}");
+    }
+
+    fn f64v(&mut self, v: f64) {
+        // Exactly serde_json's float rendering: Debug (shortest round-trip,
+        // trailing `.0` on integral values), `null` for non-finite values.
+        if v.is_finite() {
+            let _ = write!(self.out, "{v:?}");
+        } else {
+            self.raw(b"null");
+        }
+    }
+
+    fn boolv(&mut self, v: bool) {
+        self.raw(if v { b"true" } else { b"false" });
+    }
+
+    fn state_name(state: InstructionState) -> &'static str {
+        match state {
+            InstructionState::Fetched => "Fetched",
+            InstructionState::Dispatched => "Dispatched",
+            InstructionState::Executing => "Executing",
+            InstructionState::WaitingMemory => "WaitingMemory",
+            InstructionState::Done => "Done",
+            InstructionState::Committed => "Committed",
+            InstructionState::Squashed => "Squashed",
+        }
+    }
+
+    fn instruction_view(&mut self, c: &SimCode) {
+        self.raw(b"{\"id\":");
+        self.u64v(c.id);
+        self.raw(b",\"pc\":");
+        self.u64v(c.pc);
+        self.raw(b",\"mnemonic\":");
+        self.string(c.mnemonic.as_str());
+        self.raw(b",\"text\":");
+        match self.sim.program().at(c.pc) {
+            Some(ins) => write_json_string(self.out, &ins.text),
+            None => self.raw(b"\"\""),
+        }
+        self.raw(b",\"state\":");
+        self.string(Self::state_name(c.state));
+        self.raw(b",\"dest_tag\":");
+        match c.dest.as_ref().and_then(|d| d.tag) {
+            Some(tag) => {
+                let _ = write!(self.out, "\"tg{}\"", tag.0);
+            }
+            None => self.raw(b"null"),
+        }
+        self.raw(b",\"exception\":");
+        match &c.exception {
+            Some(e) => {
+                self.scratch.clear();
+                let _ = write!(self.scratch, "{e}");
+                write_json_string(self.out, self.scratch);
+            }
+            None => self.raw(b"null"),
+        }
+        self.raw(b"}");
+    }
+
+    fn register_view(&mut self, reg: RegisterId) {
+        let value: RegisterValue = self.sim.register(reg);
+        let rename = self.sim.register_file().rename_of(reg);
+        self.raw(b"{\"name\":");
+        self.string(reg.abi_name());
+        self.raw(b",\"value\":");
+        self.scratch.clear();
+        let _ = value.write_display_value(self.scratch);
+        write_json_string(self.out, self.scratch);
+        self.raw(b",\"bits\":");
+        self.u64v(value.bits);
+        self.raw(b",\"renamed_to\":");
+        match rename {
+            Some((tag, _)) => {
+                let _ = write!(self.out, "\"tg{}\"", tag.0);
+            }
+            None => self.raw(b"null"),
+        }
+        self.raw(b",\"rename_ready\":");
+        self.boolv(rename.map(|(_, ready)| ready).unwrap_or(false));
+        self.raw(b"}");
+    }
+
+    fn snapshot(mut self, envelope: Option<&str>) {
+        self.raw(b"{");
+        if let Some(tag) = envelope {
+            self.raw(b"\"type\":");
+            self.string(tag);
+            self.raw(b",");
+        }
+        self.raw(b"\"cycle\":");
+        self.u64v(self.sim.cycle());
+        self.raw(b",\"pc\":");
+        self.u64v(self.sim.pc());
+        self.raw(b",\"halted\":");
+        self.boolv(self.sim.is_halted());
+
+        // `sim` is a copy of the shared reference: the iterators borrow the
+        // simulator directly, not `self`, so `&mut self` writes can interleave.
+        let sim = self.sim;
+        self.raw(b",\"fetch_buffer\":[");
+        let mut first = true;
+        for c in sim.in_flight() {
+            if c.state != InstructionState::Fetched {
+                continue;
+            }
+            if !first {
+                self.raw(b",");
+            }
+            first = false;
+            self.instruction_view(c);
+        }
+        self.raw(b"]");
+
+        self.raw(b",\"reorder_buffer\":[");
+        let mut first = true;
+        for id in sim.rob_ids() {
+            let Some(c) = sim.in_flight_by_id(id) else { continue };
+            if !first {
+                self.raw(b",");
+            }
+            first = false;
+            self.instruction_view(c);
+        }
+        self.raw(b"]");
+
+        self.raw(b",\"int_registers\":[");
+        for i in 0..32u8 {
+            if i > 0 {
+                self.raw(b",");
+            }
+            self.register_view(RegisterId::x(i));
+        }
+        self.raw(b"],\"fp_registers\":[");
+        for i in 0..32u8 {
+            if i > 0 {
+                self.raw(b",");
+            }
+            self.register_view(RegisterId::f(i));
+        }
+        self.raw(b"]");
+
+        self.raw(b",\"cache_lines\":[");
+        let mut first = true;
+        if let Some(cache) = self.sim.memory().cache() {
+            for (set, ways) in cache.lines().iter().enumerate() {
+                for (way, line) in ways.iter().enumerate() {
+                    if !first {
+                        self.out.push(b',');
+                    }
+                    first = false;
+                    let _ = write!(
+                        self.out,
+                        "{{\"set\":{set},\"way\":{way},\"valid\":{},\"dirty\":{},\
+                         \"base_address\":{}}}",
+                        line.valid, line.dirty, line.base_address
+                    );
+                }
+            }
+        }
+        self.raw(b"]");
+
+        let headline = self.sim.headline();
+        self.raw(b",\"headline\":{\"cycles\":");
+        self.u64v(headline.cycles);
+        self.raw(b",\"committed\":");
+        self.u64v(headline.committed);
+        self.raw(b",\"ipc\":");
+        self.f64v(headline.ipc);
+        self.raw(b",\"branch_accuracy\":");
+        self.f64v(headline.branch_accuracy);
+        self.raw(b",\"flops\":");
+        self.u64v(headline.flops);
+        self.raw(b",\"cache_hit_rate\":");
+        self.f64v(headline.cache_hit_rate);
+        self.raw(b"}}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Delta snapshots
+// ---------------------------------------------------------------------------
+
+/// A changed register at its position in the (fixed-size) register array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegisterPatch {
+    /// Index into the 32-entry register array.
+    pub index: usize,
+    /// The new view.
+    pub view: RegisterView,
+}
+
+/// A changed cache line at its position in the flattened line array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLinePatch {
+    /// Index into the flattened `cache_lines` array.
+    pub index: usize,
+    /// The new view.
+    pub view: CacheLineView,
+}
+
+/// Incremental snapshot: everything that changed between a base snapshot the
+/// client already holds (captured at `since_cycle`) and the current state.
+///
+/// Buffer *membership* is transmitted as id lists (a few integers); the
+/// expensive instruction views travel only for instructions the base did not
+/// contain in identical form.  Register and cache-line views travel only for
+/// changed indices.  [`SnapshotDelta::apply_to`] reconstructs the exact full
+/// snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDelta {
+    /// Cycle of the base snapshot this delta builds on.
+    pub since_cycle: u64,
+    /// Current cycle.
+    pub cycle: u64,
+    /// Current fetch PC.
+    pub pc: u64,
+    /// Whether the simulation has halted.
+    pub halted: bool,
+    /// Ids in the fetch buffer, in order.
+    pub fetch_ids: Vec<InstrId>,
+    /// Ids in the reorder buffer, in order.
+    pub rob_ids: Vec<InstrId>,
+    /// Views of instructions that are new or changed relative to the base.
+    pub changed_instructions: Vec<InstructionView>,
+    /// Changed integer registers.
+    pub int_registers: Vec<RegisterPatch>,
+    /// Changed floating-point registers.
+    pub fp_registers: Vec<RegisterPatch>,
+    /// Changed cache lines.
+    pub cache_lines: Vec<CacheLinePatch>,
+    /// Headline statistics (always sent; they change every cycle).
+    pub headline: HeadlineStats,
+}
+
+fn instruction_index(snapshot: &ProcessorSnapshot) -> HashMap<InstrId, &InstructionView> {
+    snapshot
+        .fetch_buffer
+        .iter()
+        .chain(snapshot.reorder_buffer.iter())
+        .map(|view| (view.id, view))
+        .collect()
+}
+
+impl SnapshotDelta {
+    /// Compute the delta that turns `base` into `current`.
+    pub fn between(base: &ProcessorSnapshot, current: &ProcessorSnapshot) -> SnapshotDelta {
+        let base_views = instruction_index(base);
+        let mut changed_instructions: Vec<InstructionView> = Vec::new();
+        for view in current.fetch_buffer.iter().chain(current.reorder_buffer.iter()) {
+            if base_views.get(&view.id) != Some(&view)
+                && !changed_instructions.iter().any(|c| c.id == view.id)
+            {
+                changed_instructions.push(view.clone());
+            }
+        }
+
+        let register_patches = |base: &[RegisterView], current: &[RegisterView]| {
+            current
+                .iter()
+                .enumerate()
+                .filter(|&(i, view)| base.get(i) != Some(view))
+                .map(|(index, view)| RegisterPatch { index, view: view.clone() })
+                .collect()
+        };
+
+        SnapshotDelta {
+            since_cycle: base.cycle,
+            cycle: current.cycle,
+            pc: current.pc,
+            halted: current.halted,
+            fetch_ids: current.fetch_buffer.iter().map(|v| v.id).collect(),
+            rob_ids: current.reorder_buffer.iter().map(|v| v.id).collect(),
+            changed_instructions,
+            int_registers: register_patches(&base.int_registers, &current.int_registers),
+            fp_registers: register_patches(&base.fp_registers, &current.fp_registers),
+            cache_lines: current
+                .cache_lines
+                .iter()
+                .enumerate()
+                .filter(|&(i, view)| base.cache_lines.get(i) != Some(view))
+                .map(|(index, view)| CacheLinePatch { index, view: view.clone() })
+                .collect(),
+            headline: current.headline.clone(),
+        }
+    }
+
+    /// Reconstruct the full snapshot from `base` (which must be the snapshot
+    /// this delta was computed against — its cycle is checked).
+    pub fn apply_to(&self, base: &ProcessorSnapshot) -> Result<ProcessorSnapshot, String> {
+        if base.cycle != self.since_cycle {
+            return Err(format!(
+                "delta base mismatch: delta is against cycle {}, base is cycle {}",
+                self.since_cycle, base.cycle
+            ));
+        }
+        let mut views = instruction_index(base);
+        for view in &self.changed_instructions {
+            views.insert(view.id, view);
+        }
+        let resolve = |ids: &[InstrId]| -> Result<Vec<InstructionView>, String> {
+            ids.iter()
+                .map(|id| {
+                    views
+                        .get(id)
+                        .map(|v| (*v).clone())
+                        .ok_or_else(|| format!("delta references unknown instruction id {id}"))
+                })
+                .collect()
+        };
+        let fetch_buffer = resolve(&self.fetch_ids)?;
+        let reorder_buffer = resolve(&self.rob_ids)?;
+
+        let patch_registers = |base: &[RegisterView],
+                               patches: &[RegisterPatch]|
+         -> Result<Vec<RegisterView>, String> {
+            let mut out = base.to_vec();
+            for patch in patches {
+                *out.get_mut(patch.index).ok_or_else(|| {
+                    format!("register patch index {} out of range", patch.index)
+                })? = patch.view.clone();
+            }
+            Ok(out)
+        };
+        let int_registers = patch_registers(&base.int_registers, &self.int_registers)?;
+        let fp_registers = patch_registers(&base.fp_registers, &self.fp_registers)?;
+
+        let mut cache_lines = base.cache_lines.clone();
+        for patch in &self.cache_lines {
+            *cache_lines
+                .get_mut(patch.index)
+                .ok_or_else(|| format!("cache-line patch index {} out of range", patch.index))? =
+                patch.view.clone();
+        }
+
+        Ok(ProcessorSnapshot {
+            cycle: self.cycle,
+            pc: self.pc,
+            halted: self.halted,
+            fetch_buffer,
+            reorder_buffer,
+            int_registers,
+            fp_registers,
+            cache_lines,
+            headline: self.headline.clone(),
+        })
     }
 }
 
@@ -270,5 +724,190 @@ mod tests {
         assert_eq!(snap.headline.cycles, stats.cycles);
         assert_eq!(snap.headline.committed, stats.committed);
         assert!((snap.headline.ipc - stats.ipc()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writer_output_is_byte_identical_to_serde() {
+        let mut sim = simulator();
+        let mut buffer = SnapshotBuffer::new();
+        loop {
+            let expected = serde_json::to_vec(&ProcessorSnapshot::capture(&sim)).unwrap();
+            let rendered = buffer.render(&sim);
+            assert_eq!(
+                rendered,
+                expected.as_slice(),
+                "direct render differs at cycle {}:\n direct: {}\n serde:  {}",
+                sim.cycle(),
+                String::from_utf8_lossy(rendered),
+                String::from_utf8_lossy(&expected)
+            );
+            if sim.is_halted() {
+                break;
+            }
+            sim.step();
+        }
+    }
+
+    #[test]
+    fn json_string_escaping_matches_serde() {
+        for text in [
+            "plain",
+            "with \"quotes\" and \\backslash\\",
+            "tabs\tnewlines\ncarriage\rreturns",
+            "control \u{1} \u{8} \u{c} \u{1f} bytes",
+            "unicode: héllo → 世界 🎉",
+            "",
+        ] {
+            let mut out = Vec::new();
+            write_json_string(&mut out, text);
+            let expected = serde_json::to_vec(&text.to_string()).unwrap();
+            assert_eq!(out, expected, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn full_rob_capture_is_single_pass() {
+        // A long dependency-free program on the 4-wide preset fills the
+        // 64-entry ROB; capture must resolve every entry through the O(1)
+        // ring lookup (one pass over the window, not one scan per entry).
+        let config = ArchitectureConfig::wide();
+        // A dependent division chain blocks commit at the ROB head for tens
+        // of cycles while the independent adds behind it fill the window.
+        let divs = "    div  t2, t2, t1\n".repeat(8);
+        let body = "    addi t3, t3, 1\n".repeat(400);
+        let source = format!("main:\n    li t2, 1000000\n    li t1, 3\n{divs}{body}    ret\n");
+        let mut sim = Simulator::from_assembly(&source, &config).unwrap();
+        for _ in 0..400 {
+            sim.step();
+            if sim.rob_ids().count() == 64 {
+                break;
+            }
+        }
+        assert_eq!(sim.rob_ids().count(), 64, "ROB must fill for this test");
+        let snap = ProcessorSnapshot::capture(&sim);
+        assert_eq!(snap.reorder_buffer.len(), 64);
+        // Every ROB view resolves to the in-flight instruction with its id.
+        for view in &snap.reorder_buffer {
+            let code = sim.in_flight_by_id(view.id).expect("ROB id is in flight");
+            assert_eq!(code.pc, view.pc);
+        }
+        // The direct render agrees on the full window too.
+        let mut buffer = SnapshotBuffer::new();
+        assert_eq!(buffer.render(&sim), serde_json::to_vec(&snap).unwrap().as_slice());
+    }
+
+    /// The seed's capture resolved every ROB entry with a linear scan over
+    /// the in-flight iterator (`in_flight().find(..)` per entry) — O(ROB ×
+    /// window).  This is that algorithm, reimplemented through the public
+    /// API, used below as the comparison point for the complexity guard.
+    fn capture_quadratic_rob_views(sim: &Simulator) -> Vec<InstructionView> {
+        sim.rob_ids()
+            .filter_map(|id| sim.in_flight().find(|c| c.id == id))
+            .map(|c| InstructionView::of(sim, c))
+            .collect()
+    }
+
+    #[test]
+    fn rob_view_capture_stays_linear_in_in_flight_count() {
+        // A machine with a huge ROB whose commit is blocked by one uncached
+        // load with a very long memory latency: the independent adds behind
+        // it complete but cannot retire, so the window fills with thousands
+        // of in-flight instructions (dependent ops would clog the issue
+        // window instead and cap the in-flight count).
+        let mut config = ArchitectureConfig::wide();
+        config.buffers.rob_size = 2048;
+        config.memory.rename_file_size = 2048;
+        config.cache.enabled = false;
+        config.memory.timings =
+            rvsim_mem::MemoryTimings { load_latency: 100_000, store_latency: 1 };
+        let body = "    addi t3, t3, 1\n".repeat(2400);
+        let source =
+            format!("buf:\n    .zero 16\nmain:\n    la t1, buf\n    lw t2, 0(t1)\n{body}    ret\n");
+        let mut sim = Simulator::from_assembly(&source, &config).unwrap();
+        for _ in 0..1200 {
+            sim.step();
+            if sim.rob_ids().count() == 2048 {
+                break;
+            }
+        }
+        let rob_entries = sim.rob_ids().count();
+        assert!(rob_entries >= 1024, "need a big ROB, got {rob_entries} entries");
+
+        // Same inputs, same outputs — the only difference is the lookup.
+        let linear = ProcessorSnapshot::capture(&sim).reorder_buffer;
+        let quadratic = capture_quadratic_rob_views(&sim);
+        assert_eq!(linear, quadratic);
+
+        // Complexity guard: the ring-indexed capture must beat the seed's
+        // per-entry window scan decisively at this size (the quadratic
+        // version does ~rob²/2 extra iterator steps — over half a million
+        // here).  Median of several runs keeps the comparison stable.
+        let median_nanos = |f: &dyn Fn() -> usize| {
+            let mut times: Vec<u128> = (0..5)
+                .map(|_| {
+                    let t0 = std::time::Instant::now();
+                    assert_eq!(f(), rob_entries);
+                    t0.elapsed().as_nanos()
+                })
+                .collect();
+            times.sort_unstable();
+            times[2]
+        };
+        let linear_time = median_nanos(&|| ProcessorSnapshot::capture(&sim).reorder_buffer.len());
+        let quadratic_time = median_nanos(&|| capture_quadratic_rob_views(&sim).len());
+        assert!(
+            linear_time * 2 < quadratic_time,
+            "capture must stay linear in the in-flight count: \
+             linear {linear_time} ns vs quadratic reference {quadratic_time} ns"
+        );
+    }
+
+    #[test]
+    fn delta_roundtrip_reconstructs_snapshot() {
+        let mut sim = simulator();
+        let mut base = ProcessorSnapshot::capture(&sim);
+        while !sim.is_halted() {
+            sim.step();
+            let current = ProcessorSnapshot::capture(&sim);
+            let delta = SnapshotDelta::between(&base, &current);
+            let rebuilt = delta.apply_to(&base).unwrap();
+            assert_eq!(rebuilt, current, "delta must reconstruct cycle {}", current.cycle);
+            base = current;
+        }
+    }
+
+    #[test]
+    fn delta_is_smaller_than_full_snapshot_between_adjacent_cycles() {
+        let mut sim = simulator();
+        for _ in 0..4 {
+            sim.step();
+        }
+        let base = ProcessorSnapshot::capture(&sim);
+        sim.step();
+        let current = ProcessorSnapshot::capture(&sim);
+        let delta = SnapshotDelta::between(&base, &current);
+        let delta_json = serde_json::to_vec(&delta).unwrap();
+        let full_json = serde_json::to_vec(&current).unwrap();
+        assert!(
+            delta_json.len() < full_json.len(),
+            "adjacent-cycle delta ({} B) should undercut the full snapshot ({} B)",
+            delta_json.len(),
+            full_json.len()
+        );
+        // Unchanged registers must not travel.
+        assert!(delta.int_registers.len() < 32);
+    }
+
+    #[test]
+    fn delta_rejects_wrong_base() {
+        let mut sim = simulator();
+        let base = ProcessorSnapshot::capture(&sim);
+        sim.step();
+        let mid = ProcessorSnapshot::capture(&sim);
+        sim.step();
+        let current = ProcessorSnapshot::capture(&sim);
+        let delta = SnapshotDelta::between(&mid, &current);
+        assert!(delta.apply_to(&base).is_err(), "cycle-mismatched base must be rejected");
+        assert!(delta.apply_to(&mid).is_ok());
     }
 }

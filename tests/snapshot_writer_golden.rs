@@ -1,0 +1,93 @@
+//! Golden equivalence of the direct snapshot writer: for every processor
+//! preset and across a program's whole lifetime (fresh, mid-run, halted),
+//! the hand-rolled JSON renderer must produce byte-for-byte the output of
+//! `serde_json::to_vec(&ProcessorSnapshot::capture(sim))` — and the server's
+//! raw `GetState` payload must match the generic encode path on the wire.
+
+use riscv_superscalar_sim::core::SnapshotBuffer;
+use riscv_superscalar_sim::prelude::*;
+
+const PROGRAM: &str = "
+data:
+    .word 7, 3, 9, 1
+main:
+    la   t0, data
+    li   t1, 4
+    li   a0, 0
+    fmv.w.x fa0, x0
+loop:
+    lw   t2, 0(t0)
+    mul  t3, t2, t1
+    add  a0, a0, t3
+    fcvt.s.w ft0, t2
+    fadd.s fa0, fa0, ft0
+    sw   a0, 16(t0)
+    addi t0, t0, 4
+    addi t1, t1, -1
+    bnez t1, loop
+    ret
+";
+
+fn presets() -> Vec<ArchitectureConfig> {
+    vec![ArchitectureConfig::scalar(), ArchitectureConfig::default(), ArchitectureConfig::wide()]
+}
+
+#[test]
+fn writer_matches_serde_for_every_preset_and_lifecycle_state() {
+    for config in presets() {
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        let mut buffer = SnapshotBuffer::new();
+        let mut cycles = 0u64;
+        loop {
+            let expected = serde_json::to_vec(&ProcessorSnapshot::capture(&sim)).unwrap();
+            let rendered = buffer.render(&sim);
+            assert_eq!(
+                rendered,
+                expected.as_slice(),
+                "[{}] direct render differs at cycle {} (halted: {})",
+                config.name,
+                sim.cycle(),
+                sim.is_halted()
+            );
+            if sim.is_halted() {
+                break;
+            }
+            sim.step();
+            cycles += 1;
+            assert!(cycles < 100_000, "[{}] program did not halt", config.name);
+        }
+    }
+}
+
+#[test]
+fn raw_state_payload_matches_generic_encode_for_every_preset() {
+    for config in presets() {
+        for compress in [false, true] {
+            let server = SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: compress,
+                worker_threads: 1,
+            });
+            let id = match server.handle(Request::CreateSession {
+                program: PROGRAM.into(),
+                architecture: Some(config.clone()),
+                entry: None,
+            }) {
+                Response::SessionCreated { session } => session,
+                other => panic!("unexpected {other:?}"),
+            };
+            let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+            for _ in 0..6 {
+                server.handle(Request::Step { session: id, cycles: 3 });
+                let fast = server.handle_raw(&raw_request);
+                let generic =
+                    server.encode_response(&server.handle(Request::GetState { session: id }));
+                assert_eq!(
+                    fast, generic,
+                    "[{} compress={compress}] wire payloads differ",
+                    config.name
+                );
+            }
+        }
+    }
+}
