@@ -58,6 +58,7 @@ fn bench_components(c: &mut Criterion) {
             mode: DeploymentMode::Direct,
             compress_responses: true,
             worker_threads: 1,
+            idle_session_ttl_seconds: None,
         });
         let session = match server.handle(Request::CreateSession {
             program: program_mixed(),

@@ -93,6 +93,7 @@ pub fn start_server(mode: DeploymentMode, compress: bool, workers: usize) -> Thr
         mode,
         compress_responses: compress,
         worker_threads: workers,
+        idle_session_ttl_seconds: None,
     }))
 }
 
@@ -358,8 +359,13 @@ pub struct ServerLoadSample {
 pub struct ServerBenchReport {
     /// Raw request-path samples.
     pub raw: Vec<RawRequestSample>,
-    /// Load-generator samples.
+    /// Load-generator samples (in-process transport).
     pub load: Vec<ServerLoadSample>,
+    /// Load-generator samples over the real TCP/HTTP front end
+    /// (`rvsim-net`, loopback).  Empty when the environment forbids
+    /// loopback sockets — the in-process numbers above are unaffected.
+    #[serde(default)]
+    pub tcp: Vec<ServerLoadSample>,
 }
 
 impl ServerBenchReport {
@@ -404,6 +410,7 @@ pub fn raw_bench_server(compress: bool) -> (SimulationServer, u64) {
         mode: DeploymentMode::Direct,
         compress_responses: compress,
         worker_threads: 1,
+        idle_session_ttl_seconds: None,
     });
     let create = serde_json::to_vec(&rvsim_server::Request::CreateSession {
         program: program_server(),
@@ -459,8 +466,10 @@ fn measure_raw(scenario: &str, compress: bool, min_seconds: f64) -> RawRequestSa
 }
 
 /// Run the full server-throughput benchmark: raw `GetState` request path
-/// (with and without compression, cached and stepping patterns) plus the
-/// paper's load-test scenario over `options.users` user counts.
+/// (with and without compression, cached and stepping patterns), the
+/// paper's load-test scenario over `options.users` user counts on the
+/// in-process transport, and the same scenario over the TCP/HTTP front end
+/// on loopback.
 pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
     let mut raw = Vec::new();
     for compress in [true, false] {
@@ -481,7 +490,47 @@ pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
             load.push(ServerLoadSample { users, compressed: true, mode: mode.to_string(), report });
         }
     }
-    ServerBenchReport { raw, load }
+    ServerBenchReport { raw, load, tcp: run_tcp_load_bench(options) }
+}
+
+/// The TCP section of the server benchmark: the paper scenario through
+/// `rvsim-net` over loopback, one keep-alive connection per user.  Returns
+/// an empty section (after a note on stderr) when loopback sockets are
+/// unavailable, so the benchmark still completes in locked-down sandboxes.
+pub fn run_tcp_load_bench(options: &ServerBenchOptions) -> Vec<ServerLoadSample> {
+    let mut tcp = Vec::new();
+    for &users in &options.users {
+        for mode in ["full", "delta"] {
+            let deployment = DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 4,
+                idle_session_ttl_seconds: None,
+            };
+            let net_config = rvsim_net::NetConfig {
+                // One keep-alive connection per user holds a worker for the
+                // whole scenario; size the pool accordingly.
+                connection_workers: users + 4,
+                pending_connections: users + 4,
+                ..rvsim_net::NetConfig::default()
+            };
+            let net =
+                match rvsim_net::NetServer::start(SimulationServer::new(deployment), net_config) {
+                    Ok(net) => net,
+                    Err(e) => {
+                        eprintln!("skipping TCP load section: cannot bind loopback: {e}");
+                        return Vec::new();
+                    }
+                };
+            let mut scenario = rvsim_loadgen::Scenario::paper_scaled(users, options.time_scale);
+            scenario.programs = vec![program_server()];
+            scenario.delta_state = mode == "delta";
+            let report = rvsim_loadgen::run_load_test_tcp(net.local_addr(), &scenario);
+            net.shutdown();
+            tcp.push(ServerLoadSample { users, compressed: true, mode: mode.to_string(), report });
+        }
+    }
+    tcp
 }
 
 /// Print a paper-style table header once per bench run.
@@ -580,9 +629,20 @@ mod tests {
         assert!(report.headline_get_state_rps().unwrap() > 0.0);
         assert!(!report.load.is_empty());
         assert!(report.load.iter().all(|l| l.report.errors == 0));
+        // The TCP section runs the same scenario over loopback; when the
+        // sandbox forbids loopback sockets it is empty (and said so on
+        // stderr), never failing the in-process benchmark.
+        if !report.tcp.is_empty() {
+            assert_eq!(report.tcp.len(), 2, "full + delta per user count");
+            assert!(report.tcp.iter().all(|l| l.report.errors == 0));
+            assert!(report.tcp.iter().all(|l| l.report.transactions > 0));
+        }
         let json = serde_json::to_string(&report).unwrap();
         let back: ServerBenchReport = serde_json::from_str(&json).unwrap();
         assert_eq!(back.raw, report.raw);
+        // A pre-TCP report (no `tcp` key) still deserializes.
+        let legacy: ServerBenchReport = serde_json::from_str(r#"{"raw":[],"load":[]}"#).unwrap();
+        assert!(legacy.tcp.is_empty());
     }
 
     #[test]

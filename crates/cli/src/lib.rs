@@ -157,9 +157,13 @@ OPTIONS:
                             batch-seed derivation; --programs is ignored)
     --arch <FILE>           architecture description in JSON; without it the
                             batch runs on the scalar, default 2-wide AND
-                            4-wide / deep-ROB (wide-4) presets
+                            4-wide / deep-ROB (wide-4) presets, plus one
+                            D-heavy generator batch on the default machine
     --instructions <N>      random items per loop body (default 32; use the
                             value printed in the report when replaying)
+    --dfp                   enable D-extension (double-precision) mixes in
+                            the generator (replay flag for the D-heavy
+                            batch; printed in its divergence reports)
     --max-cycles <N>        pipeline cycle budget per program (default 200000)
     --format <text|json>    output format (default text)
     --inject-fault <M[:X]>  deliberately corrupt ISS results for mnemonic M
@@ -190,6 +194,8 @@ pub struct CosimCliOptions {
     pub arch_path: Option<String>,
     /// Random items per generated loop body.
     pub instructions: usize,
+    /// Enable D-extension mixes in the generator (`GenOptions::dp_ops`).
+    pub dfp: bool,
     /// Pipeline cycle budget per program.
     pub max_cycles: u64,
     /// Output format.
@@ -206,6 +212,7 @@ impl Default for CosimCliOptions {
             program_seed: None,
             arch_path: None,
             instructions: 32,
+            dfp: false,
             max_cycles: 200_000,
             format: OutputFormat::Text,
             inject_fault: None,
@@ -244,6 +251,7 @@ impl CosimCliOptions {
                     options.instructions =
                         v.parse().map_err(|_| format!("invalid instruction count `{v}`"))?;
                 }
+                "--dfp" => options.dfp = true,
                 "--max-cycles" => {
                     let v = value(&mut i, "--max-cycles")?;
                     options.max_cycles =
@@ -467,6 +475,7 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             "headline_get_state_rps": report.headline_get_state_rps(),
             "raw": report.raw,
             "load": report.load,
+            "tcp": report.tcp,
         });
         let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
         text.push('\n');
@@ -487,12 +496,147 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             s.scenario, s.compressed, s.requests_per_second, s.p50_us, s.p90_us, s.payload_bytes
         ));
     }
-    out.push_str("=== load test (paper scenario) ===\n");
+    out.push_str("=== load test (paper scenario, in-process) ===\n");
     for s in &report.load {
         out.push_str(&s.report.table_row(&format!("{}/{}", s.mode, s.users)));
         out.push('\n');
     }
+    out.push_str("=== load test (paper scenario, TCP loopback) ===\n");
+    if report.tcp.is_empty() {
+        out.push_str("(skipped: loopback sockets unavailable)\n");
+    }
+    for s in &report.tcp {
+        out.push_str(&s.report.table_row(&format!("{}/{}", s.mode, s.users)));
+        out.push('\n');
+    }
     Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// `serve` subcommand: the TCP/HTTP network front end.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `serve` subcommand.
+pub const SERVE_USAGE: &str = "\
+rvsim-cli serve — run the simulation server behind the rvsim-net
+               HTTP/1.1 front end (POST /api, GET /metrics, GET /healthz)
+
+USAGE:
+    rvsim-cli serve --tcp [OPTIONS]
+
+OPTIONS:
+    --tcp                   serve over TCP (mandatory: the only transport;
+                            in-process serving has no CLI — use the library)
+    --addr <IP:PORT>        bind address (default 127.0.0.1:8911; port 0
+                            picks a free port, printed at startup)
+    --connection-workers <N> connection worker pool size — each keep-alive
+                            connection holds one worker (default 64)
+    --pending <N>           accepted connections that may queue for a worker
+                            before 503s are served (default 128)
+    --no-compress           serve plain JSON payloads (flag byte 0)
+    --idle-ttl <SECONDS>    evict sessions idle for this long (default: no
+                            eviction); the sweep runs on the housekeeping tick
+    --help                  show this help
+
+The protocol endpoint is POST /api with a JSON request body; the response
+body is the encoded payload (one flag byte, then plain or LZSS-compressed
+JSON — the same wire format SimulationServer::decode_response parses).
+";
+
+/// Parsed options of the `serve` subcommand.
+#[derive(Debug, Clone)]
+pub struct ServeCliOptions {
+    /// Serve over TCP (must be set; reserves room for future transports).
+    pub tcp: bool,
+    /// Bind address.
+    pub addr: String,
+    /// Connection worker pool size.
+    pub connection_workers: usize,
+    /// Pending-connection queue bound.
+    pub pending: usize,
+    /// Compress response payloads.
+    pub compress: bool,
+    /// Idle-session TTL in seconds (`None` disables eviction).
+    pub idle_ttl_seconds: Option<u64>,
+}
+
+impl Default for ServeCliOptions {
+    fn default() -> Self {
+        ServeCliOptions {
+            tcp: false,
+            addr: "127.0.0.1:8911".to_string(),
+            connection_workers: 64,
+            pending: 128,
+            compress: true,
+            idle_ttl_seconds: None,
+        }
+    }
+}
+
+impl ServeCliOptions {
+    /// Parse the arguments following the `serve` subcommand word.
+    pub fn parse(args: &[String]) -> Result<ServeCliOptions, String> {
+        let mut options = ServeCliOptions::default();
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--tcp" => options.tcp = true,
+                "--addr" => options.addr = value(&mut i, "--addr")?,
+                "--connection-workers" => {
+                    let v = value(&mut i, "--connection-workers")?;
+                    options.connection_workers = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid worker count `{v}`"))?;
+                }
+                "--pending" => {
+                    let v = value(&mut i, "--pending")?;
+                    options.pending = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid queue bound `{v}`"))?;
+                }
+                "--no-compress" => options.compress = false,
+                "--idle-ttl" => {
+                    let v = value(&mut i, "--idle-ttl")?;
+                    options.idle_ttl_seconds =
+                        Some(v.parse().map_err(|_| format!("invalid TTL `{v}`"))?);
+                }
+                "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{SERVE_USAGE}")),
+            }
+            i += 1;
+        }
+        if !options.tcp {
+            return Err(format!("serve requires --tcp\n\n{SERVE_USAGE}"));
+        }
+        Ok(options)
+    }
+}
+
+/// Start the network front end described by `options`.  Returns the running
+/// server (the binary parks on it until killed; tests shut it down).
+pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, String> {
+    let deployment = rvsim_server::DeploymentConfig {
+        mode: rvsim_server::DeploymentMode::Direct,
+        compress_responses: options.compress,
+        worker_threads: 4,
+        idle_session_ttl_seconds: options.idle_ttl_seconds,
+    };
+    let net_config = rvsim_net::NetConfig {
+        addr: options.addr.clone(),
+        connection_workers: options.connection_workers,
+        pending_connections: options.pending,
+        ..rvsim_net::NetConfig::default()
+    };
+    rvsim_net::NetServer::start(rvsim_server::SimulationServer::new(deployment), net_config)
+        .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))
 }
 
 fn parse_fault(spec: &str) -> Result<rvsim_iss::InjectedFault, String> {
@@ -547,24 +691,42 @@ fn cosim_harness(
 /// binary exits non-zero.
 pub fn run_cosim(options: &CosimCliOptions) -> Result<String, String> {
     let configs = cosim_configs(options)?;
-    let gen =
-        rvsim_iss::GenOptions { body_instructions: options.instructions, ..Default::default() };
+    let gen = rvsim_iss::GenOptions {
+        body_instructions: options.instructions,
+        dp_ops: options.dfp,
+        ..Default::default()
+    };
 
     // Replay mode: one exact program from a printed per-program seed.
     if let Some(program_seed) = options.program_seed {
         return run_cosim_replay(&configs, options, program_seed, &gen);
     }
 
+    // The batch matrix: every configuration with the base generator, plus —
+    // in the default (no --arch) run, unless the base generator is already
+    // D-enabled — one D-heavy batch on the default machine, so the
+    // double-precision paths stay differentially covered by default.
+    let mut entries: Vec<(String, ArchitectureConfig, rvsim_iss::GenOptions)> =
+        configs.iter().map(|c| (c.name.clone(), c.clone(), gen.clone())).collect();
+    if options.arch_path.is_none() && !options.dfp {
+        let d_gen = rvsim_iss::GenOptions {
+            body_instructions: options.instructions,
+            ..rvsim_iss::GenOptions::d_heavy()
+        };
+        let config = ArchitectureConfig::default();
+        entries.push((format!("{}+dfp", config.name), config, d_gen));
+    }
+
     let mut reports: Vec<(String, rvsim_iss::BatchReport)> = Vec::new();
     let mut all_ok = true;
-    for config in &configs {
+    for (label, config, gen) in &entries {
         let harness = cosim_harness(config, options)?;
-        let report = harness.run_batch(options.seed, options.programs, &gen);
+        let report = harness.run_batch(options.seed, options.programs, gen);
         // A batch that matched nothing (every program inconclusive) provides
         // no differential coverage; fail loudly instead of letting CI go
         // green.
         all_ok &= report.divergences.is_empty() && report.errors.is_empty() && report.matched > 0;
-        reports.push((config.name.clone(), report));
+        reports.push((label.clone(), report));
     }
 
     let text = match options.format {
@@ -968,6 +1130,8 @@ main:
         let defaults = CosimCliOptions::parse(&args(&[])).unwrap();
         assert_eq!(defaults.programs, 200);
         assert_eq!(defaults.seed, 42);
+        assert!(!defaults.dfp);
+        assert!(CosimCliOptions::parse(&args(&["--dfp"])).unwrap().dfp);
 
         assert!(CosimCliOptions::parse(&args(&["--programs", "0"])).is_err());
         assert!(CosimCliOptions::parse(&args(&["--bogus"])).is_err());
@@ -1076,6 +1240,65 @@ main:
     }
 
     #[test]
+    fn serve_options_parse() {
+        assert!(ServeCliOptions::parse(&args(&[])).is_err(), "--tcp is mandatory");
+        assert!(ServeCliOptions::parse(&args(&["--help"])).unwrap_err().contains("serve"));
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--bogus"])).is_err());
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--connection-workers", "0"])).is_err());
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--idle-ttl", "x"])).is_err());
+
+        let o = ServeCliOptions::parse(&args(&[
+            "--tcp",
+            "--addr",
+            "127.0.0.1:0",
+            "--connection-workers",
+            "8",
+            "--pending",
+            "16",
+            "--no-compress",
+            "--idle-ttl",
+            "30",
+        ]))
+        .unwrap();
+        assert!(o.tcp);
+        assert_eq!(o.addr, "127.0.0.1:0");
+        assert_eq!(o.connection_workers, 8);
+        assert_eq!(o.pending, 16);
+        assert!(!o.compress);
+        assert_eq!(o.idle_ttl_seconds, Some(30));
+    }
+
+    #[test]
+    fn serve_starts_a_reachable_front_end() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping serve test: loopback unavailable");
+            return;
+        }
+        let options = ServeCliOptions {
+            tcp: true,
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeCliOptions::default()
+        };
+        let server = start_serve(&options).expect("serve starts");
+        let mut client = rvsim_net::TcpApiClient::new(server.local_addr());
+        let created = client
+            .call(&rvsim_server::Request::CreateSession {
+                program: PROGRAM.into(),
+                architecture: None,
+                entry: None,
+            })
+            .unwrap();
+        assert!(matches!(created, rvsim_server::Response::SessionCreated { .. }));
+        server.shutdown();
+
+        // A taken port reports a bind error instead of panicking.
+        let holder = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let taken = holder.local_addr().unwrap().to_string();
+        let bad = ServeCliOptions { addr: taken, ..options };
+        assert!(start_serve(&bad).is_err());
+    }
+
+    #[test]
     fn fault_spec_parsing() {
         assert_eq!(
             parse_fault("xor").unwrap(),
@@ -1146,12 +1369,15 @@ main:
         let out = run_cosim(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&out).unwrap();
         assert_eq!(value["programs"], 3);
-        // The default batch covers the scalar, 2-wide and 4-wide presets.
+        // The default batch covers the scalar, 2-wide and 4-wide presets
+        // plus a D-heavy generator batch on the default machine.
         let configs = value["configs"].as_array().unwrap();
-        assert_eq!(configs.len(), 3);
+        assert_eq!(configs.len(), 4);
         assert_eq!(configs[0]["config"], "scalar");
         assert_eq!(configs[1]["config"], "default-superscalar");
         assert_eq!(configs[2]["config"], "wide-4");
+        assert_eq!(configs[3]["config"], "default-superscalar+dfp");
+        assert_eq!(configs[3]["report"]["gen_dfp"], true);
         for c in configs {
             assert_eq!(c["report"]["divergences"].as_array().unwrap().len(), 0);
             assert_eq!(c["report"]["programs"], 3);

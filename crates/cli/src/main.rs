@@ -24,6 +24,34 @@ fn main() {
         return;
     }
 
+    // `rvsim-cli serve ...` — the TCP/HTTP network front end.
+    if args.first().map(String::as_str) == Some("serve") {
+        let options = match rvsim_cli::ServeCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        match rvsim_cli::start_serve(&options) {
+            Ok(server) => {
+                println!(
+                    "rvsim-net listening on http://{} (POST /api, GET /metrics, GET /healthz)",
+                    server.local_addr()
+                );
+                // Serve until the process is killed; the front end's own
+                // threads do all the work.
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     // `rvsim-cli bench ...` — pipeline throughput benchmark subcommand.
     if args.first().map(String::as_str) == Some("bench") {
         let options = match rvsim_cli::BenchCliOptions::parse(&args[1..]) {

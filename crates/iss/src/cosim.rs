@@ -343,6 +343,7 @@ impl Cosim {
             batch_seed,
             programs,
             gen_instructions: gen.body_instructions,
+            gen_dfp: gen.dp_ops,
             matched: 0,
             inconclusive: 0,
             retired_instructions: 0,
@@ -448,6 +449,10 @@ pub struct BatchReport {
     /// `GenOptions::body_instructions` used for every program (needed to
     /// regenerate a program from its printed seed).
     pub gen_instructions: usize,
+    /// Whether the generator ran with D-extension mixes enabled
+    /// (`GenOptions::dp_ops`) — replay needs `--dfp` when set.
+    #[serde(default)]
+    pub gen_dfp: bool,
     /// Programs where both models agreed completely.
     pub matched: usize,
     /// Programs where a budget ran out before the comparison finished.
@@ -490,13 +495,14 @@ impl BatchReport {
                 "full program (shrink limit reached, not minimised)".to_string()
             };
             out.push_str(&format!(
-                "\nprogram {} (replay: rvsim-cli cosim --program-seed {} --instructions {}, \
+                "\nprogram {} (replay: rvsim-cli cosim --program-seed {} --instructions {}{}, \
                  plus any --arch/--max-cycles/--inject-fault flags this batch used; \
                  memory timings load={} store={} are re-derived from the seed):\n{}\n\
                  --- {} ---\n{}",
                 d.program_index,
                 d.program_seed,
                 self.gen_instructions,
+                if self.gen_dfp { " --dfp" } else { "" },
                 d.timings.load_latency,
                 d.timings.store_latency,
                 d.divergence.report,
@@ -638,6 +644,22 @@ mod tests {
                 assert!(reason.contains("pipeline"), "reason: {reason}")
             }
             other => panic!("expected inconclusive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn d_heavy_batch_has_zero_divergences() {
+        // The D-extension mix through the full differential harness: the
+        // out-of-order pipeline and the in-order ISS must agree on every
+        // double-precision retirement, on every machine width.
+        let gen = GenOptions { body_instructions: 20, ..GenOptions::d_heavy() };
+        for config in [ArchitectureConfig::default(), ArchitectureConfig::wide()] {
+            let name = config.name.clone();
+            let report = Cosim::new(config).run_batch(27, 12, &gen);
+            assert!(report.errors.is_empty(), "{name} errors: {:?}", report.errors);
+            assert!(report.divergences.is_empty(), "{name} divergences:\n{}", report.render_text());
+            assert!(report.matched >= 10, "{name}: too many inconclusive runs");
+            assert!(report.gen_dfp, "batch must record the D-heavy generator");
         }
     }
 

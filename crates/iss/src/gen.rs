@@ -23,6 +23,11 @@ pub struct GenOptions {
     pub memory_ops: bool,
     /// Emit F-extension instructions.
     pub fp_ops: bool,
+    /// Emit D-extension (double-precision) instructions inside the FP and
+    /// FP-memory mixes.  Only effective while `fp_ops` is on: doubles share
+    /// the FP item slots, biased ~3:1 towards the D variants, plus `fld`/
+    /// `fsd` traffic and cross-precision `fcvt.d.s`/`fcvt.s.d` chains.
+    pub dp_ops: bool,
     /// Emit M-extension multiply/divide instructions.
     pub mul_div: bool,
     /// Emit `jal`/`jalr` calls to generated leaf functions.
@@ -39,11 +44,21 @@ impl Default for GenOptions {
             body_instructions: 32,
             memory_ops: true,
             fp_ops: true,
+            dp_ops: false,
             mul_div: true,
             calls: true,
             inner_loops: true,
             max_trip_count: 5,
         }
+    }
+}
+
+impl GenOptions {
+    /// The D-heavy preset: the default mix with double-precision enabled,
+    /// so most FP items become D-extension instructions.  This is the
+    /// fourth batch of the default `cosim` run.
+    pub fn d_heavy() -> Self {
+        GenOptions { dp_ops: true, ..Default::default() }
     }
 }
 
@@ -126,6 +141,14 @@ impl Generator {
             for _ in 0..2 {
                 let (fd, rs) = (self.fp_reg(), self.int_reg());
                 self.push(format!("    fcvt.s.w {fd}, {rs}"));
+            }
+            if self.opts.dp_ops {
+                // Seed double-typed registers too, so the D mix starts with
+                // real double data instead of reinterpreting float bits.
+                for _ in 0..2 {
+                    let (fd, rs) = (self.fp_reg(), self.int_reg());
+                    self.push(format!("    fcvt.d.w {fd}, {rs}"));
+                }
             }
         }
         let trips = self.rng.random_range(2..self.opts.max_trip_count.max(2) + 1);
@@ -285,12 +308,23 @@ impl Generator {
                 }
             }
             _ if self.opts.fp_ops => {
-                let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
-                let f = self.fp_reg();
-                if self.rng.random_range(0..2) == 0 {
-                    self.push(format!("    fsw  {f}, {off}(s1)"));
+                if self.opts.dp_ops && self.rng.random_range(0..4) < 3 {
+                    // Double-precision traffic: 8-byte aligned slots.
+                    let off = self.rng.random_range(0..BUF_BYTES / 8) * 8;
+                    let f = self.fp_reg();
+                    if self.rng.random_range(0..2) == 0 {
+                        self.push(format!("    fsd  {f}, {off}(s1)"));
+                    } else {
+                        self.push(format!("    fld  {f}, {off}(s1)"));
+                    }
                 } else {
-                    self.push(format!("    flw  {f}, {off}(s1)"));
+                    let off = self.rng.random_range(0..BUF_BYTES / 4) * 4;
+                    let f = self.fp_reg();
+                    if self.rng.random_range(0..2) == 0 {
+                        self.push(format!("    fsw  {f}, {off}(s1)"));
+                    } else {
+                        self.push(format!("    flw  {f}, {off}(s1)"));
+                    }
                 }
             }
             _ => {
@@ -302,6 +336,12 @@ impl Generator {
     }
 
     fn emit_fp(&mut self) {
+        // With doubles enabled the FP slot is D-heavy: three out of four
+        // items pick the double-precision variant.
+        if self.opts.dp_ops && self.rng.random_range(0..4) < 3 {
+            self.emit_fp_double();
+            return;
+        }
         let kind = self.rng.random_range(0..10u32);
         match kind {
             0..=3 => {
@@ -341,6 +381,59 @@ impl Generator {
             _ => {
                 let (fd, f1, f2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
                 self.push(format!("    fdiv.s {fd}, {f1}, {f2}"));
+            }
+        }
+    }
+
+    fn emit_fp_double(&mut self) {
+        let kind = self.rng.random_range(0..10u32);
+        match kind {
+            0..=3 => {
+                const OPS: &[&str] = &["fadd.d", "fsub.d", "fmul.d", "fmin.d", "fmax.d"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (fd, f1, f2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    {op} {fd}, {f1}, {f2}"));
+            }
+            4 => {
+                const OPS: &[&str] = &["fmadd.d", "fmsub.d"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (fd, f1, f2, f3) = (self.fp_reg(), self.fp_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    {op} {fd}, {f1}, {f2}, {f3}"));
+            }
+            5 => {
+                let (fd, rs) = (self.fp_reg(), self.int_reg());
+                self.push(format!("    fcvt.d.w {fd}, {rs}"));
+            }
+            6 => {
+                let (rd, fs) = (self.int_reg(), self.fp_reg());
+                self.push(format!("    fcvt.w.d {rd}, {fs}"));
+            }
+            7 => {
+                // Cross-precision conversion chains: the registers flip
+                // between float- and double-typed values mid-program.
+                let (fd, fs) = (self.fp_reg(), self.fp_reg());
+                if self.rng.random_range(0..2) == 0 {
+                    self.push(format!("    fcvt.d.s {fd}, {fs}"));
+                } else {
+                    self.push(format!("    fcvt.s.d {fd}, {fs}"));
+                }
+            }
+            8 => {
+                const OPS: &[&str] = &["feq.d", "flt.d", "fle.d"];
+                let op = OPS[self.rng.random_range(0..OPS.len())];
+                let (rd, f1, f2) = (self.int_reg(), self.fp_reg(), self.fp_reg());
+                self.push(format!("    {op} {rd}, {f1}, {f2}"));
+            }
+            _ => {
+                let (fd, f1, f2) = (self.fp_reg(), self.fp_reg(), self.fp_reg());
+                if self.rng.random_range(0..3) == 0 {
+                    // Convert-then-sqrt keeps most inputs non-negative; NaN
+                    // propagation is bit-identical across the models anyway.
+                    self.push(format!("    fmul.d {fd}, {f1}, {f1}"));
+                    self.push(format!("    fsqrt.d {fd}, {fd}"));
+                } else {
+                    self.push(format!("    fdiv.d {fd}, {f1}, {f2}"));
+                }
             }
         }
     }
@@ -441,6 +534,34 @@ mod tests {
             // The only stores left are the structural prologue/epilogue ones.
             assert!(!source.contains("(s1)"), "seed {seed}:\n{source}");
         }
+    }
+
+    #[test]
+    fn d_heavy_preset_emits_double_precision_mixes_that_terminate() {
+        let config = ArchitectureConfig::default();
+        let opts = GenOptions::d_heavy();
+        let all: String = (0..12u64).map(|s| generate_program(s, &opts)).collect();
+        // The preset must actually exercise the D extension end to end:
+        // arithmetic, memory traffic and cross-precision conversions.
+        assert!(all.contains(".d "), "no double-precision ops:\n{all}");
+        assert!(all.contains("fld") && all.contains("fsd"), "no fld/fsd traffic");
+        assert!(all.contains("fcvt.d.s") || all.contains("fcvt.s.d"), "no cross conversions");
+        for seed in 0..12u64 {
+            let source = generate_program(seed, &opts);
+            let mut iss = Iss::from_assembly(&source, &config)
+                .unwrap_or_else(|e| panic!("seed {seed} does not assemble: {e}\n{source}"));
+            let result = iss.run(1_000_000);
+            assert_ne!(
+                result.halt,
+                HaltReason::MaxCyclesReached,
+                "seed {seed} does not terminate:\n{source}"
+            );
+        }
+        // Without dp_ops the same seeds emit no D-extension instructions.
+        let plain: String =
+            (0..12u64).map(|s| generate_program(s, &GenOptions::default())).collect();
+        assert!(!plain.contains(".d "), "default mix must stay single-precision");
+        assert!(!plain.contains("fld"), "default mix must stay single-precision");
     }
 
     #[test]

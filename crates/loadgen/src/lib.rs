@@ -11,11 +11,17 @@
 //! of minutes; the *shape* of the results (queueing at high user counts,
 //! Docker overhead, gzip benefit) is unaffected because those effects come
 //! from the per-request work and the worker pool, not from the think time.
+//!
+//! Two transports run the same scenario: the in-process worker pool
+//! ([`run_load_test`], the original stand-in) and the real TCP/HTTP front
+//! end ([`run_load_test_tcp`], one keep-alive connection per user through
+//! `rvsim-net` — the `--tcp` mode).
 
 #![warn(missing_docs)]
 
 use rvsim_server::{Request, Response, ServerClient, ThreadedServer};
 use serde::{Deserialize, Serialize};
+use std::net::SocketAddr;
 use std::time::{Duration, Instant};
 
 /// Load-test scenario definition (the JMeter test plan).
@@ -152,8 +158,34 @@ fn percentile(sorted: &[f64], p: f64) -> f64 {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// Run a scenario against a running [`ThreadedServer`].
+/// Run a scenario against a running [`ThreadedServer`] (the in-process
+/// transport).
 pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestReport {
+    run_load_test_with(scenario, |_user| {
+        let client: ServerClient = server.client();
+        move |request: &Request| client.call(request)
+    })
+}
+
+/// Run a scenario against a TCP/HTTP front end (`rvsim-net`) at `addr`: the
+/// `--tcp` transport.  Every user owns one keep-alive connection, exactly
+/// like a browser tab talking to the paper's Undertow deployment.
+pub fn run_load_test_tcp(addr: SocketAddr, scenario: &Scenario) -> LoadTestReport {
+    run_load_test_with(scenario, move |_user| {
+        let mut client = rvsim_net::TcpApiClient::new(addr);
+        move |request: &Request| client.call(request)
+    })
+}
+
+/// Transport-generic scenario driver: `make_client` builds one transport
+/// closure per user (moved into the user's thread).
+pub fn run_load_test_with<C>(
+    scenario: &Scenario,
+    make_client: impl Fn(usize) -> C,
+) -> LoadTestReport
+where
+    C: FnMut(&Request) -> Result<Response, String> + Send + 'static,
+{
     let started = Instant::now();
     let ramp_up = scenario.ramp_up();
     let think = scenario.think_time();
@@ -161,7 +193,7 @@ pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestRe
 
     let mut handles = Vec::with_capacity(users);
     for user in 0..users {
-        let client: ServerClient = server.client();
+        let mut call = make_client(user);
         let program = scenario.programs[user % scenario.programs.len().max(1)].clone();
         let steps = scenario.steps_per_user;
         let fetch_state = scenario.fetch_state_each_step;
@@ -178,7 +210,7 @@ pub fn run_load_test(server: &ThreadedServer, scenario: &Scenario) -> LoadTestRe
 
             let mut timed_call = |request: &Request| -> Option<Response> {
                 let t0 = Instant::now();
-                let result = client.call(request);
+                let result = call(request);
                 latencies.push(t0.elapsed().as_secs_f64() * 1e3);
                 match result {
                     Ok(response) if !response.is_error() => Some(response),
@@ -263,6 +295,7 @@ mod tests {
             mode: DeploymentMode::Direct,
             compress_responses: compress,
             worker_threads: 4,
+            idle_session_ttl_seconds: None,
         }))
     }
 
@@ -328,6 +361,36 @@ mod tests {
         assert_eq!(report.transactions, 42);
         assert_eq!(report.errors, 0, "delta fetches must all succeed");
         server.shutdown();
+    }
+
+    #[test]
+    fn tcp_transport_runs_the_same_scenario_with_no_errors() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping TCP transport test: loopback unavailable");
+            return;
+        }
+        let net = rvsim_net::NetServer::start(
+            SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 4,
+                idle_session_ttl_seconds: None,
+            }),
+            rvsim_net::NetConfig::default(),
+        )
+        .expect("net server starts");
+        for delta in [false, true] {
+            let mut scenario = Scenario::paper_scaled(3, 0.0);
+            scenario.steps_per_user = 4;
+            scenario.delta_state = delta;
+            let report = run_load_test_tcp(net.local_addr(), &scenario);
+            // Same request count as the in-process transport:
+            // 3 users × (create + 4 × (step + fetch) + destroy).
+            assert_eq!(report.transactions, 30, "delta={delta}");
+            assert_eq!(report.errors, 0, "delta={delta}");
+            assert!(report.p90_latency_ms >= report.median_latency_ms);
+        }
+        net.shutdown();
     }
 
     #[test]

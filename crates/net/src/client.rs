@@ -1,0 +1,176 @@
+//! Minimal blocking HTTP/1.1 client for the `/api` endpoint.
+//!
+//! One [`TcpApiClient`] owns one keep-alive connection (opened lazily,
+//! re-opened once per call if the server closed it) and speaks exactly the
+//! framing the front end produces: a status line, headers with
+//! `content-length`, and a sized body.  This is what `rvsim-loadgen`'s
+//! `--tcp` transport and the benchmark harness drive.
+
+use rvsim_server::{Request, Response, SimulationServer};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Blocking protocol client over a keep-alive TCP connection.
+#[derive(Debug)]
+pub struct TcpApiClient {
+    addr: SocketAddr,
+    stream: Option<TcpStream>,
+    /// Unparsed bytes read past the previous response (pipelining slack).
+    residue: Vec<u8>,
+}
+
+impl TcpApiClient {
+    /// Client for the front end at `addr`.  No connection is opened until
+    /// the first call.
+    pub fn new(addr: SocketAddr) -> Self {
+        TcpApiClient { addr, stream: None, residue: Vec::new() }
+    }
+
+    /// POST a raw protocol payload to `/api` and return the encoded
+    /// response payload.  Reconnects and retries once — but only when a
+    /// *reused* keep-alive connection failed before any response byte
+    /// arrived (the server closed it while idle), so a request the server
+    /// may already have processed is never resent: most protocol requests
+    /// (`Step`, `CreateSession`) are not idempotent.
+    pub fn call_raw(&mut self, body: &[u8]) -> Result<Vec<u8>, String> {
+        let reused = self.stream.is_some();
+        match self.try_call(body) {
+            Ok(payload) => Ok(payload),
+            Err(e) => {
+                let unprocessed = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionAborted
+                        | std::io::ErrorKind::BrokenPipe
+                        | std::io::ErrorKind::NotConnected
+                        | std::io::ErrorKind::WriteZero
+                );
+                self.stream = None;
+                self.residue.clear();
+                if reused && unprocessed {
+                    self.try_call(body).map_err(|e| format!("tcp call failed: {e}"))
+                } else {
+                    Err(format!("tcp call failed: {e}"))
+                }
+            }
+        }
+    }
+
+    /// Send a typed request and decode the typed response.
+    pub fn call(&mut self, request: &Request) -> Result<Response, String> {
+        let json = serde_json::to_vec(request).map_err(|e| e.to_string())?;
+        let payload = self.call_raw(&json)?;
+        SimulationServer::decode_response(&payload)
+    }
+
+    fn connect(&mut self) -> std::io::Result<&mut TcpStream> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect(self.addr)?;
+            stream.set_nodelay(true)?;
+            // Generous timeout: a stuck server fails the call instead of
+            // hanging the load-generator thread forever.
+            stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+            self.stream = Some(stream);
+        }
+        Ok(self.stream.as_mut().expect("just connected"))
+    }
+
+    fn try_call(&mut self, body: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut head = Vec::with_capacity(96);
+        head.extend_from_slice(b"POST /api HTTP/1.1\r\ncontent-length: ");
+        head.extend_from_slice(body.len().to_string().as_bytes());
+        head.extend_from_slice(b"\r\n\r\n");
+        let residue = std::mem::take(&mut self.residue);
+        let stream = self.connect()?;
+        stream.write_all(&head)?;
+        stream.write_all(body)?;
+
+        let (payload, residue) = read_response(stream, residue)?;
+        self.residue = residue;
+        Ok(payload)
+    }
+}
+
+/// Read one HTTP response (status + headers + sized body) from `stream`,
+/// starting from `buffered` leftover bytes.  Returns the body and any bytes
+/// read past it.
+fn read_response(
+    stream: &mut TcpStream,
+    mut buffered: Vec<u8>,
+) -> std::io::Result<(Vec<u8>, Vec<u8>)> {
+    let mut chunk = [0u8; 16 * 1024];
+    let head_end = loop {
+        if let Some(end) = crate::http::find_head_end(&buffered) {
+            break end;
+        }
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            // A reset before any response byte means the server closed the
+            // idle keep-alive connection without seeing the request; map it
+            // to the same retryable kind as a clean pre-response close.
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset && buffered.is_empty() => {
+                return Err(stale_connection())
+            }
+            Err(e) => return Err(e),
+        };
+        if n == 0 {
+            if buffered.is_empty() {
+                // Clean close with zero response bytes: the request was
+                // never processed (stale keep-alive) — safe to retry.
+                return Err(stale_connection());
+            }
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-response",
+            ));
+        }
+        buffered.extend_from_slice(&chunk[..n]);
+    };
+
+    let head = String::from_utf8_lossy(&buffered[..head_end]).into_owned();
+    let status = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad_response(format!("malformed status line in {head:?}")))?;
+    let content_length = head
+        .lines()
+        .find_map(|line| {
+            let (name, value) = line.split_once(':')?;
+            name.eq_ignore_ascii_case("content-length").then(|| value.trim().parse::<usize>())
+        })
+        .transpose()
+        .map_err(|_| bad_response("bad content-length".into()))?
+        .unwrap_or(0);
+
+    let mut rest = buffered.split_off(head_end);
+    while rest.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        rest.extend_from_slice(&chunk[..n]);
+    }
+    let residue = rest.split_off(content_length);
+    if status != 200 {
+        return Err(bad_response(format!(
+            "server answered {status}: {}",
+            String::from_utf8_lossy(&rest).trim()
+        )));
+    }
+    Ok((rest, residue))
+}
+
+fn bad_response(message: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, message)
+}
+
+fn stale_connection() -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::ConnectionAborted,
+        "keep-alive connection closed before the request was read",
+    )
+}

@@ -1,0 +1,420 @@
+//! Incremental HTTP/1.1 request framing.
+//!
+//! [`RequestParser`] accumulates bytes as they arrive from a socket and
+//! yields complete requests: it tolerates arbitrary partial reads (a request
+//! split at any byte boundary parses identically to the unsplit stream —
+//! property-tested), supports pipelining (several requests buffered in one
+//! read) and keep-alive semantics, and rejects malformed or oversized input
+//! with the appropriate 4xx/5xx status instead of panicking or hanging.
+//!
+//! The parser is deliberately small: request line + headers + a
+//! `content-length` body.  Chunked transfer encoding is rejected with 501 —
+//! every client of the simulation protocol sends sized bodies.
+
+/// Maximum bytes of request line + headers before the parser rejects the
+/// request with `431 Request Header Fields Too Large`.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Maximum request body size before the parser rejects the request with
+/// `413 Payload Too Large`.  Protocol requests are small JSON objects; the
+/// generous cap only exists to bound memory per connection.
+pub const MAX_BODY_BYTES: usize = 4 * 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, …), upper-cased as received.
+    pub method: String,
+    /// Request target (`/api`, `/metrics`, …).
+    pub target: String,
+    /// Whether the connection should stay open after the response
+    /// (HTTP/1.1 default unless `connection: close`; HTTP/1.0 only with
+    /// `connection: keep-alive`).
+    pub keep_alive: bool,
+    /// Request body (`content-length` bytes; empty when absent).
+    pub body: Vec<u8>,
+}
+
+/// A framing-level rejection: the connection answers with `status` and
+/// closes (framing errors are not recoverable — byte positions are lost).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// HTTP status code to answer with (400/405/413/431/501/505).
+    pub status: u16,
+    /// Status reason phrase.
+    pub reason: &'static str,
+    /// Human-readable detail for the response body.
+    pub detail: String,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: &'static str, detail: impl Into<String>) -> Self {
+        HttpError { status, reason, detail: detail.into() }
+    }
+}
+
+/// Incremental request parser over a byte stream.
+#[derive(Debug, Default)]
+pub struct RequestParser {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by parsed requests.  The prefix is
+    /// compacted away lazily, so pipelined parsing does not memmove per
+    /// request.
+    pos: usize,
+}
+
+impl RequestParser {
+    /// Fresh parser.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes read from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a parsed request.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn compact(&mut self) {
+        // Compact once the consumed prefix dominates, amortizing the move.
+        if self.pos > 0 && (self.pos >= self.buf.len() || self.pos >= 4096) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Try to parse the next complete request from the buffered bytes.
+    ///
+    /// * `Ok(Some(request))` — a complete request was consumed.
+    /// * `Ok(None)` — more bytes are needed (partial head or body).
+    /// * `Err(error)` — the stream is malformed or over limits; the caller
+    ///   should answer with `error.status` and close the connection.
+    pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
+        let data = &self.buf[self.pos..];
+        let Some(head_len) = find_head_end(data) else {
+            if data.len() > MAX_HEAD_BYTES {
+                return Err(HttpError::new(
+                    431,
+                    "Request Header Fields Too Large",
+                    format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+                ));
+            }
+            return Ok(None);
+        };
+        if head_len > MAX_HEAD_BYTES {
+            return Err(HttpError::new(
+                431,
+                "Request Header Fields Too Large",
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes"),
+            ));
+        }
+
+        // The head is complete: parse it (errors are fatal for the
+        // connection, so consuming on the error path is unnecessary).
+        let head = &data[..head_len];
+        let (request_line, header_block) = split_first_line(head);
+        let (method, target, version) = parse_request_line(request_line)?;
+        let headers = parse_headers(header_block)?;
+
+        let mut content_length = 0usize;
+        let mut keep_alive = version == Version::Http11;
+        for (name, value) in &headers {
+            match name.as_str() {
+                "content-length" => {
+                    content_length = value.parse().map_err(|_| {
+                        HttpError::new(400, "Bad Request", format!("bad content-length `{value}`"))
+                    })?;
+                }
+                "transfer-encoding" => {
+                    return Err(HttpError::new(
+                        501,
+                        "Not Implemented",
+                        "transfer-encoding is not supported; send a sized body",
+                    ));
+                }
+                "connection" => {
+                    let value = value.to_ascii_lowercase();
+                    if value.split(',').any(|t| t.trim() == "close") {
+                        keep_alive = false;
+                    } else if value.split(',').any(|t| t.trim() == "keep-alive") {
+                        keep_alive = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if content_length > MAX_BODY_BYTES {
+            return Err(HttpError::new(
+                413,
+                "Payload Too Large",
+                format!("request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
+            ));
+        }
+        if data.len() < head_len + content_length {
+            return Ok(None); // body still in flight
+        }
+
+        let body = data[head_len..head_len + content_length].to_vec();
+        self.pos += head_len + content_length;
+        self.compact();
+        Ok(Some(HttpRequest { method, target, keep_alive, body }))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Version {
+    Http10,
+    Http11,
+}
+
+/// Index one past the head terminator (`\r\n\r\n`, with lenient bare-`\n`
+/// acceptance), or `None` while the head is still incomplete.  Shared with
+/// the client-side response reader so both directions frame identically.
+pub(crate) fn find_head_end(data: &[u8]) -> Option<usize> {
+    let mut i = 0;
+    while i < data.len() {
+        if data[i] == b'\n' {
+            match data.get(i + 1) {
+                Some(b'\n') => return Some(i + 2),
+                Some(b'\r') if data.get(i + 2) == Some(&b'\n') => return Some(i + 3),
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+fn split_first_line(head: &[u8]) -> (&[u8], &[u8]) {
+    match head.iter().position(|&b| b == b'\n') {
+        Some(nl) => (trim_cr(&head[..nl]), &head[nl + 1..]),
+        None => (trim_cr(head), &[]),
+    }
+}
+
+fn trim_cr(line: &[u8]) -> &[u8] {
+    match line.last() {
+        Some(b'\r') => &line[..line.len() - 1],
+        _ => line,
+    }
+}
+
+fn parse_request_line(line: &[u8]) -> Result<(String, String, Version), HttpError> {
+    let text = std::str::from_utf8(line)
+        .map_err(|_| HttpError::new(400, "Bad Request", "request line is not UTF-8"))?;
+    let mut parts = text.split(' ').filter(|p| !p.is_empty());
+    let (Some(method), Some(target), Some(version), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::new(400, "Bad Request", format!("malformed request line `{text}`")));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_alphabetic()) {
+        return Err(HttpError::new(400, "Bad Request", format!("bad method `{method}`")));
+    }
+    let version = match version {
+        "HTTP/1.1" => Version::Http11,
+        "HTTP/1.0" => Version::Http10,
+        other => {
+            return Err(HttpError::new(
+                505,
+                "HTTP Version Not Supported",
+                format!("unsupported version `{other}`"),
+            ));
+        }
+    };
+    Ok((method.to_ascii_uppercase(), target.to_string(), version))
+}
+
+fn parse_headers(block: &[u8]) -> Result<Vec<(String, String)>, HttpError> {
+    let mut headers = Vec::new();
+    for raw_line in block.split(|&b| b == b'\n') {
+        let line = trim_cr(raw_line);
+        if line.is_empty() {
+            continue; // the blank terminator line (and any stray blanks)
+        }
+        let text = std::str::from_utf8(line)
+            .map_err(|_| HttpError::new(400, "Bad Request", "header line is not UTF-8"))?;
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(HttpError::new(
+                400,
+                "Bad Request",
+                format!("header without colon `{text}`"),
+            ));
+        };
+        if name.is_empty() || name.contains(' ') {
+            return Err(HttpError::new(400, "Bad Request", format!("bad header name `{name}`")));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Conflicting duplicate content-lengths are a classic smuggling vector.
+    let lengths: Vec<&str> =
+        headers.iter().filter(|(n, _)| n == "content-length").map(|(_, v)| v.as_str()).collect();
+    if lengths.len() > 1 && lengths.iter().any(|&v| v != lengths[0]) {
+        return Err(HttpError::new(400, "Bad Request", "conflicting content-length headers"));
+    }
+    Ok(headers)
+}
+
+/// Serialize a response head (status line + headers + blank line) into
+/// `out`.  The body is written separately so a shared-buffer payload never
+/// gets copied into the head buffer.
+pub fn write_response_head(
+    out: &mut Vec<u8>,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    content_length: usize,
+    keep_alive: bool,
+) {
+    out.extend_from_slice(b"HTTP/1.1 ");
+    out.extend_from_slice(status.to_string().as_bytes());
+    out.push(b' ');
+    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(b"\r\ncontent-type: ");
+    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(b"\r\ncontent-length: ");
+    out.extend_from_slice(content_length.to_string().as_bytes());
+    out.extend_from_slice(b"\r\nconnection: ");
+    out.extend_from_slice(if keep_alive { b"keep-alive".as_ref() } else { b"close".as_ref() });
+    out.extend_from_slice(b"\r\n\r\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(stream: &[u8]) -> Result<Vec<HttpRequest>, HttpError> {
+        let mut parser = RequestParser::new();
+        parser.feed(stream);
+        let mut requests = Vec::new();
+        while let Some(r) = parser.next_request()? {
+            requests.push(r);
+        }
+        Ok(requests)
+    }
+
+    #[test]
+    fn parses_a_simple_post() {
+        let reqs = parse_all(b"POST /api HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello").unwrap();
+        assert_eq!(reqs.len(), 1);
+        assert_eq!(reqs[0].method, "POST");
+        assert_eq!(reqs[0].target, "/api");
+        assert!(reqs[0].keep_alive);
+        assert_eq!(reqs[0].body, b"hello");
+    }
+
+    #[test]
+    fn parses_pipelined_requests_and_byte_by_byte_feeding() {
+        let stream: &[u8] = b"POST /api HTTP/1.1\r\ncontent-length: 3\r\n\r\nabc\
+                              GET /metrics HTTP/1.1\r\n\r\n\
+                              POST /api HTTP/1.1\r\nconnection: close\r\ncontent-length: 2\r\n\r\nhi";
+        let whole = parse_all(stream).unwrap();
+        assert_eq!(whole.len(), 3);
+        assert_eq!(whole[0].body, b"abc");
+        assert_eq!(whole[1].method, "GET");
+        assert!(!whole[2].keep_alive);
+
+        // One byte at a time must produce the identical request sequence.
+        let mut parser = RequestParser::new();
+        let mut split = Vec::new();
+        for &b in stream {
+            parser.feed(&[b]);
+            while let Some(r) = parser.next_request().unwrap() {
+                split.push(r);
+            }
+        }
+        assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn lenient_bare_newline_framing() {
+        let reqs = parse_all(b"POST /api HTTP/1.1\ncontent-length: 2\n\nok").unwrap();
+        assert_eq!(reqs[0].body, b"ok");
+    }
+
+    #[test]
+    fn http10_defaults_to_close_and_keep_alive_header_overrides() {
+        let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive);
+        let reqs = parse_all(b"GET / HTTP/1.0\r\nconnection: keep-alive\r\n\r\n").unwrap();
+        assert!(reqs[0].keep_alive);
+        let reqs = parse_all(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+        assert!(!reqs[0].keep_alive);
+    }
+
+    #[test]
+    fn incomplete_head_and_body_wait_for_more_bytes() {
+        let mut parser = RequestParser::new();
+        parser.feed(b"POST /api HTTP/1.1\r\ncontent-le");
+        assert_eq!(parser.next_request().unwrap(), None);
+        parser.feed(b"ngth: 4\r\n\r\nab");
+        assert_eq!(parser.next_request().unwrap(), None); // body short
+        parser.feed(b"cd");
+        let r = parser.next_request().unwrap().unwrap();
+        assert_eq!(r.body, b"abcd");
+        assert_eq!(parser.buffered(), 0);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_400() {
+        for bad in [
+            b"BOGUS\r\n\r\n".as_ref(),
+            b"GET /\r\n\r\n".as_ref(),
+            b"GET / HTTP/1.1 extra\r\n\r\n".as_ref(),
+            b"G3T / HTTP/1.1\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\nheaderwithoutcolon\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length: banana\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n".as_ref(),
+        ] {
+            let err = parse_all(bad).unwrap_err();
+            assert_eq!(err.status, 400, "{:?} -> {err:?}", String::from_utf8_lossy(bad));
+        }
+    }
+
+    #[test]
+    fn unsupported_version_and_encoding_are_rejected() {
+        assert_eq!(parse_all(b"GET / HTTP/2.0\r\n\r\n").unwrap_err().status, 505);
+        let err =
+            parse_all(b"POST /api HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n").unwrap_err();
+        assert_eq!(err.status, 501);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        // Endless header bytes with no terminator: rejected once the buffer
+        // passes the cap rather than buffering forever.
+        let mut parser = RequestParser::new();
+        parser.feed(b"GET / HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 16];
+        parser.feed(&filler);
+        assert_eq!(parser.next_request().unwrap_err().status, 431);
+
+        // A *terminated* head over the cap is also rejected.
+        let mut huge = b"GET / HTTP/1.1\r\nx-pad: ".to_vec();
+        huge.extend(std::iter::repeat_n(b'y', MAX_HEAD_BYTES));
+        huge.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_all(&huge).unwrap_err().status, 431);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let head = format!("POST /api HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
+        assert_eq!(parse_all(head.as_bytes()).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn response_head_renders_the_usual_shape() {
+        let mut out = Vec::new();
+        write_response_head(&mut out, 200, "OK", "text/plain", 2, true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-length: 2\r\n"));
+        assert!(text.contains("connection: keep-alive\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+}

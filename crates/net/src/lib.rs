@@ -1,0 +1,34 @@
+//! # rvsim-net — the HTTP/1.1 network front end
+//!
+//! The paper deploys the simulator behind an Undertow HTTP server and
+//! reports the *request path* — not the simulation — as the scaling
+//! bottleneck (§IV-A).  Until this crate the Rust reproduction had no
+//! transport at all, only the in-process worker pool in `rvsim-server`.
+//! `rvsim-net` adds the real thing, hand-rolled over
+//! [`std::net::TcpListener`] (the build environment is offline, so no
+//! external HTTP stack):
+//!
+//! * [`http`] — incremental HTTP/1.1 request framing that tolerates
+//!   arbitrary partial reads, with pipelining, keep-alive and bounded-size
+//!   rejection (400/413/431/501/505);
+//! * [`NetServer`] — bounded acceptor + connection worker pool dispatching
+//!   `POST /api` protocol payloads into
+//!   [`rvsim_server::SimulationServer::handle_raw`], with graceful
+//!   shutdown, a periodic housekeeping tick (idle-session eviction) and a
+//!   `GET /metrics` stats endpoint;
+//! * [`TcpApiClient`] — the matching blocking keep-alive client used by
+//!   `rvsim-loadgen --tcp` and the server benchmark.
+//!
+//! The response body of the protocol endpoint is the server's shared
+//! [`bytes::Bytes`] payload handle: a cached `GetState` flows from the
+//! per-session serve cache to the socket with zero payload copies.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod server;
+
+pub use client::TcpApiClient;
+pub use http::{HttpError, HttpRequest, RequestParser, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use server::{NetConfig, NetServer, NetStats};

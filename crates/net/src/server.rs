@@ -1,0 +1,387 @@
+//! The TCP/HTTP front end: bounded acceptor + connection worker pool around
+//! a [`SimulationServer`].
+//!
+//! Architecture (the Rust stand-in for the paper's Undertow deployment,
+//! §III/§IV-A, now over real sockets):
+//!
+//! * an **acceptor thread** owns the listener and hands accepted
+//!   connections to a *bounded* queue — when every worker is busy and the
+//!   queue is full the connection is answered `503` and closed instead of
+//!   queueing unboundedly;
+//! * **connection workers** each drive one connection at a time with
+//!   blocking I/O: incremental request framing ([`RequestParser`]),
+//!   keep-alive and pipelining, `POST /api` dispatched into
+//!   [`SimulationServer::handle_raw`] — the response body is the server's
+//!   shared [`bytes::Bytes`] payload written straight to the socket, so a
+//!   cached `GetState` is served with zero copies end to end;
+//! * a **housekeeping thread** ticks periodically and runs the
+//!   idle-session sweep ([`SimulationServer::evict_idle`]);
+//! * `GET /metrics` exposes front-end counters and session-store gauges,
+//!   `GET /healthz` answers `ok`.
+//!
+//! Shutdown is graceful: in-flight requests finish, idle keep-alive
+//! connections are closed at the next read-timeout tick, and every thread is
+//! joined before [`NetServer::shutdown`] returns.
+
+use crate::http::{write_response_head, HttpError, HttpRequest, RequestParser};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use rvsim_server::SimulationServer;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Configuration of the network front end.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Address to bind (`127.0.0.1:0` picks a free loopback port).
+    pub addr: String,
+    /// Connection workers: each owns one live connection at a time, so this
+    /// bounds concurrent connections (keep-alive clients hold a worker).
+    pub connection_workers: usize,
+    /// Accepted connections that may wait for a worker before the acceptor
+    /// starts answering `503 Service Unavailable`.
+    pub pending_connections: usize,
+    /// Housekeeping tick period (idle-session eviction).
+    pub housekeeping_interval: Duration,
+    /// Socket read timeout: bounds how long a worker sleeps in `read`
+    /// before re-checking the shutdown flag.
+    pub read_timeout: Duration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            addr: "127.0.0.1:0".to_string(),
+            connection_workers: 64,
+            pending_connections: 128,
+            housekeeping_interval: Duration::from_secs(1),
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Monotonic front-end counters served by `GET /metrics`.
+#[derive(Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted and queued for a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections answered `503` because the pool and queue were full.
+    pub connections_rejected: AtomicU64,
+    /// Requests answered (any status).
+    pub requests_served: AtomicU64,
+    /// Requests rejected at the HTTP layer (4xx/5xx framing errors).
+    pub http_errors: AtomicU64,
+}
+
+/// A running network front end.  Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the acceptor, the workers and the
+/// housekeeper and joins their threads.
+pub struct NetServer {
+    server: Arc<SimulationServer>,
+    stats: Arc<NetStats>,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind `config.addr` and start the front end around `server`.
+    pub fn start(server: SimulationServer, config: NetConfig) -> std::io::Result<NetServer> {
+        Self::start_shared(Arc::new(server), config)
+    }
+
+    /// [`start`](Self::start) with an externally shared server.
+    pub fn start_shared(
+        server: Arc<SimulationServer>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(NetStats::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let (tx, rx) = bounded::<TcpStream>(config.pending_connections.max(1));
+
+        let mut threads = Vec::new();
+        threads.push(spawn_acceptor(listener, tx, Arc::clone(&stats), Arc::clone(&shutdown)));
+        for _ in 0..config.connection_workers.max(1) {
+            threads.push(spawn_worker(
+                rx.clone(),
+                Arc::clone(&server),
+                Arc::clone(&stats),
+                Arc::clone(&shutdown),
+                config.read_timeout,
+                started,
+            ));
+        }
+        drop(rx);
+        threads.push(spawn_housekeeper(
+            Arc::clone(&server),
+            Arc::clone(&shutdown),
+            config.housekeeping_interval,
+        ));
+
+        Ok(NetServer { server, stats, addr, shutdown, threads })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The simulation server behind the front end.
+    pub fn server(&self) -> &Arc<SimulationServer> {
+        &self.server
+    }
+
+    /// Front-end counters.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Stop accepting, finish in-flight requests, close connections and
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn spawn_acceptor(
+    listener: TcpListener,
+    tx: Sender<TcpStream>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !shutdown.load(Ordering::Acquire) {
+            match listener.accept() {
+                Ok((stream, _peer)) => match tx.try_send(stream) {
+                    Ok(()) => {
+                        stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(TrySendError::Full(stream)) => {
+                        stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
+                        reject_overloaded(stream);
+                    }
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Err(_) => {
+                    // Transient accept errors (aborted handshakes etc.):
+                    // keep accepting.
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            }
+        }
+    })
+}
+
+/// Best-effort `503` on a connection there is no worker capacity for.
+fn reject_overloaded(mut stream: TcpStream) {
+    let body = b"server overloaded, retry\n";
+    let mut out = Vec::with_capacity(128);
+    write_response_head(&mut out, 503, "Service Unavailable", "text/plain", body.len(), false);
+    out.extend_from_slice(body);
+    let _ = stream.write_all(&out);
+}
+
+fn spawn_worker(
+    rx: Receiver<TcpStream>,
+    server: Arc<SimulationServer>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    read_timeout: Duration,
+    started: Instant,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(stream) => {
+                handle_connection(stream, &server, &stats, &shutdown, read_timeout, started);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    })
+}
+
+fn spawn_housekeeper(
+    server: Arc<SimulationServer>,
+    shutdown: Arc<AtomicBool>,
+    interval: Duration,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut last_sweep = Instant::now();
+        while !shutdown.load(Ordering::Acquire) {
+            // Sleep in short slices so shutdown is prompt even with a long
+            // housekeeping interval.
+            std::thread::sleep(Duration::from_millis(10).min(interval));
+            if last_sweep.elapsed() >= interval {
+                server.evict_idle();
+                last_sweep = Instant::now();
+            }
+        }
+    })
+}
+
+/// Drive one connection to completion: read, frame, dispatch, write, repeat
+/// while keep-alive holds.
+fn handle_connection(
+    mut stream: TcpStream,
+    server: &SimulationServer,
+    stats: &NetStats,
+    shutdown: &AtomicBool,
+    read_timeout: Duration,
+    started: Instant,
+) {
+    // On BSD-family kernels an accepted socket inherits the listener's
+    // O_NONBLOCK; this loop is written for blocking reads paced by the
+    // read timeout, so restore blocking mode explicitly.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    let mut parser = RequestParser::new();
+    let mut read_buf = vec![0u8; 16 * 1024];
+    let mut head_buf = Vec::with_capacity(256);
+
+    loop {
+        // Drain every request already buffered (pipelining) before reading.
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => {
+                    stats.requests_served.fetch_add(1, Ordering::Relaxed);
+                    let keep_alive =
+                        respond(&mut stream, &request, server, stats, started, &mut head_buf);
+                    if !(keep_alive && request.keep_alive) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(error) => {
+                    stats.http_errors.fetch_add(1, Ordering::Relaxed);
+                    respond_error(&mut stream, &error, &mut head_buf);
+                    return;
+                }
+            }
+        }
+        match stream.read(&mut read_buf) {
+            Ok(0) => return, // peer closed
+            Ok(n) => parser.feed(&read_buf[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                if shutdown.load(Ordering::Acquire) {
+                    return; // close idle keep-alive connections on shutdown
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Answer one request.  Returns whether the connection may stay open.
+fn respond(
+    stream: &mut TcpStream,
+    request: &HttpRequest,
+    server: &SimulationServer,
+    stats: &NetStats,
+    started: Instant,
+    head: &mut Vec<u8>,
+) -> bool {
+    head.clear();
+    let keep_alive = request.keep_alive;
+    let ok = match (request.method.as_str(), request.target.as_str()) {
+        ("POST", "/api") => {
+            // The protocol hot path: the response body is the server's
+            // shared payload handle, written to the socket without copying.
+            let payload = server.handle_raw(&request.body);
+            write_response_head(
+                head,
+                200,
+                "OK",
+                "application/x-rvsim-payload",
+                payload.len(),
+                keep_alive,
+            );
+            stream.write_all(head).and_then(|()| stream.write_all(&payload))
+        }
+        ("GET", "/healthz") => {
+            let body = b"ok\n";
+            write_response_head(head, 200, "OK", "text/plain", body.len(), keep_alive);
+            stream.write_all(head).and_then(|()| stream.write_all(body))
+        }
+        ("GET", "/metrics") => {
+            let body = render_metrics(server, stats, started);
+            write_response_head(head, 200, "OK", "text/plain", body.len(), keep_alive);
+            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
+        }
+        ("POST", _) | ("GET", _) => {
+            let body = format!("no such endpoint: {}\n", request.target);
+            write_response_head(head, 404, "Not Found", "text/plain", body.len(), keep_alive);
+            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
+        }
+        (method, _) => {
+            let body = format!("method {method} not allowed\n");
+            write_response_head(
+                head,
+                405,
+                "Method Not Allowed",
+                "text/plain",
+                body.len(),
+                keep_alive,
+            );
+            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
+        }
+    };
+    ok.is_ok()
+}
+
+fn respond_error(stream: &mut TcpStream, error: &HttpError, head: &mut Vec<u8>) {
+    head.clear();
+    let body = format!("{}\n", error.detail);
+    write_response_head(head, error.status, error.reason, "text/plain", body.len(), false);
+    let _ = stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()));
+}
+
+/// Plain-text metrics: front-end counters plus session-store gauges.
+fn render_metrics(server: &SimulationServer, stats: &NetStats, started: Instant) -> String {
+    format!(
+        "rvsim_uptime_seconds {}\n\
+         rvsim_connections_accepted_total {}\n\
+         rvsim_connections_rejected_total {}\n\
+         rvsim_http_requests_total {}\n\
+         rvsim_http_errors_total {}\n\
+         rvsim_sessions_live {}\n\
+         rvsim_sessions_evicted_total {}\n",
+        started.elapsed().as_secs(),
+        stats.connections_accepted.load(Ordering::Relaxed),
+        stats.connections_rejected.load(Ordering::Relaxed),
+        stats.requests_served.load(Ordering::Relaxed),
+        stats.http_errors.load(Ordering::Relaxed),
+        server.session_count(),
+        server.evicted_session_count(),
+    )
+}

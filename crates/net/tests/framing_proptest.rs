@@ -1,0 +1,80 @@
+//! Chunk-boundary property test for the incremental HTTP parser: a valid
+//! pipelined request stream must parse to the identical request sequence no
+//! matter how it is split into `feed` chunks — the defining property of
+//! incremental framing over a TCP socket, where the kernel hands the server
+//! arbitrary byte windows.
+
+use proptest::prelude::*;
+use rvsim_net::{HttpRequest, RequestParser};
+
+/// A generated request: method/target/body/connection choices that cover
+/// every framing shape the server sees.
+fn arbitrary_request() -> impl Strategy<Value = Vec<u8>> {
+    let body = proptest::collection::vec(any::<u8>(), 0..200);
+    (0u8..4, body, any::<bool>(), any::<bool>()).prop_map(|(kind, body, close, bare_lf)| {
+        let eol = if bare_lf { "\n" } else { "\r\n" };
+        let connection = if close { format!("connection: close{eol}") } else { String::new() };
+        match kind {
+            0 => format!("GET /metrics HTTP/1.1{eol}{connection}{eol}").into_bytes(),
+            1 => format!("GET /healthz HTTP/1.1{eol}x-extra: padding{eol}{connection}{eol}")
+                .into_bytes(),
+            _ => {
+                let mut head = format!(
+                    "POST /api HTTP/1.1{eol}content-length: {}{eol}{connection}{eol}",
+                    body.len()
+                )
+                .into_bytes();
+                head.extend_from_slice(&body);
+                head
+            }
+        }
+    })
+}
+
+fn parse_stream(chunks: &[&[u8]]) -> Vec<HttpRequest> {
+    let mut parser = RequestParser::new();
+    let mut requests = Vec::new();
+    for chunk in chunks {
+        parser.feed(chunk);
+        while let Some(request) = parser.next_request().expect("valid stream must parse") {
+            requests.push(request);
+        }
+    }
+    assert_eq!(parser.buffered(), 0, "a complete stream leaves no residue");
+    requests
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn any_chunk_split_parses_identically_to_the_unsplit_stream(
+        requests in proptest::collection::vec(arbitrary_request(), 1..6),
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let stream: Vec<u8> = requests.concat();
+        let whole = parse_stream(&[&stream]);
+        prop_assert_eq!(whole.len(), requests.len());
+
+        // Split the same bytes at arbitrary boundaries (duplicates and
+        // out-of-order cut points collapse into sorted unique offsets).
+        let mut offsets: Vec<usize> = cuts.iter().map(|ix| ix % (stream.len() + 1)).collect();
+        offsets.push(0);
+        offsets.push(stream.len());
+        offsets.sort_unstable();
+        offsets.dedup();
+        let chunks: Vec<&[u8]> =
+            offsets.windows(2).map(|w| &stream[w[0]..w[1]]).collect();
+        let split = parse_stream(&chunks);
+        prop_assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_unsplit(requests in proptest::collection::vec(arbitrary_request(), 1..4)) {
+        let stream: Vec<u8> = requests.concat();
+        let whole = parse_stream(&[&stream]);
+        let bytes: Vec<&[u8]> = stream.chunks(1).collect();
+        let split = parse_stream(&bytes);
+        prop_assert_eq!(split, whole);
+    }
+}

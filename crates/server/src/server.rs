@@ -1,14 +1,16 @@
 //! Session management and request dispatch.
 
 use crate::protocol::{Request, Response};
-use parking_lot::Mutex;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
 use rvsim_asm::filter_assembly;
 use rvsim_cc::OptLevel;
 use rvsim_compress::Compressor;
 use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator, SnapshotBuffer, SnapshotDelta};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// How the server emulates its deployment (§IV-A, Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +35,11 @@ pub struct DeploymentConfig {
     pub compress_responses: bool,
     /// Number of worker threads in the threaded front end.
     pub worker_threads: usize,
+    /// Sessions untouched for this many seconds become eligible for the
+    /// idle sweep ([`SimulationServer::evict_idle`], invoked from the
+    /// network front end's housekeeping tick).  `None` disables eviction —
+    /// sessions then live until their client destroys them.
+    pub idle_session_ttl_seconds: Option<u64>,
 }
 
 impl Default for DeploymentConfig {
@@ -41,6 +48,7 @@ impl Default for DeploymentConfig {
             mode: DeploymentMode::Direct,
             compress_responses: true,
             worker_threads: 4,
+            idle_session_ttl_seconds: None,
         }
     }
 }
@@ -54,8 +62,11 @@ struct ServeCache {
     buffer: SnapshotBuffer,
     /// Reusable LZSS compressor (hash chains persist across requests).
     compressor: Compressor,
-    /// Encoded payload (flag byte + bytes) of the last `GetState` answer.
-    encoded: Vec<u8>,
+    /// Encoded payload (flag byte + bytes) of the last `GetState` answer,
+    /// held as a shared [`Bytes`] handle: serving the cache is an atomic
+    /// reference bump, not a buffer copy.  When every consumer has dropped
+    /// its handle the allocation is reclaimed for the next refresh.
+    encoded: Bytes,
     /// Cycle `encoded` was rendered at.  Simulation is deterministic, so an
     /// unchanged cycle implies unchanged state and the cached bytes are
     /// returned without re-capturing anything.
@@ -67,6 +78,33 @@ struct ServeCache {
 struct Session {
     simulator: Simulator,
     serve: ServeCache,
+}
+
+/// A stored session: the individually-locked simulator state plus an
+/// idle-tracking timestamp that is updated *outside* the session lock, so
+/// the eviction sweep can age sessions without contending with requests.
+struct SessionSlot {
+    /// Milliseconds (since server start) of the last request that looked
+    /// this session up.
+    last_touched_ms: AtomicU64,
+    session: Mutex<Session>,
+}
+
+/// Number of shards in the session store.  Power of two; sixteen shards keep
+/// the per-shard lock essentially uncontended at the worker-pool sizes the
+/// paper's deployment uses while costing a few hundred bytes of memory.
+const SESSION_SHARDS: usize = 16;
+
+/// One shard of the session store.
+type SessionShard = RwLock<HashMap<u64, Arc<SessionSlot>>>;
+
+/// Spread sequential session ids across shards (splitmix-style multiply,
+/// taking exactly the top `log2(SESSION_SHARDS)` bits so the constant stays
+/// genuinely tunable), so a burst of freshly created sessions does not
+/// serialize on one shard.
+fn shard_index(id: u64) -> usize {
+    (id.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (64 - SESSION_SHARDS.trailing_zeros())) as usize
+        & (SESSION_SHARDS - 1)
 }
 
 /// Answer a `GetStateDelta` request against `session`'s stored base: a real
@@ -89,14 +127,31 @@ fn state_delta_response(session: &mut Session, since_cycle: u64) -> Response {
     }
 }
 
-/// The simulation server: a set of sessions plus request dispatch.
+/// The simulation server: a sharded set of sessions plus request dispatch.
 ///
-/// The server is cheap to share (`Arc<SimulationServer>`); each session is
-/// individually locked so concurrent users do not serialize on one another.
+/// The server is cheap to share (`Arc<SimulationServer>`).  The session map
+/// is split across [`SESSION_SHARDS`] reader-writer locks keyed by a hash of
+/// the session id: lookups (the per-request path) take one shard's read
+/// lock, creation/deletion take one shard's write lock, and no operation —
+/// including [`session_count`](Self::session_count) — ever locks the whole
+/// store.  Each session is additionally individually locked so concurrent
+/// users do not serialize on one another.
 pub struct SimulationServer {
     config: DeploymentConfig,
-    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
+    shards: Box<[SessionShard]>,
+    /// Live-session count, maintained on insert/remove: reading it is a
+    /// single atomic load that cannot stall (or be stalled by) requests
+    /// in flight on any shard.
+    session_count: AtomicUsize,
+    /// Sessions dropped by the idle sweep over the server's lifetime.
+    evicted_sessions: AtomicU64,
     next_session: AtomicU64,
+    /// Epoch for the per-session idle timestamps.
+    started: Instant,
+    /// Test-only virtual clock advance, added to the wall clock so eviction
+    /// tests age sessions deterministically instead of sleeping.
+    #[cfg(test)]
+    clock_skew_ms: AtomicU64,
 }
 
 impl SimulationServer {
@@ -104,8 +159,13 @@ impl SimulationServer {
     pub fn new(config: DeploymentConfig) -> Self {
         SimulationServer {
             config,
-            sessions: Mutex::new(HashMap::new()),
+            shards: (0..SESSION_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+            session_count: AtomicUsize::new(0),
+            evicted_sessions: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
+            started: Instant::now(),
+            #[cfg(test)]
+            clock_skew_ms: AtomicU64::new(0),
         }
     }
 
@@ -119,13 +179,93 @@ impl SimulationServer {
         self.config
     }
 
-    /// Number of live sessions.
+    /// Number of live sessions (a single atomic load — never blocks on, or
+    /// is blocked by, requests in flight on any shard).
     pub fn session_count(&self) -> usize {
-        self.sessions.lock().len()
+        self.session_count.load(Ordering::Acquire)
     }
 
-    fn session(&self, id: u64) -> Option<Arc<Mutex<Session>>> {
-        self.sessions.lock().get(&id).cloned()
+    /// Sessions dropped by the idle sweep over the server's lifetime.
+    pub fn evicted_session_count(&self) -> u64 {
+        self.evicted_sessions.load(Ordering::Relaxed)
+    }
+
+    fn now_ms(&self) -> u64 {
+        let wall = self.started.elapsed().as_millis() as u64;
+        #[cfg(test)]
+        let wall = wall + self.clock_skew_ms.load(Ordering::Relaxed);
+        wall
+    }
+
+    /// Advance the idle-tracking clock without sleeping (tests only).
+    #[cfg(test)]
+    fn advance_clock(&self, ms: u64) {
+        self.clock_skew_ms.fetch_add(ms, Ordering::Relaxed);
+    }
+
+    fn session(&self, id: u64) -> Option<Arc<SessionSlot>> {
+        let slot = self.shards[shard_index(id)].read().get(&id).cloned()?;
+        slot.last_touched_ms.store(self.now_ms(), Ordering::Relaxed);
+        Some(slot)
+    }
+
+    /// Remove session `id`.  Returns whether it existed.
+    fn remove_session(&self, id: u64) -> bool {
+        let removed = self.shards[shard_index(id)].write().remove(&id).is_some();
+        if removed {
+            self.session_count.fetch_sub(1, Ordering::AcqRel);
+        }
+        removed
+    }
+
+    /// Drop sessions whose last request is older than `ttl`.  Returns how
+    /// many were evicted.  A session whose lock is currently held (a request
+    /// is mid-flight on it) is never evicted, and the idle timestamp is
+    /// re-checked under the shard's write lock so a lookup racing with the
+    /// sweep keeps its session.  Lock scope stays per-shard: a sweep never
+    /// stops the world.
+    pub fn evict_idle_older_than(&self, ttl: Duration) -> usize {
+        // Before `ttl` has elapsed since server start nothing can be older
+        // than the cutoff (checked_sub, not saturating: a cutoff clamped to
+        // zero would evict sessions created at millisecond zero).
+        let Some(cutoff) = self.now_ms().checked_sub(ttl.as_millis() as u64) else {
+            return 0;
+        };
+        let mut evicted = 0;
+        for shard in self.shards.iter() {
+            let stale: Vec<u64> = shard
+                .read()
+                .iter()
+                .filter(|(_, slot)| slot.last_touched_ms.load(Ordering::Relaxed) <= cutoff)
+                .map(|(&id, _)| id)
+                .collect();
+            if stale.is_empty() {
+                continue;
+            }
+            let mut guard = shard.write();
+            for id in stale {
+                let still_idle = guard.get(&id).is_some_and(|slot| {
+                    slot.last_touched_ms.load(Ordering::Relaxed) <= cutoff
+                        && slot.session.try_lock().is_some()
+                });
+                if still_idle && guard.remove(&id).is_some() {
+                    self.session_count.fetch_sub(1, Ordering::AcqRel);
+                    evicted += 1;
+                }
+            }
+        }
+        self.evicted_sessions.fetch_add(evicted as u64, Ordering::Relaxed);
+        evicted
+    }
+
+    /// Run the idle sweep with the TTL from the deployment configuration
+    /// (no-op when eviction is disabled).  The network front end calls this
+    /// from its housekeeping tick.
+    pub fn evict_idle(&self) -> usize {
+        match self.config.idle_session_ttl_seconds {
+            Some(ttl) => self.evict_idle_older_than(Duration::from_secs(ttl)),
+            None => 0,
+        }
     }
 
     /// Handle one decoded request.
@@ -190,7 +330,7 @@ impl SimulationServer {
                 self.with_session(session, |s| Response::Stats(Box::new(s.simulator.statistics())))
             }
             Request::DestroySession { session } => {
-                if self.sessions.lock().remove(&session).is_some() {
+                if self.remove_session(session) {
                     Response::Destroyed
                 } else {
                     Response::error(format!("unknown session {session}"))
@@ -203,12 +343,12 @@ impl SimulationServer {
     /// produces, but compressed through the session's reusable
     /// [`Compressor`] instead of a one-shot hash-table allocation per
     /// response.
-    fn serve_delta_raw(&self, id: u64, since_cycle: u64) -> Vec<u8> {
+    fn serve_delta_raw(&self, id: u64, since_cycle: u64) -> Bytes {
         self.apply_deployment_overhead();
-        let Some(session) = self.session(id) else {
+        let Some(slot) = self.session(id) else {
             return self.encode_response(&Response::error(format!("unknown session {id}")));
         };
-        let mut guard = session.lock();
+        let mut guard = slot.session.lock();
         let response = state_delta_response(&mut guard, since_cycle);
         let json = serde_json::to_vec(&response).expect("responses serialize");
         let mut out = Vec::with_capacity(json.len() / 2 + 8);
@@ -219,7 +359,7 @@ impl SimulationServer {
             out.push(0u8);
             out.extend_from_slice(&json);
         }
-        out
+        Bytes::from(out)
     }
 
     fn create_session(
@@ -231,8 +371,12 @@ impl SimulationServer {
         match Simulator::from_assembly(program, config) {
             Ok(simulator) => {
                 let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-                let session = Session { simulator, serve: ServeCache::default() };
-                self.sessions.lock().insert(id, Arc::new(Mutex::new(session)));
+                let slot = SessionSlot {
+                    last_touched_ms: AtomicU64::new(self.now_ms()),
+                    session: Mutex::new(Session { simulator, serve: ServeCache::default() }),
+                };
+                self.shards[shard_index(id)].write().insert(id, Arc::new(slot));
+                self.session_count.fetch_add(1, Ordering::AcqRel);
                 Response::SessionCreated { session: id }
             }
             Err(e) => Response::error(e),
@@ -241,8 +385,8 @@ impl SimulationServer {
 
     fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Response) -> Response {
         match self.session(id) {
-            Some(session) => {
-                let mut guard = session.lock();
+            Some(slot) => {
+                let mut guard = slot.session.lock();
                 f(&mut guard)
             }
             None => Response::error(format!("unknown session {id}")),
@@ -251,19 +395,19 @@ impl SimulationServer {
 
     /// Encode a response: JSON, optionally compressed.  The first byte of the
     /// payload is a flag: 0 = plain JSON, 1 = LZSS-compressed JSON.
-    pub fn encode_response(&self, response: &Response) -> Vec<u8> {
+    pub fn encode_response(&self, response: &Response) -> Bytes {
         let json = serde_json::to_vec(response).expect("responses serialize");
         if self.config.compress_responses {
             let compressed = rvsim_compress::compress(&json);
             let mut out = Vec::with_capacity(compressed.len() + 1);
             out.push(1u8);
             out.extend_from_slice(&compressed);
-            out
+            Bytes::from(out)
         } else {
             let mut out = Vec::with_capacity(json.len() + 1);
             out.push(0u8);
             out.extend_from_slice(&json);
-            out
+            Bytes::from(out)
         }
     }
 
@@ -288,8 +432,10 @@ impl SimulationServer {
     /// (decode, simulate, encode, compress).  `GetState` takes the
     /// allocation-free serve path: the snapshot renders directly into the
     /// session's reusable buffers, and an unchanged cycle returns the cached
-    /// encoded payload without re-capturing anything.
-    pub fn handle_raw(&self, request_json: &[u8]) -> Vec<u8> {
+    /// encoded payload without re-capturing anything.  The returned
+    /// [`Bytes`] handle shares the cache's buffer — transports write it to
+    /// the wire without ever copying the payload.
+    pub fn handle_raw(&self, request_json: &[u8]) -> Bytes {
         match serde_json::from_slice::<Request>(request_json) {
             Ok(Request::GetState { session }) => self.serve_state_raw(session),
             Ok(Request::GetStateDelta { session, since_cycle }) => {
@@ -305,30 +451,42 @@ impl SimulationServer {
     /// it with the session's reusable [`Compressor`], and cache the encoded
     /// bytes keyed by cycle.  Byte-identical to the generic
     /// `encode_response(&handle(GetState))` path (golden-tested).
-    fn serve_state_raw(&self, id: u64) -> Vec<u8> {
+    fn serve_state_raw(&self, id: u64) -> Bytes {
         self.apply_deployment_overhead();
-        let Some(session) = self.session(id) else {
+        let Some(slot) = self.session(id) else {
             return self.encode_response(&Response::error(format!("unknown session {id}")));
         };
-        let mut guard = session.lock();
+        let mut guard = slot.session.lock();
         let Session { simulator, serve } = &mut *guard;
         let cycle = simulator.cycle();
         if serve.encoded_cycle != Some(cycle) {
             serve.buffer.render_state_response(simulator);
-            serve.encoded.clear();
+            // Reclaim the previous payload's allocation when every consumer
+            // has dropped its handle (the steady state once responses have
+            // been written to the wire); fall back to a fresh buffer while
+            // clones are still alive.
+            let mut out = match std::mem::take(&mut serve.encoded).try_into_vec() {
+                Ok(mut vec) => {
+                    vec.clear();
+                    vec
+                }
+                Err(_) => Vec::new(),
+            };
             if self.config.compress_responses {
-                serve.encoded.push(1u8);
-                serve.compressor.compress_into(serve.buffer.bytes(), &mut serve.encoded);
+                out.push(1u8);
+                serve.compressor.compress_into(serve.buffer.bytes(), &mut out);
             } else {
-                serve.encoded.push(0u8);
-                serve.encoded.extend_from_slice(serve.buffer.bytes());
+                out.push(0u8);
+                out.extend_from_slice(serve.buffer.bytes());
             }
+            serve.encoded = Bytes::from(out);
             serve.encoded_cycle = Some(cycle);
         }
         // The raw path serves full snapshots; a client that later asks for a
         // delta against this cycle must get one, so the base must exist.
         // Capturing it structurally would defeat the fast path: instead the
         // delta handler falls back to a full snapshot when no base matches.
+        // Serving the cache is a reference bump on the shared buffer.
         serve.encoded.clone()
     }
 
@@ -364,6 +522,7 @@ loop:
             mode: DeploymentMode::Direct,
             compress_responses: false,
             worker_threads: 1,
+            idle_session_ttl_seconds: None,
         })
     }
 
@@ -467,6 +626,7 @@ loop:
                 mode: DeploymentMode::Direct,
                 compress_responses: compress,
                 worker_threads: 1,
+                idle_session_ttl_seconds: None,
             });
             let id = create(&server);
             let request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
@@ -494,6 +654,7 @@ loop:
             mode: DeploymentMode::Containerized { request_overhead_us: 200 },
             compress_responses: false,
             worker_threads: 1,
+            idle_session_ttl_seconds: None,
         });
         let id_d = create(&direct);
         let id_c = create(&container);
@@ -523,6 +684,7 @@ loop:
                 mode: DeploymentMode::Direct,
                 compress_responses: compress,
                 worker_threads: 1,
+                idle_session_ttl_seconds: None,
             });
             let id = create(&server);
             let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
@@ -620,6 +782,7 @@ loop:
             mode: DeploymentMode::Direct,
             compress_responses: true,
             worker_threads: 1,
+            idle_session_ttl_seconds: None,
         });
         let plain_server = server();
         let id_c = create(&compressed_server);
@@ -636,5 +799,138 @@ loop:
             compressed.len(),
             plain.len()
         );
+    }
+
+    #[test]
+    fn cached_get_state_is_served_zero_copy() {
+        // Repeated `GetState` at an unchanged cycle must hand out the SAME
+        // buffer (pointer identity), not an equal copy: the cached payload
+        // is a shared `Bytes` handle and serving it is a reference bump.
+        for compress in [false, true] {
+            let server = SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: compress,
+                worker_threads: 1,
+                idle_session_ttl_seconds: None,
+            });
+            let id = create(&server);
+            server.handle(Request::Step { session: id, cycles: 7 });
+            let request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+            let first = server.handle_raw(&request);
+            let second = server.handle_raw(&request);
+            let third = server.handle_raw(&request);
+            assert_eq!(
+                first.as_ptr(),
+                second.as_ptr(),
+                "same-cycle GetState must serve the identical buffer (compress={compress})"
+            );
+            assert_eq!(second.as_ptr(), third.as_ptr());
+            // Advancing the cycle refreshes the payload; dropping our handles
+            // first lets the refresh reclaim the very same allocation, but
+            // either way the bytes change.
+            server.handle(Request::Step { session: id, cycles: 1 });
+            drop((first, second));
+            let fourth = server.handle_raw(&request);
+            assert_ne!(&third[..], &fourth[..], "new cycle must re-render");
+        }
+    }
+
+    #[test]
+    fn payload_buffer_is_reclaimed_once_clients_drop_their_handles() {
+        let server = server();
+        let id = create(&server);
+        let request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let payload = server.handle_raw(&request);
+        // Two live handles (ours + the cache): not reclaimable.
+        assert!(payload.clone().try_into_vec().is_err());
+        // The cache's handle is the only survivor after a refresh renders a
+        // new payload; our dropped clone lets try_into_vec succeed then.
+        let solo = Bytes::from(payload.to_vec());
+        assert!(solo.try_into_vec().is_ok());
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_after_ttl() {
+        let server = SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::Direct,
+            compress_responses: false,
+            worker_threads: 1,
+            idle_session_ttl_seconds: Some(3600),
+        });
+        let stale = create(&server);
+        let fresh = create(&server);
+        assert_eq!(server.session_count(), 2);
+
+        // Nothing is an hour old: the configured sweep keeps both.
+        assert_eq!(server.evict_idle(), 0);
+        assert_eq!(server.session_count(), 2);
+
+        // Age both sessions past an explicit 1-hour TTL on the virtual
+        // clock, then touch the fresh one: only the untouched session is
+        // older than the cutoff.
+        server.advance_clock(2 * 3600 * 1000);
+        server.handle(Request::Step { session: fresh, cycles: 1 });
+        let evicted = server.evict_idle_older_than(Duration::from_secs(3600));
+        assert_eq!(evicted, 1, "exactly the untouched session is swept");
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(server.evicted_session_count(), 1);
+        assert!(server.handle(Request::Step { session: stale, cycles: 1 }).is_error());
+        assert!(!server.handle(Request::Step { session: fresh, cycles: 1 }).is_error());
+
+        // A zero TTL sweeps everything that is not mid-request.
+        assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        assert_eq!(server.session_count(), 0);
+        assert_eq!(server.evicted_session_count(), 2);
+    }
+
+    #[test]
+    fn session_count_stays_consistent_under_concurrent_create_and_destroy() {
+        // The count is shard-aware bookkeeping (one atomic), so concurrent
+        // creates/destroys across shards must never lose or double-count.
+        let server = Arc::new(server());
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let server = Arc::clone(&server);
+            threads.push(std::thread::spawn(move || {
+                let mut kept = 0usize;
+                for round in 0..20 {
+                    let id = match server.handle(Request::CreateSession {
+                        program: PROGRAM.into(),
+                        architecture: None,
+                        entry: None,
+                    }) {
+                        Response::SessionCreated { session } => session,
+                        other => panic!("unexpected {other:?}"),
+                    };
+                    if round % 2 == 0 {
+                        assert_eq!(
+                            server.handle(Request::DestroySession { session: id }),
+                            Response::Destroyed
+                        );
+                    } else {
+                        kept += 1;
+                    }
+                }
+                kept
+            }));
+        }
+        let kept: usize = threads.into_iter().map(|t| t.join().unwrap()).sum();
+        assert_eq!(server.session_count(), kept);
+        // Destroying a session twice fails the second time and does not
+        // corrupt the count.
+        let id = create(&server);
+        assert_eq!(server.handle(Request::DestroySession { session: id }), Response::Destroyed);
+        assert!(server.handle(Request::DestroySession { session: id }).is_error());
+        assert_eq!(server.session_count(), kept);
+    }
+
+    #[test]
+    fn session_ids_spread_across_shards() {
+        let mut used = std::collections::HashSet::new();
+        for id in 1..=64u64 {
+            used.insert(shard_index(id));
+        }
+        assert!(used.len() > SESSION_SHARDS / 2, "ids clump into {} shards", used.len());
+        assert!(used.iter().all(|&s| s < SESSION_SHARDS));
     }
 }

@@ -7,13 +7,16 @@
 
 use crate::protocol::{Request, Response};
 use crate::server::SimulationServer;
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 struct Job {
     payload: Vec<u8>,
-    reply: Sender<Vec<u8>>,
+    /// Replies carry the server's shared payload handle — a cached
+    /// `GetState` flows from the serve cache to the client without a copy.
+    reply: Sender<Bytes>,
 }
 
 /// What flows to the workers: a job, or an order to exit.  The explicit
@@ -132,6 +135,7 @@ loop:
             mode: DeploymentMode::Direct,
             compress_responses: true,
             worker_threads: workers,
+            idle_session_ttl_seconds: None,
         }))
     }
 

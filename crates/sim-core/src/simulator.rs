@@ -362,12 +362,6 @@ impl Simulator {
         self.in_flight.get(id)
     }
 
-    /// Reorder-buffer contents in program order, as an owned list
-    /// (convenience over the allocation-free [`Self::rob_ids`]).
-    pub fn rob_contents(&self) -> Vec<InstrId> {
-        self.rob_ids().collect()
-    }
-
     /// Reorder-buffer ids in program order, without allocating.
     pub fn rob_ids(&self) -> impl Iterator<Item = InstrId> + '_ {
         self.rob.iter()

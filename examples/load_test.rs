@@ -20,6 +20,7 @@ fn server(mode: DeploymentMode, compress: bool) -> ThreadedServer {
         mode,
         compress_responses: compress,
         worker_threads: 4,
+        idle_session_ttl_seconds: None,
     }))
 }
 

@@ -20,6 +20,7 @@
 //! | [`cc`] | `rvsim-cc` | C-subset compiler with `-O0..-O3` |
 //! | [`compress`] | `rvsim-compress` | LZSS payload compression (gzip stand-in) |
 //! | [`server`] | `rvsim-server` | session server with a JSON request/response API |
+//! | [`net`] | `rvsim-net` | HTTP/1.1 network front end over TCP (keep-alive, metrics) |
 //! | [`loadgen`] | `rvsim-loadgen` | closed-loop load generator (JMeter stand-in) |
 //!
 //! ## Quickstart
@@ -50,6 +51,7 @@ pub use rvsim_isa as isa;
 pub use rvsim_iss as iss;
 pub use rvsim_loadgen as loadgen;
 pub use rvsim_mem as mem;
+pub use rvsim_net as net;
 pub use rvsim_predictor as predictor;
 pub use rvsim_server as server;
 
@@ -63,8 +65,9 @@ pub mod prelude {
     };
     pub use rvsim_isa::{InstructionSet, RegisterId};
     pub use rvsim_iss::{generate_program, Cosim, CosimOutcome, GenOptions, Iss};
-    pub use rvsim_loadgen::{run_load_test, LoadTestReport, Scenario};
+    pub use rvsim_loadgen::{run_load_test, run_load_test_tcp, LoadTestReport, Scenario};
     pub use rvsim_mem::{ArrayFill, CacheConfig, MemoryArray, MemorySettings, ScalarType};
+    pub use rvsim_net::{NetConfig, NetServer, TcpApiClient};
     pub use rvsim_predictor::{BranchPredictorConfig, CounterState, HistoryKind, PredictorKind};
     pub use rvsim_server::{
         DeploymentConfig, DeploymentMode, Request, Response, SimulationServer, ThreadedServer,

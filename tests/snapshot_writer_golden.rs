@@ -67,6 +67,7 @@ fn raw_state_payload_matches_generic_encode_for_every_preset() {
                 mode: DeploymentMode::Direct,
                 compress_responses: compress,
                 worker_threads: 1,
+                idle_session_ttl_seconds: None,
             });
             let id = match server.handle(Request::CreateSession {
                 program: PROGRAM.into(),

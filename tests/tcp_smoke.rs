@@ -1,0 +1,56 @@
+//! Loopback TCP smoke test — the workspace-level analogue of the CI job:
+//! start the network front end, run a short `loadgen --tcp` burst, assert
+//! zero errors, check the metrics endpoint, shut down cleanly.  Skips
+//! gracefully when the sandbox forbids loopback sockets.
+
+use riscv_superscalar_sim::prelude::*;
+use std::io::{Read, Write};
+
+#[test]
+fn tcp_front_end_survives_a_loadgen_burst_with_zero_errors() {
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping TCP smoke test: loopback sockets unavailable");
+        return;
+    }
+
+    let deployment = DeploymentConfig {
+        mode: DeploymentMode::Direct,
+        compress_responses: true,
+        worker_threads: 4,
+        idle_session_ttl_seconds: Some(600),
+    };
+    let net = NetServer::start(SimulationServer::new(deployment), NetConfig::default())
+        .expect("front end starts");
+    let addr = net.local_addr();
+
+    // A short burst of the paper scenario: 6 users, 5 interactive steps
+    // each, no think time.
+    let mut scenario = Scenario::paper_scaled(6, 0.0);
+    scenario.steps_per_user = 5;
+    let report = run_load_test_tcp(addr, &scenario);
+    // 6 users × (create + 5 × (step + state) + destroy) transactions.
+    assert_eq!(report.transactions, 72);
+    assert_eq!(report.errors, 0, "TCP burst must complete without errors");
+    assert!(report.throughput_tps > 0.0);
+
+    // Delta mode over the same wire.
+    scenario.delta_state = true;
+    let delta_report = run_load_test_tcp(addr, &scenario);
+    assert_eq!(delta_report.errors, 0, "delta-mode TCP burst must complete without errors");
+
+    // The metrics endpoint reflects the traffic.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream.write_all(b"GET /metrics HTTP/1.1\r\nconnection: close\r\n\r\n").unwrap();
+    let mut text = String::new();
+    stream.read_to_string(&mut text).unwrap();
+    assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    let served: u64 = text
+        .lines()
+        .find_map(|l| l.strip_prefix("rvsim_http_requests_total "))
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or_else(|| panic!("no request counter in metrics:\n{text}"));
+    assert!(served >= 144, "expected both bursts counted, got {served}");
+    assert!(text.contains("rvsim_sessions_live 0"), "all sessions destroyed:\n{text}");
+
+    net.shutdown();
+}

@@ -35,6 +35,14 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.as_ref().clone()
     }
+
+    /// Recover the owned `Vec<u8>` when this is the last handle to the
+    /// buffer (the buffer-reuse handoff: a producer that kept its previous
+    /// payload can reclaim the allocation once every consumer dropped its
+    /// clone).  Returns `self` unchanged when other handles still exist.
+    pub fn try_into_vec(self) -> Result<Vec<u8>, Bytes> {
+        Arc::try_unwrap(self.data).map_err(|data| Bytes { data })
+    }
 }
 
 impl std::ops::Deref for Bytes {

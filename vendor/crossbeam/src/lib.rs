@@ -1,12 +1,14 @@
 //! Vendored minimal `crossbeam` stand-in.
 //!
-//! Provides `crossbeam::channel::{unbounded, Sender, Receiver}` with MPMC
-//! semantics (cloneable receivers) built on a `Mutex<VecDeque>` + `Condvar`.
+//! Provides `crossbeam::channel::{unbounded, bounded, Sender, Receiver}`
+//! with MPMC semantics (cloneable receivers) built on a
+//! `Mutex<VecDeque>` + `Condvar`.
 
 /// Multi-producer multi-consumer channels.
 pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
 
     struct Shared<T> {
         queue: Mutex<State<T>>,
@@ -15,6 +17,8 @@ pub mod channel {
 
     struct State<T> {
         items: VecDeque<T>,
+        /// Capacity bound for `bounded` channels (`None` = unbounded).
+        capacity: Option<usize>,
         senders: usize,
         receivers: usize,
     }
@@ -41,6 +45,44 @@ pub mod channel {
     }
 
     impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is bounded and at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> std::fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                TrySendError::Full(_) => "sending on a full channel",
+                TrySendError::Disconnected(_) => "sending on a disconnected channel",
+            })
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    impl std::fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                RecvTimeoutError::Timeout => "timed out waiting on channel",
+                RecvTimeoutError::Disconnected => "channel is empty and disconnected",
+            })
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
 
     /// The sending half of a channel.
     pub struct Sender<T> {
@@ -104,6 +146,22 @@ pub mod channel {
             self.shared.ready.notify_one();
             Ok(())
         }
+
+        /// Non-blocking send: fails with `Full` when a bounded channel is
+        /// at capacity, `Disconnected` when every receiver is gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.capacity.is_some_and(|cap| state.items.len() >= cap) {
+                return Err(TrySendError::Full(value));
+            }
+            state.items.push_back(value);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
     }
 
     impl<T> Receiver<T> {
@@ -126,6 +184,29 @@ pub mod channel {
             self.shared.queue.lock().unwrap().items.pop_front()
         }
 
+        /// Block until a value arrives, every sender disconnects, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(Instant::now()) else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (next, wait) = self.shared.ready.wait_timeout(state, remaining).unwrap();
+                state = next;
+                if wait.timed_out() && state.items.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Number of queued items.
         pub fn len(&self) -> usize {
             self.shared.queue.lock().unwrap().items.len()
@@ -137,12 +218,24 @@ pub mod channel {
         }
     }
 
-    /// Create an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn channel_with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
-            queue: Mutex::new(State { items: VecDeque::new(), senders: 1, receivers: 1 }),
+            queue: Mutex::new(State { items: VecDeque::new(), capacity, senders: 1, receivers: 1 }),
             ready: Condvar::new(),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(None)
+    }
+
+    /// Create a bounded MPMC channel: [`Sender::try_send`] fails with
+    /// `Full` at `capacity` queued items.  (Blocking `send` on a bounded
+    /// channel is not part of the vendored surface — the workspace only
+    /// uses the non-blocking producer.)
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        channel_with_capacity(Some(capacity))
     }
 }
