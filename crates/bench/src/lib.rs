@@ -366,6 +366,12 @@ pub struct ServerBenchReport {
     /// loopback sockets — the in-process numbers above are unaffected.
     #[serde(default)]
     pub tcp: Vec<ServerLoadSample>,
+    /// High-connection sweep: the same aggregate request rate paced over
+    /// growing numbers of keep-alive connections (the event-loop front
+    /// end's latency-vs-connections curve).  Populated by
+    /// `rvsim-cli bench --server --high-connections`; empty otherwise.
+    #[serde(default)]
+    pub high_connection: Vec<rvsim_loadgen::HighConnectionReport>,
 }
 
 impl ServerBenchReport {
@@ -490,7 +496,7 @@ pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
             load.push(ServerLoadSample { users, compressed: true, mode: mode.to_string(), report });
         }
     }
-    ServerBenchReport { raw, load, tcp: run_tcp_load_bench(options) }
+    ServerBenchReport { raw, load, tcp: run_tcp_load_bench(options), high_connection: Vec::new() }
 }
 
 /// The TCP section of the server benchmark: the paper scenario through
@@ -508,10 +514,9 @@ pub fn run_tcp_load_bench(options: &ServerBenchOptions) -> Vec<ServerLoadSample>
                 idle_session_ttl_seconds: None,
             };
             let net_config = rvsim_net::NetConfig {
-                // One keep-alive connection per user holds a worker for the
-                // whole scenario; size the pool accordingly.
-                connection_workers: users + 4,
-                pending_connections: users + 4,
+                // One keep-alive connection per user: the event loop carries
+                // them all; cap connections with headroom for stragglers.
+                max_connections: users + 16,
                 ..rvsim_net::NetConfig::default()
             };
             let net =

@@ -306,6 +306,13 @@ OPTIONS:
                             (default 0.05; 1.0 = paper timing)
     --users <N[,N..]>       load-generator user counts for --server
                             (default 1,8,32)
+    --high-connections <N[,N..]>
+                            also sweep the event-loop front end with N
+                            keep-alive loopback connections per point at a
+                            constant aggregate request rate (server mode;
+                            default: skipped).  When client and server fds
+                            together exceed the fd budget the server runs
+                            in a child `rvsim-cli serve` process
     --help                  show this help
 ";
 
@@ -325,6 +332,8 @@ pub struct BenchCliOptions {
     pub time_scale: f64,
     /// Load-generator user counts (server mode).
     pub users: Vec<usize>,
+    /// High-connection sweep points (server mode; empty = skip the sweep).
+    pub high_connections: Vec<usize>,
 }
 
 impl Default for BenchCliOptions {
@@ -336,6 +345,7 @@ impl Default for BenchCliOptions {
             server: false,
             time_scale: 0.05,
             users: vec![1, 8, 32],
+            high_connections: Vec::new(),
         }
     }
 }
@@ -398,6 +408,22 @@ impl BenchCliOptions {
                         .collect::<Result<Vec<_>, _>>()?;
                     if options.users.is_empty() {
                         return Err("--users needs at least one count".to_string());
+                    }
+                }
+                "--high-connections" => {
+                    let v = value(&mut i, "--high-connections")?;
+                    options.high_connections = v
+                        .split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| format!("invalid connection count `{part}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if options.high_connections.is_empty() {
+                        return Err("--high-connections needs at least one count".to_string());
                     }
                 }
                 "--help" | "-h" => return Err(BENCH_USAGE.to_string()),
@@ -464,7 +490,13 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
         time_scale: options.time_scale,
         users: options.users.clone(),
     };
-    let report = rvsim_bench::run_server_bench(&bench_options);
+    let mut report = rvsim_bench::run_server_bench(&bench_options);
+    if !options.high_connections.is_empty() {
+        report.high_connection = run_high_connection_sweep(
+            &options.high_connections,
+            &rvsim_loadgen::HighConnectionOptions::default(),
+        )?;
+    }
 
     if options.json {
         let value = serde_json::json!({
@@ -476,6 +508,7 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             "raw": report.raw,
             "load": report.load,
             "tcp": report.tcp,
+            "high_connection": report.high_connection,
         });
         let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
         text.push('\n');
@@ -509,7 +542,85 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
         out.push_str(&s.report.table_row(&format!("{}/{}", s.mode, s.users)));
         out.push('\n');
     }
+    if !report.high_connection.is_empty() {
+        out.push_str("=== high-connection sweep (event-loop front end, TCP loopback) ===\n");
+        for r in &report.high_connection {
+            out.push_str(&r.table_row());
+            out.push('\n');
+        }
+    }
     Ok(out)
+}
+
+/// Run the high-connection latency sweep: hold `counts` keep-alive loopback
+/// connections (one point per count) against the event-loop front end at a
+/// constant aggregate request rate.  `base` carries the pacing/duration
+/// parameters; the per-point connection count overrides `base.connections`.
+///
+/// Client and server each burn one fd per connection, so both halves fit a
+/// single process only while twice the largest count stays inside the fd
+/// budget.  Beyond that the server runs as a child `rvsim-cli serve`
+/// process with its own budget, discovered through the startup banner.
+fn run_high_connection_sweep(
+    counts: &[usize],
+    base: &rvsim_loadgen::HighConnectionOptions,
+) -> Result<Vec<rvsim_loadgen::HighConnectionReport>, String> {
+    use std::io::BufRead;
+
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let cap = max + 64;
+    let in_process = max.saturating_mul(2) + 128 <= rvsim_loadgen::fd_budget();
+
+    let sweep = |addr: std::net::SocketAddr| -> Result<Vec<_>, String> {
+        counts
+            .iter()
+            .map(|&connections| {
+                let options = rvsim_loadgen::HighConnectionOptions { connections, ..base.clone() };
+                rvsim_loadgen::run_high_connection_test(addr, &options)
+            })
+            .collect()
+    };
+
+    if in_process {
+        let net = start_serve(&ServeCliOptions {
+            tcp: true,
+            addr: "127.0.0.1:0".to_string(),
+            max_connections: cap,
+            ..ServeCliOptions::default()
+        })?;
+        let reports = sweep(net.local_addr());
+        net.shutdown();
+        return reports;
+    }
+
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let mut child = std::process::Command::new(exe)
+        .args(["serve", "--tcp", "--addr", "127.0.0.1:0", "--max-connections"])
+        .arg(cap.to_string())
+        .stdin(std::process::Stdio::null())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .map_err(|e| format!("cannot spawn serve child: {e}"))?;
+    let mut banner = String::new();
+    let read = child.stdout.take().map(|out| std::io::BufReader::new(out).read_line(&mut banner));
+    let result = match read {
+        Some(Ok(n)) if n > 0 => parse_serve_banner(&banner).and_then(sweep),
+        _ => Err("serve child produced no startup banner".to_string()),
+    };
+    let _ = child.kill();
+    let _ = child.wait();
+    result
+}
+
+/// Extract the bound address from the serve startup banner
+/// (`rvsim-net listening on http://IP:PORT (...)`).
+fn parse_serve_banner(line: &str) -> Result<std::net::SocketAddr, String> {
+    line.split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|addr| addr.parse().ok())
+        .ok_or_else(|| format!("unexpected serve banner `{}`", line.trim()))
 }
 
 // ---------------------------------------------------------------------------
@@ -529,10 +640,14 @@ OPTIONS:
                             in-process serving has no CLI — use the library)
     --addr <IP:PORT>        bind address (default 127.0.0.1:8911; port 0
                             picks a free port, printed at startup)
-    --connection-workers <N> connection worker pool size — each keep-alive
-                            connection holds one worker (default 64)
-    --pending <N>           accepted connections that may queue for a worker
-                            before 503s are served (default 128)
+    --event-loops <N>       event-loop threads; each carries a share of all
+                            connections on one epoll instance (default 2)
+    --dispatch-workers <N>  worker threads executing POST /api requests
+                            (default 4)
+    --max-connections <N>   live-connection cap; beyond it new connections
+                            are answered 503 and closed (default 16384)
+    --pending <N>           parsed requests that may queue for a dispatch
+                            worker before 503s are served (default 1024)
     --no-compress           serve plain JSON payloads (flag byte 0)
     --idle-ttl <SECONDS>    evict sessions idle for this long (default: no
                             eviction); the sweep runs on the housekeeping tick
@@ -550,9 +665,13 @@ pub struct ServeCliOptions {
     pub tcp: bool,
     /// Bind address.
     pub addr: String,
-    /// Connection worker pool size.
-    pub connection_workers: usize,
-    /// Pending-connection queue bound.
+    /// Event-loop threads.
+    pub event_loops: usize,
+    /// Dispatch worker threads.
+    pub dispatch_workers: usize,
+    /// Live-connection cap.
+    pub max_connections: usize,
+    /// Pending-dispatch queue bound.
     pub pending: usize,
     /// Compress response payloads.
     pub compress: bool,
@@ -565,8 +684,10 @@ impl Default for ServeCliOptions {
         ServeCliOptions {
             tcp: false,
             addr: "127.0.0.1:8911".to_string(),
-            connection_workers: 64,
-            pending: 128,
+            event_loops: 2,
+            dispatch_workers: 4,
+            max_connections: 16 * 1024,
+            pending: 1024,
             compress: true,
             idle_ttl_seconds: None,
         }
@@ -586,13 +707,29 @@ impl ServeCliOptions {
             match args[i].as_str() {
                 "--tcp" => options.tcp = true,
                 "--addr" => options.addr = value(&mut i, "--addr")?,
-                "--connection-workers" => {
-                    let v = value(&mut i, "--connection-workers")?;
-                    options.connection_workers = v
+                "--event-loops" => {
+                    let v = value(&mut i, "--event-loops")?;
+                    options.event_loops = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid event-loop count `{v}`"))?;
+                }
+                "--dispatch-workers" => {
+                    let v = value(&mut i, "--dispatch-workers")?;
+                    options.dispatch_workers = v
                         .parse()
                         .ok()
                         .filter(|&n| n > 0)
                         .ok_or_else(|| format!("invalid worker count `{v}`"))?;
+                }
+                "--max-connections" => {
+                    let v = value(&mut i, "--max-connections")?;
+                    options.max_connections = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid connection cap `{v}`"))?;
                 }
                 "--pending" => {
                     let v = value(&mut i, "--pending")?;
@@ -631,8 +768,10 @@ pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, St
     };
     let net_config = rvsim_net::NetConfig {
         addr: options.addr.clone(),
-        connection_workers: options.connection_workers,
-        pending_connections: options.pending,
+        event_loops: options.event_loops,
+        dispatch_workers: options.dispatch_workers,
+        max_connections: options.max_connections,
+        pending_dispatch: options.pending,
         ..rvsim_net::NetConfig::default()
     };
     rvsim_net::NetServer::start(rvsim_server::SimulationServer::new(deployment), net_config)
@@ -1159,6 +1298,14 @@ main:
         assert_eq!(s.out_path(), "BENCH_server.json");
         assert!((s.time_scale - 0.5).abs() < 1e-12);
         assert_eq!(s.users, vec![2, 4]);
+        assert!(s.high_connections.is_empty(), "sweep is opt-in");
+
+        let h = BenchCliOptions::parse(&args(&["--server", "--high-connections", "100, 1000"]))
+            .unwrap();
+        assert_eq!(h.high_connections, vec![100, 1000]);
+        assert!(BenchCliOptions::parse(&args(&["--high-connections", "0"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--high-connections", "x"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--high-connections"])).is_err());
 
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "zz"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--min-seconds", "-1"])).is_err());
@@ -1213,6 +1360,7 @@ main:
             server: true,
             time_scale: 0.0,
             users: vec![2],
+            high_connections: Vec::new(),
         };
         let text = run_bench(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
@@ -1240,19 +1388,61 @@ main:
     }
 
     #[test]
+    fn serve_banner_parses_back_to_an_address() {
+        let addr = parse_serve_banner(
+            "rvsim-net listening on http://127.0.0.1:8911 (POST /api, GET /metrics, GET /healthz)\n",
+        )
+        .unwrap();
+        assert_eq!(addr, "127.0.0.1:8911".parse().unwrap());
+        assert!(parse_serve_banner("cannot bind").is_err());
+        assert!(parse_serve_banner("listening on http://not-an-addr oops").is_err());
+    }
+
+    #[test]
+    fn high_connection_sweep_runs_in_process() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping sweep test: loopback unavailable");
+            return;
+        }
+        let base = rvsim_loadgen::HighConnectionOptions {
+            target_rps: 400.0,
+            warmup: std::time::Duration::from_millis(50),
+            duration: std::time::Duration::from_millis(400),
+            sessions: 2,
+            ..Default::default()
+        };
+        // 16 and 32 connections stay far inside the fd budget, so this
+        // exercises the in-process server path end to end.
+        let reports = run_high_connection_sweep(&[16, 32], &base).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].connections, 16);
+        assert_eq!(reports[1].connections, 32);
+        for r in &reports {
+            assert_eq!(r.errors, 0, "sweep request failed");
+            assert!(r.transactions > 0);
+        }
+    }
+
+    #[test]
     fn serve_options_parse() {
         assert!(ServeCliOptions::parse(&args(&[])).is_err(), "--tcp is mandatory");
         assert!(ServeCliOptions::parse(&args(&["--help"])).unwrap_err().contains("serve"));
         assert!(ServeCliOptions::parse(&args(&["--tcp", "--bogus"])).is_err());
-        assert!(ServeCliOptions::parse(&args(&["--tcp", "--connection-workers", "0"])).is_err());
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--event-loops", "0"])).is_err());
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--dispatch-workers", "0"])).is_err());
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--max-connections", "0"])).is_err());
         assert!(ServeCliOptions::parse(&args(&["--tcp", "--idle-ttl", "x"])).is_err());
 
         let o = ServeCliOptions::parse(&args(&[
             "--tcp",
             "--addr",
             "127.0.0.1:0",
-            "--connection-workers",
+            "--event-loops",
+            "1",
+            "--dispatch-workers",
             "8",
+            "--max-connections",
+            "500",
             "--pending",
             "16",
             "--no-compress",
@@ -1262,7 +1452,9 @@ main:
         .unwrap();
         assert!(o.tcp);
         assert_eq!(o.addr, "127.0.0.1:0");
-        assert_eq!(o.connection_workers, 8);
+        assert_eq!(o.event_loops, 1);
+        assert_eq!(o.dispatch_workers, 8);
+        assert_eq!(o.max_connections, 500);
         assert_eq!(o.pending, 16);
         assert!(!o.compress);
         assert_eq!(o.idle_ttl_seconds, Some(30));

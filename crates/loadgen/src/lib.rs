@@ -19,9 +19,11 @@
 
 #![warn(missing_docs)]
 
+use polling::{Events, Interest, Poller};
 use rvsim_server::{Request, Response, ServerClient, ThreadedServer};
 use serde::{Deserialize, Serialize};
-use std::net::SocketAddr;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
 use std::time::{Duration, Instant};
 
 /// Load-test scenario definition (the JMeter test plan).
@@ -285,6 +287,373 @@ where
     }
 }
 
+// ---------------------------------------------------------------------------
+// High-connection sweep: one event loop holding thousands of keep-alive
+// connections.
+// ---------------------------------------------------------------------------
+
+/// Options of the high-connection sweep ([`run_high_connection_test`]).
+#[derive(Debug, Clone)]
+pub struct HighConnectionOptions {
+    /// Keep-alive connections to hold open (clamped to the process's fd
+    /// budget; the report records both requested and achieved).
+    pub connections: usize,
+    /// Aggregate request rate paced across all connections, in requests per
+    /// second.  Held constant across sweep points so latency differences
+    /// come from the connection count alone.
+    pub target_rps: f64,
+    /// Warm-up period whose latencies are discarded.
+    pub warmup: Duration,
+    /// Measurement window after warm-up.
+    pub duration: Duration,
+    /// Simulation sessions the connections share.  Small on purpose: most
+    /// requests hit an unchanged cycle, exercising the server's shared
+    /// cached-`GetState` path under connection pressure.
+    pub sessions: usize,
+}
+
+impl Default for HighConnectionOptions {
+    fn default() -> Self {
+        HighConnectionOptions {
+            connections: 10_000,
+            target_rps: 2_000.0,
+            warmup: Duration::from_millis(500),
+            duration: Duration::from_secs(3),
+            sessions: 8,
+        }
+    }
+}
+
+/// Result of one high-connection sweep point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HighConnectionReport {
+    /// Connections requested by the options.
+    pub requested_connections: usize,
+    /// Connections actually opened and held (fd budget and connect errors
+    /// can clamp the requested count).
+    pub connections: usize,
+    /// Paced aggregate request rate (requests per second).
+    pub target_rps: f64,
+    /// Achieved request rate over the measurement window.
+    pub achieved_rps: f64,
+    /// Completed requests inside the measurement window.
+    pub transactions: u64,
+    /// Failed requests or connections over the whole run.
+    pub errors: u64,
+    /// Median request latency in milliseconds.
+    pub median_latency_ms: f64,
+    /// 90th-percentile request latency in milliseconds.
+    pub p90_latency_ms: f64,
+    /// 99th-percentile request latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Maximum request latency in milliseconds.
+    pub max_latency_ms: f64,
+    /// Measurement-window duration in seconds.
+    pub duration_seconds: f64,
+}
+
+impl HighConnectionReport {
+    /// Format the report as a table row.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:>6} conns  target {:>7.0} rps  achieved {:>7.0} rps  median {:>7.3} ms  p90 {:>7.3} ms  p99 {:>7.3} ms  ({} transactions, {} errors)",
+            self.connections,
+            self.target_rps,
+            self.achieved_rps,
+            self.median_latency_ms,
+            self.p90_latency_ms,
+            self.p99_latency_ms,
+            self.transactions,
+            self.errors
+        )
+    }
+}
+
+/// The process's open-file-descriptor budget (the `RLIMIT_NOFILE` soft
+/// limit).  The sweep clamps its connection count to this; callers use it
+/// to decide whether client *and* server sockets fit one process or the
+/// server must run in a separate process.
+pub fn fd_budget() -> usize {
+    polling::open_file_limit().map(|l| l as usize).unwrap_or(1024)
+}
+
+/// One connection of the high-connection sweep.
+struct SweepConn {
+    stream: TcpStream,
+    /// Prebuilt keep-alive request (head + body), reused verbatim.
+    request: Vec<u8>,
+    /// Unwritten tail of the current request.
+    out_pos: usize,
+    /// Request bytes are (partially) unsent.
+    sending: bool,
+    /// Response accumulation buffer.
+    buf: Vec<u8>,
+    /// Send timestamp of the in-flight request.
+    in_flight_since: Option<Instant>,
+    /// The connection is dead (error / closed by peer).
+    dead: bool,
+}
+
+/// Parse `content-length` out of a response head (the sweep only talks to
+/// rvsim-net, which always sends it).
+fn response_content_length(head: &[u8]) -> Option<usize> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = line.strip_suffix(b"\r").unwrap_or(line);
+        let Some(colon) = line.iter().position(|&b| b == b':') else { continue };
+        if line[..colon].eq_ignore_ascii_case(b"content-length") {
+            return std::str::from_utf8(&line[colon + 1..]).ok()?.trim().parse().ok();
+        }
+    }
+    None
+}
+
+/// Whether `buf` holds one complete response; returns its total length.
+fn complete_response_len(buf: &[u8]) -> Option<usize> {
+    let head_end = rvsim_net::find_head_end(buf)?;
+    let body = response_content_length(&buf[..head_end])?;
+    (buf.len() >= head_end + body).then_some(head_end + body)
+}
+
+/// Hold `options.connections` keep-alive connections open against the front
+/// end at `addr` while pacing `options.target_rps` aggregate `GetState`
+/// requests across them from a single event-driven thread (mirroring the
+/// server's own event loop, and costing one fd — not one thread — per
+/// connection, which is what makes a 10k-user sweep possible at all).
+///
+/// Run the same options with different `connections` values to draw the
+/// latency-vs-connections curve: on a healthy event-loop front end it is
+/// flat, because idle keep-alive connections cost a slab slot and an epoll
+/// registration rather than a parked worker thread.
+pub fn run_high_connection_test(
+    addr: SocketAddr,
+    options: &HighConnectionOptions,
+) -> Result<HighConnectionReport, String> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    use std::io::{Read, Write};
+
+    // Clamp to the fd budget: the process needs one fd per connection plus
+    // slack for the poller, the session client and stdio.
+    let budget = fd_budget();
+    let target_connections = options.connections.clamp(1, budget.saturating_sub(64).max(1));
+
+    // A few shared sessions, each stepped once so the served state is
+    // non-trivial; every sweep request afterwards hits an unchanged cycle.
+    let mut setup = rvsim_net::TcpApiClient::new(addr);
+    let mut sessions = Vec::new();
+    for _ in 0..options.sessions.max(1) {
+        match setup
+            .call(&Request::CreateSession {
+                program: sample_program_loop(),
+                architecture: None,
+                entry: None,
+            })
+            .map_err(|e| format!("session setup failed: {e}"))?
+        {
+            Response::SessionCreated { session } => {
+                setup
+                    .call(&Request::Step { session, cycles: 8 })
+                    .map_err(|e| format!("session warm-up failed: {e}"))?;
+                sessions.push(session);
+            }
+            other => return Err(format!("unexpected setup response {other:?}")),
+        }
+    }
+
+    let poller = Poller::new().map_err(|e| format!("poller: {e}"))?;
+    let mut errors = 0u64;
+    let mut conns: Vec<SweepConn> = Vec::with_capacity(target_connections);
+    for i in 0..target_connections {
+        let stream = match TcpStream::connect(addr) {
+            Ok(stream) => stream,
+            Err(_) => {
+                // The front end (or the fd budget) said no: hold what we got.
+                errors += 1;
+                break;
+            }
+        };
+        let _ = stream.set_nodelay(true);
+        if stream.set_nonblocking(true).is_err() {
+            errors += 1;
+            continue;
+        }
+        let body = serde_json::to_vec(&Request::GetState { session: sessions[i % sessions.len()] })
+            .expect("requests serialize");
+        let mut request =
+            format!("POST /api HTTP/1.1\r\ncontent-length: {}\r\n\r\n", body.len()).into_bytes();
+        request.extend_from_slice(&body);
+        poller
+            .register(stream.as_raw_fd(), i, Interest::READABLE)
+            .map_err(|e| format!("register: {e}"))?;
+        conns.push(SweepConn {
+            stream,
+            request,
+            out_pos: 0,
+            sending: false,
+            buf: Vec::new(),
+            in_flight_since: None,
+            dead: false,
+        });
+    }
+    if conns.is_empty() {
+        return Err("no connections could be opened".to_string());
+    }
+    let achieved_connections = conns.len();
+
+    // Pace: each connection fires every `connections / target_rps` seconds,
+    // phase-shifted so the aggregate arrival process is smooth.
+    let period = Duration::from_secs_f64(achieved_connections as f64 / options.target_rps.max(1.0));
+    let started = Instant::now();
+    let warmup_end = started + options.warmup;
+    let end = warmup_end + options.duration;
+    let mut due: BinaryHeap<Reverse<(Instant, usize)>> = (0..achieved_connections)
+        .map(|i| {
+            Reverse((started + Duration::from_secs_f64(i as f64 / options.target_rps.max(1.0)), i))
+        })
+        .collect();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut events = Events::with_capacity(1024);
+    let mut scratch: Vec<usize> = Vec::new();
+    let mut read_chunk = [0u8; 16 * 1024];
+
+    while Instant::now() < end {
+        let now = Instant::now();
+        let timeout = due
+            .peek()
+            .map(|Reverse((t, _))| t.saturating_duration_since(now))
+            .unwrap_or(Duration::from_millis(10))
+            .min(end.saturating_duration_since(now))
+            .min(Duration::from_millis(50));
+        let _ = poller.wait(&mut events, Some(timeout));
+
+        scratch.clear();
+        scratch.extend(events.iter().map(|e| e.token));
+        for &token in &scratch {
+            let conn = &mut conns[token];
+            if conn.dead {
+                continue;
+            }
+            // Flush a partially written request first.
+            if conn.sending {
+                match conn.stream.write(&conn.request[conn.out_pos..]) {
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        if conn.out_pos == conn.request.len() {
+                            conn.sending = false;
+                            let _ = poller.reregister(
+                                conn.stream.as_raw_fd(),
+                                token,
+                                Interest::READABLE,
+                            );
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        conn.dead = true;
+                        errors += 1;
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                        continue;
+                    }
+                }
+            }
+            // Drain whatever the server sent.
+            loop {
+                match conn.stream.read(&mut read_chunk) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        if conn.in_flight_since.is_some() {
+                            errors += 1;
+                        }
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                        break;
+                    }
+                    Ok(n) => conn.buf.extend_from_slice(&read_chunk[..n]),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        errors += 1;
+                        let _ = poller.deregister(conn.stream.as_raw_fd());
+                        break;
+                    }
+                }
+            }
+            if let Some(total) = complete_response_len(&conn.buf) {
+                conn.buf.drain(..total);
+                if let Some(sent_at) = conn.in_flight_since.take() {
+                    let finished = Instant::now();
+                    if sent_at >= warmup_end && finished <= end {
+                        latencies.push(finished.duration_since(sent_at).as_secs_f64() * 1e3);
+                    }
+                }
+            }
+        }
+
+        // Fire every connection whose pacing slot has arrived.
+        let now = Instant::now();
+        while let Some(&Reverse((when, token))) = due.peek() {
+            if when > now {
+                break;
+            }
+            due.pop();
+            let conn = &mut conns[token];
+            if conn.dead {
+                continue; // dead connections leave the pacing wheel
+            }
+            if conn.in_flight_since.is_some() || conn.sending {
+                // Previous request still outstanding: slip this slot rather
+                // than pipelining (one in flight per connection keeps the
+                // latency attribution clean).
+                due.push(Reverse((now + period, token)));
+                continue;
+            }
+            conn.in_flight_since = Some(now);
+            conn.out_pos = 0;
+            match conn.stream.write(&conn.request) {
+                Ok(n) if n == conn.request.len() => {}
+                Ok(n) => {
+                    conn.out_pos = n;
+                    conn.sending = true;
+                    let _ = poller.reregister(conn.stream.as_raw_fd(), token, Interest::BOTH);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    conn.sending = true;
+                    let _ = poller.reregister(conn.stream.as_raw_fd(), token, Interest::BOTH);
+                }
+                Err(_) => {
+                    conn.dead = true;
+                    errors += 1;
+                    let _ = poller.deregister(conn.stream.as_raw_fd());
+                    continue;
+                }
+            }
+            due.push(Reverse((when + period, token)));
+        }
+    }
+
+    for session in sessions {
+        let _ = setup.call(&Request::DestroySession { session });
+    }
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let transactions = latencies.len() as u64;
+    let duration = options.duration.as_secs_f64();
+    Ok(HighConnectionReport {
+        requested_connections: options.connections,
+        connections: achieved_connections,
+        target_rps: options.target_rps,
+        achieved_rps: if duration > 0.0 { transactions as f64 / duration } else { 0.0 },
+        transactions,
+        errors,
+        median_latency_ms: percentile(&latencies, 0.5),
+        p90_latency_ms: percentile(&latencies, 0.9),
+        p99_latency_ms: percentile(&latencies, 0.99),
+        max_latency_ms: latencies.last().copied().unwrap_or(0.0),
+        duration_seconds: duration,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -391,6 +760,52 @@ mod tests {
             assert!(report.p90_latency_ms >= report.median_latency_ms);
         }
         net.shutdown();
+    }
+
+    #[test]
+    fn high_connection_sweep_completes_with_no_errors() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping high-connection test: loopback unavailable");
+            return;
+        }
+        let net = rvsim_net::NetServer::start(
+            SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 4,
+                idle_session_ttl_seconds: None,
+            }),
+            rvsim_net::NetConfig::default(),
+        )
+        .expect("net server starts");
+        let options = HighConnectionOptions {
+            connections: 64,
+            target_rps: 400.0,
+            warmup: Duration::from_millis(100),
+            duration: Duration::from_millis(600),
+            sessions: 2,
+        };
+        let report = run_high_connection_test(net.local_addr(), &options).expect("sweep runs");
+        assert_eq!(report.connections, 64, "all requested connections are held");
+        assert_eq!(report.errors, 0, "no request may fail");
+        assert!(report.transactions > 0, "paced requests must complete");
+        assert!(report.p90_latency_ms >= report.median_latency_ms);
+        assert!(report.table_row().contains("64 conns"));
+        // The shared sessions mean nearly every request hit the cached
+        // GetState payload.
+        assert!(net.server().shared_state_serve_count() > 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn response_scan_helpers_parse_heads() {
+        let head = b"HTTP/1.1 200 OK\r\ncontent-type: text/plain\r\ncontent-length: 4\r\n\r\n";
+        assert_eq!(response_content_length(head), Some(4));
+        let mut full = head.to_vec();
+        assert_eq!(complete_response_len(&full), None, "body missing");
+        full.extend_from_slice(b"ok!\n");
+        assert_eq!(complete_response_len(&full), Some(full.len()));
+        assert_eq!(response_content_length(b"HTTP/1.1 200 OK\r\n\r\n"), None);
     }
 
     #[test]

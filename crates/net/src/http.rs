@@ -27,6 +27,9 @@ pub struct HttpRequest {
     pub method: String,
     /// Request target (`/api`, `/metrics`, …).
     pub target: String,
+    /// Protocol version of the request line.  Responses echo it: an
+    /// HTTP/1.0 client must not be answered with an `HTTP/1.1` status line.
+    pub version: Version,
     /// Whether the connection should stay open after the response
     /// (HTTP/1.1 default unless `connection: close`; HTTP/1.0 only with
     /// `connection: keep-alive`).
@@ -61,6 +64,13 @@ pub struct RequestParser {
     /// compacted away lazily, so pipelined parsing does not memmove per
     /// request.
     pos: usize,
+    /// Bytes past `pos` already scanned for the head terminator without
+    /// finding it.  Persisting this across `feed`s keeps the head scan
+    /// linear in the stream length: byte-dribble input re-examines only the
+    /// unscanned tail (plus the two trailing bytes a terminator could
+    /// straddle), not the whole buffered head again — the old restart-at-0
+    /// behaviour was O(n²) against a slow client.
+    scanned: usize,
 }
 
 impl RequestParser {
@@ -96,7 +106,16 @@ impl RequestParser {
     ///   should answer with `error.status` and close the connection.
     pub fn next_request(&mut self) -> Result<Option<HttpRequest>, HttpError> {
         let data = &self.buf[self.pos..];
-        let Some(head_len) = find_head_end(data) else {
+        // Resume the terminator scan where the last one stopped.  A
+        // terminator can straddle a feed boundary (`…\n\r` + `\n`), and the
+        // scan inspects up to two bytes past the candidate `\n`, so the last
+        // two scanned bytes stay undecided and are re-examined.
+        let resume = self.scanned.min(data.len());
+        let found = find_head_end_from(data, resume);
+        if found.is_none() {
+            self.scanned = data.len().saturating_sub(2);
+        }
+        let Some(head_len) = found else {
             if data.len() > MAX_HEAD_BYTES {
                 return Err(HttpError::new(
                     431,
@@ -161,22 +180,42 @@ impl RequestParser {
 
         let body = data[head_len..head_len + content_length].to_vec();
         self.pos += head_len + content_length;
+        self.scanned = 0;
         self.compact();
-        Ok(Some(HttpRequest { method, target, keep_alive, body }))
+        Ok(Some(HttpRequest { method, target, version, keep_alive, body }))
     }
 }
 
+/// HTTP protocol version of a request line.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Version {
+pub enum Version {
+    /// `HTTP/1.0`.
     Http10,
+    /// `HTTP/1.1`.
     Http11,
+}
+
+impl Version {
+    /// The status-line prefix for a response in this version.
+    fn status_prefix(self) -> &'static [u8] {
+        match self {
+            Version::Http10 => b"HTTP/1.0 ",
+            Version::Http11 => b"HTTP/1.1 ",
+        }
+    }
 }
 
 /// Index one past the head terminator (`\r\n\r\n`, with lenient bare-`\n`
 /// acceptance), or `None` while the head is still incomplete.  Shared with
 /// the client-side response reader so both directions frame identically.
-pub(crate) fn find_head_end(data: &[u8]) -> Option<usize> {
-    let mut i = 0;
+pub fn find_head_end(data: &[u8]) -> Option<usize> {
+    find_head_end_from(data, 0)
+}
+
+/// [`find_head_end`] resuming at byte `start` (everything before `start` is
+/// known not to begin a terminator).
+fn find_head_end_from(data: &[u8], start: usize) -> Option<usize> {
+    let mut i = start;
     while i < data.len() {
         if data[i] == b'\n' {
             match data.get(i + 1) {
@@ -260,27 +299,47 @@ fn parse_headers(block: &[u8]) -> Result<Vec<(String, String)>, HttpError> {
     Ok(headers)
 }
 
+/// Everything a response head needs ([`write_response_head`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ResponseHead<'a> {
+    /// Protocol version to echo in the status line.
+    pub version: Version,
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'a str,
+    /// `content-type` header value.
+    pub content_type: &'a str,
+    /// `content-length` header value (the body is written separately).
+    pub content_length: usize,
+    /// Emit `connection: keep-alive` instead of `connection: close`.
+    pub keep_alive: bool,
+    /// Extra headers (e.g. the `allow` list a 405 requires), emitted
+    /// verbatim before the blank line.
+    pub extra: &'a [(&'a str, &'a str)],
+}
+
 /// Serialize a response head (status line + headers + blank line) into
 /// `out`.  The body is written separately so a shared-buffer payload never
-/// gets copied into the head buffer.
-pub fn write_response_head(
-    out: &mut Vec<u8>,
-    status: u16,
-    reason: &str,
-    content_type: &str,
-    content_length: usize,
-    keep_alive: bool,
-) {
-    out.extend_from_slice(b"HTTP/1.1 ");
-    out.extend_from_slice(status.to_string().as_bytes());
+/// gets copied into the head buffer.  The status line echoes the *request's*
+/// protocol version (an HTTP/1.0 client must not see `HTTP/1.1`).
+pub fn write_response_head(out: &mut Vec<u8>, head: &ResponseHead<'_>) {
+    out.extend_from_slice(head.version.status_prefix());
+    out.extend_from_slice(head.status.to_string().as_bytes());
     out.push(b' ');
-    out.extend_from_slice(reason.as_bytes());
+    out.extend_from_slice(head.reason.as_bytes());
     out.extend_from_slice(b"\r\ncontent-type: ");
-    out.extend_from_slice(content_type.as_bytes());
+    out.extend_from_slice(head.content_type.as_bytes());
     out.extend_from_slice(b"\r\ncontent-length: ");
-    out.extend_from_slice(content_length.to_string().as_bytes());
+    out.extend_from_slice(head.content_length.to_string().as_bytes());
     out.extend_from_slice(b"\r\nconnection: ");
-    out.extend_from_slice(if keep_alive { b"keep-alive".as_ref() } else { b"close".as_ref() });
+    out.extend_from_slice(if head.keep_alive { b"keep-alive".as_ref() } else { b"close".as_ref() });
+    for (name, value) in head.extra {
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(b": ");
+        out.extend_from_slice(value.as_bytes());
+    }
     out.extend_from_slice(b"\r\n\r\n");
 }
 
@@ -304,8 +363,17 @@ mod tests {
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].method, "POST");
         assert_eq!(reqs[0].target, "/api");
+        assert_eq!(reqs[0].version, Version::Http11);
         assert!(reqs[0].keep_alive);
         assert_eq!(reqs[0].body, b"hello");
+    }
+
+    #[test]
+    fn request_version_is_preserved_for_response_echo() {
+        let reqs = parse_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(reqs[0].version, Version::Http10);
+        let reqs = parse_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(reqs[0].version, Version::Http11);
     }
 
     #[test]
@@ -410,11 +478,79 @@ mod tests {
     #[test]
     fn response_head_renders_the_usual_shape() {
         let mut out = Vec::new();
-        write_response_head(&mut out, 200, "OK", "text/plain", 2, true);
+        write_response_head(
+            &mut out,
+            &ResponseHead {
+                version: Version::Http11,
+                status: 200,
+                reason: "OK",
+                content_type: "text/plain",
+                content_length: 2,
+                keep_alive: true,
+                extra: &[],
+            },
+        );
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(text.contains("content-length: 2\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn response_head_echoes_http10_and_renders_extra_headers() {
+        let mut out = Vec::new();
+        write_response_head(
+            &mut out,
+            &ResponseHead {
+                version: Version::Http10,
+                status: 405,
+                reason: "Method Not Allowed",
+                content_type: "text/plain",
+                content_length: 0,
+                keep_alive: false,
+                extra: &[("allow", "GET, POST")],
+            },
+        );
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.0 405 Method Not Allowed\r\n"), "{text}");
+        assert!(text.contains("\r\nallow: GET, POST\r\n"), "{text}");
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn head_scan_resumes_instead_of_rescanning_on_every_feed() {
+        // Semantic regression cover for the O(n²) head scan: a head dribbled
+        // in one byte at a time — including a terminator straddling feed
+        // boundaries — parses identically to the unsplit stream, and the
+        // persisted scan offset tracks the buffered length (i.e. the parser
+        // is not restarting from zero each feed).
+        let stream = b"POST /api HTTP/1.1\r\nx-filler: abcdefghij\r\ncontent-length: 2\r\n\r\nok";
+        let head_len = find_head_end(stream).unwrap();
+        let mut parser = RequestParser::new();
+        for (i, &b) in stream.iter().enumerate() {
+            parser.feed(&[b]);
+            let parsed = parser.next_request().unwrap();
+            if i < stream.len() - 1 {
+                assert!(parsed.is_none(), "complete request before byte {i}?");
+                if i + 1 < head_len {
+                    // While the head terminator is still missing, the scan
+                    // cursor must trail the buffer end by at most the two
+                    // undecided lookahead bytes: everything earlier is
+                    // already known not to start a terminator.
+                    assert!(
+                        parser.scanned + 2 > i,
+                        "scan restarted: scanned={} after {} bytes",
+                        parser.scanned,
+                        i + 1
+                    );
+                }
+            } else {
+                let request = parsed.expect("final byte completes the request");
+                assert_eq!(request.body, b"ok");
+                assert_eq!(parser.scanned, 0, "consume must reset the scan cursor");
+            }
+        }
     }
 }

@@ -11,10 +11,12 @@
 //! * [`http`] — incremental HTTP/1.1 request framing that tolerates
 //!   arbitrary partial reads, with pipelining, keep-alive and bounded-size
 //!   rejection (400/413/431/501/505);
-//! * [`NetServer`] — bounded acceptor + connection worker pool dispatching
-//!   `POST /api` protocol payloads into
-//!   [`rvsim_server::SimulationServer::handle_raw`], with graceful
-//!   shutdown, a periodic housekeeping tick (idle-session eviction) and a
+//! * [`NetServer`] — a nonblocking readiness event loop (epoll through the
+//!   vendored `polling` wrapper): per-connection state machines with
+//!   buffered partial writes and slow-client deadlines, a dispatch worker
+//!   pool executing `POST /api` payloads in
+//!   [`rvsim_server::SimulationServer::handle_raw`], graceful shutdown, a
+//!   periodic housekeeping tick (idle-session eviction) and a
 //!   `GET /metrics` stats endpoint;
 //! * [`TcpApiClient`] — the matching blocking keep-alive client used by
 //!   `rvsim-loadgen --tcp` and the server benchmark.
@@ -30,5 +32,7 @@ pub mod http;
 pub mod server;
 
 pub use client::TcpApiClient;
-pub use http::{HttpError, HttpRequest, RequestParser, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+pub use http::{
+    find_head_end, HttpError, HttpRequest, RequestParser, Version, MAX_BODY_BYTES, MAX_HEAD_BYTES,
+};
 pub use server::{NetConfig, NetServer, NetStats};

@@ -1,33 +1,50 @@
-//! The TCP/HTTP front end: bounded acceptor + connection worker pool around
-//! a [`SimulationServer`].
+//! The TCP/HTTP front end: a nonblocking readiness event loop around a
+//! [`SimulationServer`].
 //!
 //! Architecture (the Rust stand-in for the paper's Undertow deployment,
-//! §III/§IV-A, now over real sockets):
+//! §III/§IV-A, scaled past the thread-per-connection ceiling):
 //!
-//! * an **acceptor thread** owns the listener and hands accepted
-//!   connections to a *bounded* queue — when every worker is busy and the
-//!   queue is full the connection is answered `503` and closed instead of
-//!   queueing unboundedly;
-//! * **connection workers** each drive one connection at a time with
-//!   blocking I/O: incremental request framing ([`RequestParser`]),
-//!   keep-alive and pipelining, `POST /api` dispatched into
-//!   [`SimulationServer::handle_raw`] — the response body is the server's
-//!   shared [`bytes::Bytes`] payload written straight to the socket, so a
-//!   cached `GetState` is served with zero copies end to end;
-//! * a **housekeeping thread** ticks periodically and runs the
-//!   idle-session sweep ([`SimulationServer::evict_idle`]);
-//! * `GET /metrics` exposes front-end counters and session-store gauges,
-//!   `GET /healthz` answers `ok`.
+//! * an **acceptor thread** owns the listener, enforces the
+//!   `max_connections` cap (`503` + close above it) and hands accepted
+//!   sockets round-robin to the event loops;
+//! * **event-loop threads** (epoll via the vendored `polling` wrapper) each
+//!   drive thousands of connections through a per-connection state machine —
+//!   *reading* (incremental framing over [`RequestParser`], which was
+//!   property-tested against arbitrary partial reads precisely so it can run
+//!   this way) → *dispatching* (protocol work runs on the worker pool, the
+//!   loop keeps serving other connections) → *writing* (buffered partial
+//!   writes, `EPOLLOUT`-driven).  A keep-alive connection between requests
+//!   costs one registered fd, not a parked thread;
+//! * **dispatch workers** execute `POST /api` payloads in
+//!   [`SimulationServer::handle_raw`] (where per-session request coalescing
+//!   lives) and post the shared [`bytes::Bytes`] response back to the
+//!   owning loop through its waker — a cached `GetState` is served with
+//!   zero payload copies end to end;
+//! * every connection carries a **deadline**: a partially received request
+//!   must complete within `header_deadline`, a response must make write
+//!   progress within `write_deadline`, and an idle keep-alive connection is
+//!   closed after `idle_deadline` — a client that sends half a head or
+//!   stops reading mid-response is reclaimed instead of pinning resources
+//!   forever (the slow-client bug family of the worker-pool design);
+//! * a **housekeeping thread** ticks periodically and runs the idle-session
+//!   sweep ([`SimulationServer::evict_idle`]);
+//! * `GET /metrics` exposes front-end counters, connection-state gauges and
+//!   session-store gauges, `GET /healthz` answers `ok`.
 //!
-//! Shutdown is graceful: in-flight requests finish, idle keep-alive
-//! connections are closed at the next read-timeout tick, and every thread is
-//! joined before [`NetServer::shutdown`] returns.
+//! Shutdown is graceful: the loops finish their current event batch, close
+//! every connection, and every thread is joined before
+//! [`NetServer::shutdown`] returns.
 
-use crate::http::{write_response_head, HttpError, HttpRequest, RequestParser};
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crate::http::{
+    write_response_head, HttpError, HttpRequest, RequestParser, ResponseHead, Version,
+};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use polling::{Events, Interest, Poller, Waker};
 use rvsim_server::SimulationServer;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -38,52 +55,79 @@ use std::time::{Duration, Instant};
 pub struct NetConfig {
     /// Address to bind (`127.0.0.1:0` picks a free loopback port).
     pub addr: String,
-    /// Connection workers: each owns one live connection at a time, so this
-    /// bounds concurrent connections (keep-alive clients hold a worker).
-    pub connection_workers: usize,
-    /// Accepted connections that may wait for a worker before the acceptor
-    /// starts answering `503 Service Unavailable`.
-    pub pending_connections: usize,
+    /// Event-loop threads.  Each owns one epoll instance and a share of the
+    /// connections; two saturate the protocol path on small hosts.
+    pub event_loops: usize,
+    /// Dispatch workers executing protocol requests (`POST /api`).  These
+    /// bound concurrent *simulation* work, not concurrent connections.
+    pub dispatch_workers: usize,
+    /// Live-connection cap across all loops; connections above it are
+    /// answered `503 Service Unavailable` and closed by the acceptor.
+    pub max_connections: usize,
+    /// Parsed requests that may queue for a dispatch worker before the
+    /// front end answers `503` (the request is parsed, the connection
+    /// stays open).
+    pub pending_dispatch: usize,
     /// Housekeeping tick period (idle-session eviction).
     pub housekeeping_interval: Duration,
-    /// Socket read timeout: bounds how long a worker sleeps in `read`
-    /// before re-checking the shutdown flag.
-    pub read_timeout: Duration,
+    /// A connection with a partially received request (head or body) must
+    /// complete it within this deadline or be closed.
+    pub header_deadline: Duration,
+    /// An idle keep-alive connection (no partial request buffered) is
+    /// closed after this long without a request.
+    pub idle_deadline: Duration,
+    /// A connection with a partially written response must accept more
+    /// bytes within this deadline (reset on progress) or be closed.
+    pub write_deadline: Duration,
 }
 
 impl Default for NetConfig {
     fn default() -> Self {
         NetConfig {
             addr: "127.0.0.1:0".to_string(),
-            connection_workers: 64,
-            pending_connections: 128,
+            event_loops: 2,
+            dispatch_workers: 4,
+            max_connections: 16 * 1024,
+            pending_dispatch: 1024,
             housekeeping_interval: Duration::from_secs(1),
-            read_timeout: Duration::from_millis(50),
+            header_deadline: Duration::from_secs(10),
+            idle_deadline: Duration::from_secs(60),
+            write_deadline: Duration::from_secs(10),
         }
     }
 }
 
-/// Monotonic front-end counters served by `GET /metrics`.
+/// Front-end counters and gauges served by `GET /metrics`.
 #[derive(Debug, Default)]
 pub struct NetStats {
-    /// Connections accepted and queued for a worker.
+    /// Connections accepted and handed to an event loop.
     pub connections_accepted: AtomicU64,
-    /// Connections answered `503` because the pool and queue were full.
+    /// Connections answered `503` at the accept gate (`max_connections`).
     pub connections_rejected: AtomicU64,
+    /// Currently open connections across all event loops (gauge).
+    pub connections_open: AtomicU64,
+    /// Connections closed by a deadline while a request or response was in
+    /// flight (the slow-client reclamation path).
+    pub connections_stalled_closed: AtomicU64,
+    /// Idle keep-alive connections closed by the idle deadline.
+    pub connections_idle_closed: AtomicU64,
     /// Requests answered (any status).
     pub requests_served: AtomicU64,
     /// Requests rejected at the HTTP layer (4xx/5xx framing errors).
     pub http_errors: AtomicU64,
+    /// Requests answered `503` because the dispatch queue was full.
+    pub dispatch_rejected: AtomicU64,
 }
 
 /// A running network front end.  Dropping it (or calling
-/// [`shutdown`](Self::shutdown)) stops the acceptor, the workers and the
-/// housekeeper and joins their threads.
+/// [`shutdown`](Self::shutdown)) stops the acceptor, the event loops, the
+/// dispatch workers and the housekeeper and joins their threads.
 pub struct NetServer {
     server: Arc<SimulationServer>,
     stats: Arc<NetStats>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    wakers: Vec<Arc<Waker>>,
     threads: Vec<JoinHandle<()>>,
 }
 
@@ -104,28 +148,58 @@ impl NetServer {
         let stats = Arc::new(NetStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
-        let (tx, rx) = bounded::<TcpStream>(config.pending_connections.max(1));
 
+        let (job_tx, job_rx) = bounded::<Job>(config.pending_dispatch.max(1));
         let mut threads = Vec::new();
-        threads.push(spawn_acceptor(listener, tx, Arc::clone(&stats), Arc::clone(&shutdown)));
-        for _ in 0..config.connection_workers.max(1) {
-            threads.push(spawn_worker(
-                rx.clone(),
-                Arc::clone(&server),
-                Arc::clone(&stats),
-                Arc::clone(&shutdown),
-                config.read_timeout,
+        let mut wakers = Vec::new();
+        let mut loop_handles = Vec::new();
+        for _ in 0..config.event_loops.max(1) {
+            let poller = Poller::new()?;
+            let waker = Arc::new(Waker::new(&poller, WAKER_TOKEN)?);
+            let (inject_tx, inject_rx) = unbounded::<TcpStream>();
+            let (done_tx, done_rx) = unbounded::<Completion>();
+            loop_handles.push(LoopHandle { inject: inject_tx, waker: Arc::clone(&waker) });
+            let worker = EventLoop {
+                poller,
+                waker: Arc::clone(&waker),
+                inject: inject_rx,
+                completions: done_rx,
+                completions_tx: done_tx,
+                jobs: job_tx.clone(),
+                server: Arc::clone(&server),
+                stats: Arc::clone(&stats),
+                shutdown: Arc::clone(&shutdown),
+                config: config.clone(),
                 started,
+            };
+            wakers.push(waker);
+            threads.push(std::thread::spawn(move || worker.run()));
+        }
+        drop(job_tx);
+
+        for _ in 0..config.dispatch_workers.max(1) {
+            threads.push(spawn_dispatch_worker(
+                job_rx.clone(),
+                Arc::clone(&server),
+                Arc::clone(&shutdown),
             ));
         }
-        drop(rx);
+        drop(job_rx);
+
+        threads.push(spawn_acceptor(
+            listener,
+            loop_handles,
+            config.max_connections.max(1),
+            Arc::clone(&stats),
+            Arc::clone(&shutdown),
+        ));
         threads.push(spawn_housekeeper(
             Arc::clone(&server),
             Arc::clone(&shutdown),
             config.housekeeping_interval,
         ));
 
-        Ok(NetServer { server, stats, addr, shutdown, threads })
+        Ok(NetServer { server, stats, addr, shutdown, wakers, threads })
     }
 
     /// The bound address (with the real port when `:0` was requested).
@@ -143,14 +217,16 @@ impl NetServer {
         &self.stats
     }
 
-    /// Stop accepting, finish in-flight requests, close connections and
-    /// join every thread.
+    /// Stop accepting, close connections and join every thread.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
         self.shutdown.store(true, Ordering::Release);
+        for waker in &self.wakers {
+            let _ = waker.wake();
+        }
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
@@ -163,25 +239,65 @@ impl Drop for NetServer {
     }
 }
 
+/// Token the loop's waker is registered under (never a valid slab index).
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// Acceptor-side handle to one event loop.
+struct LoopHandle {
+    inject: Sender<TcpStream>,
+    waker: Arc<Waker>,
+}
+
+/// One protocol request on its way to a dispatch worker.
+struct Job {
+    /// The loop to post the completion to.
+    reply: Sender<Completion>,
+    waker: Arc<Waker>,
+    token: usize,
+    generation: u64,
+    body: Vec<u8>,
+    keep_alive: bool,
+    version: Version,
+}
+
+/// A finished protocol request on its way back to its event loop.
+struct Completion {
+    token: usize,
+    generation: u64,
+    payload: Bytes,
+    keep_alive: bool,
+    version: Version,
+}
+
 fn spawn_acceptor(
     listener: TcpListener,
-    tx: Sender<TcpStream>,
+    loops: Vec<LoopHandle>,
+    max_connections: usize,
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || {
+        let mut next_loop = 0usize;
         while !shutdown.load(Ordering::Acquire) {
             match listener.accept() {
-                Ok((stream, _peer)) => match tx.try_send(stream) {
-                    Ok(()) => {
-                        stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                    }
-                    Err(TrySendError::Full(stream)) => {
+                Ok((stream, _peer)) => {
+                    if stats.connections_open.load(Ordering::Relaxed) >= max_connections as u64 {
                         stats.connections_rejected.fetch_add(1, Ordering::Relaxed);
                         reject_overloaded(stream);
+                        continue;
                     }
-                    Err(TrySendError::Disconnected(_)) => break,
-                },
+                    let target = &loops[next_loop % loops.len()];
+                    next_loop = next_loop.wrapping_add(1);
+                    if target.inject.send(stream).is_err() {
+                        break; // loops are gone: shutting down
+                    }
+                    // The gauge is incremented here (not in the loop) so the
+                    // cap cannot be overshot by a burst sitting in the
+                    // injection queues.
+                    stats.connections_open.fetch_add(1, Ordering::Relaxed);
+                    stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                    let _ = target.waker.wake();
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(1));
                 }
@@ -195,27 +311,52 @@ fn spawn_acceptor(
     })
 }
 
-/// Best-effort `503` on a connection there is no worker capacity for.
+/// Best-effort `503` on a connection over the connection cap.  The accepted
+/// socket inherited the listener's `O_NONBLOCK` (Linux resets it, the BSD
+/// family does not), so blocking mode is restored explicitly before the
+/// write — otherwise the 503 could fail `WouldBlock` and the overloaded
+/// client would see a bare close instead of a status.  A short write
+/// timeout keeps a malicious zero-window peer from pinning the acceptor.
 fn reject_overloaded(mut stream: TcpStream) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
     let body = b"server overloaded, retry\n";
-    let mut out = Vec::with_capacity(128);
-    write_response_head(&mut out, 503, "Service Unavailable", "text/plain", body.len(), false);
+    let mut out = Vec::with_capacity(160);
+    write_response_head(
+        &mut out,
+        &ResponseHead {
+            version: Version::Http11,
+            status: 503,
+            reason: "Service Unavailable",
+            content_type: "text/plain",
+            content_length: body.len(),
+            keep_alive: false,
+            extra: &[],
+        },
+    );
     out.extend_from_slice(body);
     let _ = stream.write_all(&out);
 }
 
-fn spawn_worker(
-    rx: Receiver<TcpStream>,
+fn spawn_dispatch_worker(
+    jobs: Receiver<Job>,
     server: Arc<SimulationServer>,
-    stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
-    read_timeout: Duration,
-    started: Instant,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || loop {
-        match rx.recv_timeout(Duration::from_millis(50)) {
-            Ok(stream) => {
-                handle_connection(stream, &server, &stats, &shutdown, read_timeout, started);
+        match jobs.recv_timeout(Duration::from_millis(50)) {
+            Ok(job) => {
+                let payload = server.handle_raw(&job.body);
+                let completion = Completion {
+                    token: job.token,
+                    generation: job.generation,
+                    payload,
+                    keep_alive: job.keep_alive,
+                    version: job.version,
+                };
+                if job.reply.send(completion).is_ok() {
+                    let _ = job.waker.wake();
+                }
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shutdown.load(Ordering::Acquire) {
@@ -246,141 +387,634 @@ fn spawn_housekeeper(
     })
 }
 
-/// Drive one connection to completion: read, frame, dispatch, write, repeat
-/// while keep-alive holds.
-fn handle_connection(
-    mut stream: TcpStream,
-    server: &SimulationServer,
-    stats: &NetStats,
-    shutdown: &AtomicBool,
-    read_timeout: Duration,
-    started: Instant,
-) {
-    // On BSD-family kernels an accepted socket inherits the listener's
-    // O_NONBLOCK; this loop is written for blocking reads paced by the
-    // read timeout, so restore blocking mode explicitly.
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(read_timeout));
-    let mut parser = RequestParser::new();
-    let mut read_buf = vec![0u8; 16 * 1024];
-    let mut head_buf = Vec::with_capacity(256);
+/// Connection lifecycle phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for (more of) a request.
+    Reading,
+    /// A parsed request is executing on the dispatch pool.
+    Dispatching,
+    /// A response is (partially) buffered and being flushed.
+    Writing,
+}
 
-    loop {
-        // Drain every request already buffered (pipelining) before reading.
+/// One connection owned by an event loop.
+struct Conn {
+    stream: TcpStream,
+    generation: u64,
+    parser: RequestParser,
+    state: ConnState,
+    /// Response head (plus inline bodies); flushed before `payload`.
+    head: Vec<u8>,
+    head_pos: usize,
+    /// Shared protocol payload, written after the head without copying.
+    payload: Bytes,
+    payload_pos: usize,
+    close_after_write: bool,
+    /// Connection-fate deadline for the current phase (`None` while a
+    /// dispatch is in flight — simulation time is not the client's fault).
+    deadline: Option<Instant>,
+    interest: Interest,
+}
+
+/// Outcome of a write attempt.
+enum WriteProgress {
+    Complete,
+    Pending { progressed: bool },
+    Broken,
+}
+
+/// One event-loop thread: an epoll instance driving a slab of connections.
+struct EventLoop {
+    poller: Poller,
+    waker: Arc<Waker>,
+    inject: Receiver<TcpStream>,
+    completions: Receiver<Completion>,
+    completions_tx: Sender<Completion>,
+    jobs: Sender<Job>,
+    server: Arc<SimulationServer>,
+    stats: Arc<NetStats>,
+    shutdown: Arc<AtomicBool>,
+    config: NetConfig,
+    started: Instant,
+}
+
+impl EventLoop {
+    fn run(self) {
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut free: Vec<usize> = Vec::new();
+        let mut next_generation: u64 = 0;
+        let mut events = Events::with_capacity(1024);
+        let mut scratch: Vec<polling::Event> = Vec::with_capacity(1024);
+        let mut read_buf = vec![0u8; 64 * 1024];
+
+        // Deadlines are enforced by a periodic sweep; sweeping at half the
+        // shortest configured deadline keeps the enforcement error within
+        // 50% without scanning the slab on every event batch.
+        let sweep = self
+            .config
+            .header_deadline
+            .min(self.config.idle_deadline)
+            .min(self.config.write_deadline)
+            .mul_f64(0.5)
+            .clamp(Duration::from_millis(10), Duration::from_millis(250));
+        let mut next_sweep = Instant::now() + sweep;
+
+        while !self.shutdown.load(Ordering::Acquire) {
+            let timeout = next_sweep.saturating_duration_since(Instant::now());
+            let _ = self.poller.wait(&mut events, Some(timeout));
+            if self.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+
+            scratch.clear();
+            scratch.extend(events.iter().copied());
+            for event in &scratch {
+                if event.token == WAKER_TOKEN {
+                    self.waker.drain();
+                    continue;
+                }
+                self.handle_event(&mut conns, &mut free, event, &mut read_buf);
+            }
+
+            // Adopt connections the acceptor handed over.
+            while let Some(stream) = self.inject.try_recv() {
+                self.add_conn(&mut conns, &mut free, &mut next_generation, stream);
+            }
+
+            // Flush finished dispatches back onto their connections.
+            while let Some(completion) = self.completions.try_recv() {
+                self.handle_completion(&mut conns, &mut free, completion);
+            }
+
+            let now = Instant::now();
+            if now >= next_sweep {
+                next_sweep = now + sweep;
+                self.sweep_deadlines(&mut conns, &mut free, now);
+            }
+        }
+
+        // Shutdown: close every connection (deregistration happens via fd
+        // close; the explicit call keeps the poll(2) fallback's table clean).
+        for token in 0..conns.len() {
+            if conns[token].is_some() {
+                self.close(&mut conns, &mut free, token, CloseKind::Shutdown);
+            }
+        }
+    }
+
+    fn add_conn(
+        &self,
+        conns: &mut Vec<Option<Conn>>,
+        free: &mut Vec<usize>,
+        next_generation: &mut u64,
+        stream: TcpStream,
+    ) {
+        // The acceptor's listener is nonblocking; make the inherited mode
+        // explicit (BSD kernels inherit, Linux resets) — the loop is written
+        // for nonblocking I/O.
+        if stream.set_nonblocking(true).is_err() {
+            self.stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        *next_generation += 1;
+        let conn = Conn {
+            stream,
+            generation: *next_generation,
+            parser: RequestParser::new(),
+            state: ConnState::Reading,
+            head: Vec::with_capacity(256),
+            head_pos: 0,
+            payload: Bytes::new(),
+            payload_pos: 0,
+            close_after_write: false,
+            deadline: Some(Instant::now() + self.config.idle_deadline),
+            interest: Interest::READABLE,
+        };
+        let token = match free.pop() {
+            Some(token) => {
+                conns[token] = Some(conn);
+                token
+            }
+            None => {
+                conns.push(Some(conn));
+                conns.len() - 1
+            }
+        };
+        let conn = conns[token].as_ref().expect("just inserted");
+        if self.poller.register(conn.stream.as_raw_fd(), token, Interest::READABLE).is_err() {
+            conns[token] = None;
+            free.push(token);
+            self.stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    fn handle_event(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        event: &polling::Event,
+        read_buf: &mut [u8],
+    ) {
+        let Some(conn) = conns.get_mut(event.token).and_then(Option::as_mut) else {
+            return; // closed earlier in this batch
+        };
+        if event.error {
+            self.close(conns, free, event.token, CloseKind::Peer);
+            return;
+        }
+        match conn.state {
+            ConnState::Reading if event.readable => match conn.stream.read(read_buf) {
+                Ok(0) => {
+                    self.close(conns, free, event.token, CloseKind::Peer);
+                }
+                Ok(n) => {
+                    conn.parser.feed(&read_buf[..n]);
+                    self.advance(conns, free, event.token);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close(conns, free, event.token, CloseKind::Peer);
+                }
+            },
+            ConnState::Writing if event.writable => {
+                self.continue_write(conns, free, event.token);
+            }
+            // Spurious wakeups (e.g. readable while dispatching: the data
+            // stays in the socket buffer until this response is done).
+            _ => {}
+        }
+    }
+
+    /// Parse-and-route loop: serve every complete buffered request until the
+    /// connection blocks on reading, writing, or an in-flight dispatch.
+    fn advance(&self, conns: &mut [Option<Conn>], free: &mut Vec<usize>, token: usize) {
         loop {
-            match parser.next_request() {
+            let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+                return;
+            };
+            match conn.parser.next_request() {
                 Ok(Some(request)) => {
-                    stats.requests_served.fetch_add(1, Ordering::Relaxed);
-                    let keep_alive =
-                        respond(&mut stream, &request, server, stats, started, &mut head_buf);
-                    if !(keep_alive && request.keep_alive) {
+                    self.stats.requests_served.fetch_add(1, Ordering::Relaxed);
+                    if !self.route(conns, free, token, request) {
                         return;
                     }
                 }
-                Ok(None) => break,
+                Ok(None) => {
+                    // Need more bytes: a partial request races its header
+                    // deadline, an idle keep-alive its (longer) idle one.
+                    let partial = conn.parser.buffered() > 0;
+                    conn.state = ConnState::Reading;
+                    conn.deadline = Some(
+                        Instant::now()
+                            + if partial {
+                                self.config.header_deadline
+                            } else {
+                                self.config.idle_deadline
+                            },
+                    );
+                    self.set_interest(conn, token, Interest::READABLE);
+                    return;
+                }
                 Err(error) => {
-                    stats.http_errors.fetch_add(1, Ordering::Relaxed);
-                    respond_error(&mut stream, &error, &mut head_buf);
+                    self.stats.http_errors.fetch_add(1, Ordering::Relaxed);
+                    self.respond_framing_error(conns, free, token, &error);
                     return;
                 }
             }
         }
-        match stream.read(&mut read_buf) {
-            Ok(0) => return, // peer closed
-            Ok(n) => parser.feed(&read_buf[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if shutdown.load(Ordering::Acquire) {
-                    return; // close idle keep-alive connections on shutdown
+    }
+
+    /// Serve one parsed request.  Returns whether the caller may continue
+    /// parsing pipelined requests on this connection.
+    fn route(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        token: usize,
+        request: HttpRequest,
+    ) -> bool {
+        let conn = conns[token].as_mut().expect("routed conn is live");
+        let version = request.version;
+        let keep_alive = request.keep_alive;
+        match (request.method.as_str(), request.target.as_str()) {
+            ("POST", "/api") => {
+                let job = Job {
+                    reply: self.completions_sender(),
+                    waker: Arc::clone(&self.waker),
+                    token,
+                    generation: conn.generation,
+                    body: request.body,
+                    keep_alive,
+                    version,
+                };
+                match self.jobs.try_send(job) {
+                    Ok(()) => {
+                        conn.state = ConnState::Dispatching;
+                        conn.deadline = None;
+                        self.set_interest(conn, token, Interest::NONE);
+                        false
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        self.stats.dispatch_rejected.fetch_add(1, Ordering::Relaxed);
+                        let body = b"dispatch queue full, retry\n";
+                        self.inline_response(
+                            conns,
+                            free,
+                            token,
+                            InlineResponse {
+                                status: 503,
+                                reason: "Service Unavailable",
+                                content_type: "text/plain",
+                                body,
+                                keep_alive,
+                                version,
+                                extra: &[],
+                            },
+                        )
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        self.close(conns, free, token, CloseKind::Shutdown);
+                        false
+                    }
                 }
             }
-            Err(_) => return,
+            ("GET", "/healthz") => self.inline_response(
+                conns,
+                free,
+                token,
+                InlineResponse {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain",
+                    body: b"ok\n",
+                    keep_alive,
+                    version,
+                    extra: &[],
+                },
+            ),
+            ("GET", "/metrics") => {
+                let body = render_metrics(&self.server, &self.stats, self.started);
+                self.inline_response(
+                    conns,
+                    free,
+                    token,
+                    InlineResponse {
+                        status: 200,
+                        reason: "OK",
+                        content_type: "text/plain",
+                        body: body.as_bytes(),
+                        keep_alive,
+                        version,
+                        extra: &[],
+                    },
+                )
+            }
+            ("POST", _) | ("GET", _) => {
+                let body = format!("no such endpoint: {}\n", request.target);
+                self.inline_response(
+                    conns,
+                    free,
+                    token,
+                    InlineResponse {
+                        status: 404,
+                        reason: "Not Found",
+                        content_type: "text/plain",
+                        body: body.as_bytes(),
+                        keep_alive,
+                        version,
+                        extra: &[],
+                    },
+                )
+            }
+            (method, _) => {
+                let body = format!("method {method} not allowed\n");
+                self.inline_response(
+                    conns,
+                    free,
+                    token,
+                    InlineResponse {
+                        status: 405,
+                        reason: "Method Not Allowed",
+                        content_type: "text/plain",
+                        body: body.as_bytes(),
+                        keep_alive,
+                        version,
+                        // A 405 must name the methods the resource supports.
+                        extra: &[("allow", "GET, POST")],
+                    },
+                )
+            }
+        }
+    }
+
+    fn completions_sender(&self) -> Sender<Completion> {
+        // The loop's own completion sender: dispatch workers post back here.
+        self.completions_tx.clone()
+    }
+
+    fn handle_completion(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        completion: Completion,
+    ) {
+        let Some(conn) = conns.get_mut(completion.token).and_then(Option::as_mut) else {
+            return; // connection died while the request executed
+        };
+        if conn.generation != completion.generation || conn.state != ConnState::Dispatching {
+            return; // slot was reused: the payload belongs to a dead conn
+        }
+        conn.head.clear();
+        conn.head_pos = 0;
+        write_response_head(
+            &mut conn.head,
+            &ResponseHead {
+                version: completion.version,
+                status: 200,
+                reason: "OK",
+                content_type: "application/x-rvsim-payload",
+                content_length: completion.payload.len(),
+                keep_alive: completion.keep_alive,
+                extra: &[],
+            },
+        );
+        conn.payload = completion.payload;
+        conn.payload_pos = 0;
+        conn.close_after_write = !completion.keep_alive;
+        conn.state = ConnState::Writing;
+        conn.deadline = Some(Instant::now() + self.config.write_deadline);
+        self.continue_write(conns, free, completion.token);
+    }
+
+    /// Queue an inline (loop-built) response and start flushing it.  Returns
+    /// whether the caller may continue parsing pipelined requests.
+    fn inline_response(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        token: usize,
+        response: InlineResponse<'_>,
+    ) -> bool {
+        let conn = conns[token].as_mut().expect("inline response on live conn");
+        conn.head.clear();
+        conn.head_pos = 0;
+        write_response_head(
+            &mut conn.head,
+            &ResponseHead {
+                version: response.version,
+                status: response.status,
+                reason: response.reason,
+                content_type: response.content_type,
+                content_length: response.body.len(),
+                keep_alive: response.keep_alive,
+                extra: response.extra,
+            },
+        );
+        conn.head.extend_from_slice(response.body);
+        conn.payload = Bytes::new();
+        conn.payload_pos = 0;
+        conn.close_after_write = !response.keep_alive;
+        conn.state = ConnState::Writing;
+        conn.deadline = Some(Instant::now() + self.config.write_deadline);
+        self.flush_write(conns, free, token)
+    }
+
+    fn respond_framing_error(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        token: usize,
+        error: &HttpError,
+    ) {
+        let body = format!("{}\n", error.detail);
+        self.inline_response(
+            conns,
+            free,
+            token,
+            InlineResponse {
+                status: error.status,
+                reason: error.reason,
+                content_type: "text/plain",
+                body: body.as_bytes(),
+                // Framing errors are fatal: byte positions are lost.
+                keep_alive: false,
+                version: Version::Http11,
+                extra: &[],
+            },
+        );
+    }
+
+    /// Writing-state readiness: flush, then resume parsing if done.
+    fn continue_write(&self, conns: &mut [Option<Conn>], free: &mut Vec<usize>, token: usize) {
+        if self.flush_write(conns, free, token) {
+            self.advance(conns, free, token);
+        }
+    }
+
+    /// Push buffered response bytes to the socket.  Returns true when the
+    /// response is fully flushed and the connection stays open (i.e. the
+    /// caller may parse the next pipelined request).
+    fn flush_write(&self, conns: &mut [Option<Conn>], free: &mut Vec<usize>, token: usize) -> bool {
+        let Some(conn) = conns.get_mut(token).and_then(Option::as_mut) else {
+            return false;
+        };
+        match try_write(conn) {
+            WriteProgress::Complete => {
+                if conn.close_after_write {
+                    self.close(conns, free, token, CloseKind::Served);
+                    return false;
+                }
+                conn.state = ConnState::Reading;
+                conn.deadline = Some(Instant::now() + self.config.idle_deadline);
+                self.set_interest(conn, token, Interest::READABLE);
+                true
+            }
+            WriteProgress::Pending { progressed } => {
+                if progressed {
+                    conn.deadline = Some(Instant::now() + self.config.write_deadline);
+                }
+                conn.state = ConnState::Writing;
+                self.set_interest(conn, token, Interest::WRITABLE);
+                false
+            }
+            WriteProgress::Broken => {
+                self.close(conns, free, token, CloseKind::Peer);
+                false
+            }
+        }
+    }
+
+    fn set_interest(&self, conn: &mut Conn, token: usize, interest: Interest) {
+        if conn.interest != interest {
+            let _ = self.poller.reregister(conn.stream.as_raw_fd(), token, interest);
+            conn.interest = interest;
+        }
+    }
+
+    fn sweep_deadlines(&self, conns: &mut [Option<Conn>], free: &mut Vec<usize>, now: Instant) {
+        for token in 0..conns.len() {
+            let Some(conn) = conns[token].as_ref() else { continue };
+            let Some(deadline) = conn.deadline else { continue };
+            if now < deadline {
+                continue;
+            }
+            let kind = match conn.state {
+                ConnState::Reading if conn.parser.buffered() == 0 => CloseKind::Idle,
+                // Mid-head, mid-body or mid-response: the slow-client family.
+                _ => CloseKind::Stalled,
+            };
+            self.close(conns, free, token, kind);
+        }
+    }
+
+    fn close(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        token: usize,
+        kind: CloseKind,
+    ) {
+        let Some(conn) = conns[token].take() else { return };
+        let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        drop(conn);
+        free.push(token);
+        self.stats.connections_open.fetch_sub(1, Ordering::Relaxed);
+        match kind {
+            CloseKind::Stalled => {
+                self.stats.connections_stalled_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            CloseKind::Idle => {
+                self.stats.connections_idle_closed.fetch_add(1, Ordering::Relaxed);
+            }
+            CloseKind::Peer | CloseKind::Served | CloseKind::Shutdown => {}
         }
     }
 }
 
-/// Answer one request.  Returns whether the connection may stay open.
-fn respond(
-    stream: &mut TcpStream,
-    request: &HttpRequest,
-    server: &SimulationServer,
-    stats: &NetStats,
-    started: Instant,
-    head: &mut Vec<u8>,
-) -> bool {
-    head.clear();
-    let keep_alive = request.keep_alive;
-    let ok = match (request.method.as_str(), request.target.as_str()) {
-        ("POST", "/api") => {
-            // The protocol hot path: the response body is the server's
-            // shared payload handle, written to the socket without copying.
-            let payload = server.handle_raw(&request.body);
-            write_response_head(
-                head,
-                200,
-                "OK",
-                "application/x-rvsim-payload",
-                payload.len(),
-                keep_alive,
-            );
-            stream.write_all(head).and_then(|()| stream.write_all(&payload))
-        }
-        ("GET", "/healthz") => {
-            let body = b"ok\n";
-            write_response_head(head, 200, "OK", "text/plain", body.len(), keep_alive);
-            stream.write_all(head).and_then(|()| stream.write_all(body))
-        }
-        ("GET", "/metrics") => {
-            let body = render_metrics(server, stats, started);
-            write_response_head(head, 200, "OK", "text/plain", body.len(), keep_alive);
-            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
-        }
-        ("POST", _) | ("GET", _) => {
-            let body = format!("no such endpoint: {}\n", request.target);
-            write_response_head(head, 404, "Not Found", "text/plain", body.len(), keep_alive);
-            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
-        }
-        (method, _) => {
-            let body = format!("method {method} not allowed\n");
-            write_response_head(
-                head,
-                405,
-                "Method Not Allowed",
-                "text/plain",
-                body.len(),
-                keep_alive,
-            );
-            stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()))
-        }
-    };
-    ok.is_ok()
+/// Why a connection was closed (metrics attribution).
+#[derive(Debug, Clone, Copy)]
+enum CloseKind {
+    /// Peer closed or the socket errored.
+    Peer,
+    /// Response complete on a `connection: close` exchange.
+    Served,
+    /// Deadline fired with a request or response in flight.
+    Stalled,
+    /// Idle keep-alive deadline fired.
+    Idle,
+    /// Front end is shutting down.
+    Shutdown,
 }
 
-fn respond_error(stream: &mut TcpStream, error: &HttpError, head: &mut Vec<u8>) {
-    head.clear();
-    let body = format!("{}\n", error.detail);
-    write_response_head(head, error.status, error.reason, "text/plain", body.len(), false);
-    let _ = stream.write_all(head).and_then(|()| stream.write_all(body.as_bytes()));
+/// Response parameters for loop-built (non-dispatched) answers.
+struct InlineResponse<'a> {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    body: &'a [u8],
+    keep_alive: bool,
+    version: Version,
+    extra: &'a [(&'a str, &'a str)],
 }
 
-/// Plain-text metrics: front-end counters plus session-store gauges.
+/// Write as much buffered response as the socket accepts.
+fn try_write(conn: &mut Conn) -> WriteProgress {
+    let mut progressed = false;
+    loop {
+        let (source, pos): (&[u8], &mut usize) = if conn.head_pos < conn.head.len() {
+            (&conn.head, &mut conn.head_pos)
+        } else if conn.payload_pos < conn.payload.len() {
+            (&conn.payload, &mut conn.payload_pos)
+        } else {
+            return WriteProgress::Complete;
+        };
+        match conn.stream.write(&source[*pos..]) {
+            Ok(0) => return WriteProgress::Broken,
+            Ok(n) => {
+                *pos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return WriteProgress::Pending { progressed };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return WriteProgress::Broken,
+        }
+    }
+}
+
+/// Plain-text metrics: front-end counters, connection gauges, session-store
+/// gauges and the request-coalescing counters of the serve layer.
 fn render_metrics(server: &SimulationServer, stats: &NetStats, started: Instant) -> String {
     format!(
         "rvsim_uptime_seconds {}\n\
          rvsim_connections_accepted_total {}\n\
          rvsim_connections_rejected_total {}\n\
+         rvsim_connections_open {}\n\
+         rvsim_connections_stalled_closed_total {}\n\
+         rvsim_connections_idle_closed_total {}\n\
          rvsim_http_requests_total {}\n\
          rvsim_http_errors_total {}\n\
+         rvsim_dispatch_rejected_total {}\n\
+         rvsim_steps_coalesced_total {}\n\
+         rvsim_getstate_shared_total {}\n\
          rvsim_sessions_live {}\n\
          rvsim_sessions_evicted_total {}\n",
         started.elapsed().as_secs(),
         stats.connections_accepted.load(Ordering::Relaxed),
         stats.connections_rejected.load(Ordering::Relaxed),
+        stats.connections_open.load(Ordering::Relaxed),
+        stats.connections_stalled_closed.load(Ordering::Relaxed),
+        stats.connections_idle_closed.load(Ordering::Relaxed),
         stats.requests_served.load(Ordering::Relaxed),
         stats.http_errors.load(Ordering::Relaxed),
+        stats.dispatch_rejected.load(Ordering::Relaxed),
+        server.coalesced_step_count(),
+        server.shared_state_serve_count(),
         server.session_count(),
         server.evicted_session_count(),
     )

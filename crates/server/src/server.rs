@@ -7,9 +7,9 @@ use rvsim_asm::filter_assembly;
 use rvsim_cc::OptLevel;
 use rvsim_compress::Compressor;
 use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator, SnapshotBuffer, SnapshotDelta};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, PoisonError};
 use std::time::{Duration, Instant};
 
 /// How the server emulates its deployment (§IV-A, Table I).
@@ -88,6 +88,41 @@ struct SessionSlot {
     /// this session up.
     last_touched_ms: AtomicU64,
     session: Mutex<Session>,
+    /// Waiting room for the per-session `Step` combiner (request
+    /// coalescing): see [`SimulationServer::coalesced_step`].
+    steps: StepQueue,
+}
+
+/// One queued `Step` request awaiting the session's combiner.
+struct StepTicket {
+    id: u64,
+    cycles: u64,
+}
+
+/// Flat-combining queue for a session's `Step` requests.
+///
+/// When `Step`s for one session arrive faster than the simulator executes
+/// them, the threads carrying them do not line up on the session mutex.
+/// The first arrival becomes the *combiner*: it takes the session lock once
+/// and executes every queued ticket **in arrival order**, publishing each
+/// ticket's cumulative result; the other threads block on the condvar and
+/// wake with their response already computed.  The observable behaviour —
+/// every response and the final simulator state — is byte-identical to the
+/// same requests executing sequentially in arrival order; what is saved is
+/// N-1 lock handoffs and their cache-line migrations per batch.
+#[derive(Default)]
+struct StepQueue {
+    inner: Mutex<StepQueueInner>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct StepQueueInner {
+    next_ticket: u64,
+    pending: VecDeque<StepTicket>,
+    finished: HashMap<u64, Response>,
+    /// A combiner currently owns the session and will drain `pending`.
+    combining: bool,
 }
 
 /// Number of shards in the session store.  Power of two; sixteen shards keep
@@ -145,6 +180,12 @@ pub struct SimulationServer {
     session_count: AtomicUsize,
     /// Sessions dropped by the idle sweep over the server's lifetime.
     evicted_sessions: AtomicU64,
+    /// `Step` requests executed by another request's combiner pass (i.e.
+    /// requests that were coalesced instead of taking the session lock).
+    coalesced_steps: AtomicU64,
+    /// `GetState` answers served from the cached encoded payload as a
+    /// shared handle (no render, no copy).
+    shared_state_serves: AtomicU64,
     next_session: AtomicU64,
     /// Epoch for the per-session idle timestamps.
     started: Instant,
@@ -162,6 +203,8 @@ impl SimulationServer {
             shards: (0..SESSION_SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
             session_count: AtomicUsize::new(0),
             evicted_sessions: AtomicU64::new(0),
+            coalesced_steps: AtomicU64::new(0),
+            shared_state_serves: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
             started: Instant::now(),
             #[cfg(test)]
@@ -188,6 +231,18 @@ impl SimulationServer {
     /// Sessions dropped by the idle sweep over the server's lifetime.
     pub fn evicted_session_count(&self) -> u64 {
         self.evicted_sessions.load(Ordering::Relaxed)
+    }
+
+    /// `Step` requests whose cycles were executed by another request's
+    /// combiner pass (request coalescing) over the server's lifetime.
+    pub fn coalesced_step_count(&self) -> u64 {
+        self.coalesced_steps.load(Ordering::Relaxed)
+    }
+
+    /// `GetState` answers served as a shared handle to the cached encoded
+    /// payload (unchanged cycle: no render, no compression, no copy).
+    pub fn shared_state_serve_count(&self) -> u64 {
+        self.shared_state_serves.load(Ordering::Relaxed)
     }
 
     fn now_ms(&self) -> u64 {
@@ -293,13 +348,10 @@ impl SimulationServer {
                     ),
                 }
             }
-            Request::Step { session, cycles } => self.with_session(session, |s| {
-                let sim = &mut s.simulator;
-                for _ in 0..cycles {
-                    sim.step();
-                }
-                Response::Stepped { cycle: sim.cycle(), halted: sim.is_halted() }
-            }),
+            Request::Step { session, cycles } => match self.session(session) {
+                Some(slot) => self.coalesced_step(&slot, cycles),
+                None => Response::error(format!("unknown session {session}")),
+            },
             Request::StepBack { session, cycles } => self.with_session(session, |s| {
                 let sim = &mut s.simulator;
                 for _ in 0..cycles {
@@ -374,6 +426,7 @@ impl SimulationServer {
                 let slot = SessionSlot {
                     last_touched_ms: AtomicU64::new(self.now_ms()),
                     session: Mutex::new(Session { simulator, serve: ServeCache::default() }),
+                    steps: StepQueue::default(),
                 };
                 self.shards[shard_index(id)].write().insert(id, Arc::new(slot));
                 self.session_count.fetch_add(1, Ordering::AcqRel);
@@ -381,6 +434,78 @@ impl SimulationServer {
             }
             Err(e) => Response::error(e),
         }
+    }
+
+    /// Execute a `Step` through the session's flat-combining queue.
+    ///
+    /// The request enqueues a ticket.  If no combiner is active, this thread
+    /// becomes it: it takes the session lock and drains the queue in arrival
+    /// order — its own ticket and any that pile up while it simulates —
+    /// publishing each ticket's cumulative `(cycle, halted)` result.
+    /// Otherwise the active combiner will execute the ticket, and this
+    /// thread sleeps on the condvar until its response is published.
+    ///
+    /// Responses and final simulator state are byte-identical to the same
+    /// requests arriving strictly sequentially (each ticket observes the
+    /// cycle counter after exactly its own cycles on top of its
+    /// predecessors'): coalescing changes *which thread* turns the crank,
+    /// never what the crank does.
+    fn coalesced_step(&self, slot: &SessionSlot, cycles: u64) -> Response {
+        let queue = &slot.steps;
+        let ticket = {
+            let mut inner = queue.inner.lock();
+            let id = inner.next_ticket;
+            inner.next_ticket += 1;
+            inner.pending.push_back(StepTicket { id, cycles });
+            if inner.combining {
+                loop {
+                    if let Some(response) = inner.finished.remove(&id) {
+                        self.coalesced_steps.fetch_add(1, Ordering::Relaxed);
+                        return response;
+                    }
+                    inner = queue.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            inner.combining = true;
+            id
+        };
+        let mut session = slot.session.lock();
+        let mut own_response = None;
+        loop {
+            let batch: Vec<StepTicket> = {
+                let mut inner = queue.inner.lock();
+                if inner.pending.is_empty() {
+                    // Hand back combiner duty under the queue lock: a ticket
+                    // enqueued after this point sees `combining == false`
+                    // and combines for itself instead of waiting forever.
+                    inner.combining = false;
+                    break;
+                }
+                inner.pending.drain(..).collect()
+            };
+            let mut published = Vec::new();
+            for t in &batch {
+                let sim = &mut session.simulator;
+                for _ in 0..t.cycles {
+                    sim.step();
+                }
+                let response = Response::Stepped { cycle: sim.cycle(), halted: sim.is_halted() };
+                if t.id == ticket {
+                    own_response = Some(response);
+                } else {
+                    published.push((t.id, response));
+                }
+            }
+            if !published.is_empty() {
+                let mut inner = queue.inner.lock();
+                for (id, response) in published {
+                    inner.finished.insert(id, response);
+                }
+                queue.ready.notify_all();
+            }
+        }
+        drop(session);
+        own_response.expect("combiner drains its own ticket")
     }
 
     fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Response) -> Response {
@@ -481,6 +606,8 @@ impl SimulationServer {
             }
             serve.encoded = Bytes::from(out);
             serve.encoded_cycle = Some(cycle);
+        } else {
+            self.shared_state_serves.fetch_add(1, Ordering::Relaxed);
         }
         // The raw path serves full snapshots; a client that later asks for a
         // delta against this cycle must get one, so the base must exist.
@@ -922,6 +1049,117 @@ loop:
         assert_eq!(server.handle(Request::DestroySession { session: id }), Response::Destroyed);
         assert!(server.handle(Request::DestroySession { session: id }).is_error());
         assert_eq!(server.session_count(), kept);
+    }
+
+    #[test]
+    fn sequential_steps_never_count_as_coalesced() {
+        let server = server();
+        let id = create(&server);
+        for i in 1..=10u64 {
+            let r = server.handle(Request::Step { session: id, cycles: 1 });
+            assert_eq!(r, Response::Stepped { cycle: i, halted: false });
+        }
+        assert_eq!(server.coalesced_step_count(), 0, "no concurrency, no coalescing");
+    }
+
+    #[test]
+    fn concurrent_steps_coalesce_to_the_sequential_result() {
+        // N threads hammer one session with Step requests.  Whatever the
+        // interleaving, the combiner must (a) account for every requested
+        // cycle exactly once, (b) give each request a cumulative result as
+        // if it ran alone in its arrival slot, and (c) leave the session in
+        // a state byte-identical to the same total stepped sequentially.
+        const THREADS: usize = 8;
+        const STEPS_PER_THREAD: u64 = 5;
+        const CYCLES_PER_STEP: u64 = 3;
+        // A loop long enough that the simulator never halts inside the
+        // test's cycle budget (a halted simulator stops advancing the cycle
+        // counter, which would collapse the cumulative lattice).
+        const LONG_PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 1000000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    mv   a0, t0
+    ret
+";
+        let create_long = |server: &SimulationServer| -> u64 {
+            match server.handle(Request::CreateSession {
+                program: LONG_PROGRAM.into(),
+                architecture: None,
+                entry: None,
+            }) {
+                Response::SessionCreated { session } => session,
+                other => panic!("unexpected response {other:?}"),
+            }
+        };
+
+        let concurrent = Arc::new(server());
+        let id = create_long(&concurrent);
+        let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+        let mut threads = Vec::new();
+        for _ in 0..THREADS {
+            let server = Arc::clone(&concurrent);
+            let barrier = Arc::clone(&barrier);
+            threads.push(std::thread::spawn(move || {
+                barrier.wait();
+                let mut cycles_seen = Vec::new();
+                for _ in 0..STEPS_PER_THREAD {
+                    match server.handle(Request::Step { session: id, cycles: CYCLES_PER_STEP }) {
+                        Response::Stepped { cycle, .. } => cycles_seen.push(cycle),
+                        other => panic!("unexpected {other:?}"),
+                    }
+                }
+                cycles_seen
+            }));
+        }
+        let mut all_cycles: Vec<u64> =
+            threads.into_iter().flat_map(|t| t.join().unwrap()).collect();
+
+        let total = THREADS as u64 * STEPS_PER_THREAD * CYCLES_PER_STEP;
+        // (b): every response sits on the cumulative lattice and no two
+        // requests observe the same cycle — each got its own exclusive slot.
+        all_cycles.sort_unstable();
+        let expected: Vec<u64> =
+            (1..=THREADS as u64 * STEPS_PER_THREAD).map(|i| i * CYCLES_PER_STEP).collect();
+        assert_eq!(all_cycles, expected, "responses must be the sequential prefix sums");
+
+        // (a) + (c): final state equals a sequential run of the same total.
+        let sequential = server();
+        let id_seq = create_long(&sequential);
+        sequential.handle(Request::Step { session: id_seq, cycles: total });
+        let raw_conc = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let raw_seq = serde_json::to_vec(&Request::GetState { session: id_seq }).unwrap();
+        let conc_payload = concurrent.handle_raw(&raw_conc);
+        let seq_payload = sequential.handle_raw(&raw_seq);
+        // Payloads embed the session-independent state only, so they must
+        // match byte for byte.
+        assert_eq!(
+            conc_payload, seq_payload,
+            "coalesced execution must leave byte-identical state"
+        );
+        // The coalescing counter never exceeds the requests that could have
+        // been combined (everything but the combiner passes themselves).
+        assert!(concurrent.coalesced_step_count() <= (THREADS as u64 * STEPS_PER_THREAD));
+    }
+
+    #[test]
+    fn shared_state_serves_are_counted_on_cache_hits() {
+        let server = server();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 4 });
+        let request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        assert_eq!(server.shared_state_serve_count(), 0);
+        let _first = server.handle_raw(&request); // renders + caches
+        assert_eq!(server.shared_state_serve_count(), 0);
+        let _second = server.handle_raw(&request); // cache hit
+        let _third = server.handle_raw(&request); // cache hit
+        assert_eq!(server.shared_state_serve_count(), 2);
+        server.handle(Request::Step { session: id, cycles: 1 });
+        let _fourth = server.handle_raw(&request); // cycle moved: re-render
+        assert_eq!(server.shared_state_serve_count(), 2);
     }
 
     #[test]

@@ -1,0 +1,588 @@
+//! Vendored minimal `polling` stand-in: a thin, mio-style readiness wrapper
+//! over the kernel's I/O multiplexer, plus a cross-thread [`Waker`].
+//!
+//! The build environment is offline, so instead of the real `polling`/`mio`
+//! crates this declares the handful of libc symbols it needs directly
+//! (every Rust unix target links libc already) and wraps them in a safe,
+//! level-triggered API:
+//!
+//! * Linux: `epoll` — O(ready) wakeups, the backend the front end's
+//!   10k-connection target runs on;
+//! * other unix: `poll(2)` — O(registered) scans, functionally identical
+//!   (the workspace never registers more than a few thousand fds there).
+//!
+//! The API is deliberately small: register/modify/deregister an fd with an
+//! opaque `usize` token and an [`Interest`] (readable and/or writable), wait
+//! for a batch of [`Event`]s with an optional timeout, and wake the waiting
+//! thread from anywhere via [`Waker`] (eventfd on Linux, a self-pipe
+//! elsewhere).  All registrations are level-triggered: an fd stays ready
+//! until the condition is drained, so a handler that processes only part of
+//! the readable data is re-notified on the next wait.
+
+#![warn(missing_docs)]
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// Readiness interest of a registered fd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Notify when the fd is readable (or the peer closed).
+    pub readable: bool,
+    /// Notify when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Interest = Interest { readable: true, writable: false };
+    /// Writable only.
+    pub const WRITABLE: Interest = Interest { readable: false, writable: true };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest { readable: true, writable: true };
+    /// Neither direction: stay registered, deliver only error/hangup events.
+    pub const NONE: Interest = Interest { readable: false, writable: false };
+}
+
+/// One readiness notification.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// The fd has readable data (or EOF) pending.
+    pub readable: bool,
+    /// The fd accepts writes without blocking.
+    pub writable: bool,
+    /// Error or hangup: the connection is unusable and should be closed.
+    pub error: bool,
+}
+
+/// Reusable event batch filled by [`Poller::wait`].
+#[derive(Debug, Default)]
+pub struct Events {
+    events: Vec<Event>,
+}
+
+impl Events {
+    /// Batch with the default capacity.
+    pub fn new() -> Self {
+        Events::with_capacity(256)
+    }
+
+    /// Batch sized for `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Events { events: Vec::with_capacity(capacity.max(1)) }
+    }
+
+    /// Events delivered by the last wait.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the last wait delivered no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Milliseconds for the kernel timeout argument: `None` blocks forever,
+/// sub-millisecond timeouts round up so a short deadline never spins.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(t) => {
+            t.as_millis().min(i32::MAX as u128) as i32
+                + i32::from(t.subsec_nanos() % 1_000_000 != 0)
+        }
+    }
+}
+
+fn last_errno() -> io::Error {
+    io::Error::last_os_error()
+}
+
+/// Soft limit on open file descriptors for this process, when the platform
+/// exposes one.  Benchmarks use it to size connection sweeps so a
+/// high-connection run degrades into a clamped run instead of `EMFILE`.
+pub fn open_file_limit() -> Option<u64> {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+    }
+    // RLIMIT_NOFILE is 7 on Linux and 8 on the BSDs/macOS.
+    let resource = if cfg!(target_os = "linux") { 7 } else { 8 };
+    let mut limit = RLimit { cur: 0, max: 0 };
+    // SAFETY: getrlimit writes the two-field struct and nothing else.
+    let rc = unsafe { getrlimit(resource, &mut limit) };
+    (rc == 0).then_some(limit.cur)
+}
+
+// ---------------------------------------------------------------------------
+// Linux backend: epoll + eventfd.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLL_CLOEXEC: i32 = 0x80000;
+    const EFD_CLOEXEC: i32 = 0x80000;
+    const EFD_NONBLOCK: i32 = 0x800;
+
+    // The kernel ABI packs epoll_event on x86-64 only.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn eventfd(initval: u32, flags: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        // RDHUP rides along with readable interest only: a connection whose
+        // owner is not currently reading (e.g. a response is being computed)
+        // must not busy-wake a level-triggered wait just because the peer
+        // half-closed.
+        let mut events = 0;
+        if interest.readable {
+            events |= EPOLLIN | EPOLLRDHUP;
+        }
+        if interest.writable {
+            events |= EPOLLOUT;
+        }
+        events
+    }
+
+    /// Readiness poller over one epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: RawFd,
+    }
+
+    impl Poller {
+        /// Create an epoll instance.
+        pub fn new() -> io::Result<Poller> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(last_errno());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, events: u32, token: usize) -> io::Result<()> {
+            let mut event = EpollEvent { events, data: token as u64 };
+            // SAFETY: `event` outlives the call; epoll_ctl copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut event) };
+            if rc < 0 {
+                return Err(last_errno());
+            }
+            Ok(())
+        }
+
+        /// Register `fd` with `token` for `interest` (level-triggered).
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, mask(interest), token)
+        }
+
+        /// Change the interest of a registered fd.
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, mask(interest), token)
+        }
+
+        /// Remove a registered fd.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+        }
+
+        /// Wait for readiness events, blocking at most `timeout`.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.events.clear();
+            let capacity = events.events.capacity().min(4096) as i32;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 1024];
+            let max = capacity.min(raw.len() as i32);
+            // SAFETY: the kernel writes at most `max` entries into `raw`.
+            let n = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), max, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = last_errno();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for entry in &raw[..n as usize] {
+                let bits = entry.events;
+                events.events.push(Event {
+                    token: entry.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(events.events.len())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: epfd is owned by this poller.
+            unsafe { close(self.epfd) };
+        }
+    }
+
+    /// Cross-thread wakeup for a [`Poller`] via an eventfd registered like
+    /// any other fd.
+    #[derive(Debug)]
+    pub struct Waker {
+        efd: RawFd,
+    }
+
+    impl Waker {
+        /// Create a waker and register it on `poller` under `token`.
+        pub fn new(poller: &Poller, token: usize) -> io::Result<Waker> {
+            // SAFETY: plain syscall, no pointers.
+            let efd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+            if efd < 0 {
+                return Err(last_errno());
+            }
+            poller.register(efd, token, Interest::READABLE)?;
+            Ok(Waker { efd })
+        }
+
+        /// Wake the poller: its current (or next) wait returns with the
+        /// waker's token readable.
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            // SAFETY: writes 8 bytes from a live stack slot.
+            let n = unsafe { write(self.efd, (&one as *const u64).cast(), 8) };
+            // A full eventfd counter still wakes the poller: success.
+            if n == 8 || last_errno().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(last_errno())
+            }
+        }
+
+        /// Drain pending wakeups (call when the waker's token fires).
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // SAFETY: reads at most 8 bytes into a live stack buffer.
+            unsafe { read(self.efd, buf.as_mut_ptr(), 8) };
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: efd is owned by this waker.
+            unsafe { close(self.efd) };
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Portable unix backend: poll(2) + self-pipe.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    use super::*;
+    use std::sync::Mutex;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+        fn pipe(fds: *mut i32) -> i32;
+        fn fcntl(fd: i32, cmd: i32, arg: i32) -> i32;
+        fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+        fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// Readiness poller over poll(2) with an interest table.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<Vec<(RawFd, usize, Interest)>>,
+    }
+
+    impl Poller {
+        /// Create a poller.
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller { registered: Mutex::new(Vec::new()) })
+        }
+
+        /// Register `fd` with `token` for `interest` (level-triggered).
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut table = self.registered.lock().unwrap();
+            if table.iter().any(|&(f, _, _)| f == fd) {
+                return Err(io::Error::new(io::ErrorKind::AlreadyExists, "fd registered twice"));
+            }
+            table.push((fd, token, interest));
+            Ok(())
+        }
+
+        /// Change the interest of a registered fd.
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut table = self.registered.lock().unwrap();
+            match table.iter_mut().find(|(f, _, _)| *f == fd) {
+                Some(entry) => {
+                    *entry = (fd, token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        /// Remove a registered fd.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut table = self.registered.lock().unwrap();
+            let before = table.len();
+            table.retain(|&(f, _, _)| f != fd);
+            if table.len() == before {
+                return Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered"));
+            }
+            Ok(())
+        }
+
+        /// Wait for readiness events, blocking at most `timeout`.
+        pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<usize> {
+            events.events.clear();
+            let snapshot: Vec<(RawFd, usize, Interest)> = self.registered.lock().unwrap().clone();
+            let mut fds: Vec<PollFd> = snapshot
+                .iter()
+                .map(|&(fd, _, interest)| PollFd {
+                    fd,
+                    events: if interest.readable { POLLIN } else { 0 }
+                        | if interest.writable { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            // SAFETY: `fds` is a live, correctly sized PollFd array.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+            if n < 0 {
+                let e = last_errno();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for (entry, &(_, token, _)) in fds.iter().zip(snapshot.iter()) {
+                let bits = entry.revents;
+                if bits == 0 {
+                    continue;
+                }
+                events.events.push(Event {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    error: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(events.events.len())
+        }
+    }
+
+    /// Cross-thread wakeup via a nonblocking self-pipe.
+    #[derive(Debug)]
+    pub struct Waker {
+        rx: RawFd,
+        tx: RawFd,
+    }
+
+    impl Waker {
+        /// Create a waker and register its read end on `poller`.
+        pub fn new(poller: &Poller, token: usize) -> io::Result<Waker> {
+            const F_SETFL: i32 = 4;
+            const O_NONBLOCK: i32 = 0x4;
+            let mut fds = [0i32; 2];
+            // SAFETY: pipe writes exactly two fds.
+            if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+                return Err(last_errno());
+            }
+            // SAFETY: plain fcntl on owned fds.
+            unsafe {
+                fcntl(fds[0], F_SETFL, O_NONBLOCK);
+                fcntl(fds[1], F_SETFL, O_NONBLOCK);
+            }
+            poller.register(fds[0], token, Interest::READABLE)?;
+            Ok(Waker { rx: fds[0], tx: fds[1] })
+        }
+
+        /// Wake the poller.
+        pub fn wake(&self) -> io::Result<()> {
+            let byte = 1u8;
+            // SAFETY: writes one byte from a live stack slot.
+            let n = unsafe { write(self.tx, &byte, 1) };
+            if n == 1 || last_errno().kind() == io::ErrorKind::WouldBlock {
+                Ok(())
+            } else {
+                Err(last_errno())
+            }
+        }
+
+        /// Drain pending wakeups.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 64];
+            loop {
+                // SAFETY: reads into a live stack buffer.
+                let n = unsafe { read(self.rx, buf.as_mut_ptr(), buf.len()) };
+                if n <= 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    impl Drop for Waker {
+        fn drop(&mut self) {
+            // SAFETY: both pipe ends are owned by this waker.
+            unsafe {
+                close(self.rx);
+                close(self.tx);
+            }
+        }
+    }
+}
+
+pub use sys::{Poller, Waker};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+    use std::time::Instant;
+
+    fn loopback_pair() -> Option<(TcpStream, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0").ok()?;
+        let client = TcpStream::connect(listener.local_addr().ok()?).ok()?;
+        let (server, _) = listener.accept().ok()?;
+        Some((client, server))
+    }
+
+    #[test]
+    fn readable_event_fires_when_data_arrives() {
+        let Some((mut client, server)) = loopback_pair() else {
+            eprintln!("skipping: loopback unavailable");
+            return;
+        };
+        let poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 7, Interest::READABLE).unwrap();
+        let mut events = Events::new();
+
+        // Nothing readable yet: a short wait times out empty.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+
+        client.write_all(b"ping").unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        let event = events.iter().next().expect("readable event");
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+        poller.deregister(server.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn interest_changes_and_writability() {
+        let Some((client, server)) = loopback_pair() else {
+            eprintln!("skipping: loopback unavailable");
+            return;
+        };
+        let _ = client;
+        let poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 1, Interest::NONE).unwrap();
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty(), "no interest, no events");
+
+        // An idle socket's send buffer has room: writable fires immediately.
+        poller.reregister(server.as_raw_fd(), 1, Interest::WRITABLE).unwrap();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.writable));
+    }
+
+    #[test]
+    fn hangup_is_reported_as_readable() {
+        let Some((client, server)) = loopback_pair() else {
+            eprintln!("skipping: loopback unavailable");
+            return;
+        };
+        let poller = Poller::new().unwrap();
+        poller.register(server.as_raw_fd(), 3, Interest::READABLE).unwrap();
+        drop(client);
+        let mut events = Events::new();
+        poller.wait(&mut events, Some(Duration::from_secs(2))).unwrap();
+        let event = events.iter().next().expect("hangup event");
+        assert!(event.readable, "EOF must read as readable so the 0-byte read is observed");
+        let mut buf = [0u8; 8];
+        let mut stream = server;
+        assert_eq!(stream.read(&mut buf).unwrap(), 0);
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let poller = Poller::new().unwrap();
+        let waker = std::sync::Arc::new(Waker::new(&poller, usize::MAX).unwrap());
+        let remote = std::sync::Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake().unwrap();
+        });
+        let mut events = Events::new();
+        let start = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5), "waker must interrupt the wait");
+        assert!(events.iter().any(|e| e.token == usize::MAX && e.readable));
+        waker.drain();
+        // Drained: the next wait times out instead of spinning on the token.
+        poller.wait(&mut events, Some(Duration::from_millis(10))).unwrap();
+        assert!(events.is_empty());
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn open_file_limit_is_sane() {
+        let limit = open_file_limit().expect("unix exposes RLIMIT_NOFILE");
+        assert!(limit >= 64, "limit {limit} is implausibly small");
+    }
+}
