@@ -64,6 +64,7 @@ fn bench_components(c: &mut Criterion) {
             program: program_mixed(),
             architecture: None,
             entry: None,
+            session: None,
         }) {
             rvsim_server::Response::SessionCreated { session } => session,
             other => panic!("unexpected {other:?}"),

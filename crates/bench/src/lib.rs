@@ -372,6 +372,12 @@ pub struct ServerBenchReport {
     /// `rvsim-cli bench --server --high-connections`; empty otherwise.
     #[serde(default)]
     pub high_connection: Vec<rvsim_loadgen::HighConnectionReport>,
+    /// Multi-node scale-out: aggregate cached-`GetState` throughput through
+    /// the router tier over growing backend fleets, plus a drain-under-load
+    /// measurement.  Populated by `rvsim-cli bench --server --multi-node`;
+    /// `None` otherwise (and when loopback is unavailable).
+    #[serde(default)]
+    pub multi_node: Option<MultiNodeSection>,
 }
 
 impl ServerBenchReport {
@@ -422,6 +428,7 @@ pub fn raw_bench_server(compress: bool) -> (SimulationServer, u64) {
         program: program_server(),
         architecture: None,
         entry: None,
+        session: None,
     })
     .expect("request serializes");
     let payload = server.handle_raw(&create);
@@ -496,7 +503,13 @@ pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
             load.push(ServerLoadSample { users, compressed: true, mode: mode.to_string(), report });
         }
     }
-    ServerBenchReport { raw, load, tcp: run_tcp_load_bench(options), high_connection: Vec::new() }
+    ServerBenchReport {
+        raw,
+        load,
+        tcp: run_tcp_load_bench(options),
+        high_connection: Vec::new(),
+        multi_node: None,
+    }
 }
 
 /// The TCP section of the server benchmark: the paper scenario through
@@ -536,6 +549,304 @@ pub fn run_tcp_load_bench(options: &ServerBenchOptions) -> Vec<ServerLoadSample>
         }
     }
     tcp
+}
+
+// ---------------------------------------------------------------------------
+// Multi-node scale-out benchmark (router tier over emulated remote backends)
+// ---------------------------------------------------------------------------
+
+/// One point of the multi-node scaling sweep: `backends` emulated nodes
+/// behind one router, saturated with cached-`GetState` fan-out clients.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiNodeScalingSample {
+    /// Backend processes behind the router.
+    pub backends: usize,
+    /// Warmed sessions spread across the fleet.
+    pub sessions: usize,
+    /// Requests completed in the window.
+    pub requests: u64,
+    /// Failed requests (must be 0 on a healthy fleet).
+    pub errors: u64,
+    /// Measurement window in seconds.
+    pub wall_seconds: f64,
+    /// Aggregate throughput in requests per second — the scaling metric.
+    pub aggregate_rps: f64,
+}
+
+/// The drain-under-load measurement: clients hammer the fleet while one
+/// backend is live-drained.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiNodeDrainSample {
+    /// Sessions on the drained backend when the drain started.
+    pub sessions: usize,
+    /// Sessions the drain migrated.
+    pub migrated: usize,
+    /// Sessions the drain failed to move.
+    pub failed: usize,
+    /// Client requests completed while the drain ran.
+    pub requests: u64,
+    /// Client-visible errors during the drain (the headline: must be 0).
+    pub errors: u64,
+    /// Measurement window in seconds.
+    pub wall_seconds: f64,
+}
+
+/// The `multi_node` section of `BENCH_server.json`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiNodeSection {
+    /// Per-request service time each emulated backend sleeps, in
+    /// microseconds.  The host is often a single core, so real CPU-bound
+    /// backends cannot scale on it; sleeping backends overlap exactly the
+    /// way network-separated nodes would, which is what the router tier is
+    /// being measured on.
+    pub emulated_service_time_us: u64,
+    /// One sample per backend count.
+    pub scaling: Vec<MultiNodeScalingSample>,
+    /// `aggregate_rps` of the largest fleet over the single-backend fleet.
+    pub speedup_1_to_max: f64,
+    /// Drain-under-load sample (real `Direct` backends, no sleep emulation).
+    #[serde(default)]
+    pub drain: Option<MultiNodeDrainSample>,
+}
+
+/// How long each emulated backend sleeps per request in the scaling sweep.
+pub const MULTI_NODE_SERVICE_TIME_US: u64 = 1_500;
+
+/// Sessions placed per backend in the scaling sweep.
+const SESSIONS_PER_BACKEND: usize = 4;
+
+/// Start one emulated remote backend: a real `rvsim-net` front end whose
+/// server sleeps [`MULTI_NODE_SERVICE_TIME_US`] per request, so a fleet of
+/// them overlaps on one host the way separate machines would.
+fn start_emulated_backend() -> std::io::Result<rvsim_net::NetServer> {
+    rvsim_net::NetServer::start(
+        SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::RemoteEmulated { service_time_us: MULTI_NODE_SERVICE_TIME_US },
+            compress_responses: true,
+            worker_threads: 1,
+            idle_session_ttl_seconds: None,
+        }),
+        rvsim_net::NetConfig {
+            event_loops: 1,
+            dispatch_workers: 2,
+            ..rvsim_net::NetConfig::default()
+        },
+    )
+}
+
+/// Start a router front end over `backends`, returning the handler too (the
+/// benchmark asks it for ring placements).
+fn start_router(
+    backends: &[rvsim_net::NetServer],
+    dispatch_workers: usize,
+) -> std::io::Result<(rvsim_net::NetServer, std::sync::Arc<rvsim_net::Router>)> {
+    let router = std::sync::Arc::new(rvsim_net::Router::new(
+        backends.iter().map(|b| b.local_addr()).collect(),
+    ));
+    let front = rvsim_net::NetServer::start_with_handler(
+        std::sync::Arc::clone(&router) as std::sync::Arc<dyn rvsim_net::ApiHandler>,
+        rvsim_net::NetConfig {
+            event_loops: 1,
+            dispatch_workers,
+            ..rvsim_net::NetConfig::default()
+        },
+    )?;
+    Ok((front, router))
+}
+
+/// Pick explicit session ids whose ring placement is balanced: `per_backend`
+/// ids owned by each backend, scanning upward from a fixed base.
+fn balanced_session_ids(
+    router: &rvsim_net::Router,
+    backends: usize,
+    per_backend: usize,
+) -> Vec<Vec<u64>> {
+    let mut ids: Vec<Vec<u64>> = vec![Vec::new(); backends];
+    let mut candidate = rvsim_net::ROUTER_SESSION_BASE + 10_000_000;
+    while ids.iter().any(|list| list.len() < per_backend) {
+        if let Some(owner) = router.placement(candidate) {
+            if ids[owner].len() < per_backend {
+                ids[owner].push(candidate);
+            }
+        }
+        candidate += 1;
+    }
+    ids
+}
+
+/// Create and warm the given sessions through the router.
+fn warm_sessions(addr: std::net::SocketAddr, ids: &[u64]) -> Result<(), String> {
+    let mut client = rvsim_net::TcpApiClient::new(addr);
+    for &session in ids {
+        match client.call(&rvsim_server::Request::CreateSession {
+            program: program_server(),
+            architecture: None,
+            entry: None,
+            session: Some(session),
+        })? {
+            rvsim_server::Response::SessionCreated { session: created } if created == session => {}
+            other => return Err(format!("unexpected create response {other:?}")),
+        }
+        match client.call(&rvsim_server::Request::Step { session, cycles: 8 })? {
+            rvsim_server::Response::Stepped { .. } => {}
+            other => return Err(format!("unexpected step response {other:?}")),
+        }
+    }
+    Ok(())
+}
+
+/// One scaling point: `backends` emulated nodes behind a router, saturated
+/// for `seconds` with per-backend fan-out client pairs.
+fn measure_multi_node_point(
+    backends: usize,
+    seconds: f64,
+) -> Result<MultiNodeScalingSample, String> {
+    let fleet: Vec<rvsim_net::NetServer> = (0..backends)
+        .map(|_| start_emulated_backend())
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| format!("cannot start backend: {e}"))?;
+    let (front, router) = start_router(&fleet, (4 * backends).max(8))
+        .map_err(|e| format!("cannot start router: {e}"))?;
+    let addr = front.local_addr();
+
+    let per_backend = balanced_session_ids(&router, backends, SESSIONS_PER_BACKEND);
+    for ids in &per_backend {
+        warm_sessions(addr, ids)?;
+    }
+
+    // Two closed-loop clients per backend's session set: enough concurrency
+    // to overlap every backend's emulated service time, few enough threads
+    // that the (possibly single-core) host spends its cycles serving.
+    let targets: Vec<(std::net::SocketAddr, Vec<u64>)> =
+        per_backend.iter().map(|ids| (addr, ids.clone())).collect();
+    let report = rvsim_loadgen::run_cached_state_fanout(
+        &targets,
+        2,
+        std::time::Duration::from_secs_f64(seconds),
+    );
+
+    let sample = MultiNodeScalingSample {
+        backends,
+        sessions: backends * SESSIONS_PER_BACKEND,
+        requests: report.requests,
+        errors: report.errors,
+        wall_seconds: report.wall_seconds,
+        aggregate_rps: report.rps(),
+    };
+    front.shutdown();
+    for backend in fleet {
+        backend.shutdown();
+    }
+    Ok(sample)
+}
+
+/// Drain-under-load: two real (`Direct`) backends behind a router, client
+/// threads hammering every session while backend 0 is live-drained.
+fn measure_multi_node_drain(seconds: f64) -> Result<MultiNodeDrainSample, String> {
+    let fleet: Vec<rvsim_net::NetServer> = (0..2)
+        .map(|_| {
+            rvsim_net::NetServer::start(
+                SimulationServer::new(DeploymentConfig {
+                    mode: DeploymentMode::Direct,
+                    compress_responses: true,
+                    worker_threads: 2,
+                    idle_session_ttl_seconds: None,
+                }),
+                rvsim_net::NetConfig {
+                    event_loops: 1,
+                    dispatch_workers: 2,
+                    ..rvsim_net::NetConfig::default()
+                },
+            )
+        })
+        .collect::<std::io::Result<_>>()
+        .map_err(|e| format!("cannot start backend: {e}"))?;
+    let (front, router) =
+        start_router(&fleet, 8).map_err(|e| format!("cannot start router: {e}"))?;
+    let addr = front.local_addr();
+
+    let per_backend = balanced_session_ids(&router, 2, SESSIONS_PER_BACKEND);
+    for ids in &per_backend {
+        warm_sessions(addr, ids)?;
+    }
+    let all_ids: Vec<u64> = per_backend.iter().flatten().copied().collect();
+
+    // Fire the drain from a side thread a third of the way into the window,
+    // while the fan-out clients are at full speed.
+    let drain = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(seconds / 3.0));
+        rvsim_net::http_post(
+            addr,
+            "/admin/drain",
+            br#"{"backend":0}"#,
+            std::time::Duration::from_secs(60),
+        )
+    });
+    let report = rvsim_loadgen::run_cached_state_fanout(
+        &[(addr, all_ids.clone())],
+        4,
+        std::time::Duration::from_secs_f64(seconds),
+    );
+    let (status, body) = drain.join().expect("drain thread").map_err(|e| format!("drain: {e}"))?;
+    if status != 200 {
+        return Err(format!("drain answered {status}: {}", String::from_utf8_lossy(&body)));
+    }
+    let drain_report: rvsim_net::DrainReport =
+        serde_json::from_slice(&body).map_err(|e| format!("drain report: {e}"))?;
+
+    let sample = MultiNodeDrainSample {
+        sessions: drain_report.sessions,
+        migrated: drain_report.migrated,
+        failed: drain_report.failed.len(),
+        requests: report.requests,
+        errors: report.errors,
+        wall_seconds: report.wall_seconds,
+    };
+    front.shutdown();
+    for backend in fleet {
+        backend.shutdown();
+    }
+    Ok(sample)
+}
+
+/// Run the multi-node scale-out benchmark: one scaling point per backend
+/// count in `backend_counts` (each measured for `seconds`), plus the
+/// drain-under-load sample.  Returns `None` (after a note on stderr) when
+/// loopback sockets are unavailable.
+pub fn run_multi_node_bench(backend_counts: &[usize], seconds: f64) -> Option<MultiNodeSection> {
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping multi-node section: loopback unavailable");
+        return None;
+    }
+    let mut scaling = Vec::new();
+    for &backends in backend_counts {
+        match measure_multi_node_point(backends.max(1), seconds) {
+            Ok(sample) => scaling.push(sample),
+            Err(e) => {
+                eprintln!("skipping multi-node section: {e}");
+                return None;
+            }
+        }
+    }
+    let speedup = match (scaling.first(), scaling.last()) {
+        (Some(first), Some(last)) if first.aggregate_rps > 0.0 => {
+            last.aggregate_rps / first.aggregate_rps
+        }
+        _ => 0.0,
+    };
+    let drain = match measure_multi_node_drain((seconds * 1.5).max(1.0)) {
+        Ok(sample) => Some(sample),
+        Err(e) => {
+            eprintln!("multi-node drain sample failed: {e}");
+            None
+        }
+    };
+    Some(MultiNodeSection {
+        emulated_service_time_us: MULTI_NODE_SERVICE_TIME_US,
+        scaling,
+        speedup_1_to_max: speedup,
+        drain,
+    })
 }
 
 /// Print a paper-style table header once per bench run.
@@ -648,6 +959,30 @@ mod tests {
         // A pre-TCP report (no `tcp` key) still deserializes.
         let legacy: ServerBenchReport = serde_json::from_str(r#"{"raw":[],"load":[]}"#).unwrap();
         assert!(legacy.tcp.is_empty());
+    }
+
+    #[test]
+    fn multi_node_bench_scales_and_drains_cleanly() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping multi-node smoke test: loopback unavailable");
+            return;
+        }
+        let section = run_multi_node_bench(&[1, 2], 0.4).expect("loopback was available");
+        assert_eq!(section.scaling.len(), 2);
+        for sample in &section.scaling {
+            assert_eq!(sample.errors, 0, "fleet of {} saw errors", sample.backends);
+            assert!(sample.requests > 0);
+            assert!(sample.aggregate_rps > 0.0);
+        }
+        assert!(section.speedup_1_to_max > 1.0, "2 backends must beat 1: {section:?}");
+        let drain = section.drain.as_ref().expect("drain sample on loopback");
+        assert_eq!(drain.errors, 0, "drain must be invisible to clients");
+        assert_eq!(drain.failed, 0);
+        assert_eq!(drain.migrated, drain.sessions);
+        assert!(drain.requests > 0);
+        let json = serde_json::to_string(&section).unwrap();
+        let back: MultiNodeSection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.scaling.len(), section.scaling.len());
     }
 
     #[test]

@@ -313,6 +313,12 @@ OPTIONS:
                             default: skipped).  When client and server fds
                             together exceed the fd budget the server runs
                             in a child `rvsim-cli serve` process
+    --multi-node <N[,N..]>  also measure the router tier: for each backend
+                            count N, start N emulated-remote nodes behind a
+                            consistent-hash router and record the aggregate
+                            cached-GetState throughput, plus one
+                            drain-under-load sample (server mode; default:
+                            skipped)
     --help                  show this help
 ";
 
@@ -334,6 +340,8 @@ pub struct BenchCliOptions {
     pub users: Vec<usize>,
     /// High-connection sweep points (server mode; empty = skip the sweep).
     pub high_connections: Vec<usize>,
+    /// Multi-node backend counts (server mode; empty = skip the section).
+    pub multi_node: Vec<usize>,
 }
 
 impl Default for BenchCliOptions {
@@ -346,6 +354,7 @@ impl Default for BenchCliOptions {
             time_scale: 0.05,
             users: vec![1, 8, 32],
             high_connections: Vec::new(),
+            multi_node: Vec::new(),
         }
     }
 }
@@ -426,6 +435,22 @@ impl BenchCliOptions {
                         return Err("--high-connections needs at least one count".to_string());
                     }
                 }
+                "--multi-node" => {
+                    let v = value(&mut i, "--multi-node")?;
+                    options.multi_node = v
+                        .split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<usize>()
+                                .ok()
+                                .filter(|&n| n > 0)
+                                .ok_or_else(|| format!("invalid backend count `{part}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if options.multi_node.is_empty() {
+                        return Err("--multi-node needs at least one count".to_string());
+                    }
+                }
                 "--help" | "-h" => return Err(BENCH_USAGE.to_string()),
                 other => return Err(format!("unknown argument `{other}`\n\n{BENCH_USAGE}")),
             }
@@ -497,6 +522,13 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             &rvsim_loadgen::HighConnectionOptions::default(),
         )?;
     }
+    if !options.multi_node.is_empty() {
+        // Each scaling point is its own fleet; a sub-second window is too
+        // noisy to compare them, so the per-point floor is 1s even when the
+        // rest of the bench runs in smoke mode.
+        report.multi_node =
+            rvsim_bench::run_multi_node_bench(&options.multi_node, options.min_seconds.max(1.0));
+    }
 
     if options.json {
         let value = serde_json::json!({
@@ -509,6 +541,7 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             "load": report.load,
             "tcp": report.tcp,
             "high_connection": report.high_connection,
+            "multi_node": report.multi_node,
         });
         let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
         text.push('\n');
@@ -547,6 +580,29 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
         for r in &report.high_connection {
             out.push_str(&r.table_row());
             out.push('\n');
+        }
+    }
+    if let Some(section) = &report.multi_node {
+        out.push_str(&format!(
+            "=== multi-node scaling (router tier, {}us emulated service time) ===\n",
+            section.emulated_service_time_us
+        ));
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>12} {:>12} {:>8}\n",
+            "backends", "sessions", "requests", "req/s", "errors"
+        ));
+        for s in &section.scaling {
+            out.push_str(&format!(
+                "{:<10} {:>10} {:>12} {:>12.0} {:>8}\n",
+                s.backends, s.sessions, s.requests, s.aggregate_rps, s.errors
+            ));
+        }
+        out.push_str(&format!("speedup 1 -> max: {:.2}x\n", section.speedup_1_to_max));
+        if let Some(d) = &section.drain {
+            out.push_str(&format!(
+                "live drain: {}/{} sessions migrated, {} client requests, {} errors\n",
+                d.migrated, d.sessions, d.requests, d.errors
+            ));
         }
     }
     Ok(out)
@@ -638,6 +694,10 @@ USAGE:
 OPTIONS:
     --tcp                   serve over TCP (mandatory: the only transport;
                             in-process serving has no CLI — use the library)
+    --router <A:P[,A:P..]>  run as a router tier instead of a simulation
+                            node: consistent-hash sessions across the given
+                            backend addresses, proxy the protocol, aggregate
+                            /metrics, and accept POST /admin/drain
     --addr <IP:PORT>        bind address (default 127.0.0.1:8911; port 0
                             picks a free port, printed at startup)
     --event-loops <N>       event-loop threads; each carries a share of all
@@ -677,6 +737,9 @@ pub struct ServeCliOptions {
     pub compress: bool,
     /// Idle-session TTL in seconds (`None` disables eviction).
     pub idle_ttl_seconds: Option<u64>,
+    /// Router mode: backend addresses to consistent-hash sessions across
+    /// (empty = run a simulation node, not a router).
+    pub router_backends: Vec<std::net::SocketAddr>,
 }
 
 impl Default for ServeCliOptions {
@@ -690,6 +753,7 @@ impl Default for ServeCliOptions {
             pending: 1024,
             compress: true,
             idle_ttl_seconds: None,
+            router_backends: Vec::new(),
         }
     }
 }
@@ -740,6 +804,20 @@ impl ServeCliOptions {
                         .ok_or_else(|| format!("invalid queue bound `{v}`"))?;
                 }
                 "--no-compress" => options.compress = false,
+                "--router" => {
+                    let v = value(&mut i, "--router")?;
+                    options.router_backends = v
+                        .split(',')
+                        .map(|part| {
+                            part.trim()
+                                .parse::<std::net::SocketAddr>()
+                                .map_err(|_| format!("invalid backend address `{part}`"))
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    if options.router_backends.is_empty() {
+                        return Err("--router needs at least one backend".to_string());
+                    }
+                }
                 "--idle-ttl" => {
                     let v = value(&mut i, "--idle-ttl")?;
                     options.idle_ttl_seconds =
@@ -757,15 +835,11 @@ impl ServeCliOptions {
     }
 }
 
-/// Start the network front end described by `options`.  Returns the running
-/// server (the binary parks on it until killed; tests shut it down).
+/// Start the network front end described by `options`: a simulation node,
+/// or — with `--router` — a router tier over the given backends.  Returns
+/// the running server (the binary parks on it until killed; tests shut it
+/// down).
 pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, String> {
-    let deployment = rvsim_server::DeploymentConfig {
-        mode: rvsim_server::DeploymentMode::Direct,
-        compress_responses: options.compress,
-        worker_threads: 4,
-        idle_session_ttl_seconds: options.idle_ttl_seconds,
-    };
     let net_config = rvsim_net::NetConfig {
         addr: options.addr.clone(),
         event_loops: options.event_loops,
@@ -774,8 +848,299 @@ pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, St
         pending_dispatch: options.pending,
         ..rvsim_net::NetConfig::default()
     };
+    if !options.router_backends.is_empty() {
+        let router = rvsim_net::Router::new(options.router_backends.clone());
+        return rvsim_net::NetServer::start_with_handler(std::sync::Arc::new(router), net_config)
+            .map_err(|e| format!("cannot bind `{}`: {e}", options.addr));
+    }
+    let deployment = rvsim_server::DeploymentConfig {
+        mode: rvsim_server::DeploymentMode::Direct,
+        compress_responses: options.compress,
+        worker_threads: 4,
+        idle_session_ttl_seconds: options.idle_ttl_seconds,
+    };
     rvsim_net::NetServer::start(rvsim_server::SimulationServer::new(deployment), net_config)
         .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))
+}
+
+// ---------------------------------------------------------------------------
+// `drain` subcommand: live-migrate a backend's sessions off through a router.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `drain` subcommand.
+pub const DRAIN_USAGE: &str = "\
+rvsim-cli drain — live-drain one backend of a running router tier
+               (serialize every session on it, restore each on its new
+                ring owner, flip the ring; clients only see latency)
+
+USAGE:
+    rvsim-cli drain --router <IP:PORT> --backend <N>
+
+OPTIONS:
+    --router <IP:PORT>      address of the router front end (mandatory)
+    --backend <N>           index of the backend to drain, in the order the
+                            router was started with (mandatory)
+    --format <text|json>    output format (default text)
+    --help                  show this help
+
+Exit status is 1 when the drain is refused (unknown backend, already
+draining, last backend standing) or any session fails to migrate.
+";
+
+/// Parsed options of the `drain` subcommand.
+#[derive(Debug, Clone)]
+pub struct DrainCliOptions {
+    /// Router front-end address.
+    pub router: std::net::SocketAddr,
+    /// Backend index to drain.
+    pub backend: usize,
+    /// Output format.
+    pub format: OutputFormat,
+}
+
+impl DrainCliOptions {
+    /// Parse the arguments following the `drain` subcommand word.
+    pub fn parse(args: &[String]) -> Result<DrainCliOptions, String> {
+        let mut router = None;
+        let mut backend = None;
+        let mut format = OutputFormat::Text;
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--router" => {
+                    let v = value(&mut i, "--router")?;
+                    router = Some(v.parse().map_err(|_| format!("invalid router address `{v}`"))?);
+                }
+                "--backend" => {
+                    let v = value(&mut i, "--backend")?;
+                    backend = Some(v.parse().map_err(|_| format!("invalid backend index `{v}`"))?);
+                }
+                "--format" => {
+                    let v = value(&mut i, "--format")?;
+                    format = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                }
+                "--help" | "-h" => return Err(DRAIN_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{DRAIN_USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(DrainCliOptions {
+            router: router.ok_or_else(|| format!("--router is mandatory\n\n{DRAIN_USAGE}"))?,
+            backend: backend.ok_or_else(|| format!("--backend is mandatory\n\n{DRAIN_USAGE}"))?,
+            format,
+        })
+    }
+}
+
+/// Run the `drain` subcommand: POST the drain order to the router and render
+/// its report.  A refused drain or a failed migration is an `Err`.
+pub fn run_drain(options: &DrainCliOptions) -> Result<String, String> {
+    let body = format!(r#"{{"backend":{}}}"#, options.backend);
+    let (status, response) = rvsim_net::http_post(
+        options.router,
+        "/admin/drain",
+        body.as_bytes(),
+        std::time::Duration::from_secs(120),
+    )
+    .map_err(|e| format!("cannot reach router at {}: {e}", options.router))?;
+    if status != 200 {
+        return Err(format!(
+            "drain refused ({status}): {}",
+            String::from_utf8_lossy(&response).trim()
+        ));
+    }
+    let report: rvsim_net::DrainReport =
+        serde_json::from_slice(&response).map_err(|e| format!("unparseable drain report: {e}"))?;
+    let text = match options.format {
+        OutputFormat::Json => {
+            let mut out = serde_json::to_string_pretty(&report).expect("drain report serializes");
+            out.push('\n');
+            out
+        }
+        OutputFormat::Text => {
+            let mut out = format!(
+                "drained backend {}: {}/{} sessions migrated\n",
+                report.backend, report.migrated, report.sessions
+            );
+            for (session, error) in &report.failed {
+                out.push_str(&format!("  session {session} FAILED: {error}\n"));
+            }
+            out
+        }
+    };
+    if report.failed.is_empty() {
+        Ok(text)
+    } else {
+        Err(text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `loadgen` subcommand: closed-loop cached-GetState load against a front end.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `loadgen` subcommand.
+pub const LOADGEN_USAGE: &str = "\
+rvsim-cli loadgen — closed-loop cached-GetState load against a running
+               front end (a simulation node or a router tier)
+
+USAGE:
+    rvsim-cli loadgen --addr <IP:PORT> [OPTIONS]
+
+OPTIONS:
+    --addr <IP:PORT>        front end to drive (mandatory)
+    --sessions <N>          sessions to create and cycle over (default 8)
+    --threads <N>           concurrent client connections (default 4)
+    --seconds <F>           measurement window (default 5)
+    --format <text|json>    output format (default text)
+    --help                  show this help
+
+Creates the sessions, steps each once to warm the serve cache, then hammers
+GetState from every thread until the window closes.  Exit status is 1 when
+any request fails — the loadgen doubles as the router-smoke check in CI.
+";
+
+/// Parsed options of the `loadgen` subcommand.
+#[derive(Debug, Clone)]
+pub struct LoadgenCliOptions {
+    /// Front-end address to drive.
+    pub addr: std::net::SocketAddr,
+    /// Sessions to create.
+    pub sessions: usize,
+    /// Concurrent client connections.
+    pub threads: usize,
+    /// Measurement window in seconds.
+    pub seconds: f64,
+    /// Output format.
+    pub format: OutputFormat,
+}
+
+impl LoadgenCliOptions {
+    /// Parse the arguments following the `loadgen` subcommand word.
+    pub fn parse(args: &[String]) -> Result<LoadgenCliOptions, String> {
+        let mut addr = None;
+        let mut options = (8usize, 4usize, 5.0f64, OutputFormat::Text);
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    let v = value(&mut i, "--addr")?;
+                    addr = Some(v.parse().map_err(|_| format!("invalid address `{v}`"))?);
+                }
+                "--sessions" => {
+                    let v = value(&mut i, "--sessions")?;
+                    options.0 = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid session count `{v}`"))?;
+                }
+                "--threads" => {
+                    let v = value(&mut i, "--threads")?;
+                    options.1 = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid thread count `{v}`"))?;
+                }
+                "--seconds" => {
+                    let v = value(&mut i, "--seconds")?;
+                    options.2 = v
+                        .parse()
+                        .ok()
+                        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+                        .ok_or_else(|| format!("invalid window `{v}`"))?;
+                }
+                "--format" => {
+                    let v = value(&mut i, "--format")?;
+                    options.3 = match v.as_str() {
+                        "text" => OutputFormat::Text,
+                        "json" => OutputFormat::Json,
+                        other => return Err(format!("unknown format `{other}`")),
+                    };
+                }
+                "--help" | "-h" => return Err(LOADGEN_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{LOADGEN_USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(LoadgenCliOptions {
+            addr: addr.ok_or_else(|| format!("--addr is mandatory\n\n{LOADGEN_USAGE}"))?,
+            sessions: options.0,
+            threads: options.1,
+            seconds: options.2,
+            format: options.3,
+        })
+    }
+}
+
+/// Run the `loadgen` subcommand.  Any failed request is an `Err` so the
+/// binary exits non-zero.
+pub fn run_loadgen(options: &LoadgenCliOptions) -> Result<String, String> {
+    let mut client = rvsim_net::TcpApiClient::new(options.addr);
+    let mut ids = Vec::with_capacity(options.sessions);
+    for _ in 0..options.sessions {
+        match client.call(&rvsim_server::Request::CreateSession {
+            program: rvsim_loadgen::sample_program_loop(),
+            architecture: None,
+            entry: None,
+            session: None,
+        })? {
+            rvsim_server::Response::SessionCreated { session } => ids.push(session),
+            other => return Err(format!("unexpected create response {other:?}")),
+        }
+        let session = *ids.last().expect("just pushed");
+        match client.call(&rvsim_server::Request::Step { session, cycles: 8 })? {
+            rvsim_server::Response::Stepped { .. } => {}
+            other => return Err(format!("unexpected step response {other:?}")),
+        }
+    }
+    let report = rvsim_loadgen::run_cached_state_fanout(
+        &[(options.addr, ids)],
+        options.threads,
+        std::time::Duration::from_secs_f64(options.seconds),
+    );
+    let text = match options.format {
+        OutputFormat::Json => {
+            let value = serde_json::json!({
+                "sessions": options.sessions,
+                "threads": options.threads,
+                "requests": report.requests,
+                "errors": report.errors,
+                "wall_seconds": report.wall_seconds,
+                "requests_per_second": report.rps(),
+            });
+            let mut out = serde_json::to_string_pretty(&value).expect("report serializes");
+            out.push('\n');
+            out
+        }
+        OutputFormat::Text => format!(
+            "{} requests in {:.2}s over {} threads × {} sessions: {:.0} req/s, {} errors\n",
+            report.requests,
+            report.wall_seconds,
+            options.threads,
+            options.sessions,
+            report.rps(),
+            report.errors
+        ),
+    };
+    if report.errors == 0 {
+        Ok(text)
+    } else {
+        Err(text)
+    }
 }
 
 fn parse_fault(spec: &str) -> Result<rvsim_iss::InjectedFault, String> {
@@ -1361,6 +1726,7 @@ main:
             time_scale: 0.0,
             users: vec![2],
             high_connections: Vec::new(),
+            multi_node: Vec::new(),
         };
         let text = run_bench(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
@@ -1478,6 +1844,7 @@ main:
                 program: PROGRAM.into(),
                 architecture: None,
                 entry: None,
+                session: None,
             })
             .unwrap();
         assert!(matches!(created, rvsim_server::Response::SessionCreated { .. }));
@@ -1488,6 +1855,103 @@ main:
         let taken = holder.local_addr().unwrap().to_string();
         let bad = ServeCliOptions { addr: taken, ..options };
         assert!(start_serve(&bad).is_err());
+    }
+
+    #[test]
+    fn router_serve_drain_and_loadgen_work_end_to_end() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping router CLI test: loopback unavailable");
+            return;
+        }
+        let backend_options = ServeCliOptions {
+            tcp: true,
+            addr: "127.0.0.1:0".to_string(),
+            ..ServeCliOptions::default()
+        };
+        let b0 = start_serve(&backend_options).expect("backend 0 starts");
+        let b1 = start_serve(&backend_options).expect("backend 1 starts");
+        let router_options = ServeCliOptions {
+            router_backends: vec![b0.local_addr(), b1.local_addr()],
+            ..backend_options
+        };
+        let router = start_serve(&router_options).expect("router starts");
+        let addr = router.local_addr();
+
+        // The loadgen creates, warms and hammers sessions through the router.
+        let loadgen = LoadgenCliOptions {
+            addr,
+            sessions: 6,
+            threads: 2,
+            seconds: 0.3,
+            format: OutputFormat::Json,
+        };
+        let out = run_loadgen(&loadgen).expect("load run is clean");
+        let value: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(value["errors"], 0);
+        assert!(value["requests"].as_u64().unwrap() > 0);
+
+        // Drain backend 0 through the CLI path and verify the report.
+        let drain = DrainCliOptions { router: addr, backend: 0, format: OutputFormat::Json };
+        let out = run_drain(&drain).expect("drain succeeds");
+        let report: rvsim_net::DrainReport = serde_json::from_str(&out).unwrap();
+        assert_eq!(report.backend, 0);
+        assert_eq!(report.migrated, report.sessions);
+        assert!(report.failed.is_empty());
+        assert_eq!(b0.server().session_count(), 0, "backend 0 drained");
+        assert_eq!(b1.server().session_count(), 6, "backend 1 took every session");
+
+        // A second drain is refused and surfaces as a non-zero exit.
+        assert!(run_drain(&drain).is_err());
+
+        router.shutdown();
+        b0.shutdown();
+        b1.shutdown();
+    }
+
+    #[test]
+    fn router_drain_and_loadgen_options_parse() {
+        let o =
+            ServeCliOptions::parse(&args(&["--tcp", "--router", "127.0.0.1:9001, 127.0.0.1:9002"]))
+                .unwrap();
+        assert_eq!(o.router_backends.len(), 2);
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--router", "nope"])).is_err());
+
+        let d = DrainCliOptions::parse(&args(&[
+            "--router",
+            "127.0.0.1:9000",
+            "--backend",
+            "1",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(d.backend, 1);
+        assert_eq!(d.format, OutputFormat::Json);
+        assert!(DrainCliOptions::parse(&args(&["--backend", "1"])).is_err());
+        assert!(DrainCliOptions::parse(&args(&["--router", "127.0.0.1:9000"])).is_err());
+        assert!(DrainCliOptions::parse(&args(&["--help"])).unwrap_err().contains("drain"));
+
+        let l = LoadgenCliOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--sessions",
+            "12",
+            "--threads",
+            "3",
+            "--seconds",
+            "1.5",
+        ]))
+        .unwrap();
+        assert_eq!((l.sessions, l.threads), (12, 3));
+        assert!((l.seconds - 1.5).abs() < 1e-12);
+        assert!(LoadgenCliOptions::parse(&args(&[])).is_err(), "--addr is mandatory");
+        assert!(LoadgenCliOptions::parse(&args(&["--addr", "x", "--sessions", "0"])).is_err());
+        assert!(LoadgenCliOptions::parse(&args(&["--help"])).unwrap_err().contains("loadgen"));
+
+        let b = BenchCliOptions::parse(&args(&["--server", "--multi-node", "1,2,4"])).unwrap();
+        assert_eq!(b.multi_node, vec![1, 2, 4]);
+        assert!(BenchCliOptions::parse(&args(&["--multi-node", "0"])).is_err());
+        assert!(BenchCliOptions::parse(&args(&["--multi-node", ""])).is_err());
     }
 
     #[test]

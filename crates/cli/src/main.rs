@@ -35,10 +35,19 @@ fn main() {
         };
         match rvsim_cli::start_serve(&options) {
             Ok(server) => {
-                println!(
-                    "rvsim-net listening on http://{} (POST /api, GET /metrics, GET /healthz)",
-                    server.local_addr()
-                );
+                if options.router_backends.is_empty() {
+                    println!(
+                        "rvsim-net listening on http://{} (POST /api, GET /metrics, GET /healthz)",
+                        server.local_addr()
+                    );
+                } else {
+                    println!(
+                        "rvsim-net router listening on http://{} ({} backends; POST /api, \
+                         POST /admin/drain, GET /metrics, GET /healthz)",
+                        server.local_addr(),
+                        options.router_backends.len()
+                    );
+                }
                 // Serve until the process is killed; the front end's own
                 // threads do all the work.
                 loop {
@@ -50,6 +59,44 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    // `rvsim-cli drain ...` — live-drain one backend of a router tier.
+    if args.first().map(String::as_str) == Some("drain") {
+        let options = match rvsim_cli::DrainCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        match rvsim_cli::run_drain(&options) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                eprintln!("{}", report.trim_end());
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    // `rvsim-cli loadgen ...` — closed-loop load against a front end.
+    if args.first().map(String::as_str) == Some("loadgen") {
+        let options = match rvsim_cli::LoadgenCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        match rvsim_cli::run_loadgen(&options) {
+            Ok(report) => print!("{report}"),
+            Err(report) => {
+                eprintln!("{}", report.trim_end());
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     // `rvsim-cli bench ...` — pipeline throughput benchmark subcommand.

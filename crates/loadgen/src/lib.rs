@@ -227,6 +227,7 @@ where
                 program,
                 architecture: None,
                 entry: None,
+                session: None,
             }) {
                 Some(Response::SessionCreated { session }) => session,
                 _ => return (latencies, errors),
@@ -285,6 +286,98 @@ where
         throughput_tps: if duration > 0.0 { transactions as f64 / duration } else { 0.0 },
         duration_seconds: duration,
     }
+}
+
+// ---------------------------------------------------------------------------
+// Cached-GetState fan-out: saturate one or many front ends from closed-loop
+// client threads (the multi-node scaling measurement).
+// ---------------------------------------------------------------------------
+
+/// Result of a [`run_cached_state_fanout`] run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FanoutReport {
+    /// Completed requests across all targets and threads.
+    pub requests: u64,
+    /// Failed requests (transport failures or protocol errors).
+    pub errors: u64,
+    /// Wall-clock duration of the measurement in seconds.
+    pub wall_seconds: f64,
+}
+
+impl FanoutReport {
+    /// Aggregate throughput in requests per second.
+    pub fn rps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.requests as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Saturate the cached-`GetState` serve path across one or more front ends:
+/// `threads_per_target` closed-loop client threads per `(addr, sessions)`
+/// target, each looping `GetState` over the warmed session ids on its own
+/// keep-alive connection for `duration`.  The aggregate request count is the
+/// multi-node scaling metric: with sessions pinned per node, adding nodes
+/// multiplies the serve capacity.
+pub fn run_cached_state_fanout(
+    targets: &[(SocketAddr, Vec<u64>)],
+    threads_per_target: usize,
+    duration: Duration,
+) -> FanoutReport {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for &(addr, ref sessions) in targets {
+        for offset in 0..threads_per_target.max(1) {
+            let sessions = sessions.clone();
+            let stop = std::sync::Arc::clone(&stop);
+            threads.push(std::thread::spawn(move || {
+                let mut client = rvsim_net::TcpApiClient::new(addr);
+                // Pre-encode one request body per session and stay on the
+                // wire: decoding every payload (LZSS + full snapshot JSON)
+                // would make the *client* the bottleneck on small hosts and
+                // mask the fleet's capacity — the very thing this measures.
+                let bodies: Vec<Vec<u8>> = sessions
+                    .iter()
+                    .map(|&session| {
+                        serde_json::to_vec(&Request::GetState { session })
+                            .expect("request serializes")
+                    })
+                    .collect();
+                let mut requests = 0u64;
+                let mut errors = 0u64;
+                let mut index = offset; // spread threads across the sessions
+                while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                    let body = &bodies[index % bodies.len().max(1)];
+                    index = index.wrapping_add(1);
+                    // An in-band error is a plain payload (flag byte 0)
+                    // whose JSON leads with the serde tag `"type":"error"`.
+                    match client.call_raw(body) {
+                        Ok(payload)
+                            if !(payload.first() == Some(&0)
+                                && payload[1..].starts_with(br#"{"type":"error""#)) =>
+                        {
+                            requests += 1
+                        }
+                        _ => errors += 1,
+                    }
+                }
+                (requests, errors)
+            }));
+        }
+    }
+    std::thread::sleep(duration);
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for thread in threads {
+        let (r, e) = thread.join().expect("fan-out client thread panicked");
+        requests += r;
+        errors += e;
+    }
+    FanoutReport { requests, errors, wall_seconds: started.elapsed().as_secs_f64() }
 }
 
 // ---------------------------------------------------------------------------
@@ -447,6 +540,7 @@ pub fn run_high_connection_test(
                 program: sample_program_loop(),
                 architecture: None,
                 entry: None,
+                session: None,
             })
             .map_err(|e| format!("session setup failed: {e}"))?
         {
@@ -794,6 +888,49 @@ mod tests {
         // The shared sessions mean nearly every request hit the cached
         // GetState payload.
         assert!(net.server().shared_state_serve_count() > 0);
+        net.shutdown();
+    }
+
+    #[test]
+    fn cached_state_fanout_counts_requests_without_errors() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping fan-out test: loopback unavailable");
+            return;
+        }
+        let net = rvsim_net::NetServer::start(
+            SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 2,
+                idle_session_ttl_seconds: None,
+            }),
+            rvsim_net::NetConfig::default(),
+        )
+        .expect("net server starts");
+        let mut setup = rvsim_net::TcpApiClient::new(net.local_addr());
+        let mut sessions = Vec::new();
+        for _ in 0..2 {
+            match setup
+                .call(&Request::CreateSession {
+                    program: sample_program_loop(),
+                    architecture: None,
+                    entry: None,
+                    session: None,
+                })
+                .unwrap()
+            {
+                Response::SessionCreated { session } => {
+                    setup.call(&Request::Step { session, cycles: 4 }).unwrap();
+                    sessions.push(session);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let report =
+            run_cached_state_fanout(&[(net.local_addr(), sessions)], 2, Duration::from_millis(300));
+        assert_eq!(report.errors, 0);
+        assert!(report.requests > 0);
+        assert!(report.rps() > 0.0);
         net.shutdown();
     }
 

@@ -85,19 +85,71 @@ impl TcpApiClient {
         stream.write_all(&head)?;
         stream.write_all(body)?;
 
-        let (payload, residue) = read_response(stream, residue)?;
+        let (status, payload, residue) = read_response(stream, residue)?;
         self.residue = residue;
+        if status != 200 {
+            return Err(bad_response(format!(
+                "server answered {status}: {}",
+                String::from_utf8_lossy(&payload).trim()
+            )));
+        }
         Ok(payload)
     }
 }
 
+/// One-shot HTTP exchange on a fresh connection: send `method target` with
+/// `body` and return the status code and response body.  This is the
+/// transport for the out-of-band endpoints (`/healthz`, `/metrics`,
+/// `/admin/...`) where keep-alive pooling is not worth carrying state for.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
+    let mut stream =
+        TcpStream::connect_timeout(&addr, timeout).map_err(|e| format!("connect {addr}: {e}"))?;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(timeout));
+    let _ = stream.set_write_timeout(Some(timeout));
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| format!("send {addr}{target}: {e}"))?;
+    stream.write_all(body).map_err(|e| format!("send {addr}{target}: {e}"))?;
+    let (status, payload, _residue) =
+        read_response(&mut stream, Vec::new()).map_err(|e| format!("read {addr}{target}: {e}"))?;
+    Ok((status, payload))
+}
+
+/// [`http_request`] with method `GET` and an empty body.
+pub fn http_get(
+    addr: SocketAddr,
+    target: &str,
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
+    http_request(addr, "GET", target, b"", timeout)
+}
+
+/// [`http_request`] with method `POST`.
+pub fn http_post(
+    addr: SocketAddr,
+    target: &str,
+    body: &[u8],
+    timeout: Duration,
+) -> Result<(u16, Vec<u8>), String> {
+    http_request(addr, "POST", target, body, timeout)
+}
+
 /// Read one HTTP response (status + headers + sized body) from `stream`,
-/// starting from `buffered` leftover bytes.  Returns the body and any bytes
-/// read past it.
+/// starting from `buffered` leftover bytes.  Returns the status code, the
+/// body and any bytes read past it.
 fn read_response(
     stream: &mut TcpStream,
     mut buffered: Vec<u8>,
-) -> std::io::Result<(Vec<u8>, Vec<u8>)> {
+) -> std::io::Result<(u16, Vec<u8>, Vec<u8>)> {
     let mut chunk = [0u8; 16 * 1024];
     let head_end = loop {
         if let Some(end) = crate::http::find_head_end(&buffered) {
@@ -155,13 +207,7 @@ fn read_response(
         rest.extend_from_slice(&chunk[..n]);
     }
     let residue = rest.split_off(content_length);
-    if status != 200 {
-        return Err(bad_response(format!(
-            "server answered {status}: {}",
-            String::from_utf8_lossy(&rest).trim()
-        )));
-    }
-    Ok((rest, residue))
+    Ok((status, rest, residue))
 }
 
 fn bad_response(message: String) -> std::io::Error {

@@ -145,9 +145,7 @@ impl RequestParser {
         for (name, value) in &headers {
             match name.as_str() {
                 "content-length" => {
-                    content_length = value.parse().map_err(|_| {
-                        HttpError::new(400, "Bad Request", format!("bad content-length `{value}`"))
-                    })?;
+                    content_length = parse_content_length(value)?;
                 }
                 "transfer-encoding" => {
                     return Err(HttpError::new(
@@ -166,13 +164,6 @@ impl RequestParser {
                 }
                 _ => {}
             }
-        }
-        if content_length > MAX_BODY_BYTES {
-            return Err(HttpError::new(
-                413,
-                "Payload Too Large",
-                format!("request body of {content_length} bytes exceeds {MAX_BODY_BYTES}"),
-            ));
         }
         if data.len() < head_len + content_length {
             return Ok(None); // body still in flight
@@ -297,6 +288,33 @@ fn parse_headers(block: &[u8]) -> Result<Vec<(String, String)>, HttpError> {
         return Err(HttpError::new(400, "Bad Request", "conflicting content-length headers"));
     }
     Ok(headers)
+}
+
+/// Strict `content-length` parse: ASCII digits only.  Sign prefixes (`+5`),
+/// embedded whitespace and other forms `usize::from_str` would tolerate are
+/// 400, while values past [`MAX_BODY_BYTES`] — including digit strings too
+/// long to represent at all — are 413: a length the server refuses to
+/// buffer, not a malformed one.
+fn parse_content_length(value: &str) -> Result<usize, HttpError> {
+    let digits = value.as_bytes();
+    if digits.is_empty() || !digits.iter().all(|b| b.is_ascii_digit()) {
+        return Err(HttpError::new(400, "Bad Request", format!("bad content-length `{value}`")));
+    }
+    let mut length = 0usize;
+    for &digit in digits {
+        length = length
+            .checked_mul(10)
+            .and_then(|n| n.checked_add(usize::from(digit - b'0')))
+            .filter(|&n| n <= MAX_BODY_BYTES)
+            .ok_or_else(|| {
+                HttpError::new(
+                    413,
+                    "Payload Too Large",
+                    format!("request body of {value} bytes exceeds {MAX_BODY_BYTES}"),
+                )
+            })?;
+    }
+    Ok(length)
 }
 
 /// Everything a response head needs ([`write_response_head`]).
@@ -438,6 +456,13 @@ mod tests {
             b"POST /api HTTP/1.1\r\nheaderwithoutcolon\r\n\r\n".as_ref(),
             b"POST /api HTTP/1.1\r\ncontent-length: banana\r\n\r\n".as_ref(),
             b"POST /api HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\n".as_ref(),
+            // Sign- or whitespace-padded lengths that `usize::from_str`
+            // would happily accept (`+5` parses as 5) must be rejected.
+            b"POST /api HTTP/1.1\r\ncontent-length: +5\r\n\r\nhello".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length: -1\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length: 5 5\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length: 0x10\r\n\r\n".as_ref(),
+            b"POST /api HTTP/1.1\r\ncontent-length:\r\n\r\n".as_ref(),
         ] {
             let err = parse_all(bad).unwrap_err();
             assert_eq!(err.status, 400, "{:?} -> {err:?}", String::from_utf8_lossy(bad));
@@ -473,6 +498,19 @@ mod tests {
     fn oversized_body_is_413() {
         let head = format!("POST /api HTTP/1.1\r\ncontent-length: {}\r\n\r\n", MAX_BODY_BYTES + 1);
         assert_eq!(parse_all(head.as_bytes()).unwrap_err().status, 413);
+        // A length too large for usize must be 413, not a wrapped/panicked
+        // parse.  (Regression: `value.parse::<usize>()` errored into a 400
+        // and a u128-sized literal used to be indistinguishable from junk.)
+        let huge = b"POST /api HTTP/1.1\r\ncontent-length: 99999999999999999999999999\r\n\r\n";
+        assert_eq!(parse_all(huge).unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn surrounding_whitespace_in_content_length_is_trimmed_not_parsed() {
+        // Header values are trimmed before parsing, so ordinary padding
+        // stays valid; padding *inside* the digits is rejected above.
+        let reqs = parse_all(b"POST /api HTTP/1.1\r\ncontent-length:   2  \r\n\r\nok").unwrap();
+        assert_eq!(reqs[0].body, b"ok");
     }
 
     #[test]

@@ -29,10 +29,12 @@
 
 pub mod client;
 pub mod http;
+pub mod router;
 pub mod server;
 
-pub use client::TcpApiClient;
+pub use client::{http_get, http_post, http_request, TcpApiClient};
 pub use http::{
     find_head_end, HttpError, HttpRequest, RequestParser, Version, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
-pub use server::{NetConfig, NetServer, NetStats};
+pub use router::{DrainReport, Router, ROUTER_SESSION_BASE};
+pub use server::{ApiHandler, ControlResponse, NetConfig, NetServer, NetStats};

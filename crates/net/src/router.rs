@@ -1,0 +1,687 @@
+//! The consistent-hash router tier: one front end fanning the protocol out
+//! across N backend simulation servers.
+//!
+//! The paper scales by putting more cores behind one Undertow instance;
+//! this module scales *out* instead: a [`Router`] implements
+//! [`ApiHandler`](crate::server::ApiHandler), so the same epoll front end
+//! that serves a [`rvsim_server::SimulationServer`] can serve a proxy that
+//! consistent-hashes session ids across backend processes and forwards the
+//! unmodified wire protocol over pooled keep-alive upstream connections.
+//!
+//! * **Placement** — session ids are hashed onto a ring of 64 virtual nodes
+//!   per backend ([`HashRing`]); adding or removing a backend moves only
+//!   `1/N` of the sessions.  The router assigns ids itself (from a high
+//!   base, so they can never collide with ids a backend hands out to
+//!   direct clients) and pins each session with `CreateSession{session}`.
+//! * **Two rings** — `route` (where requests go) and `place` (where new or
+//!   migrated sessions land).  During a drain the place ring already
+//!   excludes the draining backend while the route ring still names it, so
+//!   in-flight requests keep landing on the old copy until its session has
+//!   actually moved.
+//! * **Live drain** — `POST /admin/drain {"backend": k}` walks backend
+//!   `k`'s sessions and, one at a time: latches the session (requests for
+//!   it park on a condvar), `SerializeSession{destroy}` on the old node,
+//!   `RestoreSession` on the ring target, records an override, unlatches.
+//!   The client observes added latency, never an error.  When every session
+//!   has moved the route ring flips to the place ring and the overrides are
+//!   dropped.
+//! * **Self-healing** — housekeeping probes `/healthz` of every backend;
+//!   a dead backend is dropped from both rings (its sessions are lost —
+//!   the backends share nothing) and a recovered one is folded back in.
+//!   `/metrics` aggregates upstream counters as `rvsim_upstream_*` sums
+//!   next to the router's own `rvsim_router_*` series.
+
+use crate::client::{http_get, TcpApiClient};
+use crate::server::{ApiHandler, ControlResponse};
+use bytes::Bytes;
+use rvsim_server::{Request, Response};
+use std::collections::{HashMap, HashSet};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex, PoisonError, RwLock};
+use std::time::Duration;
+
+/// Virtual nodes per backend on the hash ring.  64 keeps the per-backend
+/// load imbalance in the low single-digit percents at the fleet sizes this
+/// tier targets (2–16 nodes) while the ring stays small enough to rebuild
+/// on every membership change.
+const VNODES: u64 = 64;
+
+/// First session id the router assigns.  Backends number their own sessions
+/// from 0, so ids at and above this base can only have come from the router
+/// — a direct client talking to a backend can never collide with a routed
+/// session.
+pub const ROUTER_SESSION_BASE: u64 = 1 << 32;
+
+/// Upstream health-probe and control-call timeout.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// How long a request parks on a session that is mid-migration before the
+/// router gives up waiting (the migration itself is bounded by upstream
+/// timeouts, so this only fires if a drain wedges).
+const MIGRATION_WAIT: Duration = Duration::from_secs(10);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A consistent-hash ring over backend indices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct HashRing {
+    /// `(point, backend index)` sorted by point; a key is owned by the
+    /// first point at or after its hash (wrapping).
+    points: Vec<(u64, usize)>,
+}
+
+impl HashRing {
+    fn new(members: &[usize]) -> Self {
+        let mut points = Vec::with_capacity(members.len() * VNODES as usize);
+        for &backend in members {
+            for vnode in 0..VNODES {
+                points.push((splitmix64((backend as u64) << 16 | vnode), backend));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points }
+    }
+
+    fn owner(&self, session: u64) -> Option<usize> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let hash = splitmix64(session);
+        let index = self.points.partition_point(|&(point, _)| point < hash);
+        Some(self.points[if index == self.points.len() { 0 } else { index }].1)
+    }
+}
+
+/// One upstream simulation server.
+struct Backend {
+    addr: SocketAddr,
+    /// Idle keep-alive connections; a checked-out client that errors is
+    /// dropped instead of returned, so the pool never caches a dead socket.
+    pool: Mutex<Vec<TcpApiClient>>,
+    alive: AtomicBool,
+    draining: AtomicBool,
+}
+
+/// The two membership views: where requests *route* and where sessions
+/// *place* (they differ only while a drain is in flight).
+#[derive(Default)]
+struct Rings {
+    route: HashRing,
+    place: HashRing,
+}
+
+/// Router counters surfaced on `/metrics`.
+#[derive(Default)]
+struct RouterStats {
+    forwarded: AtomicU64,
+    upstream_errors: AtomicU64,
+    retries: AtomicU64,
+    sessions_migrated: AtomicU64,
+    drains: AtomicU64,
+}
+
+/// Outcome of one `/admin/drain` call, serialized as its JSON response.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+pub struct DrainReport {
+    /// Backend index that was drained.
+    pub backend: usize,
+    /// Sessions found on the backend when the drain started.
+    pub sessions: usize,
+    /// Sessions successfully migrated.
+    pub migrated: usize,
+    /// Sessions that failed to move, with the reason.
+    pub failed: Vec<(u64, String)>,
+}
+
+/// A consistent-hash proxy over N backend simulation servers.  Plug into
+/// the front end with
+/// [`NetServer::start_with_handler`](crate::server::NetServer::start_with_handler).
+pub struct Router {
+    backends: Vec<Backend>,
+    rings: RwLock<Rings>,
+    /// Session → backend pins that survive until the route ring catches up
+    /// with a migration.
+    overrides: RwLock<HashMap<u64, usize>>,
+    /// Sessions currently mid-migration; requests for them park on
+    /// `migration_done` instead of racing the move.
+    migrating: Mutex<HashSet<u64>>,
+    migration_done: Condvar,
+    next_session: AtomicU64,
+    next_compile: AtomicU64,
+    stats: RouterStats,
+    /// Cached `rvsim_upstream_*` aggregate, refreshed by housekeeping so
+    /// `/metrics` never blocks on upstream probes.
+    upstream_metrics: Mutex<String>,
+    /// Serializes drains (and keeps ring edits coherent with them).
+    drain_lock: Mutex<()>,
+}
+
+impl Router {
+    /// A router over the given backends, all presumed alive until the first
+    /// health probe says otherwise.
+    pub fn new(backends: Vec<SocketAddr>) -> Router {
+        let members: Vec<usize> = (0..backends.len()).collect();
+        let ring = HashRing::new(&members);
+        Router {
+            backends: backends
+                .into_iter()
+                .map(|addr| Backend {
+                    addr,
+                    pool: Mutex::new(Vec::new()),
+                    alive: AtomicBool::new(true),
+                    draining: AtomicBool::new(false),
+                })
+                .collect(),
+            rings: RwLock::new(Rings { route: ring.clone(), place: ring }),
+            overrides: RwLock::new(HashMap::new()),
+            migrating: Mutex::new(HashSet::new()),
+            migration_done: Condvar::new(),
+            next_session: AtomicU64::new(ROUTER_SESSION_BASE),
+            next_compile: AtomicU64::new(0),
+            stats: RouterStats::default(),
+            upstream_metrics: Mutex::new(String::new()),
+            drain_lock: Mutex::new(()),
+        }
+    }
+
+    /// Backend addresses, in index order.
+    pub fn backend_addrs(&self) -> Vec<SocketAddr> {
+        self.backends.iter().map(|b| b.addr).collect()
+    }
+
+    /// Where the place ring would put `session` right now.  Benchmarks and
+    /// tests use this to pick explicit session ids with a known, balanced
+    /// placement.
+    pub fn placement(&self, session: u64) -> Option<usize> {
+        read_rings(&self.rings).place.owner(session)
+    }
+
+    /// Backends currently routable (alive and not draining).
+    fn routable(&self) -> Vec<usize> {
+        self.backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.alive.load(Ordering::Acquire) && !b.draining.load(Ordering::Acquire))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Forward a raw protocol payload to backend `index` over a pooled
+    /// keep-alive connection.
+    fn call_backend(&self, index: usize, body: &[u8]) -> Result<Vec<u8>, String> {
+        let backend = &self.backends[index];
+        if !backend.alive.load(Ordering::Acquire) {
+            return Err(format!("backend {index} ({}) is down", backend.addr));
+        }
+        let pooled = lock(&backend.pool).pop();
+        let mut client = pooled.unwrap_or_else(|| TcpApiClient::new(backend.addr));
+        self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
+        match client.call_raw(body) {
+            Ok(payload) => {
+                lock(&backend.pool).push(client);
+                Ok(payload)
+            }
+            Err(e) => {
+                self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Forward a typed request and decode the typed response.
+    fn call_backend_typed(&self, index: usize, request: &Request) -> Result<Response, String> {
+        let body = serde_json::to_vec(request).map_err(|e| e.to_string())?;
+        let payload = self.call_backend(index, &body)?;
+        rvsim_server::SimulationServer::decode_response(&payload)
+    }
+
+    /// Where a request for `session` goes right now: a migration override
+    /// if one exists, the route ring otherwise.
+    fn target_for(&self, session: u64) -> Option<usize> {
+        if let Some(&pinned) = read(&self.overrides).get(&session) {
+            return Some(pinned);
+        }
+        read_rings(&self.rings).route.owner(session)
+    }
+
+    /// Park until `session` is not mid-migration (bounded wait).
+    fn wait_not_migrating(&self, session: u64) {
+        let mut migrating = lock(&self.migrating);
+        let deadline = std::time::Instant::now() + MIGRATION_WAIT;
+        while migrating.contains(&session) {
+            let timeout = deadline.saturating_duration_since(std::time::Instant::now());
+            if timeout.is_zero() {
+                return;
+            }
+            migrating = self
+                .migration_done
+                .wait_timeout(migrating, timeout)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
+        }
+    }
+
+    /// Forward a session-bearing request.  If the target answers "unknown
+    /// session" and the routing decision has changed since (a drain or a
+    /// health flip landed mid-flight), the request is retried once on the
+    /// new target — this is what makes a drain invisible to clients.
+    fn forward_session(&self, session: u64, body: &[u8]) -> Bytes {
+        self.wait_not_migrating(session);
+        let Some(target) = self.target_for(session) else {
+            return encode_error("no live backend to route to");
+        };
+        match self.call_backend(target, body) {
+            Ok(payload) => {
+                if is_unknown_session(&payload) {
+                    self.wait_not_migrating(session);
+                    if let Some(moved) = self.target_for(session) {
+                        if moved != target {
+                            self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                            if let Ok(payload) = self.call_backend(moved, body) {
+                                return Bytes::from(payload);
+                            }
+                        }
+                    }
+                }
+                Bytes::from(payload)
+            }
+            Err(e) => encode_error(format!("upstream error: {e}")),
+        }
+    }
+
+    /// Create a session: pick (or honor) the id, pin it to the place-ring
+    /// owner, and forward with the id made explicit so the backend installs
+    /// it under the router's numbering.
+    fn create_session(&self, request: Request) -> Bytes {
+        let Request::CreateSession { program, architecture, entry, session } = request else {
+            return encode_error("create_session routed a non-create request");
+        };
+        let session = session.unwrap_or_else(|| self.next_session.fetch_add(1, Ordering::Relaxed));
+        let Some(target) = read_rings(&self.rings).place.owner(session) else {
+            return encode_error("no live backend to place the session on");
+        };
+        let request =
+            Request::CreateSession { program, architecture, entry, session: Some(session) };
+        let body = match serde_json::to_vec(&request) {
+            Ok(body) => body,
+            Err(e) => return encode_error(format!("unencodable request: {e}")),
+        };
+        match self.call_backend(target, &body) {
+            Ok(payload) => Bytes::from(payload),
+            Err(e) => encode_error(format!("upstream error: {e}")),
+        }
+    }
+
+    /// Union of every routable backend's session list.
+    fn list_sessions(&self) -> Bytes {
+        let mut sessions = Vec::new();
+        for index in self.routable() {
+            match self.call_backend_typed(index, &Request::ListSessions) {
+                Ok(Response::SessionList { sessions: mut part }) => sessions.append(&mut part),
+                Ok(other) => {
+                    return encode_error(format!("backend {index} answered {other:?} to a list"))
+                }
+                Err(e) => return encode_error(format!("upstream error: {e}")),
+            }
+        }
+        sessions.sort_unstable();
+        sessions.dedup();
+        encode_response(&Response::SessionList { sessions })
+    }
+
+    /// Move every session off backend `index` (serialize on the old node,
+    /// restore on the ring target, flip the route ring when done).
+    pub fn drain(&self, index: usize) -> Result<DrainReport, (u16, String)> {
+        let _serialized_drains = lock(&self.drain_lock);
+        if index >= self.backends.len() {
+            return Err((400, format!("no backend {index}")));
+        }
+        if self.backends[index].draining.swap(true, Ordering::AcqRel) {
+            return Err((409, format!("backend {index} is already draining")));
+        }
+        let remaining = self.routable();
+        if remaining.is_empty() {
+            self.backends[index].draining.store(false, Ordering::Release);
+            return Err((409, "no other live backend to drain into".to_string()));
+        }
+        // New and migrated sessions stop landing on the draining node now;
+        // requests for existing sessions still route to it.
+        write_rings(&self.rings).place = HashRing::new(&remaining);
+
+        let sessions = match self.call_backend_typed(index, &Request::ListSessions) {
+            Ok(Response::SessionList { sessions }) => sessions,
+            Ok(other) => {
+                self.backends[index].draining.store(false, Ordering::Release);
+                return Err((502, format!("backend {index} answered {other:?} to a list")));
+            }
+            Err(e) => {
+                self.backends[index].draining.store(false, Ordering::Release);
+                return Err((502, format!("cannot enumerate backend {index}: {e}")));
+            }
+        };
+
+        let mut migrated = Vec::new();
+        let mut failed = Vec::new();
+        for &session in &sessions {
+            lock(&self.migrating).insert(session);
+            let result = self.migrate_session(session, index);
+            match result {
+                Ok(target) => {
+                    write(&self.overrides).insert(session, target);
+                    migrated.push(session);
+                }
+                Err(e) => failed.push((session, e)),
+            }
+            lock(&self.migrating).remove(&session);
+            self.migration_done.notify_all();
+        }
+
+        // Flip: requests now follow the post-drain ring, which agrees with
+        // every override recorded above — so those pins can go.
+        {
+            let mut rings = write_rings(&self.rings);
+            rings.route = rings.place.clone();
+        }
+        {
+            let mut overrides = write(&self.overrides);
+            for session in &migrated {
+                overrides.remove(session);
+            }
+        }
+        self.stats.sessions_migrated.fetch_add(migrated.len() as u64, Ordering::Relaxed);
+        self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        Ok(DrainReport {
+            backend: index,
+            sessions: sessions.len(),
+            migrated: migrated.len(),
+            failed,
+        })
+    }
+
+    /// Serialize-destroy on `from`, restore on the place-ring target.
+    /// Returns the target index.
+    fn migrate_session(&self, session: u64, from: usize) -> Result<usize, String> {
+        let target = read_rings(&self.rings)
+            .place
+            .owner(session)
+            .ok_or_else(|| "no live backend to migrate to".to_string())?;
+        let envelope = match self
+            .call_backend_typed(from, &Request::SerializeSession { session, destroy: true })?
+        {
+            Response::Serialized(envelope) => envelope,
+            Response::Error { message } => return Err(format!("serialize failed: {message}")),
+            other => return Err(format!("serialize answered {other:?}")),
+        };
+        match self
+            .call_backend_typed(target, &Request::RestoreSession { envelope, replace: false })?
+        {
+            Response::SessionCreated { .. } => Ok(target),
+            Response::Error { message } => Err(format!("restore failed: {message}")),
+            other => Err(format!("restore answered {other:?}")),
+        }
+    }
+
+    /// Probe every backend's `/healthz`; on a membership change rebuild
+    /// both rings from the survivors.
+    fn probe_backends(&self) {
+        let mut changed = false;
+        for backend in &self.backends {
+            let alive = matches!(http_get(backend.addr, "/healthz", PROBE_TIMEOUT), Ok((200, _)));
+            if backend.alive.swap(alive, Ordering::AcqRel) != alive {
+                changed = true;
+                if !alive {
+                    // Whatever connections were pooled are dead with it.
+                    lock(&backend.pool).clear();
+                }
+            }
+        }
+        if changed {
+            let members = self.routable();
+            let ring = HashRing::new(&members);
+            let mut rings = write_rings(&self.rings);
+            rings.route = ring.clone();
+            rings.place = ring;
+        }
+    }
+
+    /// Sum upstream `/metrics` into `rvsim_upstream_*` lines (cached; served
+    /// by `append_metrics`).
+    fn refresh_upstream_metrics(&self) {
+        let mut sums: Vec<(String, u64)> = Vec::new();
+        for backend in &self.backends {
+            if !backend.alive.load(Ordering::Acquire) {
+                continue;
+            }
+            let Ok((200, body)) = http_get(backend.addr, "/metrics", PROBE_TIMEOUT) else {
+                continue;
+            };
+            for line in String::from_utf8_lossy(&body).lines() {
+                let Some((name, value)) = line.rsplit_once(' ') else { continue };
+                let Ok(value) = value.parse::<u64>() else { continue };
+                match sums.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, sum)) => *sum += value,
+                    None => sums.push((name.to_string(), value)),
+                }
+            }
+        }
+        let mut rendered = String::new();
+        for (name, sum) in &sums {
+            let Some(suffix) = name.strip_prefix("rvsim_") else { continue };
+            rendered.push_str(&format!("rvsim_upstream_{suffix} {sum}\n"));
+        }
+        *lock(&self.upstream_metrics) = rendered;
+    }
+}
+
+impl ApiHandler for Router {
+    fn handle_api(&self, body: &[u8]) -> Bytes {
+        let request: Request = match serde_json::from_slice(body) {
+            Ok(request) => request,
+            Err(e) => return encode_error(format!("malformed request: {e}")),
+        };
+        match request {
+            request @ Request::CreateSession { .. } => self.create_session(request),
+            Request::Compile { .. } => {
+                // Compilation is stateless: spread it round-robin.
+                let members = self.routable();
+                if members.is_empty() {
+                    return encode_error("no live backend to compile on");
+                }
+                let pick = self.next_compile.fetch_add(1, Ordering::Relaxed) as usize;
+                match self.call_backend(members[pick % members.len()], body) {
+                    Ok(payload) => Bytes::from(payload),
+                    Err(e) => encode_error(format!("upstream error: {e}")),
+                }
+            }
+            Request::ListSessions => self.list_sessions(),
+            Request::RestoreSession { ref envelope, .. } => {
+                let session = envelope.session;
+                match read_rings(&self.rings).place.owner(session) {
+                    Some(target) => match self.call_backend(target, body) {
+                        Ok(payload) => Bytes::from(payload),
+                        Err(e) => encode_error(format!("upstream error: {e}")),
+                    },
+                    None => encode_error("no live backend to restore onto"),
+                }
+            }
+            Request::Step { session, .. }
+            | Request::StepBack { session, .. }
+            | Request::Run { session, .. }
+            | Request::GetState { session }
+            | Request::GetStateDelta { session, .. }
+            | Request::GetStats { session }
+            | Request::DestroySession { session }
+            | Request::SerializeSession { session, .. } => self.forward_session(session, body),
+        }
+    }
+
+    fn handle_control(&self, target: &str, body: &[u8]) -> Option<ControlResponse> {
+        match target {
+            "/admin/drain" => {
+                #[derive(serde::Deserialize)]
+                struct DrainArgs {
+                    backend: usize,
+                }
+                let args: DrainArgs = match serde_json::from_slice(body) {
+                    Ok(args) => args,
+                    Err(e) => {
+                        return Some(control(400, "Bad Request", &format!("{{\"error\":\"{e}\"}}")))
+                    }
+                };
+                Some(match self.drain(args.backend) {
+                    Ok(report) => ControlResponse {
+                        status: 200,
+                        reason: "OK",
+                        body: serde_json::to_vec(&report).expect("reports serialize"),
+                    },
+                    Err((status, message)) => {
+                        let reason = if status == 409 { "Conflict" } else { "Bad Request" };
+                        control(status, reason, &format!("{{\"error\":{}}}", json_string(&message)))
+                    }
+                })
+            }
+            _ => None,
+        }
+    }
+
+    fn append_metrics(&self, out: &mut String) {
+        use std::fmt::Write;
+        let alive = self.backends.iter().filter(|b| b.alive.load(Ordering::Acquire)).count();
+        let _ = write!(
+            out,
+            "rvsim_router_backends {}\n\
+             rvsim_router_backends_alive {alive}\n\
+             rvsim_router_forwarded_total {}\n\
+             rvsim_router_upstream_errors_total {}\n\
+             rvsim_router_retries_total {}\n\
+             rvsim_router_sessions_migrated_total {}\n\
+             rvsim_router_drains_total {}\n",
+            self.backends.len(),
+            self.stats.forwarded.load(Ordering::Relaxed),
+            self.stats.upstream_errors.load(Ordering::Relaxed),
+            self.stats.retries.load(Ordering::Relaxed),
+            self.stats.sessions_migrated.load(Ordering::Relaxed),
+            self.stats.drains.load(Ordering::Relaxed),
+        );
+        for (index, backend) in self.backends.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "rvsim_router_backend_up_{index} {}",
+                u64::from(backend.alive.load(Ordering::Acquire))
+            );
+        }
+        out.push_str(&lock(&self.upstream_metrics));
+    }
+
+    fn housekeeping(&self) {
+        self.probe_backends();
+        self.refresh_upstream_metrics();
+    }
+}
+
+fn control(status: u16, reason: &'static str, body: &str) -> ControlResponse {
+    ControlResponse { status, reason, body: body.as_bytes().to_vec() }
+}
+
+/// Encode a router-originated error in the wire format (flag byte 0 = plain
+/// JSON), indistinguishable on the client from a backend error.
+fn encode_error(message: impl Into<String>) -> Bytes {
+    encode_response(&Response::error(message))
+}
+
+fn encode_response(response: &Response) -> Bytes {
+    let json = serde_json::to_vec(response).expect("responses serialize");
+    let mut out = Vec::with_capacity(json.len() + 1);
+    out.push(0u8);
+    out.extend_from_slice(&json);
+    Bytes::from(out)
+}
+
+/// Cheap wire-level test for an (uncompressed) "unknown session" error —
+/// the signal that a session moved out from under an in-flight request.
+fn is_unknown_session(payload: &[u8]) -> bool {
+    payload.first() == Some(&0)
+        && payload[1..].starts_with(br#"{"type":"error","message":"unknown session"#)
+}
+
+fn json_string(s: &str) -> String {
+    serde_json::to_string(s).unwrap_or_else(|_| "\"error\"".to_string())
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read<K, V>(map: &RwLock<HashMap<K, V>>) -> std::sync::RwLockReadGuard<'_, HashMap<K, V>> {
+    map.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<K, V>(map: &RwLock<HashMap<K, V>>) -> std::sync::RwLockWriteGuard<'_, HashMap<K, V>> {
+    map.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read_rings(rings: &RwLock<Rings>) -> std::sync::RwLockReadGuard<'_, Rings> {
+    rings.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_rings(rings: &RwLock<Rings>) -> std::sync::RwLockWriteGuard<'_, Rings> {
+    rings.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_ownership_is_stable_under_membership_growth() {
+        let four = HashRing::new(&[0, 1, 2, 3]);
+        let five = HashRing::new(&[0, 1, 2, 3, 4]);
+        let total = 10_000u64;
+        let moved = (0..total)
+            .filter(|&s| four.owner(ROUTER_SESSION_BASE + s) != five.owner(ROUTER_SESSION_BASE + s))
+            .count();
+        // Adding one node to four should move about 1/5 of the keys; allow
+        // generous slack for hash noise but catch "everything rehashed".
+        assert!(moved > 0, "some keys must move");
+        assert!(
+            moved < (total as usize) * 2 / 5,
+            "only ~1/5 of keys should move, moved {moved}/{total}"
+        );
+    }
+
+    #[test]
+    fn ring_spreads_keys_roughly_evenly() {
+        let ring = HashRing::new(&[0, 1, 2, 3]);
+        let mut counts = [0usize; 4];
+        for s in 0..10_000u64 {
+            counts[ring.owner(ROUTER_SESSION_BASE + s).unwrap()] += 1;
+        }
+        for (i, &count) in counts.iter().enumerate() {
+            assert!(
+                (1_000..5_000).contains(&count),
+                "backend {i} owns {count} of 10000 keys: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_ring_owns_nothing() {
+        assert_eq!(HashRing::new(&[]).owner(7), None);
+    }
+
+    #[test]
+    fn wire_error_probe_matches_encoded_unknown_session() {
+        let payload = encode_error("unknown session 41");
+        assert!(is_unknown_session(&payload));
+        let payload = encode_error("something else");
+        assert!(!is_unknown_session(&payload));
+        assert!(!is_unknown_session(&[]));
+        assert!(!is_unknown_session(&[1, 2, 3]));
+    }
+}

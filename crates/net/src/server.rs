@@ -119,11 +119,75 @@ pub struct NetStats {
     pub dispatch_rejected: AtomicU64,
 }
 
+/// What the front end serves: the event loops handle HTTP framing and the
+/// fixed endpoints (`/healthz`, `/metrics`), and everything protocol-shaped
+/// is delegated here.  [`SimulationServer`] is the canonical implementation;
+/// the router tier implements it to proxy instead of simulate.
+pub trait ApiHandler: Send + Sync + 'static {
+    /// Execute one `POST /api` payload and produce the encoded response
+    /// bytes (runs on a dispatch worker, never on an event loop).
+    fn handle_api(&self, body: &[u8]) -> Bytes;
+
+    /// Execute a `POST /admin/...` control request (drain, rebalance).
+    /// `None` means the endpoint does not exist.  Runs on a dispatch
+    /// worker: control work may block on upstream calls.
+    fn handle_control(&self, target: &str, body: &[u8]) -> Option<ControlResponse> {
+        let _ = (target, body);
+        None
+    }
+
+    /// Append handler-specific lines to the `/metrics` body.
+    fn append_metrics(&self, out: &mut String) {
+        let _ = out;
+    }
+
+    /// Periodic housekeeping (idle eviction, upstream health checks).
+    fn housekeeping(&self) {}
+}
+
+/// Response of an [`ApiHandler::handle_control`] endpoint.
+pub struct ControlResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Status reason phrase.
+    pub reason: &'static str,
+    /// Response body (served as `application/json`).
+    pub body: Vec<u8>,
+}
+
+impl ApiHandler for SimulationServer {
+    fn handle_api(&self, body: &[u8]) -> Bytes {
+        self.handle_raw(body)
+    }
+
+    fn append_metrics(&self, out: &mut String) {
+        use std::fmt::Write;
+        let _ = write!(
+            out,
+            "rvsim_steps_coalesced_total {}\n\
+             rvsim_getstate_shared_total {}\n\
+             rvsim_sessions_live {}\n\
+             rvsim_sessions_evicted_total {}\n",
+            self.coalesced_step_count(),
+            self.shared_state_serve_count(),
+            self.session_count(),
+            self.evicted_session_count(),
+        );
+    }
+
+    fn housekeeping(&self) {
+        self.evict_idle();
+    }
+}
+
 /// A running network front end.  Dropping it (or calling
 /// [`shutdown`](Self::shutdown)) stops the acceptor, the event loops, the
 /// dispatch workers and the housekeeper and joins their threads.
 pub struct NetServer {
-    server: Arc<SimulationServer>,
+    handler: Arc<dyn ApiHandler>,
+    /// Set when the handler is a [`SimulationServer`] (the
+    /// [`server`](Self::server) accessor; `None` in router mode).
+    sim: Option<Arc<SimulationServer>>,
     stats: Arc<NetStats>,
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -140,6 +204,23 @@ impl NetServer {
     /// [`start`](Self::start) with an externally shared server.
     pub fn start_shared(
         server: Arc<SimulationServer>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::start_inner(Arc::clone(&server) as Arc<dyn ApiHandler>, Some(server), config)
+    }
+
+    /// Start the front end around any [`ApiHandler`] (router mode).  The
+    /// [`server`](Self::server) accessor is unavailable on the result.
+    pub fn start_with_handler(
+        handler: Arc<dyn ApiHandler>,
+        config: NetConfig,
+    ) -> std::io::Result<NetServer> {
+        Self::start_inner(handler, None, config)
+    }
+
+    fn start_inner(
+        handler: Arc<dyn ApiHandler>,
+        sim: Option<Arc<SimulationServer>>,
         config: NetConfig,
     ) -> std::io::Result<NetServer> {
         let listener = TcpListener::bind(&config.addr)?;
@@ -166,7 +247,7 @@ impl NetServer {
                 completions: done_rx,
                 completions_tx: done_tx,
                 jobs: job_tx.clone(),
-                server: Arc::clone(&server),
+                handler: Arc::clone(&handler),
                 stats: Arc::clone(&stats),
                 shutdown: Arc::clone(&shutdown),
                 config: config.clone(),
@@ -180,7 +261,7 @@ impl NetServer {
         for _ in 0..config.dispatch_workers.max(1) {
             threads.push(spawn_dispatch_worker(
                 job_rx.clone(),
-                Arc::clone(&server),
+                Arc::clone(&handler),
                 Arc::clone(&shutdown),
             ));
         }
@@ -194,12 +275,12 @@ impl NetServer {
             Arc::clone(&shutdown),
         ));
         threads.push(spawn_housekeeper(
-            Arc::clone(&server),
+            Arc::clone(&handler),
             Arc::clone(&shutdown),
             config.housekeeping_interval,
         ));
 
-        Ok(NetServer { server, stats, addr, shutdown, wakers, threads })
+        Ok(NetServer { handler, sim, stats, addr, shutdown, wakers, threads })
     }
 
     /// The bound address (with the real port when `:0` was requested).
@@ -208,8 +289,19 @@ impl NetServer {
     }
 
     /// The simulation server behind the front end.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the front end was started with
+    /// [`start_with_handler`](Self::start_with_handler) (router mode), where
+    /// no simulation server exists.
     pub fn server(&self) -> &Arc<SimulationServer> {
-        &self.server
+        self.sim.as_ref().expect("front end was started without a SimulationServer")
+    }
+
+    /// The handler behind the front end ([`SimulationServer`] or a router).
+    pub fn handler(&self) -> &Arc<dyn ApiHandler> {
+        &self.handler
     }
 
     /// Front-end counters.
@@ -255,6 +347,9 @@ struct Job {
     waker: Arc<Waker>,
     token: usize,
     generation: u64,
+    /// `None` routes to [`ApiHandler::handle_api`] (`POST /api`); a target
+    /// routes to [`ApiHandler::handle_control`] (`POST /admin/...`).
+    target: Option<String>,
     body: Vec<u8>,
     keep_alive: bool,
     version: Version,
@@ -264,6 +359,9 @@ struct Job {
 struct Completion {
     token: usize,
     generation: u64,
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
     payload: Bytes,
     keep_alive: bool,
     version: Version,
@@ -340,16 +438,37 @@ fn reject_overloaded(mut stream: TcpStream) {
 
 fn spawn_dispatch_worker(
     jobs: Receiver<Job>,
-    server: Arc<SimulationServer>,
+    handler: Arc<dyn ApiHandler>,
     shutdown: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     std::thread::spawn(move || loop {
         match jobs.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => {
-                let payload = server.handle_raw(&job.body);
+                let (status, reason, content_type, payload) = match &job.target {
+                    None => {
+                        (200, "OK", "application/x-rvsim-payload", handler.handle_api(&job.body))
+                    }
+                    Some(target) => match handler.handle_control(target, &job.body) {
+                        Some(control) => (
+                            control.status,
+                            control.reason,
+                            "application/json",
+                            Bytes::from(control.body),
+                        ),
+                        None => (
+                            404,
+                            "Not Found",
+                            "text/plain",
+                            Bytes::from(format!("no such endpoint: {target}\n").into_bytes()),
+                        ),
+                    },
+                };
                 let completion = Completion {
                     token: job.token,
                     generation: job.generation,
+                    status,
+                    reason,
+                    content_type,
                     payload,
                     keep_alive: job.keep_alive,
                     version: job.version,
@@ -369,7 +488,7 @@ fn spawn_dispatch_worker(
 }
 
 fn spawn_housekeeper(
-    server: Arc<SimulationServer>,
+    handler: Arc<dyn ApiHandler>,
     shutdown: Arc<AtomicBool>,
     interval: Duration,
 ) -> JoinHandle<()> {
@@ -380,7 +499,7 @@ fn spawn_housekeeper(
             // housekeeping interval.
             std::thread::sleep(Duration::from_millis(10).min(interval));
             if last_sweep.elapsed() >= interval {
-                server.evict_idle();
+                handler.housekeeping();
                 last_sweep = Instant::now();
             }
         }
@@ -432,7 +551,7 @@ struct EventLoop {
     completions: Receiver<Completion>,
     completions_tx: Sender<Completion>,
     jobs: Sender<Job>,
-    server: Arc<SimulationServer>,
+    handler: Arc<dyn ApiHandler>,
     stats: Arc<NetStats>,
     shutdown: Arc<AtomicBool>,
     config: NetConfig,
@@ -637,50 +756,15 @@ impl EventLoop {
         token: usize,
         request: HttpRequest,
     ) -> bool {
-        let conn = conns[token].as_mut().expect("routed conn is live");
         let version = request.version;
         let keep_alive = request.keep_alive;
         match (request.method.as_str(), request.target.as_str()) {
             ("POST", "/api") => {
-                let job = Job {
-                    reply: self.completions_sender(),
-                    waker: Arc::clone(&self.waker),
-                    token,
-                    generation: conn.generation,
-                    body: request.body,
-                    keep_alive,
-                    version,
-                };
-                match self.jobs.try_send(job) {
-                    Ok(()) => {
-                        conn.state = ConnState::Dispatching;
-                        conn.deadline = None;
-                        self.set_interest(conn, token, Interest::NONE);
-                        false
-                    }
-                    Err(TrySendError::Full(_)) => {
-                        self.stats.dispatch_rejected.fetch_add(1, Ordering::Relaxed);
-                        let body = b"dispatch queue full, retry\n";
-                        self.inline_response(
-                            conns,
-                            free,
-                            token,
-                            InlineResponse {
-                                status: 503,
-                                reason: "Service Unavailable",
-                                content_type: "text/plain",
-                                body,
-                                keep_alive,
-                                version,
-                                extra: &[],
-                            },
-                        )
-                    }
-                    Err(TrySendError::Disconnected(_)) => {
-                        self.close(conns, free, token, CloseKind::Shutdown);
-                        false
-                    }
-                }
+                self.dispatch(conns, free, token, None, request.body, keep_alive, version)
+            }
+            ("POST", target) if target.starts_with("/admin/") => {
+                let target = target.to_string();
+                self.dispatch(conns, free, token, Some(target), request.body, keep_alive, version)
             }
             ("GET", "/healthz") => self.inline_response(
                 conns,
@@ -697,7 +781,7 @@ impl EventLoop {
                 },
             ),
             ("GET", "/metrics") => {
-                let body = render_metrics(&self.server, &self.stats, self.started);
+                let body = render_metrics(self.handler.as_ref(), &self.stats, self.started);
                 self.inline_response(
                     conns,
                     free,
@@ -751,6 +835,63 @@ impl EventLoop {
         }
     }
 
+    /// Hand a request to the dispatch pool (`/api` protocol work or an
+    /// `/admin/...` control endpoint).  Returns whether the caller may
+    /// continue parsing pipelined requests on this connection.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch(
+        &self,
+        conns: &mut [Option<Conn>],
+        free: &mut Vec<usize>,
+        token: usize,
+        target: Option<String>,
+        body: Vec<u8>,
+        keep_alive: bool,
+        version: Version,
+    ) -> bool {
+        let conn = conns[token].as_mut().expect("dispatched conn is live");
+        let job = Job {
+            reply: self.completions_sender(),
+            waker: Arc::clone(&self.waker),
+            token,
+            generation: conn.generation,
+            target,
+            body,
+            keep_alive,
+            version,
+        };
+        match self.jobs.try_send(job) {
+            Ok(()) => {
+                conn.state = ConnState::Dispatching;
+                conn.deadline = None;
+                self.set_interest(conn, token, Interest::NONE);
+                false
+            }
+            Err(TrySendError::Full(_)) => {
+                self.stats.dispatch_rejected.fetch_add(1, Ordering::Relaxed);
+                let body = b"dispatch queue full, retry\n";
+                self.inline_response(
+                    conns,
+                    free,
+                    token,
+                    InlineResponse {
+                        status: 503,
+                        reason: "Service Unavailable",
+                        content_type: "text/plain",
+                        body,
+                        keep_alive,
+                        version,
+                        extra: &[],
+                    },
+                )
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.close(conns, free, token, CloseKind::Shutdown);
+                false
+            }
+        }
+    }
+
     fn completions_sender(&self) -> Sender<Completion> {
         // The loop's own completion sender: dispatch workers post back here.
         self.completions_tx.clone()
@@ -774,9 +915,9 @@ impl EventLoop {
             &mut conn.head,
             &ResponseHead {
                 version: completion.version,
-                status: 200,
-                reason: "OK",
-                content_type: "application/x-rvsim-payload",
+                status: completion.status,
+                reason: completion.reason,
+                content_type: completion.content_type,
                 content_length: completion.payload.len(),
                 keep_alive: completion.keep_alive,
                 extra: &[],
@@ -987,10 +1128,11 @@ fn try_write(conn: &mut Conn) -> WriteProgress {
     }
 }
 
-/// Plain-text metrics: front-end counters, connection gauges, session-store
-/// gauges and the request-coalescing counters of the serve layer.
-fn render_metrics(server: &SimulationServer, stats: &NetStats, started: Instant) -> String {
-    format!(
+/// Plain-text metrics: front-end counters and connection gauges, followed by
+/// whatever the handler appends (session-store gauges for a
+/// [`SimulationServer`], ring/upstream gauges for a router).
+fn render_metrics(handler: &dyn ApiHandler, stats: &NetStats, started: Instant) -> String {
+    let mut out = format!(
         "rvsim_uptime_seconds {}\n\
          rvsim_connections_accepted_total {}\n\
          rvsim_connections_rejected_total {}\n\
@@ -999,11 +1141,7 @@ fn render_metrics(server: &SimulationServer, stats: &NetStats, started: Instant)
          rvsim_connections_idle_closed_total {}\n\
          rvsim_http_requests_total {}\n\
          rvsim_http_errors_total {}\n\
-         rvsim_dispatch_rejected_total {}\n\
-         rvsim_steps_coalesced_total {}\n\
-         rvsim_getstate_shared_total {}\n\
-         rvsim_sessions_live {}\n\
-         rvsim_sessions_evicted_total {}\n",
+         rvsim_dispatch_rejected_total {}\n",
         started.elapsed().as_secs(),
         stats.connections_accepted.load(Ordering::Relaxed),
         stats.connections_rejected.load(Ordering::Relaxed),
@@ -1013,9 +1151,7 @@ fn render_metrics(server: &SimulationServer, stats: &NetStats, started: Instant)
         stats.requests_served.load(Ordering::Relaxed),
         stats.http_errors.load(Ordering::Relaxed),
         stats.dispatch_rejected.load(Ordering::Relaxed),
-        server.coalesced_step_count(),
-        server.shared_state_serve_count(),
-        server.session_count(),
-        server.evicted_session_count(),
-    )
+    );
+    handler.append_metrics(&mut out);
+    out
 }

@@ -5,7 +5,7 @@
 //! arbitrary byte windows.
 
 use proptest::prelude::*;
-use rvsim_net::{HttpRequest, RequestParser};
+use rvsim_net::{HttpRequest, RequestParser, MAX_BODY_BYTES};
 
 /// A generated request: method/target/body/connection choices that cover
 /// every framing shape the server sees.
@@ -77,4 +77,55 @@ proptest! {
         let split = parse_stream(&bytes);
         prop_assert_eq!(split, whole);
     }
+
+    /// Strict Content-Length classification: surrounding whitespace trims
+    /// away, a plain digit string within the body cap frames exactly that
+    /// many bytes, an oversized length is 413, and every other shape the
+    /// permissive `usize::from_str` would have accepted (signs, embedded
+    /// whitespace, hex) — or rejected differently — is a 400.
+    #[test]
+    fn content_length_values_are_classified_strictly(case in arbitrary_content_length_case()) {
+        let (value, expected) = case;
+        let mut wire =
+            format!("POST /api HTTP/1.1\r\ncontent-length:{value}\r\n\r\n").into_bytes();
+        if let Ok(length) = expected {
+            wire.extend(vec![b'x'; length]);
+        }
+        let mut parser = RequestParser::new();
+        parser.feed(&wire);
+        match (parser.next_request(), expected) {
+            (Ok(Some(request)), Ok(length)) => {
+                prop_assert_eq!(request.body.len(), length);
+            }
+            (Err(error), Err(status)) => {
+                prop_assert_eq!(error.status, status, "for value `{}`: {}", value, error.detail);
+            }
+            (got, want) => {
+                return Err(TestCaseError::fail(format!(
+                    "content-length `{value}` parsed as {got:?}, expected {want:?}"
+                )));
+            }
+        }
+    }
+}
+
+/// A generated Content-Length header value plus the verdict the parser must
+/// reach: `Ok(n)` frames an `n`-byte body, `Err(status)` rejects.
+fn arbitrary_content_length_case() -> impl Strategy<Value = (String, Result<usize, u16>)> {
+    (0u8..8, 0u64..9999).prop_map(|(kind, n)| {
+        let small = (n as usize) % 600;
+        match kind {
+            // Plain digits inside the cap, bare or whitespace-padded: valid.
+            0 => (small.to_string(), Ok(small)),
+            1 => (format!("  {small}\t"), Ok(small)),
+            // One past the cap, or too many digits for any usize: 413.
+            2 => ((MAX_BODY_BYTES as u64 + 1 + n).to_string(), Err(413)),
+            3 => (format!("9{n:029}"), Err(413)),
+            // Signs, embedded whitespace, hex, text: all 400.
+            4 => (format!("+{small}"), Err(400)),
+            5 => (format!("-{small}"), Err(400)),
+            6 => (format!("{small} {n}"), Err(400)),
+            _ => (format!("0x{small:x}"), Err(400)),
+        }
+    })
 }

@@ -44,7 +44,12 @@ fn default_deployment(compress: bool) -> DeploymentConfig {
 
 fn create_session(client: &mut TcpApiClient) -> u64 {
     match client
-        .call(&Request::CreateSession { program: PROGRAM.into(), architecture: None, entry: None })
+        .call(&Request::CreateSession {
+            program: PROGRAM.into(),
+            architecture: None,
+            entry: None,
+            session: None,
+        })
         .expect("create succeeds")
     {
         Response::SessionCreated { session } => session,

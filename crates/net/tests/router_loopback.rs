@@ -1,0 +1,191 @@
+//! End-to-end router-tier tests: two real backend [`NetServer`]s plus a
+//! [`Router`] front end on `127.0.0.1`, driven through [`TcpApiClient`].
+//! Every test skips gracefully when the sandbox forbids loopback sockets.
+
+use rvsim_net::{http_get, http_post, DrainReport, NetConfig, NetServer, Router, TcpApiClient};
+use rvsim_server::{DeploymentConfig, DeploymentMode, Request, Response, SimulationServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+const PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 4000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    mv   a0, t0
+    ret
+";
+
+fn loopback_available() -> bool {
+    match std::net::TcpListener::bind("127.0.0.1:0") {
+        Ok(_) => true,
+        Err(e) => {
+            eprintln!("skipping loopback test: cannot bind 127.0.0.1: {e}");
+            false
+        }
+    }
+}
+
+fn start_backend() -> NetServer {
+    let deployment = DeploymentConfig {
+        mode: DeploymentMode::Direct,
+        compress_responses: true,
+        worker_threads: 2,
+        idle_session_ttl_seconds: None,
+    };
+    NetServer::start(SimulationServer::new(deployment), NetConfig::default())
+        .expect("backend starts")
+}
+
+fn start_router(backends: &[&NetServer]) -> NetServer {
+    let router = Router::new(backends.iter().map(|b| b.local_addr()).collect());
+    NetServer::start_with_handler(Arc::new(router), NetConfig::default()).expect("router starts")
+}
+
+fn create_session(client: &mut TcpApiClient) -> u64 {
+    match client
+        .call(&Request::CreateSession {
+            program: PROGRAM.into(),
+            architecture: None,
+            entry: None,
+            session: None,
+        })
+        .expect("create succeeds")
+    {
+        Response::SessionCreated { session } => session,
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn router_spreads_sessions_and_proxies_the_protocol() {
+    if !loopback_available() {
+        return;
+    }
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let router = start_router(&[&b0, &b1]);
+    let mut client = TcpApiClient::new(router.local_addr());
+
+    let sessions: Vec<u64> = (0..16).map(|_| create_session(&mut client)).collect();
+    for &session in &sessions {
+        assert!(session >= rvsim_net::ROUTER_SESSION_BASE, "router must number sessions");
+        let r = client.call(&Request::Step { session, cycles: 5 }).unwrap();
+        assert_eq!(r, Response::Stepped { cycle: 5, halted: false });
+        match client.call(&Request::GetState { session }).unwrap() {
+            Response::State(snapshot) => assert_eq!(snapshot.cycle, 5),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    let (on_b0, on_b1) = (b0.server().session_count(), b1.server().session_count());
+    assert_eq!(on_b0 + on_b1, 16, "every session lives on exactly one backend");
+    assert!(on_b0 > 0 && on_b1 > 0, "the ring must use both backends ({on_b0}/{on_b1})");
+
+    // The aggregated list sees every session, whichever backend holds it.
+    match client.call(&Request::ListSessions).unwrap() {
+        Response::SessionList { sessions: listed } => {
+            let mut expected = sessions.clone();
+            expected.sort_unstable();
+            assert_eq!(listed, expected);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+
+    // Router metrics are served by the same front end.
+    let (status, body) = http_get(router.local_addr(), "/metrics", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rvsim_router_backends 2"), "{text}");
+    assert!(text.contains("rvsim_router_backend_up_0 1"), "{text}");
+    assert!(text.contains("rvsim_http_requests_total"), "{text}");
+
+    router.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}
+
+#[test]
+fn drain_migrates_live_sessions_without_client_visible_errors() {
+    if !loopback_available() {
+        return;
+    }
+    let b0 = start_backend();
+    let b1 = start_backend();
+    let router = start_router(&[&b0, &b1]);
+    let addr = router.local_addr();
+
+    let mut client = TcpApiClient::new(addr);
+    let sessions: Vec<u64> = (0..12).map(|_| create_session(&mut client)).collect();
+    for &session in &sessions {
+        let r = client.call(&Request::Step { session, cycles: 3 }).unwrap();
+        assert_eq!(r, Response::Stepped { cycle: 3, halted: false });
+    }
+    let before_b0 = b0.server().session_count();
+    assert!(before_b0 > 0, "backend 0 must hold some sessions for the drain to move");
+
+    // Clients keep hammering the sessions while the drain runs.
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let mut threads = Vec::new();
+    for chunk in sessions.chunks(4) {
+        let chunk = chunk.to_vec();
+        let stop = Arc::clone(&stop);
+        threads.push(std::thread::spawn(move || {
+            let mut client = TcpApiClient::new(addr);
+            let mut requests = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                for &session in &chunk {
+                    let response = client
+                        .call(&Request::GetState { session })
+                        .unwrap_or_else(|e| panic!("transport failed mid-drain: {e}"));
+                    assert!(
+                        matches!(response, Response::State(_)),
+                        "client saw an error mid-drain: {response:?}"
+                    );
+                    requests += 1;
+                }
+            }
+            requests
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(100));
+    let (status, body) =
+        http_post(addr, "/admin/drain", br#"{"backend":0}"#, Duration::from_secs(30)).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let report: DrainReport = serde_json::from_slice(&body).unwrap();
+    assert_eq!(report.backend, 0);
+    assert_eq!(report.sessions, before_b0);
+    assert_eq!(report.migrated, before_b0, "failed: {:?}", report.failed);
+    assert!(report.failed.is_empty());
+
+    std::thread::sleep(Duration::from_millis(100));
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let served: u64 = threads.into_iter().map(|t| t.join().expect("no client errors")).sum();
+    assert!(served > 0);
+
+    // Every session now lives on backend 1, with its state intact.
+    assert_eq!(b0.server().session_count(), 0, "backend 0 must be empty after the drain");
+    assert_eq!(b1.server().session_count(), sessions.len());
+    for &session in &sessions {
+        match client.call(&Request::GetState { session }).unwrap() {
+            Response::State(snapshot) => assert_eq!(snapshot.cycle, 3, "state survived the move"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // A second drain of the same backend is refused.
+    let (status, _body) =
+        http_post(addr, "/admin/drain", br#"{"backend":0}"#, Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 409);
+
+    // Unknown control endpoints still 404 through the dispatch path.
+    let (status, body) = http_post(addr, "/admin/nope", b"{}", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 404);
+    assert!(String::from_utf8_lossy(&body).contains("no such endpoint"));
+
+    router.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}

@@ -1,0 +1,204 @@
+//! Portable session envelopes for serialize/restore and live migration.
+//!
+//! A [`SessionEnvelope`] captures everything needed to rebuild a session on
+//! another process: the architecture configuration, the assembly program,
+//! the cycle the session had reached, and the full architectural snapshot
+//! at that cycle.  Restore is *replay-based*: the simulator is rebuilt from
+//! the program and stepped forward to the captured cycle, then the rebuilt
+//! state is compared against the envelope's snapshot.  The simulator is
+//! deterministic, so a matching snapshot proves the restored session will
+//! retire byte-identically to the original from that point on — the same
+//! equivalence argument the ISS cosim spine uses.
+
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// Envelope format version understood by this build.
+pub const ENVELOPE_VERSION: u32 = 1;
+
+/// Magic prefix of the binary framing (`to_bytes`/`from_bytes`).
+const ENVELOPE_MAGIC: &[u8; 4] = b"RVSE";
+
+/// A serialized session: everything needed to rebuild it elsewhere.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionEnvelope {
+    /// Format version ([`ENVELOPE_VERSION`]).
+    pub version: u32,
+    /// The session id the envelope was captured under (restore reinstalls
+    /// under the same id so clients keep their handle across migration).
+    pub session: u64,
+    /// Architecture the simulator runs.
+    pub architecture: ArchitectureConfig,
+    /// Assembly source the simulator was built from.
+    pub program: String,
+    /// Cycle the session had reached at capture.
+    pub cycle: u64,
+    /// Full architectural snapshot at `cycle`, used to verify the replayed
+    /// restore reproduced the exact state.
+    pub state: Box<ProcessorSnapshot>,
+}
+
+impl SessionEnvelope {
+    /// Binary framing: `RVSE` magic, little-endian `u32` version, then the
+    /// JSON body.  The magic + version live outside the JSON so a reader
+    /// can reject a foreign or future envelope without parsing it.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let body = serde_json::to_vec(self).expect("envelope serialization cannot fail");
+        let mut out = Vec::with_capacity(8 + body.len());
+        out.extend_from_slice(ENVELOPE_MAGIC);
+        out.extend_from_slice(&self.version.to_le_bytes());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Parse the binary framing produced by [`SessionEnvelope::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, String> {
+        if bytes.len() < 8 || &bytes[..4] != ENVELOPE_MAGIC {
+            return Err("not a session envelope (missing RVSE magic)".to_string());
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("length checked"));
+        if version != ENVELOPE_VERSION {
+            return Err(format!(
+                "unsupported envelope version {version} (this build understands {ENVELOPE_VERSION})"
+            ));
+        }
+        let envelope: SessionEnvelope = serde_json::from_slice(&bytes[8..])
+            .map_err(|e| format!("malformed envelope body: {e}"))?;
+        if envelope.version != version {
+            return Err(format!(
+                "envelope header says version {version} but body says {}",
+                envelope.version
+            ));
+        }
+        Ok(envelope)
+    }
+
+    /// Capture a live simulator into an envelope.
+    pub fn capture(session: u64, simulator: &Simulator, program: &str) -> Self {
+        SessionEnvelope {
+            version: ENVELOPE_VERSION,
+            session,
+            architecture: simulator.config().clone(),
+            program: program.to_string(),
+            cycle: simulator.cycle(),
+            state: Box::new(ProcessorSnapshot::capture(simulator)),
+        }
+    }
+
+    /// Rebuild the simulator by replaying the program to the captured
+    /// cycle, then verify the rebuilt architectural state matches the
+    /// envelope's snapshot exactly.  A mismatch means the envelope does not
+    /// describe a state this build can reproduce (corrupt envelope or
+    /// incompatible simulator) and the restore is refused.
+    pub fn replay(&self) -> Result<Simulator, String> {
+        if self.version != ENVELOPE_VERSION {
+            return Err(format!(
+                "unsupported envelope version {} (this build understands {ENVELOPE_VERSION})",
+                self.version
+            ));
+        }
+        let mut simulator = Simulator::from_assembly(&self.program, &self.architecture)
+            .map_err(|e| format!("envelope program does not assemble: {e}"))?;
+        while simulator.cycle() < self.cycle {
+            let before = simulator.cycle();
+            simulator.step();
+            if simulator.cycle() == before {
+                return Err(format!(
+                    "replay stalled at cycle {before} before reaching envelope cycle {}",
+                    self.cycle
+                ));
+            }
+        }
+        let rebuilt = ProcessorSnapshot::capture(&simulator);
+        if rebuilt != *self.state {
+            return Err(format!(
+                "restored state diverges from the envelope at cycle {}",
+                self.cycle
+            ));
+        }
+        Ok(simulator)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_core::ArchitectureConfig;
+
+    const PROGRAM: &str = "
+main:
+    li   t0, 12
+    li   t1, 0
+loop:
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bne  t0, zero, loop
+    mv   a0, t1
+    ret
+";
+
+    #[test]
+    fn envelope_round_trips_through_bytes() {
+        let config = ArchitectureConfig::default();
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        for _ in 0..7 {
+            sim.step();
+        }
+        let envelope = SessionEnvelope::capture(9, &sim, PROGRAM);
+        let bytes = envelope.to_bytes();
+        let back = SessionEnvelope::from_bytes(&bytes).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn replay_reproduces_the_captured_state() {
+        let config = ArchitectureConfig::wide();
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        for _ in 0..11 {
+            sim.step();
+        }
+        let envelope = SessionEnvelope::capture(1, &sim, PROGRAM);
+        let restored = envelope.replay().unwrap();
+        assert_eq!(restored.cycle(), sim.cycle());
+        assert_eq!(ProcessorSnapshot::capture(&restored), ProcessorSnapshot::capture(&sim));
+    }
+
+    #[test]
+    fn replay_runs_past_halt_correctly() {
+        let config = ArchitectureConfig::scalar();
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        sim.run(100_000).unwrap();
+        assert!(sim.is_halted());
+        let envelope = SessionEnvelope::capture(2, &sim, PROGRAM);
+        let restored = envelope.replay().unwrap();
+        assert!(restored.is_halted());
+        assert_eq!(restored.cycle(), sim.cycle());
+    }
+
+    #[test]
+    fn foreign_magic_and_versions_are_rejected() {
+        assert!(SessionEnvelope::from_bytes(b"????0000{}").is_err());
+        assert!(SessionEnvelope::from_bytes(b"RVSE").is_err());
+
+        let config = ArchitectureConfig::default();
+        let sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        let mut envelope = SessionEnvelope::capture(3, &sim, PROGRAM);
+        envelope.version = 99;
+        assert!(SessionEnvelope::from_bytes(&envelope.to_bytes()).is_err());
+        assert!(envelope.replay().is_err());
+    }
+
+    #[test]
+    fn tampered_state_is_refused_by_replay() {
+        let config = ArchitectureConfig::default();
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        for _ in 0..5 {
+            sim.step();
+        }
+        let mut envelope = SessionEnvelope::capture(4, &sim, PROGRAM);
+        envelope.cycle += 1; // snapshot no longer matches the claimed cycle
+        let err = envelope.replay().unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+    }
+}

@@ -22,10 +22,12 @@
 
 #![warn(missing_docs)]
 
+pub mod envelope;
 pub mod protocol;
 pub mod server;
 pub mod threaded;
 
+pub use envelope::{SessionEnvelope, ENVELOPE_VERSION};
 pub use protocol::{Request, Response};
 pub use server::{DeploymentConfig, DeploymentMode, SimulationServer};
 pub use threaded::{ServerClient, ThreadedServer};

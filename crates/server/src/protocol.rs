@@ -1,6 +1,7 @@
 //! JSON request/response protocol between clients (web GUI, CLI, load
 //! generator) and the simulation server.
 
+use crate::envelope::SessionEnvelope;
 use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, SimulationStatistics, SnapshotDelta};
 use serde::{Deserialize, Serialize};
 
@@ -22,6 +23,11 @@ pub enum Request {
         /// Optional entry label.
         #[serde(default)]
         entry: Option<String>,
+        /// Explicit session id to install the session under (router
+        /// placement and restore flows).  Errors if the id is taken; the
+        /// server assigns one when omitted.
+        #[serde(default)]
+        session: Option<u64>,
     },
     /// Compile C source to assembly.
     Compile {
@@ -82,6 +88,31 @@ pub enum Request {
         /// Session id.
         session: u64,
     },
+    /// Capture a session as a portable [`SessionEnvelope`] (config +
+    /// program + architectural state), optionally destroying it in the same
+    /// critical section — the atomic "serialize and vacate" a live
+    /// migration needs.
+    SerializeSession {
+        /// Session id.
+        session: u64,
+        /// Remove the session while still holding its lock, so no request
+        /// can slip in between the capture and the removal.
+        #[serde(default)]
+        destroy: bool,
+    },
+    /// Install a session from a [`SessionEnvelope`] under the envelope's
+    /// original id.  The restore replays the program to the captured cycle
+    /// and verifies the rebuilt state matches the envelope byte-for-byte.
+    RestoreSession {
+        /// The serialized session.
+        envelope: Box<SessionEnvelope>,
+        /// Replace an existing session under the same id (bumps its serve
+        /// epoch) instead of failing.
+        #[serde(default)]
+        replace: bool,
+    },
+    /// List the ids of all live sessions (drain enumeration).
+    ListSessions,
 }
 
 fn default_one() -> u64 {
@@ -123,6 +154,13 @@ pub enum Response {
     Stats(Box<SimulationStatistics>),
     /// Session destroyed.
     Destroyed,
+    /// A serialized session ([`Request::SerializeSession`]).
+    Serialized(Box<SessionEnvelope>),
+    /// Live session ids ([`Request::ListSessions`]).
+    SessionList {
+        /// Session ids, ascending.
+        sessions: Vec<u64>,
+    },
     /// The request failed.
     Error {
         /// Human-readable error message.
@@ -149,7 +187,18 @@ mod tests {
     #[test]
     fn request_json_round_trip() {
         let requests = vec![
-            Request::CreateSession { program: "main: ret".into(), architecture: None, entry: None },
+            Request::CreateSession {
+                program: "main: ret".into(),
+                architecture: None,
+                entry: None,
+                session: None,
+            },
+            Request::CreateSession {
+                program: "main: ret".into(),
+                architecture: None,
+                entry: None,
+                session: Some(42),
+            },
             Request::Compile { source: "int main(void){return 0;}".into(), optimization: 2 },
             Request::Step { session: 3, cycles: 10 },
             Request::StepBack { session: 3, cycles: 1 },
@@ -158,6 +207,8 @@ mod tests {
             Request::GetStateDelta { session: 3, since_cycle: 17 },
             Request::GetStats { session: 3 },
             Request::DestroySession { session: 3 },
+            Request::SerializeSession { session: 3, destroy: true },
+            Request::ListSessions,
         ];
         for r in requests {
             let json = serde_json::to_string(&r).unwrap();
@@ -175,6 +226,10 @@ mod tests {
         assert!(matches!(r, Request::CreateSession { .. }));
         let r: Request = serde_json::from_str(r#"{"type":"run","session":2}"#).unwrap();
         assert_eq!(r, Request::Run { session: 2, max_cycles: 1_000_000 });
+        // Pre-scale-out clients omit the new optional fields.
+        let r: Request =
+            serde_json::from_str(r#"{"type":"serialize_session","session":7}"#).unwrap();
+        assert_eq!(r, Request::SerializeSession { session: 7, destroy: false });
     }
 
     #[test]

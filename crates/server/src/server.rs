@@ -1,5 +1,6 @@
 //! Session management and request dispatch.
 
+use crate::envelope::SessionEnvelope;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -23,6 +24,16 @@ pub enum DeploymentMode {
     Containerized {
         /// Extra per-request overhead in microseconds of busy work.
         request_overhead_us: u64,
+    },
+    /// Emulate a backend whose per-request service time is dominated by
+    /// waiting (I/O, a modeled per-node capacity) rather than CPU: each
+    /// request *sleeps* for the service time instead of spinning.  Sleeping
+    /// requests from N emulated nodes overlap on one machine, so a
+    /// multi-process scaling measurement exercises the routing/placement
+    /// tier honestly even when the host has fewer cores than nodes.
+    RemoteEmulated {
+        /// Emulated per-request service time in microseconds.
+        service_time_us: u64,
     },
 }
 
@@ -67,10 +78,13 @@ struct ServeCache {
     /// reference bump, not a buffer copy.  When every consumer has dropped
     /// its handle the allocation is reclaimed for the next refresh.
     encoded: Bytes,
-    /// Cycle `encoded` was rendered at.  Simulation is deterministic, so an
+    /// `(epoch, cycle)` the payload in `encoded` was rendered at.  Within
+    /// one state generation the simulation is deterministic, so an
     /// unchanged cycle implies unchanged state and the cached bytes are
-    /// returned without re-capturing anything.
-    encoded_cycle: Option<u64>,
+    /// returned without re-capturing anything — but a restore can install
+    /// *different* state behind the same id at the same cycle, which bumps
+    /// the session epoch and makes every cached payload unreachable.
+    encoded_key: Option<(u64, u64)>,
     /// The snapshot this session's client last received (delta base).
     delta_base: Option<ProcessorSnapshot>,
 }
@@ -78,6 +92,15 @@ struct ServeCache {
 struct Session {
     simulator: Simulator,
     serve: ServeCache,
+    /// Assembly source the simulator was built from (serialize/restore).
+    program: String,
+    /// Architecture the simulator runs (serialize/restore).
+    config: ArchitectureConfig,
+    /// State-generation counter: bumped whenever the simulator behind this
+    /// id is replaced (in-place restore).  Part of the serve-cache key, so
+    /// a replaced session can never serve a stale cached payload captured
+    /// from the previous state generation at the same cycle.
+    epoch: u64,
 }
 
 /// A stored session: the individually-locked simulator state plus an
@@ -123,6 +146,30 @@ struct StepQueueInner {
     finished: HashMap<u64, Response>,
     /// A combiner currently owns the session and will drain `pending`.
     combining: bool,
+    /// The session was destroyed, evicted or migrated away.  New arrivals
+    /// answer `unknown session` immediately, and [`close_step_queue`]
+    /// already failed every queued ticket — nobody sleeps on the condvar
+    /// waiting for a combiner that will never come.
+    closed: bool,
+}
+
+/// Close a removed session's step queue: fail every queued ticket with an
+/// `unknown session` error and wake the waiters.  Without this, a `Step`
+/// enqueued between lookup and removal (destroy or idle eviction) would
+/// either hang on the condvar or silently execute against the removed
+/// simulator.
+fn close_step_queue(id: u64, slot: &SessionSlot) {
+    let queue = &slot.steps;
+    let mut inner = queue.inner.lock();
+    inner.closed = true;
+    let drained: Vec<u64> = inner.pending.drain(..).map(|t| t.id).collect();
+    if drained.is_empty() {
+        return;
+    }
+    for ticket in drained {
+        inner.finished.insert(ticket, Response::error(format!("unknown session {id}")));
+    }
+    queue.ready.notify_all();
 }
 
 /// Number of shards in the session store.  Power of two; sixteen shards keep
@@ -266,11 +313,14 @@ impl SimulationServer {
 
     /// Remove session `id`.  Returns whether it existed.
     fn remove_session(&self, id: u64) -> bool {
-        let removed = self.shards[shard_index(id)].write().remove(&id).is_some();
-        if removed {
-            self.session_count.fetch_sub(1, Ordering::AcqRel);
+        match self.shards[shard_index(id)].write().remove(&id) {
+            Some(slot) => {
+                self.session_count.fetch_sub(1, Ordering::AcqRel);
+                close_step_queue(id, &slot);
+                true
+            }
+            None => false,
         }
-        removed
     }
 
     /// Drop sessions whose last request is older than `ttl`.  Returns how
@@ -300,12 +350,27 @@ impl SimulationServer {
             let mut guard = shard.write();
             for id in stale {
                 let still_idle = guard.get(&id).is_some_and(|slot| {
-                    slot.last_touched_ms.load(Ordering::Relaxed) <= cutoff
-                        && slot.session.try_lock().is_some()
+                    if slot.last_touched_ms.load(Ordering::Relaxed) > cutoff {
+                        return false;
+                    }
+                    // A session with queued or in-flight Step work is not
+                    // idle, whatever its touch stamp says: removing it would
+                    // strand the queued waiters behind a combiner that will
+                    // never publish their results.
+                    let queue = slot.steps.inner.lock();
+                    let quiet = queue.pending.is_empty() && !queue.combining;
+                    drop(queue);
+                    quiet && slot.session.try_lock().is_some()
                 });
-                if still_idle && guard.remove(&id).is_some() {
-                    self.session_count.fetch_sub(1, Ordering::AcqRel);
-                    evicted += 1;
+                if still_idle {
+                    if let Some(slot) = guard.remove(&id) {
+                        self.session_count.fetch_sub(1, Ordering::AcqRel);
+                        // Close the queue anyway: a Step that raced past the
+                        // quiet check errors out instead of stepping (or
+                        // waiting on) the removed session.
+                        close_step_queue(id, &slot);
+                        evicted += 1;
+                    }
                 }
             }
         }
@@ -327,9 +392,9 @@ impl SimulationServer {
     pub fn handle(&self, request: Request) -> Response {
         self.apply_deployment_overhead();
         match request {
-            Request::CreateSession { program, architecture, entry } => {
+            Request::CreateSession { program, architecture, entry, session } => {
                 let config = architecture.unwrap_or_default();
-                self.create_session(&program, &config, entry.as_deref())
+                self.create_session(&program, &config, entry.as_deref(), session)
             }
             Request::Compile { source, optimization } => {
                 let opt = match optimization {
@@ -349,7 +414,7 @@ impl SimulationServer {
                 }
             }
             Request::Step { session, cycles } => match self.session(session) {
-                Some(slot) => self.coalesced_step(&slot, cycles),
+                Some(slot) => self.coalesced_step(session, &slot, cycles),
                 None => Response::error(format!("unknown session {session}")),
             },
             Request::StepBack { session, cycles } => self.with_session(session, |s| {
@@ -388,7 +453,87 @@ impl SimulationServer {
                     Response::error(format!("unknown session {session}"))
                 }
             }
+            Request::SerializeSession { session, destroy } => {
+                self.serialize_session(session, destroy)
+            }
+            Request::RestoreSession { envelope, replace } => {
+                self.restore_session(*envelope, replace)
+            }
+            Request::ListSessions => self.list_sessions(),
         }
+    }
+
+    /// Capture session `id` as a portable envelope.  With `destroy`, the
+    /// session is removed while its lock is still held: no request can
+    /// observe it between the capture and the removal, which is the atomic
+    /// "serialize and vacate" a live migration needs.
+    fn serialize_session(&self, id: u64, destroy: bool) -> Response {
+        let Some(slot) = self.session(id) else {
+            return Response::error(format!("unknown session {id}"));
+        };
+        let guard = slot.session.lock();
+        let envelope = SessionEnvelope::capture(id, &guard.simulator, &guard.program);
+        if destroy {
+            // Holding the session lock here is safe: the eviction sweep
+            // only `try_lock`s sessions, so no shard-write holder ever
+            // blocks on a session lock.
+            self.remove_session(id);
+        }
+        drop(guard);
+        Response::Serialized(Box::new(envelope))
+    }
+
+    /// Install a session from an envelope under the envelope's original id.
+    /// The restore replays the program to the captured cycle and refuses to
+    /// install state it cannot reproduce exactly.
+    fn restore_session(&self, envelope: SessionEnvelope, replace: bool) -> Response {
+        let simulator = match envelope.replay() {
+            Ok(simulator) => simulator,
+            Err(e) => return Response::error(e),
+        };
+        let id = envelope.session;
+        // Keep the auto-assign counter ahead of explicitly installed ids so
+        // a later plain CreateSession can never collide with a restore.
+        self.next_session.fetch_max(id.saturating_add(1), Ordering::Relaxed);
+        if replace {
+            if let Some(slot) = self.session(id) {
+                let mut guard = slot.session.lock();
+                guard.simulator = simulator;
+                guard.program = envelope.program;
+                guard.config = envelope.architecture;
+                // New state generation behind the same id: bump the serve
+                // epoch so the cached GetState payload (keyed by epoch +
+                // cycle) can never be served for the replaced state, and
+                // drop the delta base — the client's held snapshot no
+                // longer descends from this session's history.
+                guard.epoch += 1;
+                guard.serve.encoded_key = None;
+                guard.serve.delta_base = None;
+                return Response::SessionCreated { session: id };
+            }
+        }
+        let session = Session {
+            simulator,
+            serve: ServeCache::default(),
+            program: envelope.program,
+            config: envelope.architecture,
+            epoch: 0,
+        };
+        match self.install_session(id, session) {
+            Ok(()) => Response::SessionCreated { session: id },
+            Err(e) => Response::error(e),
+        }
+    }
+
+    /// Ids of all live sessions, ascending (drain enumeration).  Takes each
+    /// shard's read lock in turn — never the whole store at once.
+    fn list_sessions(&self) -> Response {
+        let mut sessions: Vec<u64> = Vec::with_capacity(self.session_count());
+        for shard in self.shards.iter() {
+            sessions.extend(shard.read().keys().copied());
+        }
+        sessions.sort_unstable();
+        Response::SessionList { sessions }
     }
 
     /// The `GetStateDelta` raw path: the same response the typed handler
@@ -419,21 +564,51 @@ impl SimulationServer {
         program: &str,
         config: &ArchitectureConfig,
         _entry: Option<&str>,
+        explicit_id: Option<u64>,
     ) -> Response {
         match Simulator::from_assembly(program, config) {
             Ok(simulator) => {
-                let id = self.next_session.fetch_add(1, Ordering::Relaxed);
-                let slot = SessionSlot {
-                    last_touched_ms: AtomicU64::new(self.now_ms()),
-                    session: Mutex::new(Session { simulator, serve: ServeCache::default() }),
-                    steps: StepQueue::default(),
+                let id = match explicit_id {
+                    Some(id) => {
+                        // Keep the auto-assign counter ahead of explicit
+                        // ids so later plain creates can never collide.
+                        self.next_session.fetch_max(id.saturating_add(1), Ordering::Relaxed);
+                        id
+                    }
+                    None => self.next_session.fetch_add(1, Ordering::Relaxed),
                 };
-                self.shards[shard_index(id)].write().insert(id, Arc::new(slot));
-                self.session_count.fetch_add(1, Ordering::AcqRel);
-                Response::SessionCreated { session: id }
+                let session = Session {
+                    simulator,
+                    serve: ServeCache::default(),
+                    program: program.to_string(),
+                    config: config.clone(),
+                    epoch: 0,
+                };
+                match self.install_session(id, session) {
+                    Ok(()) => Response::SessionCreated { session: id },
+                    Err(e) => Response::error(e),
+                }
             }
             Err(e) => Response::error(e),
         }
+    }
+
+    /// Insert `session` under `id`, failing (without touching the store)
+    /// when the id is taken.
+    fn install_session(&self, id: u64, session: Session) -> Result<(), String> {
+        let mut shard = self.shards[shard_index(id)].write();
+        if shard.contains_key(&id) {
+            return Err(format!("session {id} already exists"));
+        }
+        let slot = SessionSlot {
+            last_touched_ms: AtomicU64::new(self.now_ms()),
+            session: Mutex::new(session),
+            steps: StepQueue::default(),
+        };
+        shard.insert(id, Arc::new(slot));
+        drop(shard);
+        self.session_count.fetch_add(1, Ordering::AcqRel);
+        Ok(())
     }
 
     /// Execute a `Step` through the session's flat-combining queue.
@@ -450,17 +625,24 @@ impl SimulationServer {
     /// cycle counter after exactly its own cycles on top of its
     /// predecessors'): coalescing changes *which thread* turns the crank,
     /// never what the crank does.
-    fn coalesced_step(&self, slot: &SessionSlot, cycles: u64) -> Response {
+    fn coalesced_step(&self, session_id: u64, slot: &SessionSlot, cycles: u64) -> Response {
         let queue = &slot.steps;
         let ticket = {
             let mut inner = queue.inner.lock();
+            if inner.closed {
+                // The session was destroyed or evicted between lookup and
+                // enqueue: fail like the lookup would have.
+                return Response::error(format!("unknown session {session_id}"));
+            }
             let id = inner.next_ticket;
             inner.next_ticket += 1;
             inner.pending.push_back(StepTicket { id, cycles });
             if inner.combining {
                 loop {
                     if let Some(response) = inner.finished.remove(&id) {
-                        self.coalesced_steps.fetch_add(1, Ordering::Relaxed);
+                        if !response.is_error() {
+                            self.coalesced_steps.fetch_add(1, Ordering::Relaxed);
+                        }
                         return response;
                     }
                     inner = queue.ready.wait(inner).unwrap_or_else(PoisonError::into_inner);
@@ -505,7 +687,18 @@ impl SimulationServer {
             }
         }
         drop(session);
-        own_response.expect("combiner drains its own ticket")
+        match own_response {
+            Some(response) => response,
+            // A concurrent destroy closed the queue before this combiner
+            // drained its batch: the closer already published our ticket's
+            // `unknown session` error.
+            None => queue
+                .inner
+                .lock()
+                .finished
+                .remove(&ticket)
+                .unwrap_or_else(|| Response::error(format!("unknown session {session_id}"))),
+        }
     }
 
     fn with_session(&self, id: u64, f: impl FnOnce(&mut Session) -> Response) -> Response {
@@ -582,9 +775,9 @@ impl SimulationServer {
             return self.encode_response(&Response::error(format!("unknown session {id}")));
         };
         let mut guard = slot.session.lock();
-        let Session { simulator, serve } = &mut *guard;
+        let Session { simulator, serve, epoch, .. } = &mut *guard;
         let cycle = simulator.cycle();
-        if serve.encoded_cycle != Some(cycle) {
+        if serve.encoded_key != Some((*epoch, cycle)) {
             serve.buffer.render_state_response(simulator);
             // Reclaim the previous payload's allocation when every consumer
             // has dropped its handle (the steady state once responses have
@@ -605,7 +798,7 @@ impl SimulationServer {
                 out.extend_from_slice(serve.buffer.bytes());
             }
             serve.encoded = Bytes::from(out);
-            serve.encoded_cycle = Some(cycle);
+            serve.encoded_key = Some((*epoch, cycle));
         } else {
             self.shared_state_serves.fetch_add(1, Ordering::Relaxed);
         }
@@ -618,12 +811,21 @@ impl SimulationServer {
     }
 
     fn apply_deployment_overhead(&self) {
-        if let DeploymentMode::Containerized { request_overhead_us } = self.config.mode {
-            // Busy-wait so the overhead consumes CPU like the real proxying /
-            // namespace translation does, rather than merely sleeping.
-            let start = std::time::Instant::now();
-            while start.elapsed().as_micros() < request_overhead_us as u128 {
-                std::hint::spin_loop();
+        match self.config.mode {
+            DeploymentMode::Direct => {}
+            DeploymentMode::Containerized { request_overhead_us } => {
+                // Busy-wait so the overhead consumes CPU like the real
+                // proxying / namespace translation does, rather than merely
+                // sleeping.
+                let start = std::time::Instant::now();
+                while start.elapsed().as_micros() < request_overhead_us as u128 {
+                    std::hint::spin_loop();
+                }
+            }
+            DeploymentMode::RemoteEmulated { service_time_us } => {
+                // Sleep, don't spin: emulated nodes must overlap on a host
+                // with fewer cores than nodes.
+                std::thread::sleep(Duration::from_micros(service_time_us));
             }
         }
     }
@@ -658,6 +860,7 @@ loop:
             program: PROGRAM.into(),
             architecture: None,
             entry: None,
+            session: None,
         }) {
             Response::SessionCreated { session } => session,
             other => panic!("unexpected response {other:?}"),
@@ -712,6 +915,7 @@ loop:
             program: "main:\n  bogus a0, a1\n".into(),
             architecture: None,
             entry: None,
+            session: None,
         });
         assert!(r.is_error());
         assert_eq!(server.session_count(), 0);
@@ -734,6 +938,7 @@ loop:
                     program: assembly,
                     architecture: None,
                     entry: None,
+                    session: None,
                 });
                 assert!(matches!(r2, Response::SessionCreated { .. }));
             }
@@ -1025,6 +1230,7 @@ loop:
                         program: PROGRAM.into(),
                         architecture: None,
                         entry: None,
+                        session: None,
                     }) {
                         Response::SessionCreated { session } => session,
                         other => panic!("unexpected {other:?}"),
@@ -1090,6 +1296,7 @@ loop:
                 program: LONG_PROGRAM.into(),
                 architecture: None,
                 entry: None,
+                session: None,
             }) {
                 Response::SessionCreated { session } => session,
                 other => panic!("unexpected response {other:?}"),
@@ -1160,6 +1367,200 @@ loop:
         server.handle(Request::Step { session: id, cycles: 1 });
         let _fourth = server.handle_raw(&request); // cycle moved: re-render
         assert_eq!(server.shared_state_serve_count(), 2);
+    }
+
+    #[test]
+    fn serialize_restore_round_trips_a_live_session() {
+        let server = server();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 7 });
+        let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let before = server.handle_raw(&raw_request).to_vec();
+
+        // Serialize-with-destroy vacates the session atomically.
+        let envelope = match server.handle(Request::SerializeSession { session: id, destroy: true })
+        {
+            Response::Serialized(envelope) => envelope,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(envelope.cycle, 7);
+        assert_eq!(server.session_count(), 0);
+        assert!(server.handle(Request::Step { session: id, cycles: 1 }).is_error());
+
+        // Restore reinstalls under the original id with identical state.
+        let r = server.handle(Request::RestoreSession { envelope, replace: false });
+        assert_eq!(r, Response::SessionCreated { session: id });
+        let after = server.handle_raw(&raw_request).to_vec();
+        assert_eq!(before, after, "restored session must serve identical state bytes");
+        let r = server.handle(Request::Step { session: id, cycles: 1 });
+        assert_eq!(r, Response::Stepped { cycle: 8, halted: false });
+    }
+
+    #[test]
+    fn restore_to_same_cycle_invalidates_the_serve_cache() {
+        // Regression: the serve cache used to be keyed by cycle alone, so a
+        // session replaced by *different* state at the same cycle served the
+        // previous state's cached payload.
+        const OTHER_PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 77
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    mv   a0, t0
+    ret
+";
+        let server = server();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 5 });
+        let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let cached = server.handle_raw(&raw_request).to_vec();
+
+        // Build an envelope of a *different* program at the same cycle and
+        // install it in place under the same id.
+        let other = create_with(&server, OTHER_PROGRAM);
+        server.handle(Request::Step { session: other, cycles: 5 });
+        let mut envelope =
+            match server.handle(Request::SerializeSession { session: other, destroy: true }) {
+                Response::Serialized(envelope) => envelope,
+                other => panic!("unexpected {other:?}"),
+            };
+        envelope.session = id;
+        let r = server.handle(Request::RestoreSession { envelope, replace: true });
+        assert_eq!(r, Response::SessionCreated { session: id });
+
+        let fresh = server.handle_raw(&raw_request).to_vec();
+        assert_ne!(cached, fresh, "replaced state at the same cycle must re-render");
+        // And the fresh payload matches the generic path for the new state.
+        let generic =
+            server.encode_response(&server.handle(Request::GetState { session: id })).to_vec();
+        assert_eq!(fresh, generic);
+    }
+
+    fn create_with(server: &SimulationServer, program: &str) -> u64 {
+        match server.handle(Request::CreateSession {
+            program: program.into(),
+            architecture: None,
+            entry: None,
+            session: None,
+        }) {
+            Response::SessionCreated { session } => session,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_session_ids_are_honored_and_collisions_fail() {
+        let server = server();
+        let r = server.handle(Request::CreateSession {
+            program: PROGRAM.into(),
+            architecture: None,
+            entry: None,
+            session: Some(1000),
+        });
+        assert_eq!(r, Response::SessionCreated { session: 1000 });
+        let r = server.handle(Request::CreateSession {
+            program: PROGRAM.into(),
+            architecture: None,
+            entry: None,
+            session: Some(1000),
+        });
+        assert!(r.is_error(), "duplicate explicit id must fail");
+        assert_eq!(server.session_count(), 1);
+        // The auto-assign counter was pushed past the explicit id.
+        let auto = create(&server);
+        assert!(auto > 1000, "auto id {auto} must not collide with explicit ids");
+        match server.handle(Request::ListSessions) {
+            Response::SessionList { sessions } => assert_eq!(sessions, vec![1000, auto]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eviction_skips_sessions_with_queued_step_work() {
+        let server = SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::Direct,
+            compress_responses: false,
+            worker_threads: 1,
+            idle_session_ttl_seconds: Some(1),
+        });
+        let id = create(&server);
+        let slot = server.session(id).unwrap();
+        // Simulate a Step mid-coalescing: a ticket is queued and a combiner
+        // is (about to be) active.  The session lock itself is free — which
+        // is exactly the window the old sweep evicted in.
+        {
+            let mut inner = slot.steps.inner.lock();
+            inner.pending.push_back(StepTicket { id: 0, cycles: 1 });
+            inner.combining = true;
+        }
+        server.advance_clock(10_000);
+        assert_eq!(
+            server.evict_idle_older_than(Duration::ZERO),
+            0,
+            "a session with queued step work must not be evicted"
+        );
+        assert_eq!(server.session_count(), 1);
+        // Once the queue is quiet the sweep takes it.
+        {
+            let mut inner = slot.steps.inner.lock();
+            inner.pending.clear();
+            inner.combining = false;
+        }
+        assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        assert_eq!(server.session_count(), 0);
+    }
+
+    #[test]
+    fn destroy_wakes_queued_step_waiters_with_an_error() {
+        // Regression: a Step waiting on the coalescing condvar while the
+        // session is destroyed used to sleep forever (nobody combined its
+        // ticket).  The destroy must fail the queued ticket and wake it.
+        let server = Arc::new(server());
+        let id = create(&server);
+        let slot = server.session(id).unwrap();
+        // Pose as an active combiner so the spawned Step becomes a waiter.
+        slot.steps.inner.lock().combining = true;
+
+        let waiter = {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || server.handle(Request::Step { session: id, cycles: 1 }))
+        };
+        // Give the waiter time to enqueue and block on the condvar.
+        while slot.steps.inner.lock().pending.is_empty() {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+
+        assert_eq!(server.handle(Request::DestroySession { session: id }), Response::Destroyed);
+        let response = waiter.join().unwrap();
+        assert!(response.is_error(), "queued waiter must fail, got {response:?}");
+
+        // And a Step racing in *after* the close errors instead of stepping
+        // the removed simulator.
+        let late = server.coalesced_step(id, &slot, 1);
+        assert!(late.is_error(), "post-close Step must fail, got {late:?}");
+    }
+
+    #[test]
+    fn remote_emulated_mode_sleeps_per_request() {
+        let server = SimulationServer::new(DeploymentConfig {
+            mode: DeploymentMode::RemoteEmulated { service_time_us: 2_000 },
+            compress_responses: false,
+            worker_threads: 1,
+            idle_session_ttl_seconds: None,
+        });
+        let id = create(&server);
+        let start = std::time::Instant::now();
+        for _ in 0..5 {
+            server.handle(Request::Step { session: id, cycles: 1 });
+        }
+        assert!(
+            start.elapsed() >= Duration::from_millis(10),
+            "5 requests at 2ms emulated service time took {:?}",
+            start.elapsed()
+        );
     }
 
     #[test]

@@ -148,6 +148,7 @@ loop:
                 program: PROGRAM.into(),
                 architecture: None,
                 entry: None,
+                session: None,
             })
             .unwrap();
         let session = match r {
@@ -173,6 +174,7 @@ loop:
                         program: PROGRAM.into(),
                         architecture: None,
                         entry: None,
+                        session: None,
                     })
                     .unwrap();
                 let session = match r {

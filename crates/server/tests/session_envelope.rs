@@ -1,0 +1,138 @@
+//! Property tests for the session envelope: serialize → restore → serialize
+//! must be byte-identical, and a restored simulator must retire exactly the
+//! trace the original would have — across the scalar, default and wide
+//! architecture presets, arbitrary capture points and generated programs.
+//! This is the cosim-style equivalence gate that live migration rests on.
+
+use proptest::prelude::*;
+use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator};
+use rvsim_server::SessionEnvelope;
+
+/// The preset matrix migration must hold on (the same machines the cosim
+/// batch and the throughput bench cover).
+fn preset(index: u8) -> ArchitectureConfig {
+    match index % 3 {
+        0 => ArchitectureConfig::scalar(),
+        1 => ArchitectureConfig::default(),
+        _ => ArchitectureConfig::wide(),
+    }
+}
+
+/// A small parametric program family: an arithmetic reduction over a data
+/// array, with generated constants so each case exercises different branch
+/// and forwarding behaviour.  Always `ret`-terminated (the assembler has no
+/// `ebreak`), long enough that mid-loop capture points exist.
+fn generated_program(seed_a: i32, step: i32, iterations: u32, with_memory: bool) -> String {
+    let memory_loop = if with_memory {
+        "
+    andi t4, t1, 7
+    slli t4, t4, 2
+    add  t4, t4, t3
+    lw   t5, 0(t4)
+    add  t2, t2, t5
+"
+    } else {
+        ""
+    };
+    format!(
+        "
+data:
+    .word 7, 3, 11, 5, 2, 13, 1, 9
+main:
+    li   t0, {seed_a}
+    li   t1, {iterations}
+    li   t2, 0
+    la   t3, data
+loop:
+    add  t2, t2, t0
+    addi t0, t0, {step}
+    xor  t2, t2, t0{memory_loop}
+    addi t1, t1, -1
+    bnez t1, loop
+    mv   a0, t2
+    ret
+"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(32)
+    ))]
+
+    /// serialize → bytes → restore → serialize is byte-identical: the
+    /// envelope loses nothing, whatever the machine or capture point.
+    #[test]
+    fn envelope_round_trip_is_byte_identical(
+        preset_ix in 0u8..3,
+        seed_a in -50i32..50,
+        step in 1i32..9,
+        iterations in 2u32..24,
+        capture_steps in 0usize..48,
+        with_memory in any::<bool>(),
+        session in 1u64..1_000_000,
+    ) {
+        let config = preset(preset_ix);
+        let program = generated_program(seed_a, step, iterations, with_memory);
+        let mut sim = Simulator::from_assembly(&program, &config).expect("program assembles");
+        for _ in 0..capture_steps {
+            sim.step();
+        }
+
+        let envelope = SessionEnvelope::capture(session, &sim, &program);
+        let bytes = envelope.to_bytes();
+        let back = SessionEnvelope::from_bytes(&bytes).expect("framing round-trips");
+        prop_assert_eq!(&back, &envelope);
+        prop_assert_eq!(back.to_bytes(), bytes.clone());
+
+        // The restored simulator re-serializes to the exact same envelope —
+        // the property a second migration hop depends on.
+        let restored = back.replay().expect("replay succeeds");
+        let again = SessionEnvelope::capture(session, &restored, &program);
+        prop_assert_eq!(again.to_bytes(), bytes);
+    }
+
+    /// Cosim gate: after restore, the rebuilt simulator and the original
+    /// stay in lockstep — identical architectural snapshots at every
+    /// compared cycle, identical retirement statistics.  A session migrated
+    /// mid-run is indistinguishable from one that never moved.
+    #[test]
+    fn restored_session_retires_identically_to_the_original(
+        preset_ix in 0u8..3,
+        seed_a in -50i32..50,
+        step in 1i32..9,
+        iterations in 4u32..24,
+        capture_steps in 1usize..32,
+        run_on in 1usize..48,
+    ) {
+        let config = preset(preset_ix);
+        let program = generated_program(seed_a, step, iterations, false);
+        let mut original = Simulator::from_assembly(&program, &config).expect("program assembles");
+        for _ in 0..capture_steps {
+            original.step();
+        }
+
+        let envelope = SessionEnvelope::capture(7, &original, &program);
+        let mut restored =
+            SessionEnvelope::from_bytes(&envelope.to_bytes()).unwrap().replay().unwrap();
+        prop_assert_eq!(restored.cycle(), original.cycle());
+
+        for stepped in 1..=run_on {
+            original.step();
+            restored.step();
+            prop_assert_eq!(restored.cycle(), original.cycle(), "cycle diverged");
+            prop_assert_eq!(
+                ProcessorSnapshot::capture(&restored),
+                ProcessorSnapshot::capture(&original),
+                "state diverged {} steps after restore",
+                stepped
+            );
+        }
+        let (a, b) = (original.statistics(), restored.statistics());
+        prop_assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "retirement statistics diverged"
+        );
+    }
+}

@@ -39,7 +39,12 @@ fn full_client_workflow_compile_create_run_stats() {
     let mut arch = ArchitectureConfig::wide();
     arch.name = "workflow-test".into();
     let response = client
-        .call(&Request::CreateSession { program: assembly, architecture: Some(arch), entry: None })
+        .call(&Request::CreateSession {
+            program: assembly,
+            architecture: Some(arch),
+            entry: None,
+            session: None,
+        })
         .unwrap();
     let session = match response {
         Response::SessionCreated { session } => session,

@@ -73,6 +73,7 @@ fn raw_state_payload_matches_generic_encode_for_every_preset() {
                 program: PROGRAM.into(),
                 architecture: Some(config.clone()),
                 entry: None,
+                session: None,
             }) {
                 Response::SessionCreated { session } => session,
                 other => panic!("unexpected {other:?}"),

@@ -31,6 +31,7 @@ fn create_session(addr: std::net::SocketAddr) -> u64 {
                 .to_string(),
             architecture: None,
             entry: None,
+            session: None,
         })
         .expect("create session")
     {
@@ -205,6 +206,54 @@ fn slow_reader_receives_every_pipelined_response_intact() {
     for status in &statuses {
         assert_eq!(status, "HTTP/1.1 200 OK");
     }
+    net.shutdown();
+}
+
+#[test]
+fn malformed_and_oversized_content_lengths_are_rejected_on_the_wire() {
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping TCP smoke test: loopback sockets unavailable");
+        return;
+    }
+    let net = start_front_end();
+    let addr = net.local_addr();
+
+    let reject = |header_value: &str, expected_status: &str| {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        let head = format!("POST /api HTTP/1.1\r\ncontent-length:{header_value}\r\n\r\n");
+        stream.write_all(head.as_bytes()).unwrap();
+        let mut text = String::new();
+        stream.read_to_string(&mut text).unwrap();
+        assert!(
+            text.starts_with(expected_status),
+            "content-length `{header_value}` answered:\n{text}"
+        );
+    };
+
+    // The permissive `usize::from_str` shapes the old parser accepted must
+    // all be 400 now: signs, embedded whitespace, hex, text, empty.
+    reject("+42", "HTTP/1.1 400 Bad Request");
+    reject("-42", "HTTP/1.1 400 Bad Request");
+    reject("4 2", "HTTP/1.1 400 Bad Request");
+    reject("0x10", "HTTP/1.1 400 Bad Request");
+    reject("ten", "HTTP/1.1 400 Bad Request");
+    reject("", "HTTP/1.1 400 Bad Request");
+
+    // A length past the body cap — including digit strings too long for any
+    // usize — is 413, answered from the head alone without buffering.
+    reject("999999999999", "HTTP/1.1 413 Payload Too Large");
+    reject("99999999999999999999999999999999", "HTTP/1.1 413 Payload Too Large");
+
+    // A whitespace-padded plain digit string still frames the body: the
+    // strictness is about shape, not incidental padding.
+    let mut stream = std::net::TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(b"POST /api HTTP/1.1\r\ncontent-length:  2 \r\nconnection: close\r\n\r\n{}")
+        .unwrap();
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes).unwrap();
+    assert!(bytes.starts_with(b"HTTP/1.1 200 OK"), "{}", String::from_utf8_lossy(&bytes));
+
     net.shutdown();
 }
 
