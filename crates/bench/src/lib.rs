@@ -378,6 +378,12 @@ pub struct ServerBenchReport {
     /// `None` otherwise (and when loopback is unavailable).
     #[serde(default)]
     pub multi_node: Option<MultiNodeSection>,
+    /// Crash-durability measurement: a backend is killed under stepping
+    /// load and its checkpointed sessions fail over to the survivor.
+    /// Populated by `rvsim-cli bench --server --durability`; `None`
+    /// otherwise (and when loopback is unavailable).
+    #[serde(default)]
+    pub durability: Option<DurabilitySection>,
 }
 
 impl ServerBenchReport {
@@ -509,6 +515,7 @@ pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
         tcp: run_tcp_load_bench(options),
         high_connection: Vec::new(),
         multi_node: None,
+        durability: None,
     }
 }
 
@@ -809,6 +816,186 @@ fn measure_multi_node_drain(seconds: f64) -> Result<MultiNodeDrainSample, String
     Ok(sample)
 }
 
+// ---------------------------------------------------------------------------
+// Crash durability: kill a backend under stepping load, measure recovery.
+// ---------------------------------------------------------------------------
+
+/// The `durability` section of `BENCH_server.json`: two checkpointing
+/// backends share a state directory behind a router; one is killed a third
+/// of the way into a stepping-load window and the router re-owns its
+/// sessions on the survivor from their last checkpoints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DurabilitySection {
+    /// Periodic checkpoint cadence the backends ran with, in milliseconds.
+    /// Recovery staleness is bounded by this (plus one in-flight write).
+    pub checkpoint_interval_ms: u64,
+    /// Warmed sessions across the fleet.
+    pub sessions: usize,
+    /// Sessions resident on the backend that was killed.
+    pub sessions_on_killed_backend: usize,
+    /// Sessions serving through the router after the crash (the headline:
+    /// must equal `sessions`).
+    pub recovered: usize,
+    /// Sessions that no longer answered after the crash (must be 0).
+    pub lost: usize,
+    /// Worst restore staleness the router reported, in milliseconds.
+    pub max_staleness_ms: u64,
+    /// Client requests completed during the load window.
+    pub requests: u64,
+    /// Client-visible errors during the window (the crash burst).
+    pub errors: u64,
+    /// Errors bucketed by elapsed second: a burst around the kill followed
+    /// by zeros is the breaker + failover working; a smear is not.
+    pub errors_by_second: Vec<u64>,
+    /// Requests the router fast-failed while a breaker was open (these are
+    /// *contained* failures — no timeout was inflicted on the client).
+    pub breaker_fast_fails: u64,
+    /// Load-window duration in seconds.
+    pub wall_seconds: f64,
+}
+
+/// Checkpoint cadence of the durability measurement.
+pub const DURABILITY_CHECKPOINT_INTERVAL_MS: u64 = 250;
+
+/// Run the crash-durability measurement for (at least) `seconds`: warm a
+/// balanced session fleet over two checkpointing backends, kill backend 0
+/// a third of the way into a stepping-load window, and report how many
+/// sessions survived, how stale they came back and what the clients felt.
+/// Returns `None` (after a note on stderr) when loopback is unavailable or
+/// the fleet cannot start.
+pub fn run_durability_bench(seconds: f64) -> Option<DurabilitySection> {
+    if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+        eprintln!("skipping durability section: loopback unavailable");
+        return None;
+    }
+    match measure_durability(seconds.max(3.0)) {
+        Ok(section) => Some(section),
+        Err(e) => {
+            eprintln!("skipping durability section: {e}");
+            None
+        }
+    }
+}
+
+fn measure_durability(seconds: f64) -> Result<DurabilitySection, String> {
+    let state_dir =
+        std::env::temp_dir().join(format!("rvsim-bench-durability-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let mut fleet: Vec<rvsim_net::NetServer> = Vec::new();
+    for _ in 0..2 {
+        let server = SimulationServer::with_checkpoints(
+            DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 2,
+                idle_session_ttl_seconds: None,
+            },
+            rvsim_server::CheckpointConfig {
+                state_dir: state_dir.clone(),
+                interval: std::time::Duration::from_millis(DURABILITY_CHECKPOINT_INTERVAL_MS),
+                dirty_cycles: 0,
+            },
+        )
+        .map_err(|e| format!("cannot open state dir: {e}"))?;
+        let net = rvsim_net::NetServer::start(
+            server,
+            rvsim_net::NetConfig {
+                event_loops: 1,
+                dispatch_workers: 2,
+                // The periodic checkpoint sweep rides the housekeeping tick;
+                // tick faster than the checkpoint interval so the cadence is
+                // interval-bound, not tick-bound.
+                housekeeping_interval: std::time::Duration::from_millis(100),
+                ..rvsim_net::NetConfig::default()
+            },
+        )
+        .map_err(|e| format!("cannot start backend: {e}"))?;
+        fleet.push(net);
+    }
+    let router =
+        std::sync::Arc::new(rvsim_net::Router::new(fleet.iter().map(|b| b.local_addr()).collect()));
+    let front = rvsim_net::NetServer::start_with_handler(
+        std::sync::Arc::clone(&router) as std::sync::Arc<dyn rvsim_net::ApiHandler>,
+        rvsim_net::NetConfig {
+            event_loops: 1,
+            dispatch_workers: 8,
+            // Fast health probes: two consecutive misses flip a backend dead,
+            // so detection lands within ~2 ticks of the kill.
+            housekeeping_interval: std::time::Duration::from_millis(250),
+            ..rvsim_net::NetConfig::default()
+        },
+    )
+    .map_err(|e| format!("cannot start router: {e}"))?;
+    let addr = front.local_addr();
+
+    let per_backend = balanced_session_ids(&router, 2, SESSIONS_PER_BACKEND);
+    for ids in &per_backend {
+        warm_sessions(addr, ids)?;
+    }
+    let all_ids: Vec<u64> = per_backend.iter().flatten().copied().collect();
+    let victim = fleet.remove(0);
+    let survivor = fleet.remove(0);
+    let sessions_on_killed_backend = victim.server().session_count();
+
+    // Kill backend 0 a third of the way into the stepping-load window.
+    let killer = std::thread::spawn(move || {
+        std::thread::sleep(std::time::Duration::from_secs_f64(seconds / 3.0));
+        victim.shutdown();
+    });
+    let report = rvsim_loadgen::run_step_load(
+        addr,
+        &all_ids,
+        4,
+        std::time::Duration::from_secs_f64(seconds),
+    );
+    killer.join().expect("kill thread");
+
+    // The router must have detected the death and run recovery by now; give
+    // it a short grace period in case the kill landed late in the window.
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let failover = loop {
+        if let Some(failover) = router.last_failover() {
+            break failover;
+        }
+        if Instant::now() >= deadline {
+            return Err("router never reported a failover".to_string());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    let max_staleness_ms = failover.recovered.iter().map(|r| r.staleness_ms).max().unwrap_or(0);
+
+    // The acceptance check: every warmed session still answers.
+    let mut client = rvsim_net::TcpApiClient::new(addr);
+    let mut recovered = 0usize;
+    for &session in &all_ids {
+        if matches!(
+            client.call(&rvsim_server::Request::GetState { session }),
+            Ok(rvsim_server::Response::State(_))
+        ) {
+            recovered += 1;
+        }
+    }
+
+    let section = DurabilitySection {
+        checkpoint_interval_ms: DURABILITY_CHECKPOINT_INTERVAL_MS,
+        sessions: all_ids.len(),
+        sessions_on_killed_backend,
+        recovered,
+        lost: all_ids.len() - recovered,
+        max_staleness_ms,
+        requests: report.requests,
+        errors: report.errors,
+        errors_by_second: report.errors_by_second.clone(),
+        breaker_fast_fails: router.breaker_fast_fail_count(),
+        wall_seconds: report.wall_seconds,
+    };
+    front.shutdown();
+    survivor.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
+    Ok(section)
+}
+
 /// Run the multi-node scale-out benchmark: one scaling point per backend
 /// count in `backend_counts` (each measured for `seconds`), plus the
 /// drain-under-load sample.  Returns `None` (after a note on stderr) when
@@ -959,6 +1146,39 @@ mod tests {
         // A pre-TCP report (no `tcp` key) still deserializes.
         let legacy: ServerBenchReport = serde_json::from_str(r#"{"raw":[],"load":[]}"#).unwrap();
         assert!(legacy.tcp.is_empty());
+    }
+
+    #[test]
+    fn durability_bench_recovers_every_session_after_a_kill() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping durability smoke test: loopback unavailable");
+            return;
+        }
+        let section = run_durability_bench(3.0).expect("loopback was available");
+        assert!(section.sessions > 0);
+        assert!(
+            section.sessions_on_killed_backend > 0,
+            "the killed backend must have held sessions: {section:?}"
+        );
+        assert_eq!(section.lost, 0, "no session may be lost: {section:?}");
+        assert_eq!(section.recovered, section.sessions);
+        assert!(section.requests > 0, "the load must have run");
+        // Staleness is bounded by the checkpoint cadence plus scheduling
+        // slack — order seconds, never the whole run.
+        assert!(
+            section.max_staleness_ms < 10_000,
+            "staleness out of bounds: {} ms",
+            section.max_staleness_ms
+        );
+        // The crash is a bounded burst, not a smear: the last bucket of the
+        // window is clean (the breaker opened and failover re-owned the
+        // sessions well before the window closed).
+        if let Some(&last) = section.errors_by_second.last() {
+            assert_eq!(last, 0, "errors must stop before the window ends: {section:?}");
+        }
+        let json = serde_json::to_string(&section).unwrap();
+        let back: DurabilitySection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.sessions, section.sessions);
     }
 
     #[test]

@@ -319,6 +319,11 @@ OPTIONS:
                             cached-GetState throughput, plus one
                             drain-under-load sample (server mode; default:
                             skipped)
+    --durability            also measure crash recovery: kill one of two
+                            checkpointing backends mid-load and record
+                            sessions recovered, checkpoint staleness and the
+                            client error timeline (server mode; default:
+                            skipped)
     --help                  show this help
 ";
 
@@ -342,6 +347,8 @@ pub struct BenchCliOptions {
     pub high_connections: Vec<usize>,
     /// Multi-node backend counts (server mode; empty = skip the section).
     pub multi_node: Vec<usize>,
+    /// Measure the kill-one-backend durability scenario (server mode).
+    pub durability: bool,
 }
 
 impl Default for BenchCliOptions {
@@ -355,6 +362,7 @@ impl Default for BenchCliOptions {
             users: vec![1, 8, 32],
             high_connections: Vec::new(),
             multi_node: Vec::new(),
+            durability: false,
         }
     }
 }
@@ -451,6 +459,7 @@ impl BenchCliOptions {
                         return Err("--multi-node needs at least one count".to_string());
                     }
                 }
+                "--durability" => options.durability = true,
                 "--help" | "-h" => return Err(BENCH_USAGE.to_string()),
                 other => return Err(format!("unknown argument `{other}`\n\n{BENCH_USAGE}")),
             }
@@ -529,6 +538,11 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
         report.multi_node =
             rvsim_bench::run_multi_node_bench(&options.multi_node, options.min_seconds.max(1.0));
     }
+    if options.durability {
+        // The scenario needs room for checkpoints, the kill and the probe
+        // cycle; `run_durability_bench` enforces its own 3s floor.
+        report.durability = rvsim_bench::run_durability_bench(options.min_seconds);
+    }
 
     if options.json {
         let value = serde_json::json!({
@@ -542,6 +556,7 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             "tcp": report.tcp,
             "high_connection": report.high_connection,
             "multi_node": report.multi_node,
+            "durability": report.durability,
         });
         let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
         text.push('\n');
@@ -604,6 +619,22 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
                 d.migrated, d.sessions, d.requests, d.errors
             ));
         }
+    }
+    if let Some(d) = &report.durability {
+        out.push_str(&format!(
+            "=== durability (kill one of two backends mid-load, {}ms checkpoints) ===\n",
+            d.checkpoint_interval_ms
+        ));
+        out.push_str(&format!(
+            "{}/{} sessions recovered ({} were on the killed backend, {} lost), \
+             max staleness {} ms\n",
+            d.recovered, d.sessions, d.sessions_on_killed_backend, d.lost, d.max_staleness_ms
+        ));
+        out.push_str(&format!(
+            "{} client requests in {:.2}s, {} errors, {} breaker fast-fails; \
+             errors by second: {:?}\n",
+            d.requests, d.wall_seconds, d.errors, d.breaker_fast_fails, d.errors_by_second
+        ));
     }
     Ok(out)
 }
@@ -711,6 +742,23 @@ OPTIONS:
     --no-compress           serve plain JSON payloads (flag byte 0)
     --idle-ttl <SECONDS>    evict sessions idle for this long (default: no
                             eviction); the sweep runs on the housekeeping tick
+    --housekeeping-ms <N>   housekeeping-tick cadence in milliseconds
+                            (default 1000).  On a backend the tick drives
+                            idle eviction and the checkpoint sweep; on a
+                            router it drives the health probes, so a smaller
+                            value detects a dead backend sooner
+    --state-dir <DIR>       checkpoint sessions to RVSE envelope files in DIR
+                            (created if missing): periodic sweeps, spill
+                            instead of destroy on idle eviction, recovery of
+                            every checkpoint at boot.  Not valid with --router
+    --checkpoint-interval <SECONDS>
+                            cadence of the periodic checkpoint sweep
+                            (default 5; 0 sweeps on every housekeeping tick;
+                            needs --state-dir)
+    --checkpoint-dirty-cycles <N>
+                            also checkpoint a session synchronously once it
+                            runs N cycles past its last checkpoint (default
+                            0 = periodic sweeps only; needs --state-dir)
     --help                  show this help
 
 The protocol endpoint is POST /api with a JSON request body; the response
@@ -737,9 +785,18 @@ pub struct ServeCliOptions {
     pub compress: bool,
     /// Idle-session TTL in seconds (`None` disables eviction).
     pub idle_ttl_seconds: Option<u64>,
+    /// Housekeeping-tick cadence in milliseconds (eviction + checkpoint
+    /// sweeps on a backend, health probes on a router).
+    pub housekeeping_ms: u64,
     /// Router mode: backend addresses to consistent-hash sessions across
     /// (empty = run a simulation node, not a router).
     pub router_backends: Vec<std::net::SocketAddr>,
+    /// Checkpoint directory (`None` disables durability).
+    pub state_dir: Option<String>,
+    /// Periodic checkpoint-sweep cadence in seconds (0 = every tick).
+    pub checkpoint_interval_seconds: f64,
+    /// Dirty-cycle checkpoint threshold (0 = periodic sweeps only).
+    pub checkpoint_dirty_cycles: u64,
 }
 
 impl Default for ServeCliOptions {
@@ -753,7 +810,11 @@ impl Default for ServeCliOptions {
             pending: 1024,
             compress: true,
             idle_ttl_seconds: None,
+            housekeeping_ms: 1000,
             router_backends: Vec::new(),
+            state_dir: None,
+            checkpoint_interval_seconds: 5.0,
+            checkpoint_dirty_cycles: 0,
         }
     }
 }
@@ -823,6 +884,28 @@ impl ServeCliOptions {
                     options.idle_ttl_seconds =
                         Some(v.parse().map_err(|_| format!("invalid TTL `{v}`"))?);
                 }
+                "--housekeeping-ms" => {
+                    let v = value(&mut i, "--housekeeping-ms")?;
+                    options.housekeeping_ms = v
+                        .parse()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| format!("invalid housekeeping cadence `{v}`"))?;
+                }
+                "--state-dir" => options.state_dir = Some(value(&mut i, "--state-dir")?),
+                "--checkpoint-interval" => {
+                    let v = value(&mut i, "--checkpoint-interval")?;
+                    options.checkpoint_interval_seconds = v
+                        .parse()
+                        .ok()
+                        .filter(|f: &f64| f.is_finite() && *f >= 0.0)
+                        .ok_or_else(|| format!("invalid checkpoint interval `{v}`"))?;
+                }
+                "--checkpoint-dirty-cycles" => {
+                    let v = value(&mut i, "--checkpoint-dirty-cycles")?;
+                    options.checkpoint_dirty_cycles =
+                        v.parse().map_err(|_| format!("invalid cycle threshold `{v}`"))?;
+                }
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown argument `{other}`\n\n{SERVE_USAGE}")),
             }
@@ -830,6 +913,11 @@ impl ServeCliOptions {
         }
         if !options.tcp {
             return Err(format!("serve requires --tcp\n\n{SERVE_USAGE}"));
+        }
+        if options.state_dir.is_some() && !options.router_backends.is_empty() {
+            return Err(format!(
+                "--state-dir is a backend option; a router holds no sessions\n\n{SERVE_USAGE}"
+            ));
         }
         Ok(options)
     }
@@ -846,6 +934,7 @@ pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, St
         dispatch_workers: options.dispatch_workers,
         max_connections: options.max_connections,
         pending_dispatch: options.pending,
+        housekeeping_interval: std::time::Duration::from_millis(options.housekeeping_ms),
         ..rvsim_net::NetConfig::default()
     };
     if !options.router_backends.is_empty() {
@@ -859,8 +948,154 @@ pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, St
         worker_threads: 4,
         idle_session_ttl_seconds: options.idle_ttl_seconds,
     };
-    rvsim_net::NetServer::start(rvsim_server::SimulationServer::new(deployment), net_config)
+    let server = match &options.state_dir {
+        Some(dir) => {
+            let checkpoints = rvsim_server::CheckpointConfig {
+                state_dir: std::path::PathBuf::from(dir),
+                interval: std::time::Duration::from_secs_f64(options.checkpoint_interval_seconds),
+                dirty_cycles: options.checkpoint_dirty_cycles,
+            };
+            let server = rvsim_server::SimulationServer::with_checkpoints(deployment, checkpoints)
+                .map_err(|e| format!("cannot open state dir `{dir}`: {e}"))?;
+            let (_, failures) = server.recover_checkpoints();
+            for (session, error) in &failures {
+                eprintln!("warning: session {session} refused to restore: {error}");
+            }
+            server
+        }
+        None => rvsim_server::SimulationServer::new(deployment),
+    };
+    rvsim_net::NetServer::start(server, net_config)
         .map_err(|e| format!("cannot bind `{}`: {e}", options.addr))
+}
+
+// ---------------------------------------------------------------------------
+// `chaos` subcommand: deterministic fault-injecting TCP proxy.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `chaos` subcommand.
+pub const CHAOS_USAGE: &str = "\
+rvsim-cli chaos — deterministic fault-injecting TCP proxy: put it between
+               a client (or router) and a backend to rehearse crashes
+
+USAGE:
+    rvsim-cli chaos --upstream <IP:PORT> [OPTIONS]
+
+OPTIONS:
+    --upstream <IP:PORT>    backend to proxy to (mandatory)
+    --listen <IP:PORT>      listen address (default 127.0.0.1:0 — a free
+                            port, printed at startup)
+    --seed <N>              fault-stream seed; the same seed injects the
+                            same fault on the same connection index, every
+                            run (default 0)
+    --reset <P>             probability a connection is reset before any
+                            byte is proxied (default 0)
+    --truncate <P>          probability a response stream is cut after a
+                            random prefix inside the first KiB (default 0)
+    --delay <P>             probability each proxied chunk is delayed
+                            (default 0)
+    --max-delay-ms <N>      upper bound of one injected delay (default 50)
+    --help                  show this help
+
+Faults are drawn per accepted connection from seed and connection index
+only, so a failing sequence replays exactly under the same seed.
+";
+
+/// Parsed options of the `chaos` subcommand.
+#[derive(Debug, Clone)]
+pub struct ChaosCliOptions {
+    /// Backend to proxy to.
+    pub upstream: std::net::SocketAddr,
+    /// Listen address.
+    pub listen: String,
+    /// Fault-stream seed.
+    pub seed: u64,
+    /// Connection-reset probability.
+    pub reset_probability: f64,
+    /// Response-truncation probability.
+    pub truncate_probability: f64,
+    /// Per-chunk delay probability.
+    pub delay_probability: f64,
+    /// Upper bound of one injected delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosCliOptions {
+    /// Parse the arguments following the `chaos` subcommand word.
+    pub fn parse(args: &[String]) -> Result<ChaosCliOptions, String> {
+        let mut upstream = None;
+        let mut options = ChaosCliOptions {
+            upstream: "127.0.0.1:0".parse().expect("literal address"),
+            listen: "127.0.0.1:0".to_string(),
+            seed: 0,
+            reset_probability: 0.0,
+            truncate_probability: 0.0,
+            delay_probability: 0.0,
+            max_delay_ms: 50,
+        };
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        let probability = |v: String, flag: &str| -> Result<f64, String> {
+            v.parse()
+                .ok()
+                .filter(|p: &f64| p.is_finite() && (0.0..=1.0).contains(p))
+                .ok_or_else(|| format!("invalid probability `{v}` for {flag} (want 0..=1)"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--upstream" => {
+                    let v = value(&mut i, "--upstream")?;
+                    upstream =
+                        Some(v.parse().map_err(|_| format!("invalid upstream address `{v}`"))?);
+                }
+                "--listen" => options.listen = value(&mut i, "--listen")?,
+                "--seed" => {
+                    let v = value(&mut i, "--seed")?;
+                    options.seed = v.parse().map_err(|_| format!("invalid seed `{v}`"))?;
+                }
+                "--reset" => {
+                    options.reset_probability = probability(value(&mut i, "--reset")?, "--reset")?;
+                }
+                "--truncate" => {
+                    options.truncate_probability =
+                        probability(value(&mut i, "--truncate")?, "--truncate")?;
+                }
+                "--delay" => {
+                    options.delay_probability = probability(value(&mut i, "--delay")?, "--delay")?;
+                }
+                "--max-delay-ms" => {
+                    let v = value(&mut i, "--max-delay-ms")?;
+                    options.max_delay_ms =
+                        v.parse().map_err(|_| format!("invalid delay bound `{v}`"))?;
+                }
+                "--help" | "-h" => return Err(CHAOS_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{CHAOS_USAGE}")),
+            }
+            i += 1;
+        }
+        options.upstream =
+            upstream.ok_or_else(|| format!("--upstream is mandatory\n\n{CHAOS_USAGE}"))?;
+        Ok(options)
+    }
+}
+
+/// Start the chaos proxy described by `options`.  Returns the running proxy
+/// (the binary parks on it until killed; tests shut it down).
+pub fn start_chaos(options: &ChaosCliOptions) -> Result<rvsim_net::ChaosProxy, String> {
+    let config = rvsim_net::ChaosConfig {
+        listen: options.listen.clone(),
+        upstream: options.upstream,
+        seed: options.seed,
+        reset_probability: options.reset_probability,
+        truncate_probability: options.truncate_probability,
+        delay_probability: options.delay_probability,
+        max_delay_ms: options.max_delay_ms,
+    };
+    rvsim_net::ChaosProxy::start(config)
+        .map_err(|e| format!("cannot bind `{}`: {e}", options.listen))
 }
 
 // ---------------------------------------------------------------------------
@@ -1000,12 +1235,17 @@ OPTIONS:
     --sessions <N>          sessions to create and cycle over (default 8)
     --threads <N>           concurrent client connections (default 4)
     --seconds <F>           measurement window (default 5)
+    --error-budget <RATIO>  tolerate errors up to this error ratio,
+                            errors / (requests + errors) — for chaos runs
+                            where a bounded burst is the expected outcome
+                            (default 0: any error fails)
     --format <text|json>    output format (default text)
     --help                  show this help
 
 Creates the sessions, steps each once to warm the serve cache, then hammers
 GetState from every thread until the window closes.  Exit status is 1 when
-any request fails — the loadgen doubles as the router-smoke check in CI.
+the error ratio exceeds the budget — the loadgen doubles as the
+router-smoke and chaos-smoke check in CI.
 ";
 
 /// Parsed options of the `loadgen` subcommand.
@@ -1019,6 +1259,8 @@ pub struct LoadgenCliOptions {
     pub threads: usize,
     /// Measurement window in seconds.
     pub seconds: f64,
+    /// Largest tolerated error ratio (`errors / (requests + errors)`).
+    pub error_budget: f64,
     /// Output format.
     pub format: OutputFormat,
 }
@@ -1027,6 +1269,7 @@ impl LoadgenCliOptions {
     /// Parse the arguments following the `loadgen` subcommand word.
     pub fn parse(args: &[String]) -> Result<LoadgenCliOptions, String> {
         let mut addr = None;
+        let mut error_budget = 0.0f64;
         let mut options = (8usize, 4usize, 5.0f64, OutputFormat::Text);
         let mut i = 0;
         let value = |i: &mut usize, flag: &str| -> Result<String, String> {
@@ -1063,6 +1306,14 @@ impl LoadgenCliOptions {
                         .filter(|f: &f64| f.is_finite() && *f > 0.0)
                         .ok_or_else(|| format!("invalid window `{v}`"))?;
                 }
+                "--error-budget" => {
+                    let v = value(&mut i, "--error-budget")?;
+                    error_budget = v
+                        .parse()
+                        .ok()
+                        .filter(|f: &f64| f.is_finite() && (0.0..=1.0).contains(f))
+                        .ok_or_else(|| format!("invalid error budget `{v}` (want 0..=1)"))?;
+                }
                 "--format" => {
                     let v = value(&mut i, "--format")?;
                     options.3 = match v.as_str() {
@@ -1081,6 +1332,7 @@ impl LoadgenCliOptions {
             sessions: options.0,
             threads: options.1,
             seconds: options.2,
+            error_budget,
             format: options.3,
         })
     }
@@ -1119,6 +1371,8 @@ pub fn run_loadgen(options: &LoadgenCliOptions) -> Result<String, String> {
                 "threads": options.threads,
                 "requests": report.requests,
                 "errors": report.errors,
+                "error_ratio": report.error_ratio(),
+                "errors_by_second": report.errors_by_second,
                 "wall_seconds": report.wall_seconds,
                 "requests_per_second": report.rps(),
             });
@@ -1127,16 +1381,19 @@ pub fn run_loadgen(options: &LoadgenCliOptions) -> Result<String, String> {
             out
         }
         OutputFormat::Text => format!(
-            "{} requests in {:.2}s over {} threads × {} sessions: {:.0} req/s, {} errors\n",
+            "{} requests in {:.2}s over {} threads × {} sessions: {:.0} req/s, {} errors \
+             (ratio {:.4}, budget {:.4})\n",
             report.requests,
             report.wall_seconds,
             options.threads,
             options.sessions,
             report.rps(),
-            report.errors
+            report.errors,
+            report.error_ratio(),
+            options.error_budget
         ),
     };
-    if report.errors == 0 {
+    if report.error_ratio() <= options.error_budget {
         Ok(text)
     } else {
         Err(text)
@@ -1681,6 +1938,10 @@ main:
         assert!(BenchCliOptions::parse(&args(&["--users", "x"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--bogus"])).is_err());
         assert!(BenchCliOptions::parse(&args(&["--help"])).unwrap_err().contains("bench"));
+
+        assert!(!defaults.durability, "the kill scenario is opt-in");
+        let d = BenchCliOptions::parse(&args(&["--server", "--durability"])).unwrap();
+        assert!(d.durability);
     }
 
     #[test]
@@ -1727,6 +1988,7 @@ main:
             users: vec![2],
             high_connections: Vec::new(),
             multi_node: Vec::new(),
+            durability: false,
         };
         let text = run_bench(&options).unwrap();
         let value: serde_json::Value = serde_json::from_str(&text).unwrap();
@@ -1824,6 +2086,126 @@ main:
         assert_eq!(o.pending, 16);
         assert!(!o.compress);
         assert_eq!(o.idle_ttl_seconds, Some(30));
+        assert_eq!(o.state_dir, None, "durability is opt-in");
+        assert_eq!(o.housekeeping_ms, 1000, "default tick is one second");
+
+        let hk = ServeCliOptions::parse(&args(&["--tcp", "--housekeeping-ms", "250"])).unwrap();
+        assert_eq!(hk.housekeeping_ms, 250);
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--housekeeping-ms", "0"])).is_err());
+
+        let d = ServeCliOptions::parse(&args(&[
+            "--tcp",
+            "--state-dir",
+            "/tmp/rvsim-state",
+            "--checkpoint-interval",
+            "0.5",
+            "--checkpoint-dirty-cycles",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(d.state_dir.as_deref(), Some("/tmp/rvsim-state"));
+        assert!((d.checkpoint_interval_seconds - 0.5).abs() < 1e-12);
+        assert_eq!(d.checkpoint_dirty_cycles, 1000);
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--checkpoint-interval", "-1"])).is_err());
+        assert!(
+            ServeCliOptions::parse(&args(&["--tcp", "--checkpoint-dirty-cycles", "x"])).is_err()
+        );
+        let router_with_state = ServeCliOptions::parse(&args(&[
+            "--tcp",
+            "--router",
+            "127.0.0.1:1",
+            "--state-dir",
+            "/tmp/x",
+        ]));
+        assert!(router_with_state.is_err(), "a router holds no sessions to checkpoint");
+    }
+
+    #[test]
+    fn chaos_options_parse() {
+        assert!(ChaosCliOptions::parse(&args(&[])).is_err(), "--upstream is mandatory");
+        assert!(ChaosCliOptions::parse(&args(&["--help"])).unwrap_err().contains("chaos"));
+        assert!(ChaosCliOptions::parse(&args(&["--upstream", "nope"])).is_err());
+        assert!(
+            ChaosCliOptions::parse(&args(&["--upstream", "127.0.0.1:1", "--reset", "2"])).is_err()
+        );
+        assert!(ChaosCliOptions::parse(&args(&["--upstream", "127.0.0.1:1", "--delay", "-0.5"]))
+            .is_err());
+
+        let o = ChaosCliOptions::parse(&args(&[
+            "--upstream",
+            "127.0.0.1:9000",
+            "--listen",
+            "127.0.0.1:9001",
+            "--seed",
+            "7",
+            "--reset",
+            "0.25",
+            "--truncate",
+            "0.5",
+            "--delay",
+            "1",
+            "--max-delay-ms",
+            "20",
+        ]))
+        .unwrap();
+        assert_eq!(o.upstream, "127.0.0.1:9000".parse().unwrap());
+        assert_eq!(o.listen, "127.0.0.1:9001");
+        assert_eq!(o.seed, 7);
+        assert!((o.reset_probability - 0.25).abs() < 1e-12);
+        assert!((o.truncate_probability - 0.5).abs() < 1e-12);
+        assert!((o.delay_probability - 1.0).abs() < 1e-12);
+        assert_eq!(o.max_delay_ms, 20);
+    }
+
+    #[test]
+    fn serve_with_state_dir_survives_a_restart() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping durable-serve test: loopback unavailable");
+            return;
+        }
+        let dir = std::env::temp_dir().join(format!("rvsim-cli-durable-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = ServeCliOptions {
+            tcp: true,
+            addr: "127.0.0.1:0".to_string(),
+            state_dir: Some(dir.to_string_lossy().into_owned()),
+            checkpoint_interval_seconds: 0.0,
+            ..ServeCliOptions::default()
+        };
+
+        // First life: create a session, step it, checkpoint, die.
+        let first = start_serve(&options).expect("durable serve starts");
+        let mut client = rvsim_net::TcpApiClient::new(first.local_addr());
+        let session = match client
+            .call(&rvsim_server::Request::CreateSession {
+                program: PROGRAM.into(),
+                architecture: None,
+                entry: None,
+                session: None,
+            })
+            .unwrap()
+        {
+            rvsim_server::Response::SessionCreated { session } => session,
+            other => panic!("unexpected {other:?}"),
+        };
+        let stepped = client.call(&rvsim_server::Request::Step { session, cycles: 4 }).unwrap();
+        assert!(matches!(stepped, rvsim_server::Response::Stepped { cycle: 4, .. }));
+        assert_eq!(first.server().checkpoint_dirty_sessions(), 1);
+        first.shutdown();
+
+        // Second life on the same state dir: the session is back, at the
+        // checkpointed cycle, and keeps stepping.
+        let second = start_serve(&options).expect("durable serve restarts");
+        assert_eq!(second.server().restored_session_count(), 1, "boot recovery re-owned it");
+        let mut client = rvsim_net::TcpApiClient::new(second.local_addr());
+        match client.call(&rvsim_server::Request::GetState { session }).unwrap() {
+            rvsim_server::Response::State(snapshot) => assert_eq!(snapshot.cycle, 4),
+            other => panic!("unexpected {other:?}"),
+        }
+        let stepped = client.call(&rvsim_server::Request::Step { session, cycles: 2 }).unwrap();
+        assert!(matches!(stepped, rvsim_server::Response::Stepped { cycle: 6, .. }));
+        second.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -1883,6 +2265,7 @@ main:
             sessions: 6,
             threads: 2,
             seconds: 0.3,
+            error_budget: 0.0,
             format: OutputFormat::Json,
         };
         let out = run_loadgen(&loadgen).expect("load run is clean");
@@ -1944,9 +2327,25 @@ main:
         .unwrap();
         assert_eq!((l.sessions, l.threads), (12, 3));
         assert!((l.seconds - 1.5).abs() < 1e-12);
+        assert!((l.error_budget - 0.0).abs() < 1e-12, "zero tolerance by default");
         assert!(LoadgenCliOptions::parse(&args(&[])).is_err(), "--addr is mandatory");
         assert!(LoadgenCliOptions::parse(&args(&["--addr", "x", "--sessions", "0"])).is_err());
         assert!(LoadgenCliOptions::parse(&args(&["--help"])).unwrap_err().contains("loadgen"));
+        let budget = LoadgenCliOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--error-budget",
+            "0.05",
+        ]))
+        .unwrap();
+        assert!((budget.error_budget - 0.05).abs() < 1e-12);
+        assert!(LoadgenCliOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--error-budget",
+            "1.5"
+        ]))
+        .is_err());
 
         let b = BenchCliOptions::parse(&args(&["--server", "--multi-node", "1,2,4"])).unwrap();
         assert_eq!(b.multi_node, vec![1, 2, 4]);

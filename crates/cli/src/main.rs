@@ -40,6 +40,14 @@ fn main() {
                         "rvsim-net listening on http://{} (POST /api, GET /metrics, GET /healthz)",
                         server.local_addr()
                     );
+                    // After the banner: tools parse the bound address from
+                    // the first stdout line.
+                    if let Some(dir) = &options.state_dir {
+                        println!(
+                            "durable state in {dir}: {} session(s) recovered from checkpoints",
+                            server.server().restored_session_count()
+                        );
+                    }
                 } else {
                     println!(
                         "rvsim-net router listening on http://{} ({} backends; POST /api, \
@@ -50,6 +58,40 @@ fn main() {
                 }
                 // Serve until the process is killed; the front end's own
                 // threads do all the work.
+                loop {
+                    std::thread::sleep(std::time::Duration::from_secs(3600));
+                }
+            }
+            Err(message) => {
+                eprintln!("error: {message}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // `rvsim-cli chaos ...` — deterministic fault-injecting TCP proxy.
+    if args.first().map(String::as_str) == Some("chaos") {
+        let options = match rvsim_cli::ChaosCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        match rvsim_cli::start_chaos(&options) {
+            Ok(proxy) => {
+                println!(
+                    "rvsim-chaos proxying http://{} -> {} (seed {}, reset {}, truncate {}, \
+                     delay {} <= {}ms)",
+                    proxy.local_addr(),
+                    options.upstream,
+                    options.seed,
+                    options.reset_probability,
+                    options.truncate_probability,
+                    options.delay_probability,
+                    options.max_delay_ms
+                );
+                // Proxy until the process is killed.
                 loop {
                     std::thread::sleep(std::time::Duration::from_secs(3600));
                 }

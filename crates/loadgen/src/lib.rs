@@ -293,13 +293,20 @@ where
 // client threads (the multi-node scaling measurement).
 // ---------------------------------------------------------------------------
 
-/// Result of a [`run_cached_state_fanout`] run.
+/// Result of a [`run_cached_state_fanout`] or [`run_step_load`] run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FanoutReport {
     /// Completed requests across all targets and threads.
     pub requests: u64,
     /// Failed requests (transport failures or protocol errors).
     pub errors: u64,
+    /// Errors bucketed by elapsed second since the run started.  Under a
+    /// fault-injection run this is the shape that matters: a burst in one
+    /// or two buckets followed by zeros means the breaker opened and
+    /// failover took over; errors smeared across every bucket mean it
+    /// did not.
+    #[serde(default)]
+    pub errors_by_second: Vec<u64>,
     /// Wall-clock duration of the measurement in seconds.
     pub wall_seconds: f64,
 }
@@ -312,6 +319,46 @@ impl FanoutReport {
         } else {
             0.0
         }
+    }
+
+    /// Failed fraction of all attempted requests (`0.0` when nothing ran).
+    /// This is what an error budget is checked against.
+    pub fn error_ratio(&self) -> f64 {
+        let attempts = self.requests + self.errors;
+        if attempts > 0 {
+            self.errors as f64 / attempts as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Record `count` errors in the per-second bucket for `elapsed`.
+fn bucket_errors(buckets: &mut Vec<u64>, started: Instant, count: u64) {
+    let second = started.elapsed().as_secs() as usize;
+    if buckets.len() <= second {
+        buckets.resize(second + 1, 0);
+    }
+    buckets[second] += count;
+}
+
+/// Merge per-thread second buckets into `total` element-wise.
+fn merge_buckets(total: &mut Vec<u64>, partial: &[u64]) {
+    if total.len() < partial.len() {
+        total.resize(partial.len(), 0);
+    }
+    for (sum, value) in total.iter_mut().zip(partial) {
+        *sum += value;
+    }
+}
+
+/// Pad the merged buckets with explicit zeros out to the full run length,
+/// so "the errors stopped" is visible in the data rather than implied by a
+/// short vector.
+fn pad_buckets(total: &mut Vec<u64>, started: Instant) {
+    let covered = started.elapsed().as_secs() as usize + 1;
+    if total.len() < covered {
+        total.resize(covered, 0);
     }
 }
 
@@ -333,7 +380,7 @@ pub fn run_cached_state_fanout(
         for offset in 0..threads_per_target.max(1) {
             let sessions = sessions.clone();
             let stop = std::sync::Arc::clone(&stop);
-            threads.push(std::thread::spawn(move || {
+            threads.push(std::thread::spawn(move || -> (u64, u64, Vec<u64>) {
                 let mut client = rvsim_net::TcpApiClient::new(addr);
                 // Pre-encode one request body per session and stay on the
                 // wire: decoding every payload (LZSS + full snapshot JSON)
@@ -348,6 +395,7 @@ pub fn run_cached_state_fanout(
                     .collect();
                 let mut requests = 0u64;
                 let mut errors = 0u64;
+                let mut buckets: Vec<u64> = Vec::new();
                 let mut index = offset; // spread threads across the sessions
                 while !stop.load(std::sync::atomic::Ordering::Acquire) {
                     let body = &bodies[index % bodies.len().max(1)];
@@ -361,10 +409,13 @@ pub fn run_cached_state_fanout(
                         {
                             requests += 1
                         }
-                        _ => errors += 1,
+                        _ => {
+                            errors += 1;
+                            bucket_errors(&mut buckets, started, 1);
+                        }
                     }
                 }
-                (requests, errors)
+                (requests, errors, buckets)
             }));
         }
     }
@@ -372,12 +423,80 @@ pub fn run_cached_state_fanout(
     stop.store(true, std::sync::atomic::Ordering::Release);
     let mut requests = 0u64;
     let mut errors = 0u64;
+    let mut errors_by_second: Vec<u64> = Vec::new();
     for thread in threads {
-        let (r, e) = thread.join().expect("fan-out client thread panicked");
+        let (r, e, buckets) = thread.join().expect("fan-out client thread panicked");
         requests += r;
         errors += e;
+        merge_buckets(&mut errors_by_second, &buckets);
     }
-    FanoutReport { requests, errors, wall_seconds: started.elapsed().as_secs_f64() }
+    pad_buckets(&mut errors_by_second, started);
+    FanoutReport {
+        requests,
+        errors,
+        errors_by_second,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Closed-loop *stepping* load: `threads` clients round-robin
+/// `Step {{ cycles: 1 }}` over the warmed `sessions` at `addr` for
+/// `duration`.  Unlike the cached-`GetState` fan-out this load keeps every
+/// session's state advancing, which is what a durability run needs: a
+/// checkpointed session that failed over to another backend must keep
+/// serving *and progressing*, and an error burst in
+/// [`FanoutReport::errors_by_second`] shows exactly when clients felt the
+/// crash.
+pub fn run_step_load(
+    addr: SocketAddr,
+    sessions: &[u64],
+    threads: usize,
+    duration: Duration,
+) -> FanoutReport {
+    let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for offset in 0..threads.max(1) {
+        let sessions = sessions.to_vec();
+        let stop = std::sync::Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || -> (u64, u64, Vec<u64>) {
+            let mut client = rvsim_net::TcpApiClient::new(addr);
+            let mut requests = 0u64;
+            let mut errors = 0u64;
+            let mut buckets: Vec<u64> = Vec::new();
+            let mut index = offset;
+            while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                let session = sessions[index % sessions.len().max(1)];
+                index = index.wrapping_add(1);
+                match client.call(&Request::Step { session, cycles: 1 }) {
+                    Ok(response) if !response.is_error() => requests += 1,
+                    _ => {
+                        errors += 1;
+                        bucket_errors(&mut buckets, started, 1);
+                    }
+                }
+            }
+            (requests, errors, buckets)
+        }));
+    }
+    std::thread::sleep(duration);
+    stop.store(true, std::sync::atomic::Ordering::Release);
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut errors_by_second: Vec<u64> = Vec::new();
+    for handle in handles {
+        let (r, e, buckets) = handle.join().expect("step-load client thread panicked");
+        requests += r;
+        errors += e;
+        merge_buckets(&mut errors_by_second, &buckets);
+    }
+    pad_buckets(&mut errors_by_second, started);
+    FanoutReport {
+        requests,
+        errors,
+        errors_by_second,
+        wall_seconds: started.elapsed().as_secs_f64(),
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -932,6 +1051,80 @@ mod tests {
         assert!(report.requests > 0);
         assert!(report.rps() > 0.0);
         net.shutdown();
+    }
+
+    #[test]
+    fn step_load_advances_sessions_and_reports_a_clean_error_ratio() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping step-load test: loopback unavailable");
+            return;
+        }
+        let net = rvsim_net::NetServer::start(
+            SimulationServer::new(DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: true,
+                worker_threads: 2,
+                idle_session_ttl_seconds: None,
+            }),
+            rvsim_net::NetConfig::default(),
+        )
+        .expect("net server starts");
+        let mut setup = rvsim_net::TcpApiClient::new(net.local_addr());
+        let mut sessions = Vec::new();
+        for _ in 0..3 {
+            match setup
+                .call(&Request::CreateSession {
+                    program: sample_program_loop(),
+                    architecture: None,
+                    entry: None,
+                    session: None,
+                })
+                .unwrap()
+            {
+                Response::SessionCreated { session } => sessions.push(session),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        let report = run_step_load(net.local_addr(), &sessions, 2, Duration::from_millis(300));
+        assert!(report.requests > 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.error_ratio(), 0.0);
+        assert!(report.errors_by_second.iter().all(|&e| e == 0));
+        // The load actually advanced state: every session left cycle 0.
+        for &session in &sessions {
+            match setup.call(&Request::GetState { session }).unwrap() {
+                Response::State(snapshot) => assert!(snapshot.cycle > 0),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        net.shutdown();
+    }
+
+    #[test]
+    fn error_ratio_and_buckets_account_for_failures() {
+        let report = FanoutReport {
+            requests: 90,
+            errors: 10,
+            errors_by_second: vec![0, 10, 0],
+            wall_seconds: 3.0,
+        };
+        assert!((report.error_ratio() - 0.1).abs() < 1e-12);
+        let empty = FanoutReport {
+            requests: 0,
+            errors: 0,
+            errors_by_second: Vec::new(),
+            wall_seconds: 0.0,
+        };
+        assert_eq!(empty.error_ratio(), 0.0);
+
+        let mut total = vec![1, 2];
+        merge_buckets(&mut total, &[0, 1, 5]);
+        assert_eq!(total, vec![1, 3, 5]);
+
+        // Old serialized reports (no buckets) still deserialize.
+        let legacy: FanoutReport =
+            serde_json::from_str(r#"{"requests":5,"errors":1,"wall_seconds":1.0}"#).unwrap();
+        assert!(legacy.errors_by_second.is_empty());
     }
 
     #[test]

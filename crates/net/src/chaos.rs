@@ -1,0 +1,495 @@
+//! Deterministic fault-injecting TCP proxy for chaos testing.
+//!
+//! [`ChaosProxy`] sits between a client and an upstream backend and injects
+//! network faults on a per-connection basis: immediate connection resets,
+//! truncation of the upstream's response after a random byte count, and
+//! per-chunk latency.  Every decision is drawn from a [`StdRng`] seeded
+//! from `config.seed ^ mix(connection_index)`, so a chaos run is **fully
+//! reproducible**: the same seed against the same request sequence injects
+//! the same faults, which is what lets a failing durability test be
+//! replayed instead of shrugged off as flaky.
+//!
+//! The proxy is intentionally dumb about HTTP — it moves bytes.  Faults are
+//! therefore exactly the ones a real network delivers: a reset looks like a
+//! crashed backend, a truncation looks like a mid-response kill, a delay
+//! looks like congestion.  The client and router retry/breaker logic under
+//! test cannot tell the difference.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long pump threads block in one read before re-checking shutdown.
+const PUMP_READ_TIMEOUT: Duration = Duration::from_millis(100);
+
+/// Configuration of a [`ChaosProxy`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Address to listen on (`127.0.0.1:0` picks a free loopback port).
+    pub listen: String,
+    /// The backend to proxy to.
+    pub upstream: SocketAddr,
+    /// Seed for the deterministic fault stream.
+    pub seed: u64,
+    /// Probability that an accepted connection is reset immediately,
+    /// before any byte is proxied (a crashed backend).
+    pub reset_probability: f64,
+    /// Probability that the upstream's response stream is cut after a
+    /// random prefix (a backend killed mid-response).
+    pub truncate_probability: f64,
+    /// Probability that each proxied chunk is delayed (congestion).
+    pub delay_probability: f64,
+    /// Upper bound on one injected delay, in milliseconds.
+    pub max_delay_ms: u64,
+}
+
+impl ChaosConfig {
+    /// A fault-free proxy for `upstream`: all probabilities zero, loopback
+    /// listener on an ephemeral port.  Turn individual faults on from here.
+    pub fn new(upstream: SocketAddr) -> Self {
+        ChaosConfig {
+            listen: "127.0.0.1:0".to_string(),
+            upstream,
+            seed: 0,
+            reset_probability: 0.0,
+            truncate_probability: 0.0,
+            delay_probability: 0.0,
+            max_delay_ms: 50,
+        }
+    }
+}
+
+/// Fault counters of a running [`ChaosProxy`].
+#[derive(Debug, Default)]
+pub struct ChaosStats {
+    /// Connections accepted (faulted or not).
+    pub connections: AtomicU64,
+    /// Connections reset before any byte was proxied.
+    pub resets: AtomicU64,
+    /// Upstream responses cut after a random prefix.
+    pub truncated: AtomicU64,
+    /// Chunks delivered late.
+    pub delayed: AtomicU64,
+}
+
+/// The faults chosen for one connection, drawn up front so the decision
+/// stream depends only on (seed, connection index) — not on data timing.
+#[derive(Debug, Clone, Copy)]
+struct ConnectionFate {
+    reset: bool,
+    /// Cut the upstream→client stream after this many bytes.
+    truncate_after: Option<u64>,
+    /// Sleep this long before each delayed chunk.
+    delay: Option<Duration>,
+    /// Probability used per chunk to decide whether `delay` applies.
+    delay_probability: f64,
+}
+
+/// A running chaos proxy.  Dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the acceptor and the per-connection
+/// pump threads.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Bind `config.listen` and start proxying to `config.upstream`.
+    pub fn start(config: ChaosConfig) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind(&config.listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ChaosStats::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let acceptor = {
+            let stats = Arc::clone(&stats);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, config, stats, stop))
+        };
+        Ok(ChaosProxy { addr, stats, stop, acceptor: Some(acceptor) })
+    }
+
+    /// The proxy's listening address (with the real port when `:0` was
+    /// requested).  Point clients here instead of at the upstream.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Fault counters.
+    pub fn stats(&self) -> &ChaosStats {
+        &self.stats
+    }
+
+    /// Stop accepting and wind down the pump threads.
+    pub fn shutdown(mut self) {
+        self.stop_now();
+    }
+
+    fn stop_now(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop_now();
+    }
+}
+
+/// splitmix64 finalizer: decorrelates consecutive connection indices so the
+/// per-connection seeds are independent draws, not a counter.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Draw the complete fault plan for connection `index`.
+fn draw_fate(config: &ChaosConfig, index: u64) -> ConnectionFate {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ mix(index));
+    let reset = rng.random::<f64>() < config.reset_probability;
+    let truncate = rng.random::<f64>() < config.truncate_probability;
+    // Drawn unconditionally so a fate's byte/delay choices do not shift
+    // when an earlier probability is tuned.  The cut lands within the first
+    // KiB so even compact protocol responses are reliably affected.
+    let truncate_after = rng.random_range(64u64..1024);
+    let delay_ms = rng.random_range(1..config.max_delay_ms.max(2));
+    ConnectionFate {
+        reset,
+        truncate_after: truncate.then_some(truncate_after),
+        delay: (config.delay_probability > 0.0).then(|| Duration::from_millis(delay_ms)),
+        delay_probability: config.delay_probability,
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    config: ChaosConfig,
+    stats: Arc<ChaosStats>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let mut index = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((client, _peer)) => {
+                stats.connections.fetch_add(1, Ordering::Relaxed);
+                let fate = draw_fate(&config, index);
+                index += 1;
+                if fate.reset {
+                    stats.resets.fetch_add(1, Ordering::Relaxed);
+                    // Close without reading the request: with unread bytes
+                    // in the receive buffer the kernel answers RST, so the
+                    // client sees a reset, exactly like a crashed backend.
+                    // (A client that has not sent yet sees an early EOF —
+                    // equally fatal for its in-flight call.)
+                    drop(client);
+                    continue;
+                }
+                let Ok(upstream) =
+                    TcpStream::connect_timeout(&config.upstream, Duration::from_secs(2))
+                else {
+                    drop(client);
+                    continue;
+                };
+                pumps.extend(spawn_pumps(
+                    client,
+                    upstream,
+                    fate,
+                    index - 1,
+                    &config,
+                    &stats,
+                    &stop,
+                ));
+                pumps.retain(|handle| !handle.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    for handle in pumps {
+        let _ = handle.join();
+    }
+}
+
+/// Start the two pump threads for one proxied connection.  Faults that
+/// model a dying *backend* (truncation, latency) apply to the
+/// upstream→client direction; the client→upstream direction is clean so a
+/// request always reaches the backend once the connection exists.
+fn spawn_pumps(
+    client: TcpStream,
+    upstream: TcpStream,
+    fate: ConnectionFate,
+    index: u64,
+    config: &ChaosConfig,
+    stats: &Arc<ChaosStats>,
+    stop: &Arc<AtomicBool>,
+) -> Vec<JoinHandle<()>> {
+    for stream in [&client, &upstream] {
+        let _ = stream.set_read_timeout(Some(PUMP_READ_TIMEOUT));
+        let _ = stream.set_nodelay(true);
+    }
+    let (client_read, upstream_read) = match (client.try_clone(), upstream.try_clone()) {
+        (Ok(c), Ok(u)) => (c, u),
+        _ => return Vec::new(),
+    };
+
+    let forward = {
+        let stop = Arc::clone(stop);
+        std::thread::spawn(move || {
+            pump(client_read, upstream, &stop, None, &mut |_len| {});
+        })
+    };
+    let backward = {
+        let stop = Arc::clone(stop);
+        let stats = Arc::clone(stats);
+        // Per-chunk delay decisions get their own stream, decorrelated from
+        // the fate draw by the direction tag.
+        let mut delay_rng = StdRng::seed_from_u64(config.seed ^ mix(index) ^ 0x0064_656c_6179);
+        std::thread::spawn(move || {
+            let delay_stats = Arc::clone(&stats);
+            let mut on_chunk = move |_len: usize| {
+                if let Some(delay) = fate.delay {
+                    if delay_rng.random::<f64>() < fate.delay_probability {
+                        delay_stats.delayed.fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(delay);
+                    }
+                }
+            };
+            let truncated = pump(upstream_read, client, &stop, fate.truncate_after, &mut on_chunk);
+            if truncated {
+                stats.truncated.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+    vec![forward, backward]
+}
+
+/// Move bytes `from` → `to` until EOF, error, shutdown, or the truncation
+/// budget runs out.  Returns whether the stream was truncated.
+fn pump(
+    mut from: TcpStream,
+    mut to: TcpStream,
+    stop: &AtomicBool,
+    truncate_after: Option<u64>,
+    on_chunk: &mut dyn FnMut(usize),
+) -> bool {
+    let mut moved = 0u64;
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        if stop.load(Ordering::Acquire) {
+            let _ = to.shutdown(Shutdown::Both);
+            return false;
+        }
+        let n = match from.read(&mut chunk) {
+            Ok(0) => {
+                // Propagate the half-close so the peer sees EOF promptly.
+                let _ = to.shutdown(Shutdown::Write);
+                return false;
+            }
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => {
+                let _ = to.shutdown(Shutdown::Both);
+                return false;
+            }
+        };
+        let send = &chunk[..n];
+        if let Some(budget) = truncate_after {
+            let remaining = budget.saturating_sub(moved);
+            if remaining < n as u64 {
+                // Deliver the allowed prefix, then cut the stream — the
+                // client sees a response that stops mid-body.
+                let _ = to.write_all(&send[..remaining as usize]);
+                let _ = to.shutdown(Shutdown::Both);
+                let _ = from.shutdown(Shutdown::Both);
+                return true;
+            }
+        }
+        on_chunk(send.len());
+        if to.write_all(send).is_err() {
+            let _ = from.shutdown(Shutdown::Both);
+            return false;
+        }
+        moved += n as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetConfig, NetServer};
+    use crate::TcpApiClient;
+    use rvsim_server::server::DeploymentConfig;
+    use rvsim_server::{Request, Response, SimulationServer};
+
+    const PROGRAM: &str = "
+main:
+    li   t0, 5
+    li   t1, 0
+loop:
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    mv   a0, t1
+    ret
+";
+
+    fn loopback_available() -> bool {
+        std::net::TcpListener::bind("127.0.0.1:0").is_ok()
+    }
+
+    fn start_backend() -> NetServer {
+        let server = SimulationServer::new(DeploymentConfig::default());
+        NetServer::start(server, NetConfig::default()).expect("backend starts")
+    }
+
+    #[test]
+    fn clean_proxy_is_transparent() {
+        if !loopback_available() {
+            eprintln!("skipping: loopback unavailable in this sandbox");
+            return;
+        }
+        let backend = start_backend();
+        let proxy = ChaosProxy::start(ChaosConfig::new(backend.local_addr())).expect("starts");
+
+        let mut client = TcpApiClient::new(proxy.local_addr());
+        let created = client
+            .call(&Request::CreateSession {
+                program: PROGRAM.to_string(),
+                architecture: None,
+                entry: None,
+                session: Some(7),
+            })
+            .expect("create through proxy");
+        assert_eq!(created, Response::SessionCreated { session: 7 });
+        let stepped = client.call(&Request::Step { session: 7, cycles: 3 }).expect("step");
+        assert!(matches!(stepped, Response::Stepped { cycle: 3, .. }), "got {stepped:?}");
+        assert_eq!(proxy.stats().connections.load(Ordering::Relaxed), 1);
+        assert_eq!(proxy.stats().resets.load(Ordering::Relaxed), 0);
+
+        proxy.shutdown();
+        backend.shutdown();
+    }
+
+    #[test]
+    fn resets_are_injected_deterministically() {
+        if !loopback_available() {
+            eprintln!("skipping: loopback unavailable in this sandbox");
+            return;
+        }
+        let backend = start_backend();
+        let mut config = ChaosConfig::new(backend.local_addr());
+        config.seed = 42;
+        config.reset_probability = 1.0;
+        let proxy = ChaosProxy::start(config).expect("starts");
+
+        // Every connection dies before a byte moves; the client's retry
+        // budget runs out and the call errors instead of hanging.
+        let mut client = TcpApiClient::new(proxy.local_addr());
+        let result = client.call_raw(b"{}");
+        assert!(result.is_err(), "all-reset proxy must fail the call");
+        let resets = proxy.stats().resets.load(Ordering::Relaxed);
+        assert!(resets >= 1, "expected at least one injected reset, saw {resets}");
+        assert_eq!(
+            proxy.stats().connections.load(Ordering::Relaxed),
+            resets,
+            "every accepted connection was reset"
+        );
+
+        proxy.shutdown();
+        backend.shutdown();
+    }
+
+    #[test]
+    fn same_seed_injects_the_same_fault_sequence() {
+        // The fate stream is a pure function of (seed, index): no sockets
+        // needed to prove determinism.
+        let upstream: SocketAddr = "127.0.0.1:1".parse().unwrap();
+        let mut config = ChaosConfig::new(upstream);
+        config.seed = 1234;
+        config.reset_probability = 0.3;
+        config.truncate_probability = 0.4;
+        config.delay_probability = 0.2;
+
+        let first: Vec<(bool, Option<u64>)> =
+            (0..64).map(|i| draw_fate(&config, i)).map(|f| (f.reset, f.truncate_after)).collect();
+        let second: Vec<(bool, Option<u64>)> =
+            (0..64).map(|i| draw_fate(&config, i)).map(|f| (f.reset, f.truncate_after)).collect();
+        assert_eq!(first, second, "same seed must draw the same fates");
+
+        let mut other = config.clone();
+        other.seed = 5678;
+        let third: Vec<(bool, Option<u64>)> =
+            (0..64).map(|i| draw_fate(&other, i)).map(|f| (f.reset, f.truncate_after)).collect();
+        assert_ne!(first, third, "different seeds must diverge");
+
+        // Both faults actually occur somewhere in the window.
+        assert!(first.iter().any(|(reset, _)| *reset), "some connection resets");
+        assert!(first.iter().any(|(_, t)| t.is_some()), "some connection truncates");
+    }
+
+    #[test]
+    fn truncation_cuts_responses_that_a_direct_connection_serves() {
+        if !loopback_available() {
+            eprintln!("skipping: loopback unavailable in this sandbox");
+            return;
+        }
+        let backend = start_backend();
+        // Direct path works: create a session and fetch its (large) state.
+        let mut direct = TcpApiClient::new(backend.local_addr());
+        direct
+            .call(&Request::CreateSession {
+                program: PROGRAM.to_string(),
+                architecture: None,
+                entry: None,
+                session: Some(9),
+            })
+            .expect("create directly");
+        let full = direct.call_raw(&serde_json::to_vec(&Request::GetState { session: 9 }).unwrap());
+        let full = full.expect("direct GetState succeeds");
+        assert!(full.len() > 1024, "state payload big enough to outlive any truncation budget");
+
+        let mut config = ChaosConfig::new(backend.local_addr());
+        config.seed = 7;
+        config.truncate_probability = 1.0;
+        let proxy = ChaosProxy::start(config).expect("starts");
+
+        // Through the truncating proxy the same response is cut mid-body on
+        // every attempt (truncate_after < 4096 < payload), so the call —
+        // retries included — must fail.
+        let mut chaotic = TcpApiClient::new(proxy.local_addr());
+        let result =
+            chaotic.call_raw(&serde_json::to_vec(&Request::GetState { session: 9 }).unwrap());
+        assert!(result.is_err(), "truncated response must error, got {result:?}");
+        // The pump thread bumps the counter just after the client observes
+        // the cut; give it a moment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while proxy.stats().truncated.load(Ordering::Relaxed) == 0 {
+            assert!(std::time::Instant::now() < deadline, "truncation was never recorded");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+
+        proxy.shutdown();
+        backend.shutdown();
+    }
+}

@@ -6,10 +6,23 @@
 //! `content-length`, and a sized body.  This is what `rvsim-loadgen`'s
 //! `--tcp` transport and the benchmark harness drive.
 
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use rvsim_server::{Request, Response, SimulationServer};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Total attempts `call_raw` makes on retryable (provably-unprocessed)
+/// failures: the original send plus two backed-off reconnects.
+const RETRY_ATTEMPTS: u32 = 3;
+
+/// Base delay of the jittered exponential backoff between retries.
+const RETRY_BASE_DELAY: Duration = Duration::from_millis(5);
+
+/// Cap on any single backoff sleep.
+const RETRY_MAX_DELAY: Duration = Duration::from_millis(40);
 
 /// Blocking protocol client over a keep-alive TCP connection.
 #[derive(Debug)]
@@ -18,42 +31,64 @@ pub struct TcpApiClient {
     stream: Option<TcpStream>,
     /// Unparsed bytes read past the previous response (pipelining slack).
     residue: Vec<u8>,
+    /// Jitter source for the retry backoff, seeded per client so a fleet of
+    /// clients hitting the same restarted server never retries in lockstep.
+    jitter: StdRng,
 }
 
 impl TcpApiClient {
     /// Client for the front end at `addr`.  No connection is opened until
     /// the first call.
     pub fn new(addr: SocketAddr) -> Self {
-        TcpApiClient { addr, stream: None, residue: Vec::new() }
+        static CLIENT_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seed = 0x5eed_c11e_u64
+            ^ (u64::from(addr.port()) << 32)
+            ^ CLIENT_SEQ.fetch_add(1, Ordering::Relaxed);
+        TcpApiClient {
+            addr,
+            stream: None,
+            residue: Vec::new(),
+            jitter: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// POST a raw protocol payload to `/api` and return the encoded
-    /// response payload.  Reconnects and retries once — but only when a
-    /// *reused* keep-alive connection failed before any response byte
-    /// arrived (the server closed it while idle), so a request the server
-    /// may already have processed is never resent: most protocol requests
-    /// (`Step`, `CreateSession`) are not idempotent.
+    /// response payload.  Reconnects and retries (with a small jittered
+    /// exponential backoff, capped) — but only on failures that prove the
+    /// server never read the request (stale keep-alive close, reset or
+    /// broken pipe before any response byte), so a request the server may
+    /// already have processed is never resent: most protocol requests
+    /// (`Step`, `CreateSession`) are not idempotent.  A refused connection
+    /// is *not* retried — a dead backend must fail fast so the caller's
+    /// circuit breaker sees it.
     pub fn call_raw(&mut self, body: &[u8]) -> Result<Vec<u8>, String> {
-        let reused = self.stream.is_some();
-        match self.try_call(body) {
-            Ok(payload) => Ok(payload),
-            Err(e) => {
-                let unprocessed = matches!(
-                    e.kind(),
-                    std::io::ErrorKind::ConnectionAborted
-                        | std::io::ErrorKind::BrokenPipe
-                        | std::io::ErrorKind::NotConnected
-                        | std::io::ErrorKind::WriteZero
-                );
-                self.stream = None;
-                self.residue.clear();
-                if reused && unprocessed {
-                    self.try_call(body).map_err(|e| format!("tcp call failed: {e}"))
-                } else {
-                    Err(format!("tcp call failed: {e}"))
+        let mut delay = RETRY_BASE_DELAY;
+        for attempt in 1..=RETRY_ATTEMPTS {
+            match self.try_call(body) {
+                Ok(payload) => return Ok(payload),
+                Err(e) => {
+                    let unprocessed = matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted
+                            | std::io::ErrorKind::BrokenPipe
+                            | std::io::ErrorKind::NotConnected
+                            | std::io::ErrorKind::WriteZero
+                    );
+                    self.stream = None;
+                    self.residue.clear();
+                    if !unprocessed || attempt == RETRY_ATTEMPTS {
+                        return Err(format!("tcp call failed: {e}"));
+                    }
+                    // Full jitter: sleep a uniform fraction of the doubling
+                    // window so concurrent retriers spread out.
+                    let ceiling = delay.min(RETRY_MAX_DELAY).as_micros() as u64;
+                    let sleep_us = self.jitter.random_range(0..ceiling.max(1));
+                    std::thread::sleep(Duration::from_micros(sleep_us));
+                    delay = delay.saturating_mul(2);
                 }
             }
         }
+        unreachable!("the attempt loop always returns")
     }
 
     /// Send a typed request and decode the typed response.

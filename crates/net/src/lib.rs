@@ -27,14 +27,16 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod http;
 pub mod router;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy, ChaosStats};
 pub use client::{http_get, http_post, http_request, TcpApiClient};
 pub use http::{
     find_head_end, HttpError, HttpRequest, RequestParser, Version, MAX_BODY_BYTES, MAX_HEAD_BYTES,
 };
-pub use router::{DrainReport, Router, ROUTER_SESSION_BASE};
+pub use router::{DrainReport, FailoverReport, RecoveredSession, Router, ROUTER_SESSION_BASE};
 pub use server::{ApiHandler, ControlResponse, NetConfig, NetServer, NetStats};

@@ -25,19 +25,29 @@
 //!   The client observes added latency, never an error.  When every session
 //!   has moved the route ring flips to the place ring and the overrides are
 //!   dropped.
-//! * **Self-healing** — housekeeping probes `/healthz` of every backend;
-//!   a dead backend is dropped from both rings (its sessions are lost —
-//!   the backends share nothing) and a recovered one is folded back in.
-//!   `/metrics` aggregates upstream counters as `rvsim_upstream_*` sums
-//!   next to the router's own `rvsim_router_*` series.
+//! * **Self-healing & failover** — housekeeping probes `/healthz` of every
+//!   backend *concurrently*; a backend that misses two consecutive probes
+//!   is dropped from both rings, and when the backends share a `--state-dir`
+//!   the router immediately re-owns the dead node's sessions on the
+//!   surviving ring owners from their last checkpoints (`/admin/recover`),
+//!   with per-session staleness bounded by the checkpoint interval.  A
+//!   recovered backend is folded back in.  `/metrics` aggregates upstream
+//!   counters as `rvsim_upstream_*` sums next to the router's own
+//!   `rvsim_router_*` series.
+//! * **Circuit breakers** — every backend carries a breaker (closed → open
+//!   after [`BREAKER_FAILURE_THRESHOLD`] consecutive upstream failures →
+//!   half-open probe after [`BREAKER_COOLDOWN`]).  An open breaker fails
+//!   fast instead of waiting out connect timeouts, and session traffic for
+//!   a broken backend falls over to the surviving ring owner — so a sick
+//!   backend sheds load before it drags the router down with it.
 
-use crate::client::{http_get, TcpApiClient};
+use crate::client::{http_get, http_post, TcpApiClient};
 use crate::server::{ApiHandler, ControlResponse};
 use bytes::Bytes;
-use rvsim_server::{Request, Response};
+use rvsim_server::{CheckpointEntry, RecoverOutcome, Request, Response};
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex, PoisonError, RwLock};
 use std::time::Duration;
 
@@ -55,6 +65,21 @@ pub const ROUTER_SESSION_BASE: u64 = 1 << 32;
 
 /// Upstream health-probe and control-call timeout.
 const PROBE_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Consecutive failed `/healthz` probes before a backend is declared dead.
+/// One dropped probe (GC pause, packet loss) must not flap the ring.
+const PROBE_FAILURE_THRESHOLD: u32 = 2;
+
+/// Consecutive upstream call failures that open a backend's breaker.
+pub const BREAKER_FAILURE_THRESHOLD: u32 = 3;
+
+/// How long an open breaker fails fast before admitting one half-open
+/// probe request.
+pub const BREAKER_COOLDOWN: Duration = Duration::from_secs(2);
+
+/// Timeout for the `/admin/recover` call of a post-failover recovery (a
+/// survivor may be replaying many checkpoints).
+const RECOVER_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// How long a request parks on a session that is mid-migration before the
 /// router gives up waiting (the migration itself is bounded by upstream
@@ -98,6 +123,71 @@ impl HashRing {
     }
 }
 
+/// Per-backend circuit breaker: closed → open after
+/// [`BREAKER_FAILURE_THRESHOLD`] consecutive failures → half-open (one
+/// probe request) after [`BREAKER_COOLDOWN`] → closed on success, re-open
+/// on failure.  All transitions take an explicit `now_ms` so the state
+/// machine is unit-testable without sleeping.
+#[derive(Default)]
+struct Breaker {
+    consecutive_failures: AtomicU32,
+    /// `now_ms + 1` of the moment the breaker opened; 0 = closed.  The +1
+    /// keeps an open at millisecond zero distinguishable from the closed
+    /// sentinel.
+    opened_at_ms: AtomicU64,
+    /// A half-open probe request is in flight (CAS-claimed so the cooldown
+    /// expiry admits exactly one).
+    half_open_probe: AtomicBool,
+}
+
+impl Breaker {
+    /// Whether a request may go to the backend right now: always when
+    /// closed; after the cooldown exactly one caller is admitted as the
+    /// half-open probe; otherwise fail fast.
+    fn allows(&self, now_ms: u64) -> bool {
+        let opened = self.opened_at_ms.load(Ordering::Acquire);
+        if opened == 0 {
+            return true;
+        }
+        if now_ms + 1 < opened + BREAKER_COOLDOWN.as_millis() as u64 {
+            return false;
+        }
+        !self.half_open_probe.swap(true, Ordering::AcqRel)
+    }
+
+    /// Open in any phase (cooling down or half-open)?  Used by routing to
+    /// steer *other* sessions away; the backend's own probe still goes
+    /// through [`Breaker::allows`].
+    fn is_open(&self) -> bool {
+        self.opened_at_ms.load(Ordering::Acquire) != 0
+    }
+
+    /// A call succeeded: close fully.
+    fn record_success(&self) {
+        self.consecutive_failures.store(0, Ordering::Release);
+        self.opened_at_ms.store(0, Ordering::Release);
+        self.half_open_probe.store(false, Ordering::Release);
+    }
+
+    /// A call failed.  Returns whether this failure just opened the
+    /// breaker (the closed → open edge).
+    fn record_failure(&self, now_ms: u64) -> bool {
+        let failures = self.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+        if self.is_open() {
+            // A failed half-open probe re-arms the cooldown.
+            self.opened_at_ms.store(now_ms + 1, Ordering::Release);
+            self.half_open_probe.store(false, Ordering::Release);
+            return false;
+        }
+        if failures >= BREAKER_FAILURE_THRESHOLD {
+            self.half_open_probe.store(false, Ordering::Release);
+            self.opened_at_ms.store(now_ms + 1, Ordering::Release);
+            return true;
+        }
+        false
+    }
+}
+
 /// One upstream simulation server.
 struct Backend {
     addr: SocketAddr,
@@ -106,6 +196,9 @@ struct Backend {
     pool: Mutex<Vec<TcpApiClient>>,
     alive: AtomicBool,
     draining: AtomicBool,
+    /// Consecutive failed health probes (reset by any success).
+    probe_failures: AtomicU32,
+    breaker: Breaker,
 }
 
 /// The two membership views: where requests *route* and where sessions
@@ -124,6 +217,44 @@ struct RouterStats {
     retries: AtomicU64,
     sessions_migrated: AtomicU64,
     drains: AtomicU64,
+    /// Requests rejected without touching the wire because the target's
+    /// breaker was open.
+    breaker_fast_fails: AtomicU64,
+    /// Closed → open breaker transitions.
+    breakers_opened: AtomicU64,
+    /// Session requests rerouted to a surviving ring owner because their
+    /// primary was dead or breaker-open.
+    failovers: AtomicU64,
+    /// Sessions re-owned from checkpoints after a backend death.
+    sessions_recovered: AtomicU64,
+}
+
+/// One session re-owned by a surviving backend after a failover.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RecoveredSession {
+    /// The session id.
+    pub session: u64,
+    /// Surviving backend index that now serves it.
+    pub backend: usize,
+    /// Cycle the session is serving at post-recovery.
+    pub cycle: u64,
+    /// Age of the checkpoint the recovery replayed — the progress window
+    /// the crash could have lost, bounded by the checkpoint interval.
+    pub staleness_ms: u64,
+    /// The survivor already had the session live (nothing was replayed).
+    pub already_live: bool,
+}
+
+/// Outcome of the recovery pass the router runs when backends die,
+/// served on `POST /admin/failover` and surfaced in the durability bench.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct FailoverReport {
+    /// Backend indices declared dead in this membership change.
+    pub dead: Vec<usize>,
+    /// Sessions now live on survivors (restored or confirmed live).
+    pub recovered: Vec<RecoveredSession>,
+    /// Sessions whose recovery failed, with the reason.
+    pub failed: Vec<(u64, String)>,
 }
 
 /// Outcome of one `/admin/drain` call, serialized as its JSON response.
@@ -160,6 +291,10 @@ pub struct Router {
     upstream_metrics: Mutex<String>,
     /// Serializes drains (and keeps ring edits coherent with them).
     drain_lock: Mutex<()>,
+    /// Monotonic epoch for the breaker clocks.
+    started: std::time::Instant,
+    /// The most recent failover recovery report (`POST /admin/failover`).
+    last_failover: Mutex<Option<FailoverReport>>,
 }
 
 impl Router {
@@ -176,6 +311,8 @@ impl Router {
                     pool: Mutex::new(Vec::new()),
                     alive: AtomicBool::new(true),
                     draining: AtomicBool::new(false),
+                    probe_failures: AtomicU32::new(0),
+                    breaker: Breaker::default(),
                 })
                 .collect(),
             rings: RwLock::new(Rings { route: ring.clone(), place: ring }),
@@ -187,7 +324,28 @@ impl Router {
             stats: RouterStats::default(),
             upstream_metrics: Mutex::new(String::new()),
             drain_lock: Mutex::new(()),
+            started: std::time::Instant::now(),
+            last_failover: Mutex::new(None),
         }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.started.elapsed().as_millis() as u64
+    }
+
+    /// The most recent failover recovery report, if any backend has died.
+    pub fn last_failover(&self) -> Option<FailoverReport> {
+        lock(&self.last_failover).clone()
+    }
+
+    /// Sessions re-owned from checkpoints after backend deaths.
+    pub fn recovered_session_count(&self) -> u64 {
+        self.stats.sessions_recovered.load(Ordering::Relaxed)
+    }
+
+    /// Requests fast-failed by an open circuit breaker.
+    pub fn breaker_fast_fail_count(&self) -> u64 {
+        self.stats.breaker_fast_fails.load(Ordering::Relaxed)
     }
 
     /// Backend addresses, in index order.
@@ -213,25 +371,67 @@ impl Router {
     }
 
     /// Forward a raw protocol payload to backend `index` over a pooled
-    /// keep-alive connection.
+    /// keep-alive connection, gated by the backend's circuit breaker: an
+    /// open breaker fails fast instead of burning a connect timeout, and
+    /// every outcome feeds the breaker's state machine.
     fn call_backend(&self, index: usize, body: &[u8]) -> Result<Vec<u8>, String> {
         let backend = &self.backends[index];
         if !backend.alive.load(Ordering::Acquire) {
             return Err(format!("backend {index} ({}) is down", backend.addr));
+        }
+        if !backend.breaker.allows(self.now_ms()) {
+            self.stats.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+            return Err(format!("backend {index} ({}) breaker is open", backend.addr));
         }
         let pooled = lock(&backend.pool).pop();
         let mut client = pooled.unwrap_or_else(|| TcpApiClient::new(backend.addr));
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
         match client.call_raw(body) {
             Ok(payload) => {
+                backend.breaker.record_success();
                 lock(&backend.pool).push(client);
                 Ok(payload)
             }
             Err(e) => {
                 self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
+                if backend.breaker.record_failure(self.now_ms()) {
+                    self.stats.breakers_opened.fetch_add(1, Ordering::Relaxed);
+                    // Whatever the pool holds points at a broken backend.
+                    lock(&backend.pool).clear();
+                }
                 Err(e)
             }
         }
+    }
+
+    /// A backend requests may be routed to: alive and not breaker-open.
+    fn is_callable(&self, index: usize) -> bool {
+        let backend = &self.backends[index];
+        backend.alive.load(Ordering::Acquire) && !backend.breaker.is_open()
+    }
+
+    /// The consistent-hash owner of `session` among callable, non-draining
+    /// backends other than `exclude` — where the session's traffic fails
+    /// over while its primary is broken.  Hash-based (not round-robin) so
+    /// every request for one session lands on the *same* survivor, which
+    /// then restores it from the shared checkpoint directory exactly once.
+    fn fallback_for(&self, session: u64, exclude: usize) -> Option<usize> {
+        let members: Vec<usize> = self
+            .backends
+            .iter()
+            .enumerate()
+            .filter(|&(i, b)| {
+                i != exclude
+                    && b.alive.load(Ordering::Acquire)
+                    && !b.draining.load(Ordering::Acquire)
+                    && !b.breaker.is_open()
+            })
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            return None;
+        }
+        HashRing::new(&members).owner(session)
     }
 
     /// Forward a typed request and decode the typed response.
@@ -271,10 +471,29 @@ impl Router {
     /// session" and the routing decision has changed since (a drain or a
     /// health flip landed mid-flight), the request is retried once on the
     /// new target — this is what makes a drain invisible to clients.
+    ///
+    /// A primary that is dead or breaker-open is skipped *before* the call:
+    /// the request fails over to the surviving ring owner, which (with a
+    /// shared `--state-dir`) restores the session from its last checkpoint
+    /// on first touch.  Client-visible errors therefore stop as soon as the
+    /// breaker opens — at most [`BREAKER_FAILURE_THRESHOLD`] requests per
+    /// session-owning backend observe the crash window itself.
     fn forward_session(&self, session: u64, body: &[u8]) -> Bytes {
         self.wait_not_migrating(session);
-        let Some(target) = self.target_for(session) else {
+        let Some(primary) = self.target_for(session) else {
             return encode_error("no live backend to route to");
+        };
+        let target = if self.is_callable(primary) {
+            primary
+        } else {
+            match self.fallback_for(session, primary) {
+                Some(fallback) => {
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    fallback
+                }
+                // Nothing to fail over to: let the call produce its error.
+                None => primary,
+            }
         };
         match self.call_backend(target, body) {
             Ok(payload) => {
@@ -291,7 +510,21 @@ impl Router {
                 }
                 Bytes::from(payload)
             }
-            Err(e) => encode_error(format!("upstream error: {e}")),
+            Err(e) => {
+                // The call itself failed — possibly the failure that just
+                // opened the breaker.  If the target is no longer callable,
+                // fail over once instead of bouncing the error to the
+                // client; the survivor restores from the checkpoint.
+                if !self.is_callable(target) {
+                    if let Some(fallback) = self.fallback_for(session, target) {
+                        self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(payload) = self.call_backend(fallback, body) {
+                            return Bytes::from(payload);
+                        }
+                    }
+                }
+                encode_error(format!("upstream error: {e}"))
+            }
         }
     }
 
@@ -303,8 +536,21 @@ impl Router {
             return encode_error("create_session routed a non-create request");
         };
         let session = session.unwrap_or_else(|| self.next_session.fetch_add(1, Ordering::Relaxed));
-        let Some(target) = read_rings(&self.rings).place.owner(session) else {
+        let Some(owner) = read_rings(&self.rings).place.owner(session) else {
             return encode_error("no live backend to place the session on");
+        };
+        // A placement owner that is dead or breaker-open would reject the
+        // create; place on the surviving owner instead.
+        let target = if self.is_callable(owner) {
+            owner
+        } else {
+            match self.fallback_for(session, owner) {
+                Some(fallback) => {
+                    self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                    fallback
+                }
+                None => owner,
+            }
         };
         let request =
             Request::CreateSession { program, architecture, entry, session: Some(session) };
@@ -427,27 +673,132 @@ impl Router {
         }
     }
 
-    /// Probe every backend's `/healthz`; on a membership change rebuild
-    /// both rings from the survivors.
+    /// Probe every backend's `/healthz` concurrently (one hung backend must
+    /// not delay detection of the others by its timeout).  A backend flips
+    /// dead only after [`PROBE_FAILURE_THRESHOLD`] consecutive misses — one
+    /// dropped probe never flaps the ring — and any success revives it
+    /// immediately.  On a membership change both rings are rebuilt from the
+    /// survivors, and deaths trigger the checkpoint-recovery pass.
     fn probe_backends(&self) {
+        let results: Vec<bool> = std::thread::scope(|scope| {
+            let probes: Vec<_> = self
+                .backends
+                .iter()
+                .map(|backend| {
+                    let addr = backend.addr;
+                    scope.spawn(move || {
+                        matches!(http_get(addr, "/healthz", PROBE_TIMEOUT), Ok((200, _)))
+                    })
+                })
+                .collect();
+            probes.into_iter().map(|probe| probe.join().unwrap_or(false)).collect()
+        });
         let mut changed = false;
-        for backend in &self.backends {
-            let alive = matches!(http_get(backend.addr, "/healthz", PROBE_TIMEOUT), Ok((200, _)));
-            if backend.alive.swap(alive, Ordering::AcqRel) != alive {
-                changed = true;
-                if !alive {
+        let mut died = Vec::new();
+        for (index, (backend, ok)) in self.backends.iter().zip(results).enumerate() {
+            if ok {
+                backend.probe_failures.store(0, Ordering::Release);
+                if !backend.alive.swap(true, Ordering::AcqRel) {
+                    changed = true;
+                    backend.breaker.record_success();
+                }
+            } else {
+                let misses = backend.probe_failures.fetch_add(1, Ordering::AcqRel) + 1;
+                if misses >= PROBE_FAILURE_THRESHOLD && backend.alive.swap(false, Ordering::AcqRel)
+                {
+                    changed = true;
                     // Whatever connections were pooled are dead with it.
                     lock(&backend.pool).clear();
+                    died.push(index);
                 }
             }
         }
         if changed {
             let members = self.routable();
             let ring = HashRing::new(&members);
-            let mut rings = write_rings(&self.rings);
-            rings.route = ring.clone();
-            rings.place = ring;
+            {
+                let mut rings = write_rings(&self.rings);
+                rings.route = ring.clone();
+                rings.place = ring;
+            }
+            if !died.is_empty() {
+                self.recover_after_failover(&died);
+            }
         }
+    }
+
+    /// Re-own a dead backend's sessions on the survivors.  Each surviving
+    /// backend is asked for the checkpoints its state directory holds
+    /// (`/admin/checkpoints`); the sessions the post-failover route ring
+    /// assigns to that survivor are then recovered *on* it
+    /// (`/admin/recover` → restore-from-checkpoint, replay-verified).  The
+    /// per-session staleness each restore inherited is recorded in the
+    /// failover report, bounded by the checkpoint interval.
+    ///
+    /// Backends that do not share a state directory simply report no
+    /// foreign checkpoints and the pass degrades to the old behaviour
+    /// (those sessions are gone).
+    fn recover_after_failover(&self, died: &[usize]) {
+        #[derive(serde::Serialize)]
+        struct RecoverArgs {
+            sessions: Vec<u64>,
+        }
+        let mut report =
+            FailoverReport { dead: died.to_vec(), recovered: Vec::new(), failed: Vec::new() };
+        for index in self.routable() {
+            let addr = self.backends[index].addr;
+            let entries = match http_post(addr, "/admin/checkpoints", b"", PROBE_TIMEOUT) {
+                Ok((200, body)) => match serde_json::from_slice::<Vec<CheckpointEntry>>(&body) {
+                    Ok(entries) => entries,
+                    Err(_) => continue,
+                },
+                // Checkpointing disabled (404) or the survivor is sick too.
+                _ => continue,
+            };
+            let mine: Vec<u64> = entries
+                .iter()
+                .map(|entry| entry.session)
+                .filter(|&session| read_rings(&self.rings).route.owner(session) == Some(index))
+                .collect();
+            if mine.is_empty() {
+                continue;
+            }
+            let args = serde_json::to_vec(&RecoverArgs { sessions: mine.clone() })
+                .expect("recover args serialize");
+            match http_post(addr, "/admin/recover", &args, RECOVER_TIMEOUT) {
+                Ok((200, body)) => {
+                    let Ok(outcomes) = serde_json::from_slice::<Vec<RecoverOutcome>>(&body) else {
+                        report.failed.extend(
+                            mine.iter().map(|&s| (s, "unparseable recover response".to_string())),
+                        );
+                        continue;
+                    };
+                    for outcome in outcomes {
+                        if outcome.ok {
+                            report.recovered.push(RecoveredSession {
+                                session: outcome.session,
+                                backend: index,
+                                cycle: outcome.cycle,
+                                staleness_ms: outcome.staleness_ms,
+                                already_live: outcome.already_live,
+                            });
+                        } else {
+                            report.failed.push((
+                                outcome.session,
+                                outcome.error.unwrap_or_else(|| "recover failed".to_string()),
+                            ));
+                        }
+                    }
+                }
+                Ok((status, _)) => report
+                    .failed
+                    .extend(mine.iter().map(|&s| (s, format!("recover answered {status}")))),
+                Err(e) => report.failed.extend(mine.iter().map(|&s| (s, e.clone()))),
+            }
+        }
+        let freshly_restored = report.recovered.iter().filter(|r| !r.already_live).count() as u64;
+        self.stats.sessions_recovered.fetch_add(freshly_restored, Ordering::Relaxed);
+        *lock(&self.last_failover) = Some(report);
     }
 
     /// Sum upstream `/metrics` into `rvsim_upstream_*` lines (cached; served
@@ -546,6 +897,11 @@ impl ApiHandler for Router {
                     }
                 })
             }
+            "/admin/failover" => {
+                let body =
+                    serde_json::to_vec(&self.last_failover()).expect("failover reports serialize");
+                Some(ControlResponse { status: 200, reason: "OK", body })
+            }
             _ => None,
         }
     }
@@ -561,19 +917,29 @@ impl ApiHandler for Router {
              rvsim_router_upstream_errors_total {}\n\
              rvsim_router_retries_total {}\n\
              rvsim_router_sessions_migrated_total {}\n\
-             rvsim_router_drains_total {}\n",
+             rvsim_router_drains_total {}\n\
+             rvsim_router_breaker_fast_fails_total {}\n\
+             rvsim_router_breakers_opened_total {}\n\
+             rvsim_router_failovers_total {}\n\
+             rvsim_router_sessions_recovered_total {}\n",
             self.backends.len(),
             self.stats.forwarded.load(Ordering::Relaxed),
             self.stats.upstream_errors.load(Ordering::Relaxed),
             self.stats.retries.load(Ordering::Relaxed),
             self.stats.sessions_migrated.load(Ordering::Relaxed),
             self.stats.drains.load(Ordering::Relaxed),
+            self.stats.breaker_fast_fails.load(Ordering::Relaxed),
+            self.stats.breakers_opened.load(Ordering::Relaxed),
+            self.stats.failovers.load(Ordering::Relaxed),
+            self.stats.sessions_recovered.load(Ordering::Relaxed),
         );
         for (index, backend) in self.backends.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "rvsim_router_backend_up_{index} {}",
-                u64::from(backend.alive.load(Ordering::Acquire))
+                "rvsim_router_backend_up_{index} {}\n\
+                 rvsim_router_backend_breaker_open_{index} {}",
+                u64::from(backend.alive.load(Ordering::Acquire)),
+                u64::from(backend.breaker.is_open()),
             );
         }
         out.push_str(&lock(&self.upstream_metrics));
@@ -673,6 +1039,56 @@ mod tests {
     #[test]
     fn empty_ring_owns_nothing() {
         assert_eq!(HashRing::new(&[]).owner(7), None);
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_half_opens_after_cooldown() {
+        let breaker = Breaker::default();
+        let cooldown = BREAKER_COOLDOWN.as_millis() as u64;
+        assert!(breaker.allows(0), "a fresh breaker is closed");
+
+        // Failures below the threshold keep it closed.
+        assert!(!breaker.record_failure(10));
+        assert!(!breaker.record_failure(20));
+        assert!(breaker.allows(25));
+        // The threshold failure opens it — exactly once.
+        assert!(breaker.record_failure(30), "third consecutive failure must open");
+        assert!(breaker.is_open());
+
+        // Open: everything fast-fails through the cooldown.
+        assert!(!breaker.allows(31));
+        assert!(!breaker.allows(30 + cooldown - 1));
+
+        // Cooldown elapsed: exactly one half-open probe is admitted.
+        let probe_time = 30 + cooldown + 1;
+        assert!(breaker.allows(probe_time), "first caller is the half-open probe");
+        assert!(!breaker.allows(probe_time), "second caller must still fast-fail");
+
+        // The probe fails: re-open with a fresh cooldown (not a new "open").
+        assert!(!breaker.record_failure(probe_time + 5));
+        assert!(!breaker.allows(probe_time + 10));
+
+        // The next probe succeeds: fully closed again.
+        let retry_time = probe_time + 5 + cooldown + 1;
+        assert!(breaker.allows(retry_time));
+        breaker.record_success();
+        assert!(!breaker.is_open());
+        assert!(breaker.allows(retry_time + 1));
+        // And the failure count restarted: one new failure does not open.
+        assert!(!breaker.record_failure(retry_time + 2));
+        assert!(breaker.allows(retry_time + 3));
+    }
+
+    #[test]
+    fn breaker_success_interrupts_the_failure_streak() {
+        let breaker = Breaker::default();
+        assert!(!breaker.record_failure(1));
+        assert!(!breaker.record_failure(2));
+        breaker.record_success();
+        assert!(!breaker.record_failure(3));
+        assert!(!breaker.record_failure(4), "streak restarted: still below threshold");
+        assert!(breaker.record_failure(5));
+        assert!(breaker.is_open());
     }
 
     #[test]

@@ -160,6 +160,47 @@ impl ApiHandler for SimulationServer {
         self.handle_raw(body)
     }
 
+    fn handle_control(&self, target: &str, body: &[u8]) -> Option<ControlResponse> {
+        // Both endpoints exist only when the server runs with a state dir;
+        // without one they 404 so a router probing a non-durable backend
+        // can tell the difference from an empty checkpoint set.
+        match target {
+            "/admin/checkpoints" => {
+                self.checkpoint_store()?;
+                let entries = self.checkpoint_entries();
+                Some(ControlResponse {
+                    status: 200,
+                    reason: "OK",
+                    body: serde_json::to_vec(&entries).expect("entries serialize"),
+                })
+            }
+            "/admin/recover" => {
+                self.checkpoint_store()?;
+                #[derive(serde::Deserialize)]
+                struct RecoverArgs {
+                    sessions: Vec<u64>,
+                }
+                let args: RecoverArgs = match serde_json::from_slice(body) {
+                    Ok(args) => args,
+                    Err(e) => {
+                        return Some(ControlResponse {
+                            status: 400,
+                            reason: "Bad Request",
+                            body: format!("bad recover body: {e}\n").into_bytes(),
+                        })
+                    }
+                };
+                let outcomes = self.recover_sessions(&args.sessions);
+                Some(ControlResponse {
+                    status: 200,
+                    reason: "OK",
+                    body: serde_json::to_vec(&outcomes).expect("outcomes serialize"),
+                })
+            }
+            _ => None,
+        }
+    }
+
     fn append_metrics(&self, out: &mut String) {
         use std::fmt::Write;
         let _ = write!(
@@ -173,10 +214,26 @@ impl ApiHandler for SimulationServer {
             self.session_count(),
             self.evicted_session_count(),
         );
+        if let Some(store) = self.checkpoint_store() {
+            let _ = write!(
+                out,
+                "rvsim_checkpoints_written_total {}\n\
+                 rvsim_checkpoint_failures_total {}\n\
+                 rvsim_sessions_spilled_total {}\n\
+                 rvsim_sessions_restored_total {}\n\
+                 rvsim_restore_staleness_max_ms {}\n",
+                store.write_count(),
+                store.write_failure_count(),
+                self.spilled_session_count(),
+                self.restored_session_count(),
+                self.max_restore_staleness_ms(),
+            );
+        }
     }
 
     fn housekeeping(&self) {
         self.evict_idle();
+        self.checkpoint_tick();
     }
 }
 

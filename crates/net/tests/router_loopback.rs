@@ -3,9 +3,11 @@
 //! Every test skips gracefully when the sandbox forbids loopback sockets.
 
 use rvsim_net::{http_get, http_post, DrainReport, NetConfig, NetServer, Router, TcpApiClient};
-use rvsim_server::{DeploymentConfig, DeploymentMode, Request, Response, SimulationServer};
+use rvsim_server::{
+    CheckpointConfig, DeploymentConfig, DeploymentMode, Request, Response, SimulationServer,
+};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const PROGRAM: &str = "
 main:
@@ -188,4 +190,113 @@ fn drain_migrates_live_sessions_without_client_visible_errors() {
     router.shutdown();
     b0.shutdown();
     b1.shutdown();
+}
+
+/// A durable backend sharing `state_dir`: checkpoints swept on every
+/// housekeeping tick so a fresh step is on disk within ~50 ms.
+fn start_durable_backend(state_dir: &std::path::Path) -> NetServer {
+    let deployment = DeploymentConfig {
+        mode: DeploymentMode::Direct,
+        compress_responses: true,
+        worker_threads: 2,
+        idle_session_ttl_seconds: None,
+    };
+    let server = SimulationServer::with_checkpoints(
+        deployment,
+        CheckpointConfig {
+            state_dir: state_dir.to_path_buf(),
+            interval: Duration::ZERO,
+            dirty_cycles: 0,
+        },
+    )
+    .expect("state dir opens");
+    let config =
+        NetConfig { housekeeping_interval: Duration::from_millis(50), ..NetConfig::default() };
+    NetServer::start(server, config).expect("backend starts")
+}
+
+#[test]
+fn killed_backend_sessions_are_recovered_on_the_survivor_from_checkpoints() {
+    if !loopback_available() {
+        return;
+    }
+    let state_dir = std::env::temp_dir().join(format!("rvsim-failover-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+
+    let b0 = start_durable_backend(&state_dir);
+    let b1 = start_durable_backend(&state_dir);
+    let router_handler = Arc::new(Router::new(vec![b0.local_addr(), b1.local_addr()]));
+    // Fast probes: backend death is detected within a few hundred ms.
+    let router_config =
+        NetConfig { housekeeping_interval: Duration::from_millis(100), ..NetConfig::default() };
+    let router = NetServer::start_with_handler(router_handler.clone(), router_config)
+        .expect("router starts");
+    let addr = router.local_addr();
+
+    let mut client = TcpApiClient::new(addr);
+    let sessions: Vec<u64> = (0..12).map(|_| create_session(&mut client)).collect();
+    for &session in &sessions {
+        let r = client.call(&Request::Step { session, cycles: 3 }).unwrap();
+        assert_eq!(r, Response::Stepped { cycle: 3, halted: false });
+    }
+    // Force the cycle-3 state to disk on both backends — deterministic, no
+    // reliance on the housekeeping race.
+    b0.server().checkpoint_dirty_sessions();
+    b1.server().checkpoint_dirty_sessions();
+    let on_dead_backend = b0.server().session_count();
+    assert!(on_dead_backend > 0, "backend 0 must hold sessions for the failover to matter");
+
+    // Crash backend 0.  The router's probes flip it dead after two
+    // consecutive misses and trigger checkpoint recovery on the survivor.
+    b0.shutdown();
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let report = loop {
+        if let Some(report) = router_handler.last_failover() {
+            break report;
+        }
+        assert!(Instant::now() < deadline, "router never reported a failover");
+        std::thread::sleep(Duration::from_millis(25));
+    };
+
+    assert_eq!(report.dead, vec![0]);
+    assert!(report.failed.is_empty(), "recovery failures: {:?}", report.failed);
+    assert_eq!(report.recovered.len(), sessions.len(), "every checkpointed session is re-owned");
+    let freshly_restored = report.recovered.iter().filter(|r| !r.already_live).count();
+    assert_eq!(freshly_restored, on_dead_backend, "the dead backend's sessions were restored");
+    for recovered in &report.recovered {
+        assert_eq!(recovered.backend, 1, "the survivor owns everything");
+        assert_eq!(recovered.cycle, 3, "restored at the checkpointed cycle");
+        assert!(
+            recovered.staleness_ms < 30_000,
+            "staleness is bounded by the checkpoint cadence, got {} ms",
+            recovered.staleness_ms
+        );
+    }
+    assert_eq!(router_handler.recovered_session_count(), on_dead_backend as u64);
+
+    // Every session — including the crashed backend's — serves through the
+    // router with its pre-crash state intact.
+    assert_eq!(b1.server().session_count(), sessions.len());
+    for &session in &sessions {
+        match client.call(&Request::GetState { session }).unwrap() {
+            Response::State(snapshot) => assert_eq!(snapshot.cycle, 3, "state survived the crash"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+    // And they keep simulating from where they left off.
+    for &session in &sessions {
+        let r = client.call(&Request::Step { session, cycles: 2 }).unwrap();
+        assert_eq!(r, Response::Stepped { cycle: 5, halted: false });
+    }
+
+    let (status, body) = http_get(addr, "/metrics", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains("rvsim_router_backend_up_0 0"), "{text}");
+    assert!(text.contains("rvsim_router_backend_up_1 1"), "{text}");
+    assert!(text.contains("rvsim_router_sessions_recovered_total"), "{text}");
+
+    router.shutdown();
+    b1.shutdown();
+    let _ = std::fs::remove_dir_all(&state_dir);
 }

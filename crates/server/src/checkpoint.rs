@@ -1,0 +1,423 @@
+//! Durable session checkpoints: `RVSE` envelopes on disk.
+//!
+//! A [`CheckpointStore`] owns one state directory and persists sessions as
+//! envelope files (`<session>.rvse`, the exact [`SessionEnvelope::to_bytes`]
+//! framing — a checkpoint file *is* a portable envelope).  Writes are
+//! atomic: the envelope is written to `<session>.rvse.tmp` and renamed over
+//! the final name, so a crash mid-write can only ever leave the previous
+//! checkpoint behind, never a torn one.  Restores go through
+//! [`SessionEnvelope::replay`], which refuses state it cannot reproduce
+//! byte-exactly — a corrupt or foreign checkpoint surfaces as an error, not
+//! as silently wrong simulation state.
+//!
+//! Backends that share a state directory can also read *each other's*
+//! checkpoints, which is what the router tier's failover recovery leans on:
+//! when a backend dies, the surviving ring owners re-own its sessions from
+//! their last checkpoints (restore-on-demand or an explicit
+//! `/admin/recover`), with staleness bounded by the checkpoint interval.
+//!
+//! The store carries injectable fault points ([`CheckpointFault`]) so the
+//! chaos suite can prove the failure behaviour deterministically: a torn
+//! write must leave the previous checkpoint intact, a full disk must keep
+//! the session resident instead of losing it, and a stale checkpoint must
+//! bound — not corrupt — what a restore recovers.
+
+use crate::envelope::SessionEnvelope;
+use parking_lot::Mutex;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, SystemTime};
+
+/// Default periodic checkpoint cadence (`serve --checkpoint-interval`).
+pub const DEFAULT_CHECKPOINT_INTERVAL: Duration = Duration::from_secs(5);
+
+/// Default dirty-cycle threshold: a session that advances this many cycles
+/// past its last checkpoint is re-checkpointed by the request that crossed
+/// the threshold, without waiting for the periodic tick.
+pub const DEFAULT_DIRTY_CYCLES: u64 = 250_000;
+
+/// File suffix of a finished checkpoint.
+const CHECKPOINT_SUFFIX: &str = ".rvse";
+
+/// File suffix of an in-flight atomic write.
+const TEMP_SUFFIX: &str = ".rvse.tmp";
+
+/// Checkpointing configuration ([`SimulationServer::with_checkpoints`]).
+///
+/// [`SimulationServer::with_checkpoints`]: crate::server::SimulationServer::with_checkpoints
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory the envelope files live in (created if missing).
+    pub state_dir: PathBuf,
+    /// Periodic checkpoint cadence, driven by the housekeeping tick.
+    pub interval: Duration,
+    /// Dirty-cycle threshold (0 disables mid-interval checkpoints).
+    pub dirty_cycles: u64,
+}
+
+impl CheckpointConfig {
+    /// Configuration with the default cadence and dirty threshold.
+    pub fn new(state_dir: impl Into<PathBuf>) -> Self {
+        CheckpointConfig {
+            state_dir: state_dir.into(),
+            interval: DEFAULT_CHECKPOINT_INTERVAL,
+            dirty_cycles: DEFAULT_DIRTY_CYCLES,
+        }
+    }
+}
+
+/// Injectable failure modes of the checkpoint write path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckpointFault {
+    /// Write only half the envelope bytes to the temp file and skip the
+    /// rename — the crash-mid-write scenario the atomic rename exists for.
+    TornWrite,
+    /// Fail the write as if the disk were full (`ENOSPC`).
+    NoSpace,
+    /// Report success without writing anything: the on-disk checkpoint
+    /// silently stays one generation stale.
+    StaleCheckpoint,
+}
+
+/// An armed fault: fire `remaining` times, then disarm.
+struct FaultPlan {
+    fault: CheckpointFault,
+    remaining: u32,
+}
+
+/// One checkpointed session as seen by a directory scan.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct CheckpointEntry {
+    /// Session id the checkpoint file is named after.
+    pub session: u64,
+    /// Age of the checkpoint file (time since its last atomic rename).
+    pub age_ms: u64,
+}
+
+/// Outcome of recovering one session from its checkpoint
+/// ([`SimulationServer::recover_sessions`], the `/admin/recover` endpoint).
+///
+/// [`SimulationServer::recover_sessions`]: crate::server::SimulationServer::recover_sessions
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct RecoverOutcome {
+    /// Session id the recovery was asked for.
+    pub session: u64,
+    /// The session is live (already was, or was just restored).
+    pub ok: bool,
+    /// The session was already resident — nothing was restored.
+    pub already_live: bool,
+    /// Cycle the session is serving at.
+    pub cycle: u64,
+    /// Age of the checkpoint the restore replayed (0 when already live):
+    /// the per-session staleness bound the failover report surfaces.
+    pub staleness_ms: u64,
+    /// Why the recovery failed, when it did.
+    pub error: Option<String>,
+}
+
+/// A directory of durable session envelopes with atomic writes.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    fault: Mutex<Option<FaultPlan>>,
+    writes: AtomicU64,
+    write_failures: AtomicU64,
+}
+
+impl CheckpointStore {
+    /// Open (creating if needed) the state directory at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<CheckpointStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore {
+            dir,
+            fault: Mutex::new(None),
+            writes: AtomicU64::new(0),
+            write_failures: AtomicU64::new(0),
+        })
+    }
+
+    /// The state directory the store writes into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path(&self, session: u64) -> PathBuf {
+        self.dir.join(format!("{session}{CHECKPOINT_SUFFIX}"))
+    }
+
+    fn temp_path(&self, session: u64) -> PathBuf {
+        self.dir.join(format!("{session}{TEMP_SUFFIX}"))
+    }
+
+    /// Arm `fault` to fire on the next `times` checkpoint writes.
+    pub fn inject_fault(&self, fault: CheckpointFault, times: u32) {
+        *self.fault.lock() = Some(FaultPlan { fault, remaining: times });
+    }
+
+    /// Take one armed fault shot, if any.
+    fn take_fault(&self) -> Option<CheckpointFault> {
+        let mut armed = self.fault.lock();
+        let plan = armed.as_mut()?;
+        let fault = plan.fault;
+        plan.remaining -= 1;
+        if plan.remaining == 0 {
+            *armed = None;
+        }
+        Some(fault)
+    }
+
+    /// Persist `envelope` atomically: full bytes to the temp file, fsync-free
+    /// rename over the final name.  The previous checkpoint stays readable
+    /// until the rename, so no failure mode can lose it.
+    pub fn save(&self, envelope: &SessionEnvelope) -> Result<(), String> {
+        let bytes = envelope.to_bytes();
+        let temp = self.temp_path(envelope.session);
+        match self.take_fault() {
+            Some(CheckpointFault::TornWrite) => {
+                // Crash mid-write: half the bytes land in the temp file and
+                // the rename never happens.  The previous checkpoint (if
+                // any) is untouched.
+                let _ = std::fs::write(&temp, &bytes[..bytes.len() / 2]);
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+                return Err(format!(
+                    "checkpoint write torn at {} bytes (injected)",
+                    bytes.len() / 2
+                ));
+            }
+            Some(CheckpointFault::NoSpace) => {
+                self.write_failures.fetch_add(1, Ordering::Relaxed);
+                return Err("checkpoint write failed: no space left on device (injected)".into());
+            }
+            Some(CheckpointFault::StaleCheckpoint) => {
+                // Pretend success without writing: the on-disk state stays a
+                // generation behind, which a later restore must tolerate
+                // (bounded staleness, not corruption).
+                return Ok(());
+            }
+            None => {}
+        }
+        std::fs::write(&temp, &bytes).map_err(|e| {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            format!("checkpoint write {}: {e}", temp.display())
+        })?;
+        std::fs::rename(&temp, self.path(envelope.session)).map_err(|e| {
+            self.write_failures.fetch_add(1, Ordering::Relaxed);
+            format!("checkpoint rename {}: {e}", temp.display())
+        })?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Load the checkpoint of `session`, returning the envelope and the
+    /// checkpoint's age (the staleness a restore from it inherits).
+    pub fn load(&self, session: u64) -> Result<(SessionEnvelope, Duration), String> {
+        let path = self.path(session);
+        let bytes = std::fs::read(&path)
+            .map_err(|e| format!("no checkpoint for session {session}: {e}"))?;
+        let envelope = SessionEnvelope::from_bytes(&bytes)
+            .map_err(|e| format!("checkpoint {} unreadable: {e}", path.display()))?;
+        if envelope.session != session {
+            return Err(format!(
+                "checkpoint {} claims session {} (file name says {session})",
+                path.display(),
+                envelope.session
+            ));
+        }
+        Ok((envelope, file_age(&path)))
+    }
+
+    /// Age of `session`'s checkpoint file, if one exists.
+    pub fn age_of(&self, session: u64) -> Option<Duration> {
+        let path = self.path(session);
+        path.exists().then(|| file_age(&path))
+    }
+
+    /// Whether a finished checkpoint exists for `session`.
+    pub fn contains(&self, session: u64) -> bool {
+        self.path(session).exists()
+    }
+
+    /// Delete `session`'s checkpoint (destroy / migrate-away).  Returns
+    /// whether a file existed.
+    pub fn remove(&self, session: u64) -> bool {
+        std::fs::remove_file(self.path(session)).is_ok()
+    }
+
+    /// Every finished checkpoint in the directory, ascending by session id.
+    /// Temp files (in-flight or torn writes) and foreign files are ignored.
+    pub fn scan(&self) -> Vec<CheckpointEntry> {
+        let Ok(entries) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut found: Vec<CheckpointEntry> = entries
+            .flatten()
+            .filter_map(|entry| {
+                let name = entry.file_name();
+                let name = name.to_str()?;
+                if name.ends_with(TEMP_SUFFIX) {
+                    return None;
+                }
+                let session = name.strip_suffix(CHECKPOINT_SUFFIX)?.parse::<u64>().ok()?;
+                Some(CheckpointEntry {
+                    session,
+                    age_ms: file_age(&entry.path()).as_millis() as u64,
+                })
+            })
+            .collect();
+        found.sort_unstable_by_key(|e| e.session);
+        found
+    }
+
+    /// Checkpoints successfully written over the store's lifetime.
+    pub fn write_count(&self) -> u64 {
+        self.writes.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoint writes that failed (including injected faults).
+    pub fn write_failure_count(&self) -> u64 {
+        self.write_failures.load(Ordering::Relaxed)
+    }
+}
+
+/// Time since `path` was last (atomically) written.  A file whose mtime the
+/// filesystem cannot report counts as fresh rather than infinitely stale.
+fn file_age(path: &Path) -> Duration {
+    std::fs::metadata(path)
+        .and_then(|m| m.modified())
+        .ok()
+        .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+        .unwrap_or(Duration::ZERO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvsim_core::{ArchitectureConfig, Simulator};
+    use std::sync::atomic::AtomicU32;
+
+    const PROGRAM: &str = "
+main:
+    li   t0, 9
+    li   t1, 0
+loop:
+    add  t1, t1, t0
+    addi t0, t0, -1
+    bne  t0, zero, loop
+    mv   a0, t1
+    ret
+";
+
+    static DIR_SEQ: AtomicU32 = AtomicU32::new(0);
+
+    fn temp_store() -> CheckpointStore {
+        let dir = std::env::temp_dir().join(format!(
+            "rvsim-ckpt-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        CheckpointStore::open(dir).expect("store opens")
+    }
+
+    fn envelope_at(session: u64, cycles: u64) -> SessionEnvelope {
+        let config = ArchitectureConfig::default();
+        let mut sim = Simulator::from_assembly(PROGRAM, &config).unwrap();
+        for _ in 0..cycles {
+            sim.step();
+        }
+        SessionEnvelope::capture(session, &sim, PROGRAM)
+    }
+
+    #[test]
+    fn save_load_round_trips_byte_identically() {
+        let store = temp_store();
+        let envelope = envelope_at(7, 5);
+        store.save(&envelope).unwrap();
+        let (back, age) = store.load(7).unwrap();
+        assert_eq!(back, envelope);
+        assert_eq!(back.to_bytes(), envelope.to_bytes());
+        assert!(age < Duration::from_secs(60));
+        assert_eq!(store.write_count(), 1);
+        // The temp file of the atomic write must not survive a clean save.
+        assert!(!store.temp_path(7).exists());
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn scan_lists_checkpoints_and_ignores_temp_and_foreign_files() {
+        let store = temp_store();
+        store.save(&envelope_at(3, 2)).unwrap();
+        store.save(&envelope_at(11, 4)).unwrap();
+        std::fs::write(store.dir().join("5.rvse.tmp"), b"torn").unwrap();
+        std::fs::write(store.dir().join("README"), b"not a checkpoint").unwrap();
+        let listed: Vec<u64> = store.scan().iter().map(|e| e.session).collect();
+        assert_eq!(listed, vec![3, 11]);
+        assert!(store.contains(3));
+        assert!(!store.contains(5));
+        assert!(store.remove(3));
+        assert!(!store.remove(3));
+        let listed: Vec<u64> = store.scan().iter().map(|e| e.session).collect();
+        assert_eq!(listed, vec![11]);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn torn_write_preserves_the_previous_checkpoint() {
+        let store = temp_store();
+        let old = envelope_at(9, 3);
+        store.save(&old).unwrap();
+        store.inject_fault(CheckpointFault::TornWrite, 1);
+        let err = store.save(&envelope_at(9, 6)).unwrap_err();
+        assert!(err.contains("torn"), "{err}");
+        // The final file still holds the previous, fully valid checkpoint.
+        let (back, _) = store.load(9).unwrap();
+        assert_eq!(back, old);
+        // The torn temp file is visible (simulating the crash residue) but
+        // never listed as a checkpoint.
+        assert_eq!(store.scan().len(), 1);
+        // And the next write (fault disarmed) succeeds over the residue.
+        let newer = envelope_at(9, 6);
+        store.save(&newer).unwrap();
+        assert_eq!(store.load(9).unwrap().0, newer);
+        assert_eq!(store.write_failure_count(), 1);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn no_space_fault_fails_the_write_and_keeps_the_old_checkpoint() {
+        let store = temp_store();
+        let old = envelope_at(4, 2);
+        store.save(&old).unwrap();
+        store.inject_fault(CheckpointFault::NoSpace, 2);
+        assert!(store.save(&envelope_at(4, 5)).unwrap_err().contains("no space"));
+        assert!(store.save(&envelope_at(4, 5)).unwrap_err().contains("no space"));
+        // Two shots armed, both fired: the third write goes through.
+        store.save(&envelope_at(4, 5)).unwrap();
+        assert_eq!(store.load(4).unwrap().0.cycle, envelope_at(4, 5).cycle);
+        assert_eq!(store.write_failure_count(), 2);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn stale_fault_reports_success_but_keeps_the_old_generation() {
+        let store = temp_store();
+        let old = envelope_at(2, 3);
+        store.save(&old).unwrap();
+        store.inject_fault(CheckpointFault::StaleCheckpoint, 1);
+        store.save(&envelope_at(2, 8)).unwrap();
+        // "Success", but the on-disk state is a generation behind — the
+        // bounded-staleness scenario a restore must tolerate.
+        assert_eq!(store.load(2).unwrap().0, old);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn load_rejects_a_mismatched_session_id() {
+        let store = temp_store();
+        let envelope = envelope_at(21, 2);
+        std::fs::write(store.path(33), envelope.to_bytes()).unwrap();
+        let err = store.load(33).unwrap_err();
+        assert!(err.contains("claims session 21"), "{err}");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

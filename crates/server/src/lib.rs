@@ -22,11 +22,15 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod envelope;
 pub mod protocol;
 pub mod server;
 pub mod threaded;
 
+pub use checkpoint::{
+    CheckpointConfig, CheckpointEntry, CheckpointFault, CheckpointStore, RecoverOutcome,
+};
 pub use envelope::{SessionEnvelope, ENVELOPE_VERSION};
 pub use protocol::{Request, Response};
 pub use server::{DeploymentConfig, DeploymentMode, SimulationServer};

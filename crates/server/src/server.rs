@@ -1,5 +1,6 @@
 //! Session management and request dispatch.
 
+use crate::checkpoint::{CheckpointConfig, CheckpointEntry, CheckpointStore, RecoverOutcome};
 use crate::envelope::SessionEnvelope;
 use crate::protocol::{Request, Response};
 use bytes::Bytes;
@@ -101,6 +102,10 @@ struct Session {
     /// a replaced session can never serve a stale cached payload captured
     /// from the previous state generation at the same cycle.
     epoch: u64,
+    /// Cycle of this session's last successful on-disk checkpoint (`None`
+    /// before the first one).  `Some(current cycle)` means the checkpoint is
+    /// current and the periodic tick / eviction spill can skip the write.
+    checkpointed_cycle: Option<u64>,
 }
 
 /// A stored session: the individually-locked simulator state plus an
@@ -209,6 +214,26 @@ fn state_delta_response(session: &mut Session, since_cycle: u64) -> Response {
     }
 }
 
+/// Durability state: the checkpoint store plus the cadence bookkeeping and
+/// counters of the spill/restore paths.
+struct CheckpointState {
+    store: CheckpointStore,
+    /// Periodic checkpoint cadence in milliseconds.
+    interval_ms: u64,
+    /// Dirty-cycle threshold for mid-interval checkpoints (0 = disabled).
+    dirty_cycles: u64,
+    /// `now_ms` of the last periodic sweep (CAS-claimed, so concurrent
+    /// housekeeping ticks never run the sweep twice).
+    last_tick_ms: AtomicU64,
+    /// Sessions spilled to disk by the idle sweep instead of destroyed.
+    spilled: AtomicU64,
+    /// Sessions restored from their checkpoint (on demand or recovery).
+    restored: AtomicU64,
+    /// Largest checkpoint age a restore has inherited, in milliseconds —
+    /// the observed staleness bound.
+    restore_staleness_max_ms: AtomicU64,
+}
+
 /// The simulation server: a sharded set of sessions plus request dispatch.
 ///
 /// The server is cheap to share (`Arc<SimulationServer>`).  The session map
@@ -234,6 +259,9 @@ pub struct SimulationServer {
     /// shared handle (no render, no copy).
     shared_state_serves: AtomicU64,
     next_session: AtomicU64,
+    /// Durable checkpointing (`--state-dir`): `None` keeps the pre-existing
+    /// in-memory-only behaviour, including destroy-on-evict.
+    checkpoints: Option<CheckpointState>,
     /// Epoch for the per-session idle timestamps.
     started: Instant,
     /// Test-only virtual clock advance, added to the wall clock so eviction
@@ -253,6 +281,7 @@ impl SimulationServer {
             coalesced_steps: AtomicU64::new(0),
             shared_state_serves: AtomicU64::new(0),
             next_session: AtomicU64::new(1),
+            checkpoints: None,
             started: Instant::now(),
             #[cfg(test)]
             clock_skew_ms: AtomicU64::new(0),
@@ -262,6 +291,52 @@ impl SimulationServer {
     /// Server with the default configuration.
     pub fn with_defaults() -> Self {
         Self::new(DeploymentConfig::default())
+    }
+
+    /// Create a server with durable checkpointing: sessions are periodically
+    /// serialized to `RVSE` envelope files in the checkpoint directory, idle
+    /// eviction spills to disk instead of destroying (the session restores
+    /// on its next touch), and [`recover_checkpoints`](Self::recover_checkpoints)
+    /// can re-own everything in the directory after a crash.
+    pub fn with_checkpoints(
+        config: DeploymentConfig,
+        checkpoints: CheckpointConfig,
+    ) -> std::io::Result<Self> {
+        let store = CheckpointStore::open(&checkpoints.state_dir)?;
+        let mut server = Self::new(config);
+        server.checkpoints = Some(CheckpointState {
+            store,
+            interval_ms: checkpoints.interval.as_millis() as u64,
+            dirty_cycles: checkpoints.dirty_cycles,
+            last_tick_ms: AtomicU64::new(0),
+            spilled: AtomicU64::new(0),
+            restored: AtomicU64::new(0),
+            restore_staleness_max_ms: AtomicU64::new(0),
+        });
+        Ok(server)
+    }
+
+    /// The checkpoint store, when checkpointing is enabled.
+    pub fn checkpoint_store(&self) -> Option<&CheckpointStore> {
+        self.checkpoints.as_ref().map(|c| &c.store)
+    }
+
+    /// Sessions the idle sweep spilled to disk instead of destroying.
+    pub fn spilled_session_count(&self) -> u64 {
+        self.checkpoints.as_ref().map_or(0, |c| c.spilled.load(Ordering::Relaxed))
+    }
+
+    /// Sessions restored from their on-disk checkpoint (on-demand or via
+    /// explicit recovery) over the server's lifetime.
+    pub fn restored_session_count(&self) -> u64 {
+        self.checkpoints.as_ref().map_or(0, |c| c.restored.load(Ordering::Relaxed))
+    }
+
+    /// Largest checkpoint age any restore has inherited, in milliseconds:
+    /// the observed worst-case staleness, bounded by the checkpoint
+    /// interval as long as the periodic tick keeps up.
+    pub fn max_restore_staleness_ms(&self) -> u64 {
+        self.checkpoints.as_ref().map_or(0, |c| c.restore_staleness_max_ms.load(Ordering::Relaxed))
     }
 
     /// The deployment configuration.
@@ -306,21 +381,64 @@ impl SimulationServer {
     }
 
     fn session(&self, id: u64) -> Option<Arc<SessionSlot>> {
-        let slot = self.shards[shard_index(id)].read().get(&id).cloned()?;
-        slot.last_touched_ms.store(self.now_ms(), Ordering::Relaxed);
-        Some(slot)
+        if let Some(slot) = self.shards[shard_index(id)].read().get(&id).cloned() {
+            slot.last_touched_ms.store(self.now_ms(), Ordering::Relaxed);
+            return Some(slot);
+        }
+        // Restore-on-demand: a session the idle sweep spilled to disk (or a
+        // dead peer checkpointed into a shared state directory) comes back
+        // on its next touch instead of answering `unknown session`.
+        self.restore_from_disk(id).ok()
     }
 
-    /// Remove session `id`.  Returns whether it existed.
+    /// Restore session `id` from its on-disk checkpoint and install it.
+    /// The replay-verified envelope restore applies: state the checkpoint
+    /// cannot reproduce byte-exactly is refused, never installed wrong.
+    fn restore_from_disk(&self, id: u64) -> Result<Arc<SessionSlot>, String> {
+        let ckpt =
+            self.checkpoints.as_ref().ok_or_else(|| "checkpointing is disabled".to_string())?;
+        let (envelope, age) = ckpt.store.load(id)?;
+        let simulator = envelope.replay()?;
+        let session = Session {
+            simulator,
+            serve: ServeCache::default(),
+            program: envelope.program,
+            config: envelope.architecture,
+            epoch: 0,
+            // The envelope just came *from* the store: the on-disk
+            // checkpoint is current by construction, skip the re-write.
+            checkpointed_cycle: Some(envelope.cycle),
+        };
+        self.next_session.fetch_max(id.saturating_add(1), Ordering::Relaxed);
+        if self.install_session(id, session).is_ok() {
+            ckpt.restored.fetch_add(1, Ordering::Relaxed);
+            ckpt.restore_staleness_max_ms.fetch_max(age.as_millis() as u64, Ordering::Relaxed);
+        }
+        // A failed install means a concurrent restore won the race — the
+        // slot is there either way.
+        self.shards[shard_index(id)]
+            .read()
+            .get(&id)
+            .cloned()
+            .inspect(|slot| slot.last_touched_ms.store(self.now_ms(), Ordering::Relaxed))
+            .ok_or_else(|| format!("session {id} vanished during restore"))
+    }
+
+    /// Remove session `id`, including its on-disk checkpoint.  Returns
+    /// whether it existed (resident or spilled).
     fn remove_session(&self, id: u64) -> bool {
-        match self.shards[shard_index(id)].write().remove(&id) {
+        let resident = match self.shards[shard_index(id)].write().remove(&id) {
             Some(slot) => {
                 self.session_count.fetch_sub(1, Ordering::AcqRel);
                 close_step_queue(id, &slot);
                 true
             }
             None => false,
-        }
+        };
+        // Destroy means destroy: a spilled checkpoint must not resurrect
+        // the session on its next touch.
+        let spilled = self.checkpoints.as_ref().is_some_and(|c| c.store.remove(id));
+        resident || spilled
     }
 
     /// Drop sessions whose last request is older than `ttl`.  Returns how
@@ -360,7 +478,28 @@ impl SimulationServer {
                     let queue = slot.steps.inner.lock();
                     let quiet = queue.pending.is_empty() && !queue.combining;
                     drop(queue);
-                    quiet && slot.session.try_lock().is_some()
+                    if !quiet {
+                        return false;
+                    }
+                    let Some(mut session) = slot.session.try_lock() else {
+                        return false;
+                    };
+                    // With a checkpoint store, eviction *spills*: the
+                    // session must be durably on disk before it leaves
+                    // memory.  A failed spill (disk full, torn write) keeps
+                    // the session resident — dropping state that is not on
+                    // disk would turn memory pressure into data loss.
+                    if let Some(ckpt) = &self.checkpoints {
+                        if session.checkpointed_cycle != Some(session.simulator.cycle()) {
+                            let envelope =
+                                SessionEnvelope::capture(id, &session.simulator, &session.program);
+                            match ckpt.store.save(&envelope) {
+                                Ok(()) => session.checkpointed_cycle = Some(envelope.cycle),
+                                Err(_) => return false,
+                            }
+                        }
+                    }
+                    true
                 });
                 if still_idle {
                     if let Some(slot) = guard.remove(&id) {
@@ -369,6 +508,9 @@ impl SimulationServer {
                         // quiet check errors out instead of stepping (or
                         // waiting on) the removed session.
                         close_step_queue(id, &slot);
+                        if let Some(ckpt) = &self.checkpoints {
+                            ckpt.spilled.fetch_add(1, Ordering::Relaxed);
+                        }
                         evicted += 1;
                     }
                 }
@@ -509,6 +651,9 @@ impl SimulationServer {
                 guard.epoch += 1;
                 guard.serve.encoded_key = None;
                 guard.serve.delta_base = None;
+                // New state generation: whatever checkpoint exists describes
+                // the replaced state, so re-checkpoint at the next sweep.
+                guard.checkpointed_cycle = None;
                 return Response::SessionCreated { session: id };
             }
         }
@@ -518,6 +663,7 @@ impl SimulationServer {
             program: envelope.program,
             config: envelope.architecture,
             epoch: 0,
+            checkpointed_cycle: None,
         };
         match self.install_session(id, session) {
             Ok(()) => Response::SessionCreated { session: id },
@@ -526,13 +672,19 @@ impl SimulationServer {
     }
 
     /// Ids of all live sessions, ascending (drain enumeration).  Takes each
-    /// shard's read lock in turn — never the whole store at once.
+    /// shard's read lock in turn — never the whole store at once.  With a
+    /// checkpoint store, spilled sessions are listed too: they answer
+    /// requests (via restore-on-demand), so they are live to a client.
     fn list_sessions(&self) -> Response {
         let mut sessions: Vec<u64> = Vec::with_capacity(self.session_count());
         for shard in self.shards.iter() {
             sessions.extend(shard.read().keys().copied());
         }
+        if let Some(ckpt) = &self.checkpoints {
+            sessions.extend(ckpt.store.scan().iter().map(|e| e.session));
+        }
         sessions.sort_unstable();
+        sessions.dedup();
         Response::SessionList { sessions }
     }
 
@@ -583,6 +735,7 @@ impl SimulationServer {
                     program: program.to_string(),
                     config: config.clone(),
                     epoch: 0,
+                    checkpointed_cycle: None,
                 };
                 match self.install_session(id, session) {
                     Ok(()) => Response::SessionCreated { session: id },
@@ -594,8 +747,25 @@ impl SimulationServer {
     }
 
     /// Insert `session` under `id`, failing (without touching the store)
-    /// when the id is taken.
-    fn install_session(&self, id: u64, session: Session) -> Result<(), String> {
+    /// when the id is taken.  With a checkpoint store, the session is
+    /// checkpointed *before* it becomes visible: from its first request on,
+    /// a crash can lose at most one checkpoint interval of progress, never
+    /// the session itself.
+    fn install_session(&self, id: u64, mut session: Session) -> Result<(), String> {
+        if self.shards[shard_index(id)].read().contains_key(&id) {
+            return Err(format!("session {id} already exists"));
+        }
+        if let Some(ckpt) = &self.checkpoints {
+            if session.checkpointed_cycle != Some(session.simulator.cycle()) {
+                // The write happens outside the shard lock (a disk write
+                // must not stall lookups); a failed write still installs —
+                // the periodic tick retries within one interval.
+                let envelope = SessionEnvelope::capture(id, &session.simulator, &session.program);
+                if ckpt.store.save(&envelope).is_ok() {
+                    session.checkpointed_cycle = Some(envelope.cycle);
+                }
+            }
+        }
         let mut shard = self.shards[shard_index(id)].write();
         if shard.contains_key(&id) {
             return Err(format!("session {id} already exists"));
@@ -686,6 +856,10 @@ impl SimulationServer {
                 queue.ready.notify_all();
             }
         }
+        // Still holding the session lock: if the batch pushed the session
+        // past the dirty-cycle threshold, checkpoint it now instead of
+        // letting up to a full interval of progress sit only in memory.
+        self.maybe_checkpoint_dirty(session_id, &mut session);
         drop(session);
         match own_response {
             Some(response) => response,
@@ -705,10 +879,146 @@ impl SimulationServer {
         match self.session(id) {
             Some(slot) => {
                 let mut guard = slot.session.lock();
-                f(&mut guard)
+                let response = f(&mut guard);
+                // `Run` can advance far past the dirty threshold in one
+                // request; read-only requests fail the cheap cycle check.
+                self.maybe_checkpoint_dirty(id, &mut guard);
+                response
             }
             None => Response::error(format!("unknown session {id}")),
         }
+    }
+
+    /// Checkpoint `session` if it has advanced at least the dirty-cycle
+    /// threshold past its last checkpoint.  Called with the session lock
+    /// held by the request that did the advancing.
+    fn maybe_checkpoint_dirty(&self, id: u64, session: &mut Session) {
+        let Some(ckpt) = &self.checkpoints else { return };
+        if ckpt.dirty_cycles == 0 {
+            return;
+        }
+        let cycle = session.simulator.cycle();
+        let base = session.checkpointed_cycle.unwrap_or(0);
+        if cycle.saturating_sub(base) < ckpt.dirty_cycles {
+            return;
+        }
+        let envelope = SessionEnvelope::capture(id, &session.simulator, &session.program);
+        if ckpt.store.save(&envelope).is_ok() {
+            session.checkpointed_cycle = Some(cycle);
+        }
+    }
+
+    /// Periodic checkpoint sweep, rate-limited to the configured interval.
+    /// The network front end calls this from every housekeeping tick; the
+    /// CAS on the tick stamp makes concurrent callers harmless.  Returns
+    /// how many sessions were checkpointed (0 off-cadence or when
+    /// checkpointing is disabled).
+    pub fn checkpoint_tick(&self) -> usize {
+        let Some(ckpt) = &self.checkpoints else { return 0 };
+        let now = self.now_ms();
+        let last = ckpt.last_tick_ms.load(Ordering::Relaxed);
+        if now.saturating_sub(last) < ckpt.interval_ms
+            || ckpt
+                .last_tick_ms
+                .compare_exchange(last, now, Ordering::Relaxed, Ordering::Relaxed)
+                .is_err()
+        {
+            return 0;
+        }
+        self.checkpoint_dirty_sessions()
+    }
+
+    /// Checkpoint every resident session whose state has moved since its
+    /// last checkpoint.  Sessions whose lock is held (a request is
+    /// mid-flight) are skipped — the next sweep, or the request's own
+    /// dirty-threshold check, catches them.
+    pub fn checkpoint_dirty_sessions(&self) -> usize {
+        let Some(ckpt) = &self.checkpoints else { return 0 };
+        let mut written = 0;
+        for shard in self.shards.iter() {
+            let slots: Vec<(u64, Arc<SessionSlot>)> =
+                shard.read().iter().map(|(&id, slot)| (id, Arc::clone(slot))).collect();
+            for (id, slot) in slots {
+                let Some(mut session) = slot.session.try_lock() else { continue };
+                let cycle = session.simulator.cycle();
+                if session.checkpointed_cycle == Some(cycle) {
+                    continue;
+                }
+                let envelope = SessionEnvelope::capture(id, &session.simulator, &session.program);
+                if ckpt.store.save(&envelope).is_ok() {
+                    session.checkpointed_cycle = Some(cycle);
+                    written += 1;
+                }
+            }
+        }
+        written
+    }
+
+    /// Every checkpoint in the state directory (session id + age), for the
+    /// router's failover recovery and the `/admin/checkpoints` endpoint.
+    pub fn checkpoint_entries(&self) -> Vec<CheckpointEntry> {
+        self.checkpoints.as_ref().map_or_else(Vec::new, |c| c.store.scan())
+    }
+
+    /// Boot-time recovery: restore every checkpointed session that is not
+    /// already resident.  Returns how many were restored plus the sessions
+    /// that refused to restore (and why).
+    pub fn recover_checkpoints(&self) -> (usize, Vec<(u64, String)>) {
+        let entries = self.checkpoint_entries();
+        let mut recovered = 0;
+        let mut failures = Vec::new();
+        for entry in entries {
+            if self.shards[shard_index(entry.session)].read().contains_key(&entry.session) {
+                continue;
+            }
+            match self.restore_from_disk(entry.session) {
+                Ok(_) => recovered += 1,
+                Err(e) => failures.push((entry.session, e)),
+            }
+        }
+        (recovered, failures)
+    }
+
+    /// Recover specific sessions (the router's failover path, via
+    /// `/admin/recover`): each is reported live-as-is, restored from its
+    /// checkpoint with the staleness it inherited, or failed with the
+    /// reason.
+    pub fn recover_sessions(&self, sessions: &[u64]) -> Vec<RecoverOutcome> {
+        sessions
+            .iter()
+            .map(|&id| {
+                if let Some(slot) = self.shards[shard_index(id)].read().get(&id).cloned() {
+                    let cycle = slot.session.lock().simulator.cycle();
+                    return RecoverOutcome {
+                        session: id,
+                        ok: true,
+                        already_live: true,
+                        cycle,
+                        staleness_ms: 0,
+                        error: None,
+                    };
+                }
+                let age = self.checkpoints.as_ref().and_then(|c| c.store.age_of(id));
+                match self.restore_from_disk(id) {
+                    Ok(slot) => RecoverOutcome {
+                        session: id,
+                        ok: true,
+                        already_live: false,
+                        cycle: slot.session.lock().simulator.cycle(),
+                        staleness_ms: age.map_or(0, |a| a.as_millis() as u64),
+                        error: None,
+                    },
+                    Err(e) => RecoverOutcome {
+                        session: id,
+                        ok: false,
+                        already_live: false,
+                        cycle: 0,
+                        staleness_ms: 0,
+                        error: Some(e),
+                    },
+                }
+            })
+            .collect()
     }
 
     /// Encode a response: JSON, optionally compressed.  The first byte of the
@@ -1561,6 +1871,221 @@ loop:
             "5 requests at 2ms emulated service time took {:?}",
             start.elapsed()
         );
+    }
+
+    use crate::checkpoint::CheckpointFault;
+    use std::path::PathBuf;
+
+    fn temp_state_dir() -> PathBuf {
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rvsim-server-ckpt-{}-{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn server_with_checkpoints(dir: &std::path::Path, dirty_cycles: u64) -> SimulationServer {
+        SimulationServer::with_checkpoints(
+            DeploymentConfig {
+                mode: DeploymentMode::Direct,
+                compress_responses: false,
+                worker_threads: 1,
+                idle_session_ttl_seconds: Some(3600),
+            },
+            CheckpointConfig { state_dir: dir.into(), interval: Duration::ZERO, dirty_cycles },
+        )
+        .expect("state dir opens")
+    }
+
+    #[test]
+    fn eviction_spills_to_disk_and_the_session_restores_on_demand() {
+        let dir = temp_state_dir();
+        let server = server_with_checkpoints(&dir, 0);
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 7 });
+        let raw_request = serde_json::to_vec(&Request::GetState { session: id }).unwrap();
+        let before = server.handle_raw(&raw_request).to_vec();
+
+        server.advance_clock(10_000);
+        assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        assert_eq!(server.session_count(), 0, "the session left memory");
+        assert_eq!(server.spilled_session_count(), 1);
+        assert!(server.checkpoint_store().unwrap().contains(id), "…but not the disk");
+
+        // Next touch restores it transparently, byte-identically.
+        let after = server.handle_raw(&raw_request).to_vec();
+        assert_eq!(before, after, "restored session must serve identical state bytes");
+        assert_eq!(server.session_count(), 1);
+        assert_eq!(server.restored_session_count(), 1);
+        // And a spilled session still shows up in the session listing.
+        server.advance_clock(10_000);
+        server.evict_idle_older_than(Duration::ZERO);
+        match server.handle(Request::ListSessions) {
+            Response::SessionList { sessions } => assert_eq!(sessions, vec![id]),
+            other => panic!("unexpected {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn destroy_removes_the_checkpoint_too() {
+        let dir = temp_state_dir();
+        let server = server_with_checkpoints(&dir, 0);
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 3 });
+        assert!(server.checkpoint_dirty_sessions() >= 1);
+        assert!(server.checkpoint_store().unwrap().contains(id));
+        assert_eq!(server.handle(Request::DestroySession { session: id }), Response::Destroyed);
+        assert!(!server.checkpoint_store().unwrap().contains(id), "destroy must not resurrect");
+        assert!(server.handle(Request::Step { session: id, cycles: 1 }).is_error());
+        // Destroying a session that only exists on disk also works.
+        let spilled = create(&server);
+        server.advance_clock(10_000);
+        assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        assert_eq!(
+            server.handle(Request::DestroySession { session: spilled }),
+            Response::Destroyed
+        );
+        assert!(server.handle(Request::GetState { session: spilled }).is_error());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn boot_recovery_reowns_checkpointed_sessions() {
+        let dir = temp_state_dir();
+        let first = server_with_checkpoints(&dir, 0);
+        let a = create(&first);
+        let b = create(&first);
+        first.handle(Request::Step { session: a, cycles: 5 });
+        first.handle(Request::Step { session: b, cycles: 9 });
+        assert_eq!(first.checkpoint_dirty_sessions(), 2);
+        drop(first); // the crash
+
+        let second = server_with_checkpoints(&dir, 0);
+        let (recovered, failures) = second.recover_checkpoints();
+        assert_eq!(recovered, 2);
+        assert!(failures.is_empty(), "{failures:?}");
+        assert_eq!(second.session_count(), 2);
+        assert_eq!(
+            second.handle(Request::Step { session: a, cycles: 1 }),
+            Response::Stepped { cycle: 6, halted: false }
+        );
+        assert_eq!(
+            second.handle(Request::Step { session: b, cycles: 1 }),
+            Response::Stepped { cycle: 10, halted: false }
+        );
+        // Fresh creates on the recovered server never collide with
+        // recovered ids.
+        let fresh = create(&second);
+        assert!(fresh > b);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn dirty_cycle_threshold_checkpoints_mid_interval() {
+        // A loop far longer than the test's cycle budget: the simulator
+        // must never halt, so every Step/Run advances the full request.
+        const LONG_PROGRAM: &str = "
+main:
+    li   t0, 0
+    li   t1, 1000000
+loop:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+    mv   a0, t0
+    ret
+";
+        let dir = temp_state_dir();
+        let server = server_with_checkpoints(&dir, 10);
+        let id = create_with(&server, LONG_PROGRAM);
+        let store = server.checkpoint_store().unwrap();
+        let installed = store.write_count();
+        // 9 cycles past the install checkpoint: under the threshold.
+        server.handle(Request::Step { session: id, cycles: 9 });
+        assert_eq!(store.write_count(), installed);
+        // The 10th crosses it — the request itself writes the checkpoint.
+        server.handle(Request::Step { session: id, cycles: 1 });
+        assert_eq!(store.write_count(), installed + 1);
+        assert_eq!(store.load(id).unwrap().0.cycle, 10);
+        // Run advances through with_session and checkpoints the same way.
+        server.handle(Request::Run { session: id, max_cycles: 25 });
+        assert_eq!(store.write_count(), installed + 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failed_spill_keeps_the_session_resident() {
+        let dir = temp_state_dir();
+        let server = server_with_checkpoints(&dir, 0);
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 4 });
+        server.checkpoint_store().unwrap().inject_fault(CheckpointFault::NoSpace, 1);
+        server.advance_clock(10_000);
+        assert_eq!(
+            server.evict_idle_older_than(Duration::ZERO),
+            0,
+            "a session whose spill failed must stay resident"
+        );
+        assert_eq!(server.session_count(), 1);
+        assert!(!server.handle(Request::Step { session: id, cycles: 1 }).is_error());
+        // With the fault disarmed, the next sweep spills it normally.
+        server.advance_clock(10_000);
+        assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        assert_eq!(server.session_count(), 0);
+        assert!(server.checkpoint_store().unwrap().contains(id));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recover_sessions_reports_live_restored_and_missing() {
+        let dir = temp_state_dir();
+        let server = server_with_checkpoints(&dir, 0);
+        let live = create(&server);
+        server.handle(Request::Step { session: live, cycles: 2 });
+        let spilled = create(&server);
+        server.handle(Request::Step { session: spilled, cycles: 6 });
+        server.advance_clock(10_000);
+        server.handle(Request::Step { session: live, cycles: 1 }); // re-touch
+        assert_eq!(server.evict_idle_older_than(Duration::from_secs(5)), 1);
+
+        let outcomes = server.recover_sessions(&[live, spilled, 424242]);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].ok && outcomes[0].already_live);
+        assert_eq!(outcomes[0].cycle, 3);
+        assert!(outcomes[1].ok && !outcomes[1].already_live);
+        assert_eq!(outcomes[1].cycle, 6);
+        assert!(!outcomes[2].ok);
+        assert!(outcomes[2].error.as_deref().unwrap().contains("no checkpoint"));
+        assert_eq!(server.session_count(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_tick_respects_the_interval() {
+        let dir = temp_state_dir();
+        let server = SimulationServer::with_checkpoints(
+            DeploymentConfig::default(),
+            CheckpointConfig {
+                state_dir: dir.clone(),
+                interval: Duration::from_secs(3600),
+                dirty_cycles: 0,
+            },
+        )
+        .unwrap();
+        let id = create(&server);
+        server.handle(Request::Step { session: id, cycles: 2 });
+        assert_eq!(server.checkpoint_tick(), 0, "inside the first interval: no sweep");
+        server.advance_clock(3600 * 1000 + 1);
+        assert_eq!(server.checkpoint_tick(), 1, "past the interval: the sweep runs");
+        server.handle(Request::Step { session: id, cycles: 2 });
+        assert_eq!(server.checkpoint_tick(), 0, "gate re-arms after a sweep");
+        server.advance_clock(3600 * 1000 + 1);
+        assert_eq!(server.checkpoint_tick(), 1);
+        assert_eq!(server.checkpoint_store().unwrap().load(id).unwrap().0.cycle, 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

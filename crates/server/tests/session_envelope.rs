@@ -6,7 +6,11 @@
 
 use proptest::prelude::*;
 use rvsim_core::{ArchitectureConfig, ProcessorSnapshot, Simulator};
-use rvsim_server::SessionEnvelope;
+use rvsim_server::protocol::{Request, Response};
+use rvsim_server::server::{DeploymentConfig, SimulationServer};
+use rvsim_server::{CheckpointConfig, SessionEnvelope};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// The preset matrix migration must hold on (the same machines the cosim
 /// batch and the throughput bench cover).
@@ -134,5 +138,80 @@ proptest! {
             serde_json::to_string(&b).unwrap(),
             "retirement statistics diverged"
         );
+    }
+
+    /// Durability gate: spill → evict → restore-on-demand through the
+    /// server's checkpoint path serves byte-identical state, and the
+    /// on-disk checkpoint file is itself a byte-stable envelope.  This is
+    /// the same equivalence the migration properties prove, but through the
+    /// crash-recovery machinery (atomic file write, directory scan, replay
+    /// on next touch) instead of the wire.
+    #[test]
+    fn spilled_session_recovers_byte_identically(
+        preset_ix in 0u8..3,
+        seed_a in -50i32..50,
+        step in 1i32..9,
+        iterations in 2u32..24,
+        capture_steps in 0u64..48,
+        with_memory in any::<bool>(),
+        session in 1u64..1_000_000,
+    ) {
+        static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "rvsim-envelope-spill-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = SimulationServer::with_checkpoints(
+            DeploymentConfig::default(),
+            CheckpointConfig {
+                state_dir: dir.clone(),
+                interval: Duration::from_secs(3600),
+                dirty_cycles: 0,
+            },
+        )
+        .expect("state dir opens");
+
+        let program = generated_program(seed_a, step, iterations, with_memory);
+        let created = server.handle(Request::CreateSession {
+            program: program.clone(),
+            architecture: Some(preset(preset_ix)),
+            entry: None,
+            session: Some(session),
+        });
+        prop_assert_eq!(created, Response::SessionCreated { session });
+        server.handle(Request::Step { session, cycles: capture_steps });
+        let raw_request = serde_json::to_vec(&Request::GetState { session }).unwrap();
+        let before = server.handle_raw(&raw_request).to_vec();
+
+        // Spill: the zero-TTL sweep pushes the session to disk.
+        prop_assert_eq!(server.evict_idle_older_than(Duration::ZERO), 1);
+        prop_assert_eq!(server.session_count(), 0);
+
+        // The checkpoint file is a byte-stable envelope at the spill cycle.
+        let (on_disk, _) = server.checkpoint_store().unwrap().load(session).unwrap();
+        prop_assert_eq!(
+            SessionEnvelope::from_bytes(&on_disk.to_bytes()).unwrap(),
+            on_disk.clone()
+        );
+
+        // Restore-on-demand: the next touch serves identical state bytes.
+        let after = server.handle_raw(&raw_request).to_vec();
+        prop_assert_eq!(&before, &after, "restored session must serve identical bytes");
+        prop_assert_eq!(server.restored_session_count(), 1);
+
+        // And the restored session retires in lockstep with a never-spilled
+        // replay of the same envelope.
+        let mut reference = on_disk.replay().unwrap();
+        for _ in 0..4 {
+            reference.step();
+        }
+        let stepped = server.handle(Request::Step { session, cycles: 4 });
+        prop_assert_eq!(
+            stepped,
+            Response::Stepped { cycle: reference.cycle(), halted: reference.is_halted() }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
