@@ -1,0 +1,23 @@
+//! Quick probe of the headline cached-GetState cell: requests/s of
+//! `handle_raw(GetState)` on a warmed compressed session, printed once per
+//! run so instrumentation overhead can be A/B-measured without the full
+//! server benchmark.
+use std::time::Instant;
+
+fn main() {
+    let (server, session) = rvsim_bench::raw_bench_server(true);
+    let state_req = serde_json::to_vec(&rvsim_server::Request::GetState { session }).unwrap();
+    for round in 0..5 {
+        let start = Instant::now();
+        let mut requests = 0u64;
+        loop {
+            server.handle_raw(&state_req);
+            requests += 1;
+            if requests.is_multiple_of(1024) && start.elapsed().as_secs_f64() >= 0.5 {
+                break;
+            }
+        }
+        let rps = requests as f64 / start.elapsed().as_secs_f64();
+        println!("round {round}: {rps:.0} req/s");
+    }
+}

@@ -384,6 +384,11 @@ pub struct ServerBenchReport {
     /// otherwise (and when loopback is unavailable).
     #[serde(default)]
     pub durability: Option<DurabilitySection>,
+    /// Observability overhead: measured cost of the tracing primitives on
+    /// the request hot path, plus the headline before/after check against
+    /// the previously committed report.
+    #[serde(default)]
+    pub observability: Option<ObservabilitySection>,
 }
 
 impl ServerBenchReport {
@@ -516,6 +521,7 @@ pub fn run_server_bench(options: &ServerBenchOptions) -> ServerBenchReport {
         high_connection: Vec::new(),
         multi_node: None,
         durability: None,
+        observability: Some(run_observability_bench()),
     }
 }
 
@@ -1034,6 +1040,114 @@ pub fn run_multi_node_bench(backend_counts: &[usize], seconds: f64) -> Option<Mu
         speedup_1_to_max: speedup,
         drain,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Observability overhead: what the request tracing costs per operation.
+// ---------------------------------------------------------------------------
+
+/// The `observability` section of `BENCH_server.json`: measured cost of
+/// each tracing primitive on the request hot path, the estimated
+/// per-request total, and the headline before/after check against the
+/// previously committed report (the baseline fields are filled in by
+/// `rvsim-cli bench --server`, which knows the old file).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObservabilitySection {
+    /// One lock-free histogram record — a handful of relaxed atomic RMWs —
+    /// in ns/op.  A traced request performs five of these (four phases at
+    /// the front end, one endpoint at the backend).
+    pub histogram_record_ns: f64,
+    /// One journal append (seqlock ring-buffer write), in ns/op.  Off the
+    /// fast path: only slow or failed requests are journaled.
+    pub journal_record_ns: f64,
+    /// Minting one request id at the edge (atomic increment + bit mix),
+    /// in ns/op.
+    pub mint_request_id_ns: f64,
+    /// One monotonic clock sample, in ns/op.  A traced request takes four
+    /// (the phase boundaries).
+    pub clock_sample_ns: f64,
+    /// Estimated added cost per fully-traced request in ns: four clock
+    /// samples, five histogram records and one id mint.  An upper bound —
+    /// the sub-microsecond cached-serve fast paths sample their endpoint
+    /// timing 1-in-16, paying only a relaxed counter bump on untimed
+    /// requests.
+    pub per_request_overhead_ns: f64,
+    /// Headline cached-GetState requests/s of the previously committed
+    /// report (`None` on a first run with no baseline to compare against).
+    #[serde(default)]
+    pub baseline_headline_get_state_rps: Option<f64>,
+    /// This run's headline relative to the baseline: `now / before - 1`
+    /// (negative = slower).  The observability budget is |delta| ≤ 5%.
+    #[serde(default)]
+    pub headline_delta_ratio: Option<f64>,
+    /// 32-user full-snapshot in-process p90 of the previously committed
+    /// report, in milliseconds.
+    #[serde(default)]
+    pub baseline_load_p90_ms: Option<f64>,
+    /// This run's 32-user full-snapshot p90 relative to the baseline.
+    #[serde(default)]
+    pub load_p90_delta_ratio: Option<f64>,
+}
+
+fn measure_ns_per_op(mut op: impl FnMut()) -> f64 {
+    const WARMUP: u32 = 10_000;
+    const ITERS: u32 = 1_000_000;
+    for _ in 0..WARMUP {
+        op();
+    }
+    let t0 = std::time::Instant::now();
+    for _ in 0..ITERS {
+        op();
+    }
+    t0.elapsed().as_nanos() as f64 / f64::from(ITERS)
+}
+
+/// Measure the tracing primitives in tight single-thread loops.  Cheap (a
+/// few ms total) and steady enough for a smoke-level budget check; the
+/// authoritative overhead number is the headline delta against the
+/// committed baseline, which exercises the real request path.
+pub fn run_observability_bench() -> ObservabilitySection {
+    let hist = rvsim_obs::Histogram::new();
+    let mut sample = 0u64;
+    let histogram_record_ns = measure_ns_per_op(|| {
+        sample = sample.wrapping_add(997);
+        hist.record(sample & 0xFFFF);
+    });
+
+    let journal = rvsim_obs::Journal::new(4096);
+    let ts = journal.now_us();
+    let journal_record_ns = measure_ns_per_op(|| {
+        journal.record(
+            rvsim_obs::Event::new(rvsim_obs::EventKind::Request, ts).request(1).fields(200, 120),
+        );
+    });
+
+    let observer = rvsim_obs::Observer::new(64);
+    let mut sink = 0u64;
+    let mint_request_id_ns = measure_ns_per_op(|| {
+        sink = sink.wrapping_add(observer.mint_request_id());
+    });
+    std::hint::black_box(sink);
+
+    let mut clock_sink = std::time::Instant::now();
+    let clock_sample_ns = measure_ns_per_op(|| {
+        clock_sink = std::time::Instant::now();
+    });
+    std::hint::black_box(clock_sink);
+
+    ObservabilitySection {
+        histogram_record_ns,
+        journal_record_ns,
+        mint_request_id_ns,
+        clock_sample_ns,
+        per_request_overhead_ns: 4.0 * clock_sample_ns
+            + 5.0 * histogram_record_ns
+            + mint_request_id_ns,
+        baseline_headline_get_state_rps: None,
+        headline_delta_ratio: None,
+        baseline_load_p90_ms: None,
+        load_p90_delta_ratio: None,
+    }
 }
 
 /// Print a paper-style table header once per bench run.

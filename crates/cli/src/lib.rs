@@ -544,6 +544,40 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
         report.durability = rvsim_bench::run_durability_bench(options.min_seconds);
     }
 
+    // Before/after check: compare this run's headline numbers against the
+    // previously committed report at the output path, if one exists.  The
+    // delta is the measured cost of the always-on request tracing.
+    let now_rps = report.headline_get_state_rps();
+    let now_p90 = report
+        .load
+        .iter()
+        .find(|s| s.mode == "full" && s.users == 32)
+        .map(|s| s.report.p90_latency_ms);
+    if let Some(section) = report.observability.as_mut() {
+        if let Ok(old) =
+            std::fs::read_to_string(options.out_path()).map_err(|e| e.to_string()).and_then(
+                |text| serde_json::from_str::<serde_json::Value>(&text).map_err(|e| e.to_string()),
+            )
+        {
+            section.baseline_headline_get_state_rps = old["headline_get_state_rps"].as_f64();
+            if let (Some(before), Some(now)) = (section.baseline_headline_get_state_rps, now_rps) {
+                if before > 0.0 {
+                    section.headline_delta_ratio = Some(now / before - 1.0);
+                }
+            }
+            section.baseline_load_p90_ms = old["load"].as_array().and_then(|rows| {
+                rows.iter()
+                    .find(|r| r["mode"] == "full" && r["users"] == 32)
+                    .and_then(|r| r["report"]["p90_latency_ms"].as_f64())
+            });
+            if let (Some(before), Some(now)) = (section.baseline_load_p90_ms, now_p90) {
+                if before > 0.0 {
+                    section.load_p90_delta_ratio = Some(now / before - 1.0);
+                }
+            }
+        }
+    }
+
     if options.json {
         let value = serde_json::json!({
             "benchmark": "server_request",
@@ -557,6 +591,7 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
             "high_connection": report.high_connection,
             "multi_node": report.multi_node,
             "durability": report.durability,
+            "observability": report.observability,
         });
         let mut text = serde_json::to_string_pretty(&value).expect("server report serializes");
         text.push('\n');
@@ -635,6 +670,32 @@ fn run_server_bench(options: &BenchCliOptions) -> Result<String, String> {
              errors by second: {:?}\n",
             d.requests, d.wall_seconds, d.errors, d.breaker_fast_fails, d.errors_by_second
         ));
+    }
+    if let Some(o) = &report.observability {
+        out.push_str("=== observability overhead (tracing primitives, per op) ===\n");
+        out.push_str(&format!(
+            "histogram record {:.1} ns, journal append {:.1} ns, id mint {:.1} ns, \
+             clock sample {:.1} ns => ~{:.0} ns per traced request\n",
+            o.histogram_record_ns,
+            o.journal_record_ns,
+            o.mint_request_id_ns,
+            o.clock_sample_ns,
+            o.per_request_overhead_ns
+        ));
+        if let (Some(before), Some(delta)) =
+            (o.baseline_headline_get_state_rps, o.headline_delta_ratio)
+        {
+            out.push_str(&format!(
+                "headline GetState: {before:.0} req/s committed -> {:+.2}% this run\n",
+                delta * 100.0
+            ));
+        }
+        if let (Some(before), Some(delta)) = (o.baseline_load_p90_ms, o.load_p90_delta_ratio) {
+            out.push_str(&format!(
+                "32-user p90: {before:.3} ms committed -> {:+.2}% this run\n",
+                delta * 100.0
+            ));
+        }
     }
     Ok(out)
 }
@@ -759,6 +820,10 @@ OPTIONS:
                             also checkpoint a session synchronously once it
                             runs N cycles past its last checkpoint (default
                             0 = periodic sweeps only; needs --state-dir)
+    --slow-request-us <N>   journal any request whose end-to-end time
+                            reaches N microseconds (default 100000 = 100 ms;
+                            0 journals every request).  The journal is read
+                            back with GET /admin/trace or `rvsim-cli tail`
     --help                  show this help
 
 The protocol endpoint is POST /api with a JSON request body; the response
@@ -797,6 +862,9 @@ pub struct ServeCliOptions {
     pub checkpoint_interval_seconds: f64,
     /// Dirty-cycle checkpoint threshold (0 = periodic sweeps only).
     pub checkpoint_dirty_cycles: u64,
+    /// Slow-request journaling threshold in microseconds (0 journals every
+    /// request).
+    pub slow_request_us: u64,
 }
 
 impl Default for ServeCliOptions {
@@ -815,6 +883,7 @@ impl Default for ServeCliOptions {
             state_dir: None,
             checkpoint_interval_seconds: 5.0,
             checkpoint_dirty_cycles: 0,
+            slow_request_us: rvsim_obs::DEFAULT_SLOW_REQUEST_US,
         }
     }
 }
@@ -906,6 +975,11 @@ impl ServeCliOptions {
                     options.checkpoint_dirty_cycles =
                         v.parse().map_err(|_| format!("invalid cycle threshold `{v}`"))?;
                 }
+                "--slow-request-us" => {
+                    let v = value(&mut i, "--slow-request-us")?;
+                    options.slow_request_us =
+                        v.parse().map_err(|_| format!("invalid slow-request threshold `{v}`"))?;
+                }
                 "--help" | "-h" => return Err(SERVE_USAGE.to_string()),
                 other => return Err(format!("unknown argument `{other}`\n\n{SERVE_USAGE}")),
             }
@@ -935,6 +1009,7 @@ pub fn start_serve(options: &ServeCliOptions) -> Result<rvsim_net::NetServer, St
         max_connections: options.max_connections,
         pending_dispatch: options.pending,
         housekeeping_interval: std::time::Duration::from_millis(options.housekeeping_ms),
+        slow_request_us: options.slow_request_us,
         ..rvsim_net::NetConfig::default()
     };
     if !options.router_backends.is_empty() {
@@ -1397,6 +1472,449 @@ pub fn run_loadgen(options: &LoadgenCliOptions) -> Result<String, String> {
         Ok(text)
     } else {
         Err(text)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// `tail` / `top` subcommands: the observability read side.  `tail` follows
+// the in-memory event journal through GET /admin/trace; `top` polls
+// GET /metrics and renders a live dashboard from the parsed exposition.
+// ---------------------------------------------------------------------------
+
+/// Usage string of the `tail` subcommand.
+pub const TAIL_USAGE: &str = "\
+rvsim-cli tail — follow the event journal of a running front end
+               (GET /admin/trace, NDJSON, one event per line)
+
+USAGE:
+    rvsim-cli tail --addr <IP:PORT> [OPTIONS]
+
+OPTIONS:
+    --addr <IP:PORT>        front end to follow (mandatory; a simulation
+                            node or a router — each has its own journal)
+    --n <N>                 newest events to fetch per poll (default 256)
+    --min-us <N>            only events whose duration reached N
+                            microseconds; events without a duration pass
+                            only when the filter is 0 (default 0)
+    --interval-ms <N>       poll cadence in milliseconds (default 1000)
+    --once                  print one batch and exit instead of following
+    --help                  show this help
+
+Each line is one JSON event with a monotone `seq`; the follower remembers
+the highest sequence printed and emits only newer events, so a quiet
+journal prints nothing.  Per-request events appear when a request was slow
+(see `serve --slow-request-us`) or failed; connection, checkpoint, breaker
+and failover events are always journaled.
+";
+
+/// Parsed options of the `tail` subcommand.
+#[derive(Debug, Clone)]
+pub struct TailCliOptions {
+    /// Front-end address to follow.
+    pub addr: std::net::SocketAddr,
+    /// Newest events to fetch per poll.
+    pub n: usize,
+    /// Duration filter in microseconds.
+    pub min_us: u64,
+    /// Poll cadence in milliseconds.
+    pub interval_ms: u64,
+    /// Print one batch and exit.
+    pub once: bool,
+}
+
+impl TailCliOptions {
+    /// Parse the arguments following the `tail` subcommand word.
+    pub fn parse(args: &[String]) -> Result<TailCliOptions, String> {
+        let mut addr = None;
+        let (mut n, mut min_us, mut interval_ms, mut once) = (256usize, 0u64, 1000u64, false);
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    let v = value(&mut i, "--addr")?;
+                    addr = Some(v.parse().map_err(|_| format!("invalid address `{v}`"))?);
+                }
+                "--n" => {
+                    let v = value(&mut i, "--n")?;
+                    n = v
+                        .parse()
+                        .ok()
+                        .filter(|&x| x > 0)
+                        .ok_or_else(|| format!("invalid event count `{v}`"))?;
+                }
+                "--min-us" => {
+                    let v = value(&mut i, "--min-us")?;
+                    min_us = v.parse().map_err(|_| format!("invalid duration filter `{v}`"))?;
+                }
+                "--interval-ms" => {
+                    let v = value(&mut i, "--interval-ms")?;
+                    interval_ms = v
+                        .parse()
+                        .ok()
+                        .filter(|&x| x > 0)
+                        .ok_or_else(|| format!("invalid poll cadence `{v}`"))?;
+                }
+                "--once" => once = true,
+                "--help" | "-h" => return Err(TAIL_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{TAIL_USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(TailCliOptions {
+            addr: addr.ok_or_else(|| format!("--addr is mandatory\n\n{TAIL_USAGE}"))?,
+            n,
+            min_us,
+            interval_ms,
+            once,
+        })
+    }
+}
+
+/// Fetch one `/admin/trace` page and keep only events newer than
+/// `last_seq`.  Returns the fresh NDJSON lines (oldest first) and the new
+/// high-water mark.
+pub fn tail_fetch(
+    addr: std::net::SocketAddr,
+    n: usize,
+    min_us: u64,
+    last_seq: Option<u64>,
+) -> Result<(Vec<String>, Option<u64>), String> {
+    let target = format!("/admin/trace?n={n}&min_us={min_us}");
+    let (status, body) = rvsim_net::http_get(addr, &target, std::time::Duration::from_secs(10))
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {target} answered {status}"));
+    }
+    let text = String::from_utf8_lossy(&body);
+    let mut high = last_seq;
+    let mut fresh = Vec::new();
+    for line in text.lines().filter(|l| !l.trim().is_empty()) {
+        let seq = trace_line_seq(line).ok_or_else(|| format!("unparseable trace line `{line}`"))?;
+        if last_seq.is_none_or(|printed| seq > printed) {
+            fresh.push(line.to_string());
+        }
+        high = Some(high.map_or(seq, |h| h.max(seq)));
+    }
+    Ok((fresh, high))
+}
+
+/// The `seq` field of one NDJSON trace line.
+fn trace_line_seq(line: &str) -> Option<u64> {
+    let value: serde_json::Value = serde_json::from_str(line).ok()?;
+    value.get("seq")?.as_u64()
+}
+
+/// Run the `tail` subcommand: poll the journal and print events newer than
+/// the last poll, forever (or once with `--once`).
+pub fn run_tail(options: &TailCliOptions) -> Result<(), String> {
+    let mut last_seq = None;
+    loop {
+        let (lines, high) = tail_fetch(options.addr, options.n, options.min_us, last_seq)?;
+        for line in &lines {
+            println!("{line}");
+        }
+        last_seq = high;
+        if options.once {
+            return Ok(());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
+    }
+}
+
+/// Usage string of the `top` subcommand.
+pub const TOP_USAGE: &str = "\
+rvsim-cli top — live terminal dashboard over a running front end's
+               GET /metrics (Prometheus 0.0.4 text exposition)
+
+USAGE:
+    rvsim-cli top --addr <IP:PORT> [OPTIONS]
+
+OPTIONS:
+    --addr <IP:PORT>        front end to watch (mandatory; a simulation
+                            node shows endpoint and phase tables, a router
+                            additionally shows per-backend upstream health)
+    --interval-ms <N>       refresh cadence in milliseconds (default 1000)
+    --once                  print one frame and exit — doubles as the CI
+                            exposition check: the poll fails (exit 1) when
+                            the scrape is not valid 0.0.4 exposition
+    --help                  show this help
+
+The request rate is the rvsim_http_requests_total delta between frames
+(first frame: lifetime average).  Latency quantiles are estimated from the
+cumulative histogram buckets in the exposition itself, so `top` sees
+exactly what any Prometheus scraper would.
+";
+
+/// Parsed options of the `top` subcommand.
+#[derive(Debug, Clone)]
+pub struct TopCliOptions {
+    /// Front-end address to watch.
+    pub addr: std::net::SocketAddr,
+    /// Refresh cadence in milliseconds.
+    pub interval_ms: u64,
+    /// Print one frame and exit.
+    pub once: bool,
+}
+
+impl TopCliOptions {
+    /// Parse the arguments following the `top` subcommand word.
+    pub fn parse(args: &[String]) -> Result<TopCliOptions, String> {
+        let mut addr = None;
+        let (mut interval_ms, mut once) = (1000u64, false);
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("missing value for {flag}"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--addr" => {
+                    let v = value(&mut i, "--addr")?;
+                    addr = Some(v.parse().map_err(|_| format!("invalid address `{v}`"))?);
+                }
+                "--interval-ms" => {
+                    let v = value(&mut i, "--interval-ms")?;
+                    interval_ms = v
+                        .parse()
+                        .ok()
+                        .filter(|&x| x > 0)
+                        .ok_or_else(|| format!("invalid refresh cadence `{v}`"))?;
+                }
+                "--once" => once = true,
+                "--help" | "-h" => return Err(TOP_USAGE.to_string()),
+                other => return Err(format!("unknown argument `{other}`\n\n{TOP_USAGE}")),
+            }
+            i += 1;
+        }
+        Ok(TopCliOptions {
+            addr: addr.ok_or_else(|| format!("--addr is mandatory\n\n{TOP_USAGE}"))?,
+            interval_ms,
+            once,
+        })
+    }
+}
+
+/// Scrape and validate one exposition from `addr`'s `/metrics`.
+pub fn fetch_metrics(addr: std::net::SocketAddr) -> Result<Vec<rvsim_obs::MetricFamily>, String> {
+    let (status, body) = rvsim_net::http_get(addr, "/metrics", std::time::Duration::from_secs(10))
+        .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics answered {status}"));
+    }
+    let text = String::from_utf8(body).map_err(|_| "metrics body is not UTF-8".to_string())?;
+    rvsim_obs::validate_exposition(&text).map_err(|e| format!("invalid exposition: {e}"))
+}
+
+/// The value of the first sample named exactly `name` (the bare-series
+/// form counters and gauges use), across all families.
+fn metric_value(families: &[rvsim_obs::MetricFamily], name: &str) -> Option<f64> {
+    families
+        .iter()
+        .flat_map(|f| &f.samples)
+        .find(|s| s.name == name && s.labels.iter().all(|(k, _)| k == "le"))
+        .map(|s| s.value)
+}
+
+/// Estimate quantile `q` of the histogram family `family`, over the series
+/// whose labels include every `(key, value)` in `labels`.  Works from the
+/// cumulative `_bucket` samples exactly as a Prometheus `histogram_quantile`
+/// would: linear interpolation inside the winning bucket, the lower bound
+/// for the `+Inf` bucket.  Returns the unit the exposition uses (seconds).
+pub fn parsed_histogram_quantile(
+    family: &rvsim_obs::MetricFamily,
+    labels: &[(&str, &str)],
+    q: f64,
+) -> Option<f64> {
+    let bucket_name = format!("{}_bucket", family.name);
+    let mut buckets: Vec<(f64, f64)> = family
+        .samples
+        .iter()
+        .filter(|s| s.name == bucket_name)
+        .filter(|s| labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+        .filter_map(|s| {
+            let le = s.label("le")?;
+            let bound = if le == "+Inf" { f64::INFINITY } else { le.parse().ok()? };
+            Some((bound, s.value))
+        })
+        .collect();
+    buckets.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("bucket bounds are never NaN"));
+    let total = buckets.last()?.1;
+    if total <= 0.0 {
+        return None;
+    }
+    let rank = (q.clamp(0.0, 1.0) * total).max(1.0);
+    let (mut lower_bound, mut below) = (0.0, 0.0);
+    for &(bound, cumulative) in &buckets {
+        if rank <= cumulative {
+            if bound.is_infinite() {
+                return Some(lower_bound);
+            }
+            let in_bucket = (cumulative - below).max(1.0);
+            return Some(lower_bound + (rank - below) / in_bucket * (bound - lower_bound));
+        }
+        (lower_bound, below) = (bound, cumulative);
+    }
+    Some(lower_bound)
+}
+
+/// The `_count` of the histogram series in `family` matching `labels`.
+fn histogram_count(family: &rvsim_obs::MetricFamily, labels: &[(&str, &str)]) -> f64 {
+    let count_name = format!("{}_count", family.name);
+    family
+        .samples
+        .iter()
+        .find(|s| s.name == count_name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+        .map_or(0.0, |s| s.value)
+}
+
+/// Distinct values of `label` across a histogram family's `_count` series,
+/// in exposition order — the row keys of a dashboard table.
+fn histogram_label_values(family: &rvsim_obs::MetricFamily, label: &str) -> Vec<String> {
+    let count_name = format!("{}_count", family.name);
+    let mut values = Vec::new();
+    for sample in family.samples.iter().filter(|s| s.name == count_name) {
+        if let Some(v) = sample.label(label) {
+            if !values.iter().any(|seen| seen == v) {
+                values.push(v.to_string());
+            }
+        }
+    }
+    values
+}
+
+/// Append one labeled histogram family as a `count / p50 / p99` table.
+fn render_histogram_table(
+    out: &mut String,
+    families: &[rvsim_obs::MetricFamily],
+    family_name: &str,
+    label: &str,
+    heading: &str,
+) {
+    let Some(family) = families.iter().find(|f| f.name == family_name) else {
+        return;
+    };
+    let rows = histogram_label_values(family, label);
+    if rows.is_empty() {
+        return;
+    }
+    out.push_str(&format!(
+        "\n  {heading:<14} {:>12}  {:>10}  {:>10}\n",
+        "count", "p50 ms", "p99 ms"
+    ));
+    for row in rows {
+        let selector = [(label, row.as_str())];
+        let count = histogram_count(family, &selector);
+        let p50 = parsed_histogram_quantile(family, &selector, 0.50).unwrap_or(0.0);
+        let p99 = parsed_histogram_quantile(family, &selector, 0.99).unwrap_or(0.0);
+        out.push_str(&format!(
+            "  {row:<14} {count:>12.0}  {:>10.3}  {:>10.3}\n",
+            p50 * 1e3,
+            p99 * 1e3
+        ));
+    }
+}
+
+/// Render one dashboard frame from a validated exposition.
+/// `requests_per_second` comes from the caller's counter delta; `None`
+/// prints `-`.
+pub fn render_top(
+    addr: &str,
+    families: &[rvsim_obs::MetricFamily],
+    requests_per_second: Option<f64>,
+) -> String {
+    let value = |name: &str| metric_value(families, name);
+    let mut out = format!("rvsim top — {addr}\n");
+    let uptime = value("rvsim_uptime_seconds").unwrap_or(0.0);
+    let rate = requests_per_second.map_or("-".to_string(), |r| format!("{r:.0}"));
+    out.push_str(&format!(
+        "  uptime {uptime:.0}s   requests {:.0} ({rate} req/s)   errors {:.0}   open conns {:.0}\n",
+        value("rvsim_http_requests_total").unwrap_or(0.0),
+        value("rvsim_http_errors_total").unwrap_or(0.0),
+        value("rvsim_connections_open").unwrap_or(0.0),
+    ));
+    out.push_str(&format!(
+        "  accepted {:.0}   rejected {:.0}   dispatch rejected {:.0}   journal events {:.0}\n",
+        value("rvsim_connections_accepted_total").unwrap_or(0.0),
+        value("rvsim_connections_rejected_total").unwrap_or(0.0),
+        value("rvsim_dispatch_rejected_total").unwrap_or(0.0),
+        value("rvsim_journal_events_total").unwrap_or(0.0),
+    ));
+    if let Some(live) =
+        value("rvsim_sessions_live").or_else(|| value("rvsim_upstream_sessions_live"))
+    {
+        out.push_str(&format!(
+            "  sessions {live:.0}   evicted {:.0}   coalesced steps {:.0}   shared GetState {:.0}\n",
+            value("rvsim_sessions_evicted_total")
+                .or_else(|| value("rvsim_upstream_sessions_evicted_total"))
+                .unwrap_or(0.0),
+            value("rvsim_steps_coalesced_total")
+                .or_else(|| value("rvsim_upstream_steps_coalesced_total"))
+                .unwrap_or(0.0),
+            value("rvsim_getstate_shared_total")
+                .or_else(|| value("rvsim_upstream_getstate_shared_total"))
+                .unwrap_or(0.0),
+        ));
+    }
+    if let Some(backends) = value("rvsim_router_backends") {
+        out.push_str(&format!(
+            "  router: {:.0}/{backends:.0} backends alive, {:.0} forwarded, {:.0} upstream errors, \
+             {:.0} sessions recovered\n",
+            value("rvsim_router_backends_alive").unwrap_or(0.0),
+            value("rvsim_router_requests_forwarded_total").unwrap_or(0.0),
+            value("rvsim_router_upstream_errors_total").unwrap_or(0.0),
+            value("rvsim_router_sessions_recovered_total").unwrap_or(0.0),
+        ));
+    }
+    render_histogram_table(&mut out, families, "rvsim_request_phase_seconds", "phase", "phase");
+    render_histogram_table(&mut out, families, "rvsim_endpoint_seconds", "endpoint", "endpoint");
+    render_histogram_table(
+        &mut out,
+        families,
+        "rvsim_upstream_endpoint_seconds",
+        "endpoint",
+        "endpoint",
+    );
+    render_histogram_table(
+        &mut out,
+        families,
+        "rvsim_router_upstream_seconds",
+        "backend",
+        "backend",
+    );
+    out
+}
+
+/// Run the `top` subcommand: scrape, validate, render, repeat — or render
+/// one frame with `--once` (the CI exposition check).
+pub fn run_top(options: &TopCliOptions) -> Result<(), String> {
+    let mut previous: Option<(std::time::Instant, f64)> = None;
+    loop {
+        let families = fetch_metrics(options.addr)?;
+        let now = std::time::Instant::now();
+        let total = metric_value(&families, "rvsim_http_requests_total").unwrap_or(0.0);
+        let rate = match previous {
+            Some((then, before)) => {
+                let dt = now.duration_since(then).as_secs_f64();
+                (dt > 0.0).then(|| (total - before).max(0.0) / dt)
+            }
+            None => metric_value(&families, "rvsim_uptime_seconds")
+                .filter(|&uptime| uptime > 0.0)
+                .map(|uptime| total / uptime),
+        };
+        previous = Some((now, total));
+        let frame = render_top(&options.addr.to_string(), &families, rate);
+        if options.once {
+            print!("{frame}");
+            return Ok(());
+        }
+        print!("\x1b[2J\x1b[H{frame}");
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(std::time::Duration::from_millis(options.interval_ms));
     }
 }
 
@@ -2118,6 +2636,12 @@ main:
             "/tmp/x",
         ]));
         assert!(router_with_state.is_err(), "a router holds no sessions to checkpoint");
+
+        let defaults = ServeCliOptions::parse(&args(&["--tcp"])).unwrap();
+        assert_eq!(defaults.slow_request_us, rvsim_obs::DEFAULT_SLOW_REQUEST_US);
+        let slow = ServeCliOptions::parse(&args(&["--tcp", "--slow-request-us", "0"])).unwrap();
+        assert_eq!(slow.slow_request_us, 0, "0 journals every request");
+        assert!(ServeCliOptions::parse(&args(&["--tcp", "--slow-request-us", "x"])).is_err());
     }
 
     #[test]
@@ -2289,6 +2813,158 @@ main:
         router.shutdown();
         b0.shutdown();
         b1.shutdown();
+    }
+
+    #[test]
+    fn tail_and_top_options_parse() {
+        assert!(TailCliOptions::parse(&args(&[])).is_err(), "--addr is mandatory");
+        assert!(TailCliOptions::parse(&args(&["--help"])).unwrap_err().contains("tail"));
+        assert!(TailCliOptions::parse(&args(&["--addr", "nope"])).is_err());
+        assert!(TailCliOptions::parse(&args(&["--addr", "127.0.0.1:1", "--n", "0"])).is_err());
+        let t = TailCliOptions::parse(&args(&[
+            "--addr",
+            "127.0.0.1:9000",
+            "--n",
+            "32",
+            "--min-us",
+            "500",
+            "--interval-ms",
+            "250",
+            "--once",
+        ]))
+        .unwrap();
+        assert_eq!(t.addr, "127.0.0.1:9000".parse().unwrap());
+        assert_eq!(t.n, 32);
+        assert_eq!(t.min_us, 500);
+        assert_eq!(t.interval_ms, 250);
+        assert!(t.once);
+        let defaults = TailCliOptions::parse(&args(&["--addr", "127.0.0.1:1"])).unwrap();
+        assert_eq!((defaults.n, defaults.min_us, defaults.interval_ms), (256, 0, 1000));
+        assert!(!defaults.once);
+
+        assert!(TopCliOptions::parse(&args(&[])).is_err(), "--addr is mandatory");
+        assert!(TopCliOptions::parse(&args(&["--help"])).unwrap_err().contains("top"));
+        assert!(
+            TopCliOptions::parse(&args(&["--addr", "127.0.0.1:1", "--interval-ms", "0"])).is_err()
+        );
+        let o = TopCliOptions::parse(&args(&["--addr", "127.0.0.1:9000", "--once"])).unwrap();
+        assert_eq!(o.addr, "127.0.0.1:9000".parse().unwrap());
+        assert_eq!(o.interval_ms, 1000);
+        assert!(o.once);
+    }
+
+    #[test]
+    fn parsed_histogram_quantile_reads_cumulative_buckets() {
+        // 10 observations: 5 in (0, 0.001], 4 in (0.001, 0.01], 1 overflow.
+        let exposition = "\
+# TYPE demo_seconds histogram
+demo_seconds_bucket{endpoint=\"step\",le=\"0.001\"} 5
+demo_seconds_bucket{endpoint=\"step\",le=\"0.01\"} 9
+demo_seconds_bucket{endpoint=\"step\",le=\"+Inf\"} 10
+demo_seconds_sum{endpoint=\"step\"} 0.5
+demo_seconds_count{endpoint=\"step\"} 10
+";
+        let families = rvsim_obs::validate_exposition(exposition).unwrap();
+        let family = families.iter().find(|f| f.name == "demo_seconds").unwrap();
+        let selector = [("endpoint", "step")];
+        assert_eq!(histogram_count(family, &selector), 10.0);
+        assert_eq!(histogram_label_values(family, "endpoint"), vec!["step".to_string()]);
+
+        // p50 lands exactly on the first bucket's upper bound (rank 5 of 5).
+        let p50 = parsed_histogram_quantile(family, &selector, 0.50).unwrap();
+        assert!((p50 - 0.001).abs() < 1e-9, "p50 {p50}");
+        // p90 is rank 9 — the top of the second bucket.
+        let p90 = parsed_histogram_quantile(family, &selector, 0.90).unwrap();
+        assert!((p90 - 0.01).abs() < 1e-9, "p90 {p90}");
+        // p99 falls in the +Inf bucket: clamped to the last finite bound.
+        let p99 = parsed_histogram_quantile(family, &selector, 0.99).unwrap();
+        assert!((p99 - 0.01).abs() < 1e-9, "p99 {p99}");
+        // A selector that matches nothing yields no estimate.
+        assert!(parsed_histogram_quantile(family, &[("endpoint", "nope")], 0.5).is_none());
+    }
+
+    #[test]
+    fn tail_and_top_observe_a_live_front_end() {
+        if std::net::TcpListener::bind("127.0.0.1:0").is_err() {
+            eprintln!("skipping tail/top test: loopback unavailable");
+            return;
+        }
+        // Threshold 0: every request is journaled, so the tail sees traffic
+        // without needing an artificially slow handler.
+        let options = ServeCliOptions {
+            tcp: true,
+            addr: "127.0.0.1:0".to_string(),
+            slow_request_us: 0,
+            ..ServeCliOptions::default()
+        };
+        let server = start_serve(&options).expect("serve starts");
+        let addr = server.local_addr();
+        let mut client = rvsim_net::TcpApiClient::new(addr);
+        let session = match client
+            .call(&rvsim_server::Request::CreateSession {
+                program: PROGRAM.into(),
+                architecture: None,
+                entry: None,
+                session: None,
+            })
+            .unwrap()
+        {
+            rvsim_server::Response::SessionCreated { session } => session,
+            other => panic!("unexpected {other:?}"),
+        };
+        for _ in 0..4 {
+            let r = client.call(&rvsim_server::Request::Step { session, cycles: 1 }).unwrap();
+            assert!(matches!(r, rvsim_server::Response::Stepped { .. }));
+        }
+
+        // First fetch sees the journaled requests; every line carries a
+        // request id and the four phase timings.
+        let (lines, high) = tail_fetch(addr, 256, 0, None).expect("trace fetch");
+        assert!(lines.len() >= 5, "expected the five requests, got {lines:?}");
+        assert!(high.is_some());
+        // Threshold 0 classifies every request as "slow", so the per-request
+        // events arrive under the slow_request kind.
+        let request_lines: Vec<&String> =
+            lines.iter().filter(|l| l.contains("\"event\":\"slow_request\"")).collect();
+        assert!(!request_lines.is_empty(), "{lines:?}");
+        for line in &request_lines {
+            assert!(line.contains("\"request_id\":\""), "{line}");
+            assert!(line.contains("\"phases_us\":{"), "{line}");
+        }
+        // Sequences are strictly increasing within one fetch.
+        let seqs: Vec<u64> = lines.iter().map(|l| trace_line_seq(l).unwrap()).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "{seqs:?}");
+        // The next poll never reprints: only events newer than the high-water
+        // mark appear (the poll's own connection open/close — polling is
+        // itself journaled traffic — but none of the already-seen requests).
+        let (fresh, resumed) = tail_fetch(addr, 256, 0, high).expect("second fetch");
+        assert!(
+            fresh.iter().all(|l| trace_line_seq(l).unwrap() > high.unwrap()),
+            "reprinted an old event: {fresh:?}"
+        );
+        assert!(
+            !fresh.iter().any(|l| l.contains("\"event\":\"slow_request\"")),
+            "no request ran between polls, but got {fresh:?}"
+        );
+        assert!(resumed >= high);
+        // An aggressive duration filter drops the sub-millisecond requests.
+        let (slow_only, _) = tail_fetch(addr, 256, 60_000_000, None).expect("filtered fetch");
+        assert!(slow_only.is_empty(), "nothing took a minute: {slow_only:?}");
+
+        // The dashboard sees the same traffic through /metrics.
+        let families = fetch_metrics(addr).expect("valid exposition");
+        let frame = render_top(&addr.to_string(), &families, Some(123.0));
+        assert!(frame.contains("rvsim top"), "{frame}");
+        assert!(frame.contains("123 req/s"), "{frame}");
+        assert!(frame.contains("endpoint"), "{frame}");
+        assert!(frame.contains("step"), "{frame}");
+        assert!(frame.contains("phase"), "{frame}");
+        assert!(frame.contains("handler"), "{frame}");
+        let endpoint_family = families.iter().find(|f| f.name == "rvsim_endpoint_seconds").unwrap();
+        assert!(histogram_count(endpoint_family, &[("endpoint", "step")]) >= 4.0);
+        assert!(parsed_histogram_quantile(endpoint_family, &[("endpoint", "step")], 0.99).is_some());
+
+        server.shutdown();
     }
 
     #[test]

@@ -141,6 +141,38 @@ fn main() {
         return;
     }
 
+    // `rvsim-cli tail ...` — follow a front end's event journal.
+    if args.first().map(String::as_str) == Some("tail") {
+        let options = match rvsim_cli::TailCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(message) = rvsim_cli::run_tail(&options) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // `rvsim-cli top ...` — live metrics dashboard over a front end.
+    if args.first().map(String::as_str) == Some("top") {
+        let options = match rvsim_cli::TopCliOptions::parse(&args[1..]) {
+            Ok(options) => options,
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        };
+        if let Err(message) = rvsim_cli::run_top(&options) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     // `rvsim-cli bench ...` — pipeline throughput benchmark subcommand.
     if args.first().map(String::as_str) == Some("bench") {
         let options = match rvsim_cli::BenchCliOptions::parse(&args[1..]) {

@@ -20,10 +20,12 @@
 #![warn(missing_docs)]
 
 use polling::{Events, Interest, Poller};
+use rvsim_obs::Histogram;
 use rvsim_server::{Request, Response, ServerClient, ThreadedServer};
 use serde::{Deserialize, Serialize};
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Load-test scenario definition (the JMeter test plan).
@@ -134,6 +136,12 @@ pub struct LoadTestReport {
     pub median_latency_ms: f64,
     /// 90th-percentile request latency in milliseconds.
     pub p90_latency_ms: f64,
+    /// 99th-percentile request latency in milliseconds (histogram estimate).
+    #[serde(default)]
+    pub p99_latency_ms: f64,
+    /// Maximum request latency in milliseconds.
+    #[serde(default)]
+    pub max_latency_ms: f64,
     /// Mean request latency in milliseconds.
     pub mean_latency_ms: f64,
     /// Throughput in transactions per second.
@@ -146,12 +154,17 @@ impl LoadTestReport {
     /// Format the report as a Table-I-style row.
     pub fn table_row(&self, label: &str) -> String {
         format!(
-            "{label:<10} {:>5} users  median {:>8.2} ms  p90 {:>8.2} ms  throughput {:>7.2} trans/s  ({} transactions, {} errors)",
-            self.users, self.median_latency_ms, self.p90_latency_ms, self.throughput_tps, self.transactions, self.errors
+            "{label:<10} {:>5} users  median {:>8.2} ms  p90 {:>8.2} ms  p99 {:>8.2} ms  max {:>8.2} ms  throughput {:>7.2} trans/s  ({} transactions, {} errors)",
+            self.users, self.median_latency_ms, self.p90_latency_ms, self.p99_latency_ms, self.max_latency_ms, self.throughput_tps, self.transactions, self.errors
         )
     }
 }
 
+/// Exact rank-selection percentile over a sorted sample.  The Table-I
+/// columns (median, p90) keep this exact form so the paper comparison and
+/// the committed benchmark baselines stay method-stable; the tail columns
+/// (p99, max) and the fan-out / high-connection paths come from the shared
+/// `rvsim-obs` histogram instead.
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
@@ -192,10 +205,14 @@ where
     let ramp_up = scenario.ramp_up();
     let think = scenario.think_time();
     let users = scenario.users.max(1);
+    // Every user thread records into one lock-free histogram; its exact
+    // count/sum/max back the report's transaction count, p99 and max.
+    let hist = Arc::new(Histogram::new());
 
     let mut handles = Vec::with_capacity(users);
     for user in 0..users {
         let mut call = make_client(user);
+        let hist = Arc::clone(&hist);
         let program = scenario.programs[user % scenario.programs.len().max(1)].clone();
         let steps = scenario.steps_per_user;
         let fetch_state = scenario.fetch_state_each_step;
@@ -213,7 +230,9 @@ where
             let mut timed_call = |request: &Request| -> Option<Response> {
                 let t0 = Instant::now();
                 let result = call(request);
-                latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                let elapsed = t0.elapsed();
+                latencies.push(elapsed.as_secs_f64() * 1e3);
+                hist.record(elapsed.as_micros() as u64);
                 match result {
                     Ok(response) if !response.is_error() => Some(response),
                     _ => {
@@ -272,12 +291,15 @@ where
 
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let transactions = latencies.len() as u64;
+    let snapshot = hist.snapshot();
     LoadTestReport {
         users: scenario.users,
         transactions,
         errors,
         median_latency_ms: percentile(&latencies, 0.5),
         p90_latency_ms: percentile(&latencies, 0.9),
+        p99_latency_ms: snapshot.p99_us() / 1e3,
+        max_latency_ms: snapshot.max_us() as f64 / 1e3,
         mean_latency_ms: if latencies.is_empty() {
             0.0
         } else {
@@ -309,6 +331,17 @@ pub struct FanoutReport {
     pub errors_by_second: Vec<u64>,
     /// Wall-clock duration of the measurement in seconds.
     pub wall_seconds: f64,
+    /// Median latency of successful requests in milliseconds (histogram
+    /// estimate).
+    #[serde(default)]
+    pub median_latency_ms: f64,
+    /// 99th-percentile latency of successful requests in milliseconds
+    /// (histogram estimate).
+    #[serde(default)]
+    pub p99_latency_ms: f64,
+    /// Maximum latency of a successful request in milliseconds.
+    #[serde(default)]
+    pub max_latency_ms: f64,
 }
 
 impl FanoutReport {
@@ -374,12 +407,14 @@ pub fn run_cached_state_fanout(
     duration: Duration,
 ) -> FanoutReport {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hist = Arc::new(Histogram::new());
     let started = Instant::now();
     let mut threads = Vec::new();
     for &(addr, ref sessions) in targets {
         for offset in 0..threads_per_target.max(1) {
             let sessions = sessions.clone();
             let stop = std::sync::Arc::clone(&stop);
+            let hist = Arc::clone(&hist);
             threads.push(std::thread::spawn(move || -> (u64, u64, Vec<u64>) {
                 let mut client = rvsim_net::TcpApiClient::new(addr);
                 // Pre-encode one request body per session and stay on the
@@ -402,12 +437,14 @@ pub fn run_cached_state_fanout(
                     index = index.wrapping_add(1);
                     // An in-band error is a plain payload (flag byte 0)
                     // whose JSON leads with the serde tag `"type":"error"`.
+                    let t0 = Instant::now();
                     match client.call_raw(body) {
                         Ok(payload)
                             if !(payload.first() == Some(&0)
                                 && payload[1..].starts_with(br#"{"type":"error""#)) =>
                         {
-                            requests += 1
+                            requests += 1;
+                            hist.record(t0.elapsed().as_micros() as u64);
                         }
                         _ => {
                             errors += 1;
@@ -431,11 +468,15 @@ pub fn run_cached_state_fanout(
         merge_buckets(&mut errors_by_second, &buckets);
     }
     pad_buckets(&mut errors_by_second, started);
+    let snapshot = hist.snapshot();
     FanoutReport {
         requests,
         errors,
         errors_by_second,
         wall_seconds: started.elapsed().as_secs_f64(),
+        median_latency_ms: snapshot.p50_us() / 1e3,
+        p99_latency_ms: snapshot.p99_us() / 1e3,
+        max_latency_ms: snapshot.max_us() as f64 / 1e3,
     }
 }
 
@@ -454,11 +495,13 @@ pub fn run_step_load(
     duration: Duration,
 ) -> FanoutReport {
     let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let hist = Arc::new(Histogram::new());
     let started = Instant::now();
     let mut handles = Vec::new();
     for offset in 0..threads.max(1) {
         let sessions = sessions.to_vec();
         let stop = std::sync::Arc::clone(&stop);
+        let hist = Arc::clone(&hist);
         handles.push(std::thread::spawn(move || -> (u64, u64, Vec<u64>) {
             let mut client = rvsim_net::TcpApiClient::new(addr);
             let mut requests = 0u64;
@@ -468,8 +511,12 @@ pub fn run_step_load(
             while !stop.load(std::sync::atomic::Ordering::Acquire) {
                 let session = sessions[index % sessions.len().max(1)];
                 index = index.wrapping_add(1);
+                let t0 = Instant::now();
                 match client.call(&Request::Step { session, cycles: 1 }) {
-                    Ok(response) if !response.is_error() => requests += 1,
+                    Ok(response) if !response.is_error() => {
+                        requests += 1;
+                        hist.record(t0.elapsed().as_micros() as u64);
+                    }
                     _ => {
                         errors += 1;
                         bucket_errors(&mut buckets, started, 1);
@@ -491,11 +538,15 @@ pub fn run_step_load(
         merge_buckets(&mut errors_by_second, &buckets);
     }
     pad_buckets(&mut errors_by_second, started);
+    let snapshot = hist.snapshot();
     FanoutReport {
         requests,
         errors,
         errors_by_second,
         wall_seconds: started.elapsed().as_secs_f64(),
+        median_latency_ms: snapshot.p50_us() / 1e3,
+        p99_latency_ms: snapshot.p99_us() / 1e3,
+        max_latency_ms: snapshot.max_us() as f64 / 1e3,
     }
 }
 
@@ -725,7 +776,7 @@ pub fn run_high_connection_test(
         })
         .collect();
 
-    let mut latencies: Vec<f64> = Vec::new();
+    let hist = Histogram::new();
     let mut events = Events::with_capacity(1024);
     let mut scratch: Vec<usize> = Vec::new();
     let mut read_chunk = [0u8; 16 * 1024];
@@ -797,7 +848,7 @@ pub fn run_high_connection_test(
                 if let Some(sent_at) = conn.in_flight_since.take() {
                     let finished = Instant::now();
                     if sent_at >= warmup_end && finished <= end {
-                        latencies.push(finished.duration_since(sent_at).as_secs_f64() * 1e3);
+                        hist.record(finished.duration_since(sent_at).as_micros() as u64);
                     }
                 }
             }
@@ -849,8 +900,8 @@ pub fn run_high_connection_test(
         let _ = setup.call(&Request::DestroySession { session });
     }
 
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let transactions = latencies.len() as u64;
+    let snapshot = hist.snapshot();
+    let transactions = snapshot.count();
     let duration = options.duration.as_secs_f64();
     Ok(HighConnectionReport {
         requested_connections: options.connections,
@@ -859,10 +910,10 @@ pub fn run_high_connection_test(
         achieved_rps: if duration > 0.0 { transactions as f64 / duration } else { 0.0 },
         transactions,
         errors,
-        median_latency_ms: percentile(&latencies, 0.5),
-        p90_latency_ms: percentile(&latencies, 0.9),
-        p99_latency_ms: percentile(&latencies, 0.99),
-        max_latency_ms: latencies.last().copied().unwrap_or(0.0),
+        median_latency_ms: snapshot.p50_us() / 1e3,
+        p90_latency_ms: snapshot.p90_us() / 1e3,
+        p99_latency_ms: snapshot.p99_us() / 1e3,
+        max_latency_ms: snapshot.max_us() as f64 / 1e3,
         duration_seconds: duration,
     })
 }
@@ -915,6 +966,7 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.median_latency_ms >= 0.0);
         assert!(report.p90_latency_ms >= report.median_latency_ms);
+        assert!(report.max_latency_ms >= report.p99_latency_ms, "p99 is clamped to the max");
         assert!(report.throughput_tps > 0.0);
         assert!(report.table_row("Direct").contains("4 users"));
         server.shutdown();
@@ -1050,6 +1102,8 @@ mod tests {
         assert_eq!(report.errors, 0);
         assert!(report.requests > 0);
         assert!(report.rps() > 0.0);
+        assert!(report.max_latency_ms >= report.p99_latency_ms);
+        assert!(report.p99_latency_ms >= report.median_latency_ms);
         net.shutdown();
     }
 
@@ -1107,6 +1161,9 @@ mod tests {
             errors: 10,
             errors_by_second: vec![0, 10, 0],
             wall_seconds: 3.0,
+            median_latency_ms: 0.5,
+            p99_latency_ms: 2.0,
+            max_latency_ms: 3.5,
         };
         assert!((report.error_ratio() - 0.1).abs() < 1e-12);
         let empty = FanoutReport {
@@ -1114,6 +1171,9 @@ mod tests {
             errors: 0,
             errors_by_second: Vec::new(),
             wall_seconds: 0.0,
+            median_latency_ms: 0.0,
+            p99_latency_ms: 0.0,
+            max_latency_ms: 0.0,
         };
         assert_eq!(empty.error_ratio(), 0.0);
 
@@ -1121,10 +1181,13 @@ mod tests {
         merge_buckets(&mut total, &[0, 1, 5]);
         assert_eq!(total, vec![1, 3, 5]);
 
-        // Old serialized reports (no buckets) still deserialize.
+        // Old serialized reports (no buckets, no latency columns) still
+        // deserialize; the missing fields default to empty/zero.
         let legacy: FanoutReport =
             serde_json::from_str(r#"{"requests":5,"errors":1,"wall_seconds":1.0}"#).unwrap();
         assert!(legacy.errors_by_second.is_empty());
+        assert_eq!(legacy.p99_latency_ms, 0.0);
+        assert_eq!(legacy.max_latency_ms, 0.0);
     }
 
     #[test]

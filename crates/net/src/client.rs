@@ -62,9 +62,16 @@ impl TcpApiClient {
     /// is *not* retried — a dead backend must fail fast so the caller's
     /// circuit breaker sees it.
     pub fn call_raw(&mut self, body: &[u8]) -> Result<Vec<u8>, String> {
+        self.call_raw_traced(body, 0)
+    }
+
+    /// [`call_raw`](Self::call_raw) carrying a request id on the wire
+    /// (`x-rvsim-request-id` header) so the hop can be followed across
+    /// tiers.  `request_id == 0` sends no header.
+    pub fn call_raw_traced(&mut self, body: &[u8], request_id: u64) -> Result<Vec<u8>, String> {
         let mut delay = RETRY_BASE_DELAY;
         for attempt in 1..=RETRY_ATTEMPTS {
-            match self.try_call(body) {
+            match self.try_call(body, request_id) {
                 Ok(payload) => return Ok(payload),
                 Err(e) => {
                     let unprocessed = matches!(
@@ -110,10 +117,14 @@ impl TcpApiClient {
         Ok(self.stream.as_mut().expect("just connected"))
     }
 
-    fn try_call(&mut self, body: &[u8]) -> std::io::Result<Vec<u8>> {
-        let mut head = Vec::with_capacity(96);
+    fn try_call(&mut self, body: &[u8], request_id: u64) -> std::io::Result<Vec<u8>> {
+        let mut head = Vec::with_capacity(128);
         head.extend_from_slice(b"POST /api HTTP/1.1\r\ncontent-length: ");
         head.extend_from_slice(body.len().to_string().as_bytes());
+        if request_id != 0 {
+            head.extend_from_slice(b"\r\nx-rvsim-request-id: ");
+            head.extend_from_slice(rvsim_obs::format_request_id(request_id).as_bytes());
+        }
         head.extend_from_slice(b"\r\n\r\n");
         let residue = std::mem::take(&mut self.residue);
         let stream = self.connect()?;

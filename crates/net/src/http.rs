@@ -36,6 +36,10 @@ pub struct HttpRequest {
     pub keep_alive: bool,
     /// Request body (`content-length` bytes; empty when absent).
     pub body: Vec<u8>,
+    /// Request id carried by the `x-rvsim-request-id` header (16 hex
+    /// digits), or 0 when absent/unparseable — the front end then mints
+    /// one at the edge.
+    pub request_id: u64,
 }
 
 /// A framing-level rejection: the connection answers with `status` and
@@ -142,10 +146,14 @@ impl RequestParser {
 
         let mut content_length = 0usize;
         let mut keep_alive = version == Version::Http11;
+        let mut request_id = 0u64;
         for (name, value) in &headers {
             match name.as_str() {
                 "content-length" => {
                     content_length = parse_content_length(value)?;
+                }
+                "x-rvsim-request-id" => {
+                    request_id = rvsim_obs::parse_request_id(value).unwrap_or(0);
                 }
                 "transfer-encoding" => {
                     return Err(HttpError::new(
@@ -173,7 +181,7 @@ impl RequestParser {
         self.pos += head_len + content_length;
         self.scanned = 0;
         self.compact();
-        Ok(Some(HttpRequest { method, target, version, keep_alive, body }))
+        Ok(Some(HttpRequest { method, target, version, keep_alive, body, request_id }))
     }
 }
 
@@ -415,6 +423,23 @@ mod tests {
             }
         }
         assert_eq!(split, whole);
+    }
+
+    #[test]
+    fn request_id_header_is_parsed_and_defaults_to_zero() {
+        let reqs = parse_all(
+            b"POST /api HTTP/1.1\r\nx-rvsim-request-id: 00000000deadbeef\r\ncontent-length: 2\r\n\r\nok",
+        )
+        .unwrap();
+        assert_eq!(reqs[0].request_id, 0xdead_beef);
+        let reqs = parse_all(b"POST /api HTTP/1.1\r\ncontent-length: 2\r\n\r\nok").unwrap();
+        assert_eq!(reqs[0].request_id, 0);
+        // Junk ids are treated as absent, not a framing error.
+        let reqs = parse_all(
+            b"POST /api HTTP/1.1\r\nx-rvsim-request-id: zzz\r\ncontent-length: 2\r\n\r\nok",
+        )
+        .unwrap();
+        assert_eq!(reqs[0].request_id, 0);
     }
 
     #[test]

@@ -44,12 +44,13 @@
 use crate::client::{http_get, http_post, TcpApiClient};
 use crate::server::{ApiHandler, ControlResponse};
 use bytes::Bytes;
+use rvsim_obs::{expo, Event, EventKind, Exposition, Histogram, Observer};
 use rvsim_server::{CheckpointEntry, RecoverOutcome, Request, Response};
 use std::collections::{HashMap, HashSet};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex, PoisonError, RwLock};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, PoisonError, RwLock};
+use std::time::{Duration, Instant};
 
 /// Virtual nodes per backend on the hash ring.  64 keeps the per-backend
 /// load imbalance in the low single-digit percents at the fleet sizes this
@@ -199,6 +200,9 @@ struct Backend {
     /// Consecutive failed health probes (reset by any success).
     probe_failures: AtomicU32,
     breaker: Breaker,
+    /// Latency of this upstream hop (connect + call + read), including
+    /// failed calls — the cost the router paid waiting on this backend.
+    latency: Histogram,
 }
 
 /// The two membership views: where requests *route* and where sessions
@@ -291,8 +295,12 @@ pub struct Router {
     upstream_metrics: Mutex<String>,
     /// Serializes drains (and keeps ring edits coherent with them).
     drain_lock: Mutex<()>,
+    /// Router-tier observability: the journal the front end shares (breaker
+    /// transitions, failover re-owns and forwarded-hop events land next to
+    /// connection events), phase histograms and the request-id mint.
+    obs: Arc<Observer>,
     /// Monotonic epoch for the breaker clocks.
-    started: std::time::Instant,
+    started: Instant,
     /// The most recent failover recovery report (`POST /admin/failover`).
     last_failover: Mutex<Option<FailoverReport>>,
 }
@@ -313,6 +321,7 @@ impl Router {
                     draining: AtomicBool::new(false),
                     probe_failures: AtomicU32::new(0),
                     breaker: Breaker::default(),
+                    latency: Histogram::new(),
                 })
                 .collect(),
             rings: RwLock::new(Rings { route: ring.clone(), place: ring }),
@@ -324,7 +333,8 @@ impl Router {
             stats: RouterStats::default(),
             upstream_metrics: Mutex::new(String::new()),
             drain_lock: Mutex::new(()),
-            started: std::time::Instant::now(),
+            obs: Arc::new(Observer::default()),
+            started: Instant::now(),
             last_failover: Mutex::new(None),
         }
     }
@@ -373,8 +383,10 @@ impl Router {
     /// Forward a raw protocol payload to backend `index` over a pooled
     /// keep-alive connection, gated by the backend's circuit breaker: an
     /// open breaker fails fast instead of burning a connect timeout, and
-    /// every outcome feeds the breaker's state machine.
-    fn call_backend(&self, index: usize, body: &[u8]) -> Result<Vec<u8>, String> {
+    /// every outcome feeds the breaker's state machine.  The hop is timed
+    /// into the backend's latency histogram; slow or failed hops (and every
+    /// breaker transition) are journaled with the request id.
+    fn call_backend(&self, index: usize, body: &[u8], request_id: u64) -> Result<Vec<u8>, String> {
         let backend = &self.backends[index];
         if !backend.alive.load(Ordering::Acquire) {
             return Err(format!("backend {index} ({}) is down", backend.addr));
@@ -386,22 +398,57 @@ impl Router {
         let pooled = lock(&backend.pool).pop();
         let mut client = pooled.unwrap_or_else(|| TcpApiClient::new(backend.addr));
         self.stats.forwarded.fetch_add(1, Ordering::Relaxed);
-        match client.call_raw(body) {
+        let hop_started = Instant::now();
+        match client.call_raw_traced(body, request_id) {
             Ok(payload) => {
+                let upstream_us = elapsed_us(hop_started);
+                backend.latency.record(upstream_us);
+                let was_open = backend.breaker.is_open();
                 backend.breaker.record_success();
+                if was_open {
+                    self.journal(
+                        Event::new(EventKind::BreakerClose, self.obs.journal.now_us())
+                            .fields(index as u64, 0),
+                    );
+                }
+                if upstream_us >= self.obs.slow_request_us() {
+                    self.journal(
+                        Event::new(EventKind::RouterForward, self.obs.journal.now_us())
+                            .request(request_id)
+                            .fields(index as u64, upstream_us),
+                    );
+                }
                 lock(&backend.pool).push(client);
                 Ok(payload)
             }
             Err(e) => {
+                let upstream_us = elapsed_us(hop_started);
+                backend.latency.record(upstream_us);
+                // A failed hop is always journal-worthy, whatever it took.
+                self.journal(
+                    Event::new(EventKind::RouterForward, self.obs.journal.now_us())
+                        .request(request_id)
+                        .fields(index as u64, upstream_us),
+                );
                 self.stats.upstream_errors.fetch_add(1, Ordering::Relaxed);
                 if backend.breaker.record_failure(self.now_ms()) {
                     self.stats.breakers_opened.fetch_add(1, Ordering::Relaxed);
+                    self.journal(
+                        Event::new(EventKind::BreakerOpen, self.obs.journal.now_us())
+                            .request(request_id)
+                            .fields(index as u64, 0),
+                    );
                     // Whatever the pool holds points at a broken backend.
                     lock(&backend.pool).clear();
                 }
                 Err(e)
             }
         }
+    }
+
+    /// Record one event in the router's journal.
+    fn journal(&self, event: Event) {
+        self.obs.journal.record(event);
     }
 
     /// A backend requests may be routed to: alive and not breaker-open.
@@ -434,10 +481,11 @@ impl Router {
         HashRing::new(&members).owner(session)
     }
 
-    /// Forward a typed request and decode the typed response.
+    /// Forward a typed request and decode the typed response (control-plane
+    /// calls: no client request id to propagate).
     fn call_backend_typed(&self, index: usize, request: &Request) -> Result<Response, String> {
         let body = serde_json::to_vec(request).map_err(|e| e.to_string())?;
-        let payload = self.call_backend(index, &body)?;
+        let payload = self.call_backend(index, &body, 0)?;
         rvsim_server::SimulationServer::decode_response(&payload)
     }
 
@@ -478,7 +526,7 @@ impl Router {
     /// on first touch.  Client-visible errors therefore stop as soon as the
     /// breaker opens — at most [`BREAKER_FAILURE_THRESHOLD`] requests per
     /// session-owning backend observe the crash window itself.
-    fn forward_session(&self, session: u64, body: &[u8]) -> Bytes {
+    fn forward_session(&self, session: u64, body: &[u8], request_id: u64) -> Bytes {
         self.wait_not_migrating(session);
         let Some(primary) = self.target_for(session) else {
             return encode_error("no live backend to route to");
@@ -495,14 +543,14 @@ impl Router {
                 None => primary,
             }
         };
-        match self.call_backend(target, body) {
+        match self.call_backend(target, body, request_id) {
             Ok(payload) => {
                 if is_unknown_session(&payload) {
                     self.wait_not_migrating(session);
                     if let Some(moved) = self.target_for(session) {
                         if moved != target {
                             self.stats.retries.fetch_add(1, Ordering::Relaxed);
-                            if let Ok(payload) = self.call_backend(moved, body) {
+                            if let Ok(payload) = self.call_backend(moved, body, request_id) {
                                 return Bytes::from(payload);
                             }
                         }
@@ -518,7 +566,7 @@ impl Router {
                 if !self.is_callable(target) {
                     if let Some(fallback) = self.fallback_for(session, target) {
                         self.stats.failovers.fetch_add(1, Ordering::Relaxed);
-                        if let Ok(payload) = self.call_backend(fallback, body) {
+                        if let Ok(payload) = self.call_backend(fallback, body, request_id) {
                             return Bytes::from(payload);
                         }
                     }
@@ -531,7 +579,7 @@ impl Router {
     /// Create a session: pick (or honor) the id, pin it to the place-ring
     /// owner, and forward with the id made explicit so the backend installs
     /// it under the router's numbering.
-    fn create_session(&self, request: Request) -> Bytes {
+    fn create_session(&self, request: Request, request_id: u64) -> Bytes {
         let Request::CreateSession { program, architecture, entry, session } = request else {
             return encode_error("create_session routed a non-create request");
         };
@@ -558,7 +606,7 @@ impl Router {
             Ok(body) => body,
             Err(e) => return encode_error(format!("unencodable request: {e}")),
         };
-        match self.call_backend(target, &body) {
+        match self.call_backend(target, &body, request_id) {
             Ok(payload) => Bytes::from(payload),
             Err(e) => encode_error(format!("upstream error: {e}")),
         }
@@ -620,6 +668,11 @@ impl Router {
             match result {
                 Ok(target) => {
                     write(&self.overrides).insert(session, target);
+                    self.journal(
+                        Event::new(EventKind::SessionMigrated, self.obs.journal.now_us())
+                            .session(session)
+                            .fields(index as u64, target as u64),
+                    );
                     migrated.push(session);
                 }
                 Err(e) => failed.push((session, e)),
@@ -642,6 +695,10 @@ impl Router {
         }
         self.stats.sessions_migrated.fetch_add(migrated.len() as u64, Ordering::Relaxed);
         self.stats.drains.fetch_add(1, Ordering::Relaxed);
+        self.journal(
+            Event::new(EventKind::Drain, self.obs.journal.now_us())
+                .fields(index as u64, migrated.len() as u64),
+        );
         Ok(DrainReport {
             backend: index,
             sessions: sessions.len(),
@@ -701,6 +758,10 @@ impl Router {
                 if !backend.alive.swap(true, Ordering::AcqRel) {
                     changed = true;
                     backend.breaker.record_success();
+                    self.journal(
+                        Event::new(EventKind::BackendRevived, self.obs.journal.now_us())
+                            .fields(index as u64, 0),
+                    );
                 }
             } else {
                 let misses = backend.probe_failures.fetch_add(1, Ordering::AcqRel) + 1;
@@ -709,6 +770,10 @@ impl Router {
                     changed = true;
                     // Whatever connections were pooled are dead with it.
                     lock(&backend.pool).clear();
+                    self.journal(
+                        Event::new(EventKind::BackendDead, self.obs.journal.now_us())
+                            .fields(index as u64, 0),
+                    );
                     died.push(index);
                 }
             }
@@ -743,6 +808,7 @@ impl Router {
         struct RecoverArgs {
             sessions: Vec<u64>,
         }
+        let reown_started = Instant::now();
         let mut report =
             FailoverReport { dead: died.to_vec(), recovered: Vec::new(), failed: Vec::new() };
         for index in self.routable() {
@@ -798,46 +864,57 @@ impl Router {
         }
         let freshly_restored = report.recovered.iter().filter(|r| !r.already_live).count() as u64;
         self.stats.sessions_recovered.fetch_add(freshly_restored, Ordering::Relaxed);
+        // Journal the re-own as a whole, then each recovered session, so a
+        // chaos run is reconstructable from the trace alone.
+        self.journal(
+            Event::new(EventKind::FailoverReown, self.obs.journal.now_us())
+                .fields(report.recovered.len() as u64, elapsed_us(reown_started)),
+        );
+        for recovered in &report.recovered {
+            self.journal(
+                Event::new(EventKind::SessionRestore, self.obs.journal.now_us())
+                    .session(recovered.session)
+                    .fields(recovered.backend as u64, recovered.staleness_ms),
+            );
+        }
         *lock(&self.last_failover) = Some(report);
     }
 
-    /// Sum upstream `/metrics` into `rvsim_upstream_*` lines (cached; served
-    /// by `append_metrics`).
+    /// Aggregate upstream `/metrics` into `rvsim_upstream_*` families
+    /// (cached; served by `append_metrics`).  The documents are parsed and
+    /// merged structurally — counters and gauges sum per `(name, labels)`,
+    /// histogram buckets merge per `le` bound (which preserves cumulative
+    /// invariants) — then re-rendered with every `rvsim_` family renamed to
+    /// `rvsim_upstream_`.  Per-instance uptime is dropped: a summed uptime
+    /// means nothing.
     fn refresh_upstream_metrics(&self) {
-        let mut sums: Vec<(String, u64)> = Vec::new();
-        for backend in &self.backends {
-            if !backend.alive.load(Ordering::Acquire) {
-                continue;
+        let documents: Vec<String> = self
+            .backends
+            .iter()
+            .filter(|b| b.alive.load(Ordering::Acquire))
+            .filter_map(|b| match http_get(b.addr, "/metrics", PROBE_TIMEOUT) {
+                Ok((200, body)) => Some(String::from_utf8_lossy(&body).into_owned()),
+                _ => None,
+            })
+            .collect();
+        let rendered = expo::merge_and_rename(&documents, |name| {
+            if name == "rvsim_uptime_seconds" {
+                return None;
             }
-            let Ok((200, body)) = http_get(backend.addr, "/metrics", PROBE_TIMEOUT) else {
-                continue;
-            };
-            for line in String::from_utf8_lossy(&body).lines() {
-                let Some((name, value)) = line.rsplit_once(' ') else { continue };
-                let Ok(value) = value.parse::<u64>() else { continue };
-                match sums.iter_mut().find(|(n, _)| n == name) {
-                    Some((_, sum)) => *sum += value,
-                    None => sums.push((name.to_string(), value)),
-                }
-            }
-        }
-        let mut rendered = String::new();
-        for (name, sum) in &sums {
-            let Some(suffix) = name.strip_prefix("rvsim_") else { continue };
-            rendered.push_str(&format!("rvsim_upstream_{suffix} {sum}\n"));
-        }
+            name.strip_prefix("rvsim_").map(|suffix| format!("rvsim_upstream_{suffix}"))
+        });
         *lock(&self.upstream_metrics) = rendered;
     }
 }
 
 impl ApiHandler for Router {
-    fn handle_api(&self, body: &[u8]) -> Bytes {
+    fn handle_api(&self, body: &[u8], request_id: u64) -> Bytes {
         let request: Request = match serde_json::from_slice(body) {
             Ok(request) => request,
             Err(e) => return encode_error(format!("malformed request: {e}")),
         };
         match request {
-            request @ Request::CreateSession { .. } => self.create_session(request),
+            request @ Request::CreateSession { .. } => self.create_session(request, request_id),
             Request::Compile { .. } => {
                 // Compilation is stateless: spread it round-robin.
                 let members = self.routable();
@@ -845,7 +922,7 @@ impl ApiHandler for Router {
                     return encode_error("no live backend to compile on");
                 }
                 let pick = self.next_compile.fetch_add(1, Ordering::Relaxed) as usize;
-                match self.call_backend(members[pick % members.len()], body) {
+                match self.call_backend(members[pick % members.len()], body, request_id) {
                     Ok(payload) => Bytes::from(payload),
                     Err(e) => encode_error(format!("upstream error: {e}")),
                 }
@@ -854,7 +931,7 @@ impl ApiHandler for Router {
             Request::RestoreSession { ref envelope, .. } => {
                 let session = envelope.session;
                 match read_rings(&self.rings).place.owner(session) {
-                    Some(target) => match self.call_backend(target, body) {
+                    Some(target) => match self.call_backend(target, body, request_id) {
                         Ok(payload) => Bytes::from(payload),
                         Err(e) => encode_error(format!("upstream error: {e}")),
                     },
@@ -868,7 +945,9 @@ impl ApiHandler for Router {
             | Request::GetStateDelta { session, .. }
             | Request::GetStats { session }
             | Request::DestroySession { session }
-            | Request::SerializeSession { session, .. } => self.forward_session(session, body),
+            | Request::SerializeSession { session, .. } => {
+                self.forward_session(session, body, request_id)
+            }
         }
     }
 
@@ -906,43 +985,95 @@ impl ApiHandler for Router {
         }
     }
 
-    fn append_metrics(&self, out: &mut String) {
-        use std::fmt::Write;
+    fn append_metrics(&self, out: &mut Exposition) {
         let alive = self.backends.iter().filter(|b| b.alive.load(Ordering::Acquire)).count();
-        let _ = write!(
-            out,
-            "rvsim_router_backends {}\n\
-             rvsim_router_backends_alive {alive}\n\
-             rvsim_router_forwarded_total {}\n\
-             rvsim_router_upstream_errors_total {}\n\
-             rvsim_router_retries_total {}\n\
-             rvsim_router_sessions_migrated_total {}\n\
-             rvsim_router_drains_total {}\n\
-             rvsim_router_breaker_fast_fails_total {}\n\
-             rvsim_router_breakers_opened_total {}\n\
-             rvsim_router_failovers_total {}\n\
-             rvsim_router_sessions_recovered_total {}\n",
-            self.backends.len(),
+        out.gauge("rvsim_router_backends", "Configured backends.", self.backends.len() as u64);
+        out.gauge("rvsim_router_backends_alive", "Backends passing health probes.", alive as u64);
+        out.counter(
+            "rvsim_router_forwarded_total",
+            "Requests forwarded upstream.",
             self.stats.forwarded.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_upstream_errors_total",
+            "Upstream calls that failed.",
             self.stats.upstream_errors.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_retries_total",
+            "Requests retried after a routing change.",
             self.stats.retries.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_sessions_migrated_total",
+            "Sessions moved by drains.",
             self.stats.sessions_migrated.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_drains_total",
+            "Completed drains.",
             self.stats.drains.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_breaker_fast_fails_total",
+            "Requests rejected by an open circuit breaker.",
             self.stats.breaker_fast_fails.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_breakers_opened_total",
+            "Closed-to-open breaker transitions.",
             self.stats.breakers_opened.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_failovers_total",
+            "Session requests rerouted to a surviving owner.",
             self.stats.failovers.load(Ordering::Relaxed),
+        );
+        out.counter(
+            "rvsim_router_sessions_recovered_total",
+            "Sessions re-owned from checkpoints after a backend death.",
             self.stats.sessions_recovered.load(Ordering::Relaxed),
         );
+        out.family("rvsim_router_backend_up", "gauge", "Backend liveness by index.");
         for (index, backend) in self.backends.iter().enumerate() {
-            let _ = writeln!(
-                out,
-                "rvsim_router_backend_up_{index} {}\n\
-                 rvsim_router_backend_breaker_open_{index} {}",
+            let index = index.to_string();
+            out.sample_u64(
+                "rvsim_router_backend_up",
+                &[("backend", &index)],
                 u64::from(backend.alive.load(Ordering::Acquire)),
+            );
+        }
+        out.family(
+            "rvsim_router_backend_breaker_open",
+            "gauge",
+            "Circuit-breaker state by backend index (1 = open).",
+        );
+        for (index, backend) in self.backends.iter().enumerate() {
+            let index = index.to_string();
+            out.sample_u64(
+                "rvsim_router_backend_breaker_open",
+                &[("backend", &index)],
                 u64::from(backend.breaker.is_open()),
             );
         }
-        out.push_str(&lock(&self.upstream_metrics));
+        out.family(
+            "rvsim_router_upstream_seconds",
+            "histogram",
+            "Upstream hop latency by backend (connect + call + read).",
+        );
+        for (index, backend) in self.backends.iter().enumerate() {
+            let index = index.to_string();
+            out.histogram_series(
+                "rvsim_router_upstream_seconds",
+                &[("backend", &index)],
+                &backend.latency.snapshot(),
+            );
+        }
+        out.raw(&lock(&self.upstream_metrics));
+    }
+
+    fn observer(&self) -> Option<Arc<Observer>> {
+        Some(Arc::clone(&self.obs))
     }
 
     fn housekeeping(&self) {
@@ -974,6 +1105,10 @@ fn encode_response(response: &Response) -> Bytes {
 fn is_unknown_session(payload: &[u8]) -> bool {
     payload.first() == Some(&0)
         && payload[1..].starts_with(br#"{"type":"error","message":"unknown session"#)
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    since.elapsed().as_micros() as u64
 }
 
 fn json_string(s: &str) -> String {

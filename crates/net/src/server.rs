@@ -41,6 +41,8 @@ use crate::http::{
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use polling::{Events, Interest, Poller, Waker};
+use rvsim_obs::journal::NO_SESSION;
+use rvsim_obs::{expo, Event, EventKind, Exposition, Observer};
 use rvsim_server::SimulationServer;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -79,6 +81,10 @@ pub struct NetConfig {
     /// A connection with a partially written response must accept more
     /// bytes within this deadline (reset on progress) or be closed.
     pub write_deadline: Duration,
+    /// Requests whose phase timings sum past this many microseconds are
+    /// force-journaled with their full breakdown (`0` journals every
+    /// request — useful for tracing, noisy under load).
+    pub slow_request_us: u64,
 }
 
 impl Default for NetConfig {
@@ -93,6 +99,7 @@ impl Default for NetConfig {
             header_deadline: Duration::from_secs(10),
             idle_deadline: Duration::from_secs(60),
             write_deadline: Duration::from_secs(10),
+            slow_request_us: rvsim_obs::DEFAULT_SLOW_REQUEST_US,
         }
     }
 }
@@ -126,7 +133,9 @@ pub struct NetStats {
 pub trait ApiHandler: Send + Sync + 'static {
     /// Execute one `POST /api` payload and produce the encoded response
     /// bytes (runs on a dispatch worker, never on an event loop).
-    fn handle_api(&self, body: &[u8]) -> Bytes;
+    /// `request_id` is the edge-minted (or propagated) id of the request,
+    /// for journal attribution and upstream-hop propagation.
+    fn handle_api(&self, body: &[u8], request_id: u64) -> Bytes;
 
     /// Execute a `POST /admin/...` control request (drain, rebalance).
     /// `None` means the endpoint does not exist.  Runs on a dispatch
@@ -136,13 +145,21 @@ pub trait ApiHandler: Send + Sync + 'static {
         None
     }
 
-    /// Append handler-specific lines to the `/metrics` body.
-    fn append_metrics(&self, out: &mut String) {
+    /// Append handler-specific metric families to the `/metrics` document.
+    fn append_metrics(&self, out: &mut Exposition) {
         let _ = out;
     }
 
     /// Periodic housekeeping (idle eviction, upstream health checks).
     fn housekeeping(&self) {}
+
+    /// The handler's observability handle.  When present, the front end
+    /// shares it (phase histograms, journal, request-id mint), so handler
+    /// events and connection events land in one per-process journal;
+    /// handlers without one get a private front-end observer.
+    fn observer(&self) -> Option<Arc<Observer>> {
+        None
+    }
 }
 
 /// Response of an [`ApiHandler::handle_control`] endpoint.
@@ -156,8 +173,8 @@ pub struct ControlResponse {
 }
 
 impl ApiHandler for SimulationServer {
-    fn handle_api(&self, body: &[u8]) -> Bytes {
-        self.handle_raw(body)
+    fn handle_api(&self, body: &[u8], request_id: u64) -> Bytes {
+        self.handle_raw_traced(body, request_id)
     }
 
     fn handle_control(&self, target: &str, body: &[u8]) -> Option<ControlResponse> {
@@ -201,31 +218,55 @@ impl ApiHandler for SimulationServer {
         }
     }
 
-    fn append_metrics(&self, out: &mut String) {
-        use std::fmt::Write;
-        let _ = write!(
-            out,
-            "rvsim_steps_coalesced_total {}\n\
-             rvsim_getstate_shared_total {}\n\
-             rvsim_sessions_live {}\n\
-             rvsim_sessions_evicted_total {}\n",
+    fn append_metrics(&self, out: &mut Exposition) {
+        out.counter(
+            "rvsim_steps_coalesced_total",
+            "Step requests that joined an in-flight coalesced batch.",
             self.coalesced_step_count(),
+        );
+        out.counter(
+            "rvsim_getstate_shared_total",
+            "GetState responses served from the shared render cache.",
             self.shared_state_serve_count(),
-            self.session_count(),
+        );
+        out.gauge(
+            "rvsim_sessions_live",
+            "Live sessions in the store.",
+            self.session_count() as u64,
+        );
+        out.counter(
+            "rvsim_sessions_evicted_total",
+            "Sessions evicted by the idle sweep.",
             self.evicted_session_count(),
         );
+        out.family("rvsim_endpoint_seconds", "histogram", "Handler latency per protocol endpoint.");
+        for (endpoint, snapshot) in self.endpoint_latency() {
+            out.histogram_series("rvsim_endpoint_seconds", &[("endpoint", endpoint)], &snapshot);
+        }
         if let Some(store) = self.checkpoint_store() {
-            let _ = write!(
-                out,
-                "rvsim_checkpoints_written_total {}\n\
-                 rvsim_checkpoint_failures_total {}\n\
-                 rvsim_sessions_spilled_total {}\n\
-                 rvsim_sessions_restored_total {}\n\
-                 rvsim_restore_staleness_max_ms {}\n",
+            out.counter(
+                "rvsim_checkpoints_written_total",
+                "Session checkpoints written to disk.",
                 store.write_count(),
+            );
+            out.counter(
+                "rvsim_checkpoint_failures_total",
+                "Checkpoint writes that failed.",
                 store.write_failure_count(),
+            );
+            out.counter(
+                "rvsim_sessions_spilled_total",
+                "Evicted sessions spilled to disk instead of dropped.",
                 self.spilled_session_count(),
+            );
+            out.counter(
+                "rvsim_sessions_restored_total",
+                "Sessions restored from checkpoints.",
                 self.restored_session_count(),
+            );
+            out.gauge(
+                "rvsim_restore_staleness_max_ms",
+                "Largest checkpoint staleness observed on restore.",
                 self.max_restore_staleness_ms(),
             );
         }
@@ -234,6 +275,10 @@ impl ApiHandler for SimulationServer {
     fn housekeeping(&self) {
         self.evict_idle();
         self.checkpoint_tick();
+    }
+
+    fn observer(&self) -> Option<Arc<Observer>> {
+        Some(Arc::clone(self.observability()))
     }
 }
 
@@ -286,6 +331,12 @@ impl NetServer {
         let stats = Arc::new(NetStats::default());
         let shutdown = Arc::new(AtomicBool::new(false));
         let started = Instant::now();
+        // Share the handler's observer (so handler events and connection
+        // events interleave in one journal), or run a private one.
+        let observer = handler
+            .observer()
+            .unwrap_or_else(|| Arc::new(Observer::new(rvsim_obs::DEFAULT_JOURNAL_CAPACITY)));
+        observer.slow_request_us.store(config.slow_request_us, Ordering::Relaxed);
 
         let (job_tx, job_rx) = bounded::<Job>(config.pending_dispatch.max(1));
         let mut threads = Vec::new();
@@ -309,6 +360,7 @@ impl NetServer {
                 shutdown: Arc::clone(&shutdown),
                 config: config.clone(),
                 started,
+                observer: Arc::clone(&observer),
             };
             wakers.push(waker);
             threads.push(std::thread::spawn(move || worker.run()));
@@ -410,6 +462,12 @@ struct Job {
     body: Vec<u8>,
     keep_alive: bool,
     version: Version,
+    /// Edge-minted (or header-propagated) request id.
+    request_id: u64,
+    /// Header-read phase duration measured by the event loop.
+    read_us: u32,
+    /// When the job entered the dispatch queue (queue-wait phase start).
+    enqueued: Instant,
 }
 
 /// A finished protocol request on its way back to its event loop.
@@ -422,6 +480,10 @@ struct Completion {
     payload: Bytes,
     keep_alive: bool,
     version: Version,
+    request_id: u64,
+    read_us: u32,
+    queue_us: u32,
+    handler_us: u32,
 }
 
 fn spawn_acceptor(
@@ -501,10 +563,15 @@ fn spawn_dispatch_worker(
     std::thread::spawn(move || loop {
         match jobs.recv_timeout(Duration::from_millis(50)) {
             Ok(job) => {
+                let queue_us = elapsed_us(job.enqueued);
+                let handler_started = Instant::now();
                 let (status, reason, content_type, payload) = match &job.target {
-                    None => {
-                        (200, "OK", "application/x-rvsim-payload", handler.handle_api(&job.body))
-                    }
+                    None => (
+                        200,
+                        "OK",
+                        "application/x-rvsim-payload",
+                        handler.handle_api(&job.body, job.request_id),
+                    ),
                     Some(target) => match handler.handle_control(target, &job.body) {
                         Some(control) => (
                             control.status,
@@ -529,6 +596,10 @@ fn spawn_dispatch_worker(
                     payload,
                     keep_alive: job.keep_alive,
                     version: job.version,
+                    request_id: job.request_id,
+                    read_us: job.read_us,
+                    queue_us,
+                    handler_us: elapsed_us(handler_started),
                 };
                 if job.reply.send(completion).is_ok() {
                     let _ = job.waker.wake();
@@ -591,6 +662,25 @@ struct Conn {
     /// dispatch is in flight — simulation time is not the client's fault).
     deadline: Option<Instant>,
     interest: Interest,
+    /// First-byte instant of the request currently being received (start
+    /// of the header-read phase); `None` between requests.
+    read_started: Option<Instant>,
+    /// Phase timings of the dispatched response currently being written,
+    /// recorded when the write drains.
+    inflight: Option<Inflight>,
+    /// Requests served on this connection (attributed on close).
+    served: u64,
+}
+
+/// Phase timings of a dispatched request carried across the write phase.
+struct Inflight {
+    request_id: u64,
+    status: u16,
+    read_us: u32,
+    queue_us: u32,
+    handler_us: u32,
+    /// When the completion was applied (start of the write-drain phase).
+    write_started: Instant,
 }
 
 /// Outcome of a write attempt.
@@ -613,6 +703,7 @@ struct EventLoop {
     shutdown: Arc<AtomicBool>,
     config: NetConfig,
     started: Instant,
+    observer: Arc<Observer>,
 }
 
 impl EventLoop {
@@ -707,7 +798,14 @@ impl EventLoop {
             close_after_write: false,
             deadline: Some(Instant::now() + self.config.idle_deadline),
             interest: Interest::READABLE,
+            read_started: None,
+            inflight: None,
+            served: 0,
         };
+        self.observer.journal.record(
+            Event::new(EventKind::ConnOpen, self.observer.journal.now_us())
+                .fields(self.stats.connections_open.load(Ordering::Relaxed), 0),
+        );
         let token = match free.pop() {
             Some(token) => {
                 conns[token] = Some(conn);
@@ -746,6 +844,9 @@ impl EventLoop {
                     self.close(conns, free, event.token, CloseKind::Peer);
                 }
                 Ok(n) => {
+                    if conn.read_started.is_none() {
+                        conn.read_started = Some(Instant::now());
+                    }
                     conn.parser.feed(&read_buf[..n]);
                     self.advance(conns, free, event.token);
                 }
@@ -775,7 +876,12 @@ impl EventLoop {
             match conn.parser.next_request() {
                 Ok(Some(request)) => {
                     self.stats.requests_served.fetch_add(1, Ordering::Relaxed);
-                    if !self.route(conns, free, token, request) {
+                    conn.served += 1;
+                    // Header-read phase: first byte of this request to parse
+                    // complete.  Pipelined follow-ups parse out of the buffer
+                    // with no further reads, so their read phase is ~0.
+                    let read_us = conn.read_started.take().map(elapsed_us).unwrap_or(0);
+                    if !self.route(conns, free, token, request, read_us) {
                         return;
                     }
                 }
@@ -812,16 +918,42 @@ impl EventLoop {
         free: &mut Vec<usize>,
         token: usize,
         request: HttpRequest,
+        read_us: u32,
     ) -> bool {
         let version = request.version;
         let keep_alive = request.keep_alive;
+        // Propagate the caller's request id or mint one at the edge; every
+        // response echoes it in `x-rvsim-request-id`.
+        let request_id = if request.request_id != 0 {
+            request.request_id
+        } else {
+            self.observer.mint_request_id()
+        };
         match (request.method.as_str(), request.target.as_str()) {
-            ("POST", "/api") => {
-                self.dispatch(conns, free, token, None, request.body, keep_alive, version)
-            }
+            ("POST", "/api") => self.dispatch(
+                conns,
+                free,
+                token,
+                None,
+                request.body,
+                keep_alive,
+                version,
+                request_id,
+                read_us,
+            ),
             ("POST", target) if target.starts_with("/admin/") => {
                 let target = target.to_string();
-                self.dispatch(conns, free, token, Some(target), request.body, keep_alive, version)
+                self.dispatch(
+                    conns,
+                    free,
+                    token,
+                    Some(target),
+                    request.body,
+                    keep_alive,
+                    version,
+                    request_id,
+                    read_us,
+                )
             }
             ("GET", "/healthz") => self.inline_response(
                 conns,
@@ -835,10 +967,16 @@ impl EventLoop {
                     keep_alive,
                     version,
                     extra: &[],
+                    request_id,
                 },
             ),
             ("GET", "/metrics") => {
-                let body = render_metrics(self.handler.as_ref(), &self.stats, self.started);
+                let body = render_metrics(
+                    self.handler.as_ref(),
+                    &self.stats,
+                    &self.observer,
+                    self.started,
+                );
                 self.inline_response(
                     conns,
                     free,
@@ -846,11 +984,31 @@ impl EventLoop {
                     InlineResponse {
                         status: 200,
                         reason: "OK",
-                        content_type: "text/plain",
+                        content_type: expo::CONTENT_TYPE,
                         body: body.as_bytes(),
                         keep_alive,
                         version,
                         extra: &[],
+                        request_id,
+                    },
+                )
+            }
+            ("GET", target) if target == "/admin/trace" || target.starts_with("/admin/trace?") => {
+                let (n, min_us) = parse_trace_query(target);
+                let body = self.observer.journal.render_trace(n, min_us);
+                self.inline_response(
+                    conns,
+                    free,
+                    token,
+                    InlineResponse {
+                        status: 200,
+                        reason: "OK",
+                        content_type: "application/x-ndjson",
+                        body: body.as_bytes(),
+                        keep_alive,
+                        version,
+                        extra: &[],
+                        request_id,
                     },
                 )
             }
@@ -868,6 +1026,7 @@ impl EventLoop {
                         keep_alive,
                         version,
                         extra: &[],
+                        request_id,
                     },
                 )
             }
@@ -886,6 +1045,7 @@ impl EventLoop {
                         version,
                         // A 405 must name the methods the resource supports.
                         extra: &[("allow", "GET, POST")],
+                        request_id,
                     },
                 )
             }
@@ -905,6 +1065,8 @@ impl EventLoop {
         body: Vec<u8>,
         keep_alive: bool,
         version: Version,
+        request_id: u64,
+        read_us: u32,
     ) -> bool {
         let conn = conns[token].as_mut().expect("dispatched conn is live");
         let job = Job {
@@ -916,6 +1078,9 @@ impl EventLoop {
             body,
             keep_alive,
             version,
+            request_id,
+            read_us,
+            enqueued: Instant::now(),
         };
         match self.jobs.try_send(job) {
             Ok(()) => {
@@ -939,6 +1104,7 @@ impl EventLoop {
                         keep_alive,
                         version,
                         extra: &[],
+                        request_id,
                     },
                 )
             }
@@ -968,6 +1134,8 @@ impl EventLoop {
         }
         conn.head.clear();
         conn.head_pos = 0;
+        let mut rid_buf = [0u8; 16];
+        let rid = rvsim_obs::write_request_id(completion.request_id, &mut rid_buf);
         write_response_head(
             &mut conn.head,
             &ResponseHead {
@@ -977,7 +1145,7 @@ impl EventLoop {
                 content_type: completion.content_type,
                 content_length: completion.payload.len(),
                 keep_alive: completion.keep_alive,
-                extra: &[],
+                extra: &[("x-rvsim-request-id", rid)],
             },
         );
         conn.payload = completion.payload;
@@ -985,6 +1153,14 @@ impl EventLoop {
         conn.close_after_write = !completion.keep_alive;
         conn.state = ConnState::Writing;
         conn.deadline = Some(Instant::now() + self.config.write_deadline);
+        conn.inflight = Some(Inflight {
+            request_id: completion.request_id,
+            status: completion.status,
+            read_us: completion.read_us,
+            queue_us: completion.queue_us,
+            handler_us: completion.handler_us,
+            write_started: Instant::now(),
+        });
         self.continue_write(conns, free, completion.token);
     }
 
@@ -1000,6 +1176,14 @@ impl EventLoop {
         let conn = conns[token].as_mut().expect("inline response on live conn");
         conn.head.clear();
         conn.head_pos = 0;
+        let mut rid_buf = [0u8; 16];
+        let mut extra: Vec<(&str, &str)> = response.extra.to_vec();
+        if response.request_id != 0 {
+            extra.push((
+                "x-rvsim-request-id",
+                rvsim_obs::write_request_id(response.request_id, &mut rid_buf),
+            ));
+        }
         write_response_head(
             &mut conn.head,
             &ResponseHead {
@@ -1009,7 +1193,7 @@ impl EventLoop {
                 content_type: response.content_type,
                 content_length: response.body.len(),
                 keep_alive: response.keep_alive,
-                extra: response.extra,
+                extra: &extra,
             },
         );
         conn.head.extend_from_slice(response.body);
@@ -1042,6 +1226,7 @@ impl EventLoop {
                 keep_alive: false,
                 version: Version::Http11,
                 extra: &[],
+                request_id: 0,
             },
         );
     }
@@ -1062,6 +1247,22 @@ impl EventLoop {
         };
         match try_write(conn) {
             WriteProgress::Complete => {
+                // The response drained: the dispatched request's phase story
+                // is complete — record it (histograms always, journal when
+                // slow or errored).
+                if let Some(inflight) = conn.inflight.take() {
+                    self.observer.record_request(
+                        inflight.request_id,
+                        NO_SESSION,
+                        u64::from(inflight.status),
+                        [
+                            inflight.read_us,
+                            inflight.queue_us,
+                            inflight.handler_us,
+                            elapsed_us(inflight.write_started),
+                        ],
+                    );
+                }
                 if conn.close_after_write {
                     self.close(conns, free, token, CloseKind::Served);
                     return false;
@@ -1118,6 +1319,10 @@ impl EventLoop {
     ) {
         let Some(conn) = conns[token].take() else { return };
         let _ = self.poller.deregister(conn.stream.as_raw_fd());
+        self.observer.journal.record(
+            Event::new(EventKind::ConnClose, self.observer.journal.now_us())
+                .fields(kind.code(), conn.served),
+        );
         drop(conn);
         free.push(token);
         self.stats.connections_open.fetch_sub(1, Ordering::Relaxed);
@@ -1148,6 +1353,19 @@ enum CloseKind {
     Shutdown,
 }
 
+impl CloseKind {
+    /// Stable numeric code used in the journal's `conn_close` events.
+    fn code(self) -> u64 {
+        match self {
+            CloseKind::Peer => 0,
+            CloseKind::Served => 1,
+            CloseKind::Stalled => 2,
+            CloseKind::Idle => 3,
+            CloseKind::Shutdown => 4,
+        }
+    }
+}
+
 /// Response parameters for loop-built (non-dispatched) answers.
 struct InlineResponse<'a> {
     status: u16,
@@ -1157,6 +1375,8 @@ struct InlineResponse<'a> {
     keep_alive: bool,
     version: Version,
     extra: &'a [(&'a str, &'a str)],
+    /// Echoed as `x-rvsim-request-id` (0 emits no header).
+    request_id: u64,
 }
 
 /// Write as much buffered response as the socket accepts.
@@ -1185,30 +1405,103 @@ fn try_write(conn: &mut Conn) -> WriteProgress {
     }
 }
 
-/// Plain-text metrics: front-end counters and connection gauges, followed by
-/// whatever the handler appends (session-store gauges for a
-/// [`SimulationServer`], ring/upstream gauges for a router).
-fn render_metrics(handler: &dyn ApiHandler, stats: &NetStats, started: Instant) -> String {
-    let mut out = format!(
-        "rvsim_uptime_seconds {}\n\
-         rvsim_connections_accepted_total {}\n\
-         rvsim_connections_rejected_total {}\n\
-         rvsim_connections_open {}\n\
-         rvsim_connections_stalled_closed_total {}\n\
-         rvsim_connections_idle_closed_total {}\n\
-         rvsim_http_requests_total {}\n\
-         rvsim_http_errors_total {}\n\
-         rvsim_dispatch_rejected_total {}\n",
+/// Saturating microseconds since `since`, clamped into the u32 phase
+/// timings (71 minutes; anything longer saturates).
+fn elapsed_us(since: Instant) -> u32 {
+    since.elapsed().as_micros().min(u128::from(u32::MAX)) as u32
+}
+
+/// Parse `/admin/trace?n=&min_us=` query parameters (defaults: the 256 most
+/// recent events, no duration floor).
+fn parse_trace_query(target: &str) -> (usize, u64) {
+    let mut n = 256usize;
+    let mut min_us = 0u64;
+    if let Some((_, query)) = target.split_once('?') {
+        for pair in query.split('&') {
+            match pair.split_once('=') {
+                Some(("n", value)) => n = value.parse().unwrap_or(n),
+                Some(("min_us", value)) => min_us = value.parse().unwrap_or(min_us),
+                _ => {}
+            }
+        }
+    }
+    (n.min(100_000), min_us)
+}
+
+/// Prometheus text-exposition `/metrics` document: front-end counters,
+/// connection gauges and per-phase latency histograms, followed by whatever
+/// the handler appends (session gauges and endpoint histograms for a
+/// [`SimulationServer`], ring/breaker gauges and merged upstream metrics
+/// for a router).
+fn render_metrics(
+    handler: &dyn ApiHandler,
+    stats: &NetStats,
+    observer: &Observer,
+    started: Instant,
+) -> String {
+    let mut out = Exposition::new();
+    out.gauge(
+        "rvsim_uptime_seconds",
+        "Seconds since the front end started.",
         started.elapsed().as_secs(),
+    );
+    out.counter(
+        "rvsim_connections_accepted_total",
+        "Connections accepted and handed to an event loop.",
         stats.connections_accepted.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_connections_rejected_total",
+        "Connections answered 503 at the accept gate.",
         stats.connections_rejected.load(Ordering::Relaxed),
+    );
+    out.gauge(
+        "rvsim_connections_open",
+        "Currently open connections.",
         stats.connections_open.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_connections_stalled_closed_total",
+        "Connections closed by a deadline mid-request or mid-response.",
         stats.connections_stalled_closed.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_connections_idle_closed_total",
+        "Idle keep-alive connections closed by the idle deadline.",
         stats.connections_idle_closed.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_http_requests_total",
+        "Requests answered (any status).",
         stats.requests_served.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_http_errors_total",
+        "Requests rejected at the HTTP layer (framing errors).",
         stats.http_errors.load(Ordering::Relaxed),
+    );
+    out.counter(
+        "rvsim_dispatch_rejected_total",
+        "Requests answered 503 because the dispatch queue was full.",
         stats.dispatch_rejected.load(Ordering::Relaxed),
     );
+    out.family(
+        "rvsim_request_phase_seconds",
+        "histogram",
+        "Dispatched-request latency by connection phase.",
+    );
+    for (index, phase) in rvsim_obs::PHASES.iter().enumerate() {
+        out.histogram_series(
+            "rvsim_request_phase_seconds",
+            &[("phase", phase)],
+            &observer.phase[index].snapshot(),
+        );
+    }
+    out.counter(
+        "rvsim_journal_events_total",
+        "Events recorded in the trace journal (ring keeps the newest).",
+        observer.journal.recorded(),
+    );
     handler.append_metrics(&mut out);
-    out
+    out.finish()
 }

@@ -127,9 +127,20 @@ fn metrics_and_healthz_endpoints_respond() {
     let mut text = String::new();
     stream.read_to_string(&mut text).unwrap();
     assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+    // The exposition is served under the Prometheus 0.0.4 content type.
+    let headers = text.split("\r\n\r\n").next().unwrap();
+    assert!(
+        headers.contains("content-type: text/plain; version=0.0.4"),
+        "wrong content type: {headers}"
+    );
     assert!(text.contains("rvsim_sessions_live 1"), "{text}");
     assert!(text.contains("rvsim_http_requests_total"), "{text}");
     assert!(text.contains("rvsim_connections_accepted_total"), "{text}");
+    // And the body parses as valid 0.0.4 exposition, histograms included.
+    let body = text.split("\r\n\r\n").nth(1).unwrap();
+    let families = rvsim_obs::validate_exposition(body).expect("valid exposition");
+    assert!(families.iter().any(|f| f.name == "rvsim_endpoint_seconds"), "{body}");
+    assert!(families.iter().any(|f| f.name == "rvsim_request_phase_seconds"), "{body}");
 
     let mut stream = TcpStream::connect(server.local_addr()).unwrap();
     stream.write_all(b"GET /healthz HTTP/1.0\r\n\r\n").unwrap();

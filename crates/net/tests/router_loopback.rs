@@ -100,8 +100,9 @@ fn router_spreads_sessions_and_proxies_the_protocol() {
     assert_eq!(status, 200);
     let text = String::from_utf8(body).unwrap();
     assert!(text.contains("rvsim_router_backends 2"), "{text}");
-    assert!(text.contains("rvsim_router_backend_up_0 1"), "{text}");
+    assert!(text.contains("rvsim_router_backend_up{backend=\"0\"} 1"), "{text}");
     assert!(text.contains("rvsim_http_requests_total"), "{text}");
+    rvsim_obs::validate_exposition(&text).expect("router metrics are valid 0.0.4 exposition");
 
     router.shutdown();
     b0.shutdown();
@@ -188,6 +189,74 @@ fn drain_migrates_live_sessions_without_client_visible_errors() {
     assert!(String::from_utf8_lossy(&body).contains("no such endpoint"));
 
     router.shutdown();
+    b0.shutdown();
+    b1.shutdown();
+}
+
+/// Request ids of every `slow_request` event in one front end's journal,
+/// via `GET /admin/trace` (threshold 0 journals every request).
+fn journaled_request_ids(addr: std::net::SocketAddr) -> Vec<String> {
+    let (status, body) =
+        http_get(addr, "/admin/trace?n=1024&min_us=0", Duration::from_secs(5)).unwrap();
+    assert_eq!(status, 200);
+    String::from_utf8(body)
+        .unwrap()
+        .lines()
+        .filter(|line| !line.trim().is_empty())
+        .filter_map(|line| {
+            let event: serde_json::Value = serde_json::from_str(line).expect("valid NDJSON");
+            if event["event"] == "slow_request" {
+                Some(event["request_id"].as_str().expect("requests carry an id").to_string())
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn request_ids_follow_a_request_from_the_router_into_a_backend_journal() {
+    if !loopback_available() {
+        return;
+    }
+    // Threshold 0: every request is journaled at both tiers, so the id
+    // minted at the router's edge is traceable end to end.
+    let trace_all = NetConfig { slow_request_us: 0, ..NetConfig::default() };
+    let deployment = DeploymentConfig {
+        mode: DeploymentMode::Direct,
+        compress_responses: true,
+        worker_threads: 2,
+        idle_session_ttl_seconds: None,
+    };
+    let b0 = NetServer::start(SimulationServer::new(deployment), trace_all.clone())
+        .expect("backend starts");
+    let b1 = NetServer::start(SimulationServer::new(deployment), trace_all.clone())
+        .expect("backend starts");
+    let router = Router::new(vec![b0.local_addr(), b1.local_addr()]);
+    let front = NetServer::start_with_handler(Arc::new(router), trace_all).expect("router starts");
+
+    let mut client = TcpApiClient::new(front.local_addr());
+    let session = create_session(&mut client);
+    let r = client.call(&Request::Step { session, cycles: 2 }).unwrap();
+    assert_eq!(r, Response::Stepped { cycle: 2, halted: false });
+    match client.call(&Request::GetState { session }).unwrap() {
+        Response::State(snapshot) => assert_eq!(snapshot.cycle, 2),
+        other => panic!("unexpected {other:?}"),
+    }
+
+    let router_ids = journaled_request_ids(front.local_addr());
+    assert!(router_ids.len() >= 3, "create/step/getstate journaled at the edge: {router_ids:?}");
+    let mut backend_ids = journaled_request_ids(b0.local_addr());
+    backend_ids.extend(journaled_request_ids(b1.local_addr()));
+    // Every id the router minted for a forwarded request reappears verbatim
+    // in the owning backend's journal — propagated via X-Rvsim-Request-Id.
+    let followed = router_ids.iter().filter(|id| backend_ids.iter().any(|b| &b == id)).count();
+    assert!(
+        followed >= 3,
+        "router ids {router_ids:?} must resurface in backend journals {backend_ids:?}"
+    );
+
+    front.shutdown();
     b0.shutdown();
     b1.shutdown();
 }
@@ -292,8 +361,8 @@ fn killed_backend_sessions_are_recovered_on_the_survivor_from_checkpoints() {
     let (status, body) = http_get(addr, "/metrics", Duration::from_secs(5)).unwrap();
     assert_eq!(status, 200);
     let text = String::from_utf8(body).unwrap();
-    assert!(text.contains("rvsim_router_backend_up_0 0"), "{text}");
-    assert!(text.contains("rvsim_router_backend_up_1 1"), "{text}");
+    assert!(text.contains("rvsim_router_backend_up{backend=\"0\"} 0"), "{text}");
+    assert!(text.contains("rvsim_router_backend_up{backend=\"1\"} 1"), "{text}");
     assert!(text.contains("rvsim_router_sessions_recovered_total"), "{text}");
 
     router.shutdown();

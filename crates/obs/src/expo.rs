@@ -1,0 +1,520 @@
+//! Prometheus text exposition (format version 0.0.4): a builder used by
+//! every `/metrics` endpoint, plus a small parser / validator shared by the
+//! router's upstream aggregation, the CLI dashboard, the CI smoke job and
+//! the format tests.
+
+use crate::hist::HistogramSnapshot;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Content-Type the 0.0.4 text format must be served with.
+pub const CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Incremental builder for one exposition document.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    out: String,
+}
+
+impl Exposition {
+    pub fn new() -> Exposition {
+        Exposition { out: String::with_capacity(4096) }
+    }
+
+    /// Open a metric family: `# HELP` and `# TYPE` lines.  `kind` is one
+    /// of `counter`, `gauge`, `histogram`.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// One sample with an integer value.
+    pub fn sample_u64(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.write_series(name, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// One sample with a float value.
+    pub fn sample_f64(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.write_series(name, labels);
+        let _ = writeln!(self.out, " {value}");
+    }
+
+    /// Complete single-sample counter family.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, "counter", help);
+        self.sample_u64(name, &[], value);
+    }
+
+    /// Complete single-sample gauge family.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.family(name, "gauge", help);
+        self.sample_u64(name, &[], value);
+    }
+
+    /// Complete single-sample gauge family with a float value.
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.family(name, "gauge", help);
+        self.sample_f64(name, &[], value);
+    }
+
+    /// `_bucket{le=...}` / `_sum` / `_count` series for one histogram
+    /// snapshot under `labels`.  Bounds are rendered in seconds (the
+    /// underlying buckets are powers of two in microseconds); `_sum` is in
+    /// seconds.  Call [`Exposition::family`] with kind `histogram` first;
+    /// multiple label sets may share one family.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snapshot: &HistogramSnapshot,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        for (bound_us, cumulative) in snapshot.cumulative_buckets() {
+            let le = format_le_seconds(bound_us);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.sample_u64(&bucket_name, &with_le, cumulative);
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample_u64(&bucket_name, &with_le, snapshot.count());
+        self.sample_f64(&format!("{name}_sum"), labels, snapshot.sum_us() as f64 / 1e6);
+        self.sample_u64(&format!("{name}_count"), labels, snapshot.count());
+    }
+
+    /// Complete unlabeled histogram family.
+    pub fn histogram(&mut self, name: &str, help: &str, snapshot: &HistogramSnapshot) {
+        self.family(name, "histogram", help);
+        self.histogram_series(name, &[], snapshot);
+    }
+
+    /// Append pre-rendered exposition text (must itself be well-formed).
+    pub fn raw(&mut self, text: &str) {
+        self.out.push_str(text);
+        if !text.is_empty() && !text.ends_with('\n') {
+            self.out.push('\n');
+        }
+    }
+
+    pub fn finish(self) -> String {
+        self.out
+    }
+
+    fn write_series(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (index, (key, value)) in labels.iter().enumerate() {
+                if index > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{key}=\"{}\"", escape_label(value));
+            }
+            self.out.push('}');
+        }
+    }
+}
+
+/// Histogram `le` bound for a power-of-two microsecond upper bound,
+/// rendered in seconds.  Exact decimal (2^i · 10⁻⁶ is always finite), so
+/// every backend renders identical strings and the router merge can match
+/// buckets textually.
+fn format_le_seconds(bound_us: u64) -> String {
+    let seconds = bound_us as f64 / 1e6;
+    format!("{seconds}")
+}
+
+fn escape_label(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+fn unescape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Full sample name (`foo_bucket`, not `foo`, for histogram buckets).
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub value: f64,
+}
+
+impl Sample {
+    /// Label value for `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    /// Labels minus `le`, the identity of a histogram series.
+    fn identity_labels(&self) -> Vec<(String, String)> {
+        self.labels.iter().filter(|(k, _)| k != "le").cloned().collect()
+    }
+}
+
+/// One `# TYPE` family with its samples in document order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricFamily {
+    pub name: String,
+    pub help: Option<String>,
+    /// `counter` / `gauge` / `histogram`, `None` for untyped samples.
+    pub kind: Option<String>,
+    pub samples: Vec<Sample>,
+}
+
+/// Parse a 0.0.4 text document into families (document order preserved).
+/// Histogram `_bucket` / `_sum` / `_count` samples attach to their base
+/// family.  Unknown-typed samples get an implicit untyped family.
+pub fn parse_exposition(text: &str) -> Result<Vec<MetricFamily>, String> {
+    let mut families: Vec<MetricFamily> = Vec::new();
+    let mut index: HashMap<String, usize> = HashMap::new();
+    let family_entry = |families: &mut Vec<MetricFamily>,
+                        index: &mut HashMap<String, usize>,
+                        name: &str|
+     -> usize {
+        *index.entry(name.to_string()).or_insert_with(|| {
+            families.push(MetricFamily {
+                name: name.to_string(),
+                help: None,
+                kind: None,
+                samples: Vec::new(),
+            });
+            families.len() - 1
+        })
+    };
+
+    for (line_no, raw_line) in text.lines().enumerate() {
+        let line = raw_line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |what: &str| format!("line {}: {what}: {line:?}", line_no + 1);
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').unwrap_or((rest, ""));
+            let at = family_entry(&mut families, &mut index, name);
+            families[at].help = Some(help.to_string());
+        } else if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').ok_or_else(|| err("TYPE without kind"))?;
+            if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                return Err(err("unknown metric type"));
+            }
+            let at = family_entry(&mut families, &mut index, name);
+            families[at].kind = Some(kind.to_string());
+        } else if line.starts_with('#') {
+            continue; // other comments
+        } else {
+            let sample = parse_sample(line).map_err(|what| err(&what))?;
+            // A histogram child series attaches to its base family.
+            let family_name = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|suffix| {
+                    let base = sample.name.strip_suffix(suffix)?;
+                    let at = *index.get(base)?;
+                    (families[at].kind.as_deref() == Some("histogram")).then(|| base.to_string())
+                })
+                .unwrap_or_else(|| sample.name.clone());
+            let at = family_entry(&mut families, &mut index, &family_name);
+            families[at].samples.push(sample);
+        }
+    }
+    Ok(families)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (series, value) = line.rsplit_once(' ').ok_or("sample without value")?;
+    let value: f64 = value.parse().map_err(|_| "unparseable sample value".to_string())?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series.to_string(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label set")?;
+            let mut labels = Vec::new();
+            let mut remaining = body;
+            while !remaining.is_empty() {
+                let (key, rest) = remaining.split_once("=\"").ok_or("malformed label")?;
+                // Find the closing quote, honouring backslash escapes.
+                let mut end = None;
+                let bytes = rest.as_bytes();
+                let mut i = 0;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            end = Some(i);
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = end.ok_or("unterminated label value")?;
+                labels.push((key.trim().to_string(), unescape_label(&rest[..end])));
+                remaining = rest[end + 1..].trim_start_matches(',');
+            }
+            (name.to_string(), labels)
+        }
+    };
+    if name.is_empty()
+        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        || name.starts_with(|c: char| c.is_ascii_digit())
+    {
+        return Err(format!("invalid metric name {name:?}"));
+    }
+    Ok(Sample { name, labels, value })
+}
+
+/// Parse and check format invariants: every sample is typed, histogram
+/// buckets are `le`-sorted with non-decreasing cumulative counts, the
+/// `+Inf` bucket matches `_count`, `_sum` exists, and no series repeats.
+pub fn validate_exposition(text: &str) -> Result<Vec<MetricFamily>, String> {
+    let families = parse_exposition(text)?;
+    let mut seen_series: HashMap<String, ()> = HashMap::new();
+    for family in &families {
+        let kind = family
+            .kind
+            .as_deref()
+            .ok_or_else(|| format!("family {} has samples but no # TYPE", family.name))?;
+        for sample in &family.samples {
+            let series = format!("{}{:?}", sample.name, sample.labels);
+            if seen_series.insert(series, ()).is_some() {
+                return Err(format!("duplicate series for {}", sample.name));
+            }
+            if !sample.value.is_finite() {
+                return Err(format!("non-finite value for {}", sample.name));
+            }
+            if kind == "counter" && sample.value < 0.0 {
+                return Err(format!("negative counter {}", sample.name));
+            }
+        }
+        if kind == "histogram" {
+            validate_histogram(family)?;
+        }
+    }
+    Ok(families)
+}
+
+/// One histogram series under validation: cumulative `(le, count)` buckets
+/// plus the `_sum` and `_count` samples once seen.
+type HistogramSeries = (Vec<(f64, f64)>, Option<f64>, Option<f64>);
+
+fn validate_histogram(family: &MetricFamily) -> Result<(), String> {
+    // Group bucket/sum/count samples by identity labels (labels minus le).
+    let mut series: HashMap<String, HistogramSeries> = HashMap::new();
+    let bucket_name = format!("{}_bucket", family.name);
+    let sum_name = format!("{}_sum", family.name);
+    let count_name = format!("{}_count", family.name);
+    for sample in &family.samples {
+        let identity = format!("{:?}", sample.identity_labels());
+        let entry = series.entry(identity).or_default();
+        if sample.name == bucket_name {
+            let le = sample.label("le").ok_or_else(|| format!("{bucket_name} without le"))?;
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().map_err(|_| format!("bad le {le:?}"))?
+            };
+            entry.0.push((bound, sample.value));
+        } else if sample.name == sum_name {
+            entry.1 = Some(sample.value);
+        } else if sample.name == count_name {
+            entry.2 = Some(sample.value);
+        } else {
+            return Err(format!("unexpected sample {} in histogram {}", sample.name, family.name));
+        }
+    }
+    for (identity, (buckets, sum, count)) in &series {
+        if buckets.is_empty() {
+            return Err(format!("histogram {} {identity} has no buckets", family.name));
+        }
+        for window in buckets.windows(2) {
+            if window[1].0 <= window[0].0 {
+                return Err(format!("histogram {} {identity} le not increasing", family.name));
+            }
+            if window[1].1 < window[0].1 {
+                return Err(format!("histogram {} {identity} buckets not cumulative", family.name));
+            }
+        }
+        let (last_bound, last_count) = *buckets.last().expect("non-empty");
+        if !last_bound.is_infinite() {
+            return Err(format!("histogram {} {identity} missing +Inf bucket", family.name));
+        }
+        let count =
+            count.ok_or_else(|| format!("histogram {} {identity} missing _count", family.name))?;
+        if (count - last_count).abs() > 0.5 {
+            return Err(format!("histogram {} {identity} +Inf != _count", family.name));
+        }
+        if sum.is_none() {
+            return Err(format!("histogram {} {identity} missing _sum", family.name));
+        }
+    }
+    Ok(())
+}
+
+/// Merge several exposition documents by summing samples with the same
+/// `(name, labels)` across documents, then render the result with family
+/// names rewritten through `rename` (families mapped to `None` are
+/// dropped).  Summing histogram children per-`le` is exactly a bucket-wise
+/// histogram merge, so cumulative invariants survive.  `# HELP` / `# TYPE`
+/// come from the first document that carries the family.
+pub fn merge_and_rename(
+    documents: &[String],
+    mut rename: impl FnMut(&str) -> Option<String>,
+) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut merged: HashMap<String, MetricFamily> = HashMap::new();
+    for document in documents {
+        let Ok(families) = parse_exposition(document) else { continue };
+        for family in families {
+            if !merged.contains_key(&family.name) {
+                order.push(family.name.clone());
+                merged.insert(
+                    family.name.clone(),
+                    MetricFamily { samples: Vec::new(), ..family.clone() },
+                );
+            }
+            let target = merged.get_mut(&family.name).expect("just inserted");
+            if target.kind.is_none() {
+                target.kind = family.kind.clone();
+            }
+            for sample in family.samples {
+                match target
+                    .samples
+                    .iter_mut()
+                    .find(|s| s.name == sample.name && s.labels == sample.labels)
+                {
+                    Some(existing) => existing.value += sample.value,
+                    None => target.samples.push(sample),
+                }
+            }
+        }
+    }
+
+    let mut out = Exposition::new();
+    for name in &order {
+        let family = &merged[name];
+        let Some(new_name) = rename(name) else { continue };
+        if family.samples.is_empty() {
+            continue;
+        }
+        out.family(
+            &new_name,
+            family.kind.as_deref().unwrap_or("untyped"),
+            family.help.as_deref().unwrap_or("aggregated upstream metric"),
+        );
+        for sample in &family.samples {
+            let sample_name = match sample.name.strip_prefix(name.as_str()) {
+                Some(suffix) => format!("{new_name}{suffix}"),
+                None => new_name.clone(),
+            };
+            let labels: Vec<(&str, &str)> =
+                sample.labels.iter().map(|(k, v)| (k.as_str(), v.as_str())).collect();
+            if sample.value.fract() == 0.0 && sample.value.abs() < 9.0e15 {
+                out.sample_u64(&sample_name, &labels, sample.value as u64);
+            } else {
+                out.sample_f64(&sample_name, &labels, sample.value);
+            }
+        }
+    }
+    out.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn sample_document() -> String {
+        let hist = Histogram::new();
+        for us in [3u64, 17, 200, 4_000, 250_000] {
+            hist.record(us);
+        }
+        let mut expo = Exposition::new();
+        expo.counter("rvsim_http_requests_total", "Requests served.", 42);
+        expo.gauge("rvsim_connections_open", "Open connections.", 3);
+        expo.family("rvsim_request_phase_seconds", "histogram", "Phase latency.");
+        expo.histogram_series(
+            "rvsim_request_phase_seconds",
+            &[("phase", "handler")],
+            &hist.snapshot(),
+        );
+        expo.histogram_series(
+            "rvsim_request_phase_seconds",
+            &[("phase", "queue_wait")],
+            &hist.snapshot(),
+        );
+        expo.finish()
+    }
+
+    #[test]
+    fn builder_output_validates() {
+        let text = sample_document();
+        let families = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(families.len(), 3);
+        assert_eq!(families[0].kind.as_deref(), Some("counter"));
+        assert_eq!(families[0].samples[0].value, 42.0);
+        let hist_family = &families[2];
+        assert_eq!(hist_family.kind.as_deref(), Some("histogram"));
+        // 2 label sets × (28 finite + Inf + sum + count).
+        assert_eq!(hist_family.samples.len(), 2 * (crate::BUCKETS + 3));
+    }
+
+    #[test]
+    fn parser_reads_labels_and_escapes() {
+        let text = "# TYPE demo gauge\ndemo{path=\"a\\\"b\\\\c\",other=\"x\"} 1.5\n";
+        let families = parse_exposition(text).unwrap();
+        let sample = &families[0].samples[0];
+        assert_eq!(sample.label("path"), Some("a\"b\\c"));
+        assert_eq!(sample.label("other"), Some("x"));
+        assert_eq!(sample.value, 1.5);
+    }
+
+    #[test]
+    fn validator_rejects_broken_histograms() {
+        let missing_inf = "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n";
+        assert!(validate_exposition(missing_inf).unwrap_err().contains("+Inf"));
+        let non_cumulative = "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n";
+        assert!(validate_exposition(non_cumulative).unwrap_err().contains("cumulative"));
+        let untyped = "loose_metric 1\n";
+        assert!(validate_exposition(untyped).unwrap_err().contains("no # TYPE"));
+        let count_mismatch = "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n";
+        assert!(validate_exposition(count_mismatch).unwrap_err().contains("_count"));
+    }
+
+    #[test]
+    fn merge_sums_series_and_preserves_histogram_invariants() {
+        let a = sample_document();
+        let b = sample_document();
+        let merged = merge_and_rename(&[a, b], |name| Some(format!("up_{name}")));
+        let families = validate_exposition(&merged).expect("merged output stays valid");
+        let requests = families.iter().find(|f| f.name == "up_rvsim_http_requests_total").unwrap();
+        assert_eq!(requests.samples[0].value, 84.0);
+        let phases = families.iter().find(|f| f.name == "up_rvsim_request_phase_seconds").unwrap();
+        let handler_count = phases
+            .samples
+            .iter()
+            .find(|s| s.name.ends_with("_count") && s.label("phase") == Some("handler"))
+            .unwrap();
+        assert_eq!(handler_count.value, 10.0);
+    }
+
+    #[test]
+    fn merge_drops_families_renamed_to_none() {
+        let doc = "# TYPE keep counter\nkeep 1\n# TYPE drop counter\ndrop 1\n".to_string();
+        let merged = merge_and_rename(&[doc], |name| (name == "keep").then(|| "kept".to_string()));
+        assert!(merged.contains("kept 1"));
+        assert!(!merged.contains("drop"));
+    }
+}

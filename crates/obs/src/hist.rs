@@ -1,0 +1,328 @@
+//! Lock-free log₂-bucketed latency histogram.
+//!
+//! Values are microseconds.  Bucket `i` counts values `v` with
+//! `v <= 2^i` µs (cumulative-style upper bounds, one bucket per power of
+//! two), plus an overflow bucket for anything past `2^(BUCKETS-1)` µs
+//! (~134 s).  Recording is four relaxed atomic RMWs — one bucket add, a
+//! count add, a sum add and a max — so it is safe on the cached-GetState
+//! fast path.  Quantiles interpolate within the winning bucket, which at
+//! power-of-two resolution bounds the relative error at 2×; the exact
+//! `count`, `sum` and `max` are always available.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of finite buckets: upper bounds 2^0 .. 2^(BUCKETS-1) µs.
+pub const BUCKETS: usize = 28;
+
+/// Atomic, mergeable latency histogram. All methods take `&self`.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    overflow: AtomicU64,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+/// Index of the finite bucket for `us`, or `BUCKETS` for overflow.
+#[inline]
+fn bucket_index(us: u64) -> usize {
+    if us <= 1 {
+        0
+    } else {
+        (64 - (us - 1).leading_zeros()) as usize
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one latency observation. Lock-free, allocation-free.
+    #[inline]
+    pub fn record(&self, us: u64) {
+        let index = bucket_index(us);
+        if index < BUCKETS {
+            self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(us, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Record one timed observation standing in for `weight` requests — the
+    /// sampled-fast-path variant of [`record`](Self::record).  Bucket,
+    /// count and sum all advance by `weight` (sum by `us * weight`), so the
+    /// histogram keeps its Prometheus invariant (`count` = Σ buckets) and
+    /// its quantiles stay unbiased while only one request in `weight` pays
+    /// for the clock reads.  Counts are approximate to within `weight - 1`
+    /// trailing untimed requests.
+    #[inline]
+    pub fn record_weighted(&self, us: u64, weight: u64) {
+        let index = bucket_index(us);
+        if index < BUCKETS {
+            self.buckets[index].fetch_add(weight, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(weight, Ordering::Relaxed);
+        }
+        self.count.fetch_add(weight, Ordering::Relaxed);
+        self.sum.fetch_add(us * weight, Ordering::Relaxed);
+        self.max.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the current state.  Concurrent recording
+    /// may skew individual cells by in-flight operations; totals are exact
+    /// once writers quiesce.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (cell, bucket) in buckets.iter_mut().zip(&self.buckets) {
+            *cell = bucket.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            overflow: self.overflow.load(Ordering::Relaxed),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold another histogram's counts into this one (bucket-wise add).
+    pub fn merge(&self, other: &HistogramSnapshot) {
+        for (bucket, &add) in self.buckets.iter().zip(&other.buckets) {
+            if add > 0 {
+                bucket.fetch_add(add, Ordering::Relaxed);
+            }
+        }
+        if other.overflow > 0 {
+            self.overflow.fetch_add(other.overflow, Ordering::Relaxed);
+        }
+        self.count.fetch_add(other.count, Ordering::Relaxed);
+        self.sum.fetch_add(other.sum, Ordering::Relaxed);
+        self.max.fetch_max(other.max, Ordering::Relaxed);
+    }
+}
+
+/// Plain-value copy of a [`Histogram`], used for quantile math, merging
+/// and exposition rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: [u64; BUCKETS],
+    pub overflow: u64,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], overflow: 0, count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max_us(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in microseconds by linear
+    /// interpolation inside the winning bucket; the top end is clamped to
+    /// the exact observed max.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut cumulative = 0u64;
+        for (index, &in_bucket) in self.buckets.iter().enumerate() {
+            if in_bucket == 0 {
+                continue;
+            }
+            let next = cumulative + in_bucket;
+            if rank <= next as f64 {
+                let lower = if index == 0 { 0u64 } else { 1u64 << (index - 1) };
+                let upper = 1u64 << index;
+                let fraction = (rank - cumulative as f64) / in_bucket as f64;
+                let estimate = lower as f64 + fraction * (upper - lower) as f64;
+                return estimate.min(self.max as f64);
+            }
+            cumulative = next;
+        }
+        // Rank landed in the overflow bucket: all we know is the max.
+        self.max as f64
+    }
+
+    pub fn p50_us(&self) -> f64 {
+        self.quantile_us(0.50)
+    }
+
+    pub fn p90_us(&self) -> f64 {
+        self.quantile_us(0.90)
+    }
+
+    pub fn p99_us(&self) -> f64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Bucket-wise sum of two snapshots.
+    pub fn merged(mut self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        for (cell, &add) in self.buckets.iter_mut().zip(&other.buckets) {
+            *cell += add;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self
+    }
+
+    /// Cumulative `(upper_bound_us, count)` pairs for Prometheus
+    /// `_bucket{le=...}` series; the final `+Inf` bucket equals `count`.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(BUCKETS);
+        let mut cumulative = 0u64;
+        for (index, &in_bucket) in self.buckets.iter().enumerate() {
+            cumulative += in_bucket;
+            out.push((1u64 << index, cumulative));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_covers_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 27), 27);
+        assert_eq!(bucket_index((1 << 27) + 1), 28);
+    }
+
+    #[test]
+    fn count_sum_max_are_exact() {
+        let hist = Histogram::new();
+        for us in 0..1000u64 {
+            hist.record(us);
+        }
+        let snap = hist.snapshot();
+        assert_eq!(snap.count(), 1000);
+        assert_eq!(snap.sum_us(), (0..1000).sum::<u64>());
+        assert_eq!(snap.max_us(), 999);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_resolution() {
+        let hist = Histogram::new();
+        // Uniform 1..=1000 µs: p50 ≈ 500, p99 ≈ 990.
+        for us in 1..=1000u64 {
+            hist.record(us);
+        }
+        let snap = hist.snapshot();
+        let p50 = snap.p50_us();
+        let p99 = snap.p99_us();
+        // Log buckets guarantee at worst 2× relative error.
+        assert!((250.0..=1000.0).contains(&p50), "p50 {p50}");
+        assert!((500.0..=1000.0).contains(&p99), "p99 {p99}");
+        assert!(p50 <= p99);
+        assert_eq!(snap.quantile_us(1.0), 1000.0);
+    }
+
+    #[test]
+    fn eight_threads_record_with_exact_totals() {
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 100_000;
+        let hist = std::sync::Arc::new(Histogram::new());
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for i in 0..PER_THREAD {
+                        hist.record(t * PER_THREAD + i);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        let snap = hist.snapshot();
+        let n = THREADS * PER_THREAD;
+        assert_eq!(snap.count(), n);
+        assert_eq!(snap.sum_us(), n * (n - 1) / 2);
+        assert_eq!(snap.max_us(), n - 1);
+        let bucketed: u64 = snap.buckets.iter().sum::<u64>() + snap.overflow;
+        assert_eq!(bucketed, n);
+    }
+
+    #[test]
+    fn weighted_records_scale_count_and_sum() {
+        let weighted = Histogram::new();
+        let plain = Histogram::new();
+        for us in [1u64, 10, 100, 1000] {
+            weighted.record_weighted(us, 16);
+            for _ in 0..16 {
+                plain.record(us);
+            }
+        }
+        assert_eq!(weighted.snapshot(), plain.snapshot());
+    }
+
+    #[test]
+    fn merge_is_bucket_wise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for us in [1u64, 10, 100, 1000] {
+            a.record(us);
+            b.record(us * 2);
+        }
+        let merged = a.snapshot().merged(&b.snapshot());
+        assert_eq!(merged.count(), 8);
+        assert_eq!(merged.sum_us(), 1111 + 2222);
+        assert_eq!(merged.max_us(), 2000);
+        a.merge(&b.snapshot());
+        assert_eq!(a.snapshot(), merged);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotonic_and_complete() {
+        let hist = Histogram::new();
+        for us in [0u64, 1, 5, 1 << 20, u64::from(u32::MAX)] {
+            hist.record(us);
+        }
+        let snap = hist.snapshot();
+        let cumulative = snap.cumulative_buckets();
+        let mut previous = 0;
+        for &(_, count) in &cumulative {
+            assert!(count >= previous);
+            previous = count;
+        }
+        assert_eq!(previous + snap.overflow, snap.count());
+    }
+}
